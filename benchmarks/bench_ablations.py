@@ -1,0 +1,137 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Stub-matching noise vs homophily strength: the Section 7
+   correlations are a property of the matching kernel, not the
+   marginals.
+2. xmin selection (KS-minimizing vs fixed) vs classification stability.
+3. Crawler batch size (1 vs 100) vs profile-sweep cost.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import SteamWorld, WorldConfig
+from repro.core.homophily import homophily
+from repro.tailfit import classify
+
+
+@pytest.fixture(scope="module")
+def ablation_config():
+    return WorldConfig(n_users=30_000, seed=17)
+
+
+def test_stub_noise_vs_homophily(benchmark, ablation_config, record):
+    """Homophily strength decreases monotonically with stub noise."""
+
+    def measure(noise: float) -> float:
+        social = dataclasses.replace(
+            ablation_config.social, stub_noise=noise
+        )
+        config = dataclasses.replace(ablation_config, social=social)
+        world = SteamWorld.generate(config)
+        rhos = homophily(world.dataset).correlations.rhos
+        return rhos["market_value vs friends' avg"]
+
+    noises = (0.05, 0.15, 0.6, 2.5, 10.0)
+    values = benchmark.pedantic(
+        lambda: [measure(n) for n in noises], rounds=1, iterations=1
+    )
+
+    lines = ["Ablation — stub noise vs market-value homophily"]
+    for noise, rho in zip(noises, values):
+        lines.append(f"  stub_noise={noise:<5} rho={rho:+.2f}")
+    lines.append("(calibrated default 0.15 targets the paper's 0.77)")
+    record("ablation_stub_noise", lines)
+
+    # Strict decrease from tight matching to random matching.
+    assert values[0] > values[-1] + 0.2
+    assert all(
+        earlier >= later - 0.06
+        for earlier, later in zip(values, values[1:])
+    )
+
+
+def test_xmin_choice_vs_classification(benchmark, ablation_config, record):
+    """Classification is sensitive to xmin only in the gray zone."""
+    world = SteamWorld.generate(ablation_config)
+    values = world.dataset.total_playtime_hours()
+    positive = values[values > 0]
+
+    def classify_at(xmin):
+        return classify(
+            positive, xmin=xmin, max_tail=20_000, rng=np.random.default_rng(0)
+        )
+
+    ks_result = benchmark.pedantic(
+        lambda: classify(
+            positive, max_tail=20_000, rng=np.random.default_rng(0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    fixed = {
+        f"xmin={q}th pct": classify_at(float(np.percentile(positive, q)))
+        for q in (50, 75, 90)
+    }
+
+    lines = ["Ablation — xmin selection vs total-playtime classification"]
+    lines.append(
+        f"  KS-selected xmin={ks_result.xmin:.1f} -> {ks_result.label}"
+    )
+    for name, result in fixed.items():
+        lines.append(f"  {name:<16} xmin={result.xmin:.1f} -> {result.label}")
+    record("ablation_xmin", lines)
+
+    heavy_family = {
+        "heavy-tailed",
+        "long-tailed",
+        "lognormal",
+        "truncated power law",
+    }
+    # The heavy-tail verdict itself is robust across reasonable xmins.
+    assert ks_result.label in heavy_family
+    assert fixed["xmin=50th pct"].label in heavy_family
+
+
+def test_batch_size_vs_sweep_cost(benchmark, record):
+    """Phase-1 call count scales inversely with the batch size."""
+    from repro.crawler.profiles import sweep_profiles
+    from repro.crawler.retry import RetryPolicy
+    from repro.crawler.session import CrawlSession
+    from repro.crawler.throttle import PolitePacer
+    from repro.steamapi.service import SteamApiService
+    from repro.steamapi.transport import InProcessTransport
+
+    world = SteamWorld.generate(WorldConfig(n_users=3_000, seed=23))
+
+    def sweep_calls(batch: int) -> int:
+        service = SteamApiService.from_world(world)
+        session = CrawlSession(
+            transport=InProcessTransport(service),
+            pacer=PolitePacer(1e9, sleeper=lambda s: None),
+            retry=RetryPolicy(sleeper=lambda s: None),
+        )
+        sweep_profiles(
+            session,
+            stop_after_empty=max(2, 1000 // batch),
+            batch_size=batch,
+        )
+        return session.requests_made
+
+    calls_100 = benchmark.pedantic(
+        sweep_calls, args=(100,), rounds=1, iterations=1
+    )
+    calls_10 = sweep_calls(10)
+
+    lines = [
+        "Ablation — GetPlayerSummaries batch size vs sweep cost",
+        f"  batch=100: {calls_100:,} calls",
+        f"  batch=10:  {calls_10:,} calls",
+        "the 100-ID batch endpoint is what made the paper's full-ID-space "
+        "profile sweep feasible in weeks",
+    ]
+    record("ablation_batch_size", lines)
+
+    assert calls_10 > 5 * calls_100

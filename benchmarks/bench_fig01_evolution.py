@@ -1,0 +1,26 @@
+"""Figure 1: evolution of the friendship graph since 2008."""
+
+import numpy as np
+
+from repro.core.social import network_evolution
+
+
+def test_fig01_evolution(benchmark, bench_dataset, record):
+    evo = benchmark(network_evolution, bench_dataset)
+
+    lines = ["Figure 1 — cumulative users and friendships (since Sep 2008)"]
+    lines.append(f"{'date':<12} {'users':>10} {'friendships':>12}")
+    for day, users, friends in zip(
+        evo.days[::6], evo.cumulative_users[::6], evo.cumulative_friendships[::6]
+    ):
+        date = bench_dataset.day_to_date(int(day))
+        lines.append(f"{date.isoformat():<12} {users:>10,} {friends:>12,}")
+    lines.append(
+        "paper: both curves increase steadily; friendships grow faster "
+        f"than users -> measured: {evo.friendships_grow_faster()}"
+    )
+    record("fig01_evolution", lines)
+
+    assert np.all(np.diff(evo.cumulative_users) >= 0)
+    assert np.all(np.diff(evo.cumulative_friendships) >= 0)
+    assert evo.friendships_grow_faster()

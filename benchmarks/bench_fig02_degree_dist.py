@@ -1,0 +1,35 @@
+"""Figure 2: friend-degree distribution, per year and overall."""
+
+from repro.core.social import degree_distributions
+
+
+def test_fig02_degree_distributions(benchmark, bench_dataset, record):
+    degrees = benchmark(degree_distributions, bench_dataset)
+
+    lines = ["Figure 2 — friends added per user per year"]
+    for year, series in sorted(degrees.per_year.items()):
+        total = int(series.y.sum())
+        lines.append(
+            f"{year}: {total:,} active adders, "
+            f"max added {int(series.x.max())}"
+        )
+    lines.append(
+        f"share adding <= 10/yr: {degrees.share_adding_le10:.2%} "
+        "(paper 88.06%)"
+    )
+    lines.append(
+        f"share adding > 200/yr: {degrees.share_adding_gt200:.4%} "
+        "(paper 0.02%)"
+    )
+    lines.append(
+        f"dip above 250-cap: {degrees.dip_at_cap(250)}; "
+        f"dip above 300-cap: {degrees.dip_at_cap(300)} "
+        "(paper: both present)"
+    )
+    record("fig02_degree_dist", lines)
+
+    assert abs(degrees.share_adding_le10 - 0.8806) < 0.1
+    assert degrees.share_adding_gt200 < 0.005
+    assert degrees.dip_at_cap(250)
+    assert degrees.dip_at_cap(300)
+    assert len(degrees.per_year) >= 4

@@ -1,0 +1,26 @@
+"""Figure 4: distribution of game ownership (owned vs played)."""
+
+from repro.core.ownership import ownership_distribution
+
+
+def test_fig04_ownership(benchmark, bench_dataset, record):
+    result = benchmark(ownership_distribution, bench_dataset)
+
+    lines = [
+        "Figure 4 — game ownership",
+        f"80th pct owned:  {result.p80_owned:.0f} (paper 10)",
+        f"80th pct played: {result.p80_played:.0f} (paper 7)",
+        f"max owned: {result.max_owned} (paper 2,148 at full scale)",
+        f"owners under 20 games: {result.share_under_20:.2%} (paper 89.78%)",
+        f"libraries >= 500 games with zero played: "
+        f"{result.big_library_never_played} (paper 29 at full scale)",
+        "",
+        "owned-games pdf (log-binned):",
+    ]
+    for x, y in zip(result.owned_pdf.x, result.owned_pdf.y):
+        lines.append(f"  {x:10.1f}  {y:.3e}")
+    record("fig04_ownership", lines)
+
+    assert abs(result.p80_owned - 10) <= 2
+    assert result.p80_played <= result.p80_owned
+    assert abs(result.share_under_20 - 0.8978) < 0.05

@@ -1,0 +1,24 @@
+"""Figure 5: game ownership by genre (owned vs unplayed copies)."""
+
+from repro import constants
+from repro.core.ownership import genre_ownership
+
+
+def test_fig05_genre_ownership(benchmark, bench_dataset, record):
+    result = benchmark(genre_ownership, bench_dataset)
+
+    lines = ["Figure 5 — ownership by genre (measured unplayed / paper)"]
+    for name, owned, unplayed in result.ordered_by_ownership():
+        rate = unplayed / owned if owned else float("nan")
+        paper = constants.GENRE_UNPLAYED_RATES.get(name)
+        paper_text = f"{paper:.1%}" if paper is not None else "n/a"
+        lines.append(
+            f"{name:<24} owned={owned:>9,} unplayed={unplayed:>9,} "
+            f"rate={rate:6.1%} / {paper_text}"
+        )
+    record("fig05_genre_ownership", lines)
+
+    ordered = result.ordered_by_ownership()
+    assert ordered[0][0] == "Action"
+    for name, target in constants.GENRE_UNPLAYED_RATES.items():
+        assert abs(result.unplayed_rate(name) - target) < 0.07, name

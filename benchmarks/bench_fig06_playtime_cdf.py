@@ -1,0 +1,28 @@
+"""Figure 6: CDFs of total and two-week playtime."""
+
+from repro.core.expenditure import playtime_cdf
+
+
+def test_fig06_playtime_cdf(benchmark, bench_dataset, record):
+    result = benchmark(playtime_cdf, bench_dataset)
+
+    lines = [
+        "Figure 6 — playtime CDFs over game owners",
+        f"top 20% share of total playtime: "
+        f"{result.top20_total_share:.1%} (paper 82.4%)",
+        f"top 10% share of two-week playtime: "
+        f"{result.top10_twoweek_share:.1%} (paper 93.0%)",
+        f"zero two-week playtime: {result.zero_twoweek_share:.1%} "
+        "(paper >80%)",
+        "",
+        "total-playtime CDF (hours -> fraction of owners):",
+    ]
+    series = result.total_cdf
+    step = max(1, len(series) // 25)
+    for x, y in zip(series.x[::step], series.y[::step]):
+        lines.append(f"  {x:12.2f}  {y:.4f}")
+    record("fig06_playtime_cdf", lines)
+
+    assert abs(result.top20_total_share - 0.824) < 0.08
+    assert abs(result.top10_twoweek_share - 0.93) < 0.06
+    assert result.zero_twoweek_share > 0.78

@@ -1,0 +1,25 @@
+"""Figure 7: non-zero two-week playtimes."""
+
+from repro.core.expenditure import twoweek_nonzero
+
+
+def test_fig07_twoweek(benchmark, bench_dataset, record):
+    result = benchmark(twoweek_nonzero, bench_dataset)
+
+    lines = [
+        "Figure 7 — non-zero two-week playtime",
+        f"active users: {result.n_active:,}",
+        f"80th percentile: {result.p80_hours:.2f} h (paper 32.05 h)",
+        f"maximum: {result.max_hours:.1f} h (hard cap 336 h)",
+        f"near-cap (>=80% of 336h) share: {result.near_cap_share:.4%} "
+        "(paper ~0.01% of users)",
+        "",
+        "pdf (log-binned):",
+    ]
+    for x, y in zip(result.pdf.x, result.pdf.y):
+        lines.append(f"  {x:10.2f}  {y:.3e}")
+    record("fig07_twoweek", lines)
+
+    assert abs(result.p80_hours - 32.05) / 32.05 < 0.15
+    assert result.max_hours <= 336.0
+    assert result.near_cap_share < 0.001

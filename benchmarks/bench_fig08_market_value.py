@@ -1,0 +1,25 @@
+"""Figure 8: account market values."""
+
+from repro.core.expenditure import market_value_distribution
+
+
+def test_fig08_market_value(benchmark, bench_dataset, record):
+    result = benchmark(market_value_distribution, bench_dataset)
+
+    lines = [
+        "Figure 8 — account market values",
+        f"owners: {result.n_owners:,}",
+        f"80th percentile: ${result.p80_dollars:.2f} (paper $150.88)",
+        f"maximum: ${result.max_dollars:,.2f} "
+        "(paper $24,315.40 at full scale)",
+        f"top-20% share of value: {result.top20_share:.1%} (paper 73%)",
+        "",
+        "pdf (log-binned):",
+    ]
+    for x, y in zip(result.pdf.x, result.pdf.y):
+        lines.append(f"  {x:12.2f}  {y:.3e}")
+    record("fig08_market_value", lines)
+
+    assert abs(result.p80_dollars - 150.88) / 150.88 < 0.3
+    assert abs(result.top20_share - 0.73) < 0.13
+    assert result.max_dollars > 10 * result.p80_dollars

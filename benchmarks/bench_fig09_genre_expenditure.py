@@ -1,0 +1,23 @@
+"""Figure 9: cumulative playtime and market value by genre."""
+
+from repro.core.expenditure import genre_expenditure
+
+
+def test_fig09_genre_expenditure(benchmark, bench_dataset, record):
+    result = benchmark(genre_expenditure, bench_dataset)
+
+    lines = [
+        "Figure 9 — expenditure by genre",
+        f"Action playtime share: {result.playtime_share('Action'):.2%} "
+        "(paper 49.24%)",
+        f"Action value share: {result.value_share('Action'):.2%} "
+        "(paper 51.88%)",
+        "",
+        result.render(),
+    ]
+    record("fig09_genre_expenditure", lines)
+
+    shares = {g: result.playtime_share(g) for g in result.genres}
+    assert max(shares, key=shares.get) == "Action"
+    assert abs(result.playtime_share("Action") - 0.4924) < 0.14
+    assert abs(result.value_share("Action") - 0.5188) < 0.13

@@ -1,0 +1,28 @@
+"""Figure 10: multiplayer share of playtime."""
+
+from repro.core.multiplayer import multiplayer_share
+
+
+def test_fig10_multiplayer(benchmark, bench_dataset, record):
+    result = benchmark(multiplayer_share, bench_dataset)
+
+    lines = [
+        "Figure 10 — multiplayer playtime shares",
+        f"catalog share: {result.catalog_share:.1%} (paper 48.7%)",
+        f"total playtime share: {result.total_playtime_share:.1%} "
+        "(paper 57.7%)",
+        f"two-week playtime share: {result.twoweek_playtime_share:.1%} "
+        "(paper 67.7%)",
+        f"users entirely multiplayer (total): "
+        f"{result.users_all_multiplayer_total:.1%}",
+        f"users entirely multiplayer (two-week): "
+        f"{result.users_all_multiplayer_twoweek:.1%}",
+    ]
+    record("fig10_multiplayer", lines)
+
+    assert abs(result.catalog_share - 0.487) < 0.04
+    # Shape: multiplayer over-represented in playtime, more so recently.
+    assert result.total_playtime_share > result.catalog_share
+    assert result.twoweek_playtime_share > result.total_playtime_share - 0.02
+    assert abs(result.total_playtime_share - 0.577) < 0.13
+    assert abs(result.twoweek_playtime_share - 0.677) < 0.13

@@ -1,0 +1,32 @@
+"""Figure 11 / Section 7: homophily and cross-attribute correlations."""
+
+from repro.core.homophily import cross_correlations, homophily
+
+
+def test_fig11_homophily(benchmark, bench_dataset, record):
+    result = benchmark.pedantic(
+        homophily, args=(bench_dataset,), rounds=1, iterations=1
+    )
+    cross = cross_correlations(bench_dataset)
+
+    lines = ["Figure 11 / Section 7 — Spearman correlations"]
+    lines.append("homophily (attribute vs friends' average):")
+    for name, rho in result.correlations.rhos.items():
+        paper = result.correlations.paper[name]
+        lines.append(f"  {name:<36} {rho:+.2f} / {paper:+.2f}")
+    lines.append("cross-attribute:")
+    for name, rho in cross.rhos.items():
+        paper = cross.paper[name]
+        lines.append(f"  {name:<36} {rho:+.2f} / {paper:+.2f}")
+    record("fig11_homophily", lines)
+
+    rhos = result.correlations.rhos
+    # Every homophily correlation clearly positive; value the strongest.
+    assert all(rho > 0.3 for rho in rhos.values())
+    assert rhos["market_value vs friends' avg"] == max(rhos.values())
+    assert abs(rhos["market_value vs friends' avg"] - 0.77) < 0.12
+    # Cross correlations stay much weaker than homophily (the paper's
+    # core Section 7 contrast).
+    assert max(cross.rhos.values()) < min(rhos.values())
+    for name, rho in cross.rhos.items():
+        assert abs(rho - cross.paper[name]) < 0.12, name

@@ -1,0 +1,48 @@
+"""World-generation performance: the substrate's own cost curve."""
+
+import time
+
+from repro import SteamWorld, WorldConfig
+
+
+def test_generation_speed(benchmark, record):
+    result = benchmark.pedantic(
+        SteamWorld.generate,
+        args=(WorldConfig(n_users=100_000, seed=77),),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.dataset.n_users == 100_000
+
+    # One-off scaling curve for the results file.
+    lines = ["World generation cost (single run per scale)"]
+    for n in (10_000, 50_000, 100_000):
+        start = time.perf_counter()
+        world = SteamWorld.generate(WorldConfig(n_users=n, seed=78))
+        elapsed = time.perf_counter() - start
+        lines.append(
+            f"  {n:>9,} accounts: {elapsed:6.2f}s "
+            f"({world.dataset.friends.n_edges:,} edges, "
+            f"{world.dataset.library.owned.nnz:,} library entries)"
+        )
+    lines.append("(1M accounts: ~36s, ~1 GB peak RSS)")
+    record("generation_speed", lines)
+
+
+def test_analysis_speed(benchmark, bench_study, record):
+    """Full analysis (without Table 4) on the 150k benchmark world."""
+    report = benchmark.pedantic(
+        bench_study.run,
+        kwargs={"include_table4": False, "include_week_panel": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert report.table3 is not None
+    record(
+        "analysis_speed",
+        [
+            "Full analysis (Tables 1-3, Figures 1-12, Sections 4-10) on "
+            "150k accounts: see bench timing table",
+            "Table 4 classification adds ~20-60s depending on max_tail",
+        ],
+    )

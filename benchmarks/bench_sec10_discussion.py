@@ -1,0 +1,19 @@
+"""Section 10: discussion statistics (stereotypes, addiction cutoffs)."""
+
+from repro.core.discussion import discussion_stats
+
+
+def test_sec10_discussion(benchmark, bench_dataset, record):
+    stats = benchmark(discussion_stats, bench_dataset)
+    record("sec10_discussion", stats.render().splitlines())
+
+    # 10.1: the 90th percentile gamer plays ~half an hour a day.
+    assert 0.3 < stats.p90_twoweek_hours_per_day < 1.2
+    assert stats.p95_twoweek_hours_per_day < 2.0
+    # 10.2: top-1% cutoffs in the paper's stated ranges.
+    assert 3.0 < stats.top1_twoweek_hours_per_day < 9.0
+    assert stats.top1_owned_games > 70
+    assert stats.top1_market_value > 1_000
+    assert stats.top1_cohort_at_paper_scale > 700_000
+    # 10.3: no celebrity accounts.
+    assert stats.max_friends < 1_000

@@ -1,0 +1,21 @@
+"""Section 4.1: geographic locality of friendships."""
+
+from repro.core.social import locality
+
+
+def test_sec4_locality(benchmark, bench_dataset, record):
+    result = benchmark(locality, bench_dataset)
+
+    lines = [
+        "Section 4.1 — friendship locality (reporters only)",
+        f"international friendships: {result.international_share:.2%} "
+        "(paper 30.34%)",
+        f"cross-city friendships: {result.cross_city_share:.2%} "
+        "(paper 79.84%)",
+        f"pairs with both countries reported: {result.n_country_pairs:,}",
+        f"pairs with both cities reported: {result.n_city_pairs:,}",
+    ]
+    record("sec4_locality", lines)
+
+    assert abs(result.international_share - 0.3034) < 0.08
+    assert abs(result.cross_city_share - 0.7984) < 0.08

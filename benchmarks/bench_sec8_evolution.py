@@ -1,0 +1,20 @@
+"""Section 8: second snapshot — tail growth vs percentile growth."""
+
+from repro.core.evolution import snapshot_comparison
+
+
+def test_sec8_evolution(benchmark, bench_dataset, record):
+    result = benchmark(snapshot_comparison, bench_dataset)
+
+    lines = ["Section 8 — snapshot 1 -> snapshot 2 growth"]
+    lines.extend(result.render().splitlines())
+    record("sec8_evolution", lines)
+
+    owned = result.row("owned_games")
+    value = result.row("market_value")
+    # p80 grows modestly (paper: 10->15 and $150.88->$224.93)...
+    assert abs(owned.p80_growth - 1.5) < 0.4
+    assert abs(value.p80_growth - 1.49) < 0.45
+    # ... while the tail keeps pace or outgrows it.
+    assert owned.tail_outpaces_p80()
+    assert value.tail_outpaces_p80()

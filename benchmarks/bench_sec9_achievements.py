@@ -1,0 +1,25 @@
+"""Section 9: achievements."""
+
+from repro.core.achievements import achievement_report
+
+
+def test_sec9_achievements(benchmark, bench_dataset, record):
+    report = benchmark.pedantic(
+        achievement_report, args=(bench_dataset,), rounds=1, iterations=1
+    )
+
+    record("sec9_achievements", report.render().splitlines())
+
+    assert abs(report.count_median - 24) <= 5
+    assert abs(report.count_mean - 33.1) / 33.1 < 0.35
+    assert report.count_max <= 1629
+    # Correlation band structure: moderate in 1-90, none beyond.
+    assert report.corr_1_90 > 0.3
+    assert abs(report.corr_gt90) < 0.25
+    assert report.corr_1_90 > report.corr_all - 0.05
+    # Completion skew and genre ordering.
+    assert report.completion_mean_single > report.completion_median_single
+    assert (
+        report.genre_completion["Adventure"]
+        > report.genre_completion["Strategy"]
+    )

@@ -1,0 +1,19 @@
+"""Section 9 extension: the achievement-hunter cohort (future work)."""
+
+from repro.core.hunters import hunter_report
+
+
+def test_sec9_achievement_hunters(benchmark, bench_world, record):
+    player_ach = bench_world.player_achievements()
+    report = benchmark.pedantic(
+        hunter_report,
+        args=(bench_world.dataset, player_ach),
+        rounds=1,
+        iterations=1,
+    )
+    record("sec9_hunters", report.render().splitlines())
+
+    assert report.detected_hunters > 0
+    assert report.precision > 0.5
+    assert report.mean_completion_all > report.median_completion_all
+    assert report.skew_explained_by_hunters()

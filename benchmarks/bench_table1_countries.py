@@ -1,0 +1,28 @@
+"""Table 1: reported-country breakdown."""
+
+from repro import constants
+from repro.core.social import country_table
+
+
+def test_table1_countries(benchmark, bench_dataset, record):
+    table = benchmark(country_table, bench_dataset)
+
+    lines = ["Table 1 — reported countries (measured / paper)"]
+    paper = constants.TABLE1_COUNTRY_SHARES
+    for name, share in zip(table.names, table.shares):
+        ref = paper.get(name)
+        ref_text = f"{ref:.2%}" if ref is not None else "n/a"
+        lines.append(f"{name:<20} {share:7.2%} / {ref_text}")
+    lines.append(
+        f"{'Other':<20} {table.other_share:7.2%} / "
+        f"{constants.TABLE1_OTHER_SHARE:.2%}"
+    )
+    lines.append(
+        f"report rate {table.report_rate:.1%} / "
+        f"{constants.COUNTRY_REPORT_RATE:.1%}"
+    )
+    record("table1_countries", lines)
+
+    assert table.names[0] == "United States"
+    assert abs(table.shares[0] - 0.2021) < 0.02
+    assert abs(table.other_share - 0.3544) < 0.06

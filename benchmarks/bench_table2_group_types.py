@@ -1,0 +1,23 @@
+"""Table 2: type mix of the 250 largest groups."""
+
+from repro import constants
+from repro.core.groups import group_type_table
+
+
+def test_table2_group_types(benchmark, bench_dataset, record):
+    table = benchmark(group_type_table, bench_dataset)
+    shares = table.shares()
+
+    lines = ["Table 2 — top-250 group types (measured / paper)"]
+    for name, paper_count in constants.TABLE2_GROUP_TYPES.items():
+        measured = table.counts.get(name, 0)
+        lines.append(
+            f"{name:<20} {measured:>4} ({measured / table.top_n:5.1%}) / "
+            f"{paper_count:>4} ({paper_count / 250:5.1%})"
+        )
+    record("table2_group_types", lines)
+
+    assert max(table.counts, key=table.counts.get) == "Game Server"
+    assert abs(shares["Game Server"] - 0.456) < 0.1
+    assert abs(shares["Single Game"] - 0.204) < 0.08
+    assert abs(shares["Gaming Community"] - 0.172) < 0.08

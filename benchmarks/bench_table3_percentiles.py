@@ -1,0 +1,21 @@
+"""Table 3: behavioral percentiles."""
+
+from repro.core.percentiles import percentile_table
+
+
+def test_table3_percentiles(benchmark, bench_dataset, record):
+    table = benchmark(percentile_table, bench_dataset)
+    record("table3_percentiles", table.render().splitlines())
+
+    for row in table.rows:
+        assert row.paper is not None
+        for got, paper in zip(row.values, row.paper):
+            if paper == 0.0:
+                assert got == 0.0, row.attribute
+            else:
+                # Shape fidelity: within ~45% at every anchor.
+                assert abs(got - paper) <= max(0.45 * paper, 1.2), (
+                    row.attribute,
+                    got,
+                    paper,
+                )

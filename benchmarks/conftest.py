@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one of the paper's tables or figures from a
+sizeable synthetic world, times the analysis, and records the
+measured-vs-paper comparison under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import SteamStudy, SteamWorld, WorldConfig
+
+BENCH_USERS = 150_000
+BENCH_SEED = 1603
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> SteamWorld:
+    return SteamWorld.generate(
+        WorldConfig(n_users=BENCH_USERS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_world):
+    return bench_world.dataset
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_world) -> SteamStudy:
+    return SteamStudy(world=bench_world, _dataset=bench_world.dataset)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a named measured-vs-paper comparison to the results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, lines: list[str]) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    return _record

@@ -1,0 +1,60 @@
+"""Homophily deep-dive: Section 7 / Figure 11, plus an ablation.
+
+Reproduces the paper's correlation battery and then re-generates the
+same population with the homophily kernel disabled (large stub noise,
+flat match weights) to show the correlations collapse — i.e. that the
+effect measured in Section 7 is a property of *who befriends whom*, not
+of the attribute marginals.
+
+Run:  python examples/homophily_study.py [n_users]
+"""
+
+import dataclasses
+import sys
+
+from repro import SteamStudy, WorldConfig
+from repro.core.homophily import cross_correlations, homophily
+from repro.core.spearman import strength_label
+
+
+def correlations_for(config: WorldConfig) -> tuple[dict, dict]:
+    study = SteamStudy.generate(config=config)
+    homo = homophily(study.dataset)
+    cross = cross_correlations(study.dataset)
+    return homo.correlations.rhos, cross.rhos
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    base = WorldConfig(n_users=n_users, seed=9)
+
+    print("=== calibrated world (paper's Section 7) ===")
+    homo_rhos, cross_rhos = correlations_for(base)
+    for name, rho in homo_rhos.items():
+        print(f"  {name:<34} {rho:+.2f}  ({strength_label(rho)})")
+    for name, rho in cross_rhos.items():
+        print(f"  {name:<34} {rho:+.2f}  ({strength_label(rho)})")
+
+    # Ablation: same marginals, random friend matching.
+    social = dataclasses.replace(
+        base.social,
+        stub_noise=50.0,
+        match_weight_value=0.0,
+        match_weight_degree=0.0,
+        match_weight_play=0.0,
+        match_weight_owned=0.0,
+        match_weight_noise=1.0,
+    )
+    ablated = dataclasses.replace(base, social=social)
+    print("\n=== ablated world (random matching, same marginals) ===")
+    homo_rhos, _ = correlations_for(ablated)
+    for name, rho in homo_rhos.items():
+        print(f"  {name:<34} {rho:+.2f}  ({strength_label(rho)})")
+    print(
+        "\nHomophily collapses under random matching: the Section 7 "
+        "correlations measure the friendship structure, not the marginals."
+    )
+
+
+if __name__ == "__main__":
+    main()

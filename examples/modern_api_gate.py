@@ -1,0 +1,76 @@
+"""Why the 2013 crawl cannot be repeated — and what privacy does to it.
+
+The original study predates Steam's privacy-by-default era.  This example
+runs the same crawler against the simulated API with increasing shares of
+private profiles and shows how the collected network and behavioral
+statistics decay — the quantitative argument (see DESIGN.md) for why this
+reproduction substitutes a calibrated synthetic universe instead of a
+fresh crawl.
+
+Run:  python examples/modern_api_gate.py [n_users]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SteamStudy
+from repro.crawler.details import crawl_details
+from repro.crawler.retry import RetryPolicy
+from repro.crawler.session import CrawlSession
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.service import SteamApiService
+from repro.steamapi.transport import InProcessTransport
+
+
+def crawl_with_privacy(study, private_rate: float):
+    service = SteamApiService.from_world(
+        study.world, private_rate=private_rate, private_seed=4
+    )
+    session = CrawlSession(
+        transport=InProcessTransport(service),
+        pacer=PolitePacer(1e9, sleeper=lambda s: None),
+        retry=RetryPolicy(sleeper=lambda s: None),
+    )
+    steamids = study.dataset.accounts.steamids()
+    return crawl_details(session, steamids)
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 4_000
+    study = SteamStudy.generate(n_users=n_users, seed=12)
+    truth = study.dataset
+
+    true_edges = truth.friends.n_edges
+    true_copies = truth.library.owned.nnz
+    true_minutes = int(truth.library.user_total_min().sum())
+
+    print(f"ground truth: {true_edges:,} friendships, "
+          f"{true_copies:,} owned copies\n")
+    print(f"{'private':>8} {'profiles lost':>14} {'edges seen':>11} "
+          f"{'copies seen':>12} {'playtime seen':>14}")
+    for rate in (0.0, 0.25, 0.50, 0.75):
+        harvest = crawl_with_privacy(study, rate)
+        # The crawler records each friendship once, from its lower-ID
+        # endpoint; the edge is lost when that profile is private.
+        edges = len(np.unique(
+            harvest.edge_a * 10_000_000_000 + harvest.edge_b
+        ))
+        print(
+            f"{rate:>8.0%} {harvest.n_private:>14,} "
+            f"{edges / true_edges:>10.1%} "
+            f"{len(harvest.lib_appid) / true_copies:>11.1%} "
+            f"{int(harvest.lib_total_min.sum()) / true_minutes:>13.1%}"
+        )
+
+    print(
+        "\nAt 2024-era privacy defaults the majority of library and "
+        "playtime data is unobservable, and friendships survive only via "
+        "their public endpoint — the sampling bias the paper's exhaustive "
+        "2013 crawl existed to avoid. Hence the calibrated synthetic "
+        "substitution (DESIGN.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

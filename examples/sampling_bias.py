@@ -1,0 +1,50 @@
+"""Census vs crawl: reproducing the paper's Section 2.2 argument.
+
+Earlier Steam studies (Becker et al., Blackburn et al.) sampled the
+network by crawling friend lists from seed users.  The paper argues this
+biases every statistic: "users with fewer friends are less likely to be
+crawled", and the ~70% of accounts with no friends at all are invisible.
+This example runs both crawl methodologies against the synthetic census
+and quantifies the distortion.
+
+Run:  python examples/sampling_bias.py [n_users]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SteamStudy
+from repro.core.sampling import sampling_bias, snowball_sample
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 80_000
+    study = SteamStudy.generate(n_users=n_users, seed=33)
+    ds = study.dataset
+
+    for method in ("snowball", "random_walk"):
+        bias = sampling_bias(ds, method=method, sample_fraction=0.1)
+        print(bias.render())
+
+    # The degree-distribution view: what Becker's crawl would have seen.
+    degrees = ds.friend_counts()
+    sample = snowball_sample(ds, int(0.1 * n_users), rng=np.random.default_rng(1))
+    census_connected = degrees[degrees > 0]
+    crawl_view = degrees[sample]
+    print("\ndegree percentiles (connected census vs snowball crawl):")
+    for pct in (50, 80, 90, 99):
+        print(
+            f"  p{pct}: census {np.percentile(census_connected, pct):6.0f}   "
+            f"crawl {np.percentile(crawl_view, pct):6.0f}"
+        )
+    print(
+        "\nThe crawl never sees isolated accounts "
+        f"({np.mean(degrees == 0):.0%} of the population) and "
+        "over-represents the well-connected — the bias the paper's "
+        "exhaustive ID-space enumeration eliminated."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Developer diagnostic: measured-vs-paper for every calibration target.
+
+Run: python scripts/calibration_report.py [n_users] [seed]
+"""
+
+import sys
+import time
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro import SteamWorld, WorldConfig, constants
+
+
+def neighbor_mean(dataset, values):
+    fr = dataset.friends
+    sums = np.zeros(dataset.n_users)
+    np.add.at(sums, fr.u, values[fr.v])
+    np.add.at(sums, fr.v, values[fr.u])
+    deg = dataset.friend_counts()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(deg > 0, sums / np.maximum(deg, 1), np.nan)
+
+
+def pct_row(name, x, targets):
+    nz = x[x > 0]
+    got = [np.percentile(nz, p) for p in (50, 80, 90, 95, 99)]
+    print(f"{name:22s} frac>0={len(nz)/len(x):.3f} "
+          + " ".join(f"{g:8.1f}/{t:<8.1f}" for g, t in zip(got, targets))
+          + f" max={nz.max():.0f} mean_all={x.mean():.2f}")
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    t0 = time.time()
+    w = SteamWorld.generate(WorldConfig(n_users=n, seed=seed))
+    ds = w.dataset
+    print(f"gen {time.time()-t0:.1f}s  n={n}")
+    print({k: round(v, 1) for k, v in ds.summary().items()})
+    scale = 108_700_000 / n
+    print(f"scaled owned={ds.library.owned.nnz*scale/1e6:.0f}M/384.3M "
+          f"playtime={ds.summary()['playtime_years']*scale/1e6:.2f}M/1.11M yrs "
+          f"value=${ds.summary()['market_value_usd']*scale/1e9:.2f}B/5.33B "
+          f"friendships={ds.friends.n_edges*scale/1e6:.0f}M/196.4M "
+          f"memberships={ds.groups.members.nnz*scale/1e6:.0f}M/81.3M")
+
+    fc = ds.friend_counts().astype(float)
+    oc = ds.owned_counts().astype(float)
+    pc = ds.played_counts().astype(float)
+    tp = ds.total_playtime_hours()
+    tw = ds.twoweek_playtime_hours()
+    mv = ds.market_value_dollars()
+    mb = ds.membership_counts().astype(float)
+
+    T3 = constants.TABLE3
+    pct_row("friends", fc, T3["friends"])
+    pct_row("owned", oc, T3["owned_games"])
+    pct_row("groups", mb, T3["group_memberships"])
+    pct_row("value$", mv, T3["market_value"])
+    pct_row("total_h", tp, T3["total_playtime_hours"])
+    nz = tw[tw > 0]
+    print(f"{'twoweek_h(nz)':22s} frac_owners={len(nz)/max((oc>0).sum(),1):.3f} "
+          f"p80={np.percentile(nz,80):.1f}/32.05 max={nz.max():.0f}")
+    print(f"  played p80={np.percentile(pc[pc>0],80):.0f}/7  "
+          f"owners<20 games={np.mean(oc[oc>0]<20):.3f}/0.898")
+
+    # Cross correlations (over users with both attributes nonzero)
+    print("\ncross-correlations (measured/paper):")
+    pairs = [
+        ("owned-friends", oc, fc, 0.34),
+        ("owned-twoweek", oc, tw, 0.28),
+        ("owned-total", oc, tp, 0.21),
+        ("friends-twoweek", fc, tw, 0.09),
+        ("friends-total", fc, tp, 0.17),
+    ]
+    for name, a, b, target in pairs:
+        m = (a > 0) & ((b > 0) | ("twoweek" in name))
+        rho_int = spearmanr(a[m], b[m]).statistic
+        rho_all = spearmanr(a, b).statistic
+        print(f"  {name:18s} int={rho_int:+.2f} all={rho_all:+.2f} / {target:+.2f}")
+
+    print("\nhomophily (measured/paper):")
+    has_friend = fc > 0
+    for name, vals, target in [
+        ("value", mv, 0.77),
+        ("friends", fc, 0.62),
+        ("total", tp, 0.61),
+        ("owned", oc, 0.45),
+    ]:
+        nb = neighbor_mean(ds, vals)
+        m = has_friend & np.isfinite(nb)
+        rho = spearmanr(vals[m], nb[m]).statistic
+        print(f"  {name:10s} {rho:+.2f} / {target:+.2f}")
+
+    # Locality
+    fr = ds.friends
+    cu, cv = ds.accounts.country[fr.u], ds.accounts.country[fr.v]
+    both = (cu >= 0) & (cv >= 0)
+    intl = np.mean(cu[both] != cv[both]) if both.any() else np.nan
+    tu, tv = ds.accounts.city[fr.u], ds.accounts.city[fr.v]
+    bothc = (tu >= 0) & (tv >= 0)
+    xcity = np.mean(tu[bothc] != tv[bothc]) if bothc.any() else np.nan
+    print(f"\nlocality: international={intl:.3f}/0.303  cross-city={xcity:.3f}/0.798")
+
+    # Genre / multiplayer shares
+    cat = ds.catalog
+    lib = ds.library
+    eg = lib.owned.indices
+    action = cat.has_genre("Action")[eg]
+    mp = cat.multiplayer[eg]
+    tot = lib.total_min.astype(float)
+    print(f"\naction: catalog={np.mean(cat.has_genre('Action')[cat.is_game]):.3f}/0.381 "
+          f"owned={action.mean():.3f} playtime={tot[action].sum()/tot.sum():.3f}/0.492 "
+          f"value={(cat.price_cents[eg][action].sum()/cat.price_cents[eg].sum()):.3f}/0.519")
+    print(f"multiplayer: catalog={np.mean(cat.multiplayer[cat.is_game]):.3f}/0.487 "
+          f"total={tot[mp].sum()/tot.sum():.3f}/0.577 "
+          f"twoweek={lib.twoweek_min[mp].sum()/max(lib.twoweek_min.sum(),1):.3f}/0.677")
+    # unplayed rates by genre (any-label, like the paper)
+    unplayed = lib.total_min == 0
+    for g, tgt in [("Action", .4149), ("Strategy", .2886), ("Indie", .3230), ("RPG", .2426)]:
+        mask = cat.has_genre(g)[eg]
+        print(f"  unplayed {g:8s} {unplayed[mask].mean():.3f}/{tgt:.3f}")
+    # avg copy price
+    print(f"avg copy price ${cat.price_cents[eg].mean()/100:.2f}/13.86")
+
+    # Pareto shares (over owners)
+    owners = oc > 0
+    def topshare(x, pop_mask, top):
+        v = np.sort(x[pop_mask])[::-1]
+        k = int(len(v) * top)
+        return v[:k].sum() / max(v.sum(), 1e-9)
+    print(f"\ntop20 total playtime share={topshare(tp, owners, .2):.3f}/0.824")
+    print(f"top10 twoweek share={topshare(tw, owners, .1):.3f}/0.930")
+    print(f"top20 value share={topshare(mv, owners, .2):.3f}/0.73")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,220 @@
+"""Command-line interface: ``condensing-steam <command>``.
+
+Commands
+--------
+- ``generate`` — build a synthetic Steam universe and save the dataset.
+- ``analyze``  — run every table/figure on a dataset (or a fresh world)
+  and print / save the text report.
+- ``crawl``    — re-collect a generated world through the simulated API
+  (optionally over real localhost HTTP) and save the crawled dataset.
+- ``serve``    — expose a generated world as a Steam-Web-API HTTP server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.study import SteamStudy
+from repro.simworld.config import WorldConfig
+from repro.simworld.world import SteamWorld
+from repro.store.io import load_dataset, save_dataset
+
+__all__ = ["main"]
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--users", type=int, default=100_000, help="accounts to simulate"
+    )
+    parser.add_argument("--seed", type=int, default=1603, help="world seed")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    t0 = time.time()
+    world = SteamWorld.generate(WorldConfig(n_users=args.users, seed=args.seed))
+    path = save_dataset(world.dataset, args.output)
+    summary = world.dataset.summary()
+    print(f"generated {args.users:,} accounts in {time.time() - t0:.1f}s")
+    print(
+        f"  friendships={summary['friendships']:,.0f} "
+        f"owned={summary['owned_games']:,.0f} "
+        f"groups={summary['groups']:,.0f}"
+    )
+    print(f"saved dataset to {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.dataset:
+        study = SteamStudy.from_dataset(load_dataset(args.dataset))
+    else:
+        study = SteamStudy.generate(n_users=args.users, seed=args.seed)
+    report = study.run(include_table4=not args.skip_table4)
+    text = report.render()
+    if args.figures:
+        text += "\n\n" + report.render_figures()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    study = SteamStudy.generate(n_users=args.users, seed=args.seed)
+    t0 = time.time()
+    if args.http:
+        from repro.crawler.runner import run_full_crawl
+        from repro.steamapi.http_client import HttpTransport
+        from repro.steamapi.http_server import serve
+        from repro.steamapi.service import SteamApiService
+
+        service = SteamApiService.from_world(study.world)
+        with serve(service) as server:
+            result = run_full_crawl(
+                HttpTransport(server.base_url),
+                snapshot2=study.dataset.snapshot2,
+            )
+        crawled = SteamStudy(world=study.world, _dataset=result.dataset)
+        requests = result.requests_made
+    else:
+        crawled = study.crawl()
+        requests = -1
+    elapsed = time.time() - t0
+    path = save_dataset(crawled.dataset, args.output)
+    mode = "HTTP" if args.http else "in-process"
+    print(
+        f"crawled {args.users:,} accounts via {mode} transport in "
+        f"{elapsed:.1f}s"
+        + (f" ({requests:,} requests)" if requests >= 0 else "")
+    )
+    print(f"saved crawled dataset to {path}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.figures_io import export_figure_data
+
+    if args.dataset:
+        study = SteamStudy.from_dataset(load_dataset(args.dataset))
+    else:
+        study = SteamStudy.generate(n_users=args.users, seed=args.seed)
+    report = study.run(include_table4=False)
+    outdir = export_figure_data(report, args.outdir)
+    print(f"figure data written to {outdir}/")
+    for name in sorted(path.name for path in outdir.iterdir()):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.store.export import export_dataset
+
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+    else:
+        world = SteamWorld.generate(
+            WorldConfig(n_users=args.users, seed=args.seed)
+        )
+        dataset = world.dataset
+    outdir = export_dataset(dataset, args.outdir)
+    print(f"exported plain-text dumps to {outdir}/")
+    for name in sorted(p.name for p in outdir.iterdir()):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.steamapi.http_server import serve
+    from repro.steamapi.service import SteamApiService
+
+    world = SteamWorld.generate(WorldConfig(n_users=args.users, seed=args.seed))
+    service = SteamApiService.from_world(world)
+    server = serve(service, port=args.port)
+    print(f"Steam Web API simulator listening on {server.base_url}")
+    print("endpoints: /ISteamUser/GetPlayerSummaries/v2, "
+          "/ISteamUser/GetFriendList/v1, /IPlayerService/GetOwnedGames/v1, ...")
+    print("press Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="condensing-steam",
+        description=(
+            "Reproduction of 'Condensing Steam: Distilling the Diversity "
+            "of Gamer Behavior' (IMC 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic world")
+    _add_world_args(p_gen)
+    p_gen.add_argument("--output", default="steam_world.npz")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_an = sub.add_parser("analyze", help="run all tables and figures")
+    _add_world_args(p_an)
+    p_an.add_argument("--dataset", help="analyze a saved dataset instead")
+    p_an.add_argument("--output", help="write the report to a file")
+    p_an.add_argument(
+        "--skip-table4",
+        action="store_true",
+        help="skip the (slower) distribution classification",
+    )
+    p_an.add_argument(
+        "--figures",
+        action="store_true",
+        help="append ASCII renderings of the figures",
+    )
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_cr = sub.add_parser("crawl", help="re-collect via the simulated API")
+    _add_world_args(p_cr)
+    p_cr.add_argument("--output", default="steam_crawl.npz")
+    p_cr.add_argument(
+        "--http",
+        action="store_true",
+        help="crawl over a real localhost HTTP server",
+    )
+    p_cr.set_defaults(func=_cmd_crawl)
+
+    p_ex = sub.add_parser(
+        "export", help="write plain-text dumps (JSONL/CSV) of a dataset"
+    )
+    _add_world_args(p_ex)
+    p_ex.add_argument("--dataset", help="export a saved dataset instead")
+    p_ex.add_argument("--outdir", default="steam_export")
+    p_ex.set_defaults(func=_cmd_export)
+
+    p_fig = sub.add_parser(
+        "figures", help="export every figure's data series as CSV"
+    )
+    _add_world_args(p_fig)
+    p_fig.add_argument("--dataset", help="use a saved dataset instead")
+    p_fig.add_argument("--outdir", default="steam_figures")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_sv = sub.add_parser("serve", help="run the API simulator over HTTP")
+    _add_world_args(p_sv)
+    p_sv.add_argument("--port", type=int, default=8790)
+    p_sv.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Ground-truth values reported by the paper.
+
+Every number in this module is copied from the text, tables, or figures of
+the IMC 2016 paper and is used for three purposes:
+
+1. calibration targets for the synthetic world generator,
+2. expected values in integration tests (with tolerance bands), and
+3. the "paper" column of the benchmark reports in EXPERIMENTS.md.
+
+Dates are :class:`datetime.date`; playtimes are hours unless suffixed
+``_MIN``; money is US dollars.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+# ---------------------------------------------------------------------------
+# Population totals (Section 1 / Section 3)
+# ---------------------------------------------------------------------------
+
+TOTAL_ACCOUNTS = 108_700_000
+TOTAL_FRIENDSHIPS = 196_370_000
+TOTAL_GROUPS = 3_000_000
+TOTAL_GROUP_MEMBERSHIPS = 81_300_000
+TOTAL_OWNED_GAMES = 384_300_000
+TOTAL_PLAYTIME_YEARS = 1_110_000
+TOTAL_MARKET_VALUE_USD = 5_326_471_034.78
+TOTAL_PRODUCTS = 6_156
+
+#: Average friends per account quoted in Section 4.1 ("the average number of
+#: friends a user has is four"); 2 * edges / accounts = 3.61 exactly.
+MEAN_FRIENDS_ALL_ACCOUNTS = 2 * TOTAL_FRIENDSHIPS / TOTAL_ACCOUNTS
+
+#: Only 1.85% of users have exactly four friends (Section 4.1).
+SHARE_WITH_EXACTLY_FOUR_FRIENDS = 0.0185
+
+# ---------------------------------------------------------------------------
+# Collection timeline (Section 3.1, 8, 9)
+# ---------------------------------------------------------------------------
+
+STEAM_LAUNCH = _dt.date(2003, 9, 12)
+FRIEND_TIMESTAMPS_START = _dt.date(2008, 9, 1)
+PROFILE_CRAWL_START = _dt.date(2013, 2, 28)
+PROFILE_CRAWL_END = _dt.date(2013, 3, 18)
+DETAIL_CRAWL_START = _dt.date(2013, 5, 5)
+DETAIL_CRAWL_END = _dt.date(2013, 11, 5)
+CATALOG_CRAWL_DATE = _dt.date(2014, 4, 9)
+SNAPSHOT2_START = _dt.date(2014, 8, 14)
+SNAPSHOT2_END = _dt.date(2014, 10, 3)
+WEEK_PANEL_START = _dt.date(2014, 11, 1)
+WEEK_PANEL_END = _dt.date(2014, 11, 7)
+ACHIEVEMENT_CRAWL_DATE = _dt.date(2016, 5, 6)
+
+# ---------------------------------------------------------------------------
+# SteamID space (Section 3.1)
+# ---------------------------------------------------------------------------
+
+STEAMID_BASE = 76561197960265728
+#: ID-space density: "often below 50% in the beginning of the range until
+#: about 21.5% through, after which point density was consistently above 90%".
+ID_DENSITY_BREAKPOINT = 0.215
+ID_DENSITY_EARLY = 0.45
+ID_DENSITY_LATE = 0.92
+
+# ---------------------------------------------------------------------------
+# Table 1 — reported countries (share of the 10.7% of users that report one)
+# ---------------------------------------------------------------------------
+
+COUNTRY_REPORT_RATE = 0.107
+CITY_REPORT_RATE = 0.040
+NUM_DISTINCT_COUNTRIES = 236
+
+TABLE1_COUNTRY_SHARES = {
+    "United States": 0.2021,
+    "Russia": 0.1018,
+    "Germany": 0.0756,
+    "Britain": 0.0522,
+    "France": 0.0519,
+    "Brazil": 0.0395,
+    "Canada": 0.0381,
+    "Poland": 0.0320,
+    "Australia": 0.0290,
+    "Sweden": 0.0234,
+}
+TABLE1_OTHER_SHARE = 0.3544
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — friendships
+# ---------------------------------------------------------------------------
+
+FRIEND_CAP_DEFAULT = 250
+FRIEND_CAP_FACEBOOK = 300
+FRIEND_SLOTS_PER_LEVEL = 5
+#: 88.06% of active users add ten or fewer friends per year.
+SHARE_ADDING_LE10_PER_YEAR = 0.8806
+#: 0.02% add more than two hundred friends per year.
+SHARE_ADDING_GT200_PER_YEAR = 0.0002
+#: 30.34% of friendships between two country-reporters are international.
+SHARE_INTERNATIONAL_FRIENDSHIPS = 0.3034
+#: 79.84% of friendships between two city-reporters span different cities.
+SHARE_CROSS_CITY_FRIENDSHIPS = 0.7984
+
+# ---------------------------------------------------------------------------
+# Table 2 — top-250 group types
+# ---------------------------------------------------------------------------
+
+TABLE2_GROUP_TYPES = {
+    "Game Server": 114,
+    "Single Game": 51,
+    "Gaming Community": 43,
+    "Special Interest": 35,
+    "Steam": 4,
+    "Publisher": 3,
+}
+TABLE2_TOP_N = 250
+
+#: Figure 3 population: groups with >= 100 members.
+FIG3_MIN_GROUP_SIZE = 100
+FIG3_NUM_LARGE_GROUPS = 58_986
+#: 4.97% of large groups have members who dedicate 90-100% of playtime to a
+#: single game.
+FIG3_SINGLE_GAME_DEDICATION_SHARE = 0.0497
+
+# ---------------------------------------------------------------------------
+# Section 5 — ownership
+# ---------------------------------------------------------------------------
+
+#: 89.78% of game owners own fewer than 20 games.
+SHARE_OWNERS_LT20_GAMES = 0.8978
+FIG4_P80_OWNED = 10
+FIG4_P80_PLAYED = 7
+#: Collector bump: uptick of owners owning 1268-1290 games.
+COLLECTOR_BUMP_OWNED = (1268, 1290)
+COLLECTOR_BUMP_VALUE = (14_710, 15_250)
+MAX_OWNED_SNAPSHOT1 = 2_148
+MAX_OWNED_SNAPSHOT2 = 3_919
+
+#: Genre shares of the catalog and unplayed-copy rates (Section 5).
+ACTION_CATALOG_SHARE = 0.381
+GENRE_UNPLAYED_RATES = {
+    "Action": 0.4149,
+    "Strategy": 0.2886,
+    "Indie": 0.3230,
+    "RPG": 0.2426,
+}
+
+# ---------------------------------------------------------------------------
+# Section 6 — time and money
+# ---------------------------------------------------------------------------
+
+#: Top 20% of users account for 82.4% of total playtime (Figure 6).
+TOP20_TOTAL_PLAYTIME_SHARE = 0.824
+#: Top 10% account for 93.0% of two-week playtime.
+TOP10_TWOWEEK_PLAYTIME_SHARE = 0.930
+#: Top 20% account for 73% of total market value.
+TOP20_MARKET_VALUE_SHARE = 0.73
+#: Over 80% of users had zero two-week playtime (Figure 6).
+SHARE_ZERO_TWOWEEK = 0.82
+FIG7_P80_NONZERO_TWOWEEK_HOURS = 32.05
+TWOWEEK_MAX_HOURS = 336.0
+#: Users at 80-90% of the two-week maximum ("idlers") are ~0.01% of users.
+IDLER_SHARE = 0.0001
+FIG8_P80_MARKET_VALUE = 150.88
+MAX_MARKET_VALUE_SNAPSHOT1 = 24_315.40
+MAX_MARKET_VALUE_SNAPSHOT2 = 46_633.69
+P80_MARKET_VALUE_SNAPSHOT2 = 224.93
+P80_OWNED_SNAPSHOT2 = 15
+
+#: Figure 9 — Action genre share of playtime and of market value.
+ACTION_PLAYTIME_SHARE = 0.4924
+ACTION_MARKET_VALUE_SHARE = 0.5188
+
+#: Figure 10 — multiplayer.
+MULTIPLAYER_CATALOG_SHARE = 0.487
+MULTIPLAYER_TWOWEEK_SHARE = 0.677
+MULTIPLAYER_TOTAL_SHARE = 0.577
+
+# ---------------------------------------------------------------------------
+# Table 3 — percentiles (computed over users with a nonzero value of each
+# attribute; see DESIGN.md for the population reconciliation).
+# ---------------------------------------------------------------------------
+
+TABLE3_PERCENTILES = (50, 80, 90, 95, 99)
+
+TABLE3 = {
+    "friends": (4, 15, 29, 50, 122),
+    "owned_games": (4, 10, 21, 39, 115),
+    "group_memberships": (2, 7, 13, 22, 62),
+    "market_value": (49.97, 150.88, 317.64, 587.63, 1593.78),
+    "total_playtime_hours": (34.0, 336.4, 739.8, 1233.9, 2660.1),
+    "twoweek_playtime_hours": (0.0, 0.0, 8.7, 25.5, 70.8),
+}
+
+# Snapshot-2 anchors (Section 8 gives p80 and max only).
+TABLE3_SNAPSHOT2_P80 = {
+    "owned_games": 15,
+    "market_value": 224.93,
+}
+
+# ---------------------------------------------------------------------------
+# Section 7 — correlations (Spearman rho)
+# ---------------------------------------------------------------------------
+
+CROSS_CORRELATIONS = {
+    ("owned_games", "friends"): 0.34,
+    ("owned_games", "twoweek_playtime"): 0.28,
+    ("owned_games", "total_playtime"): 0.21,
+    ("friends", "twoweek_playtime"): 0.09,
+    ("friends", "total_playtime"): 0.17,
+}
+
+HOMOPHILY_CORRELATIONS = {
+    "market_value": 0.77,
+    "friends": 0.62,
+    "total_playtime": 0.61,
+    "owned_games": 0.45,
+}
+
+# ---------------------------------------------------------------------------
+# Section 9 — achievements
+# ---------------------------------------------------------------------------
+
+ACHIEVEMENTS_MAX = 1629
+ACHIEVEMENTS_MODE = 12
+ACHIEVEMENTS_MEAN = 33.1
+ACHIEVEMENTS_MEDIAN = 24
+ACH_PLAYTIME_CORR_ALL = 0.16
+ACH_PLAYTIME_CORR_1_90 = 0.53
+ACH_PLAYTIME_CORR_GT90 = -0.02
+ACH_COMPLETION_MODE = 0.05
+ACH_COMPLETION_MEDIAN_SINGLE = 0.11
+ACH_COMPLETION_MEDIAN_MULTI = 0.12
+ACH_COMPLETION_MEAN_SINGLE = 0.15
+ACH_COMPLETION_MEAN_MULTI = 0.14
+ACH_COMPLETION_MEAN_ADVENTURE = 0.19
+ACH_COMPLETION_MEAN_STRATEGY = 0.11
+
+# ---------------------------------------------------------------------------
+# Table 4 — distribution classifications (first snapshot / second snapshot)
+# ---------------------------------------------------------------------------
+
+CLASS_HEAVY = "heavy-tailed"
+CLASS_LONG = "long-tailed"
+CLASS_LOGNORMAL = "lognormal"
+CLASS_TPL = "truncated power law"
+
+TABLE4_CLASSIFICATIONS = {
+    "market_value": (CLASS_LONG, CLASS_LONG),
+    "total_playtime": (CLASS_LOGNORMAL, CLASS_LOGNORMAL),
+    "twoweek_playtime": (CLASS_TPL, CLASS_TPL),
+    "owned_games": (CLASS_LONG, CLASS_LONG),
+    "played_games": (CLASS_LONG, CLASS_LONG),
+    "group_size": (CLASS_HEAVY, None),
+    "group_memberships": (CLASS_LONG, None),
+    "friends": (CLASS_LONG, None),
+}
+
+#: Week-panel sampling rate (Section 8 / Figure 12).
+WEEK_PANEL_SAMPLE_RATE = 0.005
+
+
+def days_since_launch(date: _dt.date) -> int:
+    """Return the number of days from Steam's launch to ``date``."""
+    return (date - STEAM_LAUNCH).days

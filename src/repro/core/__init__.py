@@ -1,0 +1,1 @@
+"""The paper's analyses: every table and figure over a SteamDataset."""

@@ -1,0 +1,86 @@
+"""Histogram/CDF series builders for the figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Series", "log_binned_pdf", "ccdf", "cdf_series", "count_histogram"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A plottable (x, y) series with a label — one curve of a figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must align")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def log_binned_pdf(
+    values: np.ndarray, n_bins: int = 50, label: str = "pdf"
+) -> Series:
+    """Log-spaced density histogram (the paper's distribution plots)."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[values > 0]
+    if len(values) == 0:
+        raise ValueError("no positive values to bin")
+    lo, hi = values.min(), values.max()
+    if lo == hi:
+        return Series(label=label, x=np.array([lo]), y=np.array([1.0]))
+    edges = np.geomspace(lo, hi * (1 + 1e-9), n_bins + 1)
+    counts, _ = np.histogram(values, bins=edges)
+    widths = np.diff(edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    density = counts / widths / len(values)
+    keep = counts > 0
+    return Series(label=label, x=centers[keep], y=density[keep])
+
+
+def count_histogram(
+    values: np.ndarray, max_value: int | None = None, label: str = "counts"
+) -> Series:
+    """Exact integer histogram (for cap-dip inspection, Figure 2)."""
+    values = np.asarray(values, dtype=np.int64)
+    values = values[values > 0]
+    if max_value is not None:
+        values = values[values <= max_value]
+    if len(values) == 0:
+        raise ValueError("no positive values")
+    counts = np.bincount(values)
+    x = np.flatnonzero(counts)
+    return Series(label=label, x=x.astype(np.float64), y=counts[x].astype(np.float64))
+
+
+def ccdf(values: np.ndarray, label: str = "ccdf") -> Series:
+    """Complementary CDF: P(X >= x) over the sorted support."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    values = values[values > 0]
+    if len(values) == 0:
+        raise ValueError("no positive values")
+    x, first = np.unique(values, return_index=True)
+    y = 1.0 - first / len(values)
+    return Series(label=label, x=x, y=y)
+
+
+def cdf_series(
+    values: np.ndarray, grid: np.ndarray | None = None, label: str = "cdf"
+) -> Series:
+    """CDF evaluated on a grid (zeros included — Figure 6 style)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if len(values) == 0:
+        raise ValueError("empty sample")
+    if grid is None:
+        positive = values[values > 0]
+        hi = positive.max() if len(positive) else 1.0
+        grid = np.concatenate([[0.0], np.geomspace(max(positive.min(), 1e-3) if len(positive) else 1e-3, hi, 200)])
+    y = np.searchsorted(values, grid, side="right") / len(values)
+    return Series(label=label, x=np.asarray(grid, dtype=np.float64), y=y)

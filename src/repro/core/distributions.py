@@ -1,0 +1,117 @@
+"""Table 4: heavy-tail classification of every measured distribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.store.dataset import SteamDataset
+from repro.tailfit import ClassificationResult, classify
+
+__all__ = ["Table4", "classify_distributions"]
+
+#: Tail-sample cap for the LR tests (fits are O(n) but the lognormal /
+#: truncated-power-law optimizations dominate; 60k points is plenty for
+#: stable classifications at our scales).
+_MAX_TAIL = 60_000
+
+
+@dataclass(frozen=True)
+class Table4:
+    """All classification rows, keyed like the paper's Table 4."""
+
+    rows: dict[str, ClassificationResult]
+
+    def labels(self) -> dict[str, str]:
+        return {name: result.label for name, result in self.rows.items()}
+
+    def render(self) -> str:
+        header = (
+            f"{'distribution':<42} {'PLvExp R':>10} {'p':>8} "
+            f"{'PLvLN R':>10} {'p':>8} {'TPLvPL R':>10} {'p':>8} "
+            f"{'TPLvLN R':>10} {'p':>8}  classification"
+        )
+        lines = [header, "-" * len(header)]
+        for name, r in self.rows.items():
+            lines.append(
+                f"{name:<42} {r.pl_vs_exp.R:>10.1f} {r.pl_vs_exp.p:>8.1e} "
+                f"{r.pl_vs_ln.R:>10.1f} {r.pl_vs_ln.p:>8.1e} "
+                f"{r.tpl_vs_pl.R:>10.1f} {r.tpl_vs_pl.p:>8.1e} "
+                f"{r.tpl_vs_ln.R:>10.1f} {r.tpl_vs_ln.p:>8.1e}  {r.label}"
+            )
+        return "\n".join(lines)
+
+
+def classify_distributions(
+    dataset: SteamDataset,
+    include_snapshot2: bool = True,
+    include_yearly_friendships: bool = True,
+    max_tail: int = _MAX_TAIL,
+    seed: int = 0,
+) -> Table4:
+    """Reproduce Table 4 (both snapshots, plus yearly friendship cuts)."""
+    rng = np.random.default_rng(seed)
+    rows: dict[str, ClassificationResult] = {}
+
+    def add(name: str, values: np.ndarray) -> None:
+        positive = values[values > 0]
+        if len(positive) < 100:
+            return
+        rows[name] = classify(positive, max_tail=max_tail, rng=rng)
+
+    add("account market values", dataset.market_value_dollars())
+    add("total playtime", dataset.total_playtime_hours())
+    add("two-week playtime", dataset.twoweek_playtime_hours())
+    add("game ownership", dataset.owned_counts().astype(np.float64))
+    add("played game ownership", dataset.played_counts().astype(np.float64))
+    add("group size", dataset.groups.sizes().astype(np.float64))
+    add(
+        "group membership per user",
+        dataset.membership_counts().astype(np.float64),
+    )
+    add("friendship (all)", dataset.friend_counts().astype(np.float64))
+
+    if include_yearly_friendships and dataset.friends.n_edges:
+        friends = dataset.friends
+        launch = np.datetime64(constants.STEAM_LAUNCH.isoformat())
+        years = (
+            launch + friends.day.astype("timedelta64[D]")
+        ).astype("datetime64[Y]").astype(int) + 1970
+        for year in range(2009, int(years.max()) + 1):
+            cumulative = years <= year
+            deg = np.bincount(
+                np.concatenate(
+                    [friends.u[cumulative], friends.v[cumulative]]
+                ),
+                minlength=dataset.n_users,
+            )
+            add(f"friendship (through {year})", deg.astype(np.float64))
+            only = years == year
+            deg_year = np.bincount(
+                np.concatenate([friends.u[only], friends.v[only]]),
+                minlength=dataset.n_users,
+            )
+            add(f"friendship ({year} only)", deg_year.astype(np.float64))
+
+    if include_snapshot2 and dataset.snapshot2 is not None:
+        s2 = dataset.snapshot2
+        add(
+            "account market values (second snapshot)",
+            s2.value_cents.astype(np.float64) / 100.0,
+        )
+        add(
+            "total playtime (second snapshot)",
+            s2.total_min.astype(np.float64) / 60.0,
+        )
+        add(
+            "two-week playtime (second snapshot)",
+            s2.twoweek_min.astype(np.float64) / 60.0,
+        )
+        add("game ownership (second snapshot)", s2.owned.astype(np.float64))
+        add(
+            "played game ownership (second snapshot)",
+            s2.played.astype(np.float64),
+        )
+    return Table4(rows=rows)

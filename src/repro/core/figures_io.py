@@ -1,0 +1,161 @@
+"""Export every figure's data series to CSV.
+
+One call regenerates the plottable data behind Figures 1-12 as plain CSV
+files, so any external tool (gnuplot, matplotlib, R) can redraw the
+paper's figures from the reproduction.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.binning import Series
+from repro.core.report import StudyReport
+
+__all__ = ["export_figure_data", "FIGURE_FILES"]
+
+FIGURE_FILES = (
+    "fig01_evolution.csv",
+    "fig02_degree_overall.csv",
+    "fig02_degree_by_year.csv",
+    "fig03_group_games.csv",
+    "fig04_ownership.csv",
+    "fig05_genre_ownership.csv",
+    "fig06_playtime_cdf.csv",
+    "fig07_twoweek_pdf.csv",
+    "fig08_market_value_pdf.csv",
+    "fig09_genre_expenditure.csv",
+    "fig10_multiplayer.csv",
+    "fig11_homophily_scatter.csv",
+    "fig12_week_panel.csv",
+)
+
+
+def _write_series(path: Path, series: list[Series], x_name: str, y_name: str) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", x_name, y_name])
+        for item in series:
+            for x, y in zip(item.x, item.y):
+                writer.writerow([item.label, repr(float(x)), repr(float(y))])
+
+
+def export_figure_data(report: StudyReport, outdir: str | Path) -> Path:
+    """Write every figure's series under ``outdir``."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    users, friends = report.fig1_evolution.series()
+    _write_series(
+        outdir / "fig01_evolution.csv", [users, friends], "day", "cumulative"
+    )
+
+    _write_series(
+        outdir / "fig02_degree_overall.csv",
+        [report.fig2_degrees.overall],
+        "friends",
+        "users",
+    )
+    _write_series(
+        outdir / "fig02_degree_by_year.csv",
+        list(report.fig2_degrees.per_year.values()),
+        "friends_added",
+        "users",
+    )
+
+    _write_series(
+        outdir / "fig03_group_games.csv",
+        [report.fig3_group_games.histogram()],
+        "distinct_games",
+        "group_density",
+    )
+
+    _write_series(
+        outdir / "fig04_ownership.csv",
+        [report.fig4_ownership.owned_pdf, report.fig4_ownership.played_pdf],
+        "games",
+        "density",
+    )
+
+    genre = report.fig5_genre_ownership
+    with open(
+        outdir / "fig05_genre_ownership.csv", "w", encoding="utf-8", newline=""
+    ) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["genre", "owned_copies", "unplayed_copies"])
+        for name, owned, unplayed in genre.ordered_by_ownership():
+            writer.writerow([name, owned, unplayed])
+
+    _write_series(
+        outdir / "fig06_playtime_cdf.csv",
+        [report.fig6_playtime_cdf.total_cdf, report.fig6_playtime_cdf.twoweek_cdf],
+        "hours",
+        "cdf",
+    )
+    _write_series(
+        outdir / "fig07_twoweek_pdf.csv",
+        [report.fig7_twoweek.pdf],
+        "hours",
+        "density",
+    )
+    _write_series(
+        outdir / "fig08_market_value_pdf.csv",
+        [report.fig8_market_value.pdf],
+        "dollars",
+        "density",
+    )
+
+    expenditure = report.fig9_genre_expenditure
+    with open(
+        outdir / "fig09_genre_expenditure.csv", "w", encoding="utf-8", newline=""
+    ) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["genre", "playtime_hours", "value_dollars"])
+        for i, name in enumerate(expenditure.genres):
+            writer.writerow(
+                [
+                    name,
+                    repr(float(expenditure.playtime_hours[i])),
+                    repr(float(expenditure.value_dollars[i])),
+                ]
+            )
+
+    multiplayer = report.fig10_multiplayer
+    with open(
+        outdir / "fig10_multiplayer.csv", "w", encoding="utf-8", newline=""
+    ) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["statistic", "share"])
+        writer.writerow(["catalog", multiplayer.catalog_share])
+        writer.writerow(["total_playtime", multiplayer.total_playtime_share])
+        writer.writerow(
+            ["twoweek_playtime", multiplayer.twoweek_playtime_share]
+        )
+
+    with open(
+        outdir / "fig11_homophily_scatter.csv", "w", encoding="utf-8", newline=""
+    ) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["user_value", "friends_avg_value"])
+        for x, y in zip(
+            report.fig11_homophily.scatter_x, report.fig11_homophily.scatter_y
+        ):
+            writer.writerow([repr(float(x)), repr(float(y))])
+
+    if report.fig12_week_panel is not None:
+        matrix = report.fig12_week_panel.sorted_hours
+        with open(
+            outdir / "fig12_week_panel.csv", "w", encoding="utf-8", newline=""
+        ) as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["user_rank"] + [f"day{d + 1}" for d in range(matrix.shape[1])]
+            )
+            for rank, row in enumerate(matrix):
+                writer.writerow(
+                    [rank] + [f"{float(h):.3f}" for h in row]
+                )
+    return outdir

@@ -1,0 +1,224 @@
+"""Friendship-graph structure: the Becker-et-al. corroboration.
+
+Section 2.2 of the paper notes that its friend-network results
+"corroborate Becker's analysis" of the Steam community graph — small-world
+characteristics: a giant connected component, short path lengths, high
+clustering relative to a random graph of the same density, and positive
+degree assortativity.  This module computes those statistics from scratch
+(union-find components, wedge-sampled clustering, BFS path lengths,
+Pearson assortativity over edges) so the reproduction covers the network
+-structure claims as well as the behavioral ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.store.dataset import SteamDataset
+from repro.store.tables import FriendTable
+
+__all__ = [
+    "GraphStructure",
+    "graph_structure",
+    "connected_components",
+    "clustering_coefficient",
+    "degree_assortativity",
+    "average_path_length",
+]
+
+
+def connected_components(friends: FriendTable) -> np.ndarray:
+    """Component label per user (union-find with path compression)."""
+    parent = np.arange(friends.n_users, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for a, b in zip(friends.u, friends.v):
+        ra, rb = find(int(a)), find(int(b))
+        if ra != rb:
+            parent[rb] = ra
+    # Final flatten.
+    return np.array([find(int(x)) for x in range(friends.n_users)])
+
+
+def clustering_coefficient(
+    dataset: SteamDataset,
+    sample_size: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Global clustering (transitivity) by wedge sampling.
+
+    Samples random wedges (two distinct neighbors of a random
+    degree-weighted center) and reports the fraction that close into
+    triangles — an unbiased transitivity estimator.
+    """
+    rng = rng or np.random.default_rng(0)
+    adj, _ = dataset.friends.adjacency()
+    degrees = adj.counts()
+    centers = np.flatnonzero(degrees >= 2)
+    if len(centers) == 0:
+        return 0.0
+    # Wedge counts per eligible center: d * (d - 1) / 2.
+    wedges = degrees[centers] * (degrees[centers] - 1) / 2.0
+    probabilities = wedges / wedges.sum()
+    chosen = rng.choice(len(centers), size=sample_size, p=probabilities)
+
+    neighbor_sets = {
+        int(user): frozenset(adj.row(int(user)).tolist())
+        for user in np.unique(centers[chosen])
+    }
+    closed = 0
+    for pick in chosen:
+        center = int(centers[pick])
+        neighbors = adj.row(center)
+        i, j = rng.choice(len(neighbors), size=2, replace=False)
+        a, b = int(neighbors[i]), int(neighbors[j])
+        if b in neighbor_sets.get(center, frozenset()) and (
+            b in frozenset(adj.row(a).tolist())
+        ):
+            closed += 1
+    return closed / sample_size
+
+
+def degree_assortativity(dataset: SteamDataset) -> float:
+    """Pearson correlation of endpoint degrees over all edges."""
+    friends = dataset.friends
+    if friends.n_edges < 2:
+        return float("nan")
+    degrees = friends.degrees().astype(np.float64)
+    # Each undirected edge contributes both orientations.
+    x = np.concatenate([degrees[friends.u], degrees[friends.v]])
+    y = np.concatenate([degrees[friends.v], degrees[friends.u]])
+    x = x - x.mean()
+    y = y - y.mean()
+    denom = np.sqrt(np.sum(x * x) * np.sum(y * y))
+    if denom == 0:
+        return float("nan")
+    return float(np.sum(x * y) / denom)
+
+
+def average_path_length(
+    dataset: SteamDataset,
+    n_sources: int = 40,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean shortest-path length inside the giant component (sampled BFS)."""
+    rng = rng or np.random.default_rng(0)
+    labels = connected_components(dataset.friends)
+    values, counts = np.unique(labels, return_counts=True)
+    giant_label = values[np.argmax(counts)]
+    giant = np.flatnonzero(labels == giant_label)
+    if len(giant) < 2:
+        return float("nan")
+    adj, _ = dataset.friends.adjacency()
+
+    total = 0.0
+    reached = 0
+    sources = rng.choice(giant, size=min(n_sources, len(giant)), replace=False)
+    for source in sources:
+        dist = np.full(dataset.n_users, -1, dtype=np.int32)
+        dist[source] = 0
+        frontier = [int(source)]
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for other in adj.row(node):
+                    other = int(other)
+                    if dist[other] < 0:
+                        dist[other] = dist[node] + 1
+                        next_frontier.append(other)
+            frontier = next_frontier
+        found = dist[giant]
+        positive = found[found > 0]
+        total += positive.sum()
+        reached += len(positive)
+    return total / reached if reached else float("nan")
+
+
+@dataclass(frozen=True)
+class GraphStructure:
+    """Small-world summary of the friendship graph."""
+
+    n_users: int
+    n_edges: int
+    n_components: int
+    giant_component_share: float
+    isolated_share: float
+    clustering: float
+    random_graph_clustering: float
+    assortativity: float
+    mean_path_length: float
+
+    def is_small_world(self) -> bool:
+        """High clustering relative to an equally dense random graph,
+        plus short paths — Becker's characterization."""
+        return (
+            self.clustering > 5 * self.random_graph_clustering
+            and 0 < self.mean_path_length < 15
+        )
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"users={self.n_users:,} edges={self.n_edges:,} "
+                f"components={self.n_components:,}",
+                f"giant component: {self.giant_component_share:.1%} of "
+                f"connected users; isolated accounts: "
+                f"{self.isolated_share:.1%}",
+                f"clustering: {self.clustering:.4f} "
+                f"(random graph: {self.random_graph_clustering:.6f})",
+                f"degree assortativity: {self.assortativity:+.3f}",
+                f"mean path length (giant): {self.mean_path_length:.2f}",
+                f"small world: {self.is_small_world()}",
+            ]
+        )
+
+
+def graph_structure(
+    dataset: SteamDataset,
+    clustering_samples: int = 20_000,
+    path_sources: int = 40,
+    seed: int = 0,
+) -> GraphStructure:
+    """Compute the full small-world summary."""
+    rng = np.random.default_rng(seed)
+    friends = dataset.friends
+    degrees = friends.degrees()
+    connected_users = int((degrees > 0).sum())
+
+    labels = connected_components(friends)
+    connected_labels = labels[degrees > 0]
+    if connected_users:
+        _, counts = np.unique(connected_labels, return_counts=True)
+        n_components = len(counts)
+        giant_share = counts.max() / connected_users
+    else:
+        n_components = 0
+        giant_share = 0.0
+
+    mean_degree = 2.0 * friends.n_edges / max(dataset.n_users, 1)
+    random_clustering = mean_degree / max(dataset.n_users - 1, 1)
+
+    return GraphStructure(
+        n_users=dataset.n_users,
+        n_edges=friends.n_edges,
+        n_components=n_components,
+        giant_component_share=float(giant_share),
+        isolated_share=float(np.mean(degrees == 0)),
+        clustering=clustering_coefficient(
+            dataset, sample_size=clustering_samples, rng=rng
+        ),
+        random_graph_clustering=float(random_clustering),
+        assortativity=degree_assortativity(dataset),
+        mean_path_length=average_path_length(
+            dataset, n_sources=path_sources, rng=rng
+        ),
+    )

@@ -1,0 +1,157 @@
+"""Group analyses: Table 2, Figure 3, and the Section 4.2 distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.core.binning import Series, log_binned_pdf
+from repro.store.dataset import SteamDataset
+from repro.store.tables import GroupType
+
+__all__ = [
+    "GroupTypeTable",
+    "group_type_table",
+    "GroupGamesResult",
+    "distinct_games_played",
+    "GroupDistributions",
+    "group_distributions",
+]
+
+
+@dataclass(frozen=True)
+class GroupTypeTable:
+    """Table 2: type mix of the largest groups."""
+
+    counts: dict[str, int]
+    top_n: int
+
+    def shares(self) -> dict[str, float]:
+        total = sum(self.counts.values())
+        return {k: v / total for k, v in self.counts.items()}
+
+    def render(self) -> str:
+        lines = [f"{'group type':<20} {'count':>6} {'share':>8}"]
+        for name, count in sorted(
+            self.counts.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(
+                f"{name:<20} {count:>6} {count / self.top_n:8.1%}"
+            )
+        return "\n".join(lines)
+
+
+def group_type_table(
+    dataset: SteamDataset, top_n: int = constants.TABLE2_TOP_N
+) -> GroupTypeTable:
+    """Reproduce Table 2: types of the ``top_n`` largest groups."""
+    sizes = dataset.groups.sizes()
+    top_n = min(top_n, dataset.groups.n_groups)
+    top = np.argsort(-sizes, kind="stable")[:top_n]
+    counts: dict[str, int] = {}
+    for code in dataset.groups.group_type[top]:
+        label = GroupType(int(code)).label
+        counts[label] = counts.get(label, 0) + 1
+    return GroupTypeTable(counts=counts, top_n=top_n)
+
+
+@dataclass(frozen=True)
+class GroupGamesResult:
+    """Figure 3: groups by number of distinct games their members play."""
+
+    #: Distinct played games per large group.
+    distinct_games: np.ndarray
+    #: Groups with >= min_size members considered.
+    n_large_groups: int
+    min_size: int
+    #: Share of large groups whose members devote >= 90% of their playtime
+    #: to a single game (the paper reports 4.97%).
+    single_game_dedicated_share: float
+
+    def histogram(self) -> Series:
+        return log_binned_pdf(
+            self.distinct_games.astype(np.float64), label="groups"
+        )
+
+
+def _gather_row_entries(
+    indptr: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Indices of every CSR entry belonging to any of ``rows``."""
+    starts = indptr[rows]
+    lens = (indptr[rows + 1] - starts).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    idx = np.ones(total, dtype=np.int64)
+    nonempty = lens > 0
+    starts, lens = starts[nonempty], lens[nonempty]
+    pos = np.cumsum(lens)[:-1]
+    idx[0] = starts[0]
+    idx[pos] = starts[1:] - (starts[:-1] + lens[:-1] - 1)
+    np.cumsum(idx, out=idx)
+    return idx
+
+
+def distinct_games_played(
+    dataset: SteamDataset, min_size: int = constants.FIG3_MIN_GROUP_SIZE
+) -> GroupGamesResult:
+    """Figure 3: distinct games played across each large group's members."""
+    groups = dataset.groups
+    sizes = groups.sizes()
+    large = np.flatnonzero(sizes >= min_size)
+
+    lib = dataset.library
+    entry_game = lib.owned.indices
+    total_min = lib.total_min
+    n_products = dataset.n_products
+
+    distinct = np.zeros(len(large), dtype=np.int64)
+    dedicated = 0
+    for i, g in enumerate(large):
+        members = groups.members.row(int(g)).astype(np.int64)
+        entries = _gather_row_entries(lib.owned.indptr, members)
+        if len(entries) == 0:
+            continue
+        mins = total_min[entries]
+        played = mins > 0
+        games = entry_game[entries][played]
+        if len(games) == 0:
+            continue
+        per_game = np.bincount(games, weights=mins[played], minlength=n_products)
+        distinct[i] = int(np.count_nonzero(per_game))
+        total = per_game.sum()
+        if total > 0 and per_game.max() / total >= 0.90:
+            dedicated += 1
+    share = dedicated / len(large) if len(large) else float("nan")
+    return GroupGamesResult(
+        distinct_games=distinct,
+        n_large_groups=len(large),
+        min_size=min_size,
+        single_game_dedicated_share=share,
+    )
+
+
+@dataclass(frozen=True)
+class GroupDistributions:
+    """Section 4.2: group-size and memberships-per-user distributions."""
+
+    size_pdf: Series
+    membership_pdf: Series
+    n_groups: int
+    n_memberships: int
+
+
+def group_distributions(dataset: SteamDataset) -> GroupDistributions:
+    sizes = dataset.groups.sizes()
+    memberships = dataset.membership_counts()
+    return GroupDistributions(
+        size_pdf=log_binned_pdf(sizes.astype(np.float64), label="group size"),
+        membership_pdf=log_binned_pdf(
+            memberships.astype(np.float64), label="memberships per user"
+        ),
+        n_groups=dataset.groups.n_groups,
+        n_memberships=int(dataset.groups.members.nnz),
+    )

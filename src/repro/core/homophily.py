@@ -1,0 +1,146 @@
+"""Section 7: cross-attribute correlations and friendship homophily.
+
+The paper reports Spearman correlations between pairs of a user's own
+attributes, and — the stronger effect — between a user's attribute and
+the *average* of that attribute over their friends (Figure 11 shows the
+market-value case, rho = 0.77).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.core.spearman import spearman, strength_label
+from repro.store.dataset import SteamDataset
+
+__all__ = [
+    "neighbor_mean",
+    "CorrelationSet",
+    "cross_correlations",
+    "HomophilyResult",
+    "homophily",
+]
+
+
+def neighbor_mean(dataset: SteamDataset, values: np.ndarray) -> np.ndarray:
+    """Average of ``values`` over each user's friends (nan if none)."""
+    friends = dataset.friends
+    sums = np.zeros(dataset.n_users, dtype=np.float64)
+    np.add.at(sums, friends.u, values[friends.v])
+    np.add.at(sums, friends.v, values[friends.u])
+    degree = dataset.friend_counts()
+    out = np.full(dataset.n_users, np.nan)
+    has = degree > 0
+    out[has] = sums[has] / degree[has]
+    return out
+
+
+@dataclass(frozen=True)
+class CorrelationSet:
+    """Named Spearman correlations with the paper's reference values."""
+
+    rhos: dict[str, float]
+    paper: dict[str, float]
+    populations: dict[str, int]
+
+    def render(self) -> str:
+        lines = [f"{'pair':<28} {'rho':>7} {'paper':>7}  strength"]
+        for name, rho in self.rhos.items():
+            ref = self.paper.get(name, float("nan"))
+            lines.append(
+                f"{name:<28} {rho:>+7.2f} {ref:>+7.2f}  {strength_label(rho)}"
+            )
+        return "\n".join(lines)
+
+
+def cross_correlations(dataset: SteamDataset) -> CorrelationSet:
+    """Section 7's five cross-attribute correlations.
+
+    Computed over users engaged on both axes (nonzero on both attributes;
+    the two-week rows only require the *other* attribute to be nonzero,
+    since a zero two-week playtime is itself informative behavior).
+    """
+    owned = dataset.owned_counts().astype(np.float64)
+    friends = dataset.friend_counts().astype(np.float64)
+    total = dataset.total_playtime_hours()
+    twoweek = dataset.twoweek_playtime_hours()
+
+    pairs = {
+        ("owned_games", "friends"): (owned, friends, False),
+        ("owned_games", "twoweek_playtime"): (owned, twoweek, True),
+        ("owned_games", "total_playtime"): (owned, total, False),
+        ("friends", "twoweek_playtime"): (friends, twoweek, True),
+        ("friends", "total_playtime"): (friends, total, False),
+    }
+    rhos: dict[str, float] = {}
+    populations: dict[str, int] = {}
+    paper: dict[str, float] = {}
+    for (name_a, name_b), (a, b, zero_ok) in pairs.items():
+        mask = (a > 0) & ((b > 0) | zero_ok)
+        key = f"{name_a} vs {name_b}"
+        rhos[key] = (
+            spearman(a[mask], b[mask]) if mask.sum() > 2 else float("nan")
+        )
+        populations[key] = int(mask.sum())
+        paper[key] = constants.CROSS_CORRELATIONS[(name_a, name_b)]
+    return CorrelationSet(rhos=rhos, paper=paper, populations=populations)
+
+
+@dataclass(frozen=True)
+class HomophilyResult:
+    """Section 7 / Figure 11: attribute vs friends'-average correlations."""
+
+    correlations: CorrelationSet
+    #: Scatter sample for the Figure 11 plot (market value case).
+    scatter_x: np.ndarray
+    scatter_y: np.ndarray
+
+    def render(self) -> str:
+        return self.correlations.render()
+
+
+def homophily(
+    dataset: SteamDataset, scatter_sample: int = 5_000, seed: int = 0
+) -> HomophilyResult:
+    """Section 7's four homophily correlations (Figure 11 for value)."""
+    has_friend = dataset.friend_counts() > 0
+    attributes = {
+        "market_value": dataset.market_value_dollars(),
+        "friends": dataset.friend_counts().astype(np.float64),
+        "total_playtime": dataset.total_playtime_hours(),
+        "owned_games": dataset.owned_counts().astype(np.float64),
+    }
+    rhos: dict[str, float] = {}
+    populations: dict[str, int] = {}
+    paper: dict[str, float] = {}
+    scatter_x = np.empty(0)
+    scatter_y = np.empty(0)
+    rng = np.random.default_rng(seed)
+    for name, values in attributes.items():
+        friend_avg = neighbor_mean(dataset, values)
+        mask = has_friend & np.isfinite(friend_avg)
+        key = f"{name} vs friends' avg"
+        rhos[key] = (
+            spearman(values[mask], friend_avg[mask])
+            if mask.sum() > 2
+            else float("nan")
+        )
+        populations[key] = int(mask.sum())
+        paper[key] = constants.HOMOPHILY_CORRELATIONS[name]
+        if name == "market_value" and mask.sum() > 0:
+            idx = np.flatnonzero(mask)
+            take = rng.choice(
+                idx, size=min(scatter_sample, len(idx)), replace=False
+            )
+            scatter_x = values[take]
+            scatter_y = friend_avg[take]
+    return HomophilyResult(
+        correlations=CorrelationSet(
+            rhos=rhos, paper=paper, populations=populations
+        ),
+        scatter_x=scatter_x,
+        scatter_y=scatter_y,
+    )

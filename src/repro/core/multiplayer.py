@@ -1,0 +1,82 @@
+"""Figure 10: share of playtime devoted to multiplayer games."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.store.dataset import SteamDataset
+
+__all__ = ["MultiplayerShare", "multiplayer_share"]
+
+
+@dataclass(frozen=True)
+class MultiplayerShare:
+    """Multiplayer vs single-player splits (catalog, total, two-week)."""
+
+    catalog_share: float
+    total_playtime_share: float
+    twoweek_playtime_share: float
+    #: Users whose playtime is *entirely* on multiplayer games.
+    users_all_multiplayer_total: float
+    users_all_multiplayer_twoweek: float
+
+    def render(self) -> str:
+        return (
+            f"multiplayer games: {self.catalog_share:.1%} of catalog "
+            f"(paper {constants.MULTIPLAYER_CATALOG_SHARE:.1%}); "
+            f"{self.total_playtime_share:.1%} of total playtime "
+            f"(paper {constants.MULTIPLAYER_TOTAL_SHARE:.1%}); "
+            f"{self.twoweek_playtime_share:.1%} of two-week playtime "
+            f"(paper {constants.MULTIPLAYER_TWOWEEK_SHARE:.1%})"
+        )
+
+
+def multiplayer_share(dataset: SteamDataset) -> MultiplayerShare:
+    """Reproduce Figure 10."""
+    lib = dataset.library
+    cat = dataset.catalog
+    entry_mp = cat.multiplayer[lib.owned.indices].astype(bool)
+
+    total = lib.total_min.astype(np.float64)
+    twoweek = lib.twoweek_min.astype(np.float64)
+    total_sum = total.sum()
+    twoweek_sum = twoweek.sum()
+
+    # Per-user all-multiplayer flags.
+    entry_user = lib.owned.row_ids()
+    n = dataset.n_users
+    mp_total = np.bincount(entry_user, weights=total * entry_mp, minlength=n)
+    all_total = np.bincount(entry_user, weights=total, minlength=n)
+    mp_tw = np.bincount(entry_user, weights=twoweek * entry_mp, minlength=n)
+    all_tw = np.bincount(entry_user, weights=twoweek, minlength=n)
+
+    players = all_total > 0
+    tw_players = all_tw > 0
+    all_mp_total = (
+        float(np.mean(mp_total[players] == all_total[players]))
+        if players.any()
+        else float("nan")
+    )
+    all_mp_tw = (
+        float(np.mean(mp_tw[tw_players] == all_tw[tw_players]))
+        if tw_players.any()
+        else float("nan")
+    )
+
+    games = cat.is_game.astype(bool)
+    return MultiplayerShare(
+        catalog_share=float(np.mean(cat.multiplayer[games])),
+        total_playtime_share=(
+            float(total[entry_mp].sum() / total_sum) if total_sum else float("nan")
+        ),
+        twoweek_playtime_share=(
+            float(twoweek[entry_mp].sum() / twoweek_sum)
+            if twoweek_sum
+            else float("nan")
+        ),
+        users_all_multiplayer_total=all_mp_total,
+        users_all_multiplayer_twoweek=all_mp_tw,
+    )

@@ -1,0 +1,121 @@
+"""Ownership analyses: Figures 4 and 5 (Section 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binning import Series, log_binned_pdf
+from repro.store.dataset import SteamDataset
+
+__all__ = [
+    "OwnershipDistribution",
+    "ownership_distribution",
+    "GenreOwnership",
+    "genre_ownership",
+]
+
+
+@dataclass(frozen=True)
+class OwnershipDistribution:
+    """Figure 4: games owned vs games played distributions (owners)."""
+
+    owned_pdf: Series
+    played_pdf: Series
+    p80_owned: float
+    p80_played: float
+    max_owned: int
+    n_owners: int
+    #: Share of owners with fewer than 20 games (paper: 89.78%).
+    share_under_20: float
+    #: Owners with >= bump_lo games and none played (paper found 29 with
+    #: libraries >= 500 and zero played).
+    big_library_never_played: int
+
+    def render(self) -> str:
+        return (
+            f"owners={self.n_owners}  p80 owned={self.p80_owned:.0f} "
+            f"(paper 10)  p80 played={self.p80_played:.0f} (paper 7)  "
+            f"max owned={self.max_owned}  <20 games: "
+            f"{self.share_under_20:.2%} (paper 89.78%)"
+        )
+
+
+def ownership_distribution(dataset: SteamDataset) -> OwnershipDistribution:
+    """Reproduce Figure 4 and its Section 5 callouts."""
+    owned = dataset.owned_counts()
+    played = dataset.played_counts()
+    owners = owned > 0
+    owned_pos = owned[owners].astype(np.float64)
+    played_pos = played[played > 0].astype(np.float64)
+    if len(owned_pos) == 0:
+        raise ValueError("dataset has no owners")
+    big_never = int(np.sum((owned >= 500) & (played == 0)))
+    return OwnershipDistribution(
+        owned_pdf=log_binned_pdf(owned_pos, label="owned"),
+        played_pdf=log_binned_pdf(
+            played_pos if len(played_pos) else np.array([1.0]), label="played"
+        ),
+        p80_owned=float(np.percentile(owned_pos, 80)),
+        p80_played=(
+            float(np.percentile(played_pos, 80)) if len(played_pos) else 0.0
+        ),
+        max_owned=int(owned_pos.max()),
+        n_owners=int(owners.sum()),
+        share_under_20=float(np.mean(owned_pos < 20)),
+        big_library_never_played=big_never,
+    )
+
+
+@dataclass(frozen=True)
+class GenreOwnership:
+    """Figure 5: per-genre copies owned and owned-but-unplayed."""
+
+    genres: tuple[str, ...]
+    owned_copies: np.ndarray
+    unplayed_copies: np.ndarray
+
+    def unplayed_rate(self, genre: str) -> float:
+        i = self.genres.index(genre)
+        if self.owned_copies[i] == 0:
+            return float("nan")
+        return float(self.unplayed_copies[i] / self.owned_copies[i])
+
+    def ordered_by_ownership(self) -> list[tuple[str, int, int]]:
+        order = np.argsort(-self.owned_copies)
+        return [
+            (
+                self.genres[i],
+                int(self.owned_copies[i]),
+                int(self.unplayed_copies[i]),
+            )
+            for i in order
+        ]
+
+    def render(self) -> str:
+        lines = [f"{'genre':<24} {'owned':>10} {'unplayed':>10} {'rate':>7}"]
+        for name, owned, unplayed in self.ordered_by_ownership():
+            rate = unplayed / owned if owned else float("nan")
+            lines.append(f"{name:<24} {owned:>10} {unplayed:>10} {rate:7.1%}")
+        return "\n".join(lines)
+
+
+def genre_ownership(dataset: SteamDataset) -> GenreOwnership:
+    """Reproduce Figure 5 (any-label genre counting, like the paper)."""
+    lib = dataset.library
+    cat = dataset.catalog
+    entry_game = lib.owned.indices
+    unplayed = lib.total_min == 0
+    genres = cat.genre_names
+    owned_copies = np.zeros(len(genres), dtype=np.int64)
+    unplayed_copies = np.zeros(len(genres), dtype=np.int64)
+    for i, name in enumerate(genres):
+        has = cat.has_genre(name)[entry_game]
+        owned_copies[i] = int(has.sum())
+        unplayed_copies[i] = int((has & unplayed).sum())
+    return GenreOwnership(
+        genres=genres,
+        owned_copies=owned_copies,
+        unplayed_copies=unplayed_copies,
+    )

@@ -1,0 +1,45 @@
+"""Concentration ("80-20") statistics used throughout Section 6."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_share", "lorenz_curve", "gini"]
+
+
+def top_share(values: np.ndarray, fraction: float) -> float:
+    """Share of the total held by the top ``fraction`` of observations."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("empty sample")
+    total = values.sum()
+    if total <= 0:
+        return float("nan")
+    k = max(1, int(round(len(values) * fraction)))
+    top = np.partition(values, len(values) - k)[-k:]
+    return float(top.sum() / total)
+
+
+def lorenz_curve(values: np.ndarray, points: int = 101) -> np.ndarray:
+    """Cumulative-share curve: entry i is the share held by the bottom
+    ``i/(points-1)`` of observations."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    total = values.sum()
+    if total <= 0 or len(values) == 0:
+        raise ValueError("need positive mass")
+    cum = np.concatenate([[0.0], np.cumsum(values)]) / total
+    positions = np.linspace(0, len(values), points).astype(int)
+    return cum[positions]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient (0 = equal, 1 = fully concentrated)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(values)
+    total = values.sum()
+    if n == 0 or total <= 0:
+        raise ValueError("need positive mass")
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * values)) / (n * total) - (n + 1.0) / n)

@@ -1,0 +1,115 @@
+"""Table 3: percentiles of the major behavioral attributes.
+
+Each row is computed over the users with a nonzero value of that
+attribute (the population reconciliation that makes Table 3 consistent
+with the paper's aggregate totals — see DESIGN.md), except the two-week
+playtime row, which the paper reports over game owners (its 50th and 80th
+percentiles are 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.store.dataset import SteamDataset
+
+__all__ = ["PercentileRow", "PercentileTable", "percentile_table"]
+
+PERCENTILES = constants.TABLE3_PERCENTILES
+
+
+@dataclass(frozen=True)
+class PercentileRow:
+    """One attribute's percentile values (ordered like Table 3)."""
+
+    attribute: str
+    values: tuple[float, ...]
+    population: int
+    paper: tuple[float, ...] | None = None
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(zip((f"p{p}" for p in PERCENTILES), self.values))
+
+
+@dataclass(frozen=True)
+class PercentileTable:
+    """The full Table 3 reproduction."""
+
+    rows: tuple[PercentileRow, ...]
+
+    def row(self, attribute: str) -> PercentileRow:
+        for row in self.rows:
+            if row.attribute == attribute:
+                return row
+        raise KeyError(attribute)
+
+    def render(self) -> str:
+        header = "attribute".ljust(24) + "".join(
+            f"{'p' + str(p):>12}" for p in PERCENTILES
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                row.attribute.ljust(24)
+                + "".join(f"{v:12.2f}" for v in row.values)
+            )
+            if row.paper is not None:
+                lines.append(
+                    "  (paper)".ljust(24)
+                    + "".join(f"{v:12.2f}" for v in row.paper)
+                )
+        return "\n".join(lines)
+
+
+def _nonzero_percentiles(values: np.ndarray) -> tuple[tuple[float, ...], int]:
+    positive = values[values > 0]
+    if len(positive) == 0:
+        return tuple(0.0 for _ in PERCENTILES), 0
+    return (
+        tuple(float(np.percentile(positive, p)) for p in PERCENTILES),
+        len(positive),
+    )
+
+
+def percentile_table(dataset: SteamDataset) -> PercentileTable:
+    """Reproduce Table 3 from a dataset."""
+    owned = dataset.owned_counts()
+    owners = owned > 0
+    rows = []
+    attribute_values = [
+        ("friends", dataset.friend_counts().astype(np.float64)),
+        ("owned_games", owned.astype(np.float64)),
+        ("group_memberships", dataset.membership_counts().astype(np.float64)),
+        ("market_value", dataset.market_value_dollars()),
+        ("total_playtime_hours", dataset.total_playtime_hours()),
+    ]
+    for name, values in attribute_values:
+        pct, population = _nonzero_percentiles(values)
+        rows.append(
+            PercentileRow(
+                attribute=name,
+                values=pct,
+                population=population,
+                paper=tuple(float(v) for v in constants.TABLE3[name]),
+            )
+        )
+    # Two-week playtime: over owners, zeros included (the paper's row).
+    twoweek = dataset.twoweek_playtime_hours()[owners]
+    if len(twoweek):
+        values = tuple(float(np.percentile(twoweek, p)) for p in PERCENTILES)
+    else:
+        values = tuple(0.0 for _ in PERCENTILES)
+    rows.append(
+        PercentileRow(
+            attribute="twoweek_playtime_hours",
+            values=values,
+            population=int(owners.sum()),
+            paper=tuple(
+                float(v) for v in constants.TABLE3["twoweek_playtime_hours"]
+            ),
+        )
+    )
+    return PercentileTable(rows=tuple(rows))

@@ -1,0 +1,260 @@
+"""The full study report: every table and figure in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.achievements import AchievementReport
+from repro.core.distributions import Table4
+from repro.core.evolution import SnapshotComparison
+from repro.core.expenditure import (
+    GenreExpenditure,
+    MarketValueDistribution,
+    PlaytimeCdf,
+    TwoWeekDistribution,
+)
+from repro.core.groups import GroupGamesResult, GroupTypeTable
+from repro.core.homophily import CorrelationSet, HomophilyResult
+from repro.core.multiplayer import MultiplayerShare
+from repro.core.ownership import GenreOwnership, OwnershipDistribution
+from repro.core.percentiles import PercentileTable
+from repro.core.social import (
+    CountryTable,
+    DegreeDistributions,
+    EvolutionSeries,
+    LocalityResult,
+)
+from repro.core.weekpanel import WeekPanelStats
+
+__all__ = ["StudyReport"]
+
+
+def _section(title: str, body: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}\n{body}\n"
+
+
+@dataclass
+class StudyReport:
+    """Everything the paper reports, computed from one dataset."""
+
+    summary: dict[str, float]
+    table1: CountryTable
+    table2: GroupTypeTable
+    table3: PercentileTable
+    table4: Table4 | None
+    fig1_evolution: EvolutionSeries
+    fig2_degrees: DegreeDistributions
+    fig3_group_games: GroupGamesResult
+    fig4_ownership: OwnershipDistribution
+    fig5_genre_ownership: GenreOwnership
+    fig6_playtime_cdf: PlaytimeCdf
+    fig7_twoweek: TwoWeekDistribution
+    fig8_market_value: MarketValueDistribution
+    fig9_genre_expenditure: GenreExpenditure
+    fig10_multiplayer: MultiplayerShare
+    fig11_homophily: HomophilyResult
+    sec7_cross_correlations: CorrelationSet
+    sec8_evolution: SnapshotComparison | None
+    sec9_achievements: AchievementReport | None
+    fig12_week_panel: WeekPanelStats | None = field(default=None)
+
+    def render_figures(self) -> str:
+        """ASCII renderings of the distribution figures."""
+        from repro.core.binning import Series
+        from repro.core.render import ascii_bars, ascii_cdf, ascii_panel, ascii_plot
+
+        parts = []
+        parts.append(
+            ascii_plot(
+                [self.fig4_ownership.owned_pdf, self.fig4_ownership.played_pdf],
+                title="Figure 4 — game ownership (log-log pdf)",
+            )
+        )
+        parts.append(
+            ascii_cdf(
+                [
+                    self.fig6_playtime_cdf.total_cdf,
+                    self.fig6_playtime_cdf.twoweek_cdf,
+                ],
+                title="Figure 6 — playtime CDFs",
+            )
+        )
+        parts.append(
+            ascii_plot(
+                [self.fig7_twoweek.pdf],
+                title="Figure 7 — non-zero two-week playtime (log-log pdf)",
+            )
+        )
+        parts.append(
+            ascii_plot(
+                [self.fig8_market_value.pdf],
+                title="Figure 8 — account market values (log-log pdf)",
+            )
+        )
+        genre = self.fig5_genre_ownership
+        ordered = genre.ordered_by_ownership()
+        parts.append(
+            ascii_bars(
+                [row[0] for row in ordered],
+                [float(row[1]) for row in ordered],
+                overlay=[float(row[2]) for row in ordered],
+                title=(
+                    "Figure 5 — copies owned by genre "
+                    "(| marks owned-but-unplayed)"
+                ),
+            )
+        )
+        if self.fig11_homophily.scatter_x.size:
+            parts.append(
+                ascii_plot(
+                    [
+                        Series(
+                            "user value vs friends' avg",
+                            self.fig11_homophily.scatter_x + 0.01,
+                            self.fig11_homophily.scatter_y + 0.01,
+                        )
+                    ],
+                    title="Figure 11 — market-value homophily (log-log)",
+                )
+            )
+        if self.fig12_week_panel is not None:
+            parts.append(
+                ascii_panel(
+                    self.fig12_week_panel.sorted_hours,
+                    title="Figure 12 — week panel",
+                )
+            )
+        return "\n\n".join(parts)
+
+    def render(self) -> str:
+        """Human-readable text report mirroring the paper's structure."""
+        parts = []
+        totals = ", ".join(
+            f"{name}={value:,.0f}" for name, value in self.summary.items()
+        )
+        parts.append(_section("Headline totals (Section 1)", totals))
+        parts.append(
+            _section("Table 1 — reported countries", self.table1.render())
+        )
+        parts.append(
+            _section("Table 2 — top group types", self.table2.render())
+        )
+        parts.append(
+            _section("Table 3 — behavioral percentiles", self.table3.render())
+        )
+        if self.table4 is not None:
+            parts.append(
+                _section(
+                    "Table 4 — distribution classifications",
+                    self.table4.render(),
+                )
+            )
+        evo = self.fig1_evolution
+        parts.append(
+            _section(
+                "Figure 1 — network evolution",
+                f"{evo.cumulative_users[-1]:,} users / "
+                f"{evo.cumulative_friendships[-1]:,} timestamped "
+                f"friendships; friendships grow faster than users: "
+                f"{evo.friendships_grow_faster()}",
+            )
+        )
+        deg = self.fig2_degrees
+        parts.append(
+            _section(
+                "Figure 2 — friend-degree distributions",
+                f"{deg.share_adding_le10:.2%} of active users add <= 10 "
+                f"friends/yr (paper 88.06%); {deg.share_adding_gt200:.3%} "
+                f"add > 200 (paper 0.02%); dips at caps: "
+                f"250={deg.dip_at_cap(250)}, 300={deg.dip_at_cap(300)}",
+            )
+        )
+        games = self.fig3_group_games
+        parts.append(
+            _section(
+                "Figure 3 — distinct games per large group",
+                f"{games.n_large_groups} groups with >= {games.min_size} "
+                f"members; {games.single_game_dedicated_share:.2%} are "
+                f"single-game dedicated (paper 4.97%)",
+            )
+        )
+        parts.append(
+            _section("Figure 4 — game ownership", self.fig4_ownership.render())
+        )
+        parts.append(
+            _section(
+                "Figure 5 — ownership by genre",
+                self.fig5_genre_ownership.render(),
+            )
+        )
+        parts.append(
+            _section("Figure 6 — playtime CDFs", self.fig6_playtime_cdf.render())
+        )
+        parts.append(
+            _section(
+                "Figure 7 — non-zero two-week playtime",
+                self.fig7_twoweek.render(),
+            )
+        )
+        parts.append(
+            _section(
+                "Figure 8 — account market values",
+                self.fig8_market_value.render(),
+            )
+        )
+        exp = self.fig9_genre_expenditure
+        parts.append(
+            _section(
+                "Figure 9 — expenditure by genre",
+                f"Action: {exp.playtime_share('Action'):.2%} of playtime "
+                f"(paper 49.24%), {exp.value_share('Action'):.2%} of value "
+                f"(paper 51.88%)\n" + exp.render(),
+            )
+        )
+        parts.append(
+            _section(
+                "Figure 10 — multiplayer share",
+                self.fig10_multiplayer.render(),
+            )
+        )
+        parts.append(
+            _section(
+                "Figure 11 / Section 7 — homophily",
+                self.fig11_homophily.render(),
+            )
+        )
+        parts.append(
+            _section(
+                "Section 7 — cross correlations",
+                self.sec7_cross_correlations.render(),
+            )
+        )
+        if self.sec8_evolution is not None:
+            parts.append(
+                _section(
+                    "Section 8 — second snapshot",
+                    self.sec8_evolution.render(),
+                )
+            )
+        if self.fig12_week_panel is not None:
+            panel = self.fig12_week_panel
+            later = ", ".join(f"{c:+.2f}" for c in panel.day1_correlations)
+            parts.append(
+                _section(
+                    "Figure 12 — week panel",
+                    f"{panel.n_active} of {panel.n_sampled} sampled users "
+                    f"played during the week; {panel.day1_idle_share:.1%} "
+                    f"idle on day 1 but active later; day-1 vs later-day "
+                    f"correlations: [{later}]; heavy day-1 players stay "
+                    f"heavier: {panel.ordering_persists()}",
+                )
+            )
+        if self.sec9_achievements is not None:
+            parts.append(
+                _section(
+                    "Section 9 — achievements",
+                    self.sec9_achievements.render(),
+                )
+            )
+        return "".join(parts)

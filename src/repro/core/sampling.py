@@ -1,0 +1,175 @@
+"""Crawl-sampling bias: why the paper's exhaustive census matters.
+
+Section 2.2 critiques the earlier Steam studies (Becker et al., Blackburn
+et al.), which crawled the friend graph from seed users: "the data is
+biased since users with fewer friends are less likely to be crawled", and
+their results were "limited to a crawl of the large, connected component".
+This module implements those earlier methodologies — snowball (BFS) and
+random-walk sampling over the friendship graph — and quantifies the bias
+against the exhaustive ID-space census the paper introduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.store.dataset import SteamDataset
+
+__all__ = [
+    "snowball_sample",
+    "random_walk_sample",
+    "SamplingBias",
+    "sampling_bias",
+]
+
+
+def snowball_sample(
+    dataset: SteamDataset,
+    n_target: int,
+    n_seeds: int = 10,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """BFS crawl from random seeds until ``n_target`` users are reached.
+
+    This is the Becker/Blackburn methodology: only users reachable
+    through friend lists are ever discovered.
+    """
+    rng = rng or np.random.default_rng(0)
+    adj, _ = dataset.friends.adjacency()
+    degrees = adj.counts()
+    candidates = np.flatnonzero(degrees > 0)
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    seeds = rng.choice(
+        candidates, size=min(n_seeds, len(candidates)), replace=False
+    )
+    seen = np.zeros(dataset.n_users, dtype=bool)
+    seen[seeds] = True
+    frontier = list(int(s) for s in seeds)
+    collected = list(frontier)
+    while frontier and len(collected) < n_target:
+        next_frontier: list[int] = []
+        for user in frontier:
+            for other in adj.row(user):
+                other = int(other)
+                if not seen[other]:
+                    seen[other] = True
+                    collected.append(other)
+                    next_frontier.append(other)
+                    if len(collected) >= n_target:
+                        break
+            if len(collected) >= n_target:
+                break
+        frontier = next_frontier
+    return np.array(collected[:n_target], dtype=np.int64)
+
+
+def random_walk_sample(
+    dataset: SteamDataset,
+    n_target: int,
+    rng: np.random.Generator | None = None,
+    restart: float = 0.05,
+) -> np.ndarray:
+    """Random walk with restarts over the friend graph.
+
+    Stationary visit probability is proportional to degree — the textbook
+    form of crawl bias.
+    """
+    rng = rng or np.random.default_rng(0)
+    adj, _ = dataset.friends.adjacency()
+    degrees = adj.counts()
+    candidates = np.flatnonzero(degrees > 0)
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    seen: set[int] = set()
+    collected: list[int] = []
+    current = int(rng.choice(candidates))
+    max_steps = n_target * 200
+    steps = 0
+    while len(collected) < n_target and steps < max_steps:
+        steps += 1
+        if current not in seen:
+            seen.add(current)
+            collected.append(current)
+        if rng.random() < restart or degrees[current] == 0:
+            current = int(rng.choice(candidates))
+            continue
+        neighbors = adj.row(current)
+        current = int(neighbors[int(rng.integers(0, len(neighbors)))])
+    return np.array(collected, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SamplingBias:
+    """Census vs crawl-sample comparison for one sampling method."""
+
+    method: str
+    sample_size: int
+    #: Mean friend count: census (over users with >= 1 friend) vs sample.
+    census_mean_degree: float
+    sample_mean_degree: float
+    #: Median owned games: census owners vs sampled owners.
+    census_median_owned: float
+    sample_median_owned: float
+    #: Share of all accounts invisible to the crawl (no friends at all).
+    unreachable_share: float
+
+    @property
+    def degree_inflation(self) -> float:
+        """How much the crawl overstates the typical friend count."""
+        if self.census_mean_degree == 0:
+            return float("nan")
+        return self.sample_mean_degree / self.census_mean_degree
+
+    def render(self) -> str:
+        return (
+            f"{self.method}: sampled {self.sample_size:,} users; "
+            f"mean degree {self.sample_mean_degree:.1f} vs census "
+            f"{self.census_mean_degree:.1f} "
+            f"({self.degree_inflation:.2f}x inflated); median owned "
+            f"{self.sample_median_owned:.0f} vs {self.census_median_owned:.0f}; "
+            f"{self.unreachable_share:.0%} of accounts unreachable by any "
+            "crawl"
+        )
+
+
+def sampling_bias(
+    dataset: SteamDataset,
+    method: str = "snowball",
+    sample_fraction: float = 0.1,
+    seed: int = 0,
+) -> SamplingBias:
+    """Quantify the bias of a crawl sample against the full census."""
+    rng = np.random.default_rng(seed)
+    n_target = max(int(dataset.n_users * sample_fraction), 10)
+    if method == "snowball":
+        sample = snowball_sample(dataset, n_target, rng=rng)
+    elif method == "random_walk":
+        sample = random_walk_sample(dataset, n_target, rng=rng)
+    else:
+        raise ValueError(f"unknown sampling method: {method!r}")
+
+    degrees = dataset.friend_counts()
+    owned = dataset.owned_counts()
+    connected = degrees > 0
+
+    sample_owned = owned[sample]
+    sample_owned = sample_owned[sample_owned > 0]
+    census_owned = owned[owned > 0]
+    return SamplingBias(
+        method=method,
+        sample_size=len(sample),
+        census_mean_degree=float(degrees[connected].mean())
+        if connected.any()
+        else 0.0,
+        sample_mean_degree=float(degrees[sample].mean()) if len(sample) else 0.0,
+        census_median_owned=float(np.median(census_owned))
+        if len(census_owned)
+        else 0.0,
+        sample_median_owned=float(np.median(sample_owned))
+        if len(sample_owned)
+        else 0.0,
+        unreachable_share=float(np.mean(~connected)),
+    )

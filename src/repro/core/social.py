@@ -1,0 +1,272 @@
+"""Social-structure analyses: Figures 1-2, Table 1, Section 4.1 locality."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.core.binning import Series, count_histogram
+from repro.store.dataset import SteamDataset
+
+__all__ = [
+    "CountryTable",
+    "country_table",
+    "EvolutionSeries",
+    "network_evolution",
+    "DegreeDistributions",
+    "degree_distributions",
+    "LocalityResult",
+    "locality",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — reported countries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CountryTable:
+    """Top reported countries plus the aggregated remainder."""
+
+    names: tuple[str, ...]
+    shares: tuple[float, ...]
+    other_share: float
+    other_count: int
+    report_rate: float
+
+    def render(self) -> str:
+        lines = [f"{'rank':>4}  {'country':<20} {'share':>8}"]
+        for i, (name, share) in enumerate(zip(self.names, self.shares), 1):
+            lines.append(f"{i:>4}  {name:<20} {share:8.2%}")
+        lines.append(
+            f"{'':>4}  {f'Other ({self.other_count})':<20} "
+            f"{self.other_share:8.2%}"
+        )
+        lines.append(f"reporting rate: {self.report_rate:.1%}")
+        return "\n".join(lines)
+
+
+def country_table(dataset: SteamDataset, top_n: int = 10) -> CountryTable:
+    """Reproduce Table 1 from the reported-country column."""
+    reported = dataset.accounts.country
+    mask = reported >= 0
+    total = int(mask.sum())
+    if total == 0:
+        raise ValueError("no users report a country")
+    counts = np.bincount(
+        reported[mask], minlength=len(dataset.accounts.country_names)
+    )
+    order = np.argsort(-counts)
+    top = order[:top_n]
+    names = tuple(dataset.accounts.country_names[i] for i in top)
+    shares = tuple(float(counts[i]) / total for i in top)
+    other = 1.0 - sum(shares)
+    other_count = int(np.sum(counts[order[top_n:]] > 0))
+    return CountryTable(
+        names=names,
+        shares=shares,
+        other_share=other,
+        other_count=other_count,
+        report_rate=total / dataset.n_users,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — evolution of users and friendships
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvolutionSeries:
+    """Cumulative users and friendships over time since Sept 2008."""
+
+    #: Sample days (days since Steam launch).
+    days: np.ndarray
+    cumulative_users: np.ndarray
+    cumulative_friendships: np.ndarray
+
+    def series(self) -> tuple[Series, Series]:
+        return (
+            Series("users", self.days.astype(float), self.cumulative_users.astype(float)),
+            Series(
+                "friendships",
+                self.days.astype(float),
+                self.cumulative_friendships.astype(float),
+            ),
+        )
+
+    def friendships_grow_faster(self) -> bool:
+        """The paper's headline: friendships outpace user growth."""
+        users = self.cumulative_users.astype(np.float64)
+        friends = self.cumulative_friendships.astype(np.float64)
+        if users[-1] <= users[0] or friends[-1] <= friends[0]:
+            return False
+        user_growth = users[-1] / max(users[0], 1.0)
+        friend_growth = friends[-1] / max(friends[0], 1.0)
+        return friend_growth > user_growth
+
+
+def network_evolution(
+    dataset: SteamDataset, n_points: int = 60
+) -> EvolutionSeries:
+    """Figure 1: cumulative account and friendship counts over time.
+
+    Friendship timestamps only exist from September 2008 (the epoch Steam
+    started recording them), so the series starts there, exactly like the
+    figure in the paper.
+    """
+    epoch = dataset.meta.friend_ts_epoch_day
+    end = int(
+        max(
+            dataset.accounts.created_day.max(),
+            dataset.friends.day.max() if dataset.friends.n_edges else epoch,
+        )
+    )
+    days = np.linspace(epoch, end, n_points).astype(np.int64)
+    created = np.sort(dataset.accounts.created_day)
+    users = np.searchsorted(created, days, side="right")
+    edge_days = np.sort(dataset.friends.day[dataset.friends.day >= epoch])
+    friendships = np.searchsorted(edge_days, days, side="right")
+    return EvolutionSeries(
+        days=days,
+        cumulative_users=users.astype(np.int64),
+        cumulative_friendships=friendships.astype(np.int64),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — friend-degree distributions, per year and overall
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DegreeDistributions:
+    """Per-year friends-added distributions and the overall distribution."""
+
+    overall: Series
+    per_year: dict[int, Series]
+    share_adding_le10: float
+    share_adding_gt200: float
+    #: Counts at the cap positions (for the 250/300 dip check).
+    cap_window: Series
+
+    def dip_at_cap(self, cap: int, window: int = 25) -> bool:
+        """Is the count just above ``cap`` depressed vs just below it?
+
+        Compares dense per-value means (absent degrees count as zero) so
+        the comparison stays meaningful when the tail is sparse.
+        """
+        dense: dict[int, float] = dict(
+            zip(self.cap_window.x.astype(int), self.cap_window.y)
+        )
+        below = [dense.get(v, 0.0) for v in range(cap - window, cap + 1)]
+        above = [dense.get(v, 0.0) for v in range(cap + 1, cap + window + 1)]
+        if sum(below) + sum(above) < 12:
+            # Too few users near the cap to judge at this scale.
+            return True
+        return float(np.mean(above)) <= float(np.mean(below))
+
+
+def degree_distributions(dataset: SteamDataset) -> DegreeDistributions:
+    """Figure 2: friends added per user per year, plus overall degrees."""
+    degrees = dataset.friend_counts()
+    overall = count_histogram(degrees, label="all-time")
+
+    friends = dataset.friends
+    epoch = dataset.meta.friend_ts_epoch_day
+    launch = np.datetime64(constants.STEAM_LAUNCH.isoformat())
+    dates = launch + friends.day.astype("timedelta64[D]")
+    year_of = dates.astype("datetime64[Y]").astype(int) + 1970
+    per_year: dict[int, Series] = {}
+    first_year = (
+        launch + np.timedelta64(int(epoch), "D")
+    ).astype("datetime64[Y]").astype(int) + 1970
+    adds_le10 = 0
+    adds_total = 0
+    adds_gt200 = 0
+    last_year = int(year_of.max()) if friends.n_edges else first_year - 1
+    for year in range(first_year, last_year + 1):
+        mask = year_of == year
+        if not mask.any():
+            continue
+        added = np.bincount(
+            np.concatenate([friends.u[mask], friends.v[mask]]),
+            minlength=dataset.n_users,
+        )
+        active = added[added > 0]
+        if len(active) == 0:
+            continue
+        per_year[year] = count_histogram(added, label=str(year))
+        adds_total += len(active)
+        adds_le10 += int(np.sum(active <= 10))
+        adds_gt200 += int(np.sum(active > 200))
+
+    cap_region = degrees[(degrees >= 180) & (degrees <= 360)]
+    if len(cap_region):
+        cap_window = count_histogram(cap_region, label="cap-window")
+    else:
+        cap_window = Series("cap-window", np.array([1.0]), np.array([0.0]))
+    return DegreeDistributions(
+        overall=overall,
+        per_year=per_year,
+        share_adding_le10=adds_le10 / adds_total if adds_total else float("nan"),
+        share_adding_gt200=adds_gt200 / adds_total if adds_total else float("nan"),
+        cap_window=cap_window,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — locality of friendships
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalityResult:
+    """Shares of international and cross-city friendships (reporters)."""
+
+    international_share: float
+    cross_city_share: float
+    n_country_pairs: int
+    n_city_pairs: int
+
+    def render(self) -> str:
+        return (
+            f"international friendships: {self.international_share:.2%} "
+            f"(paper {constants.SHARE_INTERNATIONAL_FRIENDSHIPS:.2%}); "
+            f"cross-city friendships: {self.cross_city_share:.2%} "
+            f"(paper {constants.SHARE_CROSS_CITY_FRIENDSHIPS:.2%})"
+        )
+
+
+def locality(dataset: SteamDataset) -> LocalityResult:
+    """Section 4.1: locality among friendships whose endpoints report."""
+    friends = dataset.friends
+    country = dataset.accounts.country
+    city = dataset.accounts.city
+
+    cu, cv = country[friends.u], country[friends.v]
+    both_country = (cu >= 0) & (cv >= 0)
+    n_country = int(both_country.sum())
+    international = (
+        float(np.mean(cu[both_country] != cv[both_country]))
+        if n_country
+        else float("nan")
+    )
+
+    tu, tv = city[friends.u], city[friends.v]
+    both_city = (tu >= 0) & (tv >= 0)
+    n_city = int(both_city.sum())
+    cross_city = (
+        float(np.mean(tu[both_city] != tv[both_city]))
+        if n_city
+        else float("nan")
+    )
+    return LocalityResult(
+        international_share=international,
+        cross_city_share=cross_city,
+        n_country_pairs=n_country,
+        n_city_pairs=n_city,
+    )

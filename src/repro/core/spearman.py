@@ -1,0 +1,63 @@
+"""Spearman rank correlation, implemented from first principles.
+
+The paper uses Spearman's rho throughout Section 7 and Section 9.  We
+implement it directly (average ranks for ties, then Pearson on ranks);
+the test suite cross-checks against :func:`scipy.stats.spearmanr`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rankdata_average", "spearman", "strength_label"]
+
+
+def rankdata_average(values: np.ndarray) -> np.ndarray:
+    """Ranks (1-based) with ties sharing their average rank."""
+    values = np.asarray(values)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_vals = values[order]
+    # Boundaries of tie runs in the sorted array.
+    boundary = np.empty(len(values), dtype=bool)
+    if len(values):
+        boundary[0] = True
+        np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], len(values))
+    avg = (starts + ends - 1) / 2.0 + 1.0
+    run_id = np.cumsum(boundary) - 1
+    ranks[order] = avg[run_id]
+    return ranks
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman's rho between two equally-long samples."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("samples must align")
+    if len(a) < 2:
+        raise ValueError("need at least two observations")
+    ra = rankdata_average(a)
+    rb = rankdata_average(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt(np.sum(ra * ra) * np.sum(rb * rb))
+    if denom == 0:
+        return float("nan")
+    return float(np.sum(ra * rb) / denom)
+
+
+def strength_label(rho: float) -> str:
+    """The paper's verbal scale for |rho| (Section 7)."""
+    magnitude = abs(rho)
+    if magnitude < 0.20:
+        return "very weak"
+    if magnitude < 0.40:
+        return "weak"
+    if magnitude < 0.60:
+        return "moderate"
+    if magnitude < 0.80:
+        return "strong"
+    return "very strong"

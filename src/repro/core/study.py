@@ -1,0 +1,149 @@
+"""End-to-end study orchestration.
+
+:class:`SteamStudy` ties the whole reproduction together:
+
+- ``generate`` builds a synthetic Steam universe (the data substrate),
+- ``run`` computes every table and figure into a
+  :class:`repro.core.report.StudyReport`,
+- ``crawl`` (optional) routes the data through the simulated Steam Web
+  API + crawler instead of reading the generator output directly,
+  exercising the measurement apparatus the paper actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import (
+    achievements as ach_mod,
+)
+from repro.core import (
+    distributions as dist_mod,
+)
+from repro.core import (
+    evolution as evo_mod,
+)
+from repro.core import (
+    expenditure as exp_mod,
+)
+from repro.core import (
+    groups as groups_mod,
+)
+from repro.core import (
+    homophily as homo_mod,
+)
+from repro.core import (
+    multiplayer as mp_mod,
+)
+from repro.core import (
+    ownership as own_mod,
+)
+from repro.core import (
+    percentiles as pct_mod,
+)
+from repro.core import (
+    social as social_mod,
+)
+from repro.core import weekpanel as panel_mod
+from repro.core.report import StudyReport
+from repro.simworld.config import WorldConfig
+from repro.simworld.world import SteamWorld
+from repro.store.dataset import SteamDataset
+
+__all__ = ["SteamStudy"]
+
+
+@dataclass
+class SteamStudy:
+    """Generate → (optionally crawl) → analyze → report."""
+
+    world: SteamWorld | None
+    _dataset: SteamDataset = field(repr=False)
+
+    @classmethod
+    def generate(
+        cls,
+        n_users: int = 100_000,
+        seed: int = 1603,
+        config: WorldConfig | None = None,
+    ) -> "SteamStudy":
+        """Build a synthetic world at the requested scale."""
+        if config is None:
+            config = WorldConfig(n_users=n_users, seed=seed)
+        world = SteamWorld.generate(config)
+        return cls(world=world, _dataset=world.dataset)
+
+    @classmethod
+    def from_dataset(cls, dataset: SteamDataset) -> "SteamStudy":
+        """Analyze an existing dataset (e.g. one produced by the crawler)."""
+        return cls(world=None, _dataset=dataset)
+
+    @property
+    def dataset(self) -> SteamDataset:
+        return self._dataset
+
+    def crawl(self, **crawler_kwargs) -> "SteamStudy":
+        """Re-collect the dataset through the simulated API + crawler.
+
+        Returns a new study whose dataset was assembled from API
+        responses, as in the paper's methodology.  Keyword arguments are
+        forwarded to :func:`repro.crawler.runner.run_full_crawl`.
+        """
+        from repro.crawler.runner import run_full_crawl
+        from repro.steamapi.service import SteamApiService
+        from repro.steamapi.transport import InProcessTransport
+
+        if self.world is None:
+            raise ValueError("crawl requires a generated world")
+        service = SteamApiService.from_world(self.world)
+        transport = InProcessTransport(service)
+        crawler_kwargs.setdefault("snapshot2", self._dataset.snapshot2)
+        result = run_full_crawl(transport, **crawler_kwargs)
+        return SteamStudy(world=self.world, _dataset=result.dataset)
+
+    def run(
+        self,
+        include_table4: bool = True,
+        include_week_panel: bool = True,
+        table4_max_tail: int = 60_000,
+    ) -> StudyReport:
+        """Compute every table and figure."""
+        ds = self._dataset
+        table4 = (
+            dist_mod.classify_distributions(ds, max_tail=table4_max_tail)
+            if include_table4
+            else None
+        )
+        week_panel = None
+        if include_week_panel and self.world is not None:
+            week_panel = panel_mod.analyze_week_panel(self.world.week_panel())
+        sec8 = (
+            evo_mod.snapshot_comparison(ds) if ds.snapshot2 is not None else None
+        )
+        sec9 = (
+            ach_mod.achievement_report(ds)
+            if ds.achievements is not None
+            else None
+        )
+        return StudyReport(
+            summary=ds.summary(),
+            table1=social_mod.country_table(ds),
+            table2=groups_mod.group_type_table(ds),
+            table3=pct_mod.percentile_table(ds),
+            table4=table4,
+            fig1_evolution=social_mod.network_evolution(ds),
+            fig2_degrees=social_mod.degree_distributions(ds),
+            fig3_group_games=groups_mod.distinct_games_played(ds),
+            fig4_ownership=own_mod.ownership_distribution(ds),
+            fig5_genre_ownership=own_mod.genre_ownership(ds),
+            fig6_playtime_cdf=exp_mod.playtime_cdf(ds),
+            fig7_twoweek=exp_mod.twoweek_nonzero(ds),
+            fig8_market_value=exp_mod.market_value_distribution(ds),
+            fig9_genre_expenditure=exp_mod.genre_expenditure(ds),
+            fig10_multiplayer=mp_mod.multiplayer_share(ds),
+            fig11_homophily=homo_mod.homophily(ds),
+            sec7_cross_correlations=homo_mod.cross_correlations(ds),
+            sec8_evolution=sec8,
+            sec9_achievements=sec9,
+            fig12_week_panel=week_panel,
+        )

@@ -1,0 +1,87 @@
+"""Figure 12: week-long daily playtime panel analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spearman import spearman
+from repro.simworld.weekpanel import WeekPanel
+
+__all__ = ["WeekPanelStats", "analyze_week_panel"]
+
+
+@dataclass(frozen=True)
+class WeekPanelStats:
+    """Quantified version of Figure 12's visual findings."""
+
+    #: Hours matrix of week-active users, rows sorted by day-1 hours.
+    sorted_hours: np.ndarray
+    n_active: int
+    n_sampled: int
+    #: Spearman between day-1 hours and hours on each later day.
+    day1_correlations: tuple[float, ...]
+    #: Among users idle on day 1 (but active in the week), the share that
+    #: played on a later day — the paper's "not a singular group of heavy
+    #: hitters" point (this is 1.0 by construction; the interesting part
+    #: is how large the day-1-idle group is).
+    day1_idle_share: float
+    #: Mean hours per day of the top decile (by day-1) vs the rest, on
+    #: days 2-7 — the "left half is lighter" persistent-ordering check.
+    top_decile_later_mean: float
+    rest_later_mean: float
+    #: Mean hours per panel day (day 1 = Saturday in the paper's window).
+    daily_means: tuple[float, ...] = ()
+
+    def weekend_heavier(self, first_weekday: int = 5) -> bool:
+        """Weekend days carry more play than weekdays on average."""
+        if not self.daily_means:
+            return False
+        weekend, weekdays = [], []
+        for day, mean in enumerate(self.daily_means):
+            if (first_weekday + day) % 7 >= 5:
+                weekend.append(mean)
+            else:
+                weekdays.append(mean)
+        if not weekend or not weekdays:
+            return False
+        return float(np.mean(weekend)) > float(np.mean(weekdays))
+
+    def ordering_persists(self) -> bool:
+        return self.top_decile_later_mean > self.rest_later_mean
+
+
+def analyze_week_panel(panel: WeekPanel) -> WeekPanelStats:
+    """Reproduce Figure 12's panel construction and its two findings."""
+    active = panel.active()
+    hours = active.hours
+    if len(hours) == 0:
+        raise ValueError("no active users in the panel")
+    order = np.argsort(hours[:, 0], kind="stable")
+    sorted_hours = hours[order]
+
+    day1 = hours[:, 0]
+    correlations = tuple(
+        spearman(day1, hours[:, d]) if len(day1) > 2 else float("nan")
+        for d in range(1, hours.shape[1])
+    )
+    idle_day1 = day1 == 0
+    day1_idle_share = float(np.mean(idle_day1))
+
+    # Persistent ordering: day-1 heavy players stay heavier later on.
+    threshold = np.percentile(day1, 90)
+    heavy = day1 >= max(threshold, 1e-9)
+    later = hours[:, 1:]
+    top_mean = float(later[heavy].mean()) if heavy.any() else float("nan")
+    rest_mean = float(later[~heavy].mean()) if (~heavy).any() else float("nan")
+    return WeekPanelStats(
+        sorted_hours=sorted_hours,
+        n_active=len(hours),
+        n_sampled=len(panel.users),
+        day1_correlations=correlations,
+        day1_idle_share=day1_idle_share,
+        top_decile_later_mean=top_mean,
+        rest_later_mean=rest_mean,
+        daily_means=tuple(float(hours[:, d].mean()) for d in range(hours.shape[1])),
+    )

@@ -1,0 +1,24 @@
+"""The measurement apparatus: a polite, resumable Steam crawler.
+
+Mirrors the paper's four collection phases (Section 3.1):
+
+1. :mod:`repro.crawler.profiles` — exhaustive ID-space sweep via the
+   batched (100-per-call) ``GetPlayerSummaries`` endpoint (Feb-Mar 2013),
+2. :mod:`repro.crawler.details` — per-user friends, games, and groups
+   (May-Nov 2013; one account per call, hence months, not weeks),
+3. :mod:`repro.crawler.storefront` — the product catalog via the
+   storefront ``appdetails`` endpoint at one request per two seconds,
+4. :mod:`repro.crawler.achievements` — per-game global achievement
+   percentages (the 2016 follow-up).
+
+All phases share the same politeness pacing (85% of the advertised
+limit), bounded-exponential retries, and JSON checkpoints for resume.
+:func:`repro.crawler.runner.run_full_crawl` assembles the results into a
+:class:`repro.store.dataset.SteamDataset`.
+"""
+
+from repro.crawler.runner import CrawlResult, run_full_crawl
+from repro.crawler.throttle import PolitePacer
+from repro.crawler.retry import RetryPolicy
+
+__all__ = ["run_full_crawl", "CrawlResult", "PolitePacer", "RetryPolicy"]

@@ -1,0 +1,51 @@
+"""Phase 4: per-game global achievement percentages (May 2016)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.session import CrawlSession
+from repro.steamapi.errors import NotFoundError
+
+__all__ = ["AchievementCrawl", "crawl_achievements"]
+
+
+@dataclass
+class AchievementCrawl:
+    """Per-appid achievement completion rates (fractions in [0, 1])."""
+
+    rates_by_appid: dict[int, np.ndarray]
+
+
+def crawl_achievements(
+    session: CrawlSession,
+    appids: list[int],
+    checkpoint: CrawlCheckpoint | None = None,
+    checkpoint_every: int = 500,
+) -> AchievementCrawl:
+    """Fetch global achievement percentages for every app in ``appids``."""
+    rates: dict[int, np.ndarray] = {}
+    start = checkpoint.achievements_cursor if checkpoint else 0
+    for position in range(start, len(appids)):
+        appid = int(appids[position])
+        try:
+            payload = session.get(
+                "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2",
+                gameid=appid,
+            )
+        except NotFoundError:
+            continue
+        entries = payload["achievementpercentages"]["achievements"]
+        rates[appid] = np.array(
+            [float(e["percent"]) / 100.0 for e in entries], dtype=np.float32
+        )
+        if checkpoint and (position + 1) % checkpoint_every == 0:
+            checkpoint.achievements_cursor = position + 1
+            checkpoint.save()
+    if checkpoint:
+        checkpoint.achievements_cursor = len(appids)
+        checkpoint.save()
+    return AchievementCrawl(rates_by_appid=rates)

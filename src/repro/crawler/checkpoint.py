@@ -1,0 +1,65 @@
+"""Resumable crawl state.
+
+A crawl over 100+ million accounts runs for months (the paper's phase 2
+spanned May to November 2013); surviving restarts is a hard requirement.
+The checkpoint stores per-phase cursors in a JSON file, written
+atomically (write-to-temp + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CrawlCheckpoint"]
+
+
+@dataclass
+class CrawlCheckpoint:
+    """Per-phase progress cursors, persisted as JSON."""
+
+    path: Path | None = None
+    #: Next ID-space offset for the profile sweep.
+    profile_cursor: int = 0
+    #: Number of users whose detail crawl completed.
+    detail_cursor: int = 0
+    #: Number of catalog apps fetched.
+    storefront_cursor: int = 0
+    #: Number of apps whose achievements were fetched.
+    achievements_cursor: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CrawlCheckpoint":
+        """Load a checkpoint, or start fresh when the file is absent."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(
+            path=path,
+            profile_cursor=data.get("profile_cursor", 0),
+            detail_cursor=data.get("detail_cursor", 0),
+            storefront_cursor=data.get("storefront_cursor", 0),
+            achievements_cursor=data.get("achievements_cursor", 0),
+            extra=data.get("extra", {}),
+        )
+
+    def save(self) -> None:
+        """Atomically persist the cursors (no-op when path is unset)."""
+        if self.path is None:
+            return
+        payload = {
+            "profile_cursor": self.profile_cursor,
+            "detail_cursor": self.detail_cursor,
+            "storefront_cursor": self.storefront_cursor,
+            "achievements_cursor": self.achievements_cursor,
+            "extra": self.extra,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)

@@ -1,0 +1,115 @@
+"""Phase 2: per-user friends, games, and group memberships.
+
+One account per API call (three calls per account), which is why the
+paper's phase 2 took six months against phase 1's three weeks.  Results
+accumulate into flat arrays ready for CSR assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.session import CrawlSession, unix_to_day
+from repro.steamapi.errors import PrivateProfileError
+from repro.steamapi.models import GROUP_ID_BASE
+
+__all__ = ["DetailCrawl", "crawl_details"]
+
+
+@dataclass
+class DetailCrawl:
+    """Raw detail-phase harvest (SteamID-keyed, pre-assembly)."""
+
+    #: Friendship endpoints as raw SteamIDs plus formation day (-1 when
+    #: the friendship predates Steam's Sept-2008 timestamping epoch).
+    edge_a: np.ndarray
+    edge_b: np.ndarray
+    edge_day: np.ndarray
+    #: Library entries: crawled-user position, appid, playtimes (minutes).
+    lib_user: np.ndarray
+    lib_appid: np.ndarray
+    lib_total_min: np.ndarray
+    lib_twoweek_min: np.ndarray
+    #: Membership entries: crawled-user position, dense group index.
+    member_user: np.ndarray
+    member_group: np.ndarray
+    #: Accounts whose details were private (modern-API behavior).
+    n_private: int = 0
+
+
+def crawl_details(
+    session: CrawlSession,
+    steamids: np.ndarray,
+    checkpoint: CrawlCheckpoint | None = None,
+    checkpoint_every: int = 2_000,
+) -> DetailCrawl:
+    """Crawl friends/games/groups for every account in ``steamids``."""
+    edge_a: list[int] = []
+    edge_b: list[int] = []
+    edge_day: list[int] = []
+    lib_user: list[int] = []
+    lib_appid: list[int] = []
+    lib_total: list[int] = []
+    lib_twoweek: list[int] = []
+    member_user: list[int] = []
+    member_group: list[int] = []
+
+    n_private = 0
+    start = checkpoint.detail_cursor if checkpoint else 0
+    for position in range(start, len(steamids)):
+        steamid = int(steamids[position])
+
+        try:
+            friends = session.get(
+                "/ISteamUser/GetFriendList/v1", steamid=steamid
+            )["friendslist"]["friends"]
+        except PrivateProfileError:
+            n_private += 1
+            continue
+        for record in friends:
+            other = int(record["steamid"])
+            if other <= steamid:
+                continue  # keep each undirected edge once (u < v)
+            since = int(record.get("friend_since", 0))
+            edge_a.append(steamid)
+            edge_b.append(other)
+            edge_day.append(unix_to_day(since) if since > 0 else -1)
+
+        games = session.get(
+            "/IPlayerService/GetOwnedGames/v1", steamid=steamid
+        )["response"].get("games", [])
+        for game in games:
+            lib_user.append(position)
+            lib_appid.append(int(game["appid"]))
+            lib_total.append(int(game.get("playtime_forever", 0)))
+            lib_twoweek.append(int(game.get("playtime_2weeks", 0)))
+
+        groups = session.get(
+            "/ISteamUser/GetUserGroupList/v1", steamid=steamid
+        )["response"].get("groups", [])
+        for group in groups:
+            member_user.append(position)
+            member_group.append(int(group["gid"]) - GROUP_ID_BASE)
+
+        if checkpoint and (position + 1) % checkpoint_every == 0:
+            checkpoint.detail_cursor = position + 1
+            checkpoint.save()
+
+    if checkpoint:
+        checkpoint.detail_cursor = len(steamids)
+        checkpoint.save()
+    return DetailCrawl(
+        edge_a=np.array(edge_a, dtype=np.int64),
+        edge_b=np.array(edge_b, dtype=np.int64),
+        edge_day=np.array(edge_day, dtype=np.int32),
+        lib_user=np.array(lib_user, dtype=np.int64),
+        lib_appid=np.array(lib_appid, dtype=np.int64),
+        lib_total_min=np.array(lib_total, dtype=np.int64),
+        lib_twoweek_min=np.array(lib_twoweek, dtype=np.int32),
+        member_user=np.array(member_user, dtype=np.int64),
+        member_group=np.array(member_group, dtype=np.int64),
+        n_private=n_private,
+    )

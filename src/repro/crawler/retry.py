@@ -1,0 +1,65 @@
+"""Bounded-exponential retry around API calls."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.steamapi.errors import (
+    ApiError,
+    BadRequestError,
+    NotFoundError,
+    PrivateProfileError,
+    RateLimitedError,
+    UnauthorizedError,
+)
+
+__all__ = ["RetryPolicy", "RetriesExhausted"]
+
+T = TypeVar("T")
+
+#: Errors that retrying will never fix.
+_FATAL = (
+    BadRequestError,
+    NotFoundError,
+    PrivateProfileError,
+    UnauthorizedError,
+)
+
+
+class RetriesExhausted(ApiError):
+    """All retry attempts failed."""
+
+    status = 503
+
+
+@dataclass
+class RetryPolicy:
+    """Retry transient failures; honour rate-limit ``retry_after`` hints."""
+
+    max_attempts: int = 5
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    sleeper: Callable[[float], None] = time.sleep
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn``, retrying transient API errors."""
+        last: ApiError | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except _FATAL:
+                raise
+            except RateLimitedError as exc:
+                last = exc
+                self.sleeper(min(exc.retry_after, self.backoff_cap))
+            except ApiError as exc:
+                last = exc
+                delay = min(
+                    self.backoff_base * 2.0**attempt, self.backoff_cap
+                )
+                self.sleeper(delay)
+        raise RetriesExhausted(
+            f"gave up after {self.max_attempts} attempts: {last}"
+        )

@@ -1,0 +1,261 @@
+"""Full-crawl orchestration: four phases in, one SteamDataset out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crawler.achievements import crawl_achievements
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.details import DetailCrawl, crawl_details
+from repro.crawler.profiles import ProfileSweep, sweep_profiles
+from repro.crawler.retry import RetryPolicy
+from repro.crawler.session import CrawlSession
+from repro.crawler.storefront import catalog_arrays, crawl_storefront
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.models import GROUP_ID_BASE
+from repro.steamapi.transport import Transport
+from repro.store.dataset import DatasetMeta, SteamDataset
+from repro.store.tables import (
+    AccountTable,
+    AchievementTable,
+    CatalogTable,
+    CSRMatrix,
+    FriendTable,
+    GroupTable,
+    GroupType,
+    LibraryTable,
+    Snapshot2Table,
+)
+
+__all__ = ["CrawlResult", "run_full_crawl"]
+
+
+@dataclass
+class CrawlResult:
+    """A crawled dataset plus collection statistics."""
+
+    dataset: SteamDataset
+    requests_made: int
+    sweep: ProfileSweep
+
+
+def _assemble_accounts(sweep: ProfileSweep) -> AccountTable:
+    """Build the account table; country names ordered by report count."""
+    counts: dict[str, int] = {}
+    for name in sweep.countries:
+        if name is not None:
+            counts[name] = counts.get(name, 0) + 1
+    names = tuple(sorted(counts, key=lambda n: -counts[n]))
+    index = {name: i for i, name in enumerate(names)}
+    country = np.array(
+        [index[name] if name is not None else -1 for name in sweep.countries],
+        dtype=np.int16,
+    )
+    return AccountTable(
+        id_offset=sweep.offsets,
+        created_day=sweep.created_day,
+        country=country,
+        city=sweep.cities.astype(np.int32),
+        country_names=names,
+    )
+
+
+def _assemble_friends(
+    details: DetailCrawl, offsets: np.ndarray, base: int
+) -> FriendTable:
+    """SteamID pairs -> dense-index canonical edge list."""
+    if len(details.edge_a) == 0:
+        empty = np.empty(0, dtype=np.int32)
+        return FriendTable(
+            u=empty, v=empty, day=empty.copy(), n_users=len(offsets)
+        )
+    a = np.searchsorted(offsets, details.edge_a - base)
+    b = np.searchsorted(offsets, details.edge_b - base)
+    valid = (
+        (a < len(offsets))
+        & (b < len(offsets))
+        & (offsets[np.minimum(a, len(offsets) - 1)] == details.edge_a - base)
+        & (offsets[np.minimum(b, len(offsets) - 1)] == details.edge_b - base)
+    )
+    a, b, day = a[valid], b[valid], details.edge_day[valid]
+    lo = np.minimum(a, b).astype(np.int64)
+    hi = np.maximum(a, b).astype(np.int64)
+    key = lo * np.int64(len(offsets)) + hi
+    _, first = np.unique(key, return_index=True)
+    return FriendTable(
+        u=lo[first].astype(np.int32),
+        v=hi[first].astype(np.int32),
+        day=day[first],
+        n_users=len(offsets),
+    )
+
+
+def _assemble_library(
+    details: DetailCrawl, n_users: int, catalog_appids: np.ndarray
+) -> LibraryTable:
+    """Map appids to dense product indices and build the user CSR."""
+    product = np.searchsorted(catalog_appids, details.lib_appid)
+    product = np.clip(product, 0, len(catalog_appids) - 1)
+    valid = catalog_appids[product] == details.lib_appid
+    user = details.lib_user[valid]
+    owned, order = CSRMatrix.from_pairs(
+        user, product[valid].astype(np.int32), n_users
+    )
+    return LibraryTable(
+        owned=owned,
+        total_min=details.lib_total_min[valid][order],
+        twoweek_min=details.lib_twoweek_min[valid][order],
+    )
+
+
+def _assemble_groups(
+    session: CrawlSession,
+    details: DetailCrawl,
+    n_users: int,
+    catalog_appids: np.ndarray,
+    label_top_n: int,
+) -> GroupTable:
+    """Memberships -> group table; top groups labelled via page scrape."""
+    if len(details.member_group):
+        n_groups = int(details.member_group.max()) + 1
+    else:
+        n_groups = 0
+    members, _ = CSRMatrix.from_pairs(
+        details.member_group,
+        details.member_user.astype(np.int32),
+        n_groups,
+    )
+    group_type = np.full(
+        n_groups, int(GroupType.SPECIAL_INTEREST), dtype=np.int8
+    )
+    focus = np.full(n_groups, -1, dtype=np.int32)
+    sizes = members.counts()
+    top = np.argsort(-sizes, kind="stable")[: min(label_top_n, n_groups)]
+    for g in top:
+        payload = session.get(
+            "/community/group", gid=GROUP_ID_BASE + int(g)
+        )["group"]
+        group_type[g] = payload["type"]
+        focus_appid = payload.get("focus_appid")
+        if focus_appid is not None:
+            pos = int(np.searchsorted(catalog_appids, int(focus_appid)))
+            if (
+                pos < len(catalog_appids)
+                and catalog_appids[pos] == focus_appid
+            ):
+                focus[g] = pos
+    return GroupTable(
+        group_type=group_type,
+        focus_game=focus,
+        members=members,
+        n_users=n_users,
+    )
+
+
+def _assemble_achievements(
+    rates_by_appid: dict[int, np.ndarray], catalog_appids: np.ndarray
+) -> AchievementTable:
+    n = len(catalog_appids)
+    counts = np.zeros(n, dtype=np.int64)
+    rate_lists: list[np.ndarray] = [np.empty(0, dtype=np.float32)] * n
+    for appid, rates in rates_by_appid.items():
+        pos = int(np.searchsorted(catalog_appids, appid))
+        if pos < n and catalog_appids[pos] == appid:
+            counts[pos] = len(rates)
+            rate_lists[pos] = rates
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    rates = (
+        np.concatenate(rate_lists)
+        if any(len(r) for r in rate_lists)
+        else np.empty(0, dtype=np.float32)
+    )
+    return AchievementTable(
+        count=counts, indptr=indptr, rates=rates.astype(np.float32)
+    )
+
+
+def run_full_crawl(
+    transport: Transport,
+    advertised_rate: float = 1e9,
+    politeness: float = 0.85,
+    label_top_groups: int = 250,
+    checkpoint: CrawlCheckpoint | None = None,
+    snapshot2: Snapshot2Table | None = None,
+    clock=None,
+    sleeper=None,
+    stop_after_empty: int = 100,
+) -> SteamDataset:
+    """Run all crawl phases and assemble the dataset.
+
+    ``advertised_rate`` defaults to effectively-unlimited so that
+    simulated full crawls don't actually sleep; pass the real limit (and
+    optionally a virtual clock) to study crawl duration, as
+    ``benchmarks/bench_crawler_throughput.py`` does.
+
+    ``snapshot2`` may carry the second-crawl aggregates forward (the
+    repeat crawl is byte-identical mechanics, so it is not replayed).
+    """
+    from repro import constants
+
+    pacer = PolitePacer(
+        advertised_rate,
+        politeness,
+        clock=clock,
+        sleeper=sleeper or (lambda s: None),
+    )
+    session = CrawlSession(
+        transport=transport, pacer=pacer, retry=RetryPolicy(sleeper=sleeper or (lambda s: None))
+    )
+
+    sweep = sweep_profiles(
+        session, checkpoint=checkpoint, stop_after_empty=stop_after_empty
+    )
+    accounts = _assemble_accounts(sweep)
+
+    catalog_crawl = crawl_storefront(session, checkpoint=checkpoint)
+    columns = catalog_arrays(catalog_crawl)
+    genre_names = columns.pop("genre_names")
+    catalog = CatalogTable(genre_names=tuple(genre_names), **columns)
+
+    steamids = sweep.offsets + constants.STEAMID_BASE
+    details = crawl_details(session, steamids, checkpoint=checkpoint)
+    friends = _assemble_friends(
+        details, sweep.offsets, constants.STEAMID_BASE
+    )
+    library = _assemble_library(
+        details, sweep.n_accounts, catalog.appid.astype(np.int64)
+    )
+    groups = _assemble_groups(
+        session,
+        details,
+        sweep.n_accounts,
+        catalog.appid.astype(np.int64),
+        label_top_groups,
+    )
+    ach_crawl = crawl_achievements(
+        session,
+        [int(a) for a in catalog.appid],
+        checkpoint=checkpoint,
+    )
+    achievements = _assemble_achievements(
+        ach_crawl.rates_by_appid, catalog.appid.astype(np.int64)
+    )
+
+    dataset = SteamDataset(
+        accounts=accounts,
+        friends=friends,
+        groups=groups,
+        catalog=catalog,
+        library=library,
+        achievements=achievements,
+        snapshot2=snapshot2,
+        meta=DatasetMeta(scale_note="assembled by crawler"),
+    )
+    return CrawlResult(
+        dataset=dataset,
+        requests_made=session.requests_made,
+        sweep=sweep,
+    )

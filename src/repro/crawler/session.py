@@ -1,0 +1,48 @@
+"""Shared crawl-session plumbing: transport + pacing + retries + key."""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.crawler.retry import RetryPolicy
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.service import DEFAULT_API_KEY
+from repro.steamapi.transport import Transport
+
+__all__ = ["CrawlSession", "unix_to_day"]
+
+_UNIX_LAUNCH = int(
+    dt.datetime(
+        constants.STEAM_LAUNCH.year,
+        constants.STEAM_LAUNCH.month,
+        constants.STEAM_LAUNCH.day,
+        tzinfo=dt.timezone.utc,
+    ).timestamp()
+)
+
+
+def unix_to_day(timestamp: int) -> int:
+    """Convert a unix timestamp to days-since-Steam-launch."""
+    return (int(timestamp) - _UNIX_LAUNCH) // 86400
+
+
+@dataclass
+class CrawlSession:
+    """One crawler's view of the API: paced, retried, authenticated."""
+
+    transport: Transport
+    pacer: PolitePacer
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    api_key: str = DEFAULT_API_KEY
+    requests_made: int = 0
+
+    def get(self, path: str, **params) -> dict:
+        """One paced, retried API request."""
+        self.pacer.pace()
+        params.setdefault("key", self.api_key)
+        self.requests_made += 1
+        return self.retry.call(
+            lambda: self.transport.request(path, params)
+        )

@@ -1,0 +1,53 @@
+"""Politeness pacing.
+
+The paper limited its call rate to roughly 85% of the maximum allowed by
+the API terms ("to reduce strain on the Steam infrastructure").
+:class:`PolitePacer` enforces exactly that: given the advertised limit,
+it spaces requests at ``politeness * limit`` with injectable clock/sleep
+so tests (and large simulated crawls) can run on virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["PolitePacer", "PAPER_POLITENESS"]
+
+#: "we limited our calls to the API to be roughly 85% of the maximum".
+PAPER_POLITENESS = 0.85
+
+
+class PolitePacer:
+    """Space requests at a fraction of the advertised API limit."""
+
+    def __init__(
+        self,
+        advertised_rate: float,
+        politeness: float = PAPER_POLITENESS,
+        clock: Callable[[], float] | None = None,
+        sleeper: Callable[[float], None] | None = None,
+    ) -> None:
+        if advertised_rate <= 0:
+            raise ValueError("advertised_rate must be positive")
+        if not 0.0 < politeness <= 1.0:
+            raise ValueError("politeness must be in (0, 1]")
+        self.rate = advertised_rate * politeness
+        self.interval = 1.0 / self.rate
+        self._clock = clock or time.monotonic
+        self._sleep = sleeper or time.sleep
+        self._next_allowed = self._clock()
+        self.total_waited = 0.0
+        self.total_requests = 0
+
+    def pace(self) -> float:
+        """Block until the next request slot; returns the wait incurred."""
+        now = self._clock()
+        wait = self._next_allowed - now
+        if wait > 0:
+            self._sleep(wait)
+            self.total_waited += wait
+            now = self._next_allowed
+        self._next_allowed = max(self._next_allowed, now) + self.interval
+        self.total_requests += 1
+        return max(wait, 0.0)

@@ -1,0 +1,16 @@
+"""Synthetic Steam universe generator.
+
+The 2013 full-network Steam crawl cannot be repeated (the API is now
+rate-limited and most profiles are private), so this subpackage generates a
+synthetic population whose marginal distributions, mixture structure
+(collectors, idlers, achievement hunters), correlation structure, and social
+graph are calibrated to the statistics the paper published.  See DESIGN.md
+for the substitution argument.
+
+Entry point: :class:`repro.simworld.world.SteamWorld`.
+"""
+
+from repro.simworld.config import WorldConfig
+from repro.simworld.world import SteamWorld
+
+__all__ = ["WorldConfig", "SteamWorld"]

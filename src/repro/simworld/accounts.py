@@ -1,0 +1,62 @@
+"""Account creation process and SteamID assignment (Section 3.1, Figure 1).
+
+Steam's user base grew roughly exponentially from launch (2003) to the
+crawl (2013); SteamIDs are assigned sequentially, so account index order is
+creation order.  We generate creation days directly in sorted order by
+inverse-transform sampling of the exponential-growth CDF on sorted
+uniforms, then place the accounts into the sparse ID space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.simworld.config import SocialConfig
+from repro.steamid import IdSpace
+
+__all__ = ["Accounts", "build_accounts", "creation_days"]
+
+
+@dataclass
+class Accounts:
+    """Creation days (sorted ascending) and sparse ID offsets."""
+
+    created_day: np.ndarray
+    id_offset: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        return len(self.created_day)
+
+
+def creation_days(
+    rng: np.random.Generator,
+    n_users: int,
+    growth_rate_per_year: float,
+    end_day: int,
+) -> np.ndarray:
+    """Sorted account-creation days under exponential population growth.
+
+    The CDF of creation time is ``(e^(g t) - 1) / (e^(g T) - 1)`` with
+    ``g`` per-day growth; inverting on sorted uniforms yields sorted days.
+    """
+    if end_day <= 0:
+        raise ValueError("end_day must be positive")
+    g = growth_rate_per_year / 365.0
+    u = np.sort(rng.random(n_users))
+    days = np.log1p(u * np.expm1(g * end_day)) / g
+    return np.minimum(days.astype(np.int32), end_day - 1)
+
+
+def build_accounts(
+    rng: np.random.Generator, n_users: int, social: SocialConfig
+) -> Accounts:
+    """Generate the account table skeleton (days + ID offsets)."""
+    end_day = constants.days_since_launch(constants.PROFILE_CRAWL_END)
+    days = creation_days(rng, n_users, social.account_growth_rate, end_day)
+    id_space = IdSpace(n_accounts=n_users)
+    offsets = id_space.assign_offsets(rng)
+    return Accounts(created_day=days, id_offset=offsets.astype(np.int64))

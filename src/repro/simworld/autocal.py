@@ -1,0 +1,135 @@
+"""Automated homophily calibration.
+
+The friendship generator's match-weight defaults were found by exactly
+this procedure: generate a small world, measure the Section 7 homophily
+correlations, and coordinate-descend the blend weights (and stub noise)
+against the paper's targets.  The tool is kept in the library so the
+calibration is reproducible and re-runnable after generator changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.simworld.config import WorldConfig
+from repro.simworld.world import SteamWorld
+
+__all__ = ["CalibrationResult", "calibrate_homophily", "homophily_loss"]
+
+#: The tunable SocialConfig fields and their search multipliers.
+TUNABLES = (
+    "match_weight_value",
+    "match_weight_degree",
+    "match_weight_play",
+    "match_weight_owned",
+    "stub_noise",
+)
+_MULTIPLIERS = (0.55, 1.5)
+
+#: Attribute key of each paper target in the homophily result dict.
+_TARGET_KEYS = {
+    "market_value": "market_value vs friends' avg",
+    "friends": "friends vs friends' avg",
+    "total_playtime": "total_playtime vs friends' avg",
+    "owned_games": "owned_games vs friends' avg",
+}
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of one calibration run."""
+
+    config: WorldConfig
+    achieved: dict[str, float]
+    targets: dict[str, float]
+    loss: float
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"evaluations: {self.evaluations}; final loss: {self.loss:.4f}"
+        ]
+        for name, rho in self.achieved.items():
+            lines.append(
+                f"  {name:<16} {rho:+.2f} (target "
+                f"{self.targets[name]:+.2f})"
+            )
+        social = self.config.social
+        for name in TUNABLES:
+            lines.append(f"  {name:<24} = {getattr(social, name):+.3f}")
+        return "\n".join(lines)
+
+
+def homophily_loss(
+    config: WorldConfig, targets: dict[str, float]
+) -> tuple[float, dict[str, float]]:
+    """Generate a world under ``config`` and score it against ``targets``."""
+    from repro.core.homophily import homophily
+
+    world = SteamWorld.generate(config)
+    rhos = homophily(world.dataset).correlations.rhos
+    achieved = {
+        name: rhos[_TARGET_KEYS[name]] for name in targets
+    }
+    loss = sum(
+        (achieved[name] - target) ** 2 for name, target in targets.items()
+    )
+    return loss, achieved
+
+
+def calibrate_homophily(
+    targets: dict[str, float] | None = None,
+    n_users: int = 30_000,
+    seed: int = 1603,
+    iterations: int = 3,
+    base: WorldConfig | None = None,
+) -> CalibrationResult:
+    """Coordinate-descent the match weights toward the paper's targets."""
+    if targets is None:
+        targets = dict(constants.HOMOPHILY_CORRELATIONS)
+    unknown = set(targets) - set(_TARGET_KEYS)
+    if unknown:
+        raise ValueError(f"unknown homophily targets: {sorted(unknown)}")
+    config = base or WorldConfig(n_users=n_users, seed=seed)
+
+    evaluations = 0
+    history: list[float] = []
+
+    def evaluate(candidate: WorldConfig) -> tuple[float, dict[str, float]]:
+        nonlocal evaluations
+        evaluations += 1
+        return homophily_loss(candidate, targets)
+
+    best_loss, best_achieved = evaluate(config)
+    history.append(best_loss)
+
+    for _ in range(iterations):
+        improved = False
+        for name in TUNABLES:
+            current = getattr(config.social, name)
+            for multiplier in _MULTIPLIERS:
+                candidate_social = dataclasses.replace(
+                    config.social, **{name: current * multiplier}
+                )
+                candidate = dataclasses.replace(
+                    config, social=candidate_social
+                )
+                loss, achieved = evaluate(candidate)
+                if loss < best_loss:
+                    best_loss, best_achieved = loss, achieved
+                    config = candidate
+                    improved = True
+            history.append(best_loss)
+        if not improved:
+            break
+    return CalibrationResult(
+        config=config,
+        achieved=best_achieved,
+        targets=dict(targets),
+        loss=best_loss,
+        evaluations=evaluations,
+        history=history,
+    )

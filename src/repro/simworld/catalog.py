@@ -1,0 +1,163 @@
+"""Synthetic product catalog (Sections 3.1 and 5).
+
+Each product carries a latent *quality* score that drives its ownership
+popularity, price tier, multiplayer probability, Metacritic score, and
+(in :mod:`repro.simworld.achievements`) its achievement count — the
+couplings behind Figures 5/9/10 and the Section 9 correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.simworld.config import CatalogConfig
+from repro.store.tables import CatalogTable
+
+__all__ = ["CatalogTruth", "build_catalog"]
+
+
+@dataclass
+class CatalogTruth:
+    """The dataset-visible catalog plus hidden generation state."""
+
+    table: CatalogTable
+    #: Latent quality (standard normal scale) per product.
+    quality: np.ndarray
+    #: Ownership-popularity weight per product (zero for non-games).
+    popularity: np.ndarray
+
+    @property
+    def n_products(self) -> int:
+        return self.table.n_products
+
+
+def _sample_genres(
+    rng: np.random.Generator, n: int, config: CatalogConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Primary genre index and full genre bitmask per product."""
+    shares = np.asarray(config.genre_primary_shares, dtype=np.float64)
+    shares = shares / shares.sum()
+    n_genres = len(shares)
+    primary = rng.choice(n_genres, size=n, p=shares).astype(np.int8)
+    mask = (np.uint64(1) << primary.astype(np.uint64)).astype(np.uint64)
+    # Secondary labels are drawn uniformly (not by primary share), so that
+    # the any-label Action share stays near the paper's 38.1%.
+    for rate in (config.secondary_genre_rate, config.tertiary_genre_rate):
+        extra = rng.integers(0, n_genres, size=n)
+        take = rng.random(n) < rate
+        add = (np.uint64(1) << extra.astype(np.uint64)).astype(np.uint64)
+        mask = np.where(take, mask | add, mask)
+    # The big Free to Play / MMO titles are Action hybrids (DOTA-likes).
+    action_bit = np.uint64(1) << np.uint64(config.genre_names.index("Action"))
+    f2p_like = np.isin(
+        primary,
+        [
+            config.genre_names.index("Free to Play"),
+            config.genre_names.index("Massively Multiplayer"),
+        ],
+    )
+    hybrid = f2p_like & (rng.random(n) < 0.75)
+    mask = np.where(hybrid, mask | action_bit, mask)
+    return primary, mask
+
+
+def _sample_prices(
+    rng: np.random.Generator,
+    quality: np.ndarray,
+    is_action: np.ndarray,
+    config: CatalogConfig,
+) -> np.ndarray:
+    """Price (cents) per product; quality and Action tilt to higher tiers."""
+    points = np.asarray(config.price_points)
+    weights = np.asarray(config.price_weights, dtype=np.float64)
+    if len(points) != len(weights):
+        raise ValueError("price_points and price_weights must align")
+    log_w = np.log(weights / weights.sum())
+    # Tier index grows with quality: add slope * quality * normalized tier
+    # position to the log-weights, then Gumbel-max sample per product.
+    tier_pos = np.linspace(-0.5, 0.5, len(points))
+    tilt = config.price_quality_slope * quality + config.price_action_slope * is_action
+    logits = log_w[None, :] + tilt[:, None] * tier_pos[None, :]
+    gumbel = rng.gumbel(size=logits.shape)
+    choice = np.argmax(logits + gumbel, axis=1)
+    return np.round(points[choice] * 100).astype(np.int32)
+
+
+def _release_days(
+    rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """Release day per product; catalog additions accelerate over time."""
+    end = constants.days_since_launch(constants.CATALOG_CRAWL_DATE)
+    u = rng.random(n)
+    return (end * u ** 0.45).astype(np.int32)
+
+
+def build_catalog(
+    rng: np.random.Generator, config: CatalogConfig
+) -> CatalogTruth:
+    """Generate the full product catalog."""
+    n = config.n_products
+    is_game = rng.random(n) < config.game_share
+    quality = rng.standard_normal(n)
+    primary, genre_mask = _sample_genres(rng, n, config)
+    is_action = (genre_mask & (np.uint64(1) << np.uint64(config.genre_names.index('Action')))) != 0
+    price_cents = _sample_prices(rng, quality, is_action.astype(np.float64), config)
+
+    # Free-to-play titles have zero price regardless of sampled tier.
+    f2p_idx = config.genre_names.index("Free to Play")
+    f2p = primary == f2p_idx
+    price_cents[f2p] = 0
+
+    # Multiplayer probability rises with quality around the catalog share.
+    base_logit = np.log(
+        config.multiplayer_share / (1.0 - config.multiplayer_share)
+    )
+    logits = base_logit + config.multiplayer_quality_slope * quality
+    multiplayer = rng.random(n) < 1.0 / (1.0 + np.exp(-logits))
+    multiplayer |= f2p  # the big F2P titles are all multiplayer
+
+    metacritic = np.clip(
+        config.metacritic_mean
+        + 3.5 * quality
+        + config.metacritic_sd * rng.standard_normal(n) * 0.8,
+        20,
+        97,
+    ).astype(np.int8)
+
+    # Ownership popularity: Zipf over quality rank (quality and popularity
+    # are deliberately monotone-coupled), scaled per genre.
+    popularity = np.zeros(n)
+    games = np.flatnonzero(is_game)
+    rank = np.empty(len(games), dtype=np.int64)
+    rank[np.argsort(-quality[games])] = np.arange(len(games))
+    popularity[games] = (rank + 1.0 + config.popularity_offset) ** (
+        -config.popularity_zipf
+    )
+    boost = dict(config.genre_popularity_boost)
+    boost_arr = np.array(
+        [boost.get(name, 1.0) for name in config.genre_names]
+    )
+    popularity *= boost_arr[primary]
+    total = popularity.sum()
+    if total > 0:
+        popularity /= total
+
+    appid = np.sort(
+        rng.choice(np.arange(10, 600_000, 10), size=n, replace=False)
+    ).astype(np.int32)
+
+    table = CatalogTable(
+        appid=appid,
+        is_game=is_game,
+        primary_genre=primary,
+        genre_mask=genre_mask,
+        price_cents=price_cents,
+        multiplayer=multiplayer,
+        release_day=_release_days(rng, n),
+        metacritic=metacritic,
+        genre_names=tuple(config.genre_names),
+    )
+    return CatalogTruth(table=table, quality=quality, popularity=popularity)

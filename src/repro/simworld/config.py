@@ -1,0 +1,490 @@
+"""World generation configuration.
+
+Every tunable of the synthetic Steam universe lives here, grouped by
+subsystem.  The defaults are calibrated so that the analyses in
+:mod:`repro.core` reproduce the paper's published statistics (percentile
+anchors are taken verbatim from Table 3; mixture and kernel parameters were
+tuned empirically — see ``tests/simworld/test_calibration.py``).
+
+Scale-dependent quantities (expected maxima, collector counts) are expressed
+at *paper scale* (108.7 M accounts) and translated to the configured
+``n_users`` by the generator modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+
+#: Anchor tuples are ((quantile, value), ...) over the *engaged*
+#: subpopulation for each attribute (users with a nonzero value), which is
+#: how the Table 3 rows reconcile with the population totals (see DESIGN.md).
+Anchors = tuple[tuple[float, float], ...]
+
+
+def _anchors(values: tuple[float, ...]) -> Anchors:
+    return tuple(zip((p / 100.0 for p in constants.TABLE3_PERCENTILES), values))
+
+
+@dataclass(frozen=True)
+class GeographyConfig:
+    """Countries, cities, and self-report rates (Table 1, Section 4.1)."""
+
+    n_countries: int = constants.NUM_DISTINCT_COUNTRIES
+    top_country_shares: tuple[float, ...] = tuple(
+        constants.TABLE1_COUNTRY_SHARES.values()
+    )
+    top_country_names: tuple[str, ...] = tuple(constants.TABLE1_COUNTRY_SHARES)
+    #: Zipf exponent for the share decay of the remaining 226 countries.
+    other_zipf: float = 0.55
+    country_report_rate: float = constants.COUNTRY_REPORT_RATE
+    city_report_rate: float = constants.CITY_REPORT_RATE
+    #: Cities per country scale with sqrt(country share); this is the base.
+    cities_base: int = 12
+    cities_scale: int = 260
+    #: Zipf exponent of within-country city population.
+    city_zipf: float = 1.10
+
+
+@dataclass(frozen=True)
+class FactorConfig:
+    """Gaussian copula latent-factor correlations.
+
+    Factors: ``soc`` (sociability → friends), ``wealth`` (library size),
+    ``price`` (price intensity → market value residual), ``play`` (total
+    playtime), ``rec`` (recency → two-week playtime).  Pairwise latent
+    correlations approximate the paper's Spearman rhos via
+    ``r = 2 sin(pi * rho / 6)``.
+    """
+
+    soc_wealth: float = 0.72
+    soc_price: float = 0.10
+    soc_play: float = 0.40
+    soc_rec: float = 0.18
+    wealth_price: float = 0.30
+    wealth_play: float = 0.38
+    wealth_rec: float = 0.60
+    price_play: float = 0.08
+    price_rec: float = 0.08
+    play_rec: float = 0.55
+
+
+@dataclass(frozen=True)
+class SocialConfig:
+    """Friendship graph generation (Section 4, Figures 1-2, 11)."""
+
+    #: 2 * edges / accounts at paper scale = 3.613.
+    mean_friends_all_accounts: float = constants.MEAN_FRIENDS_ALL_ACCOUNTS
+    degree_anchors: Anchors = _anchors(constants.TABLE3["friends"])
+    #: Pareto exponent beyond the 99th-percentile anchor (before caps).
+    degree_tail_alpha: float = 1.9
+    friend_cap_default: int = constants.FRIEND_CAP_DEFAULT
+    friend_cap_facebook: int = constants.FRIEND_CAP_FACEBOOK
+    friend_slots_per_level: int = constants.FRIEND_SLOTS_PER_LEVEL
+    #: Share of users who linked a Facebook account (raises cap to 300).
+    facebook_link_rate: float = 0.15
+    #: Steam level ~ geometric; mean level among leveled users.
+    level_mean: float = 4.0
+    #: Fraction of edges matched within the same city / same country pools.
+    pool_city: float = 0.28
+    pool_country: float = 0.58
+    #: Per-stub noise added to the match score before adjacent-stub
+    #: pairing; smaller values mean stronger homophily.
+    stub_noise: float = 0.15
+    #: Degree-scaled widening of the per-stub noise (tail users need
+    #: distinct partners; their circles are also genuinely more diverse).
+    stub_noise_degree_spread: float = 0.22
+    #: Deficit-compensation rounds for stub matching (dedup losses).
+    match_rounds: int = 6
+    #: Fraction of the edge budget formed by triadic closure
+    #: (friend-of-friend introductions) — the mechanism behind the
+    #: small-world clustering Becker et al. observed and Section 2.2
+    #: corroborates.
+    triadic_closure: float = 0.22
+    #: Match-score blend weights over *realized attribute ranks*
+    #: (normalized internally).  These set the relative homophily
+    #: strengths of Section 7: market value strongest (0.77), degree and
+    #: playtime next (0.62/0.61), library size weakest (0.45).
+    match_weight_value: float = 1.75
+    match_weight_degree: float = 1.45
+    match_weight_play: float = 0.85
+    match_weight_owned: float = -0.80
+    match_weight_noise: float = 0.20
+    #: Account creation growth rate per year (exponential user growth).
+    account_growth_rate: float = 0.42
+    #: Friendship formation acceleration exponent (ts = t0 + u^(1/g) * span).
+    friendship_accel: float = 1.8
+
+
+@dataclass(frozen=True)
+class CatalogConfig:
+    """Product catalog (Section 3.1, 5; Figures 5, 9, 10)."""
+
+    n_products: int = constants.TOTAL_PRODUCTS
+    #: Fraction of products that are actual games (rest: demos, DLC, video).
+    game_share: float = 0.78
+    #: Genre catalog shares (games can carry several genres; the first is
+    #: primary).  Action share matches Section 5's 38.1%.
+    genre_names: tuple[str, ...] = (
+        "Action",
+        "Strategy",
+        "Indie",
+        "RPG",
+        "Adventure",
+        "Simulation",
+        "Casual",
+        "Sports",
+        "Racing",
+        "Free to Play",
+        "Massively Multiplayer",
+        "Early Access",
+    )
+    #: Primary-label shares; chosen so that the *any-label* Action share
+    #: (how the paper counts genre membership) lands on 38.1% once
+    #: secondary labels are added.
+    genre_primary_shares: tuple[float, ...] = (
+        0.330,
+        0.130,
+        0.155,
+        0.080,
+        0.090,
+        0.060,
+        0.075,
+        0.025,
+        0.020,
+        0.020,
+        0.008,
+        0.007,
+    )
+    #: Probability a game carries a second / third genre label.
+    secondary_genre_rate: float = 0.55
+    tertiary_genre_rate: float = 0.20
+    multiplayer_share: float = constants.MULTIPLAYER_CATALOG_SHARE
+    #: Multiplayer is likelier for popular games: logistic boost on quality.
+    multiplayer_quality_slope: float = 0.10
+    #: Price tiers (dollars) and base weights; free-to-play handled via genre.
+    price_points: tuple[float, ...] = (
+        0.0,
+        0.99,
+        2.99,
+        4.99,
+        6.99,
+        9.99,
+        14.99,
+        19.99,
+        24.99,
+        29.99,
+        39.99,
+        49.99,
+        59.99,
+    )
+    price_weights: tuple[float, ...] = (
+        0.075,
+        0.07,
+        0.11,
+        0.16,
+        0.11,
+        0.16,
+        0.11,
+        0.095,
+        0.04,
+        0.03,
+        0.02,
+        0.018,
+        0.012,
+    )
+    #: Popularity (ownership-weight) Zipf exponent across the catalog,
+    #: with a head offset so the single top title does not dominate all
+    #: aggregate (genre/multiplayer) playtime shares.
+    popularity_zipf: float = 1.02
+    popularity_offset: float = 5.0
+    #: Per-genre popularity multipliers: Action titles (and the big F2P /
+    #: MMO multiplayer titles) dominate ownership and playtime (Figures 5,
+    #: 9), beyond their catalog share.
+    genre_popularity_boost: tuple[tuple[str, float], ...] = (
+        ("Action", 1.45),
+        ("Free to Play", 1.9),
+        ("Massively Multiplayer", 1.5),
+        ("Strategy", 1.0),
+        ("RPG", 1.05),
+        ("Indie", 0.70),
+        ("Casual", 0.55),
+        ("Adventure", 0.85),
+        ("Sports", 0.80),
+        ("Racing", 0.75),
+        ("Simulation", 0.85),
+        ("Early Access", 0.8),
+    )
+    #: Price correlates positively with popularity/quality (AAA effect).
+    price_quality_slope: float = 0.15
+    #: Action titles price above the catalog baseline (AAA skew) so the
+    #: genre's market-value share (Figure 9: 51.9%) exceeds its catalog
+    #: share.
+    price_action_slope: float = 0.60
+    metacritic_mean: float = 71.0
+    metacritic_sd: float = 9.0
+
+
+@dataclass(frozen=True)
+class OwnershipConfig:
+    """Library sizes and composition (Section 5, Figures 4-5)."""
+
+    mean_owned_all_accounts: float = (
+        constants.TOTAL_OWNED_GAMES / constants.TOTAL_ACCOUNTS
+    )
+    owned_anchors: Anchors = _anchors(constants.TABLE3["owned_games"])
+    #: Beyond-p99 lognormal sigma: puts the expected maximum near the
+    #: paper's 2,148 games at 108.7 M-account scale (collectors add the
+    #: extreme outliers on top), and keeps the tail in the
+    #: lognormal-vs-truncated-power-law ambiguity band that Table 4
+    #: labels "long-tailed".
+    owned_tail_sigma: float = 0.91
+    #: Collector mixture: share of owners with huge, mostly-unplayed
+    #: libraries; the bundle bump reproduces Figure 4's 1268-1290 uptick.
+    collector_share: float = 6.0e-5
+    collector_min: float = 450.0
+    collector_max_paper: float = float(constants.MAX_OWNED_SNAPSHOT1)
+    collector_bump_range: tuple[int, int] = constants.COLLECTOR_BUMP_OWNED
+    collector_bump_weight: float = 0.18
+    collector_played_max: float = 0.35
+    #: Baseline per-copy unplayed probability, modulated per genre so the
+    #: aggregate per-genre unplayed rates land on Section 5's numbers.
+    genre_unplayed_rates: tuple[tuple[str, float], ...] = (
+        ("Action", 0.4149),
+        ("Strategy", 0.2886),
+        ("Indie", 0.3230),
+        ("RPG", 0.2426),
+        ("Adventure", 0.30),
+        ("Simulation", 0.28),
+        ("Casual", 0.34),
+        ("Sports", 0.27),
+        ("Racing", 0.28),
+        ("Free to Play", 0.20),
+        ("Massively Multiplayer", 0.22),
+        ("Early Access", 0.30),
+    )
+    #: How strongly library size inflates the unplayed probability.
+    unplayed_size_slope: float = 0.12
+    #: Popular titles get played; shelfware skews obscure.  Exponential
+    #: tilt of the unplayed probability in the game's popularity
+    #: percentile (higher = stronger concentration of played games).
+    unplayed_popularity_slope: float = 1.8
+    #: Price-preference tilt exponent range across price tiers.  A wide,
+    #: cheap-skewed span decouples account market value from raw library
+    #: size (bundle/F2P hoarders vs AAA buyers), which the Section 7
+    #: homophily gap (0.77 vs 0.45) requires.
+    price_tilt_span: float = 5.0
+    price_tilt_shift: float = -1.25
+    n_price_tiers: int = 8
+
+
+@dataclass(frozen=True)
+class PlaytimeConfig:
+    """Total and two-week playtime (Section 6, Figures 6-10)."""
+
+    total_anchors_hours: Anchors = _anchors(
+        constants.TABLE3["total_playtime_hours"]
+    )
+    #: Lognormal tail sigma beyond p99; wide enough that the body stays
+    #: decisively heavier than exponential (the paper classifies total
+    #: playtime as lognormal), capped at ~11 play-years.
+    total_tail_sigma: float = 1.35
+    total_cap_hours: float = 95_000.0
+    #: Multiplicative lognormal jitter applied to sampled playtimes: it
+    #: smooths the piecewise-Pareto kinks of the anchored quantile curve
+    #: (which otherwise confuse the Table 4 likelihood-ratio tests)
+    #: while moving the percentile anchors by well under 2%.
+    total_jitter_sigma: float = 0.18
+    twoweek_jitter_sigma: float = 0.15
+    #: Fraction of owners with zero total playtime (own but never played
+    #: anything); Figure 4's played-games distribution implies a gap.
+    never_played_share: float = 0.12
+    #: Two-week playtime: share of owners with zero (Figure 6 says > 80%).
+    twoweek_zero_share: float = 0.82
+    #: Non-zero two-week anchors, re-expressed over the non-zero population
+    #: from Table 3's overall rows + Figure 7's 80th percentile (32.05 h).
+    twoweek_nonzero_anchors_hours: Anchors = (
+        (0.4444, 8.7),
+        (0.722, 25.5),
+        (0.80, 32.05),
+        (0.9444, 70.8),
+    )
+    twoweek_tail_alpha: float = 2.6
+    twoweek_cap_hours: float = constants.TWOWEEK_MAX_HOURS
+    twoweek_min_hours: float = 1.0 / 60.0
+    #: Idlers: users parked at 80-97% of the two-week cap (0.01% of users).
+    idler_share: float = constants.IDLER_SHARE
+    idler_range: tuple[float, float] = (0.80, 0.97)
+    #: Playtime allocation across a library: weights ~ popularity^e *
+    #: stickiness, then a Zipf-like concentration on the user's top games.
+    alloc_concentration: float = 1.35
+    #: Exponent flattening ownership popularity inside the allocation:
+    #: without it the few mega-popular (multiplayer) titles soak up nearly
+    #: all playtime and the Figure 10 split cannot land at 57.7%.
+    alloc_popularity_exponent: float = 0.20
+    #: Multiplier applied to allocation weight of multiplayer games.
+    multiplayer_stickiness: float = 1.00
+    twoweek_multiplayer_stickiness: float = 1.5
+    #: Per-genre allocation stickiness (any-genre match): Action soaks up
+    #: disproportionate playtime (Figure 9: 49.2% of playtime vs 38.1% of
+    #: the catalog).
+    genre_stickiness: tuple[tuple[str, float], ...] = (
+        ("Action", 0.65),
+        ("Free to Play", 1.10),
+        ("Massively Multiplayer", 1.25),
+        ("Casual", 0.55),
+        ("Indie", 0.65),
+        ("Adventure", 0.75),
+    )
+    #: Games played in the two-week window per active user (mean, >= 1).
+    twoweek_games_mean: float = 2.1
+    #: Single-game devotees: players whose playtime concentrates almost
+    #: entirely on one title (the clan pattern behind Figure 3's
+    #: "90-100% of playtime on a single game" groups).
+    devotee_share: float = 0.20
+    devotee_boost: float = 150.0
+
+
+@dataclass(frozen=True)
+class GroupConfig:
+    """Groups and memberships (Section 4.2, Table 2, Figure 3)."""
+
+    groups_per_account: float = (
+        constants.TOTAL_GROUPS / constants.TOTAL_ACCOUNTS
+    )
+    memberships_per_account: float = (
+        constants.TOTAL_GROUP_MEMBERSHIPS / constants.TOTAL_ACCOUNTS
+    )
+    membership_anchors: Anchors = _anchors(
+        constants.TABLE3["group_memberships"]
+    )
+    membership_tail_alpha: float = 2.5
+    #: Oversampling factor compensating dedup losses in recruitment.
+    recruit_overshoot: float = 1.22
+    #: Group size Zipf exponent (heavy-tailed group sizes).
+    size_zipf: float = 1.38
+    min_size: int = 1
+    #: Table 2 mix for the biggest groups (sampled by size rank).
+    top_type_counts: tuple[tuple[str, int], ...] = tuple(
+        constants.TABLE2_GROUP_TYPES.items()
+    )
+    #: Type mix for ordinary (non-top) groups.
+    base_type_weights: tuple[tuple[str, float], ...] = (
+        ("Single Game", 0.42),
+        ("Gaming Community", 0.26),
+        ("Game Server", 0.16),
+        ("Special Interest", 0.14),
+        ("Publisher", 0.015),
+        ("Steam", 0.005),
+    )
+    #: Probability that a member of a game-focused group owns its focus game.
+    focus_affinity: float = 0.72
+    #: Weight of a user's playtime on the focus game when recruiting
+    #: (players of the game join its groups, not mere owners).
+    focus_playtime_weight: float = 3.0
+    #: Share of Single Game groups that are "clans": near-total focus
+    #: affinity, members selected by how *concentrated* their playtime is
+    #: on the focus game.  These produce Figure 3's 4.97% of large groups
+    #: whose members devote 90-100% of playtime to one game.
+    clan_share: float = 0.55
+    clan_affinity: float = 1.0
+    clan_concentration_power: float = 12.0
+    #: Number of focus games for a Game Server / Gaming Community group.
+    server_focus_games: int = 4
+
+
+@dataclass(frozen=True)
+class AchievementConfig:
+    """Per-game achievements (Section 9)."""
+
+    #: Share of games exposing no achievements at all.
+    no_achievements_share: float = 0.22
+    mode: int = constants.ACHIEVEMENTS_MODE
+    median: int = constants.ACHIEVEMENTS_MEDIAN
+    lognorm_sigma: float = 0.78
+    #: Achievement-count coupling to game quality within the 1-90 band.
+    quality_slope: float = 0.75
+    #: Share of games with "spam" achievement lists (> 90, up to 1629).
+    spam_share: float = 0.02
+    spam_max: int = constants.ACHIEVEMENTS_MAX
+    #: Average completion-rate model (Beta-like, genre-shifted).
+    completion_mode: float = constants.ACH_COMPLETION_MODE
+    completion_median: float = 0.115
+    genre_completion_means: tuple[tuple[str, float], ...] = (
+        ("Adventure", 0.19),
+        ("Strategy", 0.11),
+        ("Action", 0.14),
+        ("RPG", 0.16),
+        ("Casual", 0.17),
+        ("Indie", 0.15),
+    )
+    default_completion_mean: float = 0.145
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Second snapshot, ~1 year later (Section 8)."""
+
+    #: Second-snapshot ownership anchors: p80 moves 10 -> 15; other anchors
+    #: scaled by the same 1.5x with a heavier tail (max 2148 -> 3919).
+    owned_growth_p80: float = 1.5
+    owned_tail_sigma2: float = 1.02
+    max_owned_paper2: float = float(constants.MAX_OWNED_SNAPSHOT2)
+    #: Market value p80 moves 150.88 -> 224.93 (1.49x).
+    value_growth_p80: float = constants.P80_MARKET_VALUE_SNAPSHOT2 / constants.FIG8_P80_MARKET_VALUE
+    #: Total playtime accrues ~55% more over the year in the mean.
+    playtime_growth_mean: float = 1.55
+    #: Rank-preserving noise (comonotonic growth with jitter).
+    rank_jitter: float = 0.06
+
+
+@dataclass(frozen=True)
+class PanelConfig:
+    """Week-long daily playtime panel (Section 8, Figure 12)."""
+
+    sample_rate: float = constants.WEEK_PANEL_SAMPLE_RATE
+    n_days: int = 7
+    #: The paper's panel ran Saturday Nov 1 through Friday Nov 7, 2014;
+    #: played hours rise on weekend days by this factor.
+    weekend_boost: float = 1.55
+    #: Day-of-week index of day 1 (Saturday).
+    first_weekday: int = 5
+    #: Probability an active-ish user plays on a given day.
+    base_play_prob: float = 0.38
+    #: Day-to-day burstiness of a user's hours (gamma shape).
+    gamma_shape: float = 0.9
+    max_hours_per_day: float = 24.0
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Top-level configuration: scale, seed, and per-subsystem settings."""
+
+    n_users: int = 100_000
+    seed: int = 1603
+    paper_accounts: int = constants.TOTAL_ACCOUNTS
+    geography: GeographyConfig = field(default_factory=GeographyConfig)
+    factors: FactorConfig = field(default_factory=FactorConfig)
+    social: SocialConfig = field(default_factory=SocialConfig)
+    catalog: CatalogConfig = field(default_factory=CatalogConfig)
+    ownership: OwnershipConfig = field(default_factory=OwnershipConfig)
+    playtime: PlaytimeConfig = field(default_factory=PlaytimeConfig)
+    groups: GroupConfig = field(default_factory=GroupConfig)
+    achievements: AchievementConfig = field(default_factory=AchievementConfig)
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    panel: PanelConfig = field(default_factory=PanelConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1_000:
+            raise ValueError(
+                "n_users must be >= 1000; percentile calibration is "
+                "meaningless below that"
+            )
+        if self.paper_accounts <= 0:
+            raise ValueError("paper_accounts must be positive")
+
+    @property
+    def scale_factor(self) -> float:
+        """Ratio of simulated population to the paper's 108.7 M accounts."""
+        return self.n_users / self.paper_accounts

@@ -1,0 +1,141 @@
+"""Gaussian copula over behavioral latent factors.
+
+Each account carries a latent vector (sociability, wealth, price intensity,
+play propensity, recency) drawn from a correlated multivariate normal.
+Attributes are produced by pushing the marginal uniforms
+``Phi(z)`` through the anchored quantile curves of
+:mod:`repro.simworld.marginals`; because those transforms are monotone,
+Spearman rank correlations are controlled entirely by the latent
+correlation matrix (``rho_s = (6/pi) * asin(r/2)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.simworld.config import FactorConfig
+
+FACTOR_NAMES = ("soc", "wealth", "price", "play", "rec")
+
+__all__ = [
+    "FACTOR_NAMES",
+    "LatentFactors",
+    "correlation_matrix",
+    "draw_latents",
+    "conditional_uniform",
+    "spearman_to_pearson",
+    "pearson_to_spearman",
+]
+
+
+def spearman_to_pearson(rho_s: float) -> float:
+    """Latent Pearson correlation yielding a target Spearman rho."""
+    return 2.0 * math.sin(math.pi * rho_s / 6.0)
+
+
+def pearson_to_spearman(r: float) -> float:
+    """Spearman rho implied by a latent Gaussian Pearson correlation."""
+    return (6.0 / math.pi) * math.asin(r / 2.0)
+
+
+def correlation_matrix(factors: FactorConfig) -> np.ndarray:
+    """Assemble (and PSD-repair) the 5x5 latent correlation matrix."""
+    pairs = {
+        ("soc", "wealth"): factors.soc_wealth,
+        ("soc", "price"): factors.soc_price,
+        ("soc", "play"): factors.soc_play,
+        ("soc", "rec"): factors.soc_rec,
+        ("wealth", "price"): factors.wealth_price,
+        ("wealth", "play"): factors.wealth_play,
+        ("wealth", "rec"): factors.wealth_rec,
+        ("price", "play"): factors.price_play,
+        ("price", "rec"): factors.price_rec,
+        ("play", "rec"): factors.play_rec,
+    }
+    size = len(FACTOR_NAMES)
+    corr = np.eye(size)
+    index = {name: i for i, name in enumerate(FACTOR_NAMES)}
+    for (a, b), value in pairs.items():
+        corr[index[a], index[b]] = corr[index[b], index[a]] = value
+    return _nearest_psd(corr)
+
+
+def _nearest_psd(corr: np.ndarray) -> np.ndarray:
+    """Clip negative eigenvalues and renormalize the diagonal to 1."""
+    eigvals, eigvecs = np.linalg.eigh(corr)
+    if eigvals.min() >= 1e-10:
+        return corr
+    eigvals = np.clip(eigvals, 1e-10, None)
+    fixed = (eigvecs * eigvals) @ eigvecs.T
+    scale = np.sqrt(np.diag(fixed))
+    return fixed / np.outer(scale, scale)
+
+
+@dataclass(frozen=True)
+class LatentFactors:
+    """Per-account latent normals and their probability transforms."""
+
+    z: np.ndarray  # shape (n, 5)
+
+    def __post_init__(self) -> None:
+        if self.z.ndim != 2 or self.z.shape[1] != len(FACTOR_NAMES):
+            raise ValueError("latent matrix must be (n, 5)")
+
+    def __len__(self) -> int:
+        return self.z.shape[0]
+
+    def factor(self, name: str) -> np.ndarray:
+        """Latent normal column for ``name``."""
+        return self.z[:, FACTOR_NAMES.index(name)]
+
+    def uniform(self, name: str) -> np.ndarray:
+        """Marginal uniform ``Phi(z)`` for ``name``."""
+        return ndtr(self.factor(name))
+
+    def blend(self, weights: dict[str, float], noise: np.ndarray | None = None) -> np.ndarray:
+        """Normalized linear blend of factors (plus optional noise column).
+
+        Used for the friendship match score: the homophily strength of each
+        attribute is governed by the weight of its driving factor.
+        """
+        total = np.zeros(len(self))
+        norm = 0.0
+        for name, weight in weights.items():
+            if name == "noise":
+                continue
+            total += weight * self.factor(name)
+            norm += weight * weight
+        if noise is not None:
+            weight = weights.get("noise", 0.0)
+            total += weight * noise
+            norm += weight * weight
+        if norm <= 0:
+            raise ValueError("blend weights must not be all zero")
+        return total / math.sqrt(norm)
+
+
+def draw_latents(
+    rng: np.random.Generator, n: int, factors: FactorConfig
+) -> LatentFactors:
+    """Sample ``n`` latent vectors from the configured copula."""
+    corr = correlation_matrix(factors)
+    chol = np.linalg.cholesky(corr)
+    z = rng.standard_normal((n, len(FACTOR_NAMES))) @ chol.T
+    return LatentFactors(z=z)
+
+
+def conditional_uniform(u: np.ndarray, selected: np.ndarray, fraction: float) -> np.ndarray:
+    """Re-uniformize ``u`` over the top-``fraction`` selected subpopulation.
+
+    When engagement gating keeps the users with ``u > 1 - fraction``, the
+    selected users' ``u`` values are squeezed back onto [0, 1) so they can
+    feed a marginal quantile curve directly.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    out = (u[selected] - (1.0 - fraction)) / fraction
+    return np.clip(out, 0.0, np.nextafter(1.0, 0.0))

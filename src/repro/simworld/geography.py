@@ -1,0 +1,118 @@
+"""Countries, cities, and self-reported location (Table 1, Section 4.1).
+
+Every simulated account has a *true* country and city (used by the
+friendship generator's locality pools); only a random 10.7% / 4.0% of users
+*report* them, which is all the dataset — and hence all the analysis —
+ever sees, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simworld.config import GeographyConfig
+
+__all__ = ["Geography", "build_geography"]
+
+
+@dataclass
+class Geography:
+    """Per-user location truth plus reporting masks."""
+
+    country_names: tuple[str, ...]
+    #: True country index per user.
+    country: np.ndarray
+    #: True globally-unique city id per user.
+    city: np.ndarray
+    #: Reporting masks (what ends up in the dataset).
+    reports_country: np.ndarray
+    reports_city: np.ndarray
+    #: First city id of each country (cities are contiguous per country).
+    city_offsets: np.ndarray
+
+    @property
+    def n_countries(self) -> int:
+        return len(self.country_names)
+
+    @property
+    def n_cities(self) -> int:
+        return int(self.city_offsets[-1])
+
+    def reported_country(self) -> np.ndarray:
+        """Country column as stored in the dataset (-1 where unreported)."""
+        out = self.country.astype(np.int16).copy()
+        out[~self.reports_country] = -1
+        return out
+
+    def reported_city(self) -> np.ndarray:
+        """City column as stored in the dataset (-1 where unreported)."""
+        out = self.city.astype(np.int32).copy()
+        out[~self.reports_city] = -1
+        return out
+
+
+def country_shares(config: GeographyConfig) -> np.ndarray:
+    """Population share per country; head from Table 1, Zipf tail."""
+    head = np.asarray(config.top_country_shares, dtype=np.float64)
+    n_other = config.n_countries - len(head)
+    if n_other <= 0:
+        return head / head.sum()
+    ranks = np.arange(1, n_other + 1, dtype=np.float64)
+    tail = ranks ** (-config.other_zipf)
+    tail *= (1.0 - head.sum()) / tail.sum()
+    return np.concatenate([head, tail])
+
+
+def country_name_list(config: GeographyConfig) -> tuple[str, ...]:
+    """Named head from Table 1 plus synthetic names for the tail."""
+    n_other = config.n_countries - len(config.top_country_names)
+    others = tuple(f"Country-{i:03d}" for i in range(n_other))
+    return config.top_country_names + others
+
+
+def build_geography(
+    rng: np.random.Generator, n_users: int, config: GeographyConfig
+) -> Geography:
+    """Assign true and reported locations to ``n_users`` accounts."""
+    shares = country_shares(config)
+    names = country_name_list(config)
+    country = rng.choice(len(shares), size=n_users, p=shares).astype(np.int16)
+
+    # Cities per country grow with sqrt(share): big countries have more
+    # distinct cities, but sublinearly (population concentrates).
+    n_cities = np.maximum(
+        config.cities_base,
+        np.round(config.cities_scale * np.sqrt(shares)).astype(np.int64),
+    )
+    city_offsets = np.zeros(len(shares) + 1, dtype=np.int64)
+    np.cumsum(n_cities, out=city_offsets[1:])
+
+    # Within-country city choice: Zipf over the country's cities.  Draw one
+    # uniform per user and invert the per-country city CDF; countries are
+    # processed together via a shared exponent.
+    city = np.empty(n_users, dtype=np.int32)
+    u = rng.random(n_users)
+    for c in np.unique(country):
+        mask = country == c
+        k = int(n_cities[c])
+        weights = np.arange(1, k + 1, dtype=np.float64) ** (-config.city_zipf)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        local = np.searchsorted(cdf, u[mask], side="right")
+        city[mask] = city_offsets[c] + np.minimum(local, k - 1)
+
+    reports_country = rng.random(n_users) < config.country_report_rate
+    # City reporters are a subset of country reporters.
+    reports_city = reports_country & (
+        rng.random(n_users) < config.city_report_rate / config.country_report_rate
+    )
+    return Geography(
+        country_names=names,
+        country=country,
+        city=city,
+        reports_country=reports_country,
+        reports_city=reports_city,
+        city_offsets=city_offsets,
+    )

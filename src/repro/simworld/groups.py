@@ -1,0 +1,320 @@
+"""Groups and memberships (Section 4.2, Table 2, Figure 3).
+
+Group sizes are heavy-tailed (Pareto draws rescaled to the global
+membership budget); the largest groups get their types from Table 2's
+manual-labelling mix.  Game-focused groups recruit preferentially among
+owners of their focus game(s), which is what gives Figure 3 its shape:
+focused groups whose members play few distinct games versus sprawling
+communities whose members play hundreds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simworld.catalog import CatalogTruth
+from repro.simworld.config import GroupConfig
+from repro.simworld.copula import LatentFactors, conditional_uniform
+from repro.simworld.marginals import AnchoredCurve, TailSpec
+from repro.simworld.ownership import Ownership
+from repro.store.tables import CSRMatrix, GROUP_TYPE_BY_LABEL, GroupTable, GroupType
+
+__all__ = ["build_groups", "membership_curve", "group_sizes"]
+
+
+@dataclass
+class _Recruits:
+    """Scratch state while filling group memberships."""
+
+    weights_cdf: np.ndarray
+    users: np.ndarray
+
+
+def membership_curve(config: GroupConfig) -> AnchoredCurve:
+    """Memberships-per-user marginal over group members."""
+    return AnchoredCurve(
+        anchors=config.membership_anchors,
+        x_min=1.0,
+        tail=TailSpec("pareto", config.membership_tail_alpha),
+        discrete=True,
+    )
+
+
+def group_sizes(
+    rng: np.random.Generator, n_groups: int, budget: int, config: GroupConfig
+) -> np.ndarray:
+    """Heavy-tailed group sizes summing approximately to ``budget``."""
+    raw = (1.0 - rng.random(n_groups)) ** (-1.0 / config.size_zipf)
+    sizes = np.maximum(
+        config.min_size, np.round(raw * budget / raw.sum()).astype(np.int64)
+    )
+    return sizes
+
+
+def _assign_types(
+    rng: np.random.Generator, sizes: np.ndarray, config: GroupConfig
+) -> np.ndarray:
+    """Group type per group; the top-250 mix follows Table 2."""
+    n_groups = len(sizes)
+    types = np.empty(n_groups, dtype=np.int8)
+
+    base_labels = [label for label, _ in config.base_type_weights]
+    base_weights = np.array([w for _, w in config.base_type_weights])
+    base_weights = base_weights / base_weights.sum()
+    base_codes = np.array(
+        [GROUP_TYPE_BY_LABEL[label] for label in base_labels], dtype=np.int8
+    )
+    types[:] = rng.choice(base_codes, size=n_groups, p=base_weights)
+
+    top_n = min(250, n_groups)
+    top_idx = np.argsort(-sizes, kind="stable")[:top_n]
+    top_pool: list[int] = []
+    total_top = sum(count for _, count in config.top_type_counts)
+    for label, count in config.top_type_counts:
+        share = int(round(count / total_top * top_n))
+        top_pool.extend([GROUP_TYPE_BY_LABEL[label]] * share)
+    while len(top_pool) < top_n:
+        top_pool.append(GroupType.GAME_SERVER)
+    top_arr = np.array(top_pool[:top_n], dtype=np.int8)
+    rng.shuffle(top_arr)
+    types[top_idx] = top_arr
+    return types
+
+
+def build_groups(
+    rng: np.random.Generator,
+    latents: LatentFactors,
+    ownership: Ownership,
+    catalog: CatalogTruth,
+    config: GroupConfig,
+    entry_total_min: np.ndarray | None = None,
+    user_total_min: np.ndarray | None = None,
+) -> GroupTable:
+    """Generate groups, their types/focus games, and memberships.
+
+    ``entry_total_min`` (aligned with ``ownership.owned.indices``) biases
+    game-focused recruitment toward users who actually *play* the focus
+    game, which concentrates each group's played-game footprint
+    (Figure 3) and creates the small single-game-dedicated cohort.
+    """
+    n_users = len(latents)
+    n_groups = max(10, int(round(config.groups_per_account * n_users)))
+    budget = int(
+        round(
+            config.memberships_per_account
+            * n_users
+            * config.recruit_overshoot
+        )
+    )
+    sizes = group_sizes(rng, n_groups, budget, config)
+    types = _assign_types(rng, sizes, config)
+
+    # Per-user join propensity: marginal target count, used as a sampling
+    # weight so realized membership counts follow the anchored curve shape.
+    curve = membership_curve(config)
+    member_frac = min(
+        0.9, config.memberships_per_account / curve.mean()
+    )
+    u_soc = latents.uniform("soc")
+    # Group joiners overlap heavily with the friended crowd: reuse soc.
+    member_mask = u_soc > 1.0 - member_frac
+    propensity = np.zeros(n_users)
+    cond = conditional_uniform(u_soc, member_mask, member_frac)
+    propensity[member_mask] = curve.ppf(cond)
+
+    global_users = np.flatnonzero(member_mask)
+    global_cdf = np.cumsum(propensity[global_users])
+    if len(global_users) == 0 or global_cdf[-1] <= 0:
+        empty = CSRMatrix(
+            indptr=np.zeros(n_groups + 1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int32),
+        )
+        return GroupTable(
+            group_type=types,
+            focus_game=np.full(n_groups, -1, dtype=np.int32),
+            members=empty,
+            n_users=n_users,
+        )
+    global_pool = _Recruits(weights_cdf=global_cdf, users=global_users)
+
+    # Focus games: popularity-biased picks among actual games.
+    game_ids = catalog.table.game_ids()
+    game_pop = catalog.popularity[game_ids]
+    game_cdf = np.cumsum(game_pop / game_pop.sum())
+    focus_game = np.full(n_groups, -1, dtype=np.int32)
+    game_focused = np.isin(
+        types, [GroupType.SINGLE_GAME, GroupType.GAME_SERVER]
+    )
+    picks = np.searchsorted(game_cdf, rng.random(int(game_focused.sum())))
+    focus_game[game_focused] = game_ids[np.minimum(picks, len(game_ids) - 1)]
+
+    # A share of Single Game groups are clans (dedicated-playtime crews).
+    is_clan = np.zeros(n_groups, dtype=bool)
+    single = types == GroupType.SINGLE_GAME
+    is_clan[single] = rng.random(int(single.sum())) < config.clan_share
+
+    # Transpose ownership to game -> owners, keeping per-entry playtime
+    # aligned so focus recruitment can weight by minutes played.
+    entry_game = ownership.owned.indices.astype(np.int64)
+    entry_user = ownership.owned.row_ids()
+    owners_of, transpose_order = CSRMatrix.from_pairs(
+        entry_game, entry_user.astype(np.int32), catalog.n_products
+    )
+    if entry_total_min is None:
+        minutes_by_game = np.zeros(owners_of.nnz)
+    else:
+        minutes_by_game = entry_total_min.astype(np.float64)[transpose_order]
+
+    member_lists: list[np.ndarray] = []
+    for g in range(n_groups):
+        size = int(sizes[g])
+        members = _recruit(
+            rng,
+            size,
+            focus_game[g],
+            config,
+            owners_of,
+            minutes_by_game,
+            propensity,
+            global_pool,
+            clan=bool(is_clan[g]),
+            user_total_min=user_total_min,
+        )
+        member_lists.append(members)
+
+    counts = np.array([len(m) for m in member_lists], dtype=np.int64)
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = (
+        np.concatenate(member_lists).astype(np.int32)
+        if member_lists
+        else np.empty(0, dtype=np.int32)
+    )
+    return GroupTable(
+        group_type=types,
+        focus_game=focus_game,
+        members=CSRMatrix(indptr=indptr, indices=indices),
+        n_users=n_users,
+    )
+
+
+def _focus_weights(
+    config: GroupConfig,
+    focus_users: np.ndarray,
+    focus_minutes: np.ndarray | None,
+    propensity: np.ndarray,
+    clan: bool,
+    user_total_min: np.ndarray | None,
+) -> np.ndarray:
+    """Recruitment weights over the owners of a group's focus game."""
+    hours = (
+        focus_minutes / 60.0
+        if focus_minutes is not None
+        else np.zeros(len(focus_users))
+    )
+    weights = (
+        propensity[focus_users]
+        + 0.05
+        + config.focus_playtime_weight * np.sqrt(hours)
+    )
+    if clan and user_total_min is not None and focus_minutes is not None:
+        totals = np.maximum(user_total_min[focus_users], 1.0)
+        share = np.clip(focus_minutes / totals, 0.0, 1.0)
+        weights = (hours + 0.01) * share**config.clan_concentration_power
+    return weights
+
+
+def _recruit(
+    rng: np.random.Generator,
+    size: int,
+    focus: int,
+    config: GroupConfig,
+    owners_of: CSRMatrix,
+    minutes_by_game: np.ndarray,
+    propensity: np.ndarray,
+    global_pool: _Recruits,
+    clan: bool = False,
+    user_total_min: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pick ``size`` distinct members for one group."""
+    affinity = config.clan_affinity if clan else config.focus_affinity
+    n_focus = 0
+    focus_users: np.ndarray | None = None
+    focus_minutes: np.ndarray | None = None
+    if focus >= 0:
+        focus_users = owners_of.row(int(focus))
+        focus_minutes = minutes_by_game[owners_of.row_slice(int(focus))]
+        if len(focus_users):
+            n_focus = int(round(size * affinity))
+
+    picks: list[np.ndarray] = []
+    if n_focus > 0 and focus_users is not None and len(focus_users) > 0:
+        w = _focus_weights(
+            config, focus_users, focus_minutes, propensity, clan,
+            user_total_min,
+        )
+        cdf = np.cumsum(w)
+        draw = np.searchsorted(
+            cdf, rng.random(n_focus) * cdf[-1], side="right"
+        )
+        picks.append(focus_users[np.minimum(draw, len(focus_users) - 1)])
+
+    n_global = size - n_focus
+    if n_global > 0:
+        cdf = global_pool.weights_cdf
+        draw = np.searchsorted(
+            cdf, rng.random(n_global) * cdf[-1], side="right"
+        )
+        picks.append(
+            global_pool.users[np.minimum(draw, len(global_pool.users) - 1)]
+        )
+    if not picks:
+        return np.empty(0, dtype=np.int64)
+    members = np.unique(np.concatenate(picks))
+    # Top up duplicate-sampling shortfall so realized sizes track the
+    # planned heavy-tailed size sequence (Table 2 ranks by size), keeping
+    # the focus/global recruitment split intact.
+    global_cdf = global_pool.weights_cdf
+    pool_size = len(global_pool.users)
+    has_focus = focus_users is not None and len(focus_users) > 0
+    if has_focus:
+        focus_cdf = np.cumsum(
+            _focus_weights(
+                config, focus_users, focus_minutes, propensity, clan,
+                user_total_min,
+            )
+        )
+    else:
+        focus_cdf = None
+    for _ in range(4):
+        missing = size - len(members)
+        if missing <= 0 or len(members) >= pool_size:
+            break
+        n_draw = int(missing * 1.3) + 2
+        extras = []
+        if has_focus and focus_cdf is not None:
+            n_f = int(round(n_draw * affinity))
+            if n_f:
+                draw = np.searchsorted(
+                    focus_cdf,
+                    rng.random(n_f) * focus_cdf[-1],
+                    side="right",
+                )
+                extras.append(
+                    focus_users[np.minimum(draw, len(focus_users) - 1)]
+                )
+            n_draw -= n_f
+        if n_draw > 0:
+            draw = np.searchsorted(
+                global_cdf, rng.random(n_draw) * global_cdf[-1], side="right"
+            )
+            extras.append(
+                global_pool.users[np.minimum(draw, pool_size - 1)]
+            )
+        members = np.union1d(members, np.concatenate(extras))
+    if len(members) > size:
+        members = rng.choice(members, size=size, replace=False)
+        members.sort()
+    return members

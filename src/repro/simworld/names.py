@@ -1,0 +1,36 @@
+"""Deterministic synthetic product names.
+
+The real catalog endpoints return human-readable titles; the exports and
+the API simulator use these instead of bare ``app-440`` placeholders.
+Names are a pure function of the appid, so every component (generator,
+API, crawler, exports) agrees without storing strings in the dataset.
+"""
+
+from __future__ import annotations
+
+__all__ = ["game_name"]
+
+_ADJECTIVES = (
+    "Eternal", "Rogue", "Iron", "Crimson", "Forgotten", "Stellar",
+    "Savage", "Quantum", "Shattered", "Silent", "Burning", "Frozen",
+    "Hidden", "Mighty", "Ancient", "Neon",
+)
+_NOUNS = (
+    "Frontier", "Legion", "Odyssey", "Bastion", "Horizon", "Dungeon",
+    "Empire", "Raiders", "Protocol", "Citadel", "Warfare", "Galaxy",
+    "Kingdoms", "Outpost", "Arena", "Expedition",
+)
+_SUFFIXES = (
+    "", "", "", " II", " III", " Online", ": Origins", ": Reborn",
+    " Deluxe", ": Tactics", " Zero", ": Exile", " Unlimited", " HD",
+    ": Legends", " Anthology",
+)
+
+
+def game_name(appid: int) -> str:
+    """A stable, human-readable title for a product id."""
+    appid = int(appid)
+    adjective = _ADJECTIVES[(appid // 7) % len(_ADJECTIVES)]
+    noun = _NOUNS[(appid // 113) % len(_NOUNS)]
+    suffix = _SUFFIXES[(appid // 1777) % len(_SUFFIXES)]
+    return f"{adjective} {noun}{suffix}"

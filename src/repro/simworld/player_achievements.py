@@ -1,0 +1,102 @@
+"""Per-player achievement unlocks — the paper's Section 9 future work.
+
+The paper could only obtain *global* per-game completion percentages and
+explicitly notes that assessing the "achievement hunter" cohort "requires
+access to individual players' achievement statistics instead of
+aggregations".  This module generates exactly that: an unlocked-count per
+library entry, consistent with the game-level aggregates, driven by
+
+- playtime on the entry (more play, more unlocks, saturating),
+- the game's own average completion rate, and
+- a small *hunter* trait: players who systematically complete games.
+
+Per-game owner-average completion is renormalized onto the game's global
+rate, so the aggregate view matches what the 2016 API exposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simworld.ownership import Ownership
+from repro.store.tables import AchievementTable
+
+__all__ = ["PlayerAchievements", "build_player_achievements"]
+
+#: Share of players who hunt achievements systematically.
+HUNTER_SHARE = 0.02
+#: Hunters complete nearly everything they play.
+HUNTER_COMPLETION = 0.92
+
+
+@dataclass
+class PlayerAchievements:
+    """Unlock counts per library entry, plus the hidden hunter mask."""
+
+    #: Unlocked achievements per library entry (aligned with owned.indices).
+    unlocked: np.ndarray
+    hunter_mask: np.ndarray
+
+    def completion_rate(
+        self, achievements: AchievementTable, entry_game: np.ndarray
+    ) -> np.ndarray:
+        """Per-entry completion fraction (nan when the game offers none)."""
+        counts = achievements.count[entry_game].astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(counts > 0, self.unlocked / counts, np.nan)
+
+
+def build_player_achievements(
+    rng: np.random.Generator,
+    ownership: Ownership,
+    achievements: AchievementTable,
+    entry_total_min: np.ndarray,
+    hunter_share: float = HUNTER_SHARE,
+) -> PlayerAchievements:
+    """Generate unlock counts for every library entry."""
+    owned = ownership.owned
+    n_entries = owned.nnz
+    n_users = ownership.n_users
+    entry_user = owned.row_ids()
+    entry_game = owned.indices
+
+    hunter_mask = rng.random(n_users) < hunter_share
+
+    game_counts = achievements.count[entry_game].astype(np.float64)
+    mean_rate = achievements.mean_completion()
+    game_rate = np.nan_to_num(mean_rate[entry_game], nan=0.0)
+
+    # Playtime saturation: completion potential grows with log-hours.
+    hours = entry_total_min.astype(np.float64) / 60.0
+    saturation = np.log1p(hours) / np.log1p(hours + 40.0)
+
+    base = game_rate * (0.25 + 1.5 * saturation)
+    base = base * np.exp(0.35 * rng.standard_normal(n_entries))
+    base[hunter_mask[entry_user]] = HUNTER_COMPLETION * (
+        0.9 + 0.1 * rng.random(int(hunter_mask[entry_user].sum()))
+    )
+    base[hours <= 0] = 0.0
+
+    # Renormalize per game so the owner-average completion matches the
+    # global aggregate the 2016 API reported.
+    has_ach = game_counts > 0
+    n_products = achievements.n_products
+    sums = np.bincount(
+        entry_game[has_ach], weights=base[has_ach], minlength=n_products
+    )
+    counts = np.bincount(entry_game[has_ach], minlength=n_products)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_game_mean = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+        target = np.nan_to_num(mean_rate, nan=0.0)
+        correction = np.where(
+            per_game_mean > 0, target / np.maximum(per_game_mean, 1e-9), 1.0
+        )
+    probability = np.clip(base * correction[entry_game], 0.0, 1.0)
+    probability[~has_ach] = 0.0
+
+    unlocked = rng.binomial(
+        game_counts.astype(np.int64), probability
+    ).astype(np.int32)
+    return PlayerAchievements(unlocked=unlocked, hunter_mask=hunter_mask)

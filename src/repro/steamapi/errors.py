@@ -1,0 +1,75 @@
+"""API error taxonomy, mirrored onto HTTP status codes."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ApiError",
+    "BadRequestError",
+    "UnauthorizedError",
+    "NotFoundError",
+    "PrivateProfileError",
+    "RateLimitedError",
+    "error_for_status",
+]
+
+
+class ApiError(Exception):
+    """Base class; carries the HTTP-like status code."""
+
+    status = 500
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or self.__class__.__name__)
+        self.message = message
+
+
+class BadRequestError(ApiError):
+    """Malformed parameters (bad SteamID, too many ids, ...)."""
+
+    status = 400
+
+
+class UnauthorizedError(ApiError):
+    """Missing or revoked API key."""
+
+    status = 401
+
+
+class NotFoundError(ApiError):
+    """No such account / app."""
+
+    status = 404
+
+
+class PrivateProfileError(ApiError):
+    """The profile exists but its details are private (HTTP 403)."""
+
+    status = 403
+
+
+class RateLimitedError(ApiError):
+    """API key exceeded its request budget; retry later."""
+
+    status = 429
+
+    def __init__(self, message: str = "", retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+_BY_STATUS = {
+    cls.status: cls
+    for cls in (
+        BadRequestError,
+        UnauthorizedError,
+        NotFoundError,
+        PrivateProfileError,
+        RateLimitedError,
+    )
+}
+
+
+def error_for_status(status: int, message: str = "") -> ApiError:
+    """Reconstruct the typed error for an HTTP status code."""
+    cls = _BY_STATUS.get(status, ApiError)
+    return cls(message)

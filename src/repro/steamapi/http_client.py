@@ -1,0 +1,49 @@
+"""HTTP client transport (urllib, stdlib only)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.steamapi.errors import ApiError, RateLimitedError, error_for_status
+
+__all__ = ["HttpTransport"]
+
+
+class HttpTransport:
+    """JSON-over-HTTP access to an :class:`ApiHttpServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, path: str, params: dict) -> dict:
+        query = urllib.parse.urlencode(
+            {k: v for k, v in params.items() if v is not None}
+        )
+        url = f"{self.base_url}{path}?{query}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            message = ""
+            retry_after = 1.0
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                message = payload.get("message", "")
+            except (ValueError, OSError):
+                pass
+            header = exc.headers.get("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            error = error_for_status(exc.code, message)
+            if isinstance(error, RateLimitedError):
+                error.retry_after = retry_after
+            raise error from None
+        except urllib.error.URLError as exc:
+            raise ApiError(f"transport failure: {exc.reason}") from None

@@ -1,0 +1,93 @@
+"""JSON-over-HTTP server exposing a :class:`SteamApiService` on localhost.
+
+Stdlib only (ThreadingHTTPServer).  Typed API errors map to HTTP status
+codes; rate-limit errors carry a ``Retry-After`` header, which the
+crawler's backoff honours.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.steamapi.errors import ApiError, RateLimitedError
+from repro.steamapi.service import SteamApiService
+
+__all__ = ["ApiHttpServer", "serve"]
+
+
+def _make_handler(service: SteamApiService):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            parsed = urlparse(self.path)
+            params = {
+                name: values[0]
+                for name, values in parse_qs(parsed.query).items()
+            }
+            try:
+                payload = service.dispatch(parsed.path, params)
+                body = json.dumps(payload).encode("utf-8")
+                self._reply(200, body)
+            except ApiError as exc:
+                body = json.dumps(
+                    {"error": exc.__class__.__name__, "message": exc.message}
+                ).encode("utf-8")
+                extra = {}
+                if isinstance(exc, RateLimitedError):
+                    extra["Retry-After"] = f"{exc.retry_after:.3f}"
+                self._reply(exc.status, body, extra)
+
+        def _reply(
+            self, status: int, body: bytes, extra: dict | None = None
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args) -> None:
+            """Silence per-request stderr logging."""
+
+    return Handler
+
+
+@dataclass
+class ApiHttpServer:
+    """A running API server plus its lifecycle handles."""
+
+    server: ThreadingHTTPServer
+    thread: threading.Thread
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+    def __enter__(self) -> "ApiHttpServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(
+    service: SteamApiService, host: str = "127.0.0.1", port: int = 0
+) -> ApiHttpServer:
+    """Start serving on a background thread; port 0 picks a free port."""
+    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return ApiHttpServer(server=server, thread=thread)

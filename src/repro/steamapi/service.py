@@ -1,0 +1,351 @@
+"""The simulated Steam Web API service.
+
+Endpoints mirror the 2013 API surface the paper crawled; responses are
+JSON-shaped dicts.  A :class:`SteamApiService` wraps a
+:class:`repro.store.dataset.SteamDataset` (usually a generated world's)
+and serves it with per-key token-bucket rate limiting.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Callable
+
+import numpy as np
+
+from repro import constants
+from repro.steamapi.errors import (
+    BadRequestError,
+    NotFoundError,
+    PrivateProfileError,
+    RateLimitedError,
+    UnauthorizedError,
+)
+from repro.steamapi.models import GROUP_ID_BASE
+from repro.steamapi.ratelimit import TokenBucket
+from repro.store.dataset import SteamDataset
+
+__all__ = ["SteamApiService", "DEFAULT_API_KEY"]
+
+DEFAULT_API_KEY = "REPRO-DEFAULT-KEY"
+
+#: Max SteamIDs accepted by GetPlayerSummaries, as documented by Valve.
+MAX_SUMMARY_BATCH = 100
+
+_UNIX_LAUNCH = int(
+    dt.datetime(
+        constants.STEAM_LAUNCH.year,
+        constants.STEAM_LAUNCH.month,
+        constants.STEAM_LAUNCH.day,
+        tzinfo=dt.timezone.utc,
+    ).timestamp()
+)
+
+
+def _day_to_unix(day: int) -> int:
+    return _UNIX_LAUNCH + int(day) * 86400
+
+
+class SteamApiService:
+    """Serve a dataset through Steam Web API semantics."""
+
+    def __init__(
+        self,
+        dataset: SteamDataset,
+        rate_per_second: float = 100_000.0,
+        burst: float = 200_000.0,
+        clock: Callable[[], float] | None = None,
+        require_key: bool = True,
+        private_rate: float = 0.0,
+        private_seed: int = 0,
+    ) -> None:
+        """``private_rate`` marks that share of profiles private: their
+        summaries still resolve, but the per-user detail endpoints refuse
+        — the state of the modern Steam API, and the reason the paper's
+        2013 crawl cannot be repeated."""
+        self.dataset = dataset
+        n = dataset.n_users
+        if private_rate > 0:
+            private_rng = np.random.default_rng(private_seed)
+            self.private_mask = private_rng.random(n) < private_rate
+        else:
+            self.private_mask = np.zeros(n, dtype=bool)
+        self._rate = rate_per_second
+        self._burst = burst
+        self._clock = clock
+        self.require_key = require_key
+        self._buckets: dict[str, TokenBucket] = {}
+        self.register_key(DEFAULT_API_KEY)
+        # Request accounting (per endpoint), for throughput benchmarks.
+        self.request_counts: dict[str, int] = {}
+
+        offsets = dataset.accounts.id_offset
+        if np.any(np.diff(offsets) <= 0):
+            raise ValueError("account id offsets must be strictly increasing")
+        self._offsets = offsets
+        self._adj, self._adj_edge = dataset.friends.adjacency()
+        self._user_groups = dataset.groups.user_memberships()
+        appids = dataset.catalog.appid
+        self._app_order = np.argsort(appids)
+        self._appids_sorted = appids[self._app_order]
+
+    # -- setup ---------------------------------------------------------------
+
+    @classmethod
+    def from_world(cls, world, **kwargs) -> "SteamApiService":
+        return cls(world.dataset, **kwargs)
+
+    def register_key(
+        self, key: str, rate: float | None = None, burst: float | None = None
+    ) -> None:
+        """Issue an API key with its own token bucket."""
+        self._buckets[key] = TokenBucket(
+            rate or self._rate, burst or self._burst, clock=self._clock
+        )
+
+    # -- shared plumbing ------------------------------------------------------
+
+    def _charge(self, key: str | None, endpoint: str) -> None:
+        if self.require_key:
+            if key is None or key not in self._buckets:
+                raise UnauthorizedError("missing or unknown API key")
+            bucket = self._buckets[key]
+            if not bucket.try_acquire():
+                raise RateLimitedError(
+                    "rate limit exceeded", retry_after=bucket.wait_time()
+                )
+        self.request_counts[endpoint] = self.request_counts.get(endpoint, 0) + 1
+
+    def _user_index(self, steamid: int) -> int:
+        offset = int(steamid) - constants.STEAMID_BASE
+        if offset < 0:
+            raise BadRequestError(f"not a SteamID64: {steamid}")
+        pos = int(np.searchsorted(self._offsets, offset))
+        if pos >= len(self._offsets) or self._offsets[pos] != offset:
+            raise NotFoundError(f"no account for SteamID {steamid}")
+        return pos
+
+    def _require_public(self, user: int) -> None:
+        if self.private_mask[user]:
+            raise PrivateProfileError(
+                "profile is private; details unavailable"
+            )
+
+    def _product_index(self, appid: int) -> int:
+        pos = int(np.searchsorted(self._appids_sorted, appid))
+        if (
+            pos >= len(self._appids_sorted)
+            or self._appids_sorted[pos] != appid
+        ):
+            raise NotFoundError(f"no app {appid}")
+        return int(self._app_order[pos])
+
+    # -- endpoints ------------------------------------------------------------
+
+    def get_player_summaries(
+        self, key: str | None, steamids: list[int]
+    ) -> dict:
+        """ISteamUser/GetPlayerSummaries (batch of up to 100 ids).
+
+        Unknown SteamIDs are silently omitted from the response, exactly
+        like the real endpoint — this is how the paper's ID-space sweep
+        discovered the valid-account density profile.
+        """
+        self._charge(key, "GetPlayerSummaries")
+        if len(steamids) > MAX_SUMMARY_BATCH:
+            raise BadRequestError(
+                f"at most {MAX_SUMMARY_BATCH} steamids per call"
+            )
+        acc = self.dataset.accounts
+        players = []
+        for steamid in steamids:
+            try:
+                user = self._user_index(int(steamid))
+            except NotFoundError:
+                continue
+            entry: dict = {
+                "steamid": str(int(steamid)),
+                "timecreated": _day_to_unix(acc.created_day[user]),
+            }
+            country = int(acc.country[user])
+            if country >= 0:
+                entry["loccountrycode"] = acc.country_names[country]
+            city = int(acc.city[user])
+            if city >= 0:
+                entry["loccityid"] = city
+            players.append(entry)
+        return {"response": {"players": players}}
+
+    def get_friend_list(self, key: str | None, steamid: int) -> dict:
+        """ISteamUser/GetFriendList (single id)."""
+        self._charge(key, "GetFriendList")
+        user = self._user_index(int(steamid))
+        self._require_public(user)
+        sl = self._adj.row_slice(user)
+        others = self._adj.indices[sl]
+        edges = self._adj_edge[sl]
+        days = self.dataset.friends.day[edges]
+        epoch = self.dataset.meta.friend_ts_epoch_day
+        friends = []
+        for other, day in zip(others, days):
+            # Pre-epoch friendships report friend_since = 0, as on Steam.
+            since = _day_to_unix(day) if day >= epoch else 0
+            friends.append(
+                {
+                    "steamid": str(
+                        constants.STEAMID_BASE
+                        + int(self._offsets[int(other)])
+                    ),
+                    "relationship": "friend",
+                    "friend_since": since,
+                }
+            )
+        return {"friendslist": {"friends": friends}}
+
+    def get_owned_games(self, key: str | None, steamid: int) -> dict:
+        """IPlayerService/GetOwnedGames (single id)."""
+        self._charge(key, "GetOwnedGames")
+        user = self._user_index(int(steamid))
+        self._require_public(user)
+        lib = self.dataset.library
+        sl = lib.owned.row_slice(user)
+        appid = self.dataset.catalog.appid
+        games = []
+        for product, total, twoweek in zip(
+            lib.owned.indices[sl],
+            lib.total_min[sl],
+            lib.twoweek_min[sl],
+        ):
+            entry = {
+                "appid": int(appid[int(product)]),
+                "playtime_forever": int(total),
+            }
+            if twoweek > 0:
+                entry["playtime_2weeks"] = int(twoweek)
+            games.append(entry)
+        return {"response": {"game_count": len(games), "games": games}}
+
+    def get_user_group_list(self, key: str | None, steamid: int) -> dict:
+        """ISteamUser/GetUserGroupList (single id)."""
+        self._charge(key, "GetUserGroupList")
+        user = self._user_index(int(steamid))
+        self._require_public(user)
+        groups = [
+            {"gid": GROUP_ID_BASE + int(g)}
+            for g in self._user_groups.row(user)
+        ]
+        return {"response": {"success": True, "groups": groups}}
+
+    def get_app_list(self, key: str | None) -> dict:
+        """ISteamApps/GetAppList — the unpublicized full-catalog endpoint."""
+        self._charge(key, "GetAppList")
+        from repro.simworld.names import game_name
+
+        apps = [
+            {"appid": int(appid), "name": game_name(int(appid))}
+            for appid in self.dataset.catalog.appid
+        ]
+        return {"applist": {"apps": apps}}
+
+    def get_global_achievement_percentages(
+        self, key: str | None, gameid: int
+    ) -> dict:
+        """ISteamUserStats/GetGlobalAchievementPercentagesForApp."""
+        self._charge(key, "GetGlobalAchievementPercentages")
+        product = self._product_index(int(gameid))
+        ach = self.dataset.achievements
+        if ach is None:
+            raise NotFoundError("achievement data unavailable")
+        rates = ach.game_rates(product)
+        achievements = [
+            {"name": f"ACH_{i}", "percent": round(float(r) * 100.0, 4)}
+            for i, r in enumerate(rates)
+        ]
+        return {
+            "achievementpercentages": {"achievements": achievements}
+        }
+
+    def appdetails(self, key: str | None, appid: int) -> dict:
+        """Storefront appdetails (no API key on the real endpoint, but the
+        same politeness budget applies)."""
+        self._charge(key, "appdetails")
+        product = self._product_index(int(appid))
+        cat = self.dataset.catalog
+        genres = [
+            {"id": str(i), "description": name}
+            for i, name in enumerate(cat.genre_names)
+            if bool(cat.has_genre(name)[product])
+        ]
+        categories = []
+        if bool(cat.multiplayer[product]):
+            categories.append({"id": 1, "description": "Multi-player"})
+        else:
+            categories.append({"id": 2, "description": "Single-player"})
+        from repro.simworld.names import game_name
+
+        body = {
+            "type": "game" if bool(cat.is_game[product]) else "dlc",
+            "name": game_name(int(appid)),
+            "steam_appid": int(appid),
+            "genres": genres,
+            "categories": categories,
+            "price_overview": {
+                "currency": "USD",
+                "final": int(cat.price_cents[product]),
+            },
+            "metacritic": {"score": int(cat.metacritic[product])},
+            "release_date": {"day_index": int(cat.release_day[product])},
+        }
+        return {str(int(appid)): {"success": True, "data": body}}
+
+    def group_profile(self, key: str | None, gid: int) -> dict:
+        """Community group page "scrape".
+
+        The real API exposes no group metadata; the paper categorized the
+        top 250 groups by manually inspecting their community pages.
+        This endpoint simulates that inspection step.
+        """
+        self._charge(key, "group_profile")
+        index = int(gid) - GROUP_ID_BASE
+        groups = self.dataset.groups
+        if index < 0 or index >= groups.n_groups:
+            raise NotFoundError(f"no group {gid}")
+        focus = int(groups.focus_game[index])
+        payload = {
+            "gid": int(gid),
+            "type": int(groups.group_type[index]),
+            "member_count": int(groups.sizes()[index]),
+        }
+        if focus >= 0:
+            payload["focus_appid"] = int(self.dataset.catalog.appid[focus])
+        return {"group": payload}
+
+    # -- dispatch (shared by both transports) ---------------------------------
+
+    def dispatch(self, path: str, params: dict) -> dict:
+        """Route a request path to its endpoint (used by the transports)."""
+        key = params.get("key")
+        if path == "/ISteamUser/GetPlayerSummaries/v2":
+            raw = params.get("steamids", "")
+            if isinstance(raw, str):
+                ids = [int(s) for s in raw.split(",") if s]
+            else:
+                ids = [int(s) for s in raw]
+            return self.get_player_summaries(key, ids)
+        if path == "/ISteamUser/GetFriendList/v1":
+            return self.get_friend_list(key, int(params["steamid"]))
+        if path == "/IPlayerService/GetOwnedGames/v1":
+            return self.get_owned_games(key, int(params["steamid"]))
+        if path == "/ISteamUser/GetUserGroupList/v1":
+            return self.get_user_group_list(key, int(params["steamid"]))
+        if path == "/ISteamApps/GetAppList/v2":
+            return self.get_app_list(key)
+        if path == "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2":
+            return self.get_global_achievement_percentages(
+                key, int(params["gameid"])
+            )
+        if path == "/appdetails":
+            return self.appdetails(key, int(params["appids"]))
+        if path == "/community/group":
+            return self.group_profile(key, int(params["gid"]))
+        raise NotFoundError(f"unknown endpoint {path}")

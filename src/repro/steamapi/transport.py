@@ -1,0 +1,36 @@
+"""Transports: how the crawler reaches the API service.
+
+Both transports expose a single method — ``request(path, params)`` — and
+raise the same typed errors, so the crawler is transport-agnostic:
+
+- :class:`InProcessTransport` calls the service directly (fast; used for
+  large studies),
+- :class:`HttpTransport` (:mod:`repro.steamapi.http_client`) speaks real
+  JSON-over-HTTP to a localhost server, exercising a genuine network
+  path.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.steamapi.service import SteamApiService
+
+__all__ = ["Transport", "InProcessTransport"]
+
+
+class Transport(Protocol):
+    """Anything that can perform one API request."""
+
+    def request(self, path: str, params: dict) -> dict:  # pragma: no cover
+        ...
+
+
+class InProcessTransport:
+    """Direct in-process calls into a :class:`SteamApiService`."""
+
+    def __init__(self, service: SteamApiService) -> None:
+        self.service = service
+
+    def request(self, path: str, params: dict) -> dict:
+        return self.service.dispatch(path, params)

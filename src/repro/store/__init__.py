@@ -1,0 +1,35 @@
+"""Columnar dataset layer.
+
+A :class:`repro.store.dataset.SteamDataset` holds everything the paper's
+crawl produced — accounts, friendships, groups, libraries, the catalog,
+achievements, and the second snapshot — as flat numpy arrays with CSR
+encodings for the ragged relations.  Both the generator (directly) and the
+crawler (by reassembling API responses) produce this same container, and
+all analyses in :mod:`repro.core` consume it.
+"""
+
+from repro.store.dataset import SteamDataset
+from repro.store.tables import (
+    AccountTable,
+    AchievementTable,
+    CatalogTable,
+    CSRMatrix,
+    FriendTable,
+    GroupTable,
+    GroupType,
+    LibraryTable,
+    Snapshot2Table,
+)
+
+__all__ = [
+    "SteamDataset",
+    "AccountTable",
+    "AchievementTable",
+    "CatalogTable",
+    "CSRMatrix",
+    "FriendTable",
+    "GroupTable",
+    "GroupType",
+    "LibraryTable",
+    "Snapshot2Table",
+]

@@ -1,0 +1,135 @@
+"""The :class:`SteamDataset` container — everything the crawl produced."""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro import constants
+from repro.store.tables import (
+    AccountTable,
+    AchievementTable,
+    CatalogTable,
+    FriendTable,
+    GroupTable,
+    LibraryTable,
+    Snapshot2Table,
+)
+
+__all__ = ["SteamDataset", "DatasetMeta"]
+
+
+@dataclass(frozen=True)
+class DatasetMeta:
+    """Collection-level metadata carried alongside the tables."""
+
+    snapshot1_day: int = field(
+        default_factory=lambda: constants.days_since_launch(
+            constants.DETAIL_CRAWL_END
+        )
+    )
+    snapshot2_day: int = field(
+        default_factory=lambda: constants.days_since_launch(
+            constants.SNAPSHOT2_END
+        )
+    )
+    friend_ts_epoch_day: int = field(
+        default_factory=lambda: constants.days_since_launch(
+            constants.FRIEND_TIMESTAMPS_START
+        )
+    )
+    seed: int = 0
+    scale_note: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SteamDataset:
+    """All collected Steam data for one study.
+
+    Produced either directly by :class:`repro.simworld.world.SteamWorld`
+    or by the crawler reassembling API responses; consumed by every
+    analysis in :mod:`repro.core`.
+    """
+
+    accounts: AccountTable
+    friends: FriendTable
+    groups: GroupTable
+    catalog: CatalogTable
+    library: LibraryTable
+    achievements: AchievementTable | None = None
+    snapshot2: Snapshot2Table | None = None
+    meta: DatasetMeta = field(default_factory=DatasetMeta)
+
+    def __post_init__(self) -> None:
+        n = self.accounts.n_users
+        if self.friends.n_users != n:
+            raise ValueError("friend table user count mismatch")
+        if self.groups.n_users != n:
+            raise ValueError("group table user count mismatch")
+        if self.library.n_users != n:
+            raise ValueError("library table user count mismatch")
+        if (
+            self.achievements is not None
+            and self.achievements.n_products != self.catalog.n_products
+        ):
+            raise ValueError("achievement table product count mismatch")
+        if self.snapshot2 is not None and self.snapshot2.n_users != n:
+            raise ValueError("snapshot2 table user count mismatch")
+
+    # -- convenience aggregates used across analyses ------------------------
+
+    @property
+    def n_users(self) -> int:
+        return self.accounts.n_users
+
+    @property
+    def n_products(self) -> int:
+        return self.catalog.n_products
+
+    def friend_counts(self) -> np.ndarray:
+        return self.friends.degrees()
+
+    def owned_counts(self) -> np.ndarray:
+        return self.library.owned_counts()
+
+    def played_counts(self) -> np.ndarray:
+        return self.library.played_counts()
+
+    def total_playtime_hours(self) -> np.ndarray:
+        return self.library.user_total_min() / 60.0
+
+    def twoweek_playtime_hours(self) -> np.ndarray:
+        return self.library.user_twoweek_min() / 60.0
+
+    def market_value_dollars(self) -> np.ndarray:
+        return (
+            self.library.user_value_cents(self.catalog.price_cents) / 100.0
+        )
+
+    def membership_counts(self) -> np.ndarray:
+        return self.groups.user_memberships().counts()
+
+    def day_to_date(self, day: int) -> dt.date:
+        """Convert a days-since-launch value to a calendar date."""
+        return constants.STEAM_LAUNCH + dt.timedelta(days=int(day))
+
+    def summary(self) -> dict[str, float]:
+        """Headline totals, the analogue of the paper's Section 1 numbers."""
+        total_min = self.library.user_total_min().sum()
+        return {
+            "accounts": float(self.n_users),
+            "friendships": float(self.friends.n_edges),
+            "groups": float(self.groups.n_groups),
+            "group_memberships": float(self.groups.members.nnz),
+            "owned_games": float(self.library.owned.nnz),
+            "playtime_years": float(total_min) / 60.0 / 24.0 / 365.0,
+            "market_value_usd": float(
+                self.library.user_value_cents(self.catalog.price_cents).sum()
+            )
+            / 100.0,
+            "products": float(self.n_products),
+        }

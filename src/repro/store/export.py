@@ -1,0 +1,136 @@
+"""Plain-text dataset exports.
+
+The paper published its collected data as downloadable dumps
+(steam.internet.byu.edu); this module writes the equivalent artifacts
+from a :class:`SteamDataset`: one gzipped JSONL file per relation, plus a
+games CSV — formats a downstream analyst can load without this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import json
+from pathlib import Path
+
+from repro import constants
+from repro.store.dataset import SteamDataset
+
+__all__ = ["export_dataset", "EXPORT_FILES"]
+
+EXPORT_FILES = (
+    "players.jsonl.gz",
+    "friends.jsonl.gz",
+    "games.csv",
+    "libraries.jsonl.gz",
+    "groups.jsonl.gz",
+)
+
+
+def _day_to_iso(dataset: SteamDataset, day: int) -> str:
+    return dataset.day_to_date(int(day)).isoformat()
+
+
+def export_dataset(dataset: SteamDataset, outdir: str | Path) -> Path:
+    """Write all export files into ``outdir``; returns the directory."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    steamids = dataset.accounts.steamids()
+
+    with gzip.open(outdir / "players.jsonl.gz", "wt", encoding="utf-8") as fh:
+        acc = dataset.accounts
+        for user in range(dataset.n_users):
+            row: dict = {
+                "steamid": int(steamids[user]),
+                "created": _day_to_iso(dataset, acc.created_day[user]),
+            }
+            if acc.country[user] >= 0:
+                row["country"] = acc.country_names[int(acc.country[user])]
+            if acc.city[user] >= 0:
+                row["cityid"] = int(acc.city[user])
+            fh.write(json.dumps(row) + "\n")
+
+    with gzip.open(outdir / "friends.jsonl.gz", "wt", encoding="utf-8") as fh:
+        friends = dataset.friends
+        epoch = dataset.meta.friend_ts_epoch_day
+        for u, v, day in zip(friends.u, friends.v, friends.day):
+            row = {
+                "a": int(steamids[int(u)]),
+                "b": int(steamids[int(v)]),
+            }
+            if day >= epoch:
+                row["since"] = _day_to_iso(dataset, day)
+            fh.write(json.dumps(row) + "\n")
+
+    with open(outdir / "games.csv", "w", encoding="utf-8", newline="") as fh:
+        cat = dataset.catalog
+        writer = csv.writer(fh)
+        from repro.simworld.names import game_name
+
+        writer.writerow(
+            ["appid", "name", "type", "genres", "price_usd", "multiplayer",
+             "metacritic", "release"]
+        )
+        for product in range(cat.n_products):
+            genres = ";".join(
+                name for name in cat.genre_names
+                if bool(cat.has_genre(name)[product])
+            )
+            writer.writerow(
+                [
+                    int(cat.appid[product]),
+                    game_name(int(cat.appid[product])),
+                    "game" if bool(cat.is_game[product]) else "other",
+                    genres,
+                    f"{cat.price_cents[product] / 100:.2f}",
+                    int(bool(cat.multiplayer[product])),
+                    int(cat.metacritic[product]),
+                    _day_to_iso(dataset, cat.release_day[product]),
+                ]
+            )
+
+    with gzip.open(
+        outdir / "libraries.jsonl.gz", "wt", encoding="utf-8"
+    ) as fh:
+        lib = dataset.library
+        appid = dataset.catalog.appid
+        for user in range(dataset.n_users):
+            sl = lib.owned.row_slice(user)
+            if sl.start == sl.stop:
+                continue
+            games = [
+                {
+                    "appid": int(appid[int(product)]),
+                    "minutes": int(total),
+                    "minutes_2wk": int(twoweek),
+                }
+                for product, total, twoweek in zip(
+                    lib.owned.indices[sl],
+                    lib.total_min[sl],
+                    lib.twoweek_min[sl],
+                )
+            ]
+            fh.write(
+                json.dumps({"steamid": int(steamids[user]), "games": games})
+                + "\n"
+            )
+
+    with gzip.open(outdir / "groups.jsonl.gz", "wt", encoding="utf-8") as fh:
+        groups = dataset.groups
+        from repro.steamapi.models import GROUP_ID_BASE
+        from repro.store.tables import GroupType
+
+        for g in range(groups.n_groups):
+            members = groups.members.row(g)
+            fh.write(
+                json.dumps(
+                    {
+                        "gid": GROUP_ID_BASE + g,
+                        "type": GroupType(int(groups.group_type[g])).label,
+                        "members": [int(steamids[int(m)]) for m in members],
+                    }
+                )
+                + "\n"
+            )
+    return outdir

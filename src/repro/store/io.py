@@ -1,0 +1,181 @@
+"""Dataset persistence: a single compressed ``.npz`` per dataset.
+
+Arrays are stored flat under dotted keys; tuples of strings and scalar
+metadata ride along in a JSON sidecar entry.  The format round-trips
+everything in :class:`repro.store.dataset.SteamDataset`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.store.dataset import DatasetMeta, SteamDataset
+from repro.store.tables import (
+    AccountTable,
+    AchievementTable,
+    CatalogTable,
+    CSRMatrix,
+    FriendTable,
+    GroupTable,
+    LibraryTable,
+    Snapshot2Table,
+)
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: SteamDataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays: dict[str, np.ndarray] = {}
+
+    acc = dataset.accounts
+    arrays["acc.id_offset"] = acc.id_offset
+    arrays["acc.created_day"] = acc.created_day
+    arrays["acc.country"] = acc.country
+    arrays["acc.city"] = acc.city
+
+    fr = dataset.friends
+    arrays["fr.u"] = fr.u
+    arrays["fr.v"] = fr.v
+    arrays["fr.day"] = fr.day
+
+    gr = dataset.groups
+    arrays["gr.type"] = gr.group_type
+    arrays["gr.focus"] = gr.focus_game
+    arrays["gr.indptr"] = gr.members.indptr
+    arrays["gr.indices"] = gr.members.indices
+
+    cat = dataset.catalog
+    arrays["cat.appid"] = cat.appid
+    arrays["cat.is_game"] = cat.is_game
+    arrays["cat.primary_genre"] = cat.primary_genre
+    arrays["cat.genre_mask"] = cat.genre_mask
+    arrays["cat.price_cents"] = cat.price_cents
+    arrays["cat.multiplayer"] = cat.multiplayer
+    arrays["cat.release_day"] = cat.release_day
+    arrays["cat.metacritic"] = cat.metacritic
+
+    lib = dataset.library
+    arrays["lib.indptr"] = lib.owned.indptr
+    arrays["lib.indices"] = lib.owned.indices
+    arrays["lib.total_min"] = lib.total_min
+    arrays["lib.twoweek_min"] = lib.twoweek_min
+
+    if dataset.achievements is not None:
+        ach = dataset.achievements
+        arrays["ach.count"] = ach.count
+        arrays["ach.indptr"] = ach.indptr
+        arrays["ach.rates"] = ach.rates
+
+    if dataset.snapshot2 is not None:
+        s2 = dataset.snapshot2
+        arrays["s2.owned"] = s2.owned
+        arrays["s2.played"] = s2.played
+        arrays["s2.value_cents"] = s2.value_cents
+        arrays["s2.total_min"] = s2.total_min
+        arrays["s2.twoweek_min"] = s2.twoweek_min
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "country_names": list(acc.country_names),
+        "genre_names": list(cat.genre_names),
+        "snapshot1_day": dataset.meta.snapshot1_day,
+        "snapshot2_day": dataset.meta.snapshot2_day,
+        "friend_ts_epoch_day": dataset.meta.friend_ts_epoch_day,
+        "seed": dataset.meta.seed,
+        "scale_note": dataset.meta.scale_note,
+        "extra": dataset.meta.extra,
+    }
+    arrays["meta.json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: str | Path) -> SteamDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta.json"]).decode("utf-8"))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format {meta['format_version']}"
+            )
+        n_users = len(data["acc.id_offset"])
+        accounts = AccountTable(
+            id_offset=data["acc.id_offset"],
+            created_day=data["acc.created_day"],
+            country=data["acc.country"],
+            city=data["acc.city"],
+            country_names=tuple(meta["country_names"]),
+        )
+        friends = FriendTable(
+            u=data["fr.u"], v=data["fr.v"], day=data["fr.day"], n_users=n_users
+        )
+        groups = GroupTable(
+            group_type=data["gr.type"],
+            focus_game=data["gr.focus"],
+            members=CSRMatrix(
+                indptr=data["gr.indptr"], indices=data["gr.indices"]
+            ),
+            n_users=n_users,
+        )
+        catalog = CatalogTable(
+            appid=data["cat.appid"],
+            is_game=data["cat.is_game"],
+            primary_genre=data["cat.primary_genre"],
+            genre_mask=data["cat.genre_mask"],
+            price_cents=data["cat.price_cents"],
+            multiplayer=data["cat.multiplayer"],
+            release_day=data["cat.release_day"],
+            metacritic=data["cat.metacritic"],
+            genre_names=tuple(meta["genre_names"]),
+        )
+        library = LibraryTable(
+            owned=CSRMatrix(
+                indptr=data["lib.indptr"], indices=data["lib.indices"]
+            ),
+            total_min=data["lib.total_min"],
+            twoweek_min=data["lib.twoweek_min"],
+        )
+        achievements = None
+        if "ach.count" in data:
+            achievements = AchievementTable(
+                count=data["ach.count"],
+                indptr=data["ach.indptr"],
+                rates=data["ach.rates"],
+            )
+        snapshot2 = None
+        if "s2.owned" in data:
+            snapshot2 = Snapshot2Table(
+                owned=data["s2.owned"],
+                played=data["s2.played"],
+                value_cents=data["s2.value_cents"],
+                total_min=data["s2.total_min"],
+                twoweek_min=data["s2.twoweek_min"],
+            )
+        return SteamDataset(
+            accounts=accounts,
+            friends=friends,
+            groups=groups,
+            catalog=catalog,
+            library=library,
+            achievements=achievements,
+            snapshot2=snapshot2,
+            meta=DatasetMeta(
+                snapshot1_day=meta["snapshot1_day"],
+                snapshot2_day=meta["snapshot2_day"],
+                friend_ts_epoch_day=meta["friend_ts_epoch_day"],
+                seed=meta["seed"],
+                scale_note=meta["scale_note"],
+                extra=meta["extra"],
+            ),
+        )

@@ -1,0 +1,391 @@
+"""Typed columnar tables backing :class:`repro.store.dataset.SteamDataset`.
+
+Conventions
+-----------
+- Users are dense integer indices ``0..n_users-1``; the mapping to 64-bit
+  SteamIDs lives in :class:`AccountTable.id_offset`.
+- Days are integers since Steam's launch (2003-09-12); ``-1`` means absent.
+- Ragged user->items relations are CSR-encoded (:class:`CSRMatrix`).
+- Money is integer cents; playtime is integer minutes (the API granularity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CSRMatrix",
+    "AccountTable",
+    "FriendTable",
+    "CatalogTable",
+    "LibraryTable",
+    "GroupTable",
+    "GroupType",
+    "AchievementTable",
+    "Snapshot2Table",
+]
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed sparse rows: ``indices[indptr[i]:indptr[i+1]]`` per row."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("CSR arrays must be 1-D")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def row(self, i: int) -> np.ndarray:
+        """Items of row ``i`` (a view, do not mutate)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_slice(self, i: int) -> slice:
+        """Slice into parallel per-item data arrays for row ``i``."""
+        return slice(int(self.indptr[i]), int(self.indptr[i + 1]))
+
+    def counts(self) -> np.ndarray:
+        """Number of items per row."""
+        return np.diff(self.indptr)
+
+    def row_ids(self) -> np.ndarray:
+        """Row index of every nonzero, aligned with ``indices``."""
+        return np.repeat(np.arange(self.n_rows), self.counts())
+
+    @classmethod
+    def from_pairs(
+        cls, rows: np.ndarray, cols: np.ndarray, n_rows: int
+    ) -> tuple["CSRMatrix", np.ndarray]:
+        """Build a CSR from (row, col) pairs.
+
+        Returns the matrix and the permutation that sorts the input pairs
+        into CSR order, so callers can align parallel data arrays.
+        """
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must align")
+        order = np.argsort(rows, kind="stable")
+        counts = np.bincount(rows, minlength=n_rows)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=cols[order]), order
+
+    def transpose(self, n_cols: int) -> "CSRMatrix":
+        """CSR of the reversed relation (col -> rows)."""
+        matrix, _ = CSRMatrix.from_pairs(
+            np.asarray(self.indices, dtype=np.int64),
+            self.row_ids(),
+            n_cols,
+        )
+        return matrix
+
+
+@dataclass
+class AccountTable:
+    """One row per account, indexed by dense user id."""
+
+    #: SteamID64 = constants.STEAMID_BASE + id_offset.
+    id_offset: np.ndarray
+    #: Account creation day (days since Steam launch).
+    created_day: np.ndarray
+    #: Self-reported country index (-1: not reported).
+    country: np.ndarray
+    #: Self-reported city id (-1: not reported).
+    city: np.ndarray
+    #: Country names aligned with country indices.
+    country_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.id_offset)
+        for name in ("created_day", "country", "city"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} length mismatch")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.id_offset)
+
+    def steamids(self) -> np.ndarray:
+        from repro import constants
+
+        return self.id_offset.astype(np.int64) + constants.STEAMID_BASE
+
+
+@dataclass
+class FriendTable:
+    """Undirected friendships with formation timestamps."""
+
+    #: Endpoints with u < v.
+    u: np.ndarray
+    v: np.ndarray
+    #: Formation day (days since launch); friendships formed before the
+    #: timestamping epoch (Sept 2008) carry their true day as well — the
+    #: analysis layer masks pre-epoch edges like the paper does.
+    day: np.ndarray
+    n_users: int
+    _adj: CSRMatrix | None = field(default=None, repr=False)
+    _adj_edge: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (len(self.u) == len(self.v) == len(self.day)):
+            raise ValueError("edge columns must align")
+        if len(self.u) and np.any(self.u >= self.v):
+            raise ValueError("edges must be canonicalized with u < v")
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.u)
+
+    def degrees(self) -> np.ndarray:
+        """Friend count per user."""
+        deg = np.bincount(self.u, minlength=self.n_users)
+        deg += np.bincount(self.v, minlength=self.n_users)
+        return deg
+
+    def adjacency(self) -> tuple[CSRMatrix, np.ndarray]:
+        """Symmetric CSR adjacency plus the edge id behind each slot."""
+        if self._adj is None:
+            ends = np.concatenate([self.u, self.v])
+            other = np.concatenate([self.v, self.u])
+            edge_ids = np.tile(np.arange(self.n_edges), 2)
+            adj, order = CSRMatrix.from_pairs(ends, other, self.n_users)
+            self._adj = adj
+            self._adj_edge = edge_ids[order]
+        assert self._adj_edge is not None
+        return self._adj, self._adj_edge
+
+
+class GroupType(enum.IntEnum):
+    """Categories from the paper's manual labelling (Table 2)."""
+
+    SINGLE_GAME = 0
+    GAME_SERVER = 1
+    GAMING_COMMUNITY = 2
+    PUBLISHER = 3
+    SPECIAL_INTEREST = 4
+    STEAM = 5
+
+    @property
+    def label(self) -> str:
+        return _GROUP_TYPE_LABELS[self]
+
+
+_GROUP_TYPE_LABELS = {
+    GroupType.SINGLE_GAME: "Single Game",
+    GroupType.GAME_SERVER: "Game Server",
+    GroupType.GAMING_COMMUNITY: "Gaming Community",
+    GroupType.PUBLISHER: "Publisher",
+    GroupType.SPECIAL_INTEREST: "Special Interest",
+    GroupType.STEAM: "Steam",
+}
+
+GROUP_TYPE_BY_LABEL = {label: gt for gt, label in _GROUP_TYPE_LABELS.items()}
+
+
+@dataclass
+class GroupTable:
+    """Groups with their membership relation."""
+
+    #: GroupType value per group.
+    group_type: np.ndarray
+    #: Focus game appid per group (-1 when the group is not game-focused).
+    focus_game: np.ndarray
+    #: Membership: group -> member user ids.
+    members: CSRMatrix
+    n_users: int
+    _user_groups: CSRMatrix | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.group_type) != self.members.n_rows:
+            raise ValueError("group_type length must match members rows")
+        if len(self.focus_game) != len(self.group_type):
+            raise ValueError("focus_game length mismatch")
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_type)
+
+    def sizes(self) -> np.ndarray:
+        return self.members.counts()
+
+    def user_memberships(self) -> CSRMatrix:
+        """User -> groups CSR (cached)."""
+        if self._user_groups is None:
+            self._user_groups = self.members.transpose(self.n_users)
+        return self._user_groups
+
+
+@dataclass
+class CatalogTable:
+    """One row per product in the Steam catalog."""
+
+    appid: np.ndarray
+    is_game: np.ndarray
+    #: Primary genre index; aligned with ``genre_names``.
+    primary_genre: np.ndarray
+    #: Bitmask of all genre labels carried by the product.
+    genre_mask: np.ndarray
+    price_cents: np.ndarray
+    multiplayer: np.ndarray
+    release_day: np.ndarray
+    metacritic: np.ndarray
+    genre_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.appid)
+        for name in (
+            "is_game",
+            "primary_genre",
+            "genre_mask",
+            "price_cents",
+            "multiplayer",
+            "release_day",
+            "metacritic",
+        ):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} length mismatch")
+        if len(self.genre_names) > 63:
+            raise ValueError("genre bitmask limited to 63 genres")
+
+    @property
+    def n_products(self) -> int:
+        return len(self.appid)
+
+    def game_ids(self) -> np.ndarray:
+        """Dense product indices that are actual games."""
+        return np.flatnonzero(self.is_game)
+
+    def genre_index(self, name: str) -> int:
+        return self.genre_names.index(name)
+
+    def has_genre(self, name: str) -> np.ndarray:
+        """Boolean mask of products carrying genre ``name``."""
+        bit = np.uint64(1) << np.uint64(self.genre_index(name))
+        return (self.genre_mask.astype(np.uint64) & bit) != 0
+
+
+@dataclass
+class LibraryTable:
+    """User -> owned products, with playtimes (the GetOwnedGames payload)."""
+
+    #: CSR over users; indices are dense product ids into the catalog.
+    owned: CSRMatrix
+    #: Total playtime in minutes per owned entry (aligned with owned.indices).
+    total_min: np.ndarray
+    #: Two-week playtime in minutes per owned entry.
+    twoweek_min: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.total_min) == len(self.twoweek_min) == self.owned.nnz):
+            raise ValueError("playtime columns must align with ownership")
+
+    @property
+    def n_users(self) -> int:
+        return self.owned.n_rows
+
+    def owned_counts(self) -> np.ndarray:
+        return self.owned.counts()
+
+    def played_mask(self) -> np.ndarray:
+        """Per-entry: has this copy ever been launched?"""
+        return self.total_min > 0
+
+    def played_counts(self) -> np.ndarray:
+        """Per-user count of owned-and-played games."""
+        played = (self.total_min > 0).astype(np.int64)
+        return np.add.reduceat(
+            np.append(played, 0), self.owned.indptr[:-1]
+        ) * (self.owned.counts() > 0)
+
+    def user_total_min(self) -> np.ndarray:
+        """Per-user total playtime (minutes)."""
+        return self._row_sum(self.total_min.astype(np.int64))
+
+    def user_twoweek_min(self) -> np.ndarray:
+        """Per-user two-week playtime (minutes)."""
+        return self._row_sum(self.twoweek_min.astype(np.int64))
+
+    def user_value_cents(self, price_cents: np.ndarray) -> np.ndarray:
+        """Per-user account market value given catalog prices (cents)."""
+        entry_value = price_cents[self.owned.indices].astype(np.int64)
+        return self._row_sum(entry_value)
+
+    def _row_sum(self, values: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.n_users, dtype=np.int64)
+        nonempty = self.owned.counts() > 0
+        sums = np.add.reduceat(np.append(values, 0), self.owned.indptr[:-1])
+        out[nonempty] = sums[nonempty]
+        return out
+
+
+@dataclass
+class AchievementTable:
+    """Per-game achievement schema and global completion percentages."""
+
+    #: Number of achievements per product (0 for none).
+    count: np.ndarray
+    #: Ragged per-achievement global completion rates in [0, 1]; CSR-style
+    #: offsets aligned with ``count``.
+    indptr: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.rates):
+            raise ValueError("achievement indptr/rates mismatch")
+        if np.any(np.diff(self.indptr) != self.count):
+            raise ValueError("indptr increments must equal counts")
+
+    @property
+    def n_products(self) -> int:
+        return len(self.count)
+
+    def game_rates(self, product: int) -> np.ndarray:
+        return self.rates[self.indptr[product] : self.indptr[product + 1]]
+
+    def mean_completion(self) -> np.ndarray:
+        """Average completion rate per product (nan when no achievements)."""
+        out = np.full(self.n_products, np.nan)
+        has = self.count > 0
+        sums = np.add.reduceat(np.append(self.rates, 0.0), self.indptr[:-1])
+        out[has] = sums[has] / self.count[has]
+        return out
+
+
+@dataclass
+class Snapshot2Table:
+    """Per-user aggregates from the second snapshot (Section 8)."""
+
+    owned: np.ndarray
+    played: np.ndarray
+    value_cents: np.ndarray
+    total_min: np.ndarray
+    twoweek_min: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.owned)
+        for name in ("played", "value_cents", "total_min", "twoweek_min"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} length mismatch")
+
+    @property
+    def n_users(self) -> int:
+        return len(self.owned)

@@ -1,0 +1,78 @@
+"""Kolmogorov-Smirnov machinery: distances and xmin selection.
+
+Following Clauset, Shalizi & Newman (2009): the lower cutoff ``xmin`` is
+chosen as the value minimizing the KS distance between the empirical tail
+and the best-fit power law on that tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tailfit.fits import PowerLawFit, TailFit
+
+__all__ = ["ks_distance", "select_xmin"]
+
+
+def ks_distance(tail_sorted: np.ndarray, fit: TailFit) -> float:
+    """Max |empirical CDF - fitted CDF| over the (sorted) tail sample."""
+    n = len(tail_sorted)
+    if n == 0:
+        raise ValueError("empty tail")
+    model = fit.cdf(tail_sorted)
+    empirical_hi = np.arange(1, n + 1) / n
+    empirical_lo = np.arange(0, n) / n
+    return float(
+        max(
+            np.max(np.abs(empirical_hi - model)),
+            np.max(np.abs(empirical_lo - model)),
+        )
+    )
+
+
+def select_xmin(
+    data_sorted: np.ndarray,
+    n_candidates: int = 80,
+    min_tail: int = 50,
+) -> tuple[float, float]:
+    """Pick the KS-minimizing power-law cutoff.
+
+    Candidates are unique data values, thinned to at most ``n_candidates``
+    (quantile-spaced) for speed; cutoffs leaving fewer than ``min_tail``
+    points are skipped.  Returns ``(xmin, ks)``.
+    """
+    uniq = np.unique(data_sorted)
+    if len(uniq) < 2:
+        return float(uniq[0]), 0.0
+    # Drop cutoffs that would leave a tiny tail.
+    n = len(data_sorted)
+    max_cut_idx = np.searchsorted(
+        data_sorted, data_sorted[max(n - min_tail, 0)], side="left"
+    )
+    viable = uniq[uniq <= data_sorted[min(max_cut_idx, n - 1)]]
+    if len(viable) == 0:
+        viable = uniq[:1]
+    if len(viable) > n_candidates:
+        idx = np.unique(
+            np.linspace(0, len(viable) - 1, n_candidates).astype(int)
+        )
+        viable = viable[idx]
+
+    best_xmin = float(viable[0])
+    best_ks = np.inf
+    for xmin in viable:
+        start = np.searchsorted(data_sorted, xmin, side="left")
+        tail = data_sorted[start:]
+        if len(tail) < max(min_tail, 2):
+            continue
+        try:
+            fit = PowerLawFit.fit(tail, float(xmin))
+        except ValueError:
+            continue
+        ks = ks_distance(tail, fit)
+        if ks < best_ks:
+            best_ks = ks
+            best_xmin = float(xmin)
+    if not np.isfinite(best_ks):
+        best_ks = 1.0
+    return best_xmin, float(best_ks)

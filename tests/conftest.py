@@ -1,0 +1,48 @@
+"""Shared fixtures: session-scoped worlds at two scales.
+
+Generating a world is ~100 ms per 10k accounts, so the suite shares one
+small world (unit-level checks) and one medium world (statistical
+checks with meaningful percentiles) across all tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SteamStudy, SteamWorld, WorldConfig
+from repro.store.dataset import SteamDataset
+
+
+@pytest.fixture(scope="session")
+def small_world() -> SteamWorld:
+    """5k accounts — fast, for structural/unit assertions."""
+    return SteamWorld.generate(WorldConfig(n_users=5_000, seed=101))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_world) -> SteamDataset:
+    return small_world.dataset
+
+
+@pytest.fixture(scope="session")
+def world() -> SteamWorld:
+    """60k accounts — for statistical/calibration assertions."""
+    return SteamWorld.generate(WorldConfig(n_users=60_000, seed=202))
+
+
+@pytest.fixture(scope="session")
+def dataset(world) -> SteamDataset:
+    return world.dataset
+
+
+@pytest.fixture(scope="session")
+def crawled_dataset(small_world) -> SteamDataset:
+    """The small world re-collected through the simulated API."""
+    study = SteamStudy(world=small_world, _dataset=small_world.dataset)
+    return study.crawl().dataset
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

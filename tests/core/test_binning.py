@@ -1,0 +1,88 @@
+"""Series builders for the figures."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import (
+    Series,
+    ccdf,
+    cdf_series,
+    count_histogram,
+    log_binned_pdf,
+)
+
+
+class TestSeries:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Series("x", np.arange(3), np.arange(4))
+
+    def test_len(self):
+        assert len(Series("x", np.arange(3), np.arange(3))) == 3
+
+
+class TestLogBinnedPdf:
+    def test_density_integrates_to_one(self, rng):
+        values = np.exp(rng.normal(2, 1, 50_000))
+        series = log_binned_pdf(values, n_bins=60)
+        # Riemann sum over the log bins (approximate).
+        edges = np.geomspace(values.min(), values.max() * (1 + 1e-9), 61)
+        widths = np.diff(edges)
+        counts, _ = np.histogram(values, bins=edges)
+        mass = (counts / widths / len(values) * widths).sum()
+        assert mass == pytest.approx(1.0, abs=1e-6)
+        assert series.y.min() > 0
+
+    def test_drops_empty_bins(self, rng):
+        values = np.concatenate([np.full(100, 1.0), np.full(100, 1e6)])
+        series = log_binned_pdf(values, n_bins=30)
+        assert len(series) == 2
+
+    def test_constant_data(self):
+        series = log_binned_pdf(np.full(10, 5.0))
+        assert series.x.tolist() == [5.0]
+
+    def test_rejects_nonpositive_only(self):
+        with pytest.raises(ValueError):
+            log_binned_pdf(np.zeros(10))
+
+
+class TestCountHistogram:
+    def test_exact_counts(self):
+        series = count_histogram(np.array([1, 1, 2, 5, 5, 5]))
+        assert dict(zip(series.x, series.y)) == {1: 2, 2: 1, 5: 3}
+
+    def test_max_value_filter(self):
+        series = count_histogram(np.array([1, 2, 300]), max_value=250)
+        assert 300 not in series.x
+
+
+class TestCcdf:
+    def test_starts_at_one(self, rng):
+        series = ccdf(rng.random(1000) + 0.5)
+        assert series.y[0] == pytest.approx(1.0)
+
+    def test_decreasing(self, rng):
+        series = ccdf(rng.random(1000) + 0.5)
+        assert np.all(np.diff(series.y) < 0)
+
+    def test_values_are_exceedance_probabilities(self):
+        series = ccdf(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert series.y.tolist() == [1.0, 0.75, 0.5, 0.25]
+
+
+class TestCdfSeries:
+    def test_reaches_one(self, rng):
+        values = rng.random(1000)
+        series = cdf_series(values)
+        assert series.y[-1] == pytest.approx(1.0)
+
+    def test_zero_mass_counted(self):
+        values = np.array([0.0, 0.0, 0.0, 10.0])
+        series = cdf_series(values, grid=np.array([0.0, 5.0, 20.0]))
+        assert series.y[0] == pytest.approx(0.75)
+
+    def test_custom_grid(self):
+        values = np.arange(1.0, 11.0)
+        series = cdf_series(values, grid=np.array([5.0]))
+        assert series.y[0] == pytest.approx(0.5)

@@ -1,0 +1,63 @@
+"""Section 10 discussion statistics."""
+
+import pytest
+
+from repro.core.discussion import discussion_stats
+
+
+@pytest.fixture(scope="module")
+def stats(dataset):
+    return discussion_stats(dataset)
+
+
+class TestDiscussionStats:
+    def test_stereotype_percentiles(self, stats):
+        # Paper: 90th pct of two-week playtime ~ 8.7 h => ~0.62 h/day.
+        assert stats.p90_twoweek_hours_per_day == pytest.approx(
+            8.7 / 14, rel=0.25
+        )
+        # 95th pct ~ 25.5 h over two weeks => under 2 h/day.
+        assert stats.p95_twoweek_hours_per_day < 2.0
+
+    def test_addiction_cutoffs(self, stats):
+        # Paper: "the top 1% play more than 5 hours a day".
+        assert stats.top1_twoweek_hours_per_day == pytest.approx(5.0, rel=0.4)
+        # "... have hundreds of games"
+        assert stats.top1_owned_games > 70
+        # "... or have spent thousands of dollars"
+        assert stats.top1_market_value > 1_000
+
+    def test_cohort_scales_to_around_a_million(self, stats):
+        # Paper: "this 1% represents over a million gamers"; the union of
+        # the three top-1% criteria lands in that ballpark at full scale.
+        assert stats.top1_cohort_at_paper_scale > 700_000
+
+    def test_network_of_friends(self, stats):
+        # Caps bound the maximum degree: no celebrity accounts.
+        assert stats.max_friends < 1_000
+        assert stats.share_reciprocal == 1.0
+
+    def test_render(self, stats):
+        text = stats.render()
+        assert "Stereotypes" in text
+        assert "Addiction" in text
+        assert "Network of friends" in text
+
+    def test_requires_owners(self, small_dataset):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.store.tables import CSRMatrix, LibraryTable
+
+        empty_lib = LibraryTable(
+            owned=CSRMatrix(
+                indptr=np.zeros(small_dataset.n_users + 1, dtype=np.int64),
+                indices=np.empty(0, dtype=np.int32),
+            ),
+            total_min=np.empty(0, dtype=np.int64),
+            twoweek_min=np.empty(0, dtype=np.int32),
+        )
+        stripped = dataclasses.replace(small_dataset, library=empty_lib)
+        with pytest.raises(ValueError):
+            discussion_stats(stripped)

@@ -1,0 +1,92 @@
+"""Figures 6-9 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.expenditure import (
+    genre_expenditure,
+    market_value_distribution,
+    playtime_cdf,
+    twoweek_nonzero,
+)
+
+
+class TestPlaytimeCdf:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return playtime_cdf(dataset)
+
+    def test_top_shares_near_paper(self, result):
+        assert result.top20_total_share == pytest.approx(0.824, abs=0.08)
+        assert result.top10_twoweek_share == pytest.approx(0.93, abs=0.06)
+
+    def test_zero_twoweek_share(self, result):
+        assert result.zero_twoweek_share == pytest.approx(0.82, abs=0.03)
+
+    def test_cdf_series_valid(self, result):
+        for series in (result.total_cdf, result.twoweek_cdf):
+            assert series.y[-1] == pytest.approx(1.0)
+            assert np.all(np.diff(series.y) >= 0)
+
+    def test_twoweek_cdf_starts_high(self, result):
+        # >80% of owners have zero two-week playtime: CDF(0) > 0.8.
+        assert result.twoweek_cdf.y[0] > 0.75
+
+
+class TestTwoWeekNonzero:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return twoweek_nonzero(dataset)
+
+    def test_p80_near_paper(self, result):
+        assert result.p80_hours == pytest.approx(32.05, rel=0.15)
+
+    def test_capped_at_336(self, result):
+        assert result.max_hours <= 336.0
+
+    def test_near_cap_share_tiny(self, result):
+        assert result.near_cap_share < 0.002
+
+    def test_render(self, result):
+        assert "80th pct" in result.render()
+
+
+class TestMarketValue:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return market_value_distribution(dataset)
+
+    def test_p80_near_paper(self, result):
+        assert result.p80_dollars == pytest.approx(150.88, rel=0.35)
+
+    def test_top20_share(self, result):
+        assert result.top20_share == pytest.approx(0.73, abs=0.12)
+
+    def test_max_far_above_p80(self, result):
+        # Paper: the max is over 160x the 80th percentile.
+        assert result.max_dollars > 10 * result.p80_dollars
+
+
+class TestGenreExpenditure:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return genre_expenditure(dataset)
+
+    def test_action_dominates_playtime(self, result):
+        shares = {
+            genre: result.playtime_share(genre) for genre in result.genres
+        }
+        assert max(shares, key=shares.get) == "Action"
+
+    def test_action_shares_near_paper(self, result):
+        assert result.playtime_share("Action") == pytest.approx(
+            0.4924, abs=0.13
+        )
+        assert result.value_share("Action") == pytest.approx(0.5188, abs=0.12)
+
+    def test_overlap_exceeds_totals(self, result):
+        # Genre labels overlap, so the per-genre sum exceeds the total.
+        assert result.playtime_hours.sum() > result.total_playtime_hours
+
+    def test_render(self, result):
+        assert "Action" in result.render()

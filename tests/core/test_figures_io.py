@@ -1,0 +1,59 @@
+"""Figure-data CSV exports."""
+
+import csv
+
+import pytest
+
+from repro import SteamStudy
+from repro.core.figures_io import FIGURE_FILES, export_figure_data
+
+
+@pytest.fixture(scope="module")
+def exported(small_world, tmp_path_factory):
+    study = SteamStudy(world=small_world, _dataset=small_world.dataset)
+    report = study.run(include_table4=False)
+    outdir = tmp_path_factory.mktemp("figures")
+    return export_figure_data(report, outdir), report
+
+
+class TestFigureExport:
+    def test_all_files_written(self, exported):
+        outdir, _ = exported
+        for name in FIGURE_FILES:
+            assert (outdir / name).exists(), name
+
+    def test_series_csv_parses(self, exported):
+        outdir, _ = exported
+        with open(outdir / "fig04_ownership.csv", encoding="utf-8") as fh:
+            rows = list(csv.DictReader(fh))
+        labels = {row["series"] for row in rows}
+        assert labels == {"owned", "played"}
+        assert all(float(row["density"]) > 0 for row in rows)
+
+    def test_evolution_monotone(self, exported):
+        outdir, _ = exported
+        with open(outdir / "fig01_evolution.csv", encoding="utf-8") as fh:
+            rows = list(csv.DictReader(fh))
+        users = [
+            float(row["cumulative"])
+            for row in rows
+            if row["series"] == "users"
+        ]
+        assert users == sorted(users)
+
+    def test_genre_csv_matches_report(self, exported):
+        outdir, report = exported
+        with open(
+            outdir / "fig05_genre_ownership.csv", encoding="utf-8"
+        ) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["genre"] == "Action"
+        total = sum(int(row["owned_copies"]) for row in rows)
+        assert total == int(report.fig5_genre_ownership.owned_copies.sum())
+
+    def test_panel_matrix_dimensions(self, exported):
+        outdir, report = exported
+        with open(outdir / "fig12_week_panel.csv", encoding="utf-8") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["user_rank"] + [f"day{d}" for d in range(1, 8)]
+        assert len(rows) - 1 == report.fig12_week_panel.n_active

@@ -1,0 +1,104 @@
+"""Friendship-graph structure (the Becker corroboration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graphstats import (
+    average_path_length,
+    clustering_coefficient,
+    connected_components,
+    degree_assortativity,
+    graph_structure,
+)
+from repro.store.tables import FriendTable
+
+
+def _graph(edges, n):
+    u = np.array([e[0] for e in edges], dtype=np.int32)
+    v = np.array([e[1] for e in edges], dtype=np.int32)
+    return FriendTable(u=u, v=v, day=np.zeros(len(edges), dtype=np.int32), n_users=n)
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        friends = _graph([(0, 1), (1, 2), (3, 4)], 6)
+        labels = connected_components(friends)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_chain(self):
+        friends = _graph([(i, i + 1) for i in range(9)], 10)
+        labels = connected_components(friends)
+        assert len(np.unique(labels)) == 1
+
+    def test_empty_graph(self):
+        friends = _graph([], 5)
+        labels = connected_components(friends)
+        assert len(np.unique(labels)) == 5
+
+
+class TestClustering:
+    def _dataset(self, edges, n):
+        import dataclasses
+
+        from repro import SteamWorld, WorldConfig
+
+        # Borrow a tiny world's tables and swap in a synthetic graph.
+        world = SteamWorld.generate(WorldConfig(n_users=max(n, 1000), seed=9))
+        return dataclasses.replace(
+            world.dataset, friends=_graph(edges, world.dataset.n_users)
+        )
+
+    def test_triangle_is_fully_clustered(self):
+        ds = self._dataset([(0, 1), (1, 2), (0, 2)], 3)
+        assert clustering_coefficient(ds, sample_size=500) == pytest.approx(
+            1.0
+        )
+
+    def test_star_has_zero_clustering(self):
+        ds = self._dataset([(0, i) for i in range(1, 20)], 20)
+        assert clustering_coefficient(ds, sample_size=500) == 0.0
+
+    def test_generated_graph_is_clustered(self, dataset):
+        clustering = clustering_coefficient(dataset, sample_size=4_000)
+        mean_degree = 2 * dataset.friends.n_edges / dataset.n_users
+        random_level = mean_degree / dataset.n_users
+        assert clustering > 20 * random_level
+
+
+class TestAssortativityAndPaths:
+    def test_assortativity_of_generated_graph_positive(self, dataset):
+        # "As users have more friends, they tend to connect to those with
+        # more friends" (Section 10.3).
+        assert degree_assortativity(dataset) > 0.1
+
+    def test_path_length_short(self, dataset):
+        apl = average_path_length(dataset, n_sources=10)
+        assert 1.0 < apl < 12.0
+
+
+class TestGraphStructure:
+    @pytest.fixture(scope="class")
+    def structure(self, dataset):
+        return graph_structure(
+            dataset, clustering_samples=4_000, path_sources=10
+        )
+
+    def test_small_world(self, structure):
+        assert structure.is_small_world()
+
+    def test_giant_component_dominates(self, structure):
+        assert structure.giant_component_share > 0.8
+
+    def test_isolated_share_matches_friended_fraction(self, structure, dataset):
+        friended = np.mean(dataset.friend_counts() > 0)
+        assert structure.isolated_share == pytest.approx(
+            1.0 - friended, abs=1e-9
+        )
+
+    def test_render(self, structure):
+        text = structure.render()
+        assert "clustering" in text
+        assert "small world" in text

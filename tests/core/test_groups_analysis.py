@@ -1,0 +1,75 @@
+"""Table 2 and Figure 3 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.groups import (
+    distinct_games_played,
+    group_distributions,
+    group_type_table,
+)
+
+
+class TestGroupTypeTable:
+    def test_counts_sum_to_top_n(self, dataset):
+        table = group_type_table(dataset)
+        assert sum(table.counts.values()) == table.top_n == 250
+
+    def test_game_server_dominates(self, dataset):
+        table = group_type_table(dataset)
+        assert max(table.counts, key=table.counts.get) == "Game Server"
+
+    def test_shares_near_table2(self, dataset):
+        shares = group_type_table(dataset).shares()
+        assert shares["Game Server"] == pytest.approx(0.456, abs=0.1)
+        assert shares["Single Game"] == pytest.approx(0.204, abs=0.08)
+
+    def test_handles_fewer_groups_than_n(self, small_dataset):
+        table = group_type_table(small_dataset, top_n=10**6)
+        assert table.top_n == small_dataset.groups.n_groups
+
+    def test_render(self, dataset):
+        assert "Game Server" in group_type_table(dataset).render()
+
+
+class TestDistinctGamesPlayed:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return distinct_games_played(dataset)
+
+    def test_population_is_large_groups(self, result, dataset):
+        sizes = dataset.groups.sizes()
+        assert result.n_large_groups == int((sizes >= 100).sum())
+
+    def test_distinct_counts_bounded(self, result, dataset):
+        assert result.distinct_games.max() <= dataset.n_products
+        assert result.distinct_games.min() >= 0
+
+    def test_large_groups_play_many_games(self, result):
+        # Figure 3: most big groups span hundreds of distinct games.
+        assert np.median(result.distinct_games) > 50
+
+    def test_dedicated_share_small(self, result):
+        # Paper: 4.97% of large groups are single-game dedicated.
+        assert result.single_game_dedicated_share < 0.30
+
+    def test_histogram(self, result):
+        series = result.histogram()
+        assert series.y.sum() > 0
+
+    def test_smaller_threshold_more_groups(self, dataset):
+        loose = distinct_games_played(dataset, min_size=20)
+        strict = distinct_games_played(dataset, min_size=100)
+        assert loose.n_large_groups >= strict.n_large_groups
+
+
+class TestGroupDistributions:
+    def test_counts(self, dataset):
+        result = group_distributions(dataset)
+        assert result.n_groups == dataset.groups.n_groups
+        assert result.n_memberships == dataset.groups.members.nnz
+
+    def test_heavy_tailed_sizes(self, dataset):
+        result = group_distributions(dataset)
+        # Density spans several orders of magnitude.
+        assert result.size_pdf.y.max() / result.size_pdf.y.min() > 100

@@ -1,0 +1,82 @@
+"""Section 7 correlations and Figure 11."""
+
+import numpy as np
+import pytest
+
+from repro.core.homophily import cross_correlations, homophily, neighbor_mean
+
+
+class TestNeighborMean:
+    def test_small_graph_by_hand(self, small_dataset):
+        values = np.arange(small_dataset.n_users, dtype=float)
+        avg = neighbor_mean(small_dataset, values)
+        friends = small_dataset.friends
+        u0 = int(friends.u[0])
+        neighbors = np.concatenate(
+            [
+                friends.v[friends.u == u0],
+                friends.u[friends.v == u0],
+            ]
+        )
+        assert avg[u0] == pytest.approx(values[neighbors].mean())
+
+    def test_nan_for_isolated_users(self, small_dataset):
+        values = np.ones(small_dataset.n_users)
+        avg = neighbor_mean(small_dataset, values)
+        isolated = small_dataset.friend_counts() == 0
+        assert np.all(np.isnan(avg[isolated]))
+        assert np.all(np.isfinite(avg[~isolated]))
+
+
+class TestHomophily:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return homophily(dataset)
+
+    def test_four_correlations(self, result):
+        assert len(result.correlations.rhos) == 4
+
+    def test_all_positive(self, result):
+        for name, rho in result.correlations.rhos.items():
+            assert rho > 0.25, name
+
+    def test_value_homophily_strongest(self, result):
+        rhos = result.correlations.rhos
+        assert rhos["market_value vs friends' avg"] == max(rhos.values())
+
+    def test_scatter_sample(self, result):
+        assert len(result.scatter_x) == len(result.scatter_y)
+        assert len(result.scatter_x) > 100
+
+    def test_scatter_is_deterministic(self, dataset):
+        a = homophily(dataset, seed=3)
+        b = homophily(dataset, seed=3)
+        assert np.array_equal(a.scatter_x, b.scatter_x)
+
+    def test_render_contains_strengths(self, result):
+        text = result.render()
+        assert "market_value" in text
+        assert "paper" in text.lower() or "+0." in text
+
+
+class TestCrossCorrelations:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return cross_correlations(dataset)
+
+    def test_five_pairs(self, result):
+        assert len(result.rhos) == 5
+
+    def test_ordering_matches_paper(self, result):
+        rhos = result.rhos
+        # owned-friends is the strongest, friends-twoweek the weakest.
+        assert rhos["owned_games vs friends"] == max(rhos.values())
+        assert rhos["friends vs twoweek_playtime"] == min(rhos.values())
+
+    def test_within_bands(self, result):
+        for name, rho in result.rhos.items():
+            assert rho == pytest.approx(result.paper[name], abs=0.12), name
+
+    def test_populations_recorded(self, result, dataset):
+        for name, population in result.populations.items():
+            assert 0 < population <= dataset.n_users

@@ -1,0 +1,58 @@
+"""Figures 4-5 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.ownership import genre_ownership, ownership_distribution
+
+
+class TestOwnershipDistribution:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return ownership_distribution(dataset)
+
+    def test_p80_anchors(self, result):
+        assert result.p80_owned == pytest.approx(10, abs=1.5)
+        assert result.p80_played == pytest.approx(7, abs=2.5)
+
+    def test_played_below_owned(self, result):
+        assert result.p80_played <= result.p80_owned
+
+    def test_share_under_20(self, result):
+        assert result.share_under_20 == pytest.approx(0.8978, abs=0.04)
+
+    def test_owner_count(self, result, dataset):
+        assert result.n_owners == int((dataset.owned_counts() > 0).sum())
+
+    def test_render(self, result):
+        text = result.render()
+        assert "p80 owned" in text
+
+
+class TestGenreOwnership:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return genre_ownership(dataset)
+
+    def test_action_most_owned(self, result):
+        ordered = result.ordered_by_ownership()
+        assert ordered[0][0] == "Action"
+
+    def test_unplayed_below_owned(self, result):
+        assert np.all(result.unplayed_copies <= result.owned_copies)
+
+    def test_unplayed_rates_near_paper(self, result):
+        assert result.unplayed_rate("Action") == pytest.approx(
+            0.4149, abs=0.06
+        )
+        assert result.unplayed_rate("RPG") == pytest.approx(0.2426, abs=0.06)
+
+    def test_action_unplayed_above_rpg(self, result):
+        assert result.unplayed_rate("Action") > result.unplayed_rate("RPG")
+
+    def test_every_genre_present(self, result, dataset):
+        assert result.genres == dataset.catalog.genre_names
+
+    def test_render_sorted(self, result):
+        lines = result.render().splitlines()
+        assert lines[1].startswith("Action")

@@ -1,0 +1,74 @@
+"""Concentration statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pareto import gini, lorenz_curve, top_share
+
+positive_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=300,
+)
+
+
+class TestTopShare:
+    def test_uniform_values(self):
+        values = np.ones(100)
+        assert top_share(values, 0.2) == pytest.approx(0.2)
+
+    def test_single_whale(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert top_share(values, 0.01) == pytest.approx(1.0)
+
+    def test_paper_like_heavy_tail(self, rng):
+        values = (1 - rng.random(100_000)) ** (-1 / 0.9)
+        assert top_share(values, 0.2) > 0.5
+
+    @given(positive_lists)
+    @settings(max_examples=60)
+    def test_bounds(self, values):
+        share = top_share(np.array(values), 0.3)
+        assert 0.0 <= share <= 1.0 + 1e-12
+
+    @given(positive_lists)
+    @settings(max_examples=60)
+    def test_monotone_in_fraction(self, values):
+        arr = np.array(values)
+        assert top_share(arr, 0.5) >= top_share(arr, 0.2) - 1e-12
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            top_share(np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            top_share(np.empty(0), 0.5)
+
+    def test_all_zero_is_nan(self):
+        assert np.isnan(top_share(np.zeros(5), 0.2))
+
+
+class TestLorenzAndGini:
+    def test_lorenz_endpoints(self, rng):
+        curve = lorenz_curve(rng.random(1000) + 0.1)
+        assert curve[0] == 0.0
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_lorenz_monotone_convex(self, rng):
+        curve = lorenz_curve(rng.random(1000) + 0.1)
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_gini_uniform_is_zero(self):
+        assert gini(np.ones(1000)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gini_concentrated_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 1.0
+        assert gini(values) > 0.99
+
+    @given(positive_lists)
+    @settings(max_examples=60)
+    def test_gini_bounds(self, values):
+        g = gini(np.array(values))
+        assert -1e-9 <= g < 1.0

@@ -1,0 +1,82 @@
+"""Table 3 reproduction machinery."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core.percentiles import percentile_table
+
+
+@pytest.fixture(scope="module")
+def table(dataset):
+    return percentile_table(dataset)
+
+
+class TestStructure:
+    def test_all_six_rows(self, table):
+        names = {row.attribute for row in table.rows}
+        assert names == {
+            "friends",
+            "owned_games",
+            "group_memberships",
+            "market_value",
+            "total_playtime_hours",
+            "twoweek_playtime_hours",
+        }
+
+    def test_rows_carry_paper_reference(self, table):
+        for row in table.rows:
+            assert row.paper is not None
+            assert len(row.paper) == 5
+
+    def test_row_lookup(self, table):
+        assert table.row("friends").attribute == "friends"
+        with pytest.raises(KeyError):
+            table.row("nonsense")
+
+    def test_values_monotone_across_percentiles(self, table):
+        for row in table.rows:
+            values = np.array(row.values)
+            assert np.all(np.diff(values) >= 0)
+
+    def test_as_dict(self, table):
+        d = table.row("friends").as_dict()
+        assert set(d) == {"p50", "p80", "p90", "p95", "p99"}
+
+    def test_render_mentions_paper(self, table):
+        text = table.render()
+        assert "(paper)" in text
+        assert "friends" in text
+
+
+class TestPopulations:
+    def test_population_counts(self, table, dataset):
+        owners = int((dataset.owned_counts() > 0).sum())
+        assert table.row("owned_games").population == owners
+        assert table.row("twoweek_playtime_hours").population == owners
+
+    def test_twoweek_row_shows_zeros(self, table):
+        row = table.row("twoweek_playtime_hours")
+        assert row.values[0] == 0.0
+        assert row.values[1] == 0.0
+        assert row.values[2] > 0.0
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize("attribute", list(constants.TABLE3))
+    def test_every_anchor_within_band(self, table, attribute):
+        row = table.row(
+            attribute
+            if attribute in ("friends", "owned_games", "group_memberships",
+                             "market_value")
+            else attribute
+        )
+        for got, paper in zip(row.values, row.paper):
+            if paper == 0.0:
+                assert got == 0.0
+            else:
+                assert got == pytest.approx(paper, rel=0.45, abs=1.2), (
+                    attribute,
+                    got,
+                    paper,
+                )

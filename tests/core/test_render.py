@@ -1,0 +1,100 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import Series
+from repro.core.render import ascii_bars, ascii_cdf, ascii_panel, ascii_plot
+
+
+class TestAsciiPlot:
+    def _series(self, label="s"):
+        x = np.geomspace(1, 1000, 40)
+        return Series(label, x, 1.0 / x)
+
+    def test_dimensions(self):
+        text = ascii_plot([self._series()], width=60, height=10)
+        lines = text.splitlines()
+        plot_rows = [line for line in lines if line.startswith("|")]
+        assert len(plot_rows) == 10
+        assert all(len(row) == 61 for row in plot_rows)
+
+    def test_title_and_legend(self):
+        text = ascii_plot([self._series("pdf")], title="My Figure")
+        assert text.splitlines()[0] == "My Figure"
+        assert "o=pdf" in text
+
+    def test_multiple_series_glyphs(self):
+        text = ascii_plot([self._series("a"), self._series("b")])
+        assert "o=a" in text and "x=b" in text
+
+    def test_power_law_renders_as_diagonal(self):
+        """A log-log power law occupies a monotone descending band."""
+        text = ascii_plot([self._series()], width=40, height=12)
+        rows = [line[1:] for line in text.splitlines() if line.startswith("|")]
+        first_marks = [row.find("o") for row in rows if "o" in row]
+        assert first_marks == sorted(first_marks)
+
+    def test_no_positive_data(self):
+        series = Series("z", np.array([0.0]), np.array([0.0]))
+        assert "no positive data" in ascii_plot([series])
+
+    def test_linear_axes(self):
+        series = Series("lin", np.arange(10.0), np.arange(10.0))
+        text = ascii_plot([series], logx=False, logy=False)
+        assert "(log)" not in text
+
+
+class TestAsciiCdfBarsPanel:
+    def test_cdf(self):
+        series = Series("cdf", np.geomspace(1, 100, 20), np.linspace(0.1, 1, 20))
+        text = ascii_cdf([series], title="A CDF")
+        assert "A CDF" in text
+
+    def test_bars_with_overlay(self):
+        text = ascii_bars(
+            ["Action", "Strategy"], [100.0, 40.0], overlay=[40.0, 10.0]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("Action")
+        assert "|" in lines[0]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bars_empty(self):
+        assert ascii_bars([], [], title="t") == "t"
+
+    def test_panel_shape(self):
+        matrix = np.random.default_rng(0).random((500, 7)) * 24
+        text = ascii_panel(matrix, width=50, title="panel")
+        lines = text.splitlines()
+        day_rows = [line for line in lines if line.startswith("day")]
+        assert len(day_rows) == 7
+
+    def test_panel_intensity_monotone(self):
+        """Heavier columns render darker glyphs."""
+        ramp = " .:-=+*#%@"
+        matrix = np.zeros((100, 1))
+        matrix[50:, 0] = 24.0
+        text = ascii_panel(matrix, width=10)
+        row = text.splitlines()[0]
+        cells = row.split("|")[1]
+        assert ramp.index(cells[-1]) > ramp.index(cells[0])
+
+
+class TestReportFigures:
+    def test_render_figures_mentions_each(self, small_world):
+        from repro import SteamStudy
+
+        study = SteamStudy(world=small_world, _dataset=small_world.dataset)
+        report = study.run(include_table4=False)
+        text = report.render_figures()
+        for marker in (
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 11",
+            "Figure 12",
+        ):
+            assert marker in text, marker

@@ -1,0 +1,71 @@
+"""Crawl-sampling bias (Section 2.2's census-vs-crawl argument)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    random_walk_sample,
+    sampling_bias,
+    snowball_sample,
+)
+
+
+class TestSnowballSample:
+    def test_size_and_uniqueness(self, dataset):
+        sample = snowball_sample(dataset, 2_000, rng=np.random.default_rng(1))
+        assert len(sample) == 2_000
+        assert len(np.unique(sample)) == 2_000
+
+    def test_only_connected_users(self, dataset):
+        sample = snowball_sample(dataset, 2_000, rng=np.random.default_rng(1))
+        assert np.all(dataset.friend_counts()[sample] > 0)
+
+    def test_deterministic(self, dataset):
+        a = snowball_sample(dataset, 500, rng=np.random.default_rng(3))
+        b = snowball_sample(dataset, 500, rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestRandomWalkSample:
+    def test_degree_biased(self, dataset):
+        sample = random_walk_sample(
+            dataset, 3_000, rng=np.random.default_rng(2)
+        )
+        degrees = dataset.friend_counts()
+        connected_mean = degrees[degrees > 0].mean()
+        assert degrees[sample].mean() > 1.2 * connected_mean
+
+    def test_distinct_users(self, dataset):
+        sample = random_walk_sample(
+            dataset, 1_000, rng=np.random.default_rng(2)
+        )
+        assert len(np.unique(sample)) == len(sample)
+
+
+class TestSamplingBias:
+    @pytest.mark.parametrize("method", ["snowball", "random_walk"])
+    def test_crawls_inflate_degree(self, dataset, method):
+        bias = sampling_bias(dataset, method=method, sample_fraction=0.05)
+        # The paper's Section 2.2 point: crawl samples overstate
+        # connectivity because low-degree users are harder to reach.
+        assert bias.degree_inflation > 1.05
+
+    def test_unreachable_share_is_isolated_share(self, dataset):
+        bias = sampling_bias(dataset, sample_fraction=0.02)
+        assert bias.unreachable_share == pytest.approx(
+            float(np.mean(dataset.friend_counts() == 0)), abs=1e-9
+        )
+
+    def test_most_accounts_invisible_to_crawls(self, dataset):
+        """~70% of accounts have no friends: a crawl can never see them;
+        only the exhaustive ID sweep (the paper's approach) can."""
+        bias = sampling_bias(dataset, sample_fraction=0.02)
+        assert bias.unreachable_share > 0.5
+
+    def test_unknown_method_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            sampling_bias(dataset, method="teleport")
+
+    def test_render(self, dataset):
+        text = sampling_bias(dataset, sample_fraction=0.02).render()
+        assert "inflated" in text

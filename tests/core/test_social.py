@@ -1,0 +1,100 @@
+"""Figures 1-2, Table 1, locality (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.social import (
+    country_table,
+    degree_distributions,
+    locality,
+    network_evolution,
+)
+
+
+class TestCountryTable:
+    def test_top10_structure(self, dataset):
+        table = country_table(dataset)
+        assert len(table.names) == 10
+        assert len(table.shares) == 10
+        assert sum(table.shares) + table.other_share == pytest.approx(1.0)
+
+    def test_us_first(self, dataset):
+        table = country_table(dataset)
+        assert table.names[0] == "United States"
+        assert table.shares[0] == pytest.approx(0.2021, abs=0.02)
+
+    def test_report_rate(self, dataset):
+        table = country_table(dataset)
+        assert table.report_rate == pytest.approx(0.107, abs=0.01)
+
+    def test_other_share_near_paper(self, dataset):
+        table = country_table(dataset)
+        assert table.other_share == pytest.approx(0.3544, abs=0.05)
+
+    def test_render(self, dataset):
+        text = country_table(dataset).render()
+        assert "United States" in text
+        assert "Other" in text
+
+
+class TestNetworkEvolution:
+    def test_series_monotone(self, dataset):
+        evo = network_evolution(dataset)
+        assert np.all(np.diff(evo.cumulative_users) >= 0)
+        assert np.all(np.diff(evo.cumulative_friendships) >= 0)
+
+    def test_starts_at_timestamp_epoch(self, dataset):
+        evo = network_evolution(dataset)
+        assert evo.days[0] == dataset.meta.friend_ts_epoch_day
+
+    def test_friendships_grow_faster_than_users(self, dataset):
+        evo = network_evolution(dataset)
+        assert evo.friendships_grow_faster()
+
+    def test_series_accessor(self, dataset):
+        users, friends = network_evolution(dataset).series()
+        assert users.label == "users"
+        assert len(users) == len(friends)
+
+
+class TestDegreeDistributions:
+    @pytest.fixture(scope="class")
+    def degrees(self, dataset):
+        return degree_distributions(dataset)
+
+    def test_overall_histogram_covers_all_users(self, degrees, dataset):
+        positive = dataset.friend_counts()
+        assert degrees.overall.y.sum() == (positive > 0).sum()
+
+    def test_per_year_series_exist(self, degrees):
+        assert len(degrees.per_year) >= 4
+        for year, series in degrees.per_year.items():
+            assert 2008 <= year <= 2013
+            assert series.y.sum() > 0
+
+    def test_most_users_add_few_friends(self, degrees):
+        # Paper: 88.06% of active users add <= 10 friends per year.
+        assert degrees.share_adding_le10 == pytest.approx(0.8806, abs=0.1)
+
+    def test_very_few_add_many(self, degrees):
+        assert degrees.share_adding_gt200 < 0.005
+
+    def test_cap_dips(self, degrees):
+        assert degrees.dip_at_cap(250)
+        assert degrees.dip_at_cap(300)
+
+
+class TestLocality:
+    def test_shares_near_paper(self, dataset):
+        result = locality(dataset)
+        assert result.international_share == pytest.approx(0.3034, abs=0.095)
+        assert result.cross_city_share == pytest.approx(0.7984, abs=0.08)
+
+    def test_pair_counts_positive(self, dataset):
+        result = locality(dataset)
+        assert result.n_country_pairs > 0
+        assert result.n_city_pairs > 0
+        assert result.n_city_pairs < result.n_country_pairs
+
+    def test_render(self, dataset):
+        assert "international" in locality(dataset).render()

@@ -1,0 +1,78 @@
+"""Own Spearman implementation, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats
+
+from repro.core.spearman import rankdata_average, spearman, strength_label
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert rankdata_average(np.array([30, 10, 20])).tolist() == [3, 1, 2]
+
+    def test_ties_get_average_rank(self):
+        ranks = rankdata_average(np.array([5, 5, 1, 9]))
+        assert ranks.tolist() == [2.5, 2.5, 1.0, 4.0]
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=80)
+    def test_matches_scipy(self, values):
+        ours = rankdata_average(np.array(values))
+        theirs = stats.rankdata(values, method="average")
+        assert np.allclose(ours, theirs)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self, rng):
+        x = rng.random(100)
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+        assert spearman(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self, rng):
+        assert abs(spearman(rng.random(20_000), rng.random(20_000))) < 0.03
+
+    @given(
+        st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=5, max_size=100
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_scipy(self, pairs):
+        a = np.array([p[0] for p in pairs])
+        b = np.array([p[1] for p in pairs])
+        ours = spearman(a, b)
+        theirs = stats.spearmanr(a, b).statistic
+        if np.isnan(theirs):
+            assert np.isnan(ours)
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_constant_input_is_nan(self):
+        assert np.isnan(spearman(np.ones(10), np.arange(10.0)))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            spearman(np.ones(1), np.ones(1))
+
+
+class TestStrengthLabel:
+    @pytest.mark.parametrize(
+        "rho,label",
+        [
+            (0.1, "very weak"),
+            (-0.25, "weak"),
+            (0.45, "moderate"),
+            (0.77, "strong"),
+            (-0.9, "very strong"),
+        ],
+    )
+    def test_paper_scale(self, rho, label):
+        assert strength_label(rho) == label

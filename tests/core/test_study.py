@@ -1,0 +1,76 @@
+"""End-to-end study orchestration and report rendering."""
+
+import pytest
+
+from repro import SteamStudy
+
+
+@pytest.fixture(scope="module")
+def report(small_world):
+    study = SteamStudy(world=small_world, _dataset=small_world.dataset)
+    return study.run(table4_max_tail=8_000)
+
+
+class TestStudy:
+    def test_generate_shortcut(self):
+        study = SteamStudy.generate(n_users=2_000, seed=8)
+        assert study.dataset.n_users == 2_000
+
+    def test_from_dataset_has_no_world(self, small_dataset):
+        study = SteamStudy.from_dataset(small_dataset)
+        assert study.world is None
+        report = study.run(include_table4=False, include_week_panel=True)
+        # No world => no panel even when requested.
+        assert report.fig12_week_panel is None
+
+    def test_crawl_requires_world(self, small_dataset):
+        study = SteamStudy.from_dataset(small_dataset)
+        with pytest.raises(ValueError):
+            study.crawl()
+
+
+class TestReport:
+    def test_all_sections_populated(self, report):
+        assert report.table1 is not None
+        assert report.table2 is not None
+        assert report.table3 is not None
+        assert report.table4 is not None
+        assert report.fig12_week_panel is not None
+        assert report.sec8_evolution is not None
+        assert report.sec9_achievements is not None
+
+    def test_render_mentions_every_artifact(self, report):
+        text = report.render()
+        for marker in (
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Table 4",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+            "Section 7",
+            "Section 8",
+            "Section 9",
+        ):
+            assert marker in text, marker
+
+    def test_render_is_sane_size(self, report):
+        text = report.render()
+        assert 2_000 < len(text) < 100_000
+
+    def test_optional_sections_can_be_skipped(self, small_world):
+        study = SteamStudy(world=small_world, _dataset=small_world.dataset)
+        report = study.run(include_table4=False, include_week_panel=False)
+        assert report.table4 is None
+        assert report.fig12_week_panel is None
+        assert "Table 4" not in report.render()

@@ -1,0 +1,41 @@
+"""Resumable crawl checkpoints."""
+
+from repro.crawler.checkpoint import CrawlCheckpoint
+
+
+class TestCheckpoint:
+    def test_fresh_when_absent(self, tmp_path):
+        checkpoint = CrawlCheckpoint.load(tmp_path / "none.json")
+        assert checkpoint.profile_cursor == 0
+        assert checkpoint.detail_cursor == 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "state.json"
+        checkpoint = CrawlCheckpoint.load(path)
+        checkpoint.profile_cursor = 12_300
+        checkpoint.detail_cursor = 456
+        checkpoint.storefront_cursor = 78
+        checkpoint.achievements_cursor = 9
+        checkpoint.extra["note"] = "phase 2"
+        checkpoint.save()
+
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.profile_cursor == 12_300
+        assert loaded.detail_cursor == 456
+        assert loaded.storefront_cursor == 78
+        assert loaded.achievements_cursor == 9
+        assert loaded.extra == {"note": "phase 2"}
+
+    def test_save_without_path_is_noop(self):
+        CrawlCheckpoint().save()  # must not raise
+
+    def test_atomic_overwrite(self, tmp_path):
+        path = tmp_path / "state.json"
+        first = CrawlCheckpoint.load(path)
+        first.profile_cursor = 1
+        first.save()
+        second = CrawlCheckpoint.load(path)
+        second.profile_cursor = 2
+        second.save()
+        assert CrawlCheckpoint.load(path).profile_cursor == 2
+        assert not (tmp_path / "state.tmp").exists()

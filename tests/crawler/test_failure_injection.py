@@ -1,0 +1,129 @@
+"""Failure injection: the crawler under an unreliable API.
+
+Wraps the transport with deterministic fault injectors (transient 5xx
+errors, rate-limit storms, occasional garbage) and verifies the retry
+machinery makes the harvest byte-identical to a clean crawl — and that
+genuinely fatal conditions surface instead of looping forever.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.crawler.details import crawl_details
+from repro.crawler.profiles import sweep_profiles
+from repro.crawler.retry import RetriesExhausted, RetryPolicy
+from repro.crawler.session import CrawlSession
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.errors import ApiError, RateLimitedError
+from repro.steamapi.service import SteamApiService
+from repro.steamapi.transport import InProcessTransport
+
+
+class FlakyTransport:
+    """Fails every n-th request with a transient error."""
+
+    def __init__(self, inner, every: int = 7, error_factory=None):
+        self.inner = inner
+        self.counter = itertools.count(1)
+        self.every = every
+        self.error_factory = error_factory or (
+            lambda: ApiError("injected transient failure")
+        )
+        self.failures = 0
+
+    def request(self, path, params):
+        if next(self.counter) % self.every == 0:
+            self.failures += 1
+            raise self.error_factory()
+        return self.inner.request(path, params)
+
+
+class BrokenTransport:
+    """Always fails."""
+
+    def request(self, path, params):
+        raise ApiError("hard down")
+
+
+def _session(transport):
+    return CrawlSession(
+        transport=transport,
+        pacer=PolitePacer(1e9, sleeper=lambda s: None),
+        retry=RetryPolicy(sleeper=lambda s: None),
+    )
+
+
+@pytest.fixture(scope="module")
+def service(small_world):
+    return SteamApiService.from_world(small_world)
+
+
+class TestTransientFailures:
+    def test_flaky_transport_harvest_identical(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:300]
+        clean = crawl_details(_session(InProcessTransport(service)), steamids)
+
+        flaky = FlakyTransport(InProcessTransport(service), every=5)
+        injected = crawl_details(_session(flaky), steamids)
+
+        assert flaky.failures > 50  # the injector actually fired
+        assert np.array_equal(injected.edge_a, clean.edge_a)
+        assert np.array_equal(injected.lib_total_min, clean.lib_total_min)
+        assert np.array_equal(injected.member_group, clean.member_group)
+
+    def test_rate_limit_storm_survived(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:100]
+        flaky = FlakyTransport(
+            InProcessTransport(service),
+            every=3,
+            error_factory=lambda: RateLimitedError(
+                "storm", retry_after=0.001
+            ),
+        )
+        waits: list[float] = []
+        session = CrawlSession(
+            transport=flaky,
+            pacer=PolitePacer(1e9, sleeper=lambda s: None),
+            retry=RetryPolicy(sleeper=waits.append),
+        )
+        harvest = crawl_details(session, steamids)
+        assert flaky.failures > 30
+        # Retry honoured every injected retry_after hint.
+        assert len(waits) == flaky.failures
+        assert all(w == 0.001 for w in waits)
+        clean = crawl_details(_session(InProcessTransport(service)), steamids)
+        assert np.array_equal(harvest.lib_appid, clean.lib_appid)
+
+    def test_profile_sweep_through_flakiness(self, service, small_world):
+        flaky = FlakyTransport(InProcessTransport(service), every=11)
+        sweep = sweep_profiles(_session(flaky))
+        assert sweep.n_accounts == small_world.config.n_users
+        assert np.array_equal(
+            sweep.offsets, small_world.dataset.accounts.id_offset
+        )
+
+
+class TestHardFailures:
+    def test_dead_api_raises_retries_exhausted(self):
+        session = _session(BrokenTransport())
+        with pytest.raises(RetriesExhausted):
+            session.get("/ISteamApps/GetAppList/v2")
+
+    def test_attempt_budget_respected(self):
+        attempts = []
+
+        class Counting:
+            def request(self, path, params):
+                attempts.append(path)
+                raise ApiError("down")
+
+        session = CrawlSession(
+            transport=Counting(),
+            pacer=PolitePacer(1e9, sleeper=lambda s: None),
+            retry=RetryPolicy(max_attempts=4, sleeper=lambda s: None),
+        )
+        with pytest.raises(RetriesExhausted):
+            session.get("/ISteamApps/GetAppList/v2")
+        assert len(attempts) == 4

@@ -1,0 +1,112 @@
+"""Parallel detail crawling."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.details import crawl_details
+from repro.crawler.parallel import crawl_details_parallel, merge_detail_crawls
+from repro.crawler.retry import RetryPolicy
+from repro.crawler.session import CrawlSession
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.service import SteamApiService
+from repro.steamapi.transport import InProcessTransport
+
+
+@pytest.fixture(scope="module")
+def service(small_world):
+    return SteamApiService.from_world(small_world)
+
+
+def _sequential(service, steamids):
+    session = CrawlSession(
+        transport=InProcessTransport(service),
+        pacer=PolitePacer(1e9, sleeper=lambda s: None),
+        retry=RetryPolicy(sleeper=lambda s: None),
+    )
+    return crawl_details(session, steamids)
+
+
+class TestParallelCrawl:
+    def test_matches_sequential(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:400]
+        sequential = _sequential(service, steamids)
+        parallel = crawl_details_parallel(
+            lambda: InProcessTransport(service), steamids, n_workers=4
+        )
+        assert np.array_equal(parallel.edge_a, sequential.edge_a)
+        assert np.array_equal(parallel.lib_user, sequential.lib_user)
+        assert np.array_equal(parallel.lib_total_min, sequential.lib_total_min)
+        assert np.array_equal(parallel.member_group, sequential.member_group)
+
+    def test_user_positions_rebased(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:300]
+        parallel = crawl_details_parallel(
+            lambda: InProcessTransport(service), steamids, n_workers=3
+        )
+        owners = np.unique(parallel.lib_user)
+        assert owners.max() < 300
+        # Owners from every shard appear (positions span the range).
+        assert owners.min() < 100
+        assert owners.max() >= 200
+
+    def test_single_worker_degenerate(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:50]
+        one = crawl_details_parallel(
+            lambda: InProcessTransport(service), steamids, n_workers=1
+        )
+        sequential = _sequential(service, steamids)
+        assert np.array_equal(one.edge_a, sequential.edge_a)
+
+    def test_more_workers_than_ids(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:3]
+        result = crawl_details_parallel(
+            lambda: InProcessTransport(service), steamids, n_workers=16
+        )
+        assert result.lib_user.max(initial=-1) < 3
+
+    def test_rejects_zero_workers(self, service, small_world):
+        with pytest.raises(ValueError):
+            crawl_details_parallel(
+                lambda: InProcessTransport(service),
+                small_world.dataset.accounts.steamids()[:10],
+                n_workers=0,
+            )
+
+    def test_api_keys_assigned_round_robin(self, small_world):
+        service = SteamApiService.from_world(small_world)
+        service.register_key("key-a")
+        service.register_key("key-b")
+        steamids = small_world.dataset.accounts.steamids()[:40]
+        result = crawl_details_parallel(
+            lambda: InProcessTransport(service),
+            steamids,
+            n_workers=2,
+            api_keys=["key-a", "key-b"],
+        )
+        assert len(result.lib_user) > 0
+
+
+class TestMergeDetailCrawls:
+    def test_offsets_validated(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:10]
+        shard = _sequential(service, steamids)
+        with pytest.raises(ValueError):
+            merge_detail_crawls([shard], [0, 10])
+
+    def test_http_transport_parallel(self, small_world):
+        """Threaded crawl over a real localhost HTTP server."""
+        from repro.steamapi.http_client import HttpTransport
+        from repro.steamapi.http_server import serve
+
+        service = SteamApiService.from_world(small_world)
+        steamids = small_world.dataset.accounts.steamids()[:120]
+        with serve(service) as server:
+            result = crawl_details_parallel(
+                lambda: HttpTransport(server.base_url),
+                steamids,
+                n_workers=4,
+            )
+        sequential = _sequential(
+            SteamApiService.from_world(small_world), steamids
+        )
+        assert np.array_equal(result.lib_total_min, sequential.lib_total_min)

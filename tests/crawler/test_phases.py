@@ -1,0 +1,136 @@
+"""Individual crawl phases against the simulated API."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.crawler.achievements import crawl_achievements
+from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.details import crawl_details
+from repro.crawler.profiles import sweep_profiles
+from repro.crawler.retry import RetryPolicy
+from repro.crawler.session import CrawlSession, unix_to_day
+from repro.crawler.storefront import catalog_arrays, crawl_storefront
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.service import SteamApiService
+from repro.steamapi.transport import InProcessTransport
+
+
+@pytest.fixture(scope="module")
+def session(small_world):
+    service = SteamApiService.from_world(small_world)
+    return CrawlSession(
+        transport=InProcessTransport(service),
+        pacer=PolitePacer(1e9, sleeper=lambda s: None),
+        retry=RetryPolicy(sleeper=lambda s: None),
+    )
+
+
+class TestUnixToDay:
+    def test_launch_is_day_zero(self):
+        import datetime as dt
+
+        launch = int(
+            dt.datetime(2003, 9, 12, tzinfo=dt.timezone.utc).timestamp()
+        )
+        assert unix_to_day(launch) == 0
+        assert unix_to_day(launch + 86400 * 10) == 10
+
+
+class TestProfileSweep:
+    def test_finds_every_account(self, session, small_world):
+        sweep = sweep_profiles(session)
+        assert sweep.n_accounts == small_world.config.n_users
+        assert np.array_equal(
+            sweep.offsets, small_world.dataset.accounts.id_offset
+        )
+
+    def test_created_days_match(self, session, small_world):
+        sweep = sweep_profiles(session)
+        assert np.array_equal(
+            sweep.created_day, small_world.dataset.accounts.created_day
+        )
+
+    def test_density_profile_sparse_head(self, session):
+        sweep = sweep_profiles(session)
+        profile = sweep.density_profile(n_bins=10)
+        # Head of the ID space is sparser than the tail (Section 3.1).
+        assert profile[0] < profile[-2] or profile[0] < 0.6
+
+    def test_checkpoint_resume(self, small_world, tmp_path):
+        service = SteamApiService.from_world(small_world)
+        session = CrawlSession(
+            transport=InProcessTransport(service),
+            pacer=PolitePacer(1e9, sleeper=lambda s: None),
+        )
+        checkpoint = CrawlCheckpoint.load(tmp_path / "cp.json")
+        full = sweep_profiles(session, checkpoint=checkpoint)
+        # Resuming from the saved cursor finds nothing new.
+        resumed = sweep_profiles(session, checkpoint=checkpoint)
+        assert resumed.n_accounts < full.n_accounts
+
+
+class TestDetailCrawl:
+    def test_subset_crawl(self, session, small_world):
+        ds = small_world.dataset
+        steamids = ds.accounts.steamids()[:200]
+        details = crawl_details(session, steamids)
+        # Library entries for those 200 users match the dataset.
+        expected = int(ds.owned_counts()[:200].sum())
+        assert len(details.lib_appid) == expected
+        assert details.lib_total_min.sum() == int(
+            ds.library.user_total_min()[:200].sum()
+        )
+
+    def test_edges_kept_once(self, session, small_world):
+        ds = small_world.dataset
+        steamids = ds.accounts.steamids()
+        details = crawl_details(session, steamids)
+        assert len(details.edge_a) == ds.friends.n_edges
+
+    def test_pre_epoch_edges_flagged(self, session, small_world):
+        ds = small_world.dataset
+        steamids = ds.accounts.steamids()
+        details = crawl_details(session, steamids)
+        epoch = ds.meta.friend_ts_epoch_day
+        n_old = int(np.sum(ds.friends.day < epoch))
+        assert int(np.sum(details.edge_day == -1)) == n_old
+
+
+class TestStorefront:
+    def test_full_catalog(self, session, small_world):
+        crawl = crawl_storefront(session)
+        assert crawl.n_products == small_world.dataset.catalog.n_products
+
+    def test_catalog_arrays_roundtrip(self, session, small_world):
+        crawl = crawl_storefront(session)
+        columns = catalog_arrays(crawl)
+        cat = small_world.dataset.catalog
+        assert np.array_equal(np.sort(columns["appid"]), cat.appid)
+        order = np.argsort(columns["appid"])
+        assert np.array_equal(
+            columns["price_cents"][order], cat.price_cents
+        )
+        assert np.array_equal(
+            columns["multiplayer"][order], cat.multiplayer
+        )
+
+    def test_genre_names_cover_catalog(self, session, small_world):
+        crawl = crawl_storefront(session)
+        names = set(crawl.genre_names())
+        for name in small_world.dataset.catalog.genre_names:
+            assert name in names
+
+
+class TestAchievementCrawl:
+    def test_rates_roundtrip(self, session, small_world):
+        ds = small_world.dataset
+        appids = [int(a) for a in ds.catalog.appid[:300]]
+        crawl = crawl_achievements(session, appids)
+        for position in range(300):
+            appid = int(ds.catalog.appid[position])
+            expected = ds.achievements.game_rates(position)
+            if len(expected) == 0:
+                continue
+            got = crawl.rates_by_appid[appid]
+            assert np.allclose(got, expected, atol=1e-4)

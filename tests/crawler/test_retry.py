@@ -1,0 +1,78 @@
+"""Retry policy behavior."""
+
+import pytest
+
+from repro.crawler.retry import RetriesExhausted, RetryPolicy
+from repro.steamapi.errors import (
+    ApiError,
+    NotFoundError,
+    RateLimitedError,
+    UnauthorizedError,
+)
+
+
+class Flaky:
+    """Fails ``failures`` times, then succeeds."""
+
+    def __init__(self, failures, error=ApiError("transient")):
+        self.remaining = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error
+        return "ok"
+
+
+class TestRetryPolicy:
+    def _policy(self, **kwargs):
+        sleeps = []
+        policy = RetryPolicy(sleeper=sleeps.append, **kwargs)
+        return policy, sleeps
+
+    def test_success_passthrough(self):
+        policy, sleeps = self._policy()
+        assert policy.call(lambda: 42) == 42
+        assert sleeps == []
+
+    def test_retries_transient_errors(self):
+        policy, sleeps = self._policy()
+        flaky = Flaky(3)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 4
+        assert len(sleeps) == 3
+
+    def test_exponential_backoff(self):
+        policy, sleeps = self._policy(backoff_base=1.0)
+        policy.call(Flaky(3))
+        assert sleeps == [1.0, 2.0, 4.0]
+
+    def test_backoff_capped(self):
+        policy, sleeps = self._policy(backoff_base=10.0, backoff_cap=15.0)
+        policy.call(Flaky(3))
+        assert max(sleeps) == 15.0
+
+    def test_honours_rate_limit_hint(self):
+        policy, sleeps = self._policy()
+        flaky = Flaky(1, RateLimitedError("slow down", retry_after=7.5))
+        assert policy.call(flaky) == "ok"
+        assert sleeps == [7.5]
+
+    def test_fatal_errors_not_retried(self):
+        policy, sleeps = self._policy()
+        for error in (NotFoundError("x"), UnauthorizedError("x")):
+            flaky = Flaky(1, error)
+            with pytest.raises(type(error)):
+                policy.call(flaky)
+            assert flaky.calls == 1
+        assert sleeps == []
+
+    def test_gives_up_eventually(self):
+        policy, _ = self._policy(max_attempts=3)
+        flaky = Flaky(10)
+        with pytest.raises(RetriesExhausted):
+            policy.call(flaky)
+        assert flaky.calls == 3

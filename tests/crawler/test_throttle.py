@@ -1,0 +1,80 @@
+"""Politeness pacing."""
+
+import pytest
+
+from repro.crawler.throttle import PAPER_POLITENESS, PolitePacer
+
+
+class FakeTime:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestPolitePacer:
+    def test_politeness_default_is_85_percent(self):
+        assert PAPER_POLITENESS == 0.85
+
+    def test_rate_scaled_by_politeness(self):
+        pacer = PolitePacer(100.0, politeness=0.85)
+        assert pacer.rate == pytest.approx(85.0)
+
+    def test_first_request_free(self):
+        fake = FakeTime()
+        pacer = PolitePacer(10.0, clock=fake.clock, sleeper=fake.sleep)
+        assert pacer.pace() == 0.0
+        assert fake.sleeps == []
+
+    def test_back_to_back_requests_sleep(self):
+        fake = FakeTime()
+        pacer = PolitePacer(
+            10.0, politeness=1.0, clock=fake.clock, sleeper=fake.sleep
+        )
+        pacer.pace()
+        waited = pacer.pace()
+        assert waited == pytest.approx(0.1)
+        assert fake.sleeps == [pytest.approx(0.1)]
+
+    def test_sustained_rate(self):
+        fake = FakeTime()
+        pacer = PolitePacer(
+            100.0, politeness=0.85, clock=fake.clock, sleeper=fake.sleep
+        )
+        for _ in range(1000):
+            pacer.pace()
+        # 1000 requests at 85/s take ~11.76 virtual seconds.
+        assert fake.now == pytest.approx(1000 / 85.0, rel=0.01)
+
+    def test_no_sleep_when_naturally_slow(self):
+        fake = FakeTime()
+        pacer = PolitePacer(
+            10.0, politeness=1.0, clock=fake.clock, sleeper=fake.sleep
+        )
+        pacer.pace()
+        fake.now += 5.0  # caller was slow on its own
+        assert pacer.pace() == 0.0
+
+    def test_stats_accumulate(self):
+        fake = FakeTime()
+        pacer = PolitePacer(
+            10.0, politeness=1.0, clock=fake.clock, sleeper=fake.sleep
+        )
+        for _ in range(5):
+            pacer.pace()
+        assert pacer.total_requests == 5
+        assert pacer.total_waited == pytest.approx(0.4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PolitePacer(0.0)
+        with pytest.raises(ValueError):
+            PolitePacer(10.0, politeness=0.0)
+        with pytest.raises(ValueError):
+            PolitePacer(10.0, politeness=1.5)

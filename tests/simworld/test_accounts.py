@@ -1,0 +1,46 @@
+"""Account creation process and ID assignment."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.simworld.accounts import build_accounts, creation_days
+from repro.simworld.config import SocialConfig
+
+
+class TestCreationDays:
+    def test_sorted_ascending(self, rng):
+        days = creation_days(rng, 10_000, 0.42, 3_000)
+        assert np.all(np.diff(days) >= 0)
+
+    def test_within_range(self, rng):
+        days = creation_days(rng, 10_000, 0.42, 3_000)
+        assert days.min() >= 0
+        assert days.max() < 3_000
+
+    def test_exponential_growth_shape(self, rng):
+        """More than half of accounts are created in the last third."""
+        days = creation_days(rng, 50_000, 0.42, 3_470)
+        late = np.mean(days > 2 * 3_470 / 3)
+        assert late > 0.5
+
+    def test_zero_growth_approaches_uniform(self, rng):
+        days = creation_days(rng, 50_000, 1e-9, 1_000)
+        assert np.mean(days) == pytest.approx(500, rel=0.05)
+
+    def test_rejects_bad_end_day(self, rng):
+        with pytest.raises(ValueError):
+            creation_days(rng, 10, 0.4, 0)
+
+
+class TestBuildAccounts:
+    def test_ids_follow_creation_order(self, rng):
+        accounts = build_accounts(rng, 5_000, SocialConfig())
+        # Sequential assignment: both arrays ascend together.
+        assert np.all(np.diff(accounts.created_day) >= 0)
+        assert np.all(np.diff(accounts.id_offset) > 0)
+
+    def test_creation_before_profile_crawl_end(self, rng):
+        accounts = build_accounts(rng, 5_000, SocialConfig())
+        end = constants.days_since_launch(constants.PROFILE_CRAWL_END)
+        assert accounts.created_day.max() < end

@@ -1,0 +1,89 @@
+"""Achievement generation (Section 9)."""
+
+import numpy as np
+import pytest
+
+from repro.simworld.achievements import build_achievements
+from repro.simworld.catalog import build_catalog
+from repro.simworld.config import AchievementConfig, CatalogConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = build_catalog(np.random.default_rng(4), CatalogConfig())
+    table = build_achievements(
+        np.random.default_rng(6), catalog, AchievementConfig()
+    )
+    return catalog, table
+
+
+class TestCounts:
+    def test_only_games_have_achievements(self, setup):
+        catalog, table = setup
+        non_games = ~catalog.table.is_game
+        assert np.all(table.count[non_games] == 0)
+
+    def test_count_statistics_near_paper(self, setup):
+        _, table = setup
+        counted = table.count[table.count > 0]
+        assert np.median(counted) == pytest.approx(24, abs=5)
+        assert counted.mean() == pytest.approx(33.1, rel=0.35)
+        mode = np.argmax(np.bincount(counted))
+        assert 8 <= mode <= 18  # paper: 12
+
+    def test_max_below_paper_max(self, setup):
+        _, table = setup
+        assert table.count.max() <= 1629
+
+    def test_spam_games_exist(self, setup):
+        _, table = setup
+        assert np.sum(table.count > 90) > 10
+
+    def test_share_without_achievements(self, setup):
+        catalog, table = setup
+        games = catalog.table.is_game
+        share = np.mean(table.count[games] == 0)
+        assert share == pytest.approx(0.22, abs=0.05)
+
+
+class TestRates:
+    def test_indptr_consistent(self, setup):
+        _, table = setup
+        assert np.all(np.diff(table.indptr) == table.count)
+        assert len(table.rates) == table.indptr[-1]
+
+    def test_rates_in_range(self, setup):
+        _, table = setup
+        assert table.rates.min() > 0
+        assert table.rates.max() < 1
+
+    def test_rates_sorted_descending_within_game(self, setup):
+        _, table = setup
+        has = np.flatnonzero(table.count > 1)
+        for product in has[:50]:
+            rates = table.game_rates(int(product))
+            assert np.all(np.diff(rates) <= 0)
+
+    def test_mean_completion_right_skewed(self, setup):
+        _, table = setup
+        mean_rate = table.mean_completion()
+        rated = np.isfinite(mean_rate)
+        values = mean_rate[rated]
+        assert np.median(values) < values.mean()
+
+    def test_quality_drives_count_in_band(self, setup):
+        """1-90 band couples to quality (the paper's R=0.53 mechanism)."""
+        catalog, table = setup
+        band = (table.count >= 1) & (table.count <= 90)
+        rho = np.corrcoef(
+            catalog.quality[band], table.count[band].astype(float)
+        )[0, 1]
+        assert rho > 0.3
+
+    def test_adventure_higher_completion_than_strategy(self, setup):
+        catalog, table = setup
+        mean_rate = table.mean_completion()
+        rated = np.isfinite(mean_rate)
+        adv = rated & catalog.table.has_genre("Adventure")
+        strat = rated & catalog.table.has_genre("Strategy")
+        assert np.mean(mean_rate[adv]) > np.mean(mean_rate[strat])

@@ -1,0 +1,67 @@
+"""Automated homophily calibration."""
+
+import dataclasses
+
+import pytest
+
+from repro import WorldConfig, constants
+from repro.simworld.autocal import (
+    CalibrationResult,
+    calibrate_homophily,
+    homophily_loss,
+)
+
+
+class TestHomophilyLoss:
+    def test_default_config_scores_well(self):
+        config = WorldConfig(n_users=15_000, seed=3)
+        loss, achieved = homophily_loss(
+            config, dict(constants.HOMOPHILY_CORRELATIONS)
+        )
+        assert loss < 0.3
+        assert set(achieved) == set(constants.HOMOPHILY_CORRELATIONS)
+
+    def test_detuned_config_scores_worse(self):
+        base = WorldConfig(n_users=15_000, seed=3)
+        detuned = dataclasses.replace(
+            base, social=dataclasses.replace(base.social, stub_noise=20.0)
+        )
+        loss_base, _ = homophily_loss(
+            base, dict(constants.HOMOPHILY_CORRELATIONS)
+        )
+        loss_detuned, _ = homophily_loss(
+            detuned, dict(constants.HOMOPHILY_CORRELATIONS)
+        )
+        assert loss_detuned > loss_base
+
+
+class TestCalibrateHomophily:
+    def test_improves_a_detuned_start(self):
+        base = WorldConfig(n_users=10_000, seed=5)
+        detuned = dataclasses.replace(
+            base,
+            social=dataclasses.replace(base.social, stub_noise=5.0),
+        )
+        result = calibrate_homophily(
+            n_users=10_000, seed=5, iterations=2, base=detuned
+        )
+        assert isinstance(result, CalibrationResult)
+        assert result.loss <= result.history[0]
+        assert result.config.social.stub_noise < 5.0
+
+    def test_history_monotone_nonincreasing(self):
+        result = calibrate_homophily(n_users=10_000, seed=5, iterations=1)
+        assert all(
+            later <= earlier + 1e-12
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+
+    def test_rejects_unknown_targets(self):
+        with pytest.raises(ValueError):
+            calibrate_homophily(targets={"bogus": 0.5}, n_users=10_000)
+
+    def test_render(self):
+        result = calibrate_homophily(n_users=10_000, seed=5, iterations=0)
+        text = result.render()
+        assert "market_value" in text
+        assert "stub_noise" in text

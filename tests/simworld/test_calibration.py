@@ -1,0 +1,177 @@
+"""Integration calibration: the generated world vs the paper's numbers.
+
+These are the tolerance-band assertions behind every figure/table; the
+benchmarks print the same comparisons with full detail.
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro import constants
+
+
+@pytest.fixture(scope="module")
+def stats(dataset):
+    return {
+        "friends": dataset.friend_counts().astype(float),
+        "owned": dataset.owned_counts().astype(float),
+        "played": dataset.played_counts().astype(float),
+        "total": dataset.total_playtime_hours(),
+        "twoweek": dataset.twoweek_playtime_hours(),
+        "value": dataset.market_value_dollars(),
+        "groups": dataset.membership_counts().astype(float),
+    }
+
+
+def _pct(values, p):
+    positive = values[values > 0]
+    return float(np.percentile(positive, p))
+
+
+class TestTable3Anchors:
+    @pytest.mark.parametrize(
+        "attr,key",
+        [
+            ("friends", "friends"),
+            ("owned", "owned_games"),
+            ("groups", "group_memberships"),
+            ("value", "market_value"),
+            ("total", "total_playtime_hours"),
+        ],
+    )
+    def test_median_anchor(self, stats, attr, key):
+        paper = constants.TABLE3[key][0]
+        assert _pct(stats[attr], 50) == pytest.approx(paper, rel=0.35, abs=1.1)
+
+    @pytest.mark.parametrize(
+        "attr,key,rel",
+        [
+            ("friends", "friends", 0.2),
+            ("owned", "owned_games", 0.2),
+            ("groups", "group_memberships", 0.35),
+            ("value", "market_value", 0.35),
+            ("total", "total_playtime_hours", 0.15),
+        ],
+    )
+    def test_p90_anchor(self, stats, attr, key, rel):
+        paper = constants.TABLE3[key][2]
+        assert _pct(stats[attr], 90) == pytest.approx(paper, rel=rel)
+
+    def test_twoweek_anchors(self, stats, dataset):
+        owners = dataset.owned_counts() > 0
+        twoweek = stats["twoweek"][owners]
+        assert np.percentile(twoweek, 80) == 0.0
+        assert np.percentile(twoweek, 90) == pytest.approx(8.7, rel=0.25)
+
+
+class TestFigureCallouts:
+    def test_fig4_p80_owned(self, stats):
+        assert _pct(stats["owned"], 80) == pytest.approx(10, abs=1.5)
+
+    def test_fig4_owners_under_20_games(self, stats):
+        owned = stats["owned"]
+        share = np.mean(owned[owned > 0] < 20)
+        assert share == pytest.approx(0.8978, abs=0.03)
+
+    def test_fig7_p80_nonzero_twoweek(self, stats):
+        twoweek = stats["twoweek"]
+        nz = twoweek[twoweek > 0]
+        assert np.percentile(nz, 80) == pytest.approx(32.05, rel=0.15)
+
+    def test_fig8_p80_value(self, stats):
+        assert _pct(stats["value"], 80) == pytest.approx(150.88, rel=0.35)
+
+    def test_pareto_shares(self, stats, dataset):
+        owners = dataset.owned_counts() > 0
+        total = stats["total"][owners]
+        top20 = np.sort(total)[-int(0.2 * len(total)):].sum() / total.sum()
+        assert top20 == pytest.approx(0.824, abs=0.08)
+
+    def test_zero_twoweek_share(self, stats, dataset):
+        owners = dataset.owned_counts() > 0
+        assert np.mean(stats["twoweek"][owners] == 0) == pytest.approx(
+            0.82, abs=0.03
+        )
+
+    def test_idler_share(self, stats, dataset):
+        near_cap = np.mean(stats["twoweek"] >= 0.8 * 336.0)
+        assert near_cap < 5 * constants.IDLER_SHARE + 2e-4
+
+
+class TestSection7Correlations:
+    def test_homophily_ordering(self, dataset):
+        from repro.core.homophily import homophily
+
+        result = homophily(dataset)
+        rhos = result.correlations.rhos
+        value = rhos["market_value vs friends' avg"]
+        owned = rhos["owned_games vs friends' avg"]
+        friends = rhos["friends vs friends' avg"]
+        total = rhos["total_playtime vs friends' avg"]
+        # All four are clearly positive (homophily exists)...
+        for rho in (value, owned, friends, total):
+            assert rho > 0.3
+        # ... market value is the strongest, as in the paper.
+        assert value == max(value, owned, friends, total)
+        assert value == pytest.approx(0.77, abs=0.12)
+
+    def test_cross_correlations_weak(self, dataset):
+        from repro.core.homophily import cross_correlations
+
+        result = cross_correlations(dataset)
+        for name, rho in result.rhos.items():
+            paper = result.paper[name]
+            assert rho == pytest.approx(paper, abs=0.12), name
+
+    def test_owned_friends_positive(self, stats):
+        mask = (stats["owned"] > 0) & (stats["friends"] > 0)
+        rho = spearmanr(stats["owned"][mask], stats["friends"][mask]).statistic
+        assert 0.15 < rho < 0.5
+
+
+class TestGenreAndMultiplayer:
+    def test_action_playtime_share(self, dataset):
+        from repro.core.expenditure import genre_expenditure
+
+        exp = genre_expenditure(dataset)
+        assert exp.playtime_share("Action") == pytest.approx(0.4924, abs=0.13)
+
+    def test_action_value_share(self, dataset):
+        from repro.core.expenditure import genre_expenditure
+
+        exp = genre_expenditure(dataset)
+        assert exp.value_share("Action") == pytest.approx(0.5188, abs=0.12)
+
+    def test_multiplayer_shares(self, dataset):
+        from repro.core.multiplayer import multiplayer_share
+
+        mp = multiplayer_share(dataset)
+        assert mp.catalog_share == pytest.approx(0.487, abs=0.04)
+        assert mp.total_playtime_share == pytest.approx(0.577, abs=0.12)
+        assert mp.twoweek_playtime_share == pytest.approx(0.677, abs=0.12)
+        # Two-week skews more multiplayer than lifetime, as in Figure 10.
+        assert mp.twoweek_playtime_share > mp.total_playtime_share
+
+    def test_genre_unplayed_rates(self, dataset):
+        from repro.core.ownership import genre_ownership
+
+        genre = genre_ownership(dataset)
+        for name, target in constants.GENRE_UNPLAYED_RATES.items():
+            assert genre.unplayed_rate(name) == pytest.approx(
+                target, abs=0.06
+            ), name
+
+
+class TestLocality:
+    def test_international_share(self, dataset):
+        from repro.core.social import locality
+
+        result = locality(dataset)
+        assert result.international_share == pytest.approx(0.3034, abs=0.095)
+
+    def test_cross_city_share(self, dataset):
+        from repro.core.social import locality
+
+        result = locality(dataset)
+        assert result.cross_city_share == pytest.approx(0.7984, abs=0.07)

@@ -1,0 +1,90 @@
+"""Product catalog generation (Sections 3.1 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.simworld.catalog import build_catalog
+from repro.simworld.config import CatalogConfig
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(np.random.default_rng(4), CatalogConfig())
+
+
+class TestCatalogStructure:
+    def test_product_count(self, catalog):
+        assert catalog.n_products == 6_156
+
+    def test_appids_sorted_distinct(self, catalog):
+        assert np.all(np.diff(catalog.table.appid) > 0)
+
+    def test_game_share(self, catalog):
+        assert np.mean(catalog.table.is_game) == pytest.approx(0.78, abs=0.02)
+
+    def test_popularity_normalized_over_games(self, catalog):
+        assert catalog.popularity.sum() == pytest.approx(1.0)
+        assert np.all(catalog.popularity[~catalog.table.is_game] == 0.0)
+
+    def test_popularity_heavy_tailed(self, catalog):
+        top10 = np.sort(catalog.popularity)[-10:].sum()
+        assert top10 > 0.05
+
+
+class TestGenres:
+    def test_every_product_has_primary_genre_in_mask(self, catalog):
+        bit = np.uint64(1) << catalog.table.primary_genre.astype(np.uint64)
+        assert np.all((catalog.table.genre_mask & bit) != 0)
+
+    def test_action_any_label_share_near_paper(self, catalog):
+        games = catalog.table.is_game
+        share = np.mean(catalog.table.has_genre("Action")[games])
+        assert share == pytest.approx(0.381, abs=0.035)
+
+    def test_action_most_common_primary(self, catalog):
+        counts = np.bincount(catalog.table.primary_genre)
+        assert np.argmax(counts) == catalog.table.genre_names.index("Action")
+
+    def test_f2p_titles_are_free_and_multiplayer(self, catalog):
+        f2p_idx = catalog.table.genre_names.index("Free to Play")
+        f2p = catalog.table.primary_genre == f2p_idx
+        assert np.all(catalog.table.price_cents[f2p] == 0)
+        assert np.all(catalog.table.multiplayer[f2p])
+
+
+class TestPricesAndQuality:
+    def test_multiplayer_share_near_paper(self, catalog):
+        games = catalog.table.is_game
+        assert np.mean(catalog.table.multiplayer[games]) == pytest.approx(
+            0.487, abs=0.03
+        )
+
+    def test_prices_are_valid_tiers(self, catalog):
+        tiers = {int(round(p * 100)) for p in CatalogConfig().price_points}
+        assert set(np.unique(catalog.table.price_cents)).issubset(tiers)
+
+    def test_metacritic_range(self, catalog):
+        assert catalog.table.metacritic.min() >= 20
+        assert catalog.table.metacritic.max() <= 97
+
+    def test_quality_correlates_with_metacritic(self, catalog):
+        rho = np.corrcoef(
+            catalog.quality, catalog.table.metacritic.astype(float)
+        )[0, 1]
+        assert rho > 0.2
+
+    def test_quality_correlates_with_popularity(self, catalog):
+        games = catalog.table.game_ids()
+        rho = np.corrcoef(
+            catalog.quality[games], np.log(catalog.popularity[games])
+        )[0, 1]
+        assert rho > 0.5
+
+    def test_release_days_in_range(self, catalog):
+        assert catalog.table.release_day.min() >= 0
+
+    def test_deterministic(self):
+        a = build_catalog(np.random.default_rng(4), CatalogConfig())
+        b = build_catalog(np.random.default_rng(4), CatalogConfig())
+        assert np.array_equal(a.table.price_cents, b.table.price_cents)
+        assert np.array_equal(a.popularity, b.popularity)

@@ -1,0 +1,134 @@
+"""Latent factor copula: correlations, blending, conditioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simworld.config import FactorConfig
+from repro.simworld.copula import (
+    FACTOR_NAMES,
+    conditional_uniform,
+    correlation_matrix,
+    draw_latents,
+    pearson_to_spearman,
+    spearman_to_pearson,
+)
+
+
+class TestCorrelationMatrix:
+    def test_is_psd_with_unit_diagonal(self):
+        corr = correlation_matrix(FactorConfig())
+        assert np.allclose(np.diag(corr), 1.0)
+        assert np.linalg.eigvalsh(corr).min() > -1e-10
+
+    def test_symmetric(self):
+        corr = correlation_matrix(FactorConfig())
+        assert np.allclose(corr, corr.T)
+
+    def test_extreme_config_gets_repaired(self):
+        config = FactorConfig(
+            soc_wealth=0.95, soc_play=0.95, wealth_play=-0.9
+        )
+        corr = correlation_matrix(config)
+        assert np.linalg.eigvalsh(corr).min() > -1e-10
+        assert np.allclose(np.diag(corr), 1.0)
+
+
+class TestDrawLatents:
+    def test_shape_and_standardization(self, rng):
+        latents = draw_latents(rng, 50_000, FactorConfig())
+        assert len(latents) == 50_000
+        for name in FACTOR_NAMES:
+            column = latents.factor(name)
+            assert abs(column.mean()) < 0.03
+            assert column.std() == pytest.approx(1.0, abs=0.03)
+
+    def test_realized_correlations_match_config(self, rng):
+        config = FactorConfig()
+        latents = draw_latents(rng, 100_000, config)
+        realized = np.corrcoef(latents.z.T)
+        target = correlation_matrix(config)
+        assert np.allclose(realized, target, atol=0.02)
+
+    def test_uniform_transform_is_uniform(self, rng):
+        latents = draw_latents(rng, 20_000, FactorConfig())
+        u = latents.uniform("wealth")
+        assert 0.0 < u.min() and u.max() < 1.0
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        assert hist.std() / hist.mean() < 0.1
+
+    def test_rejects_bad_shape(self):
+        from repro.simworld.copula import LatentFactors
+
+        with pytest.raises(ValueError):
+            LatentFactors(z=np.zeros((10, 3)))
+
+
+class TestBlend:
+    def test_blend_is_standardized_for_orthogonal_factors(self, rng):
+        latents = draw_latents(
+            rng,
+            100_000,
+            FactorConfig(
+                soc_wealth=0.0, soc_price=0.0, soc_play=0.0, soc_rec=0.0,
+                wealth_price=0.0, wealth_play=0.0, wealth_rec=0.0,
+                price_play=0.0, price_rec=0.0, play_rec=0.0,
+            ),
+        )
+        blend = latents.blend({"soc": 1.0, "wealth": 1.0})
+        assert blend.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_blend_with_noise(self, rng):
+        latents = draw_latents(rng, 10_000, FactorConfig())
+        noise = rng.standard_normal(10_000)
+        blend = latents.blend({"soc": 1.0, "noise": 1.0}, noise=noise)
+        assert np.corrcoef(blend, latents.factor("soc"))[0, 1] > 0.5
+
+    def test_blend_rejects_all_zero(self, rng):
+        latents = draw_latents(rng, 100, FactorConfig())
+        with pytest.raises(ValueError):
+            latents.blend({"soc": 0.0})
+
+
+class TestConditionalUniform:
+    def test_output_uniform_on_selection(self, rng):
+        u = rng.random(100_000)
+        selected = u > 0.7
+        cond = conditional_uniform(u, selected, 0.3)
+        assert cond.min() >= 0.0 and cond.max() < 1.0
+        hist, _ = np.histogram(cond, bins=10, range=(0, 1))
+        assert hist.std() / hist.mean() < 0.1
+
+    def test_preserves_order(self, rng):
+        u = rng.random(1_000)
+        selected = u > 0.5
+        cond = conditional_uniform(u, selected, 0.5)
+        assert np.all(np.argsort(cond) == np.argsort(u[selected]))
+
+    def test_rejects_bad_fraction(self, rng):
+        u = rng.random(10)
+        with pytest.raises(ValueError):
+            conditional_uniform(u, u > 0.5, 0.0)
+
+
+class TestSpearmanConversion:
+    @given(st.floats(min_value=-0.95, max_value=0.95))
+    @settings(max_examples=40)
+    def test_roundtrip(self, rho):
+        assert pearson_to_spearman(
+            spearman_to_pearson(rho)
+        ) == pytest.approx(rho, abs=1e-9)
+
+    def test_known_values(self):
+        assert spearman_to_pearson(0.0) == 0.0
+        assert spearman_to_pearson(1.0) == pytest.approx(1.0)
+
+    def test_empirical_agreement(self, rng):
+        """Gaussian copula: measured Spearman ~ (6/pi) asin(r/2)."""
+        from scipy.stats import spearmanr
+
+        r = spearman_to_pearson(0.5)
+        cov = np.array([[1.0, r], [r, 1.0]])
+        sample = rng.multivariate_normal([0, 0], cov, size=200_000)
+        rho = spearmanr(sample[:, 0], sample[:, 1]).statistic
+        assert rho == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,83 @@
+"""Second-snapshot growth model (Section 8)."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def tables(world):
+    return world.dataset, world.dataset.snapshot2
+
+
+class TestMonotoneGrowth:
+    def test_owned_never_shrinks(self, tables):
+        ds, s2 = tables
+        assert np.all(s2.owned >= ds.owned_counts())
+
+    def test_value_never_shrinks(self, tables):
+        ds, s2 = tables
+        value1 = ds.library.user_value_cents(ds.catalog.price_cents)
+        assert np.all(s2.value_cents >= value1)
+
+    def test_total_playtime_never_shrinks(self, tables):
+        ds, s2 = tables
+        assert np.all(s2.total_min >= ds.library.user_total_min())
+
+    def test_played_bounded_by_owned(self, tables):
+        _, s2 = tables
+        assert np.all(s2.played <= s2.owned)
+
+    def test_non_owners_stay_non_owners(self, tables):
+        ds, s2 = tables
+        non_owner = ds.owned_counts() == 0
+        assert np.all(s2.owned[non_owner] == 0)
+
+
+class TestGrowthMagnitudes:
+    def test_p80_owned_grows_modestly(self, tables):
+        ds, s2 = tables
+        owned1 = ds.owned_counts()
+        p80_1 = np.percentile(owned1[owned1 > 0], 80)
+        p80_2 = np.percentile(s2.owned[s2.owned > 0], 80)
+        # paper: 10 -> 15.
+        assert p80_2 / p80_1 == pytest.approx(1.5, abs=0.35)
+
+    def test_tail_outgrows_p80(self, tables):
+        ds, s2 = tables
+        owned1 = ds.owned_counts()
+        max_growth = s2.owned.max() / owned1.max()
+        p80_growth = np.percentile(
+            s2.owned[s2.owned > 0], 80
+        ) / np.percentile(owned1[owned1 > 0], 80)
+        assert max_growth >= p80_growth * 0.8
+
+    def test_value_p80_growth_near_paper(self, tables):
+        ds, s2 = tables
+        value1 = ds.market_value_dollars()
+        value2 = s2.value_cents / 100.0
+        ratio = np.percentile(value2[value2 > 0], 80) / np.percentile(
+            value1[value1 > 0], 80
+        )
+        assert ratio == pytest.approx(1.49, abs=0.35)
+
+    def test_total_playtime_mean_growth(self, tables):
+        ds, s2 = tables
+        total1 = ds.library.user_total_min().sum()
+        assert s2.total_min.sum() / total1 == pytest.approx(1.55, abs=0.25)
+
+
+class TestTwoWeekRedraw:
+    def test_zero_share_preserved(self, tables):
+        ds, s2 = tables
+        owners = ds.owned_counts() > 0
+        zero = np.mean(s2.twoweek_min[owners] == 0)
+        assert zero == pytest.approx(0.82, abs=0.04)
+
+    def test_window_is_fresh(self, tables):
+        """Snapshot-2 activity is a new two-week window, not a copy."""
+        ds, s2 = tables
+        tw1 = ds.library.user_twoweek_min()
+        active1 = tw1 > 0
+        active2 = s2.twoweek_min > 0
+        overlap = np.mean(active2[active1])
+        assert 0.2 < overlap < 0.95  # correlated but not identical

@@ -1,0 +1,86 @@
+"""Friendship graph generation (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.simworld.config import SocialConfig
+from repro.simworld.friends import degree_curve, solve_friended_fraction
+
+
+class TestDegreeCurve:
+    def test_anchors(self):
+        curve = degree_curve(SocialConfig())
+        assert curve.percentile(50) == 4
+        assert curve.percentile(80) == 15
+        assert curve.percentile(99) == 122
+
+    def test_friended_fraction_plausible(self):
+        frac = solve_friended_fraction(SocialConfig())
+        assert 0.15 < frac < 0.5
+
+
+class TestGraphStructure:
+    def test_edges_canonical(self, small_world):
+        graph = small_world.friend_graph
+        assert np.all(graph.u < graph.v)
+
+    def test_no_duplicate_edges(self, small_world):
+        graph = small_world.friend_graph
+        keys = graph.u.astype(np.int64) * small_world.config.n_users + graph.v
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_caps_respected(self, world):
+        graph = world.friend_graph
+        degrees = np.bincount(graph.u, minlength=world.config.n_users)
+        degrees += np.bincount(graph.v, minlength=world.config.n_users)
+        assert np.all(degrees <= graph.caps)
+
+    def test_only_friended_users_have_edges(self, small_world):
+        graph = small_world.friend_graph
+        endpoints = np.unique(np.concatenate([graph.u, graph.v]))
+        assert np.all(graph.friended_mask[endpoints])
+
+    def test_days_after_both_accounts_exist(self, small_world):
+        graph = small_world.friend_graph
+        created = small_world.dataset.accounts.created_day
+        born = np.maximum(created[graph.u], created[graph.v])
+        assert np.all(graph.day >= born)
+
+    def test_days_before_snapshot(self, small_world):
+        graph = small_world.friend_graph
+        end = constants.days_since_launch(constants.PROFILE_CRAWL_END)
+        assert graph.day.max() <= end
+
+
+class TestCalibration:
+    def test_mean_degree_near_paper(self, world):
+        degrees = world.dataset.friend_counts()
+        assert degrees.mean() == pytest.approx(3.61, rel=0.18)
+
+    def test_median_degree(self, world):
+        degrees = world.dataset.friend_counts()
+        positive = degrees[degrees > 0]
+        assert 3 <= np.median(positive) <= 6
+
+    def test_degree_dip_above_250(self, world):
+        """Counts above the default cap are depressed (Figure 2)."""
+        degrees = world.dataset.friend_counts()
+        just_below = np.sum((degrees >= 230) & (degrees <= 250))
+        just_above = np.sum((degrees > 250) & (degrees <= 270))
+        assert just_above <= just_below
+
+    def test_homophily_on_match_score(self, world):
+        """Friends have similar match scores by construction."""
+        graph = world.friend_graph
+        score = graph.match_score
+        rho = np.corrcoef(score[graph.u], score[graph.v])[0, 1]
+        assert rho > 0.5
+
+    def test_locality_shares(self, world):
+        ds = world.dataset
+        fr = ds.friends
+        cu, cv = ds.accounts.country[fr.u], ds.accounts.country[fr.v]
+        both = (cu >= 0) & (cv >= 0)
+        intl = np.mean(cu[both] != cv[both])
+        assert intl == pytest.approx(0.3034, abs=0.095)

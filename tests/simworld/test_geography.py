@@ -1,0 +1,79 @@
+"""Country/city assignment and self-report rates (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.simworld.config import GeographyConfig
+from repro.simworld.geography import (
+    build_geography,
+    country_name_list,
+    country_shares,
+)
+
+
+@pytest.fixture(scope="module")
+def geo():
+    rng = np.random.default_rng(9)
+    return build_geography(rng, 80_000, GeographyConfig())
+
+
+class TestCountryShares:
+    def test_sum_to_one(self):
+        shares = country_shares(GeographyConfig())
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_head_matches_table1(self):
+        shares = country_shares(GeographyConfig())
+        assert shares[0] == pytest.approx(0.2021, abs=1e-4)
+        assert shares[1] == pytest.approx(0.1018, abs=1e-4)
+
+    def test_all_236_countries(self):
+        shares = country_shares(GeographyConfig())
+        names = country_name_list(GeographyConfig())
+        assert len(shares) == constants.NUM_DISTINCT_COUNTRIES
+        assert len(names) == constants.NUM_DISTINCT_COUNTRIES
+        assert names[0] == "United States"
+
+    def test_tail_decreasing(self):
+        shares = country_shares(GeographyConfig())
+        tail = shares[10:]
+        assert np.all(np.diff(tail) <= 0)
+
+
+class TestAssignment:
+    def test_us_share_of_population(self, geo):
+        us = np.mean(geo.country == 0)
+        assert us == pytest.approx(0.2021, abs=0.01)
+
+    def test_report_rates(self, geo):
+        assert np.mean(geo.reports_country) == pytest.approx(0.107, abs=0.01)
+        assert np.mean(geo.reports_city) == pytest.approx(0.040, abs=0.008)
+
+    def test_city_reporters_subset_of_country_reporters(self, geo):
+        assert np.all(geo.reports_country[geo.reports_city])
+
+    def test_city_ids_within_country_ranges(self, geo):
+        lo = geo.city_offsets[geo.country]
+        hi = geo.city_offsets[geo.country + 1]
+        assert np.all(geo.city >= lo)
+        assert np.all(geo.city < hi)
+
+    def test_reported_columns_hide_unreported(self, geo):
+        country = geo.reported_country()
+        city = geo.reported_city()
+        assert np.all(country[~geo.reports_country] == -1)
+        assert np.all(city[~geo.reports_city] == -1)
+        assert np.all(country[geo.reports_country] >= 0)
+
+    def test_city_population_skewed_within_country(self, geo):
+        """Within the biggest country, the top city dominates (Zipf)."""
+        us_cities = geo.city[geo.country == 0]
+        counts = np.bincount(us_cities - geo.city_offsets[0])
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+    def test_deterministic(self):
+        a = build_geography(np.random.default_rng(3), 1000, GeographyConfig())
+        b = build_geography(np.random.default_rng(3), 1000, GeographyConfig())
+        assert np.array_equal(a.country, b.country)
+        assert np.array_equal(a.city, b.city)

@@ -1,0 +1,94 @@
+"""Group generation (Section 4.2, Table 2, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.simworld.config import GroupConfig
+from repro.simworld.groups import group_sizes, membership_curve
+from repro.store.tables import GroupType
+
+
+class TestSizes:
+    def test_sizes_hit_budget(self, rng):
+        sizes = group_sizes(rng, 2_000, 60_000, GroupConfig())
+        assert sizes.sum() == pytest.approx(60_000, rel=0.1)
+
+    def test_sizes_heavy_tailed(self, rng):
+        sizes = group_sizes(rng, 5_000, 150_000, GroupConfig())
+        assert sizes.max() > 20 * np.median(sizes)
+
+    def test_min_size(self, rng):
+        sizes = group_sizes(rng, 100, 50, GroupConfig())
+        assert sizes.min() >= 1
+
+
+class TestMembershipCurve:
+    def test_anchors(self):
+        curve = membership_curve(GroupConfig())
+        assert curve.percentile(50) == 2
+        assert curve.percentile(95) == 22
+
+
+class TestGeneratedGroups:
+    def test_group_count_scales(self, small_world):
+        groups = small_world.dataset.groups
+        expected = 0.0276 * small_world.config.n_users
+        assert groups.n_groups == pytest.approx(expected, rel=0.05)
+
+    def test_memberships_per_account(self, world):
+        ds = world.dataset
+        per_account = ds.groups.members.nnz / ds.n_users
+        assert per_account == pytest.approx(0.748, rel=0.15)
+
+    def test_member_ids_valid(self, small_world):
+        groups = small_world.dataset.groups
+        members = groups.members.indices
+        assert members.min() >= 0
+        assert members.max() < small_world.config.n_users
+
+    def test_no_duplicate_members_within_group(self, small_world):
+        groups = small_world.dataset.groups
+        for g in range(0, groups.n_groups, 37):
+            row = groups.members.row(g)
+            assert len(np.unique(row)) == len(row)
+
+    def test_game_focused_groups_have_focus(self, small_world):
+        groups = small_world.dataset.groups
+        focused_types = np.isin(
+            groups.group_type,
+            [GroupType.SINGLE_GAME, GroupType.GAME_SERVER],
+        )
+        assert np.all(groups.focus_game[focused_types] >= 0)
+        assert np.all(groups.focus_game[~focused_types] == -1)
+
+    def test_top250_type_mix_matches_table2(self, world):
+        groups = world.dataset.groups
+        sizes = groups.sizes()
+        top = np.argsort(-sizes)[:250]
+        counts = np.bincount(groups.group_type[top], minlength=6)
+        # Game Server should dominate (45.6% in Table 2).
+        assert counts[GroupType.GAME_SERVER] == max(counts)
+        assert counts[GroupType.GAME_SERVER] == pytest.approx(114, abs=25)
+        assert counts[GroupType.SINGLE_GAME] == pytest.approx(51, abs=20)
+
+    def test_focus_members_mostly_own_focus_game(self, world):
+        """Members of single-game groups own the focus game at ~affinity."""
+        ds = world.dataset
+        groups = ds.groups
+        lib = ds.library
+        single = np.flatnonzero(
+            (groups.group_type == GroupType.SINGLE_GAME)
+            & (groups.sizes() >= 50)
+        )
+        if len(single) == 0:
+            pytest.skip("no large single-game groups at this scale")
+        hit_rates = []
+        for g in single[:20]:
+            members = groups.members.row(int(g))
+            focus = int(groups.focus_game[g])
+            owns = [
+                focus in set(lib.owned.row(int(u)).tolist())
+                for u in members[:100]
+            ]
+            hit_rates.append(np.mean(owns))
+        assert np.mean(hit_rates) > 0.5

@@ -1,0 +1,165 @@
+"""Anchored quantile curves: exactness, monotonicity, tails."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simworld.marginals import (
+    AnchoredCurve,
+    TailSpec,
+    lognormal_sigma_from_max,
+    pareto_alpha_from_max,
+)
+
+ANCHORS = ((0.5, 4.0), (0.8, 15.0), (0.9, 29.0), (0.95, 50.0), (0.99, 122.0))
+
+
+@pytest.fixture(params=["pareto", "lognormal"])
+def curve(request):
+    return AnchoredCurve(
+        anchors=ANCHORS, x_min=1.0, tail=TailSpec("pareto", 2.0),
+        interp=request.param,
+    )
+
+
+class TestAnchorExactness:
+    def test_ppf_hits_every_anchor(self, curve):
+        for q, x in ANCHORS:
+            assert curve.ppf(q) == pytest.approx(x, rel=1e-9)
+
+    def test_percentile_helper(self, curve):
+        assert curve.percentile(80) == pytest.approx(15.0)
+
+    def test_sample_quantiles_near_anchors(self, curve, rng):
+        sample = curve.sample(rng, 200_000)
+        for q, x in ANCHORS[:-1]:
+            assert np.percentile(sample, q * 100) == pytest.approx(x, rel=0.05)
+
+
+class TestShape:
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=60)
+    def test_monotone(self, u):
+        curve = AnchoredCurve(anchors=ANCHORS, tail=TailSpec("pareto", 2.0))
+        eps = 5e-4
+        assert curve.ppf(min(u + eps, 0.9995)) >= curve.ppf(u) - 1e-12
+
+    def test_support_floor(self, curve):
+        assert curve.ppf(0.0) == pytest.approx(1.0)
+
+    def test_cdf_inverts_ppf(self, curve):
+        u = np.linspace(0.01, 0.995, 57)
+        x = curve.ppf(u)
+        back = curve.cdf(x)
+        assert np.allclose(back, u, atol=1e-6)
+
+    def test_mean_between_median_and_p99(self, curve):
+        mean = curve.mean(grid=50_001)
+        assert 4.0 < mean < 122.0
+
+    def test_rejects_u_out_of_range(self, curve):
+        with pytest.raises(ValueError):
+            curve.ppf(1.0)
+        with pytest.raises(ValueError):
+            curve.ppf(-0.1)
+
+
+class TestTails:
+    def test_pareto_tail_exponent(self):
+        curve = AnchoredCurve(anchors=ANCHORS, tail=TailSpec("pareto", 2.0))
+        # Quantile doubling: 1-q shrinking 4x doubles x under alpha=2.
+        x1 = curve.ppf(1 - 4e-3)
+        x2 = curve.ppf(1 - 1e-3)
+        assert x2 / x1 == pytest.approx(4.0 ** 0.5, rel=1e-6)
+
+    def test_lognormal_tail_grows_slower_than_heavy_pareto(self):
+        pareto = AnchoredCurve(anchors=ANCHORS, tail=TailSpec("pareto", 1.2))
+        lognorm = AnchoredCurve(
+            anchors=ANCHORS, tail=TailSpec("lognormal", 0.9)
+        )
+        assert pareto.ppf(1 - 1e-6) > lognorm.ppf(1 - 1e-6)
+
+    def test_cap_truncates(self):
+        curve = AnchoredCurve(
+            anchors=ANCHORS, tail=TailSpec("pareto", 1.5, cap=200.0)
+        )
+        assert curve.ppf(1 - 1e-9) == 200.0
+
+    def test_discrete_rounds_up_to_integers(self, rng):
+        curve = AnchoredCurve(
+            anchors=ANCHORS, tail=TailSpec("pareto", 2.0), discrete=True
+        )
+        sample = curve.sample(rng, 10_000)
+        assert np.all(sample == np.round(sample))
+        assert sample.min() >= 1.0
+
+    def test_cdf_above_cap_is_one(self):
+        curve = AnchoredCurve(
+            anchors=ANCHORS, tail=TailSpec("pareto", 1.5, cap=200.0)
+        )
+        assert curve.cdf(250.0) == 1.0
+
+
+class TestTailCalibration:
+    def test_pareto_alpha_from_max_solves(self):
+        alpha = pareto_alpha_from_max(122.0, 0.99, 2000.0, 1e7)
+        # Quantile at 1/1e7 should equal the stated max.
+        curve = AnchoredCurve(anchors=ANCHORS, tail=TailSpec("pareto", alpha))
+        assert curve.ppf(1 - 1e-7) == pytest.approx(2000.0, rel=0.01)
+
+    def test_lognormal_sigma_from_max_solves(self):
+        sigma = lognormal_sigma_from_max(122.0, 0.99, 2000.0, 1e7)
+        curve = AnchoredCurve(
+            anchors=ANCHORS, tail=TailSpec("lognormal", sigma)
+        )
+        assert curve.ppf(1 - 1e-7) == pytest.approx(2000.0, rel=0.01)
+
+    def test_rejects_max_below_anchor(self):
+        with pytest.raises(ValueError):
+            pareto_alpha_from_max(122.0, 0.99, 100.0, 1e7)
+        with pytest.raises(ValueError):
+            lognormal_sigma_from_max(122.0, 0.99, 100.0, 1e7)
+
+
+class TestValidation:
+    def test_rejects_unsorted_anchors(self):
+        with pytest.raises(ValueError):
+            AnchoredCurve(anchors=((0.8, 10.0), (0.5, 4.0)))
+
+    def test_rejects_non_increasing_values(self):
+        with pytest.raises(ValueError):
+            AnchoredCurve(anchors=((0.5, 10.0), (0.8, 10.0)))
+
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(ValueError):
+            AnchoredCurve(anchors=((0.0, 1.0), (0.5, 2.0)))
+
+    def test_rejects_x_min_above_first_anchor(self):
+        with pytest.raises(ValueError):
+            AnchoredCurve(anchors=ANCHORS, x_min=10.0)
+
+    def test_rejects_empty_anchors(self):
+        with pytest.raises(ValueError):
+            AnchoredCurve(anchors=())
+
+    def test_rejects_unknown_interp(self):
+        with pytest.raises(ValueError):
+            AnchoredCurve(anchors=ANCHORS, interp="spline")
+
+    def test_rejects_bad_tail(self):
+        with pytest.raises(ValueError):
+            TailSpec("weibull", 1.0)
+        with pytest.raises(ValueError):
+            TailSpec("pareto", -1.0)
+        with pytest.raises(ValueError):
+            TailSpec("pareto", 1.0, cap=0.0)
+
+
+@given(
+    alpha=st.floats(min_value=1.1, max_value=5.0),
+    u=st.floats(min_value=0.001, max_value=0.998),
+)
+@settings(max_examples=60)
+def test_cdf_ppf_roundtrip_property(alpha, u):
+    curve = AnchoredCurve(anchors=ANCHORS, tail=TailSpec("pareto", alpha))
+    assert curve.cdf(curve.ppf(u)) == pytest.approx(u, abs=1e-6)

@@ -1,0 +1,27 @@
+"""Synthetic product names."""
+
+from repro.simworld.names import game_name
+
+
+class TestGameName:
+    def test_deterministic(self):
+        assert game_name(440) == game_name(440)
+
+    def test_varies_across_ids(self):
+        names = {game_name(appid) for appid in range(10, 5000, 10)}
+        assert len(names) > 50
+
+    def test_human_readable(self):
+        name = game_name(570)
+        assert name[0].isupper()
+        assert " " in name
+
+    def test_served_by_api(self, small_world):
+        from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+
+        service = SteamApiService.from_world(small_world)
+        apps = service.get_app_list(DEFAULT_API_KEY)["applist"]["apps"]
+        assert apps[0]["name"] == game_name(apps[0]["appid"])
+        appid = int(small_world.dataset.catalog.appid[0])
+        details = service.appdetails(DEFAULT_API_KEY, appid)
+        assert details[str(appid)]["data"]["name"] == game_name(appid)

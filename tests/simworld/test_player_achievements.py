@@ -1,0 +1,97 @@
+"""Per-player achievement unlocks (Section 9 future work)."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def player_ach(world):
+    return world.player_achievements()
+
+
+class TestPlayerAchievements:
+    def test_alignment(self, player_ach, world):
+        assert len(player_ach.unlocked) == world.dataset.library.owned.nnz
+        assert len(player_ach.hunter_mask) == world.config.n_users
+
+    def test_unlocks_bounded_by_offered(self, player_ach, world):
+        offered = world.dataset.achievements.count[
+            world.dataset.library.owned.indices
+        ]
+        assert np.all(player_ach.unlocked <= offered)
+        assert player_ach.unlocked.min() >= 0
+
+    def test_unplayed_entries_unlock_nothing(self, player_ach, world):
+        unplayed = world.dataset.library.total_min == 0
+        assert np.all(player_ach.unlocked[unplayed] == 0)
+
+    def test_aggregate_matches_global_rates(self, player_ach, world):
+        """Owner-average completion per game tracks the 2016 API's
+        global percentages (the consistency constraint)."""
+        ds = world.dataset
+        entry_game = ds.library.owned.indices
+        rates = player_ach.completion_rate(ds.achievements, entry_game)
+        valid = np.isfinite(rates)
+        per_game_sum = np.bincount(
+            entry_game[valid], weights=rates[valid], minlength=ds.n_products
+        )
+        per_game_n = np.bincount(entry_game[valid], minlength=ds.n_products)
+        global_rate = ds.achievements.mean_completion()
+        popular = np.flatnonzero(per_game_n >= 200)
+        if len(popular) == 0:
+            pytest.skip("no games with enough owners at this scale")
+        measured = per_game_sum[popular] / per_game_n[popular]
+        target = np.nan_to_num(global_rate[popular])
+        assert np.mean(np.abs(measured - target)) < 0.05
+
+    def test_playtime_increases_completion(self, player_ach, world):
+        ds = world.dataset
+        entry_game = ds.library.owned.indices
+        rates = player_ach.completion_rate(ds.achievements, entry_game)
+        hours = ds.library.total_min / 60.0
+        valid = np.isfinite(rates) & (hours > 0)
+        heavy = valid & (hours > 50)
+        light = valid & (hours < 2)
+        assert rates[heavy].mean() > rates[light].mean()
+
+    def test_hunters_complete_nearly_everything(self, player_ach, world):
+        ds = world.dataset
+        entry_user = ds.library.owned.row_ids()
+        entry_game = ds.library.owned.indices
+        rates = player_ach.completion_rate(ds.achievements, entry_game)
+        valid = np.isfinite(rates) & (ds.library.total_min > 0)
+        hunter_entries = valid & player_ach.hunter_mask[entry_user]
+        if not hunter_entries.any():
+            pytest.skip("no hunters at this scale")
+        assert rates[hunter_entries].mean() > 0.6
+
+    def test_hunter_share(self, player_ach):
+        assert player_ach.hunter_mask.mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_deterministic(self, world):
+        a = world.player_achievements()
+        b = world.player_achievements()
+        assert np.array_equal(a.unlocked, b.unlocked)
+
+
+class TestHunterReport:
+    @pytest.fixture(scope="class")
+    def report(self, world, player_ach):
+        from repro.core.hunters import hunter_report
+
+        return hunter_report(world.dataset, player_ach)
+
+    def test_detects_hunters(self, report):
+        assert report.detected_hunters > 0
+        assert report.precision > 0.5
+        assert report.recall > 0.4
+
+    def test_mean_above_median(self, report):
+        """The skew the paper observed in the aggregates."""
+        assert report.mean_completion_all > report.median_completion_all
+
+    def test_hunters_explain_the_skew(self, report):
+        assert report.skew_explained_by_hunters()
+
+    def test_render(self, report):
+        assert "hunters" in report.render()

@@ -1,0 +1,149 @@
+"""Playtime attachment (Section 6, Figures 6-7, 10)."""
+
+import numpy as np
+import pytest
+
+from repro.simworld.catalog import build_catalog
+from repro.simworld.config import (
+    CatalogConfig,
+    FactorConfig,
+    OwnershipConfig,
+    PlaytimeConfig,
+)
+from repro.simworld.copula import draw_latents
+from repro.simworld.ownership import build_ownership
+from repro.simworld.playtime import (
+    build_playtimes,
+    rank_uniform,
+    total_playtime_curve,
+    twoweek_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    catalog = build_catalog(np.random.default_rng(4), CatalogConfig())
+    latents = draw_latents(np.random.default_rng(5), 40_000, FactorConfig())
+    ownership = build_ownership(
+        np.random.default_rng(21), latents, catalog, OwnershipConfig()
+    )
+    playtimes = build_playtimes(
+        np.random.default_rng(31),
+        latents,
+        ownership,
+        catalog,
+        OwnershipConfig(),
+        PlaytimeConfig(),
+    )
+    return catalog, latents, ownership, playtimes
+
+
+def _user_sums(values, ownership):
+    out = np.zeros(ownership.n_users, dtype=np.int64)
+    np.add.at(out, ownership.owned.row_ids(), values)
+    return out
+
+
+class TestRankUniform:
+    def test_uniform_output(self, rng):
+        u = rank_uniform(rng.standard_normal(1_000))
+        assert u.min() > 0 and u.max() < 1
+        assert len(np.unique(u)) == 1_000
+
+    def test_monotone_in_input(self, rng):
+        x = rng.standard_normal(500)
+        u = rank_uniform(x)
+        order = np.argsort(x, kind="stable")
+        assert np.all(np.diff(u[order]) > 0)
+
+
+class TestCurves:
+    def test_total_curve_anchors(self):
+        curve = total_playtime_curve(PlaytimeConfig())
+        assert curve.percentile(50) == pytest.approx(34.0, rel=1e-6)
+        assert curve.percentile(99) == pytest.approx(2660.1, rel=1e-6)
+
+    def test_twoweek_curve_capped(self):
+        curve = twoweek_curve(PlaytimeConfig())
+        assert curve.ppf(1 - 1e-12) <= 336.0
+
+
+class TestStructure:
+    def test_alignment(self, setup):
+        _, _, ownership, playtimes = setup
+        assert len(playtimes.total_min) == ownership.owned.nnz
+        assert len(playtimes.twoweek_min) == ownership.owned.nnz
+
+    def test_twoweek_never_exceeds_total(self, setup):
+        _, _, _, playtimes = setup
+        assert np.all(
+            playtimes.total_min >= playtimes.twoweek_min.astype(np.int64)
+        )
+
+    def test_never_played_users_have_zero_minutes(self, setup):
+        _, _, ownership, playtimes = setup
+        totals = _user_sums(playtimes.total_min, ownership)
+        assert np.all(totals[playtimes.never_played_mask] == 0)
+
+    def test_playing_owners_have_at_least_one_played_game(self, setup):
+        _, _, ownership, playtimes = setup
+        owners = ownership.owned_counts > 0
+        playing = owners & ~playtimes.never_played_mask
+        totals = _user_sums(playtimes.total_min, ownership)
+        assert np.all(totals[playing] > 0)
+
+    def test_nonzero_twoweek_matches_active_mask(self, setup):
+        _, _, ownership, playtimes = setup
+        twoweek = _user_sums(
+            playtimes.twoweek_min.astype(np.int64), ownership
+        )
+        active = twoweek > 0
+        # Active users flagged by the generator must have playable games;
+        # generated activity beyond the mask is not allowed.
+        assert np.all(playtimes.twoweek_active_mask[active])
+
+
+class TestCalibration:
+    def test_twoweek_zero_share(self, setup):
+        _, _, ownership, playtimes = setup
+        owners = ownership.owned_counts > 0
+        twoweek = _user_sums(
+            playtimes.twoweek_min.astype(np.int64), ownership
+        )
+        zero_share = np.mean(twoweek[owners] == 0)
+        assert zero_share == pytest.approx(0.82, abs=0.03)
+
+    def test_total_playtime_median_anchor(self, setup):
+        _, _, ownership, playtimes = setup
+        totals = _user_sums(playtimes.total_min, ownership) / 60.0
+        positive = totals[totals > 0]
+        assert np.median(positive) == pytest.approx(34.0, rel=0.12)
+
+    def test_twoweek_cap(self, setup):
+        _, _, ownership, playtimes = setup
+        twoweek = _user_sums(
+            playtimes.twoweek_min.astype(np.int64), ownership
+        )
+        assert twoweek.max() <= 336 * 60
+
+    def test_idlers_near_cap(self, setup):
+        _, _, ownership, playtimes = setup
+        twoweek = _user_sums(
+            playtimes.twoweek_min.astype(np.int64), ownership
+        )
+        idlers = playtimes.idler_mask
+        if idlers.any():
+            assert twoweek[idlers].min() >= 0.80 * 336 * 60 * 0.95
+
+    def test_unplayed_rate_overall(self, setup):
+        _, _, ownership, playtimes = setup
+        # Roughly 30% of copies are never launched (Figure 5).
+        unplayed = np.mean(playtimes.total_min == 0)
+        assert 0.22 < unplayed < 0.42
+
+    def test_multiplayer_total_share(self, setup):
+        catalog, _, ownership, playtimes = setup
+        mp = catalog.table.multiplayer[ownership.owned.indices]
+        total = playtimes.total_min.astype(float)
+        share = total[mp].sum() / total.sum()
+        assert share == pytest.approx(0.577, abs=0.12)

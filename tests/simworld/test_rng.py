@@ -1,0 +1,37 @@
+"""Deterministic substreams."""
+
+import numpy as np
+
+from repro.simworld.rng import spawn_many, substream
+
+
+class TestSubstream:
+    def test_same_label_same_stream(self):
+        a = substream(42, "friends").random(10)
+        b = substream(42, "friends").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        a = substream(42, "friends").random(10)
+        b = substream(42, "groups").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = substream(1, "friends").random(10)
+        b = substream(2, "friends").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_unicode_labels(self):
+        assert substream(1, "лейбл").random(1) is not None
+
+
+class TestSpawnMany:
+    def test_children_are_independent_and_reproducible(self):
+        first = [g.random(4) for g in spawn_many(7, "workers", 3)]
+        second = [g.random(4) for g in spawn_many(7, "workers", 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_count(self):
+        assert len(spawn_many(7, "x", 5)) == 5

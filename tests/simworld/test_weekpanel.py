@@ -1,0 +1,89 @@
+"""Week-long daily playtime panel (Figure 12)."""
+
+import numpy as np
+import pytest
+
+from repro.simworld.config import PanelConfig
+from repro.simworld.weekpanel import stratified_sample
+
+
+class TestStratifiedSample:
+    def test_rate(self, rng):
+        key = rng.random(100_000)
+        sample = stratified_sample(rng, key, 0.005)
+        assert len(sample) == pytest.approx(500, abs=5)
+
+    def test_sorted_distinct(self, rng):
+        key = rng.random(10_000)
+        sample = stratified_sample(rng, key, 0.01)
+        assert np.all(np.diff(sample) > 0)
+
+    def test_covers_ordering_uniformly(self, rng):
+        """The sample spans the full lifetime-playtime ordering."""
+        key = np.arange(100_000).astype(float)
+        sample = stratified_sample(rng, key, 0.005)
+        # Sampled users' ranks should be near-uniform over [0, n).
+        ranks = np.sort(key[sample])
+        gaps = np.diff(ranks)
+        assert gaps.max() < 3.0 / 0.005
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            stratified_sample(rng, np.arange(10.0), 0.0)
+
+
+class TestPanel:
+    def test_shape(self, world):
+        panel = world.week_panel()
+        assert panel.hours.shape == (len(panel.users), 7)
+        assert panel.n_days == 7
+
+    def test_sample_rate(self, world):
+        panel = world.week_panel()
+        expected = world.config.n_users * PanelConfig().sample_rate
+        assert len(panel.users) == pytest.approx(expected, rel=0.05)
+
+    def test_hours_bounded(self, world):
+        panel = world.week_panel()
+        assert panel.hours.min() >= 0.0
+        assert panel.hours.max() <= 24.0
+
+    def test_active_subset(self, world):
+        panel = world.week_panel()
+        active = panel.active()
+        assert len(active.users) <= len(panel.users)
+        assert np.all(active.hours.sum(axis=1) > 0)
+
+    def test_recent_players_play_more(self, world):
+        panel = world.week_panel()
+        twoweek = world.dataset.library.user_twoweek_min()[panel.users]
+        week_hours = panel.hours.sum(axis=1)
+        active_recent = twoweek > 0
+        if active_recent.any() and (~active_recent).any():
+            assert (
+                week_hours[active_recent].mean()
+                > week_hours[~active_recent].mean()
+            )
+
+    def test_deterministic(self, world):
+        a = world.week_panel()
+        b = world.week_panel()
+        assert np.array_equal(a.users, b.users)
+        assert np.array_equal(a.hours, b.hours)
+
+    def test_weekend_days_heavier(self, world):
+        """The paper's window ran Saturday-Friday; weekend play is
+        heavier than weekday play."""
+        from repro.core.weekpanel import analyze_week_panel
+
+        stats = analyze_week_panel(world.week_panel())
+        assert len(stats.daily_means) == 7
+        assert stats.weekend_heavier()
+
+    def test_saturday_heavier_than_midweek(self, world):
+        from repro.core.weekpanel import analyze_week_panel
+
+        stats = analyze_week_panel(world.week_panel())
+        saturday = stats.daily_means[0]
+        midweek = np.mean(stats.daily_means[2:5])
+        assert saturday > midweek

@@ -1,0 +1,80 @@
+"""World orchestration: determinism, cross-table consistency."""
+
+import numpy as np
+import pytest
+
+from repro import SteamWorld, WorldConfig
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = SteamWorld.generate(WorldConfig(n_users=3_000, seed=55))
+        b = SteamWorld.generate(WorldConfig(n_users=3_000, seed=55))
+        assert np.array_equal(a.dataset.friends.u, b.dataset.friends.u)
+        assert np.array_equal(
+            a.dataset.library.total_min, b.dataset.library.total_min
+        )
+        assert np.array_equal(
+            a.dataset.snapshot2.owned, b.dataset.snapshot2.owned
+        )
+
+    def test_different_seed_differs(self):
+        a = SteamWorld.generate(WorldConfig(n_users=3_000, seed=55))
+        b = SteamWorld.generate(WorldConfig(n_users=3_000, seed=56))
+        assert not np.array_equal(a.dataset.friends.u, b.dataset.friends.u)
+
+
+class TestConstruction:
+    def test_generate_kwargs_shortcut(self):
+        world = SteamWorld.generate(n_users=2_000, seed=1)
+        assert world.config.n_users == 2_000
+
+    def test_rejects_config_plus_kwargs(self):
+        with pytest.raises(TypeError):
+            SteamWorld.generate(WorldConfig(n_users=2_000), n_users=3_000)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_users=10)
+
+
+class TestConsistency:
+    def test_dataset_tables_aligned(self, small_dataset):
+        ds = small_dataset
+        assert ds.accounts.n_users == ds.n_users
+        assert ds.friends.n_users == ds.n_users
+        assert ds.library.n_users == ds.n_users
+        assert ds.groups.n_users == ds.n_users
+
+    def test_summary_totals_consistent(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["accounts"] == small_dataset.n_users
+        assert summary["friendships"] == small_dataset.friends.n_edges
+        assert summary["owned_games"] == small_dataset.library.owned.nnz
+
+    def test_scaled_totals_near_paper(self, world):
+        """Scaling the synthetic totals to 108.7M accounts should land
+        near the paper's headline numbers."""
+        summary = world.dataset.summary()
+        scale = 108_700_000 / world.config.n_users
+        assert summary["owned_games"] * scale == pytest.approx(
+            384_300_000, rel=0.12
+        )
+        assert summary["friendships"] * scale == pytest.approx(
+            196_370_000, rel=0.18
+        )
+        assert summary["group_memberships"] * scale == pytest.approx(
+            81_300_000, rel=0.15
+        )
+        assert summary["playtime_years"] * scale == pytest.approx(
+            1_110_000, rel=0.30
+        )
+        assert summary["market_value_usd"] * scale == pytest.approx(
+            5.326e9, rel=0.30
+        )
+
+    def test_hidden_truth_shapes(self, small_world):
+        n = small_world.config.n_users
+        assert len(small_world.latents) == n
+        assert len(small_world.geography.country) == n
+        assert len(small_world.ownership.owner_mask) == n

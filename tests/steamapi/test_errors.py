@@ -1,0 +1,47 @@
+"""Error taxonomy and status mapping."""
+
+import pytest
+
+from repro.steamapi.errors import (
+    ApiError,
+    BadRequestError,
+    NotFoundError,
+    RateLimitedError,
+    UnauthorizedError,
+    error_for_status,
+)
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize(
+        "cls,status",
+        [
+            (BadRequestError, 400),
+            (UnauthorizedError, 401),
+            (NotFoundError, 404),
+            (RateLimitedError, 429),
+        ],
+    )
+    def test_status_codes(self, cls, status):
+        assert cls.status == status
+
+    def test_error_for_status_roundtrip(self):
+        for status in (400, 401, 404, 429):
+            error = error_for_status(status, "boom")
+            assert error.status == status
+            assert error.message == "boom"
+
+    def test_unknown_status_is_generic(self):
+        assert type(error_for_status(503)) is ApiError
+
+    def test_rate_limited_retry_after_default(self):
+        assert RateLimitedError().retry_after == 1.0
+
+    def test_all_are_api_errors(self):
+        for cls in (
+            BadRequestError,
+            UnauthorizedError,
+            NotFoundError,
+            RateLimitedError,
+        ):
+            assert issubclass(cls, ApiError)

@@ -1,0 +1,96 @@
+"""JSON-over-HTTP transport against a live localhost server."""
+
+import numpy as np
+import pytest
+
+from repro.steamapi.errors import (
+    NotFoundError,
+    RateLimitedError,
+    UnauthorizedError,
+)
+from repro.steamapi.http_client import HttpTransport
+from repro.steamapi.http_server import serve
+from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+
+
+@pytest.fixture(scope="module")
+def server(small_world):
+    service = SteamApiService.from_world(small_world)
+    service.register_key("tiny-budget", rate=1e-6, burst=1.0)
+    with serve(service) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def transport(server):
+    return HttpTransport(server.base_url)
+
+
+class TestHttpRoundTrip:
+    def test_summaries_roundtrip(self, transport, small_world):
+        sid = int(small_world.dataset.accounts.steamids()[0])
+        payload = transport.request(
+            "/ISteamUser/GetPlayerSummaries/v2",
+            {"key": DEFAULT_API_KEY, "steamids": str(sid)},
+        )
+        assert payload["response"]["players"][0]["steamid"] == str(sid)
+
+    def test_identical_to_in_process(self, transport, small_world):
+        service = SteamApiService.from_world(small_world)
+        sid = int(small_world.dataset.accounts.steamids()[5])
+        params = {"key": DEFAULT_API_KEY, "steamid": sid}
+        via_http = transport.request(
+            "/IPlayerService/GetOwnedGames/v1", dict(params)
+        )
+        direct = service.dispatch(
+            "/IPlayerService/GetOwnedGames/v1", dict(params)
+        )
+        assert via_http == direct
+
+    def test_404_maps_to_typed_error(self, transport):
+        with pytest.raises(NotFoundError):
+            transport.request("/unknown/endpoint", {})
+
+    def test_401_maps_to_typed_error(self, transport):
+        with pytest.raises(UnauthorizedError):
+            transport.request(
+                "/ISteamApps/GetAppList/v2", {"key": "WRONG"}
+            )
+
+    def test_429_carries_retry_after(self, transport, small_world):
+        sid = int(small_world.dataset.accounts.steamids()[0])
+        transport.request(
+            "/ISteamUser/GetFriendList/v1",
+            {"key": "tiny-budget", "steamid": sid},
+        )
+        with pytest.raises(RateLimitedError) as info:
+            transport.request(
+                "/ISteamUser/GetFriendList/v1",
+                {"key": "tiny-budget", "steamid": sid},
+            )
+        assert info.value.retry_after > 0
+
+    def test_concurrent_requests(self, server, small_world):
+        """The threading server handles parallel clients."""
+        import concurrent.futures
+
+        sids = small_world.dataset.accounts.steamids()[:16]
+
+        def fetch(sid):
+            transport = HttpTransport(server.base_url)
+            return transport.request(
+                "/ISteamUser/GetFriendList/v1",
+                {"key": DEFAULT_API_KEY, "steamid": int(sid)},
+            )
+
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(fetch, sids))
+        assert len(results) == 16
+        assert all("friendslist" in r for r in results)
+
+    def test_connection_refused_is_api_error(self):
+        from repro.steamapi.errors import ApiError
+
+        transport = HttpTransport("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ApiError):
+            transport.request("/ISteamApps/GetAppList/v2", {"key": "x"})

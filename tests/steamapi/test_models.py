@@ -1,0 +1,84 @@
+"""JSON payload parsing."""
+
+from repro.steamapi.models import (
+    AchievementPercent,
+    AppDetails,
+    FriendRecord,
+    GroupRecord,
+    GROUP_ID_BASE,
+    OwnedGame,
+    PlayerSummary,
+)
+
+
+class TestParsers:
+    def test_player_summary(self):
+        summary = PlayerSummary.from_json(
+            {
+                "steamid": "76561197960265729",
+                "timecreated": 1066003200,
+                "loccountrycode": "United States",
+            }
+        )
+        assert summary.steamid == 76561197960265729
+        assert summary.country == "United States"
+        assert summary.city_id is None
+
+    def test_friend_record_defaults(self):
+        record = FriendRecord.from_json({"steamid": "76561197960265730"})
+        assert record.friend_since == 0
+
+    def test_owned_game_defaults(self):
+        game = OwnedGame.from_json({"appid": 440})
+        assert game.playtime_forever == 0
+        assert game.playtime_2weeks == 0
+
+    def test_group_record_index(self):
+        record = GroupRecord.from_json({"gid": GROUP_ID_BASE + 17})
+        assert record.index == 17
+
+    def test_app_details(self):
+        details = AppDetails.from_json(
+            440,
+            {
+                "success": True,
+                "data": {
+                    "type": "game",
+                    "genres": [
+                        {"id": "0", "description": "Action"},
+                        {"id": "2", "description": "Indie"},
+                    ],
+                    "categories": [{"id": 1, "description": "Multi-player"}],
+                    "price_overview": {"final": 999},
+                    "metacritic": {"score": 88},
+                    "release_date": {"day_index": 1000},
+                },
+            },
+        )
+        assert details.genres == ("Action", "Indie")
+        assert details.multiplayer
+        assert details.price_cents == 999
+        assert details.metacritic == 88
+
+    def test_app_details_free_game(self):
+        details = AppDetails.from_json(
+            570,
+            {
+                "success": True,
+                "data": {
+                    "type": "game",
+                    "categories": [
+                        {"id": 2, "description": "Single-player"}
+                    ],
+                },
+            },
+        )
+        assert details.price_cents == 0
+        assert not details.multiplayer
+        assert details.genres == ()
+
+    def test_achievement_percent(self):
+        entry = AchievementPercent.from_json(
+            {"name": "ACH_0", "percent": 52.5}
+        )
+        assert entry.percent == 52.5

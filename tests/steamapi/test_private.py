@@ -1,0 +1,91 @@
+"""Private profiles: the modern-API gate the paper no longer passes."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.details import crawl_details
+from repro.crawler.retry import RetryPolicy
+from repro.crawler.session import CrawlSession
+from repro.crawler.throttle import PolitePacer
+from repro.steamapi.errors import PrivateProfileError
+from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+from repro.steamapi.transport import InProcessTransport
+
+
+@pytest.fixture(scope="module")
+def private_service(small_world):
+    return SteamApiService.from_world(
+        small_world, private_rate=0.3, private_seed=9
+    )
+
+
+class TestPrivateProfiles:
+    def test_default_is_fully_public(self, small_world):
+        service = SteamApiService.from_world(small_world)
+        assert not service.private_mask.any()
+
+    def test_private_rate_applied(self, private_service):
+        share = private_service.private_mask.mean()
+        assert share == pytest.approx(0.3, abs=0.03)
+
+    def test_summaries_still_visible(self, private_service, small_world):
+        """Profile existence is public even when details are private."""
+        sids = small_world.dataset.accounts.steamids()
+        private_user = int(np.flatnonzero(private_service.private_mask)[0])
+        response = private_service.get_player_summaries(
+            DEFAULT_API_KEY, [int(sids[private_user])]
+        )
+        assert len(response["response"]["players"]) == 1
+
+    def test_details_refused(self, private_service, small_world):
+        sids = small_world.dataset.accounts.steamids()
+        private_user = int(np.flatnonzero(private_service.private_mask)[0])
+        sid = int(sids[private_user])
+        for call in (
+            private_service.get_friend_list,
+            private_service.get_owned_games,
+            private_service.get_user_group_list,
+        ):
+            with pytest.raises(PrivateProfileError):
+                call(DEFAULT_API_KEY, sid)
+
+    def test_public_profiles_unaffected(self, private_service, small_world):
+        sids = small_world.dataset.accounts.steamids()
+        public_user = int(np.flatnonzero(~private_service.private_mask)[0])
+        payload = private_service.get_owned_games(
+            DEFAULT_API_KEY, int(sids[public_user])
+        )
+        assert "games" in payload["response"]
+
+    def test_http_status_is_403(self, private_service, small_world):
+        from repro.steamapi.http_client import HttpTransport
+        from repro.steamapi.http_server import serve
+
+        sids = small_world.dataset.accounts.steamids()
+        private_user = int(np.flatnonzero(private_service.private_mask)[0])
+        with serve(private_service) as server:
+            transport = HttpTransport(server.base_url)
+            with pytest.raises(PrivateProfileError):
+                transport.request(
+                    "/IPlayerService/GetOwnedGames/v1",
+                    {"key": DEFAULT_API_KEY, "steamid": int(sids[private_user])},
+                )
+
+    def test_crawler_skips_private_gracefully(
+        self, private_service, small_world
+    ):
+        session = CrawlSession(
+            transport=InProcessTransport(private_service),
+            pacer=PolitePacer(1e9, sleeper=lambda s: None),
+            retry=RetryPolicy(sleeper=lambda s: None),
+        )
+        steamids = small_world.dataset.accounts.steamids()[:500]
+        details = crawl_details(session, steamids)
+        expected_private = int(private_service.private_mask[:500].sum())
+        assert details.n_private == expected_private
+        # Harvest covers only the public subset.
+        public = ~private_service.private_mask[:500]
+        expected_entries = int(
+            small_world.dataset.owned_counts()[:500][public].sum()
+        )
+        assert len(details.lib_appid) == expected_entries

@@ -1,0 +1,90 @@
+"""SteamDataset container invariants and aggregates."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.store.dataset import SteamDataset
+from repro.store.tables import Snapshot2Table
+
+
+class TestValidation:
+    def test_rejects_misaligned_friend_table(self, small_dataset):
+        import dataclasses
+
+        bad_friends = dataclasses.replace(
+            small_dataset.friends, n_users=small_dataset.n_users + 1
+        )
+        with pytest.raises(ValueError):
+            SteamDataset(
+                accounts=small_dataset.accounts,
+                friends=bad_friends,
+                groups=small_dataset.groups,
+                catalog=small_dataset.catalog,
+                library=small_dataset.library,
+            )
+
+    def test_rejects_misaligned_snapshot2(self, small_dataset):
+        bad = Snapshot2Table(
+            owned=np.zeros(3, dtype=np.int64),
+            played=np.zeros(3, dtype=np.int64),
+            value_cents=np.zeros(3, dtype=np.int64),
+            total_min=np.zeros(3, dtype=np.int64),
+            twoweek_min=np.zeros(3, dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            SteamDataset(
+                accounts=small_dataset.accounts,
+                friends=small_dataset.friends,
+                groups=small_dataset.groups,
+                catalog=small_dataset.catalog,
+                library=small_dataset.library,
+                snapshot2=bad,
+            )
+
+
+class TestAggregates:
+    def test_friend_counts_sum_to_twice_edges(self, small_dataset):
+        assert (
+            small_dataset.friend_counts().sum()
+            == 2 * small_dataset.friends.n_edges
+        )
+
+    def test_owned_counts_sum_to_nnz(self, small_dataset):
+        assert (
+            small_dataset.owned_counts().sum()
+            == small_dataset.library.owned.nnz
+        )
+
+    def test_played_le_owned(self, small_dataset):
+        assert np.all(
+            small_dataset.played_counts() <= small_dataset.owned_counts()
+        )
+
+    def test_twoweek_le_total(self, small_dataset):
+        assert np.all(
+            small_dataset.twoweek_playtime_hours()
+            <= small_dataset.total_playtime_hours() + 1e-9
+        )
+
+    def test_market_value_nonnegative(self, small_dataset):
+        assert small_dataset.market_value_dollars().min() >= 0
+
+    def test_day_to_date(self, small_dataset):
+        assert small_dataset.day_to_date(0) == constants.STEAM_LAUNCH
+        assert small_dataset.day_to_date(365) == constants.STEAM_LAUNCH + dt.timedelta(days=365)
+
+    def test_summary_keys(self, small_dataset):
+        summary = small_dataset.summary()
+        assert set(summary) == {
+            "accounts",
+            "friendships",
+            "groups",
+            "group_memberships",
+            "owned_games",
+            "playtime_years",
+            "market_value_usd",
+            "products",
+        }

@@ -1,0 +1,70 @@
+"""Plain-text dataset exports."""
+
+import csv
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.store.export import EXPORT_FILES, export_dataset
+
+
+@pytest.fixture(scope="module")
+def exported(small_dataset, tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("export")
+    return export_dataset(small_dataset, outdir), small_dataset
+
+
+class TestExport:
+    def test_all_files_written(self, exported):
+        outdir, _ = exported
+        for name in EXPORT_FILES:
+            assert (outdir / name).exists(), name
+
+    def test_players_complete(self, exported):
+        outdir, dataset = exported
+        with gzip.open(outdir / "players.jsonl.gz", "rt") as fh:
+            rows = [json.loads(line) for line in fh]
+        assert len(rows) == dataset.n_users
+        reported = sum("country" in row for row in rows)
+        assert reported == int(np.sum(dataset.accounts.country >= 0))
+
+    def test_friends_edge_count(self, exported):
+        outdir, dataset = exported
+        with gzip.open(outdir / "friends.jsonl.gz", "rt") as fh:
+            rows = [json.loads(line) for line in fh]
+        assert len(rows) == dataset.friends.n_edges
+        # Pre-epoch edges carry no "since".
+        epoch = dataset.meta.friend_ts_epoch_day
+        dated = sum("since" in row for row in rows)
+        assert dated == int(np.sum(dataset.friends.day >= epoch))
+
+    def test_games_csv_parses(self, exported):
+        outdir, dataset = exported
+        with open(outdir / "games.csv", encoding="utf-8") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == dataset.n_products
+        assert any("Action" in row["genres"] for row in rows)
+        prices = [float(row["price_usd"]) for row in rows]
+        assert min(prices) == 0.0
+
+    def test_libraries_minutes_roundtrip(self, exported):
+        outdir, dataset = exported
+        total = 0
+        users = 0
+        with gzip.open(outdir / "libraries.jsonl.gz", "rt") as fh:
+            for line in fh:
+                row = json.loads(line)
+                users += 1
+                total += sum(g["minutes"] for g in row["games"])
+        assert users == int(np.sum(dataset.owned_counts() > 0))
+        assert total == int(dataset.library.user_total_min().sum())
+
+    def test_groups_membership_roundtrip(self, exported):
+        outdir, dataset = exported
+        members = 0
+        with gzip.open(outdir / "groups.jsonl.gz", "rt") as fh:
+            for line in fh:
+                members += len(json.loads(line)["members"])
+        assert members == dataset.groups.members.nnz

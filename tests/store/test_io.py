@@ -1,0 +1,74 @@
+"""Dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.store.io import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "world")
+        assert path.suffix == ".npz"
+        loaded = load_dataset(path)
+
+        assert loaded.n_users == small_dataset.n_users
+        assert np.array_equal(
+            loaded.accounts.id_offset, small_dataset.accounts.id_offset
+        )
+        assert np.array_equal(loaded.friends.u, small_dataset.friends.u)
+        assert np.array_equal(loaded.friends.day, small_dataset.friends.day)
+        assert np.array_equal(
+            loaded.library.total_min, small_dataset.library.total_min
+        )
+        assert np.array_equal(
+            loaded.groups.members.indices,
+            small_dataset.groups.members.indices,
+        )
+        assert loaded.accounts.country_names == (
+            small_dataset.accounts.country_names
+        )
+        assert loaded.catalog.genre_names == small_dataset.catalog.genre_names
+
+    def test_optional_tables_roundtrip(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "with_opt.npz")
+        loaded = load_dataset(path)
+        assert loaded.achievements is not None
+        assert np.array_equal(
+            loaded.achievements.rates, small_dataset.achievements.rates
+        )
+        assert loaded.snapshot2 is not None
+        assert np.array_equal(
+            loaded.snapshot2.owned, small_dataset.snapshot2.owned
+        )
+
+    def test_meta_roundtrip(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "meta.npz")
+        loaded = load_dataset(path)
+        assert loaded.meta.seed == small_dataset.meta.seed
+        assert loaded.meta.snapshot1_day == small_dataset.meta.snapshot1_day
+
+    def test_analyses_identical_after_reload(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "x.npz")
+        loaded = load_dataset(path)
+        assert np.array_equal(
+            loaded.friend_counts(), small_dataset.friend_counts()
+        )
+        assert np.allclose(
+            loaded.market_value_dollars(),
+            small_dataset.market_value_dollars(),
+        )
+
+    def test_rejects_future_format(self, small_dataset, tmp_path):
+        import json
+
+        path = save_dataset(small_dataset, tmp_path / "v.npz")
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta.json"]).decode())
+        meta["format_version"] = 999
+        data["meta.json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_dataset(path)

@@ -1,0 +1,152 @@
+"""Merging sharded datasets."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.store.dataset import SteamDataset
+from repro.store.merge import merge_datasets
+from repro.store.tables import (
+    AccountTable,
+    CSRMatrix,
+    FriendTable,
+    GroupTable,
+    LibraryTable,
+)
+
+
+def _slice_dataset(dataset: SteamDataset, users: np.ndarray) -> SteamDataset:
+    """Extract the sub-dataset for ``users`` (sorted ascending)."""
+    index = {int(u): i for i, u in enumerate(users)}
+    accounts = AccountTable(
+        id_offset=dataset.accounts.id_offset[users],
+        created_day=dataset.accounts.created_day[users],
+        country=dataset.accounts.country[users],
+        city=dataset.accounts.city[users],
+        country_names=dataset.accounts.country_names,
+    )
+    fr = dataset.friends
+    keep = np.isin(fr.u, users) & np.isin(fr.v, users)
+    u = np.array([index[int(x)] for x in fr.u[keep]], dtype=np.int32)
+    v = np.array([index[int(x)] for x in fr.v[keep]], dtype=np.int32)
+    friends = FriendTable(
+        u=np.minimum(u, v),
+        v=np.maximum(u, v),
+        day=fr.day[keep],
+        n_users=len(users),
+    )
+    lib = dataset.library
+    entry_user = lib.owned.row_ids()
+    keep_lib = np.isin(entry_user, users)
+    local_user = np.array(
+        [index[int(x)] for x in entry_user[keep_lib]], dtype=np.int64
+    )
+    owned, perm = CSRMatrix.from_pairs(
+        local_user, lib.owned.indices[keep_lib], len(users)
+    )
+    library = LibraryTable(
+        owned=owned,
+        total_min=lib.total_min[keep_lib][perm],
+        twoweek_min=lib.twoweek_min[keep_lib][perm],
+    )
+    gr = dataset.groups
+    member_user = gr.members.indices
+    member_group = gr.members.row_ids()
+    keep_m = np.isin(member_user, users)
+    members, _ = CSRMatrix.from_pairs(
+        member_group[keep_m],
+        np.array(
+            [index[int(x)] for x in member_user[keep_m]], dtype=np.int32
+        ),
+        gr.n_groups,
+    )
+    groups = GroupTable(
+        group_type=gr.group_type,
+        focus_game=gr.focus_game,
+        members=members,
+        n_users=len(users),
+    )
+    return SteamDataset(
+        accounts=accounts,
+        friends=friends,
+        groups=groups,
+        catalog=dataset.catalog,
+        library=library,
+        achievements=dataset.achievements,
+    )
+
+
+@pytest.fixture(scope="module")
+def shards(small_dataset):
+    n = small_dataset.n_users
+    left = np.arange(0, n // 2)
+    right = np.arange(n // 2, n)
+    return (
+        _slice_dataset(small_dataset, left),
+        _slice_dataset(small_dataset, right),
+    )
+
+
+class TestMergeDatasets:
+    def test_accounts_recovered(self, shards, small_dataset):
+        merged = merge_datasets(list(shards))
+        assert merged.n_users == small_dataset.n_users
+        assert np.array_equal(
+            merged.accounts.id_offset, small_dataset.accounts.id_offset
+        )
+        assert np.array_equal(
+            merged.accounts.created_day, small_dataset.accounts.created_day
+        )
+
+    def test_country_reporting_preserved(self, shards, small_dataset):
+        merged = merge_datasets(list(shards))
+        assert int((merged.accounts.country >= 0).sum()) == int(
+            (small_dataset.accounts.country >= 0).sum()
+        )
+
+    def test_libraries_exact(self, shards, small_dataset):
+        merged = merge_datasets(list(shards))
+        assert np.array_equal(
+            merged.owned_counts(), small_dataset.owned_counts()
+        )
+        assert (
+            merged.library.user_total_min().sum()
+            == small_dataset.library.user_total_min().sum()
+        )
+
+    def test_intra_shard_edges_survive(self, shards, small_dataset):
+        merged = merge_datasets(list(shards))
+        # Cross-shard edges are lost (each shard only resolved its own
+        # accounts) — the merge keeps exactly the intra-shard ones.
+        expected = sum(s.friends.n_edges for s in shards)
+        assert merged.friends.n_edges == expected
+        assert merged.friends.n_edges < small_dataset.friends.n_edges
+
+    def test_memberships_exact(self, shards, small_dataset):
+        merged = merge_datasets(list(shards))
+        assert merged.groups.members.nnz == small_dataset.groups.members.nnz
+
+    def test_single_shard_passthrough(self, shards):
+        assert merge_datasets([shards[0]]) is shards[0]
+
+    def test_rejects_overlapping_shards(self, shards):
+        with pytest.raises(ValueError):
+            merge_datasets([shards[0], shards[0]])
+
+    def test_rejects_mismatched_catalogs(self, shards, small_dataset):
+        import copy
+
+        other = dataclasses.replace(
+            shards[1],
+            catalog=dataclasses.replace(
+                small_dataset.catalog,
+                appid=small_dataset.catalog.appid + 2,
+            ),
+        )
+        with pytest.raises(ValueError):
+            merge_datasets([shards[0], other])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_datasets([])

@@ -1,0 +1,179 @@
+"""Columnar tables and CSR encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store.tables import (
+    CSRMatrix,
+    FriendTable,
+    GroupType,
+    LibraryTable,
+)
+
+
+class TestCSRMatrix:
+    def test_from_pairs_roundtrip(self):
+        rows = np.array([2, 0, 1, 0, 2, 2])
+        cols = np.array([5, 1, 7, 3, 2, 9])
+        csr, order = CSRMatrix.from_pairs(rows, cols, 4)
+        assert csr.n_rows == 4
+        assert csr.nnz == 6
+        assert sorted(csr.row(0).tolist()) == [1, 3]
+        assert csr.row(1).tolist() == [7]
+        assert sorted(csr.row(2).tolist()) == [2, 5, 9]
+        assert csr.row(3).tolist() == []
+        # The order permutation aligns parallel data.
+        data = np.arange(6)
+        assert np.array_equal(
+            data[order][csr.row_slice(1)], np.array([2])
+        )
+
+    def test_counts_and_row_ids(self):
+        csr, _ = CSRMatrix.from_pairs(
+            np.array([0, 0, 2]), np.array([1, 2, 3]), 3
+        )
+        assert csr.counts().tolist() == [2, 0, 1]
+        assert csr.row_ids().tolist() == [0, 0, 2]
+
+    def test_transpose(self):
+        csr, _ = CSRMatrix.from_pairs(
+            np.array([0, 0, 1]), np.array([2, 0, 2]), 2
+        )
+        t = csr.transpose(3)
+        assert t.n_rows == 3
+        assert sorted(t.row(2).tolist()) == [0, 1]
+        assert t.row(0).tolist() == [0]
+        assert t.row(1).tolist() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([1, 2]), indices=np.array([0]))
+        with pytest.raises(ValueError):
+            CSRMatrix(indptr=np.array([0, 2, 1]), indices=np.array([0, 1]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=19),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_from_pairs_preserves_multiset(self, pairs):
+        rows = np.array([p[0] for p in pairs], dtype=np.int64)
+        cols = np.array([p[1] for p in pairs], dtype=np.int64)
+        csr, _ = CSRMatrix.from_pairs(rows, cols, 10)
+        rebuilt = sorted(zip(csr.row_ids().tolist(), csr.indices.tolist()))
+        assert rebuilt == sorted(pairs)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50)
+    def test_double_transpose_identity(self, pairs):
+        rows = np.array([p[0] for p in pairs], dtype=np.int64)
+        cols = np.array([p[1] for p in pairs], dtype=np.int64)
+        csr, _ = CSRMatrix.from_pairs(rows, cols, 10)
+        back = csr.transpose(10).transpose(10)
+        a = sorted(zip(csr.row_ids().tolist(), csr.indices.tolist()))
+        b = sorted(zip(back.row_ids().tolist(), back.indices.tolist()))
+        assert a == b
+
+
+class TestFriendTable:
+    def _table(self):
+        return FriendTable(
+            u=np.array([0, 0, 1]),
+            v=np.array([1, 2, 3]),
+            day=np.array([10, 20, 30]),
+            n_users=5,
+        )
+
+    def test_degrees(self):
+        deg = self._table().degrees()
+        assert deg.tolist() == [2, 2, 1, 1, 0]
+
+    def test_adjacency_symmetric(self):
+        table = self._table()
+        adj, edge_ids = table.adjacency()
+        assert adj.nnz == 2 * table.n_edges
+        assert sorted(adj.row(0).tolist()) == [1, 2]
+        assert sorted(adj.row(1).tolist()) == [0, 3]
+
+    def test_adjacency_edge_days(self):
+        table = self._table()
+        adj, edge_ids = table.adjacency()
+        sl = adj.row_slice(3)
+        assert table.day[edge_ids[sl]].tolist() == [30]
+
+    def test_rejects_non_canonical(self):
+        with pytest.raises(ValueError):
+            FriendTable(
+                u=np.array([2]), v=np.array([1]), day=np.array([0]), n_users=3
+            )
+
+
+class TestLibraryTable:
+    def _lib(self):
+        owned, _ = CSRMatrix.from_pairs(
+            np.array([0, 0, 2]), np.array([10, 11, 10]), 3
+        )
+        return LibraryTable(
+            owned=owned,
+            total_min=np.array([120, 0, 30]),
+            twoweek_min=np.array([60, 0, 0]),
+        )
+
+    def test_counts(self):
+        lib = self._lib()
+        assert lib.owned_counts().tolist() == [2, 0, 1]
+        assert lib.played_counts().tolist() == [1, 0, 1]
+
+    def test_user_sums(self):
+        lib = self._lib()
+        assert lib.user_total_min().tolist() == [120, 0, 30]
+        assert lib.user_twoweek_min().tolist() == [60, 0, 0]
+
+    def test_user_value(self):
+        lib = self._lib()
+        price = np.zeros(20, dtype=np.int64)
+        price[10] = 999
+        price[11] = 1999
+        assert lib.user_value_cents(price).tolist() == [2998, 0, 999]
+
+    def test_alignment_validation(self):
+        owned, _ = CSRMatrix.from_pairs(np.array([0]), np.array([1]), 1)
+        with pytest.raises(ValueError):
+            LibraryTable(
+                owned=owned,
+                total_min=np.array([1, 2]),
+                twoweek_min=np.array([0]),
+            )
+
+
+class TestGroupType:
+    def test_labels_roundtrip(self):
+        from repro.store.tables import GROUP_TYPE_BY_LABEL
+
+        for gt in GroupType:
+            assert GROUP_TYPE_BY_LABEL[gt.label] == gt
+
+    def test_paper_labels_present(self):
+        labels = {gt.label for gt in GroupType}
+        assert labels == {
+            "Single Game",
+            "Game Server",
+            "Gaming Community",
+            "Publisher",
+            "Special Interest",
+            "Steam",
+        }

@@ -1,0 +1,44 @@
+"""Bootstrap power-law goodness-of-fit."""
+
+import numpy as np
+import pytest
+
+from repro.tailfit import power_law_gof
+
+
+class TestPowerLawGof:
+    def test_true_power_law_survives(self):
+        rng = np.random.default_rng(5)
+        sample = 1.0 * (1 - rng.random(5_000)) ** (-1 / 1.5)
+        gof = power_law_gof(sample, n_bootstrap=40, rng=np.random.default_rng(0))
+        assert gof.plausible()
+        assert gof.alpha == pytest.approx(2.5, abs=0.2)
+
+    def test_lognormal_rejected(self):
+        rng = np.random.default_rng(6)
+        sample = np.exp(rng.normal(1.0, 0.5, 8_000))
+        gof = power_law_gof(sample, n_bootstrap=40, rng=np.random.default_rng(0))
+        assert gof.p_value < 0.3  # narrow lognormal is clearly not a PL
+
+    def test_steam_playtime_not_pure_power_law(self, dataset):
+        """The paper: 'we do not observe any true power law distributions'."""
+        playtime = dataset.total_playtime_hours()
+        gof = power_law_gof(
+            playtime[playtime > 0],
+            n_bootstrap=30,
+            max_n=8_000,
+            rng=np.random.default_rng(0),
+        )
+        assert not gof.plausible(threshold=0.5)
+
+    def test_subsampling_cap(self):
+        rng = np.random.default_rng(7)
+        sample = 1.0 * (1 - rng.random(50_000)) ** (-1 / 1.5)
+        gof = power_law_gof(
+            sample, n_bootstrap=5, max_n=2_000, rng=np.random.default_rng(0)
+        )
+        assert gof.n_bootstrap == 5
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            power_law_gof(np.ones(10))

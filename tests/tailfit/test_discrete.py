@@ -1,0 +1,72 @@
+"""Discrete power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.tailfit.discrete import DiscretePowerLawFit, hurwitz_zeta
+
+
+def _sample_discrete_pl(rng, n, alpha, xmin=1, kmax=100_000):
+    support = np.arange(xmin, kmax, dtype=np.float64)
+    pmf = support ** (-alpha)
+    pmf /= pmf.sum()
+    return rng.choice(support, size=n, p=pmf).astype(np.int64)
+
+
+class TestHurwitzZeta:
+    def test_reduces_to_riemann(self):
+        from scipy.special import zeta
+
+        assert hurwitz_zeta(2.0, 1.0) == pytest.approx(float(zeta(2.0)))
+
+    def test_rejects_s_below_one(self):
+        with pytest.raises(ValueError):
+            hurwitz_zeta(0.9, 1.0)
+
+
+class TestDiscreteFit:
+    def test_recovers_alpha(self, rng):
+        sample = _sample_discrete_pl(rng, 50_000, alpha=2.3)
+        fit = DiscretePowerLawFit.fit(sample, xmin=1)
+        assert fit.alpha == pytest.approx(2.3, abs=0.05)
+
+    def test_recovers_alpha_with_xmin(self, rng):
+        sample = _sample_discrete_pl(rng, 80_000, alpha=2.0, xmin=1)
+        fit = DiscretePowerLawFit.fit(sample, xmin=5)
+        assert fit.alpha == pytest.approx(2.0, abs=0.1)
+
+    def test_continuous_fit_biased_at_small_xmin(self, rng):
+        """The discrete MLE beats the continuous one on integer data."""
+        from repro.tailfit.fits import PowerLawFit
+
+        sample = _sample_discrete_pl(rng, 50_000, alpha=2.5)
+        discrete = DiscretePowerLawFit.fit(sample, xmin=1)
+        continuous = PowerLawFit.fit(sample.astype(float), xmin=1.0)
+        assert abs(discrete.alpha - 2.5) < abs(continuous.alpha - 2.5)
+
+    def test_pmf_sums_to_one(self):
+        fit = DiscretePowerLawFit(xmin=1, alpha=2.5, n=10)
+        support = np.arange(1, 200_000)
+        assert fit.pmf(support).sum() == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone_bounded(self):
+        fit = DiscretePowerLawFit(xmin=2, alpha=2.0, n=10)
+        ks = np.array([1, 2, 5, 10, 100])
+        cdf = fit.cdf(ks)
+        assert cdf[0] == 0.0
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] < 1.0
+
+    def test_loglikelihood_peaks_at_mle(self, rng):
+        sample = _sample_discrete_pl(rng, 20_000, alpha=2.2)
+        fit = DiscretePowerLawFit.fit(sample, xmin=1)
+        ll_mle = fit.loglikelihood(sample)
+        for other in (fit.alpha - 0.3, fit.alpha + 0.3):
+            alt = DiscretePowerLawFit(xmin=1, alpha=other, n=fit.n)
+            assert alt.loglikelihood(sample) < ll_mle
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            DiscretePowerLawFit.fit(np.array([1, 2, 3]), xmin=0)
+        with pytest.raises(ValueError):
+            DiscretePowerLawFit.fit(np.array([1]), xmin=5)

@@ -1,0 +1,53 @@
+"""KS distance and xmin selection."""
+
+import numpy as np
+import pytest
+
+from repro.tailfit.fits import PowerLawFit
+from repro.tailfit.ks import ks_distance, select_xmin
+
+
+class TestKsDistance:
+    def test_zero_for_matching_quantiles(self, rng):
+        # Sample from the fitted distribution exactly via inverse CDF.
+        alpha = 2.0
+        u = (np.arange(1, 10_001) - 0.5) / 10_000
+        sample = np.sort(1.0 * (1 - u) ** (-1 / (alpha - 1)))
+        fit = PowerLawFit.fit(sample, xmin=1.0)
+        assert ks_distance(sample, fit) < 0.01
+
+    def test_large_for_wrong_model(self, rng):
+        sample = np.sort(rng.exponential(1.0, 10_000) + 1.0)
+        fit = PowerLawFit.fit(sample, xmin=1.0)
+        assert ks_distance(sample, fit) > 0.05
+
+    def test_rejects_empty(self, rng):
+        fit = PowerLawFit.fit(np.array([1.0, 2.0, 4.0]), xmin=1.0)
+        with pytest.raises(ValueError):
+            ks_distance(np.empty(0), fit)
+
+
+class TestSelectXmin:
+    def test_finds_transition_point(self, rng):
+        """Exponential body below 10, power law above: xmin ~ 10."""
+        body = rng.uniform(1.0, 10.0, 30_000)
+        tail = 10.0 * (1 - rng.random(10_000)) ** (-1 / 1.5)
+        sample = np.sort(np.concatenate([body, tail]))
+        xmin, ks = select_xmin(sample, min_tail=100)
+        assert 6.0 <= xmin <= 16.0
+        assert ks < 0.1
+
+    def test_pure_power_law_picks_low_xmin(self, rng):
+        sample = np.sort(1.0 * (1 - rng.random(20_000)) ** (-1 / 1.5))
+        xmin, _ = select_xmin(sample, min_tail=100)
+        assert xmin < np.percentile(sample, 60)
+
+    def test_respects_min_tail(self, rng):
+        sample = np.sort(1.0 * (1 - rng.random(5_000)) ** (-1 / 1.5))
+        xmin, _ = select_xmin(sample, min_tail=1_000)
+        assert np.sum(sample >= xmin) >= 1_000
+
+    def test_handles_constant_data(self):
+        sample = np.full(100, 3.0)
+        xmin, ks = select_xmin(sample)
+        assert xmin == 3.0

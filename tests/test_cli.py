@@ -1,0 +1,131 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.users == 100_000
+        assert args.seed == 1603
+
+
+class TestCommands:
+    def test_generate_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "world.npz"
+        code = main(
+            ["generate", "--users", "2000", "--seed", "3", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "generated 2,000 accounts" in capsys.readouterr().out
+
+    def test_analyze_saved_dataset(self, tmp_path, capsys):
+        data = tmp_path / "world.npz"
+        main(["generate", "--users", "2000", "--seed", "3", "--output", str(data)])
+        report = tmp_path / "report.txt"
+        code = main(
+            [
+                "analyze",
+                "--dataset",
+                str(data),
+                "--skip-table4",
+                "--output",
+                str(report),
+            ]
+        )
+        assert code == 0
+        text = report.read_text()
+        assert "Table 3" in text
+        assert "Figure 10" in text
+
+    def test_analyze_prints_to_stdout(self, capsys):
+        code = main(
+            ["analyze", "--users", "2000", "--seed", "3", "--skip-table4"]
+        )
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_crawl_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "crawl.npz"
+        code = main(
+            ["crawl", "--users", "1500", "--seed", "3", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        from repro.store.io import load_dataset
+
+        dataset = load_dataset(out)
+        assert dataset.n_users == 1500
+
+    def test_export_command(self, tmp_path, capsys):
+        outdir = tmp_path / "dump"
+        code = main(
+            [
+                "export",
+                "--users",
+                "1500",
+                "--seed",
+                "3",
+                "--outdir",
+                str(outdir),
+            ]
+        )
+        assert code == 0
+        assert (outdir / "players.jsonl.gz").exists()
+        assert (outdir / "games.csv").exists()
+
+    def test_figures_command(self, tmp_path, capsys):
+        outdir = tmp_path / "figs"
+        code = main(
+            [
+                "figures",
+                "--users",
+                "1500",
+                "--seed",
+                "3",
+                "--outdir",
+                str(outdir),
+            ]
+        )
+        assert code == 0
+        assert (outdir / "fig06_playtime_cdf.csv").exists()
+
+    def test_analyze_with_ascii_figures(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--users",
+                "2000",
+                "--seed",
+                "3",
+                "--skip-table4",
+                "--figures",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "log-log pdf" in out
+
+    def test_crawl_over_http(self, tmp_path, capsys):
+        out = tmp_path / "crawl_http.npz"
+        code = main(
+            [
+                "crawl",
+                "--users",
+                "1200",
+                "--seed",
+                "3",
+                "--http",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "HTTP transport" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Internal consistency of the paper-reported constants."""
+
+import pytest
+
+from repro import constants
+
+
+class TestDerivedQuantities:
+    def test_mean_friends(self):
+        assert constants.MEAN_FRIENDS_ALL_ACCOUNTS == pytest.approx(
+            3.613, abs=0.01
+        )
+
+    def test_table1_shares_sum_with_other(self):
+        total = sum(constants.TABLE1_COUNTRY_SHARES.values())
+        assert total + constants.TABLE1_OTHER_SHARE == pytest.approx(
+            1.0, abs=0.001
+        )
+
+    def test_table2_counts_sum_to_250(self):
+        assert sum(constants.TABLE2_GROUP_TYPES.values()) == 250
+
+    def test_table3_rows_monotone(self):
+        for name, values in constants.TABLE3.items():
+            assert list(values) == sorted(values), name
+
+    def test_days_since_launch(self):
+        assert constants.days_since_launch(constants.STEAM_LAUNCH) == 0
+        assert (
+            constants.days_since_launch(constants.PROFILE_CRAWL_END) > 3000
+        )
+
+    def test_timeline_ordered(self):
+        assert (
+            constants.STEAM_LAUNCH
+            < constants.FRIEND_TIMESTAMPS_START
+            < constants.PROFILE_CRAWL_START
+            < constants.PROFILE_CRAWL_END
+            < constants.DETAIL_CRAWL_START
+            < constants.DETAIL_CRAWL_END
+            < constants.CATALOG_CRAWL_DATE
+            < constants.SNAPSHOT2_START
+            < constants.SNAPSHOT2_END
+            < constants.WEEK_PANEL_START
+            < constants.WEEK_PANEL_END
+            < constants.ACHIEVEMENT_CRAWL_DATE
+        )
+
+    def test_homophily_stronger_than_cross_correlations(self):
+        assert min(constants.HOMOPHILY_CORRELATIONS.values()) > max(
+            constants.CROSS_CORRELATIONS.values()
+        )
+
+    def test_average_copy_price(self):
+        avg = (
+            constants.TOTAL_MARKET_VALUE_USD / constants.TOTAL_OWNED_GAMES
+        )
+        assert avg == pytest.approx(13.86, abs=0.01)

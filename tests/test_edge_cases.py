@@ -1,0 +1,159 @@
+"""Edge cases across subsystems: tiny worlds, empty relations, extremes."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import SteamWorld, WorldConfig
+
+
+class TestTinyWorld:
+    """The minimum allowed population must survive every analysis."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return SteamWorld.generate(WorldConfig(n_users=1_000, seed=1))
+
+    def test_generates(self, tiny):
+        assert tiny.dataset.n_users == 1_000
+
+    def test_report_runs(self, tiny):
+        from repro import SteamStudy
+
+        study = SteamStudy(world=tiny, _dataset=tiny.dataset)
+        report = study.run(include_table4=False, include_week_panel=False)
+        assert "Table 3" in report.render()
+
+    def test_crawl_roundtrip(self, tiny):
+        from repro import SteamStudy
+
+        study = SteamStudy(world=tiny, _dataset=tiny.dataset)
+        crawled = study.crawl()
+        assert crawled.dataset.n_users == 1_000
+        assert np.array_equal(
+            crawled.dataset.friend_counts(), tiny.dataset.friend_counts()
+        )
+
+    def test_week_panel_tiny_sample(self, tiny):
+        panel = tiny.week_panel()
+        assert len(panel.users) >= 1
+
+
+class TestEmptyRelations:
+    def test_friendless_dataset_analyses(self, small_dataset):
+        from repro.core.homophily import neighbor_mean
+        from repro.store.tables import FriendTable
+
+        empty = FriendTable(
+            u=np.empty(0, dtype=np.int32),
+            v=np.empty(0, dtype=np.int32),
+            day=np.empty(0, dtype=np.int32),
+            n_users=small_dataset.n_users,
+        )
+        stripped = dataclasses.replace(small_dataset, friends=empty)
+        assert stripped.friend_counts().sum() == 0
+        avg = neighbor_mean(stripped, np.ones(stripped.n_users))
+        assert np.all(np.isnan(avg))
+
+    def test_empty_friend_graph_stats(self, small_dataset):
+        from repro.core.graphstats import degree_assortativity
+        from repro.store.tables import FriendTable
+
+        empty = FriendTable(
+            u=np.empty(0, dtype=np.int32),
+            v=np.empty(0, dtype=np.int32),
+            day=np.empty(0, dtype=np.int32),
+            n_users=small_dataset.n_users,
+        )
+        stripped = dataclasses.replace(small_dataset, friends=empty)
+        assert np.isnan(degree_assortativity(stripped))
+
+    def test_sampling_on_empty_graph(self, small_dataset):
+        from repro.core.sampling import snowball_sample
+        from repro.store.tables import FriendTable
+
+        empty = FriendTable(
+            u=np.empty(0, dtype=np.int32),
+            v=np.empty(0, dtype=np.int32),
+            day=np.empty(0, dtype=np.int32),
+            n_users=small_dataset.n_users,
+        )
+        stripped = dataclasses.replace(small_dataset, friends=empty)
+        sample = snowball_sample(stripped, 100)
+        assert len(sample) == 0
+
+
+class TestConfigOverrides:
+    def test_zero_triadic_closure_stays_clustered(self):
+        """Clustering survives without explicit closure: repeated
+        score-adjacent pairing inside small locality pools closes
+        triangles on its own (see METHODOLOGY.md)."""
+        base = WorldConfig(n_users=3_000, seed=2)
+        config = dataclasses.replace(
+            base,
+            social=dataclasses.replace(base.social, triadic_closure=0.0),
+        )
+        world = SteamWorld.generate(config)
+        from repro.core.graphstats import clustering_coefficient
+
+        clustering = clustering_coefficient(world.dataset, sample_size=1_000)
+        mean_degree = (
+            2 * world.dataset.friends.n_edges / world.dataset.n_users
+        )
+        random_level = mean_degree / world.dataset.n_users
+        assert clustering > 10 * random_level
+
+    def test_no_collectors(self):
+        base = WorldConfig(n_users=5_000, seed=2)
+        config = dataclasses.replace(
+            base,
+            ownership=dataclasses.replace(
+                base.ownership, collector_share=0.0
+            ),
+        )
+        world = SteamWorld.generate(config)
+        assert not world.ownership.is_collector.any()
+
+    def test_no_idlers(self):
+        base = WorldConfig(n_users=5_000, seed=2)
+        config = dataclasses.replace(
+            base,
+            playtime=dataclasses.replace(base.playtime, idler_share=0.0),
+        )
+        world = SteamWorld.generate(config)
+        assert not world.playtimes.idler_mask.any()
+
+    def test_scale_factor(self):
+        config = WorldConfig(n_users=108_700, seed=1)
+        assert config.scale_factor == pytest.approx(1e-3)
+
+
+class TestServiceEdgeCases:
+    def test_empty_summary_batch(self, small_world):
+        from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+
+        service = SteamApiService.from_world(small_world)
+        response = service.get_player_summaries(DEFAULT_API_KEY, [])
+        assert response["response"]["players"] == []
+
+    def test_user_with_no_games(self, small_world):
+        from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+
+        service = SteamApiService.from_world(small_world)
+        ds = small_world.dataset
+        lonely = int(np.flatnonzero(ds.owned_counts() == 0)[0])
+        sid = int(ds.accounts.steamids()[lonely])
+        response = service.get_owned_games(DEFAULT_API_KEY, sid)
+        assert response["response"]["game_count"] == 0
+
+    def test_dispatch_steamids_as_list(self, small_world):
+        from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+
+        service = SteamApiService.from_world(small_world)
+        sid = int(small_world.dataset.accounts.steamids()[0])
+        response = service.dispatch(
+            "/ISteamUser/GetPlayerSummaries/v2",
+            {"key": DEFAULT_API_KEY, "steamids": [sid]},
+        )
+        assert len(response["response"]["players"]) == 1

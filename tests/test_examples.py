@@ -1,0 +1,67 @@
+"""Smoke-run every example script at tiny scale."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list[str], monkeypatch, capsys) -> str:
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = _run("quickstart.py", ["3000", "5"], monkeypatch, capsys)
+        assert "Table 3" in out
+        assert "Figure 11" in out
+
+    def test_crawl_measurement(self, monkeypatch, capsys):
+        out = _run("crawl_measurement.py", ["1200"], monkeypatch, capsys)
+        assert "reconstruction check [friendships]: OK" in out
+        assert "MISMATCH" not in out
+
+    def test_gamer_archetypes(self, monkeypatch, capsys):
+        out = _run("gamer_archetypes.py", ["20000"], monkeypatch, capsys)
+        assert "The modest majority" in out
+        assert "Idlers" in out
+
+    def test_homophily_study(self, monkeypatch, capsys):
+        out = _run("homophily_study.py", ["8000"], monkeypatch, capsys)
+        assert "calibrated world" in out
+        assert "ablated world" in out
+
+    def test_distribution_atlas(self, monkeypatch, capsys, tmp_path):
+        out = _run(
+            "distribution_atlas.py",
+            ["8000", str(tmp_path)],
+            monkeypatch,
+            capsys,
+        )
+        assert "classification:" in out
+        assert (tmp_path / "ccdf_friends.csv").exists()
+
+    def test_network_structure(self, monkeypatch, capsys):
+        out = _run("network_structure.py", ["8000"], monkeypatch, capsys)
+        assert "small world: True" in out
+        assert "friendships grow faster than users: True" in out
+
+    def test_modern_api_gate(self, monkeypatch, capsys):
+        out = _run("modern_api_gate.py", ["1500"], monkeypatch, capsys)
+        assert "100.0%" in out
+        assert "synthetic substitution" in out
+
+    def test_achievement_hunters(self, monkeypatch, capsys):
+        out = _run("achievement_hunters.py", ["15000"], monkeypatch, capsys)
+        assert "confirmed: True" in out
+        assert "example hunters" in out
+
+    def test_sampling_bias(self, monkeypatch, capsys):
+        out = _run("sampling_bias.py", ["10000"], monkeypatch, capsys)
+        assert "snowball" in out
+        assert "inflated" in out

@@ -1,0 +1,96 @@
+"""SteamID arithmetic and ID-space layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants, steamid
+
+
+class TestBijection:
+    def test_base_id_roundtrip(self):
+        assert steamid.to_steamid64(0) == constants.STEAMID_BASE
+        assert steamid.account_number(constants.STEAMID_BASE) == 0
+
+    def test_known_example_from_paper(self):
+        # The paper quotes STEAM_0:1:849986 <-> 76561197961965701.
+        assert steamid.from_text("STEAM_0:1:849986") == 76561197961965701
+        assert steamid.to_text(76561197961965701) == "STEAM_0:1:849986"
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip_account_numbers(self, account):
+        sid = steamid.to_steamid64(account)
+        assert steamid.account_number(sid) == account
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_text_roundtrip(self, account):
+        sid = steamid.to_steamid64(account)
+        assert steamid.from_text(steamid.to_text(sid)) == sid
+
+    def test_account_number_rejects_small_ids(self):
+        with pytest.raises(ValueError):
+            steamid.account_number(123)
+
+    def test_to_steamid64_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            steamid.to_steamid64(-1)
+        with pytest.raises(ValueError):
+            steamid.to_steamid64(2**32)
+
+    def test_from_text_rejects_garbage(self):
+        for bad in ("STEAM_X:1:3", "76561197960265728", "STEAM_0:2:5", ""):
+            with pytest.raises(ValueError):
+                steamid.from_text(bad)
+
+    def test_is_individual_id(self):
+        assert steamid.is_individual_id(constants.STEAMID_BASE)
+        assert steamid.is_individual_id(constants.STEAMID_BASE + 10**9)
+        assert not steamid.is_individual_id(1234)
+
+
+class TestIdSpace:
+    def test_span_exceeds_accounts(self):
+        space = steamid.IdSpace(n_accounts=10_000)
+        assert space.span > 10_000
+
+    def test_mean_density_matches_config(self):
+        space = steamid.IdSpace(n_accounts=100_000)
+        expected = 0.215 * 0.45 + 0.785 * 0.92
+        assert space.n_accounts / space.span == pytest.approx(
+            expected, rel=0.01
+        )
+
+    def test_offsets_sorted_and_distinct(self, rng):
+        space = steamid.IdSpace(n_accounts=20_000)
+        offsets = space.assign_offsets(rng)
+        assert len(offsets) == 20_000
+        assert np.all(np.diff(offsets) > 0)
+        assert offsets.max() < space.span
+
+    def test_density_profile_shape(self, rng):
+        """Early range is sparse (<50%), late range dense (>90%)."""
+        space = steamid.IdSpace(n_accounts=50_000)
+        offsets = space.assign_offsets(rng)
+        head = np.mean(offsets < space.early_span)
+        n_early = (offsets < space.early_span).sum()
+        early_density = n_early / space.early_span
+        late_density = (len(offsets) - n_early) / (space.span - space.early_span)
+        assert early_density < 0.55
+        assert late_density > 0.85
+        assert head < 0.25  # few accounts live in the sparse head
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            steamid.IdSpace(n_accounts=0)
+        with pytest.raises(ValueError):
+            steamid.IdSpace(n_accounts=10, breakpoint=1.5)
+        with pytest.raises(ValueError):
+            steamid.IdSpace(n_accounts=10, early_density=0.0)
+
+    def test_sample_distinct_dense_case(self, rng):
+        out = steamid.IdSpace._sample_distinct(rng, 100, 100)
+        assert sorted(out.tolist()) == list(range(100))
+
+    def test_sample_distinct_rejects_overfull(self, rng):
+        with pytest.raises(ValueError):
+            steamid.IdSpace._sample_distinct(rng, 10, 11)
