@@ -1,16 +1,26 @@
-"""Phase 4: per-game global achievement percentages (May 2016)."""
+"""Phase 4: per-game global achievement percentages (May 2016).
+
+Resilience mirrors the other phases: the harvested rates are stashed in
+the checkpoint with the cursor for lossless resume, and
+``skip_failed=True`` logs-and-skips apps that keep failing after
+retries instead of aborting the crawl.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.retry import RetriesExhausted
 from repro.crawler.session import CrawlSession
 from repro.steamapi.errors import NotFoundError
 
 __all__ = ["AchievementCrawl", "crawl_achievements"]
+
+PHASE = "achievements"
 
 
 @dataclass
@@ -25,27 +35,64 @@ def crawl_achievements(
     appids: list[int],
     checkpoint: CrawlCheckpoint | None = None,
     checkpoint_every: int = 500,
+    skip_failed: bool = False,
 ) -> AchievementCrawl:
     """Fetch global achievement percentages for every app in ``appids``."""
-    rates: dict[int, np.ndarray] = {}
-    start = checkpoint.achievements_cursor if checkpoint else 0
-    for position in range(start, len(appids)):
-        appid = int(appids[position])
-        try:
-            payload = session.get(
-                "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2",
-                gameid=appid,
+    # (appid, [rates]) pairs: JSON-stashable, dict-ified at the end.
+    harvest: list[list] = []
+    start = 0
+
+    if checkpoint is not None:
+        start = checkpoint.achievements_cursor
+        state = checkpoint.unstash(PHASE)
+        if state is not None:
+            harvest = [list(item) for item in state["rates"]]
+        elif start > 0 and not checkpoint.is_done(PHASE):
+            warnings.warn(
+                "achievement checkpoint has a cursor but no stashed "
+                "harvest; apps fetched before the restart are lost",
+                RuntimeWarning,
+                stacklevel=2,
             )
-        except NotFoundError:
-            continue
-        entries = payload["achievementpercentages"]["achievements"]
-        rates[appid] = np.array(
-            [float(e["percent"]) / 100.0 for e in entries], dtype=np.float32
-        )
-        if checkpoint and (position + 1) % checkpoint_every == 0:
-            checkpoint.achievements_cursor = position + 1
-            checkpoint.save()
-    if checkpoint:
-        checkpoint.achievements_cursor = len(appids)
+
+    def snapshot(cursor: int, done: bool = False) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.achievements_cursor = cursor
+        checkpoint.stash(PHASE, {"rates": list(harvest)})
+        if done:
+            checkpoint.mark_done(PHASE)
         checkpoint.save()
-    return AchievementCrawl(rates_by_appid=rates)
+
+    if checkpoint is None or not checkpoint.is_done(PHASE):
+        for position in range(start, len(appids)):
+            appid = int(appids[position])
+            try:
+                payload = session.get(
+                    "/ISteamUserStats/"
+                    "GetGlobalAchievementPercentagesForApp/v2",
+                    gameid=appid,
+                )
+            except NotFoundError:
+                continue
+            except RetriesExhausted:
+                if not skip_failed:
+                    snapshot(position)  # resume retries this app
+                    raise
+                if checkpoint is not None:
+                    checkpoint.record_failure(PHASE, appid)
+                continue
+            entries = payload["achievementpercentages"]["achievements"]
+            harvest.append(
+                [appid, [float(e["percent"]) / 100.0 for e in entries]]
+            )
+            if checkpoint and (position + 1) % checkpoint_every == 0:
+                snapshot(position + 1)
+        snapshot(len(appids), done=True)
+
+    return AchievementCrawl(
+        rates_by_appid={
+            int(appid): np.array(rates, dtype=np.float32)
+            for appid, rates in harvest
+        }
+    )

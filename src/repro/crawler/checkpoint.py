@@ -4,12 +4,30 @@ A crawl over 100+ million accounts runs for months (the paper's phase 2
 spanned May to November 2013); surviving restarts is a hard requirement.
 The checkpoint stores per-phase cursors in a JSON file, written
 atomically (write-to-temp + rename).
+
+Beyond the cursors, ``extra`` carries three kinds of phase state, all
+saved in the same atomic write so cursor and data can never diverge:
+
+- ``stash:<phase>`` — the phase's partial harvest, snapshotted at every
+  cursor save, so a crawl killed mid-phase (crash, ``RetriesExhausted``
+  escaping) resumes with the already-collected data intact instead of
+  silently dropping it;
+- ``done:<phase>`` — completion flags, so re-running a finished phase
+  replays its harvest from the stash instead of re-crawling;
+- ``failed`` — per-phase lists of identifiers (SteamIDs, appids, window
+  offsets) that kept failing after retries and were skipped under
+  graceful degradation.
+
+A corrupt or truncated checkpoint file (the process died inside a
+non-atomic writer, disk filled up, ...) is treated as absent: ``load``
+warns and starts fresh rather than refusing to crawl.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -33,12 +51,27 @@ class CrawlCheckpoint:
 
     @classmethod
     def load(cls, path: str | Path) -> "CrawlCheckpoint":
-        """Load a checkpoint, or start fresh when the file is absent."""
+        """Load a checkpoint, or start fresh when the file is absent.
+
+        A file that exists but does not parse as a JSON object (partial
+        write from a crash, corruption) also yields a fresh checkpoint,
+        with a warning — losing crawl progress beats refusing to crawl.
+        """
         path = Path(path)
         if not path.exists():
             return cls(path=path)
-        with open(path, encoding="utf-8") as handle:
-            data = json.load(handle)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            if not isinstance(data, dict):
+                raise ValueError("checkpoint root is not an object")
+        except (ValueError, OSError) as exc:
+            warnings.warn(
+                f"checkpoint {path} is corrupt ({exc}); starting fresh",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return cls(path=path)
         return cls(
             path=path,
             profile_cursor=data.get("profile_cursor", 0),
@@ -63,3 +96,36 @@ class CrawlCheckpoint:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp, self.path)
+
+    # -- phase state ----------------------------------------------------------
+
+    def stash(self, phase: str, payload: dict) -> None:
+        """Attach a phase's partial harvest (persisted on next ``save``)."""
+        self.extra[f"stash:{phase}"] = payload
+
+    def unstash(self, phase: str) -> dict | None:
+        """The phase's stashed partial harvest, if any."""
+        return self.extra.get(f"stash:{phase}")
+
+    def mark_done(self, phase: str) -> None:
+        self.extra[f"done:{phase}"] = True
+
+    def is_done(self, phase: str) -> bool:
+        return bool(self.extra.get(f"done:{phase}", False))
+
+    def record_failure(self, phase: str, ident: int) -> None:
+        """Note an identifier skipped after persistent failures."""
+        self.extra.setdefault("failed", {}).setdefault(phase, []).append(
+            int(ident)
+        )
+
+    def failures(self, phase: str | None = None) -> dict | list:
+        """Skipped identifiers, per phase (or for one phase)."""
+        failed = self.extra.get("failed", {})
+        if phase is None:
+            return failed
+        return failed.get(phase, [])
+
+    @property
+    def n_failures(self) -> int:
+        return sum(len(v) for v in self.extra.get("failed", {}).values())

@@ -3,20 +3,44 @@
 One account per API call (three calls per account), which is why the
 paper's phase 2 took six months against phase 1's three weeks.  Results
 accumulate into flat arrays ready for CSR assembly.
+
+Resilience: each account's three calls commit atomically — the harvest
+lists only grow once all three succeeded, so an abort mid-account never
+leaves half an account behind (the retried account would otherwise
+duplicate its edges on resume).  With a checkpoint, the partial harvest
+is stashed with the cursor; with ``skip_failed=True``, an account whose
+calls keep failing after retries is logged in the checkpoint and
+skipped rather than aborting a six-month crawl.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.retry import RetriesExhausted
 from repro.crawler.session import CrawlSession, unix_to_day
 from repro.steamapi.errors import PrivateProfileError
 from repro.steamapi.models import GROUP_ID_BASE
 
 __all__ = ["DetailCrawl", "crawl_details"]
+
+PHASE = "details"
+
+_STASH_COLUMNS = (
+    "edge_a",
+    "edge_b",
+    "edge_day",
+    "lib_user",
+    "lib_appid",
+    "lib_total",
+    "lib_twoweek",
+    "member_user",
+    "member_group",
+)
 
 
 @dataclass
@@ -38,6 +62,8 @@ class DetailCrawl:
     member_group: np.ndarray
     #: Accounts whose details were private (modern-API behavior).
     n_private: int = 0
+    #: Accounts skipped after persistent failures (graceful degradation).
+    n_skipped: int = 0
 
 
 def crawl_details(
@@ -45,71 +71,117 @@ def crawl_details(
     steamids: np.ndarray,
     checkpoint: CrawlCheckpoint | None = None,
     checkpoint_every: int = 2_000,
+    skip_failed: bool = False,
 ) -> DetailCrawl:
     """Crawl friends/games/groups for every account in ``steamids``."""
-    edge_a: list[int] = []
-    edge_b: list[int] = []
-    edge_day: list[int] = []
-    lib_user: list[int] = []
-    lib_appid: list[int] = []
-    lib_total: list[int] = []
-    lib_twoweek: list[int] = []
-    member_user: list[int] = []
-    member_group: list[int] = []
-
+    columns: dict[str, list[int]] = {name: [] for name in _STASH_COLUMNS}
     n_private = 0
-    start = checkpoint.detail_cursor if checkpoint else 0
-    for position in range(start, len(steamids)):
-        steamid = int(steamids[position])
+    n_skipped = 0
+    start = 0
 
-        try:
-            friends = session.get(
-                "/ISteamUser/GetFriendList/v1", steamid=steamid
-            )["friendslist"]["friends"]
-        except PrivateProfileError:
-            n_private += 1
-            continue
-        for record in friends:
-            other = int(record["steamid"])
-            if other <= steamid:
-                continue  # keep each undirected edge once (u < v)
-            since = int(record.get("friend_since", 0))
-            edge_a.append(steamid)
-            edge_b.append(other)
-            edge_day.append(unix_to_day(since) if since > 0 else -1)
+    if checkpoint is not None:
+        start = checkpoint.detail_cursor
+        state = checkpoint.unstash(PHASE)
+        if state is not None:
+            for name in _STASH_COLUMNS:
+                columns[name] = [int(x) for x in state[name]]
+            n_private = int(state["n_private"])
+            n_skipped = int(state["n_skipped"])
+        elif start > 0 and not checkpoint.is_done(PHASE):
+            warnings.warn(
+                "detail checkpoint has a cursor but no stashed harvest; "
+                "accounts crawled before the restart are lost",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
-        games = session.get(
-            "/IPlayerService/GetOwnedGames/v1", steamid=steamid
-        )["response"].get("games", [])
-        for game in games:
-            lib_user.append(position)
-            lib_appid.append(int(game["appid"]))
-            lib_total.append(int(game.get("playtime_forever", 0)))
-            lib_twoweek.append(int(game.get("playtime_2weeks", 0)))
-
-        groups = session.get(
-            "/ISteamUser/GetUserGroupList/v1", steamid=steamid
-        )["response"].get("groups", [])
-        for group in groups:
-            member_user.append(position)
-            member_group.append(int(group["gid"]) - GROUP_ID_BASE)
-
-        if checkpoint and (position + 1) % checkpoint_every == 0:
-            checkpoint.detail_cursor = position + 1
-            checkpoint.save()
-
-    if checkpoint:
-        checkpoint.detail_cursor = len(steamids)
+    def snapshot(cursor: int, done: bool = False) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.detail_cursor = cursor
+        payload = {name: list(values) for name, values in columns.items()}
+        payload["n_private"] = n_private
+        payload["n_skipped"] = n_skipped
+        checkpoint.stash(PHASE, payload)
+        if done:
+            checkpoint.mark_done(PHASE)
         checkpoint.save()
+
+    if checkpoint is None or not checkpoint.is_done(PHASE):
+        for position in range(start, len(steamids)):
+            steamid = int(steamids[position])
+            # Stage this account's harvest; commit only when all three
+            # calls succeeded so a retried account never half-lands.
+            staged: dict[str, list[int]] = {
+                name: [] for name in _STASH_COLUMNS
+            }
+            try:
+                try:
+                    friends = session.get(
+                        "/ISteamUser/GetFriendList/v1", steamid=steamid
+                    )["friendslist"]["friends"]
+                except PrivateProfileError:
+                    n_private += 1
+                    continue
+                for record in friends:
+                    other = int(record["steamid"])
+                    if other <= steamid:
+                        continue  # keep each undirected edge once (u < v)
+                    since = int(record.get("friend_since", 0))
+                    staged["edge_a"].append(steamid)
+                    staged["edge_b"].append(other)
+                    staged["edge_day"].append(
+                        unix_to_day(since) if since > 0 else -1
+                    )
+
+                games = session.get(
+                    "/IPlayerService/GetOwnedGames/v1", steamid=steamid
+                )["response"].get("games", [])
+                for game in games:
+                    staged["lib_user"].append(position)
+                    staged["lib_appid"].append(int(game["appid"]))
+                    staged["lib_total"].append(
+                        int(game.get("playtime_forever", 0))
+                    )
+                    staged["lib_twoweek"].append(
+                        int(game.get("playtime_2weeks", 0))
+                    )
+
+                groups = session.get(
+                    "/ISteamUser/GetUserGroupList/v1", steamid=steamid
+                )["response"].get("groups", [])
+                for group in groups:
+                    staged["member_user"].append(position)
+                    staged["member_group"].append(
+                        int(group["gid"]) - GROUP_ID_BASE
+                    )
+            except RetriesExhausted:
+                if not skip_failed:
+                    snapshot(position)  # resume retries this account
+                    raise
+                n_skipped += 1
+                if checkpoint is not None:
+                    checkpoint.record_failure(PHASE, steamid)
+                continue
+
+            for name, values in staged.items():
+                columns[name].extend(values)
+
+            if checkpoint and (position + 1) % checkpoint_every == 0:
+                snapshot(position + 1)
+
+        snapshot(len(steamids), done=True)
+
     return DetailCrawl(
-        edge_a=np.array(edge_a, dtype=np.int64),
-        edge_b=np.array(edge_b, dtype=np.int64),
-        edge_day=np.array(edge_day, dtype=np.int32),
-        lib_user=np.array(lib_user, dtype=np.int64),
-        lib_appid=np.array(lib_appid, dtype=np.int64),
-        lib_total_min=np.array(lib_total, dtype=np.int64),
-        lib_twoweek_min=np.array(lib_twoweek, dtype=np.int32),
-        member_user=np.array(member_user, dtype=np.int64),
-        member_group=np.array(member_group, dtype=np.int64),
+        edge_a=np.array(columns["edge_a"], dtype=np.int64),
+        edge_b=np.array(columns["edge_b"], dtype=np.int64),
+        edge_day=np.array(columns["edge_day"], dtype=np.int32),
+        lib_user=np.array(columns["lib_user"], dtype=np.int64),
+        lib_appid=np.array(columns["lib_appid"], dtype=np.int64),
+        lib_total_min=np.array(columns["lib_total"], dtype=np.int64),
+        lib_twoweek_min=np.array(columns["lib_twoweek"], dtype=np.int32),
+        member_user=np.array(columns["member_user"], dtype=np.int64),
+        member_group=np.array(columns["member_group"], dtype=np.int64),
         n_private=n_private,
+        n_skipped=n_skipped,
     )

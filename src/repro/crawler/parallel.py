@@ -11,6 +11,7 @@ result is byte-identical to a sequential crawl.
 from __future__ import annotations
 
 import concurrent.futures
+import random
 from typing import Callable
 
 import numpy as np
@@ -50,6 +51,8 @@ def merge_detail_crawls(
         lib_twoweek_min=cat("lib_twoweek_min"),
         member_user=cat("member_user", rebase=True),
         member_group=cat("member_group"),
+        n_private=sum(shard.n_private for shard in shards),
+        n_skipped=sum(shard.n_skipped for shard in shards),
     )
 
 
@@ -60,6 +63,8 @@ def crawl_details_parallel(
     advertised_rate: float = 1e9,
     politeness: float = 0.85,
     api_keys: list[str] | None = None,
+    retry_jitter_seed: int | None = None,
+    skip_failed: bool = False,
 ) -> DetailCrawl:
     """Crawl per-user details with ``n_workers`` concurrent sessions.
 
@@ -67,6 +72,11 @@ def crawl_details_parallel(
     are cheap; in-process transports can be shared via a closure).  Each
     worker paces itself independently — the model for one API key per
     worker, which is how long crawls actually scale.
+
+    ``retry_jitter_seed`` enables full-jitter backoff with a distinct
+    (but deterministic) RNG per worker, so workers that trip the same
+    rate limit don't retry in lockstep.  ``skip_failed`` forwards the
+    graceful-degradation mode to each shard crawl.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -75,16 +85,20 @@ def crawl_details_parallel(
     offsets = np.cumsum([0] + [len(s) for s in shards[:-1]]).tolist()
 
     def work(index: int) -> DetailCrawl:
+        retry = RetryPolicy(sleeper=lambda s: None)
+        if retry_jitter_seed is not None:
+            retry.jitter = True
+            retry.rng = random.Random(retry_jitter_seed + index)
         session = CrawlSession(
             transport=transport_factory(),
             pacer=PolitePacer(
                 advertised_rate, politeness, sleeper=lambda s: None
             ),
-            retry=RetryPolicy(sleeper=lambda s: None),
+            retry=retry,
         )
         if api_keys:
             session.api_key = api_keys[index % len(api_keys)]
-        return crawl_details(session, shards[index])
+        return crawl_details(session, shards[index], skip_failed=skip_failed)
 
     with concurrent.futures.ThreadPoolExecutor(n_workers) as pool:
         results = list(pool.map(work, range(n_workers)))

@@ -6,20 +6,31 @@ once a run of consecutive windows comes back empty (the paper stopped
 when it reached accounts "created just seconds before the moment of
 collection").  Window occupancy is recorded so the density profile the
 paper describes (<50% early, >90% late) can be re-derived.
+
+Resilience: when a checkpoint is supplied, the partial harvest is
+stashed alongside the cursor at every save, so a sweep aborted mid-phase
+(crash, :class:`~repro.crawler.retry.RetriesExhausted`) resumes with
+nothing lost.  With ``skip_failed=True``, a window that keeps failing
+after retries is recorded in the checkpoint's failure log and skipped
+instead of aborting the crawl.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import constants
 from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.retry import RetriesExhausted
 from repro.crawler.session import CrawlSession, unix_to_day
 from repro.steamapi.service import MAX_SUMMARY_BATCH
 
 __all__ = ["ProfileSweep", "sweep_profiles"]
+
+PHASE = "profiles"
 
 
 @dataclass
@@ -69,6 +80,7 @@ def sweep_profiles(
     checkpoint: CrawlCheckpoint | None = None,
     checkpoint_every: int = 500,
     batch_size: int = MAX_SUMMARY_BATCH,
+    skip_failed: bool = False,
 ) -> ProfileSweep:
     """Run (or resume) the phase-1 sweep.
 
@@ -82,44 +94,99 @@ def sweep_profiles(
     countries: list[str | None] = []
     cities: list[int] = []
     window_hits: list[tuple[int, int]] = []
-
-    cursor = checkpoint.profile_cursor if checkpoint else 0
     empty_run = 0
-    windows_done = 0
-    while True:
-        if max_offset is not None and cursor >= max_offset:
-            break
-        ids = [
-            str(constants.STEAMID_BASE + cursor + i)
-            for i in range(batch_size)
-        ]
-        response = session.get(
-            "/ISteamUser/GetPlayerSummaries/v2", steamids=",".join(ids)
-        )
-        players = response["response"]["players"]
-        window_hits.append((cursor, len(players)))
-        if players:
-            empty_run = 0
-            for player in players:
-                offsets.append(
-                    int(player["steamid"]) - constants.STEAMID_BASE
-                )
-                created.append(unix_to_day(player["timecreated"]))
-                countries.append(player.get("loccountrycode"))
-                cities.append(int(player.get("loccityid", -1)))
-        else:
-            empty_run += 1
-            if empty_run >= stop_after_empty:
-                break
-        cursor += batch_size
-        windows_done += 1
-        if checkpoint and windows_done % checkpoint_every == 0:
-            checkpoint.profile_cursor = cursor
-            checkpoint.save()
+    cursor = 0
 
-    if checkpoint:
+    if checkpoint is not None:
+        cursor = checkpoint.profile_cursor
+        state = checkpoint.unstash(PHASE)
+        if state is not None:
+            offsets = [int(x) for x in state["offsets"]]
+            created = [int(x) for x in state["created"]]
+            countries = list(state["countries"])
+            cities = [int(x) for x in state["cities"]]
+            window_hits = [
+                (int(w[0]), int(w[1])) for w in state["window_hits"]
+            ]
+            empty_run = int(state["empty_run"])
+        elif cursor > 0 and not checkpoint.is_done(PHASE):
+            warnings.warn(
+                "profile checkpoint has a cursor but no stashed harvest; "
+                "accounts swept before the restart are lost",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def snapshot(done: bool = False) -> None:
+        if checkpoint is None:
+            return
         checkpoint.profile_cursor = cursor
+        checkpoint.stash(
+            PHASE,
+            {
+                "offsets": list(offsets),
+                "created": list(created),
+                "countries": list(countries),
+                "cities": list(cities),
+                "window_hits": [list(w) for w in window_hits],
+                "empty_run": empty_run,
+            },
+        )
+        if done:
+            checkpoint.mark_done(PHASE)
         checkpoint.save()
+
+    if checkpoint is None or not checkpoint.is_done(PHASE):
+        windows_done = 0
+        completed = False
+        while True:
+            if max_offset is not None and cursor >= max_offset:
+                # Stopped by an explicit bound, not exhaustion: resume
+                # must keep sweeping, so the phase is not "done".
+                break
+            ids = [
+                str(constants.STEAMID_BASE + cursor + i)
+                for i in range(batch_size)
+            ]
+            try:
+                response = session.get(
+                    "/ISteamUser/GetPlayerSummaries/v2",
+                    steamids=",".join(ids),
+                )
+            except RetriesExhausted:
+                if not skip_failed:
+                    snapshot()  # cursor points at the failed window
+                    raise
+                # Graceful degradation: log the window and move on; the
+                # occupancy of a skipped window is unknown, so it joins
+                # neither the hit list nor the empty run.
+                if checkpoint is not None:
+                    checkpoint.record_failure(PHASE, cursor)
+                cursor += batch_size
+                windows_done += 1
+                continue
+            players = response["response"]["players"]
+            window_hits.append((cursor, len(players)))
+            if players:
+                empty_run = 0
+                for player in players:
+                    offsets.append(
+                        int(player["steamid"]) - constants.STEAMID_BASE
+                    )
+                    created.append(unix_to_day(player["timecreated"]))
+                    countries.append(player.get("loccountrycode"))
+                    cities.append(int(player.get("loccityid", -1)))
+            else:
+                empty_run += 1
+                if empty_run >= stop_after_empty:
+                    completed = True
+                    break
+            cursor += batch_size
+            windows_done += 1
+            if checkpoint and windows_done % checkpoint_every == 0:
+                snapshot()
+        snapshot(done=completed)
+
     order = np.argsort(np.array(offsets, dtype=np.int64), kind="stable")
     return ProfileSweep(
         offsets=np.array(offsets, dtype=np.int64)[order],

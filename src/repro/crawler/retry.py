@@ -1,9 +1,16 @@
-"""Bounded-exponential retry around API calls."""
+"""Bounded-exponential retry around API calls.
+
+Backoff optionally applies *full jitter* (AWS-style: sleep a uniform
+draw from ``[0, capped_exponential]``), which de-synchronises workers
+that all got rate-limited at the same instant.  The jitter RNG is
+injectable and seeded so retried crawls stay deterministic.
+"""
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
 from repro.steamapi.errors import (
@@ -33,6 +40,11 @@ class RetriesExhausted(ApiError):
 
     status = 503
 
+    def __init__(self, message: str = "", last: ApiError | None = None) -> None:
+        super().__init__(message)
+        #: The error the final attempt died on.
+        self.last = last
+
 
 @dataclass
 class RetryPolicy:
@@ -42,24 +54,47 @@ class RetryPolicy:
     backoff_base: float = 0.5
     backoff_cap: float = 30.0
     sleeper: Callable[[float], None] = time.sleep
+    #: Full jitter: sleep uniform(0, backoff) instead of the exact backoff.
+    jitter: bool = False
+    #: Seeded RNG for the jitter draw (deterministic chaos runs).
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    #: Observer called with (error, delay) before every retry sleep.
+    on_retry: Callable[[ApiError, float], None] | None = None
+    #: Total retry sleeps performed (i.e. failures that were retried).
+    retries: int = 0
+    #: Number of times the policy gave up with :class:`RetriesExhausted`.
+    exhausted: int = 0
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.backoff_base * 2.0**attempt, self.backoff_cap)
+        if self.jitter:
+            delay = self.rng.uniform(0.0, delay)
+        return delay
+
+    def _note(self, exc: ApiError, delay: float) -> None:
+        self.retries += 1
+        if self.on_retry is not None:
+            self.on_retry(exc, delay)
+        self.sleeper(delay)
 
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn``, retrying transient API errors."""
         last: ApiError | None = None
         for attempt in range(self.max_attempts):
+            final = attempt == self.max_attempts - 1
             try:
                 return fn()
             except _FATAL:
                 raise
             except RateLimitedError as exc:
                 last = exc
-                self.sleeper(min(exc.retry_after, self.backoff_cap))
+                if not final:  # the post-failure sleep is pointless then
+                    self._note(exc, min(exc.retry_after, self.backoff_cap))
             except ApiError as exc:
                 last = exc
-                delay = min(
-                    self.backoff_base * 2.0**attempt, self.backoff_cap
-                )
-                self.sleeper(delay)
+                if not final:
+                    self._note(exc, self._backoff(attempt))
+        self.exhausted += 1
         raise RetriesExhausted(
-            f"gave up after {self.max_attempts} attempts: {last}"
+            f"gave up after {self.max_attempts} attempts: {last}", last=last
         )

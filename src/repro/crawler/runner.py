@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -10,7 +10,7 @@ from repro.crawler.achievements import crawl_achievements
 from repro.crawler.checkpoint import CrawlCheckpoint
 from repro.crawler.details import DetailCrawl, crawl_details
 from repro.crawler.profiles import ProfileSweep, sweep_profiles
-from repro.crawler.retry import RetryPolicy
+from repro.crawler.retry import RetriesExhausted, RetryPolicy
 from repro.crawler.session import CrawlSession
 from repro.crawler.storefront import catalog_arrays, crawl_storefront
 from repro.crawler.throttle import PolitePacer
@@ -39,6 +39,26 @@ class CrawlResult:
     dataset: SteamDataset
     requests_made: int
     sweep: ProfileSweep
+    #: Physical transport attempts, retries included (>= requests_made;
+    #: this is what an API-key budget is charged for).
+    attempts: int = 0
+    #: Transient failures that were retried (rate limits, 5xx, timeouts,
+    #: malformed payloads) across all phases.
+    retries: int = 0
+    #: Identifiers skipped after retries kept failing, by phase
+    #: (graceful degradation; only populated with ``skip_failed=True``).
+    skipped: dict = field(default_factory=dict)
+    #: Faults injected by the transport, by kind — populated when the
+    #: transport is a :class:`~repro.steamapi.faults.FaultInjectingTransport`.
+    injected_faults: dict = field(default_factory=dict)
+
+    @property
+    def n_skipped(self) -> int:
+        return sum(len(v) for v in self.skipped.values())
+
+    @property
+    def n_injected_faults(self) -> int:
+        return sum(self.injected_faults.values())
 
 
 def _assemble_accounts(sweep: ProfileSweep) -> AccountTable:
@@ -116,6 +136,8 @@ def _assemble_groups(
     n_users: int,
     catalog_appids: np.ndarray,
     label_top_n: int,
+    checkpoint: CrawlCheckpoint | None = None,
+    skip_failed: bool = False,
 ) -> GroupTable:
     """Memberships -> group table; top groups labelled via page scrape."""
     if len(details.member_group):
@@ -134,9 +156,17 @@ def _assemble_groups(
     sizes = members.counts()
     top = np.argsort(-sizes, kind="stable")[: min(label_top_n, n_groups)]
     for g in top:
-        payload = session.get(
-            "/community/group", gid=GROUP_ID_BASE + int(g)
-        )["group"]
+        try:
+            payload = session.get(
+                "/community/group", gid=GROUP_ID_BASE + int(g)
+            )["group"]
+        except RetriesExhausted:
+            if not skip_failed:
+                raise
+            # Graceful degradation: the group keeps its default label.
+            if checkpoint is not None:
+                checkpoint.record_failure("groups", GROUP_ID_BASE + int(g))
+            continue
         group_type[g] = payload["type"]
         focus_appid = payload.get("focus_appid")
         if focus_appid is not None:
@@ -187,7 +217,9 @@ def run_full_crawl(
     clock=None,
     sleeper=None,
     stop_after_empty: int = 100,
-) -> SteamDataset:
+    retry: RetryPolicy | None = None,
+    skip_failed: bool = False,
+) -> CrawlResult:
     """Run all crawl phases and assemble the dataset.
 
     ``advertised_rate`` defaults to effectively-unlimited so that
@@ -197,6 +229,18 @@ def run_full_crawl(
 
     ``snapshot2`` may carry the second-crawl aggregates forward (the
     repeat crawl is byte-identical mechanics, so it is not replayed).
+
+    ``retry`` overrides the retry policy (e.g. to enable seeded full
+    jitter for a chaos run); ``skip_failed`` turns persistent per-item
+    failures into logged skips instead of an aborted crawl — the skip
+    log lands in the checkpoint's ``extra`` and on the returned
+    :class:`CrawlResult`.
+
+    When a transient failure does escape mid-phase as
+    :class:`~repro.crawler.retry.RetriesExhausted` (``skip_failed``
+    off), every phase first persists its cursor *and* partial harvest
+    into the checkpoint, so re-invoking ``run_full_crawl`` with the same
+    checkpoint resumes losslessly.
     """
     from repro import constants
 
@@ -206,22 +250,32 @@ def run_full_crawl(
         clock=clock,
         sleeper=sleeper or (lambda s: None),
     )
-    session = CrawlSession(
-        transport=transport, pacer=pacer, retry=RetryPolicy(sleeper=sleeper or (lambda s: None))
-    )
+    if retry is None:
+        retry = RetryPolicy(sleeper=sleeper or (lambda s: None))
+    session = CrawlSession(transport=transport, pacer=pacer, retry=retry)
+    # Track skips even when the caller brings no checkpoint file.
+    if checkpoint is None and skip_failed:
+        checkpoint = CrawlCheckpoint()
 
     sweep = sweep_profiles(
-        session, checkpoint=checkpoint, stop_after_empty=stop_after_empty
+        session,
+        checkpoint=checkpoint,
+        stop_after_empty=stop_after_empty,
+        skip_failed=skip_failed,
     )
     accounts = _assemble_accounts(sweep)
 
-    catalog_crawl = crawl_storefront(session, checkpoint=checkpoint)
+    catalog_crawl = crawl_storefront(
+        session, checkpoint=checkpoint, skip_failed=skip_failed
+    )
     columns = catalog_arrays(catalog_crawl)
     genre_names = columns.pop("genre_names")
     catalog = CatalogTable(genre_names=tuple(genre_names), **columns)
 
     steamids = sweep.offsets + constants.STEAMID_BASE
-    details = crawl_details(session, steamids, checkpoint=checkpoint)
+    details = crawl_details(
+        session, steamids, checkpoint=checkpoint, skip_failed=skip_failed
+    )
     friends = _assemble_friends(
         details, sweep.offsets, constants.STEAMID_BASE
     )
@@ -234,11 +288,14 @@ def run_full_crawl(
         sweep.n_accounts,
         catalog.appid.astype(np.int64),
         label_top_groups,
+        checkpoint=checkpoint,
+        skip_failed=skip_failed,
     )
     ach_crawl = crawl_achievements(
         session,
         [int(a) for a in catalog.appid],
         checkpoint=checkpoint,
+        skip_failed=skip_failed,
     )
     achievements = _assemble_achievements(
         ach_crawl.rates_by_appid, catalog.appid.astype(np.int64)
@@ -258,4 +315,10 @@ def run_full_crawl(
         dataset=dataset,
         requests_made=session.requests_made,
         sweep=sweep,
+        attempts=session.attempts,
+        retries=session.retries,
+        skipped=dict(checkpoint.failures()) if checkpoint else {},
+        injected_faults=dict(
+            getattr(transport, "fault_counts", None) or {}
+        ),
     )

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from repro import constants
 from repro.crawler.retry import RetryPolicy
 from repro.crawler.throttle import PolitePacer
+from repro.steamapi.errors import ApiError, RateLimitedError
 from repro.steamapi.service import DEFAULT_API_KEY
 from repro.steamapi.transport import Transport
 
@@ -36,13 +37,36 @@ class CrawlSession:
     pacer: PolitePacer
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     api_key: str = DEFAULT_API_KEY
+    #: Logical API calls (one per ``get``, however many retries inside).
     requests_made: int = 0
+    #: Physical transport attempts, retries included — what an API-key
+    #: budget actually gets charged for.
+    attempts: int = 0
+
+    def __post_init__(self) -> None:
+        # Propagate rate-limit pushback from the retry loop into the
+        # pacer, so subsequent requests (and co-tenants of the pacer)
+        # also slow down instead of immediately re-tripping the limit.
+        if self.retry.on_retry is None:
+            self.retry.on_retry = self._observe_retry
+
+    def _observe_retry(self, exc: ApiError, delay: float) -> None:
+        if isinstance(exc, RateLimitedError):
+            self.pacer.penalize(exc.retry_after)
+
+    @property
+    def retries(self) -> int:
+        """Total retried failures seen by this session's policy."""
+        return self.retry.retries
 
     def get(self, path: str, **params) -> dict:
         """One paced, retried API request."""
         self.pacer.pace()
         params.setdefault("key", self.api_key)
         self.requests_made += 1
-        return self.retry.call(
-            lambda: self.transport.request(path, params)
-        )
+
+        def attempt() -> dict:
+            self.attempts += 1
+            return self.transport.request(path, params)
+
+        return self.retry.call(attempt)

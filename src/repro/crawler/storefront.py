@@ -4,19 +4,28 @@ The paper fetched every product's storefront payload (genres, type,
 price, Metacritic, release date) one app per request, voluntarily paced
 at one request per two seconds.  App IDs come from the unpublicized
 ``GetAppList`` endpoint.
+
+Resilience mirrors the other phases: the raw storefront entries are
+stashed in the checkpoint alongside the cursor, so an aborted catalog
+crawl resumes losslessly; ``skip_failed=True`` logs-and-skips apps that
+keep failing after retries.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.crawler.checkpoint import CrawlCheckpoint
+from repro.crawler.retry import RetriesExhausted
 from repro.crawler.session import CrawlSession
 from repro.steamapi.models import AppDetails
 
 __all__ = ["CatalogCrawl", "crawl_storefront"]
+
+PHASE = "storefront"
 
 
 @dataclass
@@ -42,26 +51,63 @@ def crawl_storefront(
     session: CrawlSession,
     checkpoint: CrawlCheckpoint | None = None,
     checkpoint_every: int = 500,
+    skip_failed: bool = False,
 ) -> CatalogCrawl:
     """Fetch the app list, then every product's storefront payload."""
-    applist = session.get("/ISteamApps/GetAppList/v2")["applist"]["apps"]
-    appids = sorted(int(app["appid"]) for app in applist)
+    # Raw (appid, entry) payloads: JSON-stashable, rebuilt into
+    # AppDetails at the end, so resume reconstructs identical parses.
+    harvest: list[list] = []
+    start = 0
 
-    details: list[AppDetails] = []
-    start = checkpoint.storefront_cursor if checkpoint else 0
-    for position in range(start, len(appids)):
-        appid = appids[position]
-        payload = session.get("/appdetails", appids=appid)
-        entry = payload[str(appid)]
-        if entry.get("success"):
-            details.append(AppDetails.from_json(appid, entry))
-        if checkpoint and (position + 1) % checkpoint_every == 0:
-            checkpoint.storefront_cursor = position + 1
-            checkpoint.save()
-    if checkpoint:
-        checkpoint.storefront_cursor = len(appids)
+    if checkpoint is not None:
+        start = checkpoint.storefront_cursor
+        state = checkpoint.unstash(PHASE)
+        if state is not None:
+            harvest = [list(item) for item in state["entries"]]
+        elif start > 0 and not checkpoint.is_done(PHASE):
+            warnings.warn(
+                "storefront checkpoint has a cursor but no stashed "
+                "harvest; apps fetched before the restart are lost",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def snapshot(cursor: int, done: bool = False) -> None:
+        if checkpoint is None:
+            return
+        checkpoint.storefront_cursor = cursor
+        checkpoint.stash(PHASE, {"entries": list(harvest)})
+        if done:
+            checkpoint.mark_done(PHASE)
         checkpoint.save()
-    return CatalogCrawl(details=details)
+
+    if checkpoint is None or not checkpoint.is_done(PHASE):
+        applist = session.get("/ISteamApps/GetAppList/v2")["applist"]["apps"]
+        appids = sorted(int(app["appid"]) for app in applist)
+        for position in range(start, len(appids)):
+            appid = appids[position]
+            try:
+                payload = session.get("/appdetails", appids=appid)
+            except RetriesExhausted:
+                if not skip_failed:
+                    snapshot(position)  # resume retries this app
+                    raise
+                if checkpoint is not None:
+                    checkpoint.record_failure(PHASE, appid)
+                continue
+            entry = payload[str(appid)]
+            if entry.get("success"):
+                harvest.append([appid, entry])
+            if checkpoint and (position + 1) % checkpoint_every == 0:
+                snapshot(position + 1)
+        snapshot(len(appids), done=True)
+
+    return CatalogCrawl(
+        details=[
+            AppDetails.from_json(int(appid), entry)
+            for appid, entry in harvest
+        ]
+    )
 
 
 def catalog_arrays(crawl: CatalogCrawl) -> dict[str, np.ndarray]:

@@ -39,6 +39,21 @@ class PolitePacer:
         self._next_allowed = self._clock()
         self.total_waited = 0.0
         self.total_requests = 0
+        self.total_penalties = 0
+
+    def penalize(self, seconds: float) -> None:
+        """Push the next request slot out by an explicit server hint.
+
+        Called when the API answers 429 with ``Retry-After``: every
+        consumer of this pacer (not just the request that got limited)
+        backs off, which is how a polite crawler treats server pushback.
+        """
+        if seconds <= 0:
+            return
+        self._next_allowed = max(
+            self._next_allowed, self._clock() + seconds
+        )
+        self.total_penalties += 1
 
     def pace(self) -> float:
         """Block until the next request slot; returns the wait incurred."""

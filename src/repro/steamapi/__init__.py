@@ -22,9 +22,16 @@ genuine network path.
 from repro.steamapi.errors import (
     ApiError,
     BadRequestError,
+    MalformedResponseError,
     NotFoundError,
     RateLimitedError,
+    RequestTimeoutError,
     UnauthorizedError,
+)
+from repro.steamapi.faults import (
+    FaultInjectingTransport,
+    FaultPlan,
+    FaultSpec,
 )
 from repro.steamapi.ratelimit import TokenBucket
 from repro.steamapi.service import SteamApiService
@@ -39,5 +46,10 @@ __all__ = [
     "BadRequestError",
     "NotFoundError",
     "RateLimitedError",
+    "RequestTimeoutError",
+    "MalformedResponseError",
     "UnauthorizedError",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjectingTransport",
 ]

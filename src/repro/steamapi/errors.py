@@ -9,6 +9,8 @@ __all__ = [
     "NotFoundError",
     "PrivateProfileError",
     "RateLimitedError",
+    "RequestTimeoutError",
+    "MalformedResponseError",
     "error_for_status",
 ]
 
@@ -57,6 +59,28 @@ class RateLimitedError(ApiError):
         self.retry_after = retry_after
 
 
+class RequestTimeoutError(ApiError):
+    """The request ran out of time in flight; transient, retryable."""
+
+    status = 408
+
+
+class MalformedResponseError(ApiError):
+    """The response body was not valid JSON (truncated mid-transfer,
+    proxy garbage, ...); transient, retryable.
+
+    ``body`` optionally carries the broken raw bytes, which lets the
+    fault-injecting HTTP server replay the truncation over a real
+    socket.
+    """
+
+    status = 502
+
+    def __init__(self, message: str = "", body: bytes | None = None) -> None:
+        super().__init__(message)
+        self.body = body
+
+
 _BY_STATUS = {
     cls.status: cls
     for cls in (
@@ -65,6 +89,8 @@ _BY_STATUS = {
         NotFoundError,
         PrivateProfileError,
         RateLimitedError,
+        RequestTimeoutError,
+        MalformedResponseError,
     )
 }
 

@@ -7,7 +7,12 @@ import urllib.error
 import urllib.parse
 import urllib.request
 
-from repro.steamapi.errors import ApiError, RateLimitedError, error_for_status
+from repro.steamapi.errors import (
+    ApiError,
+    MalformedResponseError,
+    RateLimitedError,
+    error_for_status,
+)
 
 __all__ = ["HttpTransport"]
 
@@ -26,7 +31,15 @@ class HttpTransport:
         url = f"{self.base_url}{path}?{query}"
         try:
             with urllib.request.urlopen(url, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
+                raw = resp.read()
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                # Truncated mid-transfer or proxy garbage: retryable,
+                # never hand undecodable bytes to the crawler.
+                raise MalformedResponseError(
+                    f"invalid JSON body ({len(raw)} bytes): {exc}"
+                ) from None
         except urllib.error.HTTPError as exc:
             message = ""
             retry_after = 1.0

@@ -3,6 +3,13 @@
 Stdlib only (ThreadingHTTPServer).  Typed API errors map to HTTP status
 codes; rate-limit errors carry a ``Retry-After`` header, which the
 crawler's backoff honours.
+
+Passing a :class:`~repro.steamapi.faults.FaultPlan` to :func:`serve`
+puts a :class:`~repro.steamapi.faults.FaultInjectingTransport` in front
+of the service, so chaos testing also covers the genuine network path:
+injected truncations are sent as real broken bytes on the socket (a 200
+response whose body is not valid JSON), which the HTTP client must
+detect and surface as a retryable error.
 """
 
 from __future__ import annotations
@@ -13,13 +20,19 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.steamapi.errors import ApiError, RateLimitedError
+from repro.steamapi.errors import (
+    ApiError,
+    MalformedResponseError,
+    RateLimitedError,
+)
+from repro.steamapi.faults import FaultInjectingTransport, FaultPlan
 from repro.steamapi.service import SteamApiService
+from repro.steamapi.transport import InProcessTransport
 
 __all__ = ["ApiHttpServer", "serve"]
 
 
-def _make_handler(service: SteamApiService):
+def _make_handler(dispatch):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
@@ -30,17 +43,28 @@ def _make_handler(service: SteamApiService):
                 for name, values in parse_qs(parsed.query).items()
             }
             try:
-                payload = service.dispatch(parsed.path, params)
+                payload = dispatch(parsed.path, params)
                 body = json.dumps(payload).encode("utf-8")
                 self._reply(200, body)
+            except MalformedResponseError as exc:
+                if exc.body is not None:
+                    # Injected truncation: ship the broken bytes as a
+                    # "successful" response, exactly like a connection
+                    # dropped mid-transfer behind a buffering proxy.
+                    self._reply(200, exc.body)
+                else:
+                    self._reply_error(exc)
             except ApiError as exc:
-                body = json.dumps(
-                    {"error": exc.__class__.__name__, "message": exc.message}
-                ).encode("utf-8")
-                extra = {}
-                if isinstance(exc, RateLimitedError):
-                    extra["Retry-After"] = f"{exc.retry_after:.3f}"
-                self._reply(exc.status, body, extra)
+                self._reply_error(exc)
+
+        def _reply_error(self, exc: ApiError) -> None:
+            body = json.dumps(
+                {"error": exc.__class__.__name__, "message": exc.message}
+            ).encode("utf-8")
+            extra = {}
+            if isinstance(exc, RateLimitedError):
+                extra["Retry-After"] = f"{exc.retry_after:.3f}"
+            self._reply(exc.status, body, extra)
 
         def _reply(
             self, status: int, body: bytes, extra: dict | None = None
@@ -65,6 +89,9 @@ class ApiHttpServer:
 
     server: ThreadingHTTPServer
     thread: threading.Thread
+    #: Present when the server was started with a fault plan; exposes
+    #: the injected-fault counters.
+    faults: FaultInjectingTransport | None = None
 
     @property
     def base_url(self) -> str:
@@ -84,10 +111,24 @@ class ApiHttpServer:
 
 
 def serve(
-    service: SteamApiService, host: str = "127.0.0.1", port: int = 0
+    service: SteamApiService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fault_plan: FaultPlan | None = None,
 ) -> ApiHttpServer:
-    """Start serving on a background thread; port 0 picks a free port."""
-    server = ThreadingHTTPServer((host, port), _make_handler(service))
+    """Start serving on a background thread; port 0 picks a free port.
+
+    ``fault_plan`` injects deterministic failures server-side (see
+    :mod:`repro.steamapi.faults`).
+    """
+    faults: FaultInjectingTransport | None = None
+    dispatch = service.dispatch
+    if fault_plan is not None:
+        faults = FaultInjectingTransport(
+            InProcessTransport(service), fault_plan
+        )
+        dispatch = faults.request
+    server = ThreadingHTTPServer((host, port), _make_handler(dispatch))
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    return ApiHttpServer(server=server, thread=thread)
+    return ApiHttpServer(server=server, thread=thread, faults=faults)

@@ -8,6 +8,10 @@ raise the same typed errors, so the crawler is transport-agnostic:
 - :class:`HttpTransport` (:mod:`repro.steamapi.http_client`) speaks real
   JSON-over-HTTP to a localhost server, exercising a genuine network
   path.
+
+Either transport can be wrapped in a
+:class:`~repro.steamapi.faults.FaultInjectingTransport` to chaos-test
+the crawler's retry / checkpoint machinery deterministically.
 """
 
 from __future__ import annotations

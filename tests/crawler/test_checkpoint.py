@@ -1,5 +1,9 @@
 """Resumable crawl checkpoints."""
 
+import json
+
+import pytest
+
 from repro.crawler.checkpoint import CrawlCheckpoint
 
 
@@ -39,3 +43,81 @@ class TestCheckpoint:
         second.save()
         assert CrawlCheckpoint.load(path).profile_cursor == 2
         assert not (tmp_path / "state.tmp").exists()
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        """save() is atomic: after it returns, only the final file exists."""
+        path = tmp_path / "state.json"
+        checkpoint = CrawlCheckpoint.load(path)
+        for cursor in range(5):
+            checkpoint.profile_cursor = cursor
+            checkpoint.save()
+            assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+            assert json.loads(path.read_text())  # always complete JSON
+
+
+class TestCrashRecovery:
+    def test_truncated_file_falls_back_fresh(self, tmp_path):
+        """A crash mid-write (simulated: partial JSON) must not brick
+        the crawl — load warns and starts fresh."""
+        path = tmp_path / "state.json"
+        good = CrawlCheckpoint.load(path)
+        good.detail_cursor = 999
+        good.save()
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # torn write
+
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            recovered = CrawlCheckpoint.load(path)
+        assert recovered.detail_cursor == 0
+        assert recovered.path == path
+        recovered.save()  # and it can checkpoint again afterwards
+        assert CrawlCheckpoint.load(path).detail_cursor == 0
+
+    def test_garbage_file_falls_back_fresh(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_bytes(b"\x00\xff not json at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            checkpoint = CrawlCheckpoint.load(path)
+        assert checkpoint.profile_cursor == 0
+
+    def test_non_object_json_falls_back_fresh(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            checkpoint = CrawlCheckpoint.load(path)
+        assert checkpoint.extra == {}
+
+
+class TestPhaseState:
+    def test_stash_roundtrip(self, tmp_path):
+        path = tmp_path / "state.json"
+        checkpoint = CrawlCheckpoint.load(path)
+        checkpoint.stash("details", {"edge_a": [1, 2], "n_private": 3})
+        checkpoint.mark_done("profiles")
+        checkpoint.save()
+
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.unstash("details") == {
+            "edge_a": [1, 2],
+            "n_private": 3,
+        }
+        assert loaded.unstash("storefront") is None
+        assert loaded.is_done("profiles")
+        assert not loaded.is_done("details")
+
+    def test_failure_log(self, tmp_path):
+        path = tmp_path / "state.json"
+        checkpoint = CrawlCheckpoint.load(path)
+        checkpoint.record_failure("details", 76561197960265729)
+        checkpoint.record_failure("details", 76561197960265731)
+        checkpoint.record_failure("storefront", 440)
+        checkpoint.save()
+
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.failures("details") == [
+            76561197960265729,
+            76561197960265731,
+        ]
+        assert loaded.failures("storefront") == [440]
+        assert loaded.failures("achievements") == []
+        assert loaded.n_failures == 3

@@ -65,9 +65,38 @@ class TestProfileSweep:
         )
         checkpoint = CrawlCheckpoint.load(tmp_path / "cp.json")
         full = sweep_profiles(session, checkpoint=checkpoint)
-        # Resuming from the saved cursor finds nothing new.
+        before = session.requests_made
+        # Re-running a completed phase replays the stashed harvest:
+        # identical result, zero additional API calls.
         resumed = sweep_profiles(session, checkpoint=checkpoint)
-        assert resumed.n_accounts < full.n_accounts
+        assert session.requests_made == before
+        assert resumed.n_accounts == full.n_accounts
+        assert np.array_equal(resumed.offsets, full.offsets)
+
+    def test_checkpoint_resume_from_disk(self, small_world, tmp_path):
+        """A fresh process (fresh session) resumes losslessly from disk."""
+        service = SteamApiService.from_world(small_world)
+
+        def fresh_session():
+            return CrawlSession(
+                transport=InProcessTransport(service),
+                pacer=PolitePacer(1e9, sleeper=lambda s: None),
+            )
+
+        path = tmp_path / "cp.json"
+        full = sweep_profiles(fresh_session(), checkpoint=None)
+        # First run stops early; second run resumes and must end up
+        # with the same harvest as an uninterrupted sweep.
+        first = CrawlCheckpoint.load(path)
+        sweep_profiles(
+            fresh_session(), checkpoint=first, max_offset=2_000
+        )
+        assert first.profile_cursor >= 2_000
+        resumed = sweep_profiles(
+            fresh_session(), checkpoint=CrawlCheckpoint.load(path)
+        )
+        assert np.array_equal(resumed.offsets, full.offsets)
+        assert np.array_equal(resumed.created_day, full.created_day)
 
 
 class TestDetailCrawl:

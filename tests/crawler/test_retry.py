@@ -76,3 +76,69 @@ class TestRetryPolicy:
         with pytest.raises(RetriesExhausted):
             policy.call(flaky)
         assert flaky.calls == 3
+
+    def test_no_sleep_after_final_attempt(self):
+        """The last failure raises immediately — sleeping first would
+        just delay the RetriesExhausted for nothing."""
+        policy, sleeps = self._policy(max_attempts=3)
+        with pytest.raises(RetriesExhausted):
+            policy.call(Flaky(10))
+        assert len(sleeps) == 2  # attempts 1 and 2 slept; attempt 3 raised
+
+    def test_exhausted_carries_last_error(self):
+        policy, _ = self._policy(max_attempts=2)
+        original = RateLimitedError("storm", retry_after=3.0)
+        with pytest.raises(RetriesExhausted) as info:
+            policy.call(Flaky(10, original))
+        assert info.value.last is original
+
+    def test_counters(self):
+        policy, _ = self._policy(max_attempts=3)
+        policy.call(Flaky(2))
+        assert policy.retries == 2
+        assert policy.exhausted == 0
+        with pytest.raises(RetriesExhausted):
+            policy.call(Flaky(10))
+        assert policy.retries == 4  # two more sleeps before giving up
+        assert policy.exhausted == 1
+
+
+class TestJitter:
+    def test_full_jitter_bounded_by_backoff(self):
+        import random
+
+        sleeps = []
+        policy = RetryPolicy(
+            sleeper=sleeps.append,
+            backoff_base=1.0,
+            jitter=True,
+            rng=random.Random(42),
+        )
+        policy.call(Flaky(3))
+        assert len(sleeps) == 3
+        for attempt, slept in enumerate(sleeps):
+            assert 0.0 <= slept <= 1.0 * 2.0**attempt
+
+    def test_jitter_deterministic_per_seed(self):
+        import random
+
+        def run(seed):
+            sleeps = []
+            policy = RetryPolicy(
+                sleeper=sleeps.append, jitter=True, rng=random.Random(seed)
+            )
+            policy.call(Flaky(4))
+            return sleeps
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_rate_limit_hint_not_jittered(self):
+        import random
+
+        sleeps = []
+        policy = RetryPolicy(
+            sleeper=sleeps.append, jitter=True, rng=random.Random(0)
+        )
+        policy.call(Flaky(1, RateLimitedError("429", retry_after=7.5)))
+        assert sleeps == [7.5]  # the server's hint is authoritative

@@ -94,3 +94,59 @@ class TestHttpRoundTrip:
         transport = HttpTransport("http://127.0.0.1:9", timeout=0.5)
         with pytest.raises(ApiError):
             transport.request("/ISteamApps/GetAppList/v2", {"key": "x"})
+
+
+class TestHttpChaos:
+    """Server-side fault injection over the genuine network path."""
+
+    def test_truncated_body_surfaces_as_malformed(self, small_world):
+        from repro.steamapi.errors import MalformedResponseError
+        from repro.steamapi.faults import FaultPlan, FaultSpec
+
+        service = SteamApiService.from_world(small_world)
+        plan = FaultPlan(seed=4, default=FaultSpec(malformed=1.0))
+        with serve(service, fault_plan=plan) as running:
+            transport = HttpTransport(running.base_url)
+            with pytest.raises(MalformedResponseError):
+                transport.request(
+                    "/ISteamApps/GetAppList/v2", {"key": DEFAULT_API_KEY}
+                )
+            assert running.faults.fault_counts["malformed"] == 1
+
+    def test_detail_crawl_survives_http_chaos(self, small_world):
+        """The retry stack makes a chaotic HTTP crawl land the same
+        harvest as a clean in-process crawl."""
+        import numpy as np
+
+        from repro.crawler.details import crawl_details
+        from repro.crawler.retry import RetryPolicy
+        from repro.crawler.session import CrawlSession
+        from repro.crawler.throttle import PolitePacer
+        from repro.steamapi.faults import FaultPlan
+        from repro.steamapi.transport import InProcessTransport
+
+        def session(transport):
+            return CrawlSession(
+                transport=transport,
+                pacer=PolitePacer(1e9, sleeper=lambda s: None),
+                retry=RetryPolicy(
+                    sleeper=lambda s: None, max_attempts=10, jitter=True
+                ),
+            )
+
+        service = SteamApiService.from_world(small_world)
+        steamids = small_world.dataset.accounts.steamids()[:60]
+        clean = crawl_details(
+            session(InProcessTransport(service)), steamids
+        )
+
+        plan = FaultPlan.uniform(0.15, seed=21)
+        with serve(service, fault_plan=plan) as running:
+            harvest = crawl_details(
+                session(HttpTransport(running.base_url)), steamids
+            )
+            assert running.faults.total_injected > 0
+        assert np.array_equal(harvest.edge_a, clean.edge_a)
+        assert np.array_equal(harvest.lib_appid, clean.lib_appid)
+        assert np.array_equal(harvest.lib_total_min, clean.lib_total_min)
+        assert np.array_equal(harvest.member_group, clean.member_group)

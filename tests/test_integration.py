@@ -53,21 +53,26 @@ class TestEndToEndAgreement:
 
     def test_same_seed_reports_identical_across_processes(self):
         """The whole pipeline is a pure function of (n_users, seed)."""
+        import os
         import subprocess
         import sys
 
+        # sha256 of the rendered report is hash-randomization-proof,
+        # and inheriting os.environ keeps PYTHONPATH (and thus the
+        # ``repro`` import) working both installed and from-source.
         script = (
+            "import hashlib;"
             "from repro import SteamStudy;"
             "r = SteamStudy.generate(n_users=2000, seed=17)"
             ".run(include_table4=False, include_week_panel=False);"
-            "print(hash(r.render()))"
+            "print(hashlib.sha256(r.render().encode()).hexdigest())"
         )
         outputs = {
             subprocess.run(
                 [sys.executable, "-c", script],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": "0"},
+                env={**os.environ, "PYTHONHASHSEED": "0"},
                 check=True,
             ).stdout
             for _ in range(2)
