@@ -15,6 +15,7 @@ import pytest
 
 from repro import SteamWorld, WorldConfig
 from repro.crawler.retry import RetryPolicy
+from repro.obs import bench_metric
 from repro.crawler.runner import run_full_crawl
 from repro.steamapi.faults import FaultInjectingTransport, FaultPlan
 from repro.steamapi.service import SteamApiService
@@ -29,7 +30,9 @@ def fault_world():
     return SteamWorld.generate(WorldConfig(n_users=8_000, seed=31))
 
 
-def test_throughput_vs_fault_rate(benchmark, fault_world, record, tmp_path):
+def test_throughput_vs_fault_rate(
+    benchmark, fault_world, record, record_json, tmp_path
+):
     service = SteamApiService.from_world(fault_world)
 
     def crawl(rate: float):
@@ -86,6 +89,33 @@ def test_throughput_vs_fault_rate(benchmark, fault_world, record, tmp_path):
             assert result.n_injected_faults > 0
             assert result.retries >= result.n_injected_faults
     record("crawler_fault_throughput", lines)
+    json_metrics = []
+    for rate in FAULT_RATES:
+        result, elapsed = runs[rate]
+        tag = f"rate_{int(rate * 100):02d}"
+        json_metrics.extend(
+            [
+                bench_metric(f"{tag}_attempts", result.attempts, "requests"),
+                bench_metric(
+                    f"{tag}_injected_faults",
+                    result.n_injected_faults,
+                    "faults",
+                ),
+                bench_metric(f"{tag}_retries", result.retries, "retries"),
+                bench_metric(f"{tag}_seconds", round(elapsed, 4), "s"),
+                bench_metric(
+                    f"{tag}_slowdown",
+                    round(elapsed / clean_elapsed, 2),
+                    "x",
+                ),
+            ]
+        )
+    record_json(
+        "crawler_faults",
+        json_metrics,
+        seed=31,
+        n_users=fault_world.config.n_users,
+    )
 
     # Attempt inflation grows with the fault rate (every retry repeats
     # the transport request), and stays within sanity bounds.

@@ -12,6 +12,7 @@ import pathlib
 import pytest
 
 from repro import SteamStudy, SteamWorld, WorldConfig
+from repro.obs.benchjson import write_bench_json
 
 BENCH_USERS = 150_000
 BENCH_SEED = 1603
@@ -46,3 +47,21 @@ def record():
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write machine-readable ``BENCH_<name>.json`` telemetry.
+
+    Companion to ``record``: the text file is for humans, the JSON file
+    (metric name/value/unit plus world seed/scale and git revision) is
+    for CI artifact collection and cross-run comparison.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record_json(name, metrics, *, seed=None, n_users=None):
+        return write_bench_json(
+            RESULTS_DIR, name, metrics, seed=seed, n_users=n_users
+        )
+
+    return _record_json

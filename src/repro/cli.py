@@ -8,6 +8,11 @@ Commands
 - ``crawl``    — re-collect a generated world through the simulated API
   (optionally over real localhost HTTP) and save the crawled dataset.
 - ``serve``    — expose a generated world as a Steam-Web-API HTTP server.
+- ``obs``      — observability utilities (``obs summarize <snapshot>``).
+
+``generate``, ``analyze``, and ``crawl`` accept ``--metrics-out PATH``
+to save a JSON metrics/span snapshot of the run (see :mod:`repro.obs`);
+``serve`` exposes live Prometheus metrics at ``GET /metrics``.
 """
 
 from __future__ import annotations
@@ -16,7 +21,9 @@ import argparse
 import sys
 import time
 
+from repro import __version__
 from repro.core.study import SteamStudy
+from repro.obs import Obs
 from repro.simworld.config import WorldConfig
 from repro.simworld.world import SteamWorld
 from repro.store.io import load_dataset, save_dataset
@@ -31,9 +38,30 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1603, help="world seed")
 
 
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a JSON metrics/span snapshot of this run to PATH",
+    )
+
+
+def _make_obs(args: argparse.Namespace) -> Obs | None:
+    return Obs() if getattr(args, "metrics_out", None) else None
+
+
+def _finish_obs(obs: Obs | None, args: argparse.Namespace) -> None:
+    if obs is not None:
+        path = obs.write(args.metrics_out)
+        print(f"metrics snapshot written to {path}")
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
     t0 = time.time()
-    world = SteamWorld.generate(WorldConfig(n_users=args.users, seed=args.seed))
+    world = SteamWorld.generate(
+        WorldConfig(n_users=args.users, seed=args.seed), obs=obs
+    )
     path = save_dataset(world.dataset, args.output)
     summary = world.dataset.summary()
     print(f"generated {args.users:,} accounts in {time.time() - t0:.1f}s")
@@ -43,15 +71,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"groups={summary['groups']:,.0f}"
     )
     print(f"saved dataset to {path}")
+    _finish_obs(obs, args)
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
     if args.dataset:
         study = SteamStudy.from_dataset(load_dataset(args.dataset))
     else:
-        study = SteamStudy.generate(n_users=args.users, seed=args.seed)
-    report = study.run(include_table4=not args.skip_table4)
+        study = SteamStudy.generate(
+            n_users=args.users, seed=args.seed, obs=obs
+        )
+    report = study.run(include_table4=not args.skip_table4, obs=obs)
     text = report.render()
     if args.figures:
         text += "\n\n" + report.render_figures()
@@ -61,11 +93,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    _finish_obs(obs, args)
     return 0
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
-    study = SteamStudy.generate(n_users=args.users, seed=args.seed)
+    obs = _make_obs(args)
+    study = SteamStudy.generate(n_users=args.users, seed=args.seed, obs=obs)
     t0 = time.time()
     if args.http:
         from repro.crawler.runner import run_full_crawl
@@ -73,16 +107,17 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         from repro.steamapi.http_server import serve
         from repro.steamapi.service import SteamApiService
 
-        service = SteamApiService.from_world(study.world)
-        with serve(service) as server:
+        service = SteamApiService.from_world(study.world, obs=obs)
+        with serve(service, obs=obs) as server:
             result = run_full_crawl(
                 HttpTransport(server.base_url),
                 snapshot2=study.dataset.snapshot2,
+                obs=obs,
             )
         crawled = SteamStudy(world=study.world, _dataset=result.dataset)
         requests = result.requests_made
     else:
-        crawled = study.crawl()
+        crawled = study.crawl(obs=obs)
         requests = -1
     elapsed = time.time() - t0
     path = save_dataset(crawled.dataset, args.output)
@@ -93,6 +128,7 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         + (f" ({requests:,} requests)" if requests >= 0 else "")
     )
     print(f"saved crawled dataset to {path}")
+    _finish_obs(obs, args)
     return 0
 
 
@@ -129,21 +165,45 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
     from repro.steamapi.http_server import serve
     from repro.steamapi.service import SteamApiService
 
+    if not args.quiet:
+        logging.basicConfig(
+            level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+        )
+    obs = Obs()
     world = SteamWorld.generate(WorldConfig(n_users=args.users, seed=args.seed))
-    service = SteamApiService.from_world(world)
-    server = serve(service, port=args.port)
+    service = SteamApiService.from_world(world, obs=obs)
+    server = serve(
+        service, port=args.port, obs=obs, access_log=not args.quiet
+    )
     print(f"Steam Web API simulator listening on {server.base_url}")
     print("endpoints: /ISteamUser/GetPlayerSummaries/v2, "
           "/ISteamUser/GetFriendList/v1, /IPlayerService/GetOwnedGames/v1, ...")
+    print(f"Prometheus metrics at {server.base_url}/metrics")
     print("press Ctrl-C to stop")
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
         server.close()
+    return 0
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import console_summary
+
+    with open(args.snapshot, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        print(f"error: {args.snapshot} is not a metrics snapshot")
+        return 1
+    print(console_summary(snapshot), end="")
     return 0
 
 
@@ -155,11 +215,17 @@ def build_parser() -> argparse.ArgumentParser:
             "of Gamer Behavior' (IMC 2016)"
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_gen = sub.add_parser("generate", help="generate a synthetic world")
     _add_world_args(p_gen)
     p_gen.add_argument("--output", default="steam_world.npz")
+    _add_metrics_arg(p_gen)
     p_gen.set_defaults(func=_cmd_generate)
 
     p_an = sub.add_parser("analyze", help="run all tables and figures")
@@ -176,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append ASCII renderings of the figures",
     )
+    _add_metrics_arg(p_an)
     p_an.set_defaults(func=_cmd_analyze)
 
     p_cr = sub.add_parser("crawl", help="re-collect via the simulated API")
@@ -186,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="crawl over a real localhost HTTP server",
     )
+    _add_metrics_arg(p_cr)
     p_cr.set_defaults(func=_cmd_crawl)
 
     p_ex = sub.add_parser(
@@ -207,7 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sv = sub.add_parser("serve", help="run the API simulator over HTTP")
     _add_world_args(p_sv)
     p_sv.add_argument("--port", type=int, default=8790)
+    p_sv.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
+    )
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_sum = obs_sub.add_parser(
+        "summarize", help="pretty-print a saved metrics snapshot"
+    )
+    p_sum.add_argument("snapshot", help="path to a --metrics-out JSON file")
+    p_sum.set_defaults(func=_cmd_obs_summarize)
     return parser
 
 

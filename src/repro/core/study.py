@@ -46,6 +46,7 @@ from repro.core import (
 )
 from repro.core import weekpanel as panel_mod
 from repro.core.report import StudyReport
+from repro.obs import Obs, maybe_span
 from repro.simworld.config import WorldConfig
 from repro.simworld.world import SteamWorld
 from repro.store.dataset import SteamDataset
@@ -66,11 +67,12 @@ class SteamStudy:
         n_users: int = 100_000,
         seed: int = 1603,
         config: WorldConfig | None = None,
+        obs: Obs | None = None,
     ) -> "SteamStudy":
         """Build a synthetic world at the requested scale."""
         if config is None:
             config = WorldConfig(n_users=n_users, seed=seed)
-        world = SteamWorld.generate(config)
+        world = SteamWorld.generate(config, obs=obs)
         return cls(world=world, _dataset=world.dataset)
 
     @classmethod
@@ -106,44 +108,93 @@ class SteamStudy:
         include_table4: bool = True,
         include_week_panel: bool = True,
         table4_max_tail: int = 60_000,
+        obs: Obs | None = None,
     ) -> StudyReport:
-        """Compute every table and figure."""
+        """Compute every table and figure.
+
+        ``obs`` records one span per analysis stage under an
+        ``analyze`` root (see :mod:`repro.obs`).
+        """
         ds = self._dataset
-        table4 = (
-            dist_mod.classify_distributions(ds, max_tail=table4_max_tail)
-            if include_table4
-            else None
-        )
-        week_panel = None
-        if include_week_panel and self.world is not None:
-            week_panel = panel_mod.analyze_week_panel(self.world.week_panel())
-        sec8 = (
-            evo_mod.snapshot_comparison(ds) if ds.snapshot2 is not None else None
-        )
-        sec9 = (
-            ach_mod.achievement_report(ds)
-            if ds.achievements is not None
-            else None
-        )
-        return StudyReport(
-            summary=ds.summary(),
-            table1=social_mod.country_table(ds),
-            table2=groups_mod.group_type_table(ds),
-            table3=pct_mod.percentile_table(ds),
-            table4=table4,
-            fig1_evolution=social_mod.network_evolution(ds),
-            fig2_degrees=social_mod.degree_distributions(ds),
-            fig3_group_games=groups_mod.distinct_games_played(ds),
-            fig4_ownership=own_mod.ownership_distribution(ds),
-            fig5_genre_ownership=own_mod.genre_ownership(ds),
-            fig6_playtime_cdf=exp_mod.playtime_cdf(ds),
-            fig7_twoweek=exp_mod.twoweek_nonzero(ds),
-            fig8_market_value=exp_mod.market_value_distribution(ds),
-            fig9_genre_expenditure=exp_mod.genre_expenditure(ds),
-            fig10_multiplayer=mp_mod.multiplayer_share(ds),
-            fig11_homophily=homo_mod.homophily(ds),
-            sec7_cross_correlations=homo_mod.cross_correlations(ds),
-            sec8_evolution=sec8,
-            sec9_achievements=sec9,
-            fig12_week_panel=week_panel,
-        )
+
+        def staged(name, fn, *args, **kwargs):
+            with maybe_span(obs, f"analyze:{name}"):
+                return fn(*args, **kwargs)
+
+        with maybe_span(obs, "analyze", n_users=ds.n_users):
+            table4 = (
+                staged(
+                    "table4_classification",
+                    dist_mod.classify_distributions,
+                    ds,
+                    max_tail=table4_max_tail,
+                )
+                if include_table4
+                else None
+            )
+            week_panel = None
+            if include_week_panel and self.world is not None:
+                week_panel = staged(
+                    "fig12_week_panel",
+                    lambda: panel_mod.analyze_week_panel(
+                        self.world.week_panel()
+                    ),
+                )
+            sec8 = (
+                staged("sec8_evolution", evo_mod.snapshot_comparison, ds)
+                if ds.snapshot2 is not None
+                else None
+            )
+            sec9 = (
+                staged("sec9_achievements", ach_mod.achievement_report, ds)
+                if ds.achievements is not None
+                else None
+            )
+            return StudyReport(
+                summary=staged("summary", ds.summary),
+                table1=staged("table1_countries", social_mod.country_table, ds),
+                table2=staged("table2_groups", groups_mod.group_type_table, ds),
+                table3=staged(
+                    "table3_percentiles", pct_mod.percentile_table, ds
+                ),
+                table4=table4,
+                fig1_evolution=staged(
+                    "fig1_evolution", social_mod.network_evolution, ds
+                ),
+                fig2_degrees=staged(
+                    "fig2_degrees", social_mod.degree_distributions, ds
+                ),
+                fig3_group_games=staged(
+                    "fig3_group_games", groups_mod.distinct_games_played, ds
+                ),
+                fig4_ownership=staged(
+                    "fig4_ownership", own_mod.ownership_distribution, ds
+                ),
+                fig5_genre_ownership=staged(
+                    "fig5_genre_ownership", own_mod.genre_ownership, ds
+                ),
+                fig6_playtime_cdf=staged(
+                    "fig6_playtime_cdf", exp_mod.playtime_cdf, ds
+                ),
+                fig7_twoweek=staged(
+                    "fig7_twoweek", exp_mod.twoweek_nonzero, ds
+                ),
+                fig8_market_value=staged(
+                    "fig8_market_value", exp_mod.market_value_distribution, ds
+                ),
+                fig9_genre_expenditure=staged(
+                    "fig9_genre_expenditure", exp_mod.genre_expenditure, ds
+                ),
+                fig10_multiplayer=staged(
+                    "fig10_multiplayer", mp_mod.multiplayer_share, ds
+                ),
+                fig11_homophily=staged(
+                    "fig11_homophily", homo_mod.homophily, ds
+                ),
+                sec7_cross_correlations=staged(
+                    "sec7_cross_correlations", homo_mod.cross_correlations, ds
+                ),
+                sec8_evolution=sec8,
+                sec9_achievements=sec9,
+                fig12_week_panel=week_panel,
+            )

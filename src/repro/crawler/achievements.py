@@ -81,6 +81,12 @@ def crawl_achievements(
                     raise
                 if checkpoint is not None:
                     checkpoint.record_failure(PHASE, appid)
+                if session.obs is not None:
+                    session.obs.counter(
+                        "crawler_skipped",
+                        "Identifiers skipped after persistent failures",
+                        ("phase",),
+                    ).inc(phase=PHASE)
                 continue
             entries = payload["achievementpercentages"]["achievements"]
             harvest.append(

@@ -31,6 +31,8 @@ import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import Obs
+
 __all__ = ["CrawlCheckpoint"]
 
 
@@ -48,9 +50,13 @@ class CrawlCheckpoint:
     #: Number of apps whose achievements were fetched.
     achievements_cursor: int = 0
     extra: dict = field(default_factory=dict)
+    #: Observability hook (never persisted); times save/load.
+    obs: Obs | None = field(default=None, repr=False, compare=False)
 
     @classmethod
-    def load(cls, path: str | Path) -> "CrawlCheckpoint":
+    def load(
+        cls, path: str | Path, obs: Obs | None = None
+    ) -> "CrawlCheckpoint":
         """Load a checkpoint, or start fresh when the file is absent.
 
         A file that exists but does not parse as a JSON object (partial
@@ -58,8 +64,9 @@ class CrawlCheckpoint:
         with a warning — losing crawl progress beats refusing to crawl.
         """
         path = Path(path)
+        start = obs.clock() if obs is not None else 0.0
         if not path.exists():
-            return cls(path=path)
+            return cls(path=path, obs=obs)
         try:
             with open(path, encoding="utf-8") as handle:
                 data = json.load(handle)
@@ -71,20 +78,28 @@ class CrawlCheckpoint:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return cls(path=path)
-        return cls(
+            return cls(path=path, obs=obs)
+        checkpoint = cls(
             path=path,
             profile_cursor=data.get("profile_cursor", 0),
             detail_cursor=data.get("detail_cursor", 0),
             storefront_cursor=data.get("storefront_cursor", 0),
             achievements_cursor=data.get("achievements_cursor", 0),
             extra=data.get("extra", {}),
+            obs=obs,
         )
+        if obs is not None:
+            obs.histogram(
+                "crawler_checkpoint_load_seconds",
+                "Time spent loading the crawl checkpoint",
+            ).observe(obs.clock() - start)
+        return checkpoint
 
     def save(self) -> None:
         """Atomically persist the cursors (no-op when path is unset)."""
         if self.path is None:
             return
+        start = self.obs.clock() if self.obs is not None else 0.0
         payload = {
             "profile_cursor": self.profile_cursor,
             "detail_cursor": self.detail_cursor,
@@ -96,6 +111,14 @@ class CrawlCheckpoint:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp, self.path)
+        if self.obs is not None:
+            self.obs.histogram(
+                "crawler_checkpoint_save_seconds",
+                "Time spent persisting the crawl checkpoint",
+            ).observe(self.obs.clock() - start)
+            self.obs.counter(
+                "crawler_checkpoint_saves", "Checkpoint writes performed"
+            ).inc()
 
     # -- phase state ----------------------------------------------------------
 

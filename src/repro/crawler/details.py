@@ -122,6 +122,11 @@ def crawl_details(
                     )["friendslist"]["friends"]
                 except PrivateProfileError:
                     n_private += 1
+                    if session.obs is not None:
+                        session.obs.counter(
+                            "crawler_private_profiles",
+                            "Accounts whose detail endpoints were private",
+                        ).inc()
                     continue
                 for record in friends:
                     other = int(record["steamid"])
@@ -162,6 +167,12 @@ def crawl_details(
                 n_skipped += 1
                 if checkpoint is not None:
                     checkpoint.record_failure(PHASE, steamid)
+                if session.obs is not None:
+                    session.obs.counter(
+                        "crawler_skipped",
+                        "Identifiers skipped after persistent failures",
+                        ("phase",),
+                    ).inc(phase=PHASE)
                 continue
 
             for name, values in staged.items():

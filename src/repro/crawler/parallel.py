@@ -20,6 +20,7 @@ from repro.crawler.details import DetailCrawl, crawl_details
 from repro.crawler.retry import RetryPolicy
 from repro.crawler.session import CrawlSession
 from repro.crawler.throttle import PolitePacer
+from repro.obs import Obs, maybe_span
 from repro.steamapi.transport import Transport
 
 __all__ = ["crawl_details_parallel", "merge_detail_crawls"]
@@ -65,6 +66,7 @@ def crawl_details_parallel(
     api_keys: list[str] | None = None,
     retry_jitter_seed: int | None = None,
     skip_failed: bool = False,
+    obs: Obs | None = None,
 ) -> DetailCrawl:
     """Crawl per-user details with ``n_workers`` concurrent sessions.
 
@@ -77,6 +79,11 @@ def crawl_details_parallel(
     (but deterministic) RNG per worker, so workers that trip the same
     rate limit don't retry in lockstep.  ``skip_failed`` forwards the
     graceful-degradation mode to each shard crawl.
+
+    ``obs`` is shared across workers: metric series aggregate over the
+    whole fleet (the registry is thread-safe), and each shard runs
+    under its own ``phase:details_shard`` span carrying ``shard`` and
+    ``accounts`` attributes.
     """
     if n_workers < 1:
         raise ValueError("need at least one worker")
@@ -95,10 +102,19 @@ def crawl_details_parallel(
                 advertised_rate, politeness, sleeper=lambda s: None
             ),
             retry=retry,
+            obs=obs,
         )
         if api_keys:
             session.api_key = api_keys[index % len(api_keys)]
-        return crawl_details(session, shards[index], skip_failed=skip_failed)
+        with maybe_span(
+            obs,
+            "phase:details_shard",
+            shard=index,
+            accounts=len(shards[index]),
+        ):
+            return crawl_details(
+                session, shards[index], skip_failed=skip_failed
+            )
 
     with concurrent.futures.ThreadPoolExecutor(n_workers) as pool:
         results = list(pool.map(work, range(n_workers)))

@@ -162,6 +162,12 @@ def sweep_profiles(
                 # neither the hit list nor the empty run.
                 if checkpoint is not None:
                     checkpoint.record_failure(PHASE, cursor)
+                if session.obs is not None:
+                    session.obs.counter(
+                        "crawler_skipped",
+                        "Identifiers skipped after persistent failures",
+                        ("phase",),
+                    ).inc(phase=PHASE)
                 cursor += batch_size
                 windows_done += 1
                 continue

@@ -14,6 +14,7 @@ from repro.crawler.retry import RetriesExhausted, RetryPolicy
 from repro.crawler.session import CrawlSession
 from repro.crawler.storefront import catalog_arrays, crawl_storefront
 from repro.crawler.throttle import PolitePacer
+from repro.obs import Obs, maybe_span
 from repro.steamapi.models import GROUP_ID_BASE
 from repro.steamapi.transport import Transport
 from repro.store.dataset import DatasetMeta, SteamDataset
@@ -166,6 +167,12 @@ def _assemble_groups(
             # Graceful degradation: the group keeps its default label.
             if checkpoint is not None:
                 checkpoint.record_failure("groups", GROUP_ID_BASE + int(g))
+            if session.obs is not None:
+                session.obs.counter(
+                    "crawler_skipped",
+                    "Identifiers skipped after persistent failures",
+                    ("phase",),
+                ).inc(phase="groups")
             continue
         group_type[g] = payload["type"]
         focus_appid = payload.get("focus_appid")
@@ -219,6 +226,7 @@ def run_full_crawl(
     stop_after_empty: int = 100,
     retry: RetryPolicy | None = None,
     skip_failed: bool = False,
+    obs: Obs | None = None,
 ) -> CrawlResult:
     """Run all crawl phases and assemble the dataset.
 
@@ -241,6 +249,12 @@ def run_full_crawl(
     off), every phase first persists its cursor *and* partial harvest
     into the checkpoint, so re-invoking ``run_full_crawl`` with the same
     checkpoint resumes losslessly.
+
+    ``obs`` turns on observability (see :mod:`repro.obs`): per-endpoint
+    request counters and latency histograms, retry/backoff/skip
+    counters, checkpoint-save timings, a live throughput gauge, and a
+    span per crawl phase.  ``None`` (the default) keeps the hot path
+    instrumentation-free.
     """
     from repro import constants
 
@@ -252,65 +266,86 @@ def run_full_crawl(
     )
     if retry is None:
         retry = RetryPolicy(sleeper=sleeper or (lambda s: None))
-    session = CrawlSession(transport=transport, pacer=pacer, retry=retry)
+    session = CrawlSession(
+        transport=transport, pacer=pacer, retry=retry, obs=obs
+    )
     # Track skips even when the caller brings no checkpoint file.
     if checkpoint is None and skip_failed:
         checkpoint = CrawlCheckpoint()
+    if checkpoint is not None and obs is not None and checkpoint.obs is None:
+        checkpoint.obs = obs
 
-    sweep = sweep_profiles(
-        session,
-        checkpoint=checkpoint,
-        stop_after_empty=stop_after_empty,
-        skip_failed=skip_failed,
-    )
-    accounts = _assemble_accounts(sweep)
+    with maybe_span(obs, "crawl"):
+        with maybe_span(obs, "phase:profiles"):
+            sweep = sweep_profiles(
+                session,
+                checkpoint=checkpoint,
+                stop_after_empty=stop_after_empty,
+                skip_failed=skip_failed,
+            )
+        if obs is not None:
+            obs.gauge(
+                "crawler_accounts_discovered",
+                "Valid accounts found by the phase-1 sweep",
+            ).set(sweep.n_accounts)
+        with maybe_span(obs, "assemble:accounts"):
+            accounts = _assemble_accounts(sweep)
 
-    catalog_crawl = crawl_storefront(
-        session, checkpoint=checkpoint, skip_failed=skip_failed
-    )
-    columns = catalog_arrays(catalog_crawl)
-    genre_names = columns.pop("genre_names")
-    catalog = CatalogTable(genre_names=tuple(genre_names), **columns)
+        with maybe_span(obs, "phase:storefront"):
+            catalog_crawl = crawl_storefront(
+                session, checkpoint=checkpoint, skip_failed=skip_failed
+            )
+            columns = catalog_arrays(catalog_crawl)
+            genre_names = columns.pop("genre_names")
+            catalog = CatalogTable(genre_names=tuple(genre_names), **columns)
 
-    steamids = sweep.offsets + constants.STEAMID_BASE
-    details = crawl_details(
-        session, steamids, checkpoint=checkpoint, skip_failed=skip_failed
-    )
-    friends = _assemble_friends(
-        details, sweep.offsets, constants.STEAMID_BASE
-    )
-    library = _assemble_library(
-        details, sweep.n_accounts, catalog.appid.astype(np.int64)
-    )
-    groups = _assemble_groups(
-        session,
-        details,
-        sweep.n_accounts,
-        catalog.appid.astype(np.int64),
-        label_top_groups,
-        checkpoint=checkpoint,
-        skip_failed=skip_failed,
-    )
-    ach_crawl = crawl_achievements(
-        session,
-        [int(a) for a in catalog.appid],
-        checkpoint=checkpoint,
-        skip_failed=skip_failed,
-    )
-    achievements = _assemble_achievements(
-        ach_crawl.rates_by_appid, catalog.appid.astype(np.int64)
-    )
+        steamids = sweep.offsets + constants.STEAMID_BASE
+        with maybe_span(obs, "phase:details", accounts=len(steamids)):
+            details = crawl_details(
+                session,
+                steamids,
+                checkpoint=checkpoint,
+                skip_failed=skip_failed,
+            )
+        with maybe_span(obs, "assemble:friends_library"):
+            friends = _assemble_friends(
+                details, sweep.offsets, constants.STEAMID_BASE
+            )
+            library = _assemble_library(
+                details, sweep.n_accounts, catalog.appid.astype(np.int64)
+            )
+        with maybe_span(obs, "phase:groups"):
+            groups = _assemble_groups(
+                session,
+                details,
+                sweep.n_accounts,
+                catalog.appid.astype(np.int64),
+                label_top_groups,
+                checkpoint=checkpoint,
+                skip_failed=skip_failed,
+            )
+        with maybe_span(obs, "phase:achievements"):
+            ach_crawl = crawl_achievements(
+                session,
+                [int(a) for a in catalog.appid],
+                checkpoint=checkpoint,
+                skip_failed=skip_failed,
+            )
+            achievements = _assemble_achievements(
+                ach_crawl.rates_by_appid, catalog.appid.astype(np.int64)
+            )
 
-    dataset = SteamDataset(
-        accounts=accounts,
-        friends=friends,
-        groups=groups,
-        catalog=catalog,
-        library=library,
-        achievements=achievements,
-        snapshot2=snapshot2,
-        meta=DatasetMeta(scale_note="assembled by crawler"),
-    )
+        with maybe_span(obs, "assemble:dataset"):
+            dataset = SteamDataset(
+                accounts=accounts,
+                friends=friends,
+                groups=groups,
+                catalog=catalog,
+                library=library,
+                achievements=achievements,
+                snapshot2=snapshot2,
+                meta=DatasetMeta(scale_note="assembled by crawler"),
+            )
     return CrawlResult(
         dataset=dataset,
         requests_made=session.requests_made,

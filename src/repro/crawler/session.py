@@ -8,9 +8,10 @@ from dataclasses import dataclass, field
 from repro import constants
 from repro.crawler.retry import RetryPolicy
 from repro.crawler.throttle import PolitePacer
+from repro.obs import Obs
 from repro.steamapi.errors import ApiError, RateLimitedError
 from repro.steamapi.service import DEFAULT_API_KEY
-from repro.steamapi.transport import Transport
+from repro.steamapi.transport import Transport, endpoint_label
 
 __all__ = ["CrawlSession", "unix_to_day"]
 
@@ -22,6 +23,9 @@ _UNIX_LAUNCH = int(
         tzinfo=dt.timezone.utc,
     ).timestamp()
 )
+
+#: How often (in logical requests) the live-throughput gauge updates.
+_THROUGHPUT_EVERY = 500
 
 
 def unix_to_day(timestamp: int) -> int:
@@ -42,6 +46,8 @@ class CrawlSession:
     #: Physical transport attempts, retries included — what an API-key
     #: budget actually gets charged for.
     attempts: int = 0
+    #: Observability hook; ``None`` keeps the hot path untouched.
+    obs: Obs | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         # Propagate rate-limit pushback from the retry loop into the
@@ -49,15 +55,67 @@ class CrawlSession:
         # also slow down instead of immediately re-tripping the limit.
         if self.retry.on_retry is None:
             self.retry.on_retry = self._observe_retry
+        if self.obs is not None:
+            reg = self.obs.registry
+            self._m_requests = reg.counter(
+                "steamapi_requests",
+                "Logical API requests by endpoint",
+                ("endpoint",),
+            )
+            self._m_latency = reg.histogram(
+                "steamapi_request_seconds",
+                "API request latency by endpoint (retries included)",
+                labelnames=("endpoint",),
+            )
+            # Pre-bound per-path metric handles (label validation and
+            # endpoint_label run once per distinct path, not per call).
+            self._endpoint_handles = {}
+            self._m_attempts = reg.counter(
+                "steamapi_attempts",
+                "Physical transport attempts (retries included)",
+            ).labels()
+            self._m_retried = reg.counter(
+                "crawler_retries",
+                "Retried transient failures by error kind",
+                ("kind",),
+            )
+            self._m_ratelimited = reg.counter(
+                "steamapi_rate_limited",
+                "Rate-limit rejections seen by the crawler",
+            )
+            self._m_backoff = reg.counter(
+                "crawler_backoff_sleep_seconds",
+                "Total seconds of retry backoff sleep requested",
+            )
+            self._m_throughput = reg.gauge(
+                "crawler_requests_per_second",
+                f"Live crawl throughput (updated every "
+                f"{_THROUGHPUT_EVERY} requests)",
+            )
+            self._t0 = self.obs.clock()
 
     def _observe_retry(self, exc: ApiError, delay: float) -> None:
         if isinstance(exc, RateLimitedError):
             self.pacer.penalize(exc.retry_after)
+        if self.obs is not None:
+            self._m_retried.inc(kind=exc.__class__.__name__)
+            self._m_backoff.inc(delay)
+            if isinstance(exc, RateLimitedError):
+                self._m_ratelimited.inc()
 
     @property
     def retries(self) -> int:
         """Total retried failures seen by this session's policy."""
         return self.retry.retries
+
+    def _bind_endpoint(self, path: str):
+        label = endpoint_label(path)
+        handles = (
+            self._m_requests.labels(endpoint=label),
+            self._m_latency.labels(endpoint=label),
+        )
+        self._endpoint_handles[path] = handles
+        return handles
 
     def get(self, path: str, **params) -> dict:
         """One paced, retried API request."""
@@ -69,4 +127,23 @@ class CrawlSession:
             self.attempts += 1
             return self.transport.request(path, params)
 
-        return self.retry.call(attempt)
+        if self.obs is None:
+            return self.retry.call(attempt)
+
+        handles = self._endpoint_handles.get(path)
+        if handles is None:
+            handles = self._bind_endpoint(path)
+        m_requests, m_latency = handles
+        clock = self.obs.clock
+        attempts_before = self.attempts
+        start = clock()
+        try:
+            return self.retry.call(attempt)
+        finally:
+            m_latency.observe(clock() - start)
+            m_requests.inc()
+            self._m_attempts.inc(self.attempts - attempts_before)
+            if self.requests_made % _THROUGHPUT_EVERY == 0:
+                elapsed = clock() - self._t0
+                if elapsed > 0:
+                    self._m_throughput.set(self.requests_made / elapsed)

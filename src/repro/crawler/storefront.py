@@ -94,6 +94,12 @@ def crawl_storefront(
                     raise
                 if checkpoint is not None:
                     checkpoint.record_failure(PHASE, appid)
+                if session.obs is not None:
+                    session.obs.counter(
+                        "crawler_skipped",
+                        "Identifiers skipped after persistent failures",
+                        ("phase",),
+                    ).inc(phase=PHASE)
                 continue
             entry = payload[str(appid)]
             if entry.get("success"):

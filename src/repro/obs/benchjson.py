@@ -1,0 +1,68 @@
+"""Machine-readable benchmark telemetry: ``BENCH_<name>.json``.
+
+Benchmarks historically wrote human-readable text into
+``benchmarks/results/``; that reads well but can't be diffed or
+plotted across PRs.  :func:`write_bench_json` writes a structured
+companion file so the perf trajectory is trackable: every metric
+carries a name, value, and unit, and the document records the world
+seed/scale and the git revision it was measured at.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+__all__ = ["git_rev", "bench_metric", "write_bench_json"]
+
+
+def git_rev(cwd: str | Path | None = None) -> str:
+    """The current git commit (short), or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def bench_metric(name: str, value, unit: str) -> dict:
+    """One benchmark measurement (``seconds``, ``requests``, ``ratio``...)."""
+    return {"name": name, "value": value, "unit": unit}
+
+
+def write_bench_json(
+    results_dir: str | Path,
+    name: str,
+    metrics: list[dict],
+    *,
+    seed: int | None = None,
+    n_users: int | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` into ``results_dir`` and return its path."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    for metric in metrics:
+        missing = {"name", "value", "unit"} - set(metric)
+        if missing:
+            raise ValueError(f"metric missing fields {sorted(missing)}")
+    payload = {
+        "schema_version": 1,
+        "benchmark": name,
+        "git_rev": git_rev(results_dir),
+        "world": {"seed": seed, "n_users": n_users},
+        "metrics": metrics,
+    }
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

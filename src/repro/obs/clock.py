@@ -1,0 +1,52 @@
+"""Pluggable monotonic clocks for the observability subsystem.
+
+Every timestamp the obs layer records — span start/end, latency
+histogram samples, checkpoint-save timings — comes from a single
+injectable clock, so tests can substitute :class:`FakeClock` and get
+*byte-identical* metric snapshots across runs (the determinism
+contract in DESIGN.md §7).  Production code uses
+:func:`time.monotonic` by default.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "FakeClock", "system_clock"]
+
+#: A clock is any zero-argument callable returning monotonic seconds.
+Clock = "Callable[[], float]"
+
+
+def system_clock() -> float:
+    """The production clock: :func:`time.monotonic`."""
+    return time.monotonic()
+
+
+class FakeClock:
+    """A deterministic manual clock.
+
+    Each read returns the current time and then advances it by
+    ``tick`` (0 by default — the clock stands still until
+    :meth:`advance` is called).  A non-zero tick gives every timing
+    site a distinct, reproducible timestamp: two runs that make the
+    same sequence of clock reads see the same times, which is what
+    makes metric snapshots byte-comparable.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        self.now = float(start)
+        self.tick = float(tick)
+        self.reads = 0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        self.reads += 1
+        return value
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward explicitly (e.g. to model a sleep)."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self.now += seconds

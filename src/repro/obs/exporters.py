@@ -1,0 +1,141 @@
+"""Exporters: Prometheus text, JSON snapshots, console summaries.
+
+All three render the same deterministic snapshot data:
+
+- :func:`to_prometheus` — the text exposition format a Prometheus
+  scraper expects from ``GET /metrics``;
+- :func:`to_json` — a stable (sorted-keys, fixed-indent) JSON document
+  of metrics plus span tree, suitable for byte-comparison in tests and
+  for ``--metrics-out``;
+- :func:`console_summary` — the human-readable digest printed by
+  ``obs summarize``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json", "console_summary"]
+
+_SNAPSHOT_VERSION = 1
+
+
+def _prom_sample(name, labelnames, labelvalues, value, extra=()):
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if pairs:
+        body = ",".join(f'{k}="{v}"' for k, v in pairs)
+        return f"{name}{{{body}}} {_prom_num(value)}"
+    return f"{name} {_prom_num(value)}"
+
+
+def _prom_num(value) -> str:
+    as_float = float(value)
+    if as_float == int(as_float):
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        snap = metric.snapshot()
+        if snap["help"]:
+            lines.append(f"# HELP {metric.name} {snap['help']}")
+        lines.append(f"# TYPE {metric.name} {snap['kind']}")
+        names = snap["labelnames"]
+        if snap["kind"] in ("counter", "gauge"):
+            suffix = "_total" if snap["kind"] == "counter" else ""
+            for series in snap["series"]:
+                lines.append(
+                    _prom_sample(
+                        metric.name + suffix,
+                        names,
+                        series["labels"],
+                        series["value"],
+                    )
+                )
+        else:  # histogram
+            bounds = [*snap["bounds"], "+Inf"]
+            for series in snap["series"]:
+                running = 0
+                for bound, count in zip(bounds, series["buckets"]):
+                    running += count
+                    lines.append(
+                        _prom_sample(
+                            metric.name + "_bucket",
+                            names,
+                            series["labels"],
+                            running,
+                            extra=[("le", bound)],
+                        )
+                    )
+                lines.append(
+                    _prom_sample(
+                        metric.name + "_sum",
+                        names,
+                        series["labels"],
+                        series["sum"],
+                    )
+                )
+                lines.append(
+                    _prom_sample(
+                        metric.name + "_count",
+                        names,
+                        series["labels"],
+                        series["count"],
+                    )
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snapshot: dict) -> str:
+    """Serialize an :meth:`Obs.snapshot` dict with a stable layout."""
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def console_summary(snapshot: dict) -> str:
+    """Human-readable digest of a saved metrics snapshot."""
+    lines: list[str] = ["== metrics =="]
+    metrics = snapshot.get("metrics", {})
+    if not metrics:
+        lines.append("  (none)")
+    for name in sorted(metrics):
+        snap = metrics[name]
+        kind = snap["kind"]
+        for series in snap["series"]:
+            label = ""
+            if series["labels"]:
+                pairs = zip(snap["labelnames"], series["labels"])
+                label = "{" + ",".join(f"{k}={v}" for k, v in pairs) + "}"
+            key = f"{name}{label}"
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"  {key:<58} {_fmt_value(series['value']):>14}"
+                )
+            else:
+                count = series["count"]
+                mean = series["sum"] / count if count else 0.0
+                lines.append(
+                    f"  {key:<58} count={count:,} "
+                    f"mean={mean:.6f}s total={series['sum']:.3f}s"
+                )
+    spans = snapshot.get("span_totals", {})
+    lines.append("== spans ==")
+    if not spans:
+        lines.append("  (none)")
+    for name in sorted(spans):
+        entry = spans[name]
+        lines.append(
+            f"  {name:<40} x{entry['count']:<6,} "
+            f"{entry['total_seconds']:.3f}s"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,340 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is built for hot paths: recording a sample is one lock
+acquisition plus a dict update, with no allocation beyond the label
+tuple.  All state is held as plain numbers so a snapshot is a pure
+read — and snapshots are *deterministic*: metric names, label names,
+and label values are emitted in sorted order, so two runs that made
+the same sequence of recordings serialize to identical bytes.
+
+Metrics are identified by name and an optional tuple of label names;
+samples carry matching label values (``counter.inc(endpoint="GetFriendList")``).
+Re-requesting a metric with the same name returns the existing
+instance (get-or-create), so instrumentation sites don't need to
+coordinate.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Upper bounds (seconds) for latency histograms: 1 ms .. 30 s, then +Inf.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+def _label_key(
+    labelnames: tuple[str, ...], labels: dict[str, object]
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {labelnames}, got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Shared plumbing: name, help text, label names, lock."""
+
+    kind = "metric"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _sorted_items(self, values: dict) -> list:
+        return sorted(values.items())
+
+
+class _BoundCounter:
+    """A counter pre-resolved to one label set.
+
+    Skips per-call label validation and key hashing — the fast path
+    for hot loops that hit the same series thousands of times (see
+    ``Counter.labels``).  The box (a one-element list) is the live
+    storage cell inside the parent metric, so updates are visible to
+    snapshots immediately.
+    """
+
+    __slots__ = ("_lock", "_box")
+
+    def __init__(self, metric: "Counter", key: tuple[str, ...]) -> None:
+        self._lock = metric._lock
+        with metric._lock:
+            self._box = metric._values.setdefault(key, [0.0])
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        lock = self._lock
+        lock.acquire()
+        self._box[0] += amount
+        lock.release()
+
+
+class _BoundHistogram:
+    """A histogram pre-resolved to one label set (see ``Histogram.labels``)."""
+
+    __slots__ = ("_buckets", "_lock", "_cells")
+
+    def __init__(self, metric: "Histogram", key: tuple[str, ...]) -> None:
+        self._buckets = metric.buckets
+        self._lock = metric._lock
+        with metric._lock:
+            cells = metric._values.get(key)
+            if cells is None:
+                cells = metric._values[key] = metric._new_cells()
+            self._cells = cells
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._buckets, value)
+        cells = self._cells
+        lock = self._lock
+        lock.acquire()
+        cells[index] += 1
+        cells[-2] += value
+        cells[-1] += 1
+        lock.release()
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (requests, faults, retries)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        #: key -> [value] (boxed so bound children can update in place)
+        self._values: dict[tuple[str, ...], list[float]] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            box = self._values.get(key)
+            if box is None:
+                self._values[key] = [amount]
+            else:
+                box[0] += amount
+
+    def labels(self, **labels) -> _BoundCounter:
+        """Bind a label set once; the child's ``inc`` skips validation."""
+        return _BoundCounter(self, _label_key(self.labelnames, labels))
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            box = self._values.get(key)
+            return box[0] if box else 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": list(key), "value": box[0]}
+                for key, box in self._sorted_items(self._values)
+            ]
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": series,
+        }
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (live throughput, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": list(key), "value": value}
+                for key, value in self._sorted_items(self._values)
+            ]
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": series,
+        }
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative buckets, Prometheus-style).
+
+    ``buckets`` are the finite upper bounds; an implicit +Inf bucket
+    catches the rest.  Per label set we keep ``len(buckets) + 1``
+    bucket counts plus a running sum and count — `observe` is a
+    bisect plus three updates.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS, labelnames=()
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.buckets = bounds
+        #: key -> [bucket_counts..., +Inf count, sum, count]
+        self._values: dict[tuple[str, ...], list[float]] = {}
+
+    def _new_cells(self) -> list[float]:
+        return [0.0] * (len(self.buckets) + 3)
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            cells = self._values.get(key)
+            if cells is None:
+                cells = self._values[key] = self._new_cells()
+            cells[index] += 1
+            cells[-2] += value
+            cells[-1] += 1
+
+    def labels(self, **labels) -> _BoundHistogram:
+        """Bind a label set once; the child's ``observe`` skips validation."""
+        return _BoundHistogram(self, _label_key(self.labelnames, labels))
+
+    def count(self, **labels) -> int:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            cells = self._values.get(key)
+            return int(cells[-1]) if cells else 0
+
+    def sum(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            cells = self._values.get(key)
+            return cells[-2] if cells else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = []
+            for key, cells in self._sorted_items(self._values):
+                series.append(
+                    {
+                        "labels": list(key),
+                        "buckets": [int(c) for c in cells[: len(self.buckets) + 1]],
+                        "sum": cells[-2],
+                        "count": int(cells[-1]),
+                    }
+                )
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "bounds": list(self.buckets),
+            "series": series,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create, one lock for registration only.
+
+    Sample recording locks per-metric, not on the registry, so hot
+    paths on different metrics never contend.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._get_or_create(
+            Counter, name, help, labelnames=labelnames
+        )
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+        labelnames=(),
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, buckets=buckets, labelnames=labelnames
+        )
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> list[_Metric]:
+        """All registered metrics, sorted by name (deterministic)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> dict:
+        """Deterministic nested-dict view of every metric."""
+        return {m.name: m.snapshot() for m in self.metrics()}

@@ -1,0 +1,112 @@
+"""Nested span tracing on a pluggable monotonic clock.
+
+A :class:`Tracer` records a tree of named spans — crawl phases,
+generation stages, analysis sections — each with start/end times from
+the injected clock and optional attributes.  Spans nest via a
+per-thread stack, so ``with tracer.span("crawl"): with
+tracer.span("phase:profiles"): ...`` produces the obvious tree.
+
+Determinism contract: with a :class:`~repro.obs.clock.FakeClock`, the
+snapshot of a single-threaded run is a pure function of the sequence
+of spans opened — byte-identical across runs.  Multi-threaded use is
+safe (each thread grows its own root list, merged sorted by start
+time at snapshot), but interleaving-dependent ordering is only
+deterministic when the clock makes start times distinct per thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed, possibly-nested unit of work."""
+
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict; attribute keys sorted for determinism."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+            "children": [c.snapshot() for c in self.children],
+        }
+
+
+class Tracer:
+    """Collects span trees; cheap enough to leave on in hot paths."""
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock or time.monotonic
+        self._local = threading.local()
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span; nests under the thread's current span."""
+        span = Span(name=name, start=self._clock(), attrs=dict(attrs))
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            stack.pop()
+
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return sorted(self._roots, key=lambda s: (s.start, s.name))
+
+    def snapshot(self) -> list[dict]:
+        """The span forest as JSON-ready dicts, ordered by start time."""
+        return [span.snapshot() for span in self.roots()]
+
+    def aggregate(self) -> dict[str, dict]:
+        """Per-name totals (count, total duration), sorted by name.
+
+        The flat rollup a console summary wants: how many times did
+        each span run and how long did it take in total.
+        """
+        totals: dict[str, dict] = {}
+
+        def visit(span: Span) -> None:
+            entry = totals.setdefault(
+                span.name, {"count": 0, "total_seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_seconds"] += span.duration
+            for child in span.children:
+                visit(child)
+
+        for root in self.roots():
+            visit(root)
+        return {name: totals[name] for name in sorted(totals)}

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import constants
+from repro.obs import Obs, maybe_span
 from repro.simworld import accounts as accounts_mod
 from repro.simworld import achievements as ach_mod
 from repro.simworld import catalog as catalog_mod
@@ -49,11 +50,18 @@ class SteamWorld:
     playtimes: playtime_mod.Playtimes = field(repr=False)
 
     @classmethod
-    def generate(cls, config: WorldConfig | None = None, **kwargs) -> "SteamWorld":
+    def generate(
+        cls,
+        config: WorldConfig | None = None,
+        *,
+        obs: Obs | None = None,
+        **kwargs,
+    ) -> "SteamWorld":
         """Generate a world.
 
         Either pass a full :class:`WorldConfig` or keyword overrides for
-        its top-level fields (``n_users=...``, ``seed=...``).
+        its top-level fields (``n_users=...``, ``seed=...``).  ``obs``
+        records a span per generation stage (see :mod:`repro.obs`).
         """
         if config is None:
             config = WorldConfig(**kwargs)
@@ -62,99 +70,120 @@ class SteamWorld:
         seed = config.seed
         n = config.n_users
 
-        geography = geography_mod.build_geography(
-            substream(seed, "geography"), n, config.geography
-        )
-        accounts = accounts_mod.build_accounts(
-            substream(seed, "accounts"), n, config.social
-        )
-        catalog = catalog_mod.build_catalog(
-            substream(seed, "catalog"), config.catalog
-        )
-        latents = draw_latents(substream(seed, "latents"), n, config.factors)
+        with maybe_span(obs, "generate", n_users=n, seed=seed):
+            with maybe_span(obs, "generate:geography"):
+                geography = geography_mod.build_geography(
+                    substream(seed, "geography"), n, config.geography
+                )
+            with maybe_span(obs, "generate:accounts"):
+                accounts = accounts_mod.build_accounts(
+                    substream(seed, "accounts"), n, config.social
+                )
+            with maybe_span(obs, "generate:catalog"):
+                catalog = catalog_mod.build_catalog(
+                    substream(seed, "catalog"), config.catalog
+                )
+            with maybe_span(obs, "generate:latents"):
+                latents = draw_latents(
+                    substream(seed, "latents"), n, config.factors
+                )
 
-        ownership = ownership_mod.build_ownership(
-            substream(seed, "ownership"), latents, catalog, config.ownership
-        )
-        playtimes = playtime_mod.build_playtimes(
-            substream(seed, "playtime"),
-            latents,
-            ownership,
-            catalog,
-            config.ownership,
-            config.playtime,
-        )
-        library = LibraryTable(
-            owned=ownership.owned,
-            total_min=playtimes.total_min,
-            twoweek_min=playtimes.twoweek_min,
-        )
-        value_cents = library.user_value_cents(catalog.table.price_cents)
-        total_min_user = library.user_total_min()
+            with maybe_span(obs, "generate:ownership"):
+                ownership = ownership_mod.build_ownership(
+                    substream(seed, "ownership"),
+                    latents,
+                    catalog,
+                    config.ownership,
+                )
+            with maybe_span(obs, "generate:playtime"):
+                playtimes = playtime_mod.build_playtimes(
+                    substream(seed, "playtime"),
+                    latents,
+                    ownership,
+                    catalog,
+                    config.ownership,
+                    config.playtime,
+                )
+                library = LibraryTable(
+                    owned=ownership.owned,
+                    total_min=playtimes.total_min,
+                    twoweek_min=playtimes.twoweek_min,
+                )
+                value_cents = library.user_value_cents(
+                    catalog.table.price_cents
+                )
+                total_min_user = library.user_total_min()
 
-        friend_graph = friends_mod.build_friends(
-            substream(seed, "friends"),
-            latents,
-            geography,
-            accounts,
-            config.social,
-            ownership.owned_counts,
-            value_cents,
-            total_min_user,
-        )
-        group_table = groups_mod.build_groups(
-            substream(seed, "groups"),
-            latents,
-            ownership,
-            catalog,
-            config.groups,
-            entry_total_min=playtimes.total_min,
-            user_total_min=total_min_user,
-        )
-        achievements = ach_mod.build_achievements(
-            substream(seed, "achievements"), catalog, config.achievements
-        )
-        snapshot2 = evolution_mod.build_snapshot2(
-            substream(seed, "evolution"),
-            latents,
-            ownership,
-            playtimes,
-            value_cents,
-            total_min_user,
-            config.ownership.owned_anchors,
-            config.evolution,
-            config.playtime,
-        )
+            with maybe_span(obs, "generate:friends"):
+                friend_graph = friends_mod.build_friends(
+                    substream(seed, "friends"),
+                    latents,
+                    geography,
+                    accounts,
+                    config.social,
+                    ownership.owned_counts,
+                    value_cents,
+                    total_min_user,
+                )
+            with maybe_span(obs, "generate:groups"):
+                group_table = groups_mod.build_groups(
+                    substream(seed, "groups"),
+                    latents,
+                    ownership,
+                    catalog,
+                    config.groups,
+                    entry_total_min=playtimes.total_min,
+                    user_total_min=total_min_user,
+                )
+            with maybe_span(obs, "generate:achievements"):
+                achievements = ach_mod.build_achievements(
+                    substream(seed, "achievements"),
+                    catalog,
+                    config.achievements,
+                )
+            with maybe_span(obs, "generate:evolution"):
+                snapshot2 = evolution_mod.build_snapshot2(
+                    substream(seed, "evolution"),
+                    latents,
+                    ownership,
+                    playtimes,
+                    value_cents,
+                    total_min_user,
+                    config.ownership.owned_anchors,
+                    config.evolution,
+                    config.playtime,
+                )
 
-        account_table = AccountTable(
-            id_offset=accounts.id_offset,
-            created_day=accounts.created_day,
-            country=geography.reported_country(),
-            city=geography.reported_city(),
-            country_names=geography.country_names,
-        )
-        friend_table = FriendTable(
-            u=friend_graph.u,
-            v=friend_graph.v,
-            day=friend_graph.day,
-            n_users=n,
-        )
-        dataset = SteamDataset(
-            accounts=account_table,
-            friends=friend_table,
-            groups=group_table,
-            catalog=catalog.table,
-            library=library,
-            achievements=achievements,
-            snapshot2=snapshot2,
-            meta=DatasetMeta(
-                seed=seed,
-                scale_note=(
-                    f"synthetic world: {n} accounts "
-                    f"({config.scale_factor:.2e} of paper scale)"
-                ),
-            ),
-        )
+            with maybe_span(obs, "generate:assemble"):
+                account_table = AccountTable(
+                    id_offset=accounts.id_offset,
+                    created_day=accounts.created_day,
+                    country=geography.reported_country(),
+                    city=geography.reported_city(),
+                    country_names=geography.country_names,
+                )
+                friend_table = FriendTable(
+                    u=friend_graph.u,
+                    v=friend_graph.v,
+                    day=friend_graph.day,
+                    n_users=n,
+                )
+                dataset = SteamDataset(
+                    accounts=account_table,
+                    friends=friend_table,
+                    groups=group_table,
+                    catalog=catalog.table,
+                    library=library,
+                    achievements=achievements,
+                    snapshot2=snapshot2,
+                    meta=DatasetMeta(
+                        seed=seed,
+                        scale_note=(
+                            f"synthetic world: {n} accounts "
+                            f"({config.scale_factor:.2e} of paper scale)"
+                        ),
+                    ),
+                )
         return cls(
             config=config,
             dataset=dataset,

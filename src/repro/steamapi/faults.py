@@ -127,9 +127,20 @@ class FaultInjectingTransport:
     - ``total_injected``: grand total.
     """
 
-    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+    def __init__(
+        self, inner: Transport, plan: FaultPlan, obs=None
+    ) -> None:
         self.inner = inner
         self.plan = plan
+        self._m_injected = (
+            obs.registry.counter(
+                "steamapi_injected_faults",
+                "Faults injected by the chaos transport, by kind",
+                ("kind",),
+            )
+            if obs is not None
+            else None
+        )
         self.fault_counts: dict[str, int] = {k: 0 for k in FAULT_KINDS}
         self.faults_by_endpoint: dict[str, int] = {}
         self.requests_seen = 0
@@ -175,6 +186,8 @@ class FaultInjectingTransport:
             self.faults_by_endpoint[path] = (
                 self.faults_by_endpoint.get(path, 0) + 1
             )
+        if self._m_injected is not None:
+            self._m_injected.inc(kind=kind)
         if kind == "rate_limit":
             raise RateLimitedError(
                 "injected rate limit", retry_after=retry_after

@@ -10,16 +10,26 @@ of the service, so chaos testing also covers the genuine network path:
 injected truncations are sent as real broken bytes on the socket (a 200
 response whose body is not valid JSON), which the HTTP client must
 detect and surface as a retryable error.
+
+Observability: every server carries an :class:`~repro.obs.Obs` (one is
+created when the caller doesn't supply one) that counts requests by
+path and status and histograms request latency; ``GET /metrics``
+exposes it in Prometheus text exposition format.  Access logging goes
+through the ``repro.steamapi.http`` logger and is *off* by default —
+chaos tests hammer the server with thousands of requests and must not
+spam stderr — and on for the ``serve`` CLI command unless ``--quiet``.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import Obs
 from repro.steamapi.errors import (
     ApiError,
     MalformedResponseError,
@@ -31,17 +41,38 @@ from repro.steamapi.transport import InProcessTransport
 
 __all__ = ["ApiHttpServer", "serve"]
 
+#: Access-log destination; handlers/levels are the embedder's business.
+access_logger = logging.getLogger("repro.steamapi.http")
 
-def _make_handler(dispatch):
+
+def _make_handler(dispatch, obs: Obs, access_log: bool):
+    m_requests = obs.counter(
+        "http_requests",
+        "HTTP requests served, by path and status",
+        ("path", "status"),
+    )
+    m_latency = obs.histogram(
+        "http_request_seconds", "HTTP request handling latency"
+    )
+
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            start = obs.clock()
             parsed = urlparse(self.path)
+            if parsed.path == "/metrics":
+                body = obs.to_prometheus().encode("utf-8")
+                self._reply(
+                    200, body, content_type="text/plain; version=0.0.4"
+                )
+                self._account(parsed.path, 200, start)
+                return
             params = {
                 name: values[0]
                 for name, values in parse_qs(parsed.query).items()
             }
+            status = 200
             try:
                 payload = dispatch(parsed.path, params)
                 body = json.dumps(payload).encode("utf-8")
@@ -53,11 +84,20 @@ def _make_handler(dispatch):
                     # dropped mid-transfer behind a buffering proxy.
                     self._reply(200, exc.body)
                 else:
-                    self._reply_error(exc)
+                    status = self._reply_error(exc)
             except ApiError as exc:
-                self._reply_error(exc)
+                status = self._reply_error(exc)
+            self._account(parsed.path, status, start)
 
-        def _reply_error(self, exc: ApiError) -> None:
+        def _account(self, path: str, status: int, start: float) -> None:
+            m_requests.inc(path=path, status=status)
+            m_latency.observe(obs.clock() - start)
+            if access_log:
+                access_logger.info(
+                    "%s %s -> %d", self.command, self.path, status
+                )
+
+        def _reply_error(self, exc: ApiError) -> int:
             body = json.dumps(
                 {"error": exc.__class__.__name__, "message": exc.message}
             ).encode("utf-8")
@@ -65,12 +105,17 @@ def _make_handler(dispatch):
             if isinstance(exc, RateLimitedError):
                 extra["Retry-After"] = f"{exc.retry_after:.3f}"
             self._reply(exc.status, body, extra)
+            return exc.status
 
         def _reply(
-            self, status: int, body: bytes, extra: dict | None = None
+            self,
+            status: int,
+            body: bytes,
+            extra: dict | None = None,
+            content_type: str = "application/json",
         ) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for name, value in (extra or {}).items():
                 self.send_header(name, value)
@@ -78,7 +123,7 @@ def _make_handler(dispatch):
             self.wfile.write(body)
 
         def log_message(self, *args) -> None:
-            """Silence per-request stderr logging."""
+            """Route through the access logger, not raw stderr."""
 
     return Handler
 
@@ -92,6 +137,8 @@ class ApiHttpServer:
     #: Present when the server was started with a fault plan; exposes
     #: the injected-fault counters.
     faults: FaultInjectingTransport | None = None
+    #: Server-side observability; also served at ``GET /metrics``.
+    obs: Obs | None = None
 
     @property
     def base_url(self) -> str:
@@ -115,20 +162,31 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     fault_plan: FaultPlan | None = None,
+    obs: Obs | None = None,
+    access_log: bool = False,
 ) -> ApiHttpServer:
     """Start serving on a background thread; port 0 picks a free port.
 
     ``fault_plan`` injects deterministic failures server-side (see
-    :mod:`repro.steamapi.faults`).
+    :mod:`repro.steamapi.faults`).  ``obs`` supplies the metrics scope
+    behind ``GET /metrics`` (a private one is created when omitted);
+    ``access_log`` emits one ``repro.steamapi.http`` log line per
+    request.
     """
+    if obs is None:
+        obs = Obs()
     faults: FaultInjectingTransport | None = None
     dispatch = service.dispatch
     if fault_plan is not None:
         faults = FaultInjectingTransport(
-            InProcessTransport(service), fault_plan
+            InProcessTransport(service), fault_plan, obs=obs
         )
         dispatch = faults.request
-    server = ThreadingHTTPServer((host, port), _make_handler(dispatch))
+    server = ThreadingHTTPServer(
+        (host, port), _make_handler(dispatch, obs, access_log)
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    return ApiHttpServer(server=server, thread=thread, faults=faults)
+    return ApiHttpServer(
+        server=server, thread=thread, faults=faults, obs=obs
+    )

@@ -58,6 +58,7 @@ class SteamApiService:
         require_key: bool = True,
         private_rate: float = 0.0,
         private_seed: int = 0,
+        obs=None,
     ) -> None:
         """``private_rate`` marks that share of profiles private: their
         summaries still resolve, but the per-user detail endpoints refuse
@@ -78,6 +79,20 @@ class SteamApiService:
         self.register_key(DEFAULT_API_KEY)
         # Request accounting (per endpoint), for throughput benchmarks.
         self.request_counts: dict[str, int] = {}
+        # Optional server-side observability (see repro.obs).
+        if obs is not None:
+            self._m_served = obs.registry.counter(
+                "steamapi_server_requests",
+                "Requests served, by endpoint",
+                ("endpoint",),
+            )
+            self._m_rejected = obs.registry.counter(
+                "steamapi_server_rate_limited",
+                "Requests rejected by the per-key rate limiter",
+            )
+        else:
+            self._m_served = None
+            self._m_rejected = None
 
         offsets = dataset.accounts.id_offset
         if np.any(np.diff(offsets) <= 0):
@@ -111,10 +126,14 @@ class SteamApiService:
                 raise UnauthorizedError("missing or unknown API key")
             bucket = self._buckets[key]
             if not bucket.try_acquire():
+                if self._m_rejected is not None:
+                    self._m_rejected.inc()
                 raise RateLimitedError(
                     "rate limit exceeded", retry_after=bucket.wait_time()
                 )
         self.request_counts[endpoint] = self.request_counts.get(endpoint, 0) + 1
+        if self._m_served is not None:
+            self._m_served.inc(endpoint=endpoint)
 
     def _user_index(self, steamid: int) -> int:
         offset = int(steamid) - constants.STEAMID_BASE

@@ -20,7 +20,35 @@ from typing import Protocol
 
 from repro.steamapi.service import SteamApiService
 
-__all__ = ["Transport", "InProcessTransport"]
+__all__ = ["Transport", "InProcessTransport", "endpoint_label"]
+
+#: Request paths with labels that don't follow the interface/method/vN
+#: convention (metric labels should match the service's accounting).
+_ENDPOINT_LABELS = {
+    "/appdetails": "appdetails",
+    "/community/group": "group_profile",
+    "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2": (
+        "GetGlobalAchievementPercentages"
+    ),
+}
+
+
+def endpoint_label(path: str) -> str:
+    """Short metric label for a request path (e.g. ``GetFriendList``).
+
+    Matches the endpoint names :class:`SteamApiService` counts under,
+    so client- and server-side metric series line up.
+    """
+    label = _ENDPOINT_LABELS.get(path)
+    if label is not None:
+        return label
+    parts = [p for p in path.split("/") if p]
+    if not parts:
+        return path
+    last = parts[-1]
+    if len(parts) >= 2 and last.startswith("v") and last[1:].isdigit():
+        return parts[-2]
+    return last
 
 
 class Transport(Protocol):

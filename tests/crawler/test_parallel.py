@@ -86,7 +86,61 @@ class TestParallelCrawl:
         assert len(result.lib_user) > 0
 
 
+#: Every array column a DetailCrawl carries, for exhaustive comparison.
+DETAIL_COLUMNS = (
+    "edge_a",
+    "edge_b",
+    "edge_day",
+    "lib_user",
+    "lib_appid",
+    "lib_total_min",
+    "lib_twoweek_min",
+    "member_user",
+    "member_group",
+)
+
+
+class TestShardCountInvariance:
+    """The merged harvest must not depend on how the work was sharded."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 7])
+    def test_all_columns_byte_identical(
+        self, service, small_world, n_workers
+    ):
+        steamids = small_world.dataset.accounts.steamids()[:350]
+        sequential = _sequential(service, steamids)
+        parallel = crawl_details_parallel(
+            lambda: InProcessTransport(service),
+            steamids,
+            n_workers=n_workers,
+        )
+        for column in DETAIL_COLUMNS:
+            a = getattr(parallel, column)
+            b = getattr(sequential, column)
+            assert a.dtype == b.dtype, column
+            assert a.tobytes() == b.tobytes(), column
+        assert parallel.n_private == sequential.n_private
+        assert parallel.n_skipped == sequential.n_skipped
+
+
 class TestMergeDetailCrawls:
+    def test_empty_shard_merges_cleanly(self, service, small_world):
+        steamids = small_world.dataset.accounts.steamids()[:30]
+        full = _sequential(service, steamids)
+        empty = _sequential(service, steamids[:0])
+        merged = merge_detail_crawls([full, empty], [0, 30])
+        for column in DETAIL_COLUMNS:
+            assert np.array_equal(
+                getattr(merged, column), getattr(full, column)
+            ), column
+
+    def test_merge_of_no_shards_is_empty(self):
+        merged = merge_detail_crawls([], [])
+        for column in DETAIL_COLUMNS:
+            assert len(getattr(merged, column)) == 0, column
+        assert merged.n_private == 0
+        assert merged.n_skipped == 0
+
     def test_offsets_validated(self, service, small_world):
         steamids = small_world.dataset.accounts.steamids()[:10]
         shard = _sequential(service, steamids)

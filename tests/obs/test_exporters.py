@@ -1,0 +1,112 @@
+"""Prometheus text, JSON snapshots, console summaries, bench JSON."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    Obs,
+    bench_metric,
+    console_summary,
+    to_json,
+    to_prometheus,
+    write_bench_json,
+)
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter(
+        "steamapi_requests", "requests", ("endpoint",)
+    ).inc(3, endpoint="GetFriendList")
+    reg.gauge("throughput", "req/s").set(41.5)
+    reg.histogram("latency", "seconds", buckets=(0.1, 1.0)).observe(0.05)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix(self, registry):
+        text = to_prometheus(registry)
+        assert (
+            'steamapi_requests_total{endpoint="GetFriendList"} 3' in text
+        )
+        assert "# TYPE steamapi_requests counter" in text
+
+    def test_gauge_plain(self, registry):
+        assert "throughput 41.5" in to_prometheus(registry)
+
+    def test_histogram_cumulative_buckets(self, registry):
+        text = to_prometheus(registry)
+        assert 'latency_bucket{le="0.1"} 1' in text
+        assert 'latency_bucket{le="1.0"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 1' in text
+        assert "latency_sum 0.05" in text
+        assert "latency_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_stable_layout(self):
+        snap = {"b": 1, "a": {"z": 2, "y": 3}}
+        text = to_json(snap)
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == snap
+
+
+class TestConsoleSummary:
+    def test_sections(self):
+        obs = Obs(clock=FakeClock(tick=1.0))
+        obs.counter("requests").inc(7)
+        with obs.span("crawl"):
+            pass
+        text = obs.summary()
+        assert "== metrics ==" in text
+        assert "requests" in text
+        assert "== spans ==" in text
+        assert "crawl" in text
+
+    def test_empty_snapshot(self):
+        text = console_summary({"metrics": {}, "span_totals": {}})
+        assert "(none)" in text
+
+
+class TestObsWrite:
+    def test_write_roundtrip(self, tmp_path):
+        obs = Obs(clock=FakeClock(tick=1.0))
+        obs.counter("requests").inc()
+        path = obs.write(tmp_path / "metrics.json")
+        snap = json.loads(path.read_text())
+        assert snap["schema_version"] == 1
+        assert snap["metrics"]["requests"]["series"][0]["value"] == 1
+
+
+class TestBenchJson:
+    def test_writes_schema(self, tmp_path):
+        path = write_bench_json(
+            tmp_path,
+            "crawler_throughput",
+            [bench_metric("requests", 1000, "requests")],
+            seed=31,
+            n_users=8000,
+        )
+        assert path.name == "BENCH_crawler_throughput.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["benchmark"] == "crawler_throughput"
+        assert doc["world"] == {"seed": 31, "n_users": 8000}
+        assert doc["metrics"] == [
+            {"name": "requests", "value": 1000, "unit": "requests"}
+        ]
+        assert isinstance(doc["git_rev"], str) and doc["git_rev"]
+
+    def test_rejects_malformed_metric(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_json(
+                tmp_path, "bad", [{"name": "x", "value": 1}]
+            )

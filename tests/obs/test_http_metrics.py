@@ -1,0 +1,98 @@
+"""The ``/metrics`` route and server-side request accounting."""
+
+import urllib.request
+
+import pytest
+
+from repro.steamapi.http_client import HttpTransport
+from repro.steamapi.http_server import serve
+from repro.steamapi.service import DEFAULT_API_KEY, SteamApiService
+
+
+@pytest.fixture(scope="module")
+def server(small_world):
+    service = SteamApiService.from_world(small_world)
+    with serve(service) as running:
+        yield running
+
+
+def _scrape(server) -> tuple[str, str]:
+    with urllib.request.urlopen(server.base_url + "/metrics") as resp:
+        return resp.read().decode("utf-8"), resp.headers["Content-Type"]
+
+
+class TestMetricsRoute:
+    def test_prometheus_exposition(self, server, small_world):
+        sid = int(small_world.dataset.accounts.steamids()[0])
+        HttpTransport(server.base_url).request(
+            "/ISteamUser/GetPlayerSummaries/v2",
+            {"key": DEFAULT_API_KEY, "steamids": str(sid)},
+        )
+        text, content_type = _scrape(server)
+        assert content_type == "text/plain; version=0.0.4"
+        assert "# TYPE http_requests counter" in text
+        assert (
+            'http_requests_total{path="/ISteamUser/GetPlayerSummaries/v2"'
+            in text
+        )
+        assert "http_request_seconds_bucket" in text
+
+    def test_scrape_counts_itself(self, server):
+        first, _ = _scrape(server)
+        second, _ = _scrape(server)
+        # The second scrape sees the first one's accounting.
+        assert 'http_requests_total{path="/metrics",status="200"}' in second
+
+    def test_error_statuses_labelled(self, server):
+        try:
+            urllib.request.urlopen(server.base_url + "/unknown/endpoint")
+        except urllib.error.HTTPError:
+            pass
+        text, _ = _scrape(server)
+        assert 'path="/unknown/endpoint",status="404"' in text
+
+    def test_server_requests_metric_when_service_instrumented(
+        self, small_world
+    ):
+        from repro.obs import Obs
+
+        obs = Obs()
+        service = SteamApiService.from_world(small_world, obs=obs)
+        with serve(service, obs=obs) as running:
+            sid = int(small_world.dataset.accounts.steamids()[0])
+            HttpTransport(running.base_url).request(
+                "/ISteamUser/GetPlayerSummaries/v2",
+                {"key": DEFAULT_API_KEY, "steamids": str(sid)},
+            )
+            text, _ = _scrape(running)
+        assert (
+            'steamapi_server_requests_total{endpoint="GetPlayerSummaries"} 1'
+            in text
+        )
+
+
+class TestAccessLog:
+    def test_silent_by_default(self, server, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.steamapi.http"):
+            _scrape(server)
+        assert not caplog.records
+
+    def test_logs_when_enabled(self, small_world, caplog):
+        import logging
+        import time
+
+        service = SteamApiService.from_world(small_world)
+        with serve(service, access_log=True) as running:
+            with caplog.at_level(
+                logging.INFO, logger="repro.steamapi.http"
+            ):
+                _scrape(running)
+                # The handler logs after responding, on the server
+                # thread — give it a beat to land.
+                deadline = time.monotonic() + 2.0
+                while not caplog.records and time.monotonic() < deadline:
+                    time.sleep(0.01)
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("GET /metrics -> 200" in m for m in messages)

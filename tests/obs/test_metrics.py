@@ -1,0 +1,145 @@
+"""Counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("requests", labelnames=("endpoint",))
+        c.inc(endpoint="GetFriendList")
+        c.inc(5, endpoint="GetOwnedGames")
+        assert c.value(endpoint="GetFriendList") == 1
+        assert c.value(endpoint="GetOwnedGames") == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("requests").inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        c = Counter("requests", labelnames=("endpoint",))
+        with pytest.raises(ValueError):
+            c.inc(kind="oops")
+        with pytest.raises(ValueError):
+            c.inc()  # missing the label entirely
+
+    def test_snapshot_sorted_by_label_values(self):
+        c = Counter("requests", labelnames=("endpoint",))
+        c.inc(endpoint="zeta")
+        c.inc(endpoint="alpha")
+        labels = [s["labels"] for s in c.snapshot()["series"]]
+        assert labels == [["alpha"], ["zeta"]]
+
+    def test_bound_child_matches_direct(self):
+        c = Counter("requests", labelnames=("endpoint",))
+        child = c.labels(endpoint="GetFriendList")
+        child.inc()
+        child.inc(3)
+        assert c.value(endpoint="GetFriendList") == 4
+
+    def test_bound_child_validates_at_bind_time(self):
+        c = Counter("requests", labelnames=("endpoint",))
+        with pytest.raises(ValueError):
+            c.labels(kind="oops")
+
+    def test_bound_child_rejects_negative(self):
+        c = Counter("requests")
+        with pytest.raises(ValueError):
+            c.labels().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("throughput")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 13
+
+    def test_can_go_negative(self):
+        g = Gauge("balance")
+        g.dec(7)
+        assert g.value() == -7
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("latency", buckets=(0.1, 1.0))
+        h.observe(0.05)  # first bucket
+        h.observe(0.1)  # boundary is inclusive (le semantics)
+        h.observe(0.5)  # second bucket
+        h.observe(99.0)  # +Inf
+        series = h.snapshot()["series"][0]
+        assert series["buckets"] == [2, 1, 1]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(99.65)
+
+    def test_count_and_sum_accessors(self):
+        h = Histogram("latency")
+        h.observe(0.25)
+        h.observe(0.75)
+        assert h.count() == 2
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(
+            DEFAULT_LATENCY_BUCKETS
+        )
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=())
+
+    def test_rejects_duplicate_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", buckets=(0.1, 0.1))
+
+    def test_bound_child_matches_direct(self):
+        h = Histogram("latency", buckets=(0.1, 1.0), labelnames=("endpoint",))
+        child = h.labels(endpoint="appdetails")
+        child.observe(0.05)
+        child.observe(2.0)
+        assert h.count(endpoint="appdetails") == 2
+        series = h.snapshot()["series"][0]
+        assert series["buckets"] == [1, 0, 1]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests")
+        b = reg.counter("requests")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("requests")
+        with pytest.raises(TypeError):
+            reg.gauge("requests")
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.gauge("alpha")
+        reg.histogram("mid")
+        assert [m.name for m in reg.metrics()] == ["alpha", "mid", "zeta"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("requests").inc()
+        snap = reg.snapshot()
+        assert snap["requests"]["kind"] == "counter"
+        assert snap["requests"]["series"] == [{"labels": [], "value": 1}]

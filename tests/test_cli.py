@@ -129,3 +129,94 @@ class TestCommands:
         )
         assert code == 0
         assert "HTTP transport" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert (
+            capsys.readouterr().out.strip()
+            == f"condensing-steam {__version__}"
+        )
+
+    def test_crawl_metrics_out(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "crawl.npz"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "crawl",
+                "--users",
+                "1200",
+                "--seed",
+                "3",
+                "--output",
+                str(out),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        snap = json.loads(metrics.read_text())
+        assert snap["schema_version"] == 1
+        assert "steamapi_requests" in snap["metrics"]
+        assert "crawl" in snap["span_totals"]
+        # generation was instrumented too (same obs scope)
+        assert "generate" in snap["span_totals"]
+
+    def test_generate_metrics_out(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "generate",
+                "--users",
+                "1200",
+                "--seed",
+                "3",
+                "--output",
+                str(tmp_path / "w.npz"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        snap = json.loads(metrics.read_text())
+        assert "generate:ownership" in snap["span_totals"]
+
+    def test_obs_summarize(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        main(
+            [
+                "crawl",
+                "--users",
+                "1200",
+                "--seed",
+                "3",
+                "--output",
+                str(tmp_path / "c.npz"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["obs", "summarize", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "steamapi_requests" in out
+        assert "== spans ==" in out
+
+    def test_obs_summarize_rejects_non_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        code = main(["obs", "summarize", str(bad)])
+        assert code == 1
+        assert "not a metrics snapshot" in capsys.readouterr().out
