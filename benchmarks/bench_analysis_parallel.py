@@ -1,0 +1,137 @@
+"""Parallel analysis engine benchmarks (DESIGN.md §8).
+
+Three measurements over one synthetic world:
+
+1. serial analysis wall clock (``jobs=1``, no cache) — the baseline,
+2. sharded parallel analysis (``jobs=4``, cold cache) — must produce a
+   byte-identical report, and on multi-core hardware must beat serial
+   by the acceptance factor,
+3. warm-cache rerun — must execute **zero** stages and replay the same
+   report from the content-addressed cache.
+
+Set ``REPRO_BENCH_USERS`` to scale the world (default 60,000 — large
+enough that Table 4's tail fits dominate and the shard split matters,
+small enough for CI).
+
+The speedup assertion is gated on ``os.cpu_count()``: on a single-core
+runner four workers merely time-slice one core, so only the
+determinism and warm-cache contracts are enforced there.  The JSON
+telemetry always records the honest measurement plus the core count,
+so cross-run comparison can tell the two situations apart.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import SteamStudy, SteamWorld, WorldConfig
+from repro.obs import bench_metric
+
+ANALYSIS_USERS = int(os.environ.get("REPRO_BENCH_USERS", "60000"))
+ANALYSIS_SEED = 227
+JOBS = 4
+
+#: Acceptance: parallel analysis must beat serial by this factor when
+#: the hardware can actually run the shards concurrently.
+SPEEDUP_FLOOR = 1.5
+#: ... which needs at least this many cores to be a fair ask.
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+@pytest.fixture(scope="module")
+def analysis_world():
+    return SteamWorld.generate(
+        WorldConfig(n_users=ANALYSIS_USERS, seed=ANALYSIS_SEED)
+    )
+
+
+def _timed_run(world, **kwargs):
+    study = SteamStudy(world=world, _dataset=world.dataset)
+    start = time.perf_counter()
+    report = study.run(**kwargs)
+    return report, time.perf_counter() - start, study.last_engine_run
+
+
+def test_parallel_analysis(
+    benchmark, analysis_world, tmp_path, record, record_json
+):
+    report_serial, _, _ = benchmark.pedantic(
+        _timed_run, args=(analysis_world,), rounds=1, iterations=1
+    )
+    # Best-of-three per mode: scheduler noise only adds time, so the
+    # min is the standard estimator of the true cost (as in timeit).
+    serial_secs = []
+    for _ in range(3):
+        _, seconds, _ = _timed_run(analysis_world)
+        serial_secs.append(seconds)
+    serial = min(serial_secs)
+
+    parallel_secs = []
+    for _ in range(3):
+        report_parallel, seconds, run_parallel = _timed_run(
+            analysis_world, jobs=JOBS
+        )
+        parallel_secs.append(seconds)
+    parallel = min(parallel_secs)
+    speedup = serial / parallel
+
+    cache_dir = tmp_path / "stage-cache"
+    _, cold_seconds, run_cold = _timed_run(
+        analysis_world, jobs=JOBS, cache=cache_dir
+    )
+    report_warm, warm_seconds, run_warm = _timed_run(
+        analysis_world, cache=cache_dir
+    )
+    warm_speedup = serial / warm_seconds
+
+    cores = os.cpu_count() or 1
+    lines = [
+        "Parallel analysis engine (sharded stage graph + stage cache)",
+        f"users: {analysis_world.config.n_users:,}",
+        f"stages: {run_parallel.n_stages}",
+        f"cpu cores: {cores}",
+        f"serial seconds (jobs=1):   {serial:.3f}",
+        f"parallel seconds (jobs={JOBS}): {parallel:.3f}  "
+        f"({speedup:.2f}x)",
+        f"warm-cache seconds:        {warm_seconds:.3f}  "
+        f"({warm_speedup:.1f}x, {len(run_warm.cached)} stages cached)",
+        f"byte-identical across modes: "
+        f"{report_parallel.render() == report_serial.render()}",
+    ]
+    record("analysis_parallel", lines)
+    record_json(
+        "analysis_parallel",
+        [
+            bench_metric("stages_total", run_parallel.n_stages, "stages"),
+            bench_metric("cpu_count", cores, "cores"),
+            bench_metric("jobs", JOBS, "workers"),
+            bench_metric("serial_seconds", round(serial, 4), "s"),
+            bench_metric("parallel_seconds", round(parallel, 4), "s"),
+            bench_metric("parallel_speedup", round(speedup, 3), "x"),
+            bench_metric(
+                "cold_cache_seconds", round(cold_seconds, 4), "s"
+            ),
+            bench_metric(
+                "warm_cache_seconds", round(warm_seconds, 4), "s"
+            ),
+            bench_metric(
+                "warm_cache_speedup", round(warm_speedup, 2), "x"
+            ),
+        ],
+        seed=ANALYSIS_SEED,
+        n_users=analysis_world.config.n_users,
+    )
+
+    # Determinism contract: jobs and cache are pure acceleration knobs.
+    assert report_parallel.render() == report_serial.render()
+    assert report_warm.render() == report_serial.render()
+    # Warm cache: every stage replayed, none executed.
+    assert run_warm.executed == ()
+    assert len(run_warm.cached) == run_cold.n_stages
+    assert warm_seconds < serial
+    if cores >= MIN_CORES_FOR_SPEEDUP:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"jobs={JOBS} achieved only {speedup:.2f}x over serial "
+            f"on {cores} cores (floor {SPEEDUP_FLOOR}x)"
+        )

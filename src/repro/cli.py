@@ -4,7 +4,10 @@ Commands
 --------
 - ``generate`` — build a synthetic Steam universe and save the dataset.
 - ``analyze``  — run every table/figure on a dataset (or a fresh world)
-  and print / save the text report.
+  and print / save the text report; ``--jobs N`` runs independent
+  stages across a process pool and ``--cache-dir PATH`` (or
+  ``REPRO_CACHE_DIR``) memoizes stage results so a warm rerun executes
+  zero stages (``--no-cache`` opts out).
 - ``crawl``    — re-collect a generated world through the simulated API
   (optionally over real localhost HTTP) and save the crawled dataset.
 - ``serve``    — expose a generated world as a Steam-Web-API HTTP server.
@@ -20,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro import __version__
 from repro.core.study import SteamStudy
@@ -75,6 +79,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cache(args: argparse.Namespace):
+    """The analyze stage cache: --cache-dir / REPRO_CACHE_DIR, else off."""
+    import os
+
+    if args.no_cache:
+        return None
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from repro.engine import StageCache
+
+    return StageCache(Path(cache_dir))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     if args.dataset:
@@ -83,7 +101,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         study = SteamStudy.generate(
             n_users=args.users, seed=args.seed, obs=obs
         )
-    report = study.run(include_table4=not args.skip_table4, obs=obs)
+    cache = _resolve_cache(args)
+    t0 = time.time()
+    report = study.run(
+        include_table4=not args.skip_table4,
+        obs=obs,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    elapsed = time.time() - t0
+    engine_run = study.last_engine_run
+    if engine_run is not None and (args.jobs > 1 or cache is not None):
+        line = (
+            f"analyzed {engine_run.n_stages} stages in {elapsed:.1f}s "
+            f"(jobs={args.jobs}, {len(engine_run.executed)} executed, "
+            f"{len(engine_run.cached)} cached)"
+        )
+        if engine_run.cache_stats is not None:
+            stats = engine_run.cache_stats
+            line += (
+                f"; cache: {stats['hits']} hits / {stats['misses']} misses"
+            )
+            if stats["corrupt"]:
+                line += f" / {stats['corrupt']} corrupt (recomputed)"
+        print(line)
     text = report.render()
     if args.figures:
         text += "\n\n" + report.render_figures()
@@ -241,6 +282,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--figures",
         action="store_true",
         help="append ASCII renderings of the figures",
+    )
+    p_an.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent analysis stages across N processes",
+    )
+    p_an.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "memoize stage results in a content-addressed cache at PATH "
+            "(default: $REPRO_CACHE_DIR if set, else no caching)"
+        ),
+    )
+    p_an.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the stage cache even when REPRO_CACHE_DIR is set",
     )
     _add_metrics_arg(p_an)
     p_an.set_defaults(func=_cmd_analyze)

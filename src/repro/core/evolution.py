@@ -11,6 +11,9 @@ from repro.store.dataset import SteamDataset
 
 __all__ = ["SnapshotComparison", "snapshot_comparison"]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 @dataclass(frozen=True)
 class AttributeGrowth:

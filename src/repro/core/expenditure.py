@@ -21,6 +21,9 @@ __all__ = [
     "genre_expenditure",
 ]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 @dataclass(frozen=True)
 class PlaytimeCdf:

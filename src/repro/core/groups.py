@@ -20,6 +20,9 @@ __all__ = [
     "group_distributions",
 ]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 @dataclass(frozen=True)
 class GroupTypeTable:

@@ -24,6 +24,9 @@ __all__ = [
     "homophily",
 ]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 def neighbor_mean(dataset: SteamDataset, values: np.ndarray) -> np.ndarray:
     """Average of ``values`` over each user's friends (nan if none)."""

@@ -16,6 +16,9 @@ __all__ = [
     "genre_ownership",
 ]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 @dataclass(frozen=True)
 class OwnershipDistribution:

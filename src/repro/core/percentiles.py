@@ -18,6 +18,9 @@ from repro.store.dataset import SteamDataset
 
 __all__ = ["PercentileRow", "PercentileTable", "percentile_table"]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 PERCENTILES = constants.TABLE3_PERCENTILES
 
 
@@ -47,18 +50,25 @@ class PercentileTable:
         raise KeyError(attribute)
 
     def render(self) -> str:
-        header = "attribute".ljust(24) + "".join(
+        # Label column sized to the longest attribute (plus a gap): a
+        # fixed 24-char ljust overflows for names >= 24 chars and
+        # shifts every value cell in that row out of alignment.
+        label_width = max(
+            24,
+            max((len(row.attribute) for row in self.rows), default=0) + 2,
+        )
+        header = "attribute".ljust(label_width) + "".join(
             f"{'p' + str(p):>12}" for p in PERCENTILES
         )
         lines = [header, "-" * len(header)]
         for row in self.rows:
             lines.append(
-                row.attribute.ljust(24)
+                row.attribute.ljust(label_width)
                 + "".join(f"{v:12.2f}" for v in row.values)
             )
             if row.paper is not None:
                 lines.append(
-                    "  (paper)".ljust(24)
+                    "  (paper)".ljust(label_width)
                     + "".join(f"{v:12.2f}" for v in row.paper)
                 )
         return "\n".join(lines)

@@ -21,6 +21,9 @@ __all__ = [
     "locality",
 ]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 # ---------------------------------------------------------------------------
 # Table 1 — reported countries

@@ -12,9 +12,24 @@ import numpy as np
 __all__ = ["rankdata_average", "spearman", "strength_label"]
 
 
+def _reject_nan(values: np.ndarray, name: str = "input") -> None:
+    """NaN has no rank: it sorts last and ``NaN != NaN`` breaks every
+    tie run, so ranks computed over it are silently wrong rather than
+    obviously broken — fail loudly instead."""
+    if np.issubdtype(values.dtype, np.inexact) and np.isnan(values).any():
+        raise ValueError(
+            f"{name} contains NaN; ranks are undefined over NaN — "
+            "filter or impute missing values before ranking"
+        )
+
+
 def rankdata_average(values: np.ndarray) -> np.ndarray:
-    """Ranks (1-based) with ties sharing their average rank."""
+    """Ranks (1-based) with ties sharing their average rank.
+
+    Raises :class:`ValueError` when ``values`` contains NaN.
+    """
     values = np.asarray(values)
+    _reject_nan(values)
     order = np.argsort(values, kind="stable")
     ranks = np.empty(len(values), dtype=np.float64)
     sorted_vals = values[order]
@@ -39,6 +54,8 @@ def spearman(a: np.ndarray, b: np.ndarray) -> float:
         raise ValueError("samples must align")
     if len(a) < 2:
         raise ValueError("need at least two observations")
+    _reject_nan(a, "sample a")
+    _reject_nan(b, "sample b")
     ra = rankdata_average(a)
     rb = rankdata_average(b)
     ra -= ra.mean()

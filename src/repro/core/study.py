@@ -1,4 +1,4 @@
-"""End-to-end study orchestration.
+"""End-to-end study orchestration, expressed as a stage graph.
 
 :class:`SteamStudy` ties the whole reproduction together:
 
@@ -8,12 +8,22 @@
 - ``crawl`` (optional) routes the data through the simulated Steam Web
   API + crawler instead of reading the generator output directly,
   exercising the measurement apparatus the paper actually used.
+
+``run`` no longer calls the ~20 analyses inline: it builds a
+:class:`repro.engine.StageGraph` — one declared stage per table/figure,
+with Table 4 sharded into one stage per classified row — and hands it
+to :class:`repro.engine.Engine`.  That is what makes ``--jobs N``
+process-parallelism and the content-addressed stage cache possible
+while keeping the report byte-identical to a serial run (DESIGN.md §8).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
+import repro.tailfit.classify as tailfit_classify_mod
+import repro.tailfit.fits as tailfit_fits_mod
 from repro.core import (
     achievements as ach_mod,
 )
@@ -46,12 +56,236 @@ from repro.core import (
 )
 from repro.core import weekpanel as panel_mod
 from repro.core.report import StudyReport
+from repro.engine import (
+    Engine,
+    EngineRun,
+    Stage,
+    StageCache,
+    StageContext,
+    StageGraph,
+)
 from repro.obs import Obs, maybe_span
 from repro.simworld.config import WorldConfig
 from repro.simworld.world import SteamWorld
+from repro.store import dataset as dataset_mod
 from repro.store.dataset import SteamDataset
 
-__all__ = ["SteamStudy"]
+__all__ = ["SteamStudy", "build_study_graph", "assemble_report"]
+
+
+# -- stage functions ----------------------------------------------------------
+#
+# Module-level, pure, and picklable: workers receive the function by
+# reference plus the shared StageContext, never a closure.
+
+
+def _stage_summary(ctx):
+    return ctx.dataset.summary()
+
+
+def _stage_table1(ctx):
+    return social_mod.country_table(ctx.dataset)
+
+
+def _stage_table2(ctx):
+    return groups_mod.group_type_table(ctx.dataset)
+
+
+def _stage_table3(ctx):
+    return pct_mod.percentile_table(ctx.dataset)
+
+
+def _stage_fig1(ctx):
+    return social_mod.network_evolution(ctx.dataset)
+
+
+def _stage_fig2(ctx):
+    return social_mod.degree_distributions(ctx.dataset)
+
+
+def _stage_fig3(ctx):
+    return groups_mod.distinct_games_played(ctx.dataset)
+
+
+def _stage_fig4(ctx):
+    return own_mod.ownership_distribution(ctx.dataset)
+
+
+def _stage_fig5(ctx):
+    return own_mod.genre_ownership(ctx.dataset)
+
+
+def _stage_fig6(ctx):
+    return exp_mod.playtime_cdf(ctx.dataset)
+
+
+def _stage_fig7(ctx):
+    return exp_mod.twoweek_nonzero(ctx.dataset)
+
+
+def _stage_fig8(ctx):
+    return exp_mod.market_value_distribution(ctx.dataset)
+
+
+def _stage_fig9(ctx):
+    return exp_mod.genre_expenditure(ctx.dataset)
+
+
+def _stage_fig10(ctx):
+    return mp_mod.multiplayer_share(ctx.dataset)
+
+
+def _stage_fig11(ctx):
+    return homo_mod.homophily(ctx.dataset)
+
+
+def _stage_sec7(ctx):
+    return homo_mod.cross_correlations(ctx.dataset)
+
+
+def _stage_sec8(ctx):
+    return evo_mod.snapshot_comparison(ctx.dataset)
+
+
+def _stage_sec9(ctx):
+    return ach_mod.achievement_report(ctx.dataset)
+
+
+def _stage_fig12(ctx):
+    return panel_mod.analyze_week_panel(ctx.aux["week_panel"])
+
+
+def _stage_table4_row(ctx, row):
+    return dist_mod.classify_row(
+        ctx.dataset,
+        row,
+        max_tail=ctx.config["table4_max_tail"],
+        seed=ctx.config["table4_seed"],
+    )
+
+
+def _stage_table4_merge(ctx, rows):
+    merged = {}
+    for row in rows:
+        result = ctx.dep(f"table4:{row}")
+        if result is not None:
+            merged[row] = result
+    return dist_mod.Table4(rows=merged)
+
+
+def _versioned(module) -> str:
+    return getattr(module, "STAGE_VERSION", "1")
+
+
+def build_study_graph(
+    dataset: SteamDataset, config: dict, aux: dict
+) -> StageGraph:
+    """The full study as a DAG of declared stages.
+
+    Which stages exist depends only on cheap facts: the config flags
+    and which optional tables the dataset carries.  Stage *results*
+    depend only on declared inputs, which is what the cache keys.
+    """
+
+    def stage(name, fn, module, **kwargs):
+        return Stage(
+            name=name,
+            fn=fn,
+            modules=(module,),
+            version=_versioned(module),
+            **kwargs,
+        )
+
+    stages = [
+        stage("summary", _stage_summary, dataset_mod),
+        stage("table1_countries", _stage_table1, social_mod),
+        stage("table2_groups", _stage_table2, groups_mod),
+        stage("table3_percentiles", _stage_table3, pct_mod),
+        stage("fig1_evolution", _stage_fig1, social_mod),
+        stage("fig2_degrees", _stage_fig2, social_mod),
+        stage("fig3_group_games", _stage_fig3, groups_mod),
+        stage("fig4_ownership", _stage_fig4, own_mod),
+        stage("fig5_genre_ownership", _stage_fig5, own_mod),
+        stage("fig6_playtime_cdf", _stage_fig6, exp_mod),
+        stage("fig7_twoweek", _stage_fig7, exp_mod),
+        stage("fig8_market_value", _stage_fig8, exp_mod),
+        stage("fig9_genre_expenditure", _stage_fig9, exp_mod),
+        stage("fig10_multiplayer", _stage_fig10, mp_mod),
+        stage("fig11_homophily", _stage_fig11, homo_mod),
+        stage("sec7_cross_correlations", _stage_sec7, homo_mod),
+    ]
+    if dataset.snapshot2 is not None:
+        stages.append(stage("sec8_evolution", _stage_sec8, evo_mod))
+    if dataset.achievements is not None:
+        stages.append(stage("sec9_achievements", _stage_sec9, ach_mod))
+    if "week_panel" in aux:
+        stages.append(
+            Stage(
+                name="fig12_week_panel",
+                fn=_stage_fig12,
+                aux_keys=("week_panel",),
+                modules=(panel_mod,),
+                version=_versioned(panel_mod),
+            )
+        )
+    if config.get("include_table4", True):
+        # Table 4 dominates serial runtime, so it is sharded one stage
+        # per classified row; the merge stage restores render order.
+        rows = dist_mod.table4_row_names(dataset)
+        table4_modules = (
+            dist_mod,
+            tailfit_classify_mod,
+            tailfit_fits_mod,
+        )
+        for row in rows:
+            stages.append(
+                Stage(
+                    name=f"table4:{row}",
+                    fn=_stage_table4_row,
+                    params=(("row", row),),
+                    config_keys=("table4_max_tail", "table4_seed"),
+                    modules=table4_modules,
+                    version=_versioned(dist_mod),
+                )
+            )
+        stages.append(
+            Stage(
+                name="table4_classification",
+                fn=_stage_table4_merge,
+                params=(("rows", rows),),
+                deps=tuple(f"table4:{row}" for row in rows),
+                config_keys=("table4_max_tail", "table4_seed"),
+                modules=table4_modules,
+                version=_versioned(dist_mod),
+            )
+        )
+    return StageGraph(stages)
+
+
+def assemble_report(results: dict) -> StudyReport:
+    """Stage results (by name) -> the fixed report structure."""
+    return StudyReport(
+        summary=results["summary"],
+        table1=results["table1_countries"],
+        table2=results["table2_groups"],
+        table3=results["table3_percentiles"],
+        table4=results.get("table4_classification"),
+        fig1_evolution=results["fig1_evolution"],
+        fig2_degrees=results["fig2_degrees"],
+        fig3_group_games=results["fig3_group_games"],
+        fig4_ownership=results["fig4_ownership"],
+        fig5_genre_ownership=results["fig5_genre_ownership"],
+        fig6_playtime_cdf=results["fig6_playtime_cdf"],
+        fig7_twoweek=results["fig7_twoweek"],
+        fig8_market_value=results["fig8_market_value"],
+        fig9_genre_expenditure=results["fig9_genre_expenditure"],
+        fig10_multiplayer=results["fig10_multiplayer"],
+        fig11_homophily=results["fig11_homophily"],
+        sec7_cross_correlations=results["sec7_cross_correlations"],
+        sec8_evolution=results.get("sec8_evolution"),
+        sec9_achievements=results.get("sec9_achievements"),
+        fig12_week_panel=results.get("fig12_week_panel"),
+    )
 
 
 @dataclass
@@ -60,6 +294,11 @@ class SteamStudy:
 
     world: SteamWorld | None
     _dataset: SteamDataset = field(repr=False)
+    #: Execution summary of the most recent ``run`` (stages executed vs
+    #: cached, per-stage timings, cache stats).
+    last_engine_run: EngineRun | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def generate(
@@ -109,92 +348,38 @@ class SteamStudy:
         include_week_panel: bool = True,
         table4_max_tail: int = 60_000,
         obs: Obs | None = None,
+        jobs: int = 1,
+        cache: StageCache | str | Path | None = None,
     ) -> StudyReport:
         """Compute every table and figure.
 
-        ``obs`` records one span per analysis stage under an
-        ``analyze`` root (see :mod:`repro.obs`).
+        ``jobs`` > 1 runs independent stages across a process pool;
+        ``cache`` (a :class:`repro.engine.StageCache` or a directory
+        path) memoizes stage results across runs.  Both are pure
+        accelerations: the report is byte-identical regardless.  ``obs``
+        records one span per stage under an ``analyze`` root in serial
+        mode, and per-stage ``engine_stage_seconds`` histograms plus
+        cache hit/miss counters in every mode.
         """
         ds = self._dataset
-
-        def staged(name, fn, *args, **kwargs):
-            with maybe_span(obs, f"analyze:{name}"):
-                return fn(*args, **kwargs)
-
+        config = {
+            "include_table4": include_table4,
+            "include_week_panel": include_week_panel,
+            "table4_max_tail": table4_max_tail,
+            "table4_seed": 0,
+        }
+        aux: dict = {}
+        if include_week_panel and self.world is not None:
+            aux["week_panel"] = self.world.week_panel()
+        if isinstance(cache, (str, Path)):
+            cache = StageCache(Path(cache), obs=obs)
+        graph = build_study_graph(ds, config, aux)
+        engine = Engine(
+            jobs=jobs, cache=cache, obs=obs, span_prefix="analyze:"
+        )
         with maybe_span(obs, "analyze", n_users=ds.n_users):
-            table4 = (
-                staged(
-                    "table4_classification",
-                    dist_mod.classify_distributions,
-                    ds,
-                    max_tail=table4_max_tail,
-                )
-                if include_table4
-                else None
+            run = engine.run(
+                graph, StageContext(dataset=ds, config=config, aux=aux)
             )
-            week_panel = None
-            if include_week_panel and self.world is not None:
-                week_panel = staged(
-                    "fig12_week_panel",
-                    lambda: panel_mod.analyze_week_panel(
-                        self.world.week_panel()
-                    ),
-                )
-            sec8 = (
-                staged("sec8_evolution", evo_mod.snapshot_comparison, ds)
-                if ds.snapshot2 is not None
-                else None
-            )
-            sec9 = (
-                staged("sec9_achievements", ach_mod.achievement_report, ds)
-                if ds.achievements is not None
-                else None
-            )
-            return StudyReport(
-                summary=staged("summary", ds.summary),
-                table1=staged("table1_countries", social_mod.country_table, ds),
-                table2=staged("table2_groups", groups_mod.group_type_table, ds),
-                table3=staged(
-                    "table3_percentiles", pct_mod.percentile_table, ds
-                ),
-                table4=table4,
-                fig1_evolution=staged(
-                    "fig1_evolution", social_mod.network_evolution, ds
-                ),
-                fig2_degrees=staged(
-                    "fig2_degrees", social_mod.degree_distributions, ds
-                ),
-                fig3_group_games=staged(
-                    "fig3_group_games", groups_mod.distinct_games_played, ds
-                ),
-                fig4_ownership=staged(
-                    "fig4_ownership", own_mod.ownership_distribution, ds
-                ),
-                fig5_genre_ownership=staged(
-                    "fig5_genre_ownership", own_mod.genre_ownership, ds
-                ),
-                fig6_playtime_cdf=staged(
-                    "fig6_playtime_cdf", exp_mod.playtime_cdf, ds
-                ),
-                fig7_twoweek=staged(
-                    "fig7_twoweek", exp_mod.twoweek_nonzero, ds
-                ),
-                fig8_market_value=staged(
-                    "fig8_market_value", exp_mod.market_value_distribution, ds
-                ),
-                fig9_genre_expenditure=staged(
-                    "fig9_genre_expenditure", exp_mod.genre_expenditure, ds
-                ),
-                fig10_multiplayer=staged(
-                    "fig10_multiplayer", mp_mod.multiplayer_share, ds
-                ),
-                fig11_homophily=staged(
-                    "fig11_homophily", homo_mod.homophily, ds
-                ),
-                sec7_cross_correlations=staged(
-                    "sec7_cross_correlations", homo_mod.cross_correlations, ds
-                ),
-                sec8_evolution=sec8,
-                sec9_achievements=sec9,
-                fig12_week_panel=week_panel,
-            )
+        self.last_engine_run = run
+        return assemble_report(run.results)

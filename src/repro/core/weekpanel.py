@@ -11,6 +11,9 @@ from repro.simworld.weekpanel import WeekPanel
 
 __all__ = ["WeekPanelStats", "analyze_week_panel"]
 
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
+
 
 @dataclass(frozen=True)
 class WeekPanelStats:

@@ -107,9 +107,19 @@ class CrawlCheckpoint:
             "achievements_cursor": self.achievements_cursor,
             "extra": self.extra,
         }
-        tmp = self.path.with_suffix(".tmp")
+        # Temp file keeps the full name (``state.json.tmp``), not a
+        # swapped suffix: ``with_suffix(".tmp")`` drops the extension,
+        # so sibling checkpoints sharing a stem (``state.json`` and
+        # ``state.bak``) would both write ``state.tmp`` and cross-
+        # clobber each other mid-write.
+        tmp = self.path.parent / (self.path.name + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            # fsync before rename: os.replace is atomic in the
+            # namespace but not durable — a crash after the rename yet
+            # before writeback could surface a torn checkpoint.
+            os.fsync(handle.fileno())
         os.replace(tmp, self.path)
         if self.obs is not None:
             self.obs.histogram(

@@ -1,0 +1,256 @@
+"""Serial and process-parallel execution of a stage graph.
+
+The engine runs every stage of a :class:`~repro.engine.stage.StageGraph`
+exactly once, in dependency order, consulting an optional
+:class:`~repro.engine.cache.StageCache` before computing anything.
+
+Determinism contract: stage functions are pure functions of their
+declared inputs, results are keyed and assembled **by stage name**, and
+the graph fixes the merge order — so the output is byte-identical
+whether stages ran serially, across 4 processes, or straight out of
+the cache.  The scheduler only decides *when* a stage runs, never what
+it computes.
+
+Worker processes get the (large) dataset for free on platforms with
+``fork`` — the parent plants the context in a module global before the
+pool spawns and children inherit it copy-on-write.  Elsewhere the
+dataset is spilled to a temp ``.npz`` once and each worker loads it in
+its initializer; per-task pickling is limited to the stage function
+reference, its parameters, and upstream results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.cache import StageCache
+from repro.engine.fingerprint import stage_key
+from repro.engine.stage import Stage, StageContext, StageGraph
+from repro.obs import Obs, maybe_span
+
+__all__ = ["Engine", "EngineRun"]
+
+#: Worker-side context; set by fork inheritance or the spawn initializer.
+_WORKER_CTX: StageContext | None = None
+
+
+def _init_worker_spawn(dataset_path: str, config: dict, aux_blob: bytes):
+    global _WORKER_CTX
+    from repro.store.io import load_dataset
+
+    _WORKER_CTX = StageContext(
+        dataset=load_dataset(dataset_path),
+        config=config,
+        aux=pickle.loads(aux_blob),
+    )
+
+
+def _run_stage_task(fn, params, deps):
+    """Execute one stage in a worker; returns (result, seconds)."""
+    assert _WORKER_CTX is not None, "worker context missing"
+    ctx = _WORKER_CTX.with_deps(deps)
+    start = time.perf_counter()
+    result = fn(ctx, **dict(params))
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class EngineRun:
+    """What one engine invocation did (for tests, CLI, and telemetry)."""
+
+    results: dict[str, Any]
+    #: Stages actually computed, in completion order.
+    executed: tuple[str, ...]
+    #: Stages served from the cache, in completion order.
+    cached: tuple[str, ...]
+    stage_seconds: dict[str, float]
+    jobs: int
+    cache_stats: dict[str, int] | None = None
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.results)
+
+
+@dataclass
+class Engine:
+    """Runs stage graphs; configure once, run many."""
+
+    jobs: int = 1
+    cache: StageCache | None = None
+    obs: Obs | None = None
+    #: Span/metric prefix for per-stage instrumentation.
+    span_prefix: str = "engine:"
+
+    def run(self, graph: StageGraph, ctx: StageContext) -> EngineRun:
+        fingerprint = (
+            ctx.dataset.fingerprint() if self.cache is not None else ""
+        )
+        if self.jobs <= 1:
+            run = self._run_serial(graph, ctx, fingerprint)
+        else:
+            run = self._run_parallel(graph, ctx, fingerprint)
+        if self.obs is not None:
+            self.obs.counter(
+                "engine_stages_executed", "Stages computed by the engine"
+            ).inc(len(run.executed))
+            self.obs.counter(
+                "engine_stages_cached", "Stages served from the stage cache"
+            ).inc(len(run.cached))
+        return run
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _key(self, stage: Stage, ctx: StageContext, fingerprint: str):
+        if self.cache is None:
+            return None
+        return stage_key(fingerprint, stage, ctx.config, ctx.aux)
+
+    def _observe(self, name: str, seconds: float) -> None:
+        if self.obs is not None:
+            self.obs.histogram(
+                "engine_stage_seconds",
+                "Wall time per analysis stage",
+                labelnames=("stage",),
+            ).observe(seconds, stage=name)
+
+    def _finish(self) -> dict[str, int] | None:
+        return self.cache.stats.as_dict() if self.cache is not None else None
+
+    # -- serial ---------------------------------------------------------------
+
+    def _run_serial(
+        self, graph: StageGraph, ctx: StageContext, fingerprint: str
+    ) -> EngineRun:
+        results: dict[str, Any] = {}
+        executed: list[str] = []
+        cached: list[str] = []
+        timings: dict[str, float] = {}
+        for name in graph.topo_order:
+            stage = graph.by_name[name]
+            key = self._key(stage, ctx, fingerprint)
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[name] = value
+                    cached.append(name)
+                    continue
+            local = ctx.with_deps({d: results[d] for d in stage.deps})
+            with maybe_span(self.obs, f"{self.span_prefix}{name}"):
+                start = time.perf_counter()
+                value = stage.fn(local, **dict(stage.params))
+                timings[name] = time.perf_counter() - start
+            self._observe(name, timings[name])
+            results[name] = value
+            executed.append(name)
+            if key is not None:
+                self.cache.put(key, value)
+        return EngineRun(
+            results=results,
+            executed=tuple(executed),
+            cached=tuple(cached),
+            stage_seconds=timings,
+            jobs=1,
+            cache_stats=self._finish(),
+        )
+
+    # -- parallel -------------------------------------------------------------
+
+    def _run_parallel(
+        self, graph: StageGraph, ctx: StageContext, fingerprint: str
+    ) -> EngineRun:
+        global _WORKER_CTX
+        results: dict[str, Any] = {}
+        executed: list[str] = []
+        cached: list[str] = []
+        timings: dict[str, float] = {}
+
+        indegree = {s.name: len(s.deps) for s in graph}
+        dependents = graph.dependents()
+        position = {name: i for i, name in enumerate(graph.topo_order)}
+        ready = [n for n in graph.topo_order if indegree[n] == 0]
+
+        methods = multiprocessing.get_all_start_methods()
+        use_fork = "fork" in methods
+        tmpdir: tempfile.TemporaryDirectory | None = None
+        if use_fork:
+            mp_ctx = multiprocessing.get_context("fork")
+            init, initargs = None, ()
+            _WORKER_CTX = StageContext(
+                dataset=ctx.dataset, config=ctx.config, aux=ctx.aux
+            )
+        else:
+            from repro.store.io import save_dataset
+
+            mp_ctx = multiprocessing.get_context("spawn")
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-engine-")
+            path = save_dataset(
+                ctx.dataset, Path(tmpdir.name) / "dataset.npz"
+            )
+            init = _init_worker_spawn
+            initargs = (str(path), ctx.config, pickle.dumps(ctx.aux))
+
+        def complete(name: str, value: Any, from_cache: bool) -> None:
+            results[name] = value
+            (cached if from_cache else executed).append(name)
+            for consumer in dependents[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+            ready.sort(key=position.__getitem__)
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=mp_ctx,
+                initializer=init,
+                initargs=initargs,
+            ) as pool:
+                inflight: dict[Any, str] = {}
+                while ready or inflight:
+                    while ready:
+                        name = ready.pop(0)
+                        stage = graph.by_name[name]
+                        key = self._key(stage, ctx, fingerprint)
+                        if key is not None:
+                            hit, value = self.cache.get(key)
+                            if hit:
+                                complete(name, value, from_cache=True)
+                                continue
+                        deps = {d: results[d] for d in stage.deps}
+                        future = pool.submit(
+                            _run_stage_task, stage.fn, stage.params, deps
+                        )
+                        inflight[future] = name
+                    if not inflight:
+                        continue
+                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        name = inflight.pop(future)
+                        value, seconds = future.result()
+                        timings[name] = seconds
+                        self._observe(name, seconds)
+                        complete(name, value, from_cache=False)
+                        stage = graph.by_name[name]
+                        key = self._key(stage, ctx, fingerprint)
+                        if key is not None:
+                            self.cache.put(key, value)
+        finally:
+            _WORKER_CTX = None
+            if tmpdir is not None:
+                tmpdir.cleanup()
+        return EngineRun(
+            results=results,
+            executed=tuple(executed),
+            cached=tuple(cached),
+            stage_seconds=timings,
+            jobs=self.jobs,
+            cache_stats=self._finish(),
+        )

@@ -1,0 +1,117 @@
+"""Content hashing for cache keys.
+
+Three layers of identity feed a stage's cache key:
+
+1. the **dataset fingerprint** (:meth:`SteamDataset.fingerprint` — a
+   SHA-256 over every column and the metadata),
+2. the **stage code version** — a manual version string combined with a
+   hash of the source file of every module the stage declares, so
+   editing an analysis module invalidates exactly its stages,
+3. the **config hash** — the stage's declared config keys and bound
+   parameters, plus content hashes of any auxiliary inputs.
+
+All three are folded into one hex key by :func:`stage_key`; equal keys
+mean "this exact computation has run before".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import inspect
+import json
+from types import ModuleType
+from typing import Any
+
+import numpy as np
+
+__all__ = ["content_hash", "source_hash", "stage_key", "ENGINE_SCHEMA"]
+
+#: Bumped when the cache entry layout or key derivation changes; part of
+#: every key so old caches simply miss instead of misreading.
+ENGINE_SCHEMA = 1
+
+
+def _update(h, obj: Any) -> None:
+    """Fold ``obj`` into ``h`` in a type-tagged, order-stable way."""
+    if obj is None:
+        h.update(b"\x00none")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"\x00arr")
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, (bool, int, float, complex, str, bytes, np.generic)):
+        h.update(b"\x00scalar")
+        h.update(repr(obj).encode())
+    elif isinstance(obj, dict):
+        h.update(b"\x00dict")
+        for key in sorted(obj, key=repr):
+            _update(h, key)
+            _update(h, obj[key])
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"\x00seq")
+        for item in obj:
+            _update(h, item)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"\x00dc")
+        h.update(type(obj).__qualname__.encode())
+        for f in dataclasses.fields(obj):
+            _update(h, f.name)
+            _update(h, getattr(obj, f.name))
+    else:
+        raise TypeError(f"content_hash cannot hash {type(obj).__name__}")
+
+
+def content_hash(obj: Any) -> str:
+    """Stable SHA-256 of arrays, dataclasses, and plain containers."""
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+@functools.cache
+def source_hash(module: ModuleType) -> str:
+    """SHA-256 of a module's source file (empty when unavailable).
+
+    Cached per module: stage graphs consult this once per process, not
+    once per stage run.
+    """
+    try:
+        path = inspect.getsourcefile(module)
+        if path is None:
+            return ""
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+    except (OSError, TypeError):
+        return ""
+
+
+def stage_key(
+    dataset_fingerprint: str,
+    stage,
+    config: dict,
+    aux: dict | None = None,
+) -> str:
+    """The content address of one stage execution.
+
+    ``stage`` is a :class:`repro.engine.stage.Stage`; ``config`` is the
+    full config dict (only the stage's declared ``config_keys`` enter
+    the key); ``aux`` maps auxiliary input names to values, content-
+    hashed for the stage's declared ``aux_keys``.
+    """
+    aux = aux or {}
+    payload = {
+        "schema": ENGINE_SCHEMA,
+        "dataset": dataset_fingerprint,
+        "stage": stage.name,
+        "version": stage.version,
+        "code": [source_hash(mod) for mod in stage.modules],
+        "config": {k: config[k] for k in stage.config_keys},
+        "params": list(stage.params),
+        "aux": {k: content_hash(aux[k]) for k in stage.aux_keys},
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

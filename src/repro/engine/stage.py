@@ -1,0 +1,129 @@
+"""Stage declarations and the validated stage graph.
+
+A :class:`Stage` is a named, pure, picklable unit of analysis: a
+module-level function plus bound parameters, with every input declared
+— the dataset (implicit), config keys, auxiliary inputs (e.g. the
+simulated week panel), and upstream stages.  Declared inputs are what
+make memoization sound: they are exactly what enters the cache key.
+
+:class:`StageGraph` validates a set of stages into a DAG (unique
+names, known dependencies, no cycles) and provides the deterministic
+topological order the serial executor uses and the parallel executor's
+scheduler respects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable
+
+__all__ = ["Stage", "StageContext", "StageGraph"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One declared analysis stage."""
+
+    #: Unique stage name; also the span / result key.
+    name: str
+    #: Module-level function ``fn(ctx, **dict(params))`` (must pickle).
+    fn: Callable[..., Any]
+    #: Bound keyword parameters, as a sorted tuple of (name, value).
+    params: tuple[tuple[str, Any], ...] = ()
+    #: Names of stages whose results this stage reads via ``ctx.dep``.
+    deps: tuple[str, ...] = ()
+    #: Keys of the config dict this stage's result depends on.
+    config_keys: tuple[str, ...] = ()
+    #: Names of auxiliary inputs (``ctx.aux``) this stage reads.
+    aux_keys: tuple[str, ...] = ()
+    #: Modules whose source hashes version this stage's code.
+    modules: tuple[ModuleType, ...] = ()
+    #: Manual code version; bump to force invalidation.
+    version: str = "1"
+
+
+@dataclass
+class StageContext:
+    """Everything a stage function may read.
+
+    Workers rebuild this (dataset via fork inheritance or a temp-file
+    reload) so stage functions never close over process state.
+    """
+
+    dataset: Any
+    config: dict[str, Any] = field(default_factory=dict)
+    aux: dict[str, Any] = field(default_factory=dict)
+    deps: dict[str, Any] = field(default_factory=dict)
+
+    def dep(self, name: str) -> Any:
+        """Result of an upstream stage (declared in ``Stage.deps``)."""
+        return self.deps[name]
+
+    def with_deps(self, deps: dict[str, Any]) -> "StageContext":
+        return StageContext(
+            dataset=self.dataset, config=self.config, aux=self.aux, deps=deps
+        )
+
+
+class StageGraph:
+    """An ordered, validated collection of stages."""
+
+    def __init__(self, stages: list[Stage] | tuple[Stage, ...]) -> None:
+        self.stages: tuple[Stage, ...] = tuple(stages)
+        self.by_name: dict[str, Stage] = {}
+        for stage in self.stages:
+            if stage.name in self.by_name:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            self.by_name[stage.name] = stage
+        for stage in self.stages:
+            for dep in stage.deps:
+                if dep not in self.by_name:
+                    raise ValueError(
+                        f"stage {stage.name!r} depends on unknown "
+                        f"stage {dep!r}"
+                    )
+        self._topo = self._topological_order()
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    @property
+    def topo_order(self) -> tuple[str, ...]:
+        """Deterministic topological order (declaration-order ties)."""
+        return self._topo
+
+    def dependents(self) -> dict[str, tuple[str, ...]]:
+        """Reverse edges: stage -> stages that consume it."""
+        out: dict[str, list[str]] = {s.name: [] for s in self.stages}
+        for stage in self.stages:
+            for dep in stage.deps:
+                out[dep].append(stage.name)
+        return {k: tuple(v) for k, v in out.items()}
+
+    def _topological_order(self) -> tuple[str, ...]:
+        indegree = {s.name: len(s.deps) for s in self.stages}
+        dependents = self.dependents()
+        # Kahn's algorithm with a declaration-ordered ready list keeps
+        # the serial schedule reproducible run to run.
+        ready = [s.name for s in self.stages if indegree[s.name] == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            unblocked = []
+            for consumer in dependents[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    unblocked.append(consumer)
+            if unblocked:
+                position = {s.name: i for i, s in enumerate(self.stages)}
+                ready.extend(unblocked)
+                ready.sort(key=position.__getitem__)
+        if len(order) != len(self.stages):
+            cyclic = sorted(set(self.by_name) - set(order))
+            raise ValueError(f"stage graph has a cycle involving {cyclic}")
+        return tuple(order)

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -20,6 +22,9 @@ from repro.store.tables import (
 )
 
 __all__ = ["SteamDataset", "DatasetMeta"]
+
+#: Cache-invalidation handle for the engine (see DESIGN.md §8).
+STAGE_VERSION = "1"
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,10 @@ class SteamDataset:
     achievements: AchievementTable | None = None
     snapshot2: Snapshot2Table | None = None
     meta: DatasetMeta = field(default_factory=DatasetMeta)
+    #: Memoized content hash; assumes tables are not mutated afterwards.
+    _fingerprint: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = self.accounts.n_users
@@ -112,6 +121,93 @@ class SteamDataset:
 
     def membership_counts(self) -> np.ndarray:
         return self.groups.user_memberships().counts()
+
+    # -- identity -----------------------------------------------------------
+
+    def iter_columns(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Every array column under its persistent dotted key.
+
+        This is the single authoritative walk of the dataset's array
+        content: :func:`repro.store.io.save_dataset` persists exactly
+        these keys, and :meth:`fingerprint` hashes exactly them, so the
+        on-disk format and the cache identity can never drift apart.
+        """
+        acc = self.accounts
+        yield "acc.id_offset", acc.id_offset
+        yield "acc.created_day", acc.created_day
+        yield "acc.country", acc.country
+        yield "acc.city", acc.city
+        fr = self.friends
+        yield "fr.u", fr.u
+        yield "fr.v", fr.v
+        yield "fr.day", fr.day
+        gr = self.groups
+        yield "gr.type", gr.group_type
+        yield "gr.focus", gr.focus_game
+        yield "gr.indptr", gr.members.indptr
+        yield "gr.indices", gr.members.indices
+        cat = self.catalog
+        yield "cat.appid", cat.appid
+        yield "cat.is_game", cat.is_game
+        yield "cat.primary_genre", cat.primary_genre
+        yield "cat.genre_mask", cat.genre_mask
+        yield "cat.price_cents", cat.price_cents
+        yield "cat.multiplayer", cat.multiplayer
+        yield "cat.release_day", cat.release_day
+        yield "cat.metacritic", cat.metacritic
+        lib = self.library
+        yield "lib.indptr", lib.owned.indptr
+        yield "lib.indices", lib.owned.indices
+        yield "lib.total_min", lib.total_min
+        yield "lib.twoweek_min", lib.twoweek_min
+        if self.achievements is not None:
+            ach = self.achievements
+            yield "ach.count", ach.count
+            yield "ach.indptr", ach.indptr
+            yield "ach.rates", ach.rates
+        if self.snapshot2 is not None:
+            s2 = self.snapshot2
+            yield "s2.owned", s2.owned
+            yield "s2.played", s2.played
+            yield "s2.value_cents", s2.value_cents
+            yield "s2.total_min", s2.total_min
+            yield "s2.twoweek_min", s2.twoweek_min
+
+    def meta_dict(self) -> dict[str, Any]:
+        """The JSON-serializable metadata sidecar (no format version)."""
+        return {
+            "country_names": list(self.accounts.country_names),
+            "genre_names": list(self.catalog.genre_names),
+            "snapshot1_day": self.meta.snapshot1_day,
+            "snapshot2_day": self.meta.snapshot2_day,
+            "friend_ts_epoch_day": self.meta.friend_ts_epoch_day,
+            "seed": self.meta.seed,
+            "scale_note": self.meta.scale_note,
+            "extra": self.meta.extra,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 over every column and the metadata.
+
+        Two datasets with identical content — whether generated,
+        reloaded from ``.npz``, or reassembled by the crawler — share a
+        fingerprint; any change to any cell changes it.  Memoized on
+        first call, so callers (the analysis engine keys its stage
+        cache on this) must not mutate the tables afterwards.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256(b"steamdataset-v1")
+            for key, column in self.iter_columns():
+                arr = np.ascontiguousarray(column)
+                h.update(key.encode())
+                h.update(str(arr.dtype).encode())
+                h.update(str(arr.shape).encode())
+                h.update(arr.tobytes())
+            h.update(
+                json.dumps(self.meta_dict(), sort_keys=True).encode()
+            )
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def day_to_date(self, day: int) -> dt.date:
         """Convert a days-since-launch value to a calendar date."""

@@ -34,66 +34,10 @@ def save_dataset(dataset: SteamDataset, path: str | Path) -> Path:
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    arrays: dict[str, np.ndarray] = {}
-
-    acc = dataset.accounts
-    arrays["acc.id_offset"] = acc.id_offset
-    arrays["acc.created_day"] = acc.created_day
-    arrays["acc.country"] = acc.country
-    arrays["acc.city"] = acc.city
-
-    fr = dataset.friends
-    arrays["fr.u"] = fr.u
-    arrays["fr.v"] = fr.v
-    arrays["fr.day"] = fr.day
-
-    gr = dataset.groups
-    arrays["gr.type"] = gr.group_type
-    arrays["gr.focus"] = gr.focus_game
-    arrays["gr.indptr"] = gr.members.indptr
-    arrays["gr.indices"] = gr.members.indices
-
-    cat = dataset.catalog
-    arrays["cat.appid"] = cat.appid
-    arrays["cat.is_game"] = cat.is_game
-    arrays["cat.primary_genre"] = cat.primary_genre
-    arrays["cat.genre_mask"] = cat.genre_mask
-    arrays["cat.price_cents"] = cat.price_cents
-    arrays["cat.multiplayer"] = cat.multiplayer
-    arrays["cat.release_day"] = cat.release_day
-    arrays["cat.metacritic"] = cat.metacritic
-
-    lib = dataset.library
-    arrays["lib.indptr"] = lib.owned.indptr
-    arrays["lib.indices"] = lib.owned.indices
-    arrays["lib.total_min"] = lib.total_min
-    arrays["lib.twoweek_min"] = lib.twoweek_min
-
-    if dataset.achievements is not None:
-        ach = dataset.achievements
-        arrays["ach.count"] = ach.count
-        arrays["ach.indptr"] = ach.indptr
-        arrays["ach.rates"] = ach.rates
-
-    if dataset.snapshot2 is not None:
-        s2 = dataset.snapshot2
-        arrays["s2.owned"] = s2.owned
-        arrays["s2.played"] = s2.played
-        arrays["s2.value_cents"] = s2.value_cents
-        arrays["s2.total_min"] = s2.total_min
-        arrays["s2.twoweek_min"] = s2.twoweek_min
-
-    meta = {
-        "format_version": _FORMAT_VERSION,
-        "country_names": list(acc.country_names),
-        "genre_names": list(cat.genre_names),
-        "snapshot1_day": dataset.meta.snapshot1_day,
-        "snapshot2_day": dataset.meta.snapshot2_day,
-        "friend_ts_epoch_day": dataset.meta.friend_ts_epoch_day,
-        "seed": dataset.meta.seed,
-        "scale_note": dataset.meta.scale_note,
-        "extra": dataset.meta.extra,
-    }
+    # The dataset owns the authoritative column walk (shared with its
+    # content fingerprint); persistence just serializes it.
+    arrays: dict[str, np.ndarray] = dict(dataset.iter_columns())
+    meta = {"format_version": _FORMAT_VERSION, **dataset.meta_dict()}
     arrays["meta.json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )

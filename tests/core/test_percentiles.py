@@ -48,6 +48,28 @@ class TestStructure:
         assert "(paper)" in text
         assert "friends" in text
 
+    def test_render_aligns_long_attribute_names(self):
+        # Regression: a fixed 24-char label column overflowed for
+        # attribute names of 24+ chars, shifting that row's cells.
+        from repro.core.percentiles import PercentileRow, PercentileTable
+
+        long_name = "a_very_long_attribute_name_indeed"
+        assert len(long_name) >= 24
+        table = PercentileTable(
+            rows=(
+                PercentileRow("friends", (1.0,) * 5, 10),
+                PercentileRow(long_name, (2.0,) * 5, 10),
+            )
+        )
+        lines = table.render().split("\n")
+        header, rows = lines[0], lines[2:]
+        # Every row is exactly header-width: labels stay inside the
+        # label column, so value cells line up under p50..p99.
+        assert all(len(line) == len(header) for line in rows)
+        label_width = len(long_name) + 2
+        for line in rows:
+            assert line[:label_width].rstrip() in ("friends", long_name)
+
 
 class TestPopulations:
     def test_population_counts(self, table, dataset):

@@ -27,6 +27,16 @@ class TestRankdata:
         theirs = stats.rankdata(values, method="average")
         assert np.allclose(ours, theirs)
 
+    def test_nan_input_raises(self):
+        # Regression: argsort places NaN last, so a NaN used to get a
+        # quiet ordinary rank and corrupt every rho downstream.
+        with pytest.raises(ValueError, match="NaN"):
+            rankdata_average(np.array([1.0, np.nan, 3.0]))
+
+    def test_integer_input_skips_nan_scan(self):
+        # Integer dtypes cannot hold NaN; the guard must not choke.
+        assert rankdata_average(np.array([3, 1, 2])).tolist() == [3, 1, 2]
+
 
 class TestSpearman:
     def test_perfect_monotone(self, rng):
@@ -64,6 +74,14 @@ class TestSpearman:
             spearman(np.ones(3), np.ones(4))
         with pytest.raises(ValueError):
             spearman(np.ones(1), np.ones(1))
+
+    def test_nan_sample_raises_with_side_identified(self):
+        clean = np.arange(5.0)
+        dirty = np.array([0.0, 1.0, np.nan, 3.0, 4.0])
+        with pytest.raises(ValueError, match="sample a"):
+            spearman(dirty, clean)
+        with pytest.raises(ValueError, match="sample b"):
+            spearman(clean, dirty)
 
 
 class TestStrengthLabel:

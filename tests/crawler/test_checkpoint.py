@@ -54,6 +54,35 @@ class TestCheckpoint:
             assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
             assert json.loads(path.read_text())  # always complete JSON
 
+    def test_sibling_checkpoints_sharing_a_stem_do_not_collide(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: the temp file used to be ``path.with_suffix('.tmp')``,
+        so ``state.json`` and ``state.bak`` (same stem, different
+        extension) both staged through ``state.tmp`` and could clobber
+        each other mid-write.  The temp name must embed the full file
+        name."""
+        import os
+
+        staged: list[str] = []
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            staged.append(os.path.basename(str(src)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy_replace)
+
+        a = CrawlCheckpoint(path=tmp_path / "state.json")
+        b = CrawlCheckpoint(path=tmp_path / "state.bak")
+        a.profile_cursor = 1
+        b.profile_cursor = 2
+        a.save()
+        b.save()
+        assert len(set(staged)) == 2, staged
+        assert CrawlCheckpoint.load(tmp_path / "state.json").profile_cursor == 1
+        assert CrawlCheckpoint.load(tmp_path / "state.bak").profile_cursor == 2
+
 
 class TestCrashRecovery:
     def test_truncated_file_falls_back_fresh(self, tmp_path):

@@ -1,0 +1,214 @@
+"""The content-addressed stage cache: keys, integrity, eviction.
+
+The study-level behaviors the ISSUE requires — hit/miss on config
+change, invalidation on dataset fingerprint change, corrupt entries
+falling back to recompute, warm reruns executing zero stages — are
+exercised end-to-end through ``SteamStudy.run`` here.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SteamStudy
+from repro.engine import Stage, StageCache, content_hash, stage_key
+from repro.engine.cache import _MAGIC
+
+
+def _noop(ctx):
+    return None
+
+
+def _stage(**kwargs):
+    defaults = dict(name="s", fn=_noop)
+    defaults.update(kwargs)
+    return Stage(**defaults)
+
+
+class TestContentHash:
+    def test_array_content_addressed(self):
+        a = np.arange(10)
+        assert content_hash(a) == content_hash(np.arange(10))
+        assert content_hash(a) != content_hash(np.arange(11))
+        assert content_hash(a) != content_hash(a.astype(np.float64))
+
+    def test_container_order_stability(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash(
+            {"b": 2, "a": 1}
+        )
+        assert content_hash([1, 2]) != content_hash([2, 1])
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            content_hash(object())
+
+
+class TestStageKey:
+    def test_key_varies_with_each_input(self):
+        stage = _stage(config_keys=("max_tail",))
+        base = stage_key("fp", stage, {"max_tail": 10})
+        assert base == stage_key("fp", stage, {"max_tail": 10})
+        assert base != stage_key("fp2", stage, {"max_tail": 10})
+        assert base != stage_key("fp", stage, {"max_tail": 20})
+        assert base != stage_key(
+            "fp", _stage(config_keys=("max_tail",), version="2"),
+            {"max_tail": 10},
+        )
+        assert base != stage_key(
+            "fp",
+            _stage(config_keys=("max_tail",), params=(("row", "x"),)),
+            {"max_tail": 10},
+        )
+
+    def test_undeclared_config_keys_ignored(self):
+        stage = _stage(config_keys=("used",))
+        assert stage_key(
+            "fp", stage, {"used": 1, "ignored": 2}
+        ) == stage_key("fp", stage, {"used": 1, "ignored": 3})
+
+    def test_aux_inputs_enter_key(self):
+        stage = _stage(aux_keys=("panel",))
+        a = stage_key("fp", stage, {}, {"panel": np.arange(4)})
+        b = stage_key("fp", stage, {}, {"panel": np.arange(5)})
+        assert a != b
+
+
+class TestCacheStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = StageCache(tmp_path)
+        hit, _ = cache.get("ab" * 32)
+        assert not hit
+        cache.put("ab" * 32, {"answer": 42})
+        hit, value = cache.get("ab" * 32)
+        assert hit and value == {"answer": 42}
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "corrupt": 0,
+            "evictions": 0,
+            "writes": 1,
+        }
+
+    def test_numpy_payload_roundtrip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.put("cd" * 32, np.arange(1000))
+        hit, value = cache.get("cd" * 32)
+        assert hit
+        np.testing.assert_array_equal(value, np.arange(1000))
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            b"",  # truncated to nothing
+            b"garbage",  # wrong magic
+            _MAGIC + b"\x00" * 32 + b"payload",  # checksum mismatch
+        ],
+    )
+    def test_corrupt_entry_is_a_miss_and_removed(
+        self, tmp_path, corruption
+    ):
+        cache = StageCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, "value")
+        cache.path_for(key).write_bytes(corruption)
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.corrupt == 1
+        assert not cache.path_for(key).exists()
+
+    def test_atomic_write_leaves_no_temp(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.put("01" * 32, list(range(100)))
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.name.endswith(".tmp")
+            or ".tmp." in p.name
+        ]
+        assert leftovers == []
+
+    def test_eviction_prunes_oldest_to_budget(self, tmp_path):
+        import os
+
+        cache = StageCache(tmp_path, max_bytes=1)  # everything over
+        cache.max_bytes = None
+        keys = [f"{i:02d}" * 32 for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, "x" * 100)
+            # Distinct mtimes make LRU order deterministic.
+            os.utime(cache.path_for(key), (i, i))
+        cache.max_bytes = 2 * cache.path_for(keys[0]).stat().st_size
+        evicted = cache.prune()
+        assert evicted == 2
+        assert cache.stats.evictions == 2
+        # Oldest two gone, newest two intact.
+        assert not cache.path_for(keys[0]).exists()
+        assert not cache.path_for(keys[1]).exists()
+        assert cache.get(keys[2])[0] and cache.get(keys[3])[0]
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.put("aa" * 32, 1)
+        cache.put("bb" * 32, 2)
+        cache.clear()
+        assert cache.entries() == []
+
+
+class TestStudyLevelCaching:
+    """The ISSUE's cache acceptance behaviors, end-to-end."""
+
+    @pytest.fixture()
+    def study(self, small_world):
+        return SteamStudy(world=small_world, _dataset=small_world.dataset)
+
+    def _run(self, study, tmp_path, **kwargs):
+        kwargs.setdefault("include_table4", True)
+        kwargs.setdefault("table4_max_tail", 4_000)
+        report = study.run(cache=tmp_path / "cache", **kwargs)
+        return report, study.last_engine_run
+
+    def test_warm_rerun_executes_zero_stages(self, study, tmp_path):
+        report_cold, run_cold = self._run(study, tmp_path)
+        assert run_cold.cached == ()
+        report_warm, run_warm = self._run(study, tmp_path)
+        assert run_warm.executed == ()
+        assert len(run_warm.cached) == run_cold.n_stages
+        assert report_warm.render() == report_cold.render()
+
+    def test_config_change_invalidates_only_dependent_stages(
+        self, study, tmp_path
+    ):
+        self._run(study, tmp_path)
+        _, run = self._run(study, tmp_path, table4_max_tail=3_000)
+        # Only the Table 4 shards + merge read table4_max_tail; every
+        # other stage must still hit.
+        assert run.executed != ()
+        assert all(
+            name.startswith("table4") for name in run.executed
+        )
+        assert "table3_percentiles" in run.cached
+
+    def test_dataset_fingerprint_change_invalidates(
+        self, study, tmp_path
+    ):
+        from repro import SteamWorld, WorldConfig
+
+        self._run(study, tmp_path)
+        other_world = SteamWorld.generate(
+            WorldConfig(n_users=2_000, seed=999)
+        )
+        other = SteamStudy(
+            world=other_world, _dataset=other_world.dataset
+        )
+        _, run = self._run(other, tmp_path)
+        assert run.cached == ()
+        assert len(run.executed) == run.n_stages
+
+    def test_corrupt_entry_falls_back_to_recompute(
+        self, study, tmp_path
+    ):
+        report_a, _ = self._run(study, tmp_path)
+        cache = StageCache(tmp_path / "cache")
+        victim = cache.entries()[0]
+        victim.write_bytes(b"bit rot")
+        report_b, run = self._run(study, tmp_path)
+        assert len(run.executed) == 1
+        assert run.cache_stats["corrupt"] == 1
+        assert report_b.render() == report_a.render()

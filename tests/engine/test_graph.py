@@ -1,0 +1,74 @@
+"""Stage graph validation and deterministic topological ordering."""
+
+import pytest
+
+from repro.engine import Stage, StageContext, StageGraph
+
+
+def _noop(ctx):
+    return None
+
+
+def _stage(name, deps=()):
+    return Stage(name=name, fn=_noop, deps=tuple(deps))
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            StageGraph([_stage("a"), _stage("a")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            StageGraph([_stage("a", deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            StageGraph(
+                [_stage("a", deps=("b",)), _stage("b", deps=("a",))]
+            )
+
+    def test_self_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            StageGraph([_stage("a", deps=("a",))])
+
+
+class TestTopoOrder:
+    def test_respects_dependencies(self):
+        graph = StageGraph(
+            [
+                _stage("merge", deps=("left", "right")),
+                _stage("left"),
+                _stage("right"),
+            ]
+        )
+        order = graph.topo_order
+        assert order.index("merge") > order.index("left")
+        assert order.index("merge") > order.index("right")
+
+    def test_declaration_order_breaks_ties(self):
+        graph = StageGraph([_stage("c"), _stage("a"), _stage("b")])
+        assert graph.topo_order == ("c", "a", "b")
+
+    def test_dependents_reverse_edges(self):
+        graph = StageGraph(
+            [_stage("base"), _stage("user", deps=("base",))]
+        )
+        assert graph.dependents()["base"] == ("user",)
+        assert graph.dependents()["user"] == ()
+
+
+class TestContext:
+    def test_dep_lookup(self):
+        ctx = StageContext(dataset=None, deps={"up": 42})
+        assert ctx.dep("up") == 42
+
+    def test_with_deps_preserves_inputs(self):
+        ctx = StageContext(
+            dataset="ds", config={"k": 1}, aux={"panel": "p"}
+        )
+        local = ctx.with_deps({"up": 1})
+        assert local.dataset == "ds"
+        assert local.config == {"k": 1}
+        assert local.aux == {"panel": "p"}
+        assert local.dep("up") == 1

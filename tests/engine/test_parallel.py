@@ -1,0 +1,141 @@
+"""Process-parallel execution: determinism and scheduling.
+
+The determinism contract (DESIGN.md §8): the jobs count is a pure
+acceleration knob — same seed, any jobs, byte-identical report.
+"""
+
+import pytest
+
+from repro import SteamStudy
+from repro.engine import Engine, Stage, StageContext, StageGraph
+from repro.obs import Obs
+
+
+def _double(ctx, value):
+    return value * 2
+
+
+def _add_deps(ctx):
+    return ctx.dep("left") + ctx.dep("right")
+
+
+def _use_config(ctx):
+    return ctx.config["base"] + 1
+
+
+def _use_aux(ctx):
+    return ctx.aux["extra"]
+
+
+def _diamond_graph():
+    return StageGraph(
+        [
+            Stage(name="left", fn=_double, params=(("value", 3),)),
+            Stage(name="right", fn=_use_config, config_keys=("base",)),
+            Stage(name="merge", fn=_add_deps, deps=("left", "right")),
+            Stage(name="aux", fn=_use_aux, aux_keys=("extra",)),
+        ]
+    )
+
+
+class TestEngineGraphExecution:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_diamond_dependencies_resolve(self, small_dataset, jobs):
+        ctx = StageContext(
+            dataset=small_dataset,
+            config={"base": 10},
+            aux={"extra": "panel"},
+        )
+        run = Engine(jobs=jobs).run(_diamond_graph(), ctx)
+        assert run.results == {
+            "left": 6,
+            "right": 11,
+            "merge": 17,
+            "aux": "panel",
+        }
+        assert set(run.executed) == {"left", "right", "merge", "aux"}
+        assert run.cached == ()
+
+    def test_stage_exception_propagates(self, small_dataset):
+        def boom(ctx):
+            raise RuntimeError("stage failed")
+
+        # Serial path: the exception must surface, not be swallowed.
+        graph = StageGraph([Stage(name="bad", fn=boom)])
+        ctx = StageContext(dataset=small_dataset)
+        with pytest.raises(RuntimeError, match="stage failed"):
+            Engine(jobs=1).run(graph, ctx)
+
+
+class TestParallelByteIdentity:
+    @pytest.fixture(scope="class")
+    def reports(self, small_world):
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        return {
+            jobs: study.run(table4_max_tail=4_000, jobs=jobs)
+            for jobs in (1, 2, 4)
+        }
+
+    def test_same_seed_reports_byte_identical(self, reports):
+        serial = reports[1].render()
+        assert reports[2].render() == serial
+        assert reports[4].render() == serial
+
+    def test_figures_byte_identical(self, reports):
+        serial = reports[1].render_figures()
+        assert reports[2].render_figures() == serial
+        assert reports[4].render_figures() == serial
+
+    def test_table4_rows_ordered_identically(self, reports):
+        orders = {
+            jobs: tuple(report.table4.rows)
+            for jobs, report in reports.items()
+        }
+        assert orders[2] == orders[1]
+        assert orders[4] == orders[1]
+
+
+class TestObservability:
+    def test_engine_counters_and_stage_histogram(self, small_world):
+        obs = Obs()
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        study.run(include_table4=False, obs=obs, jobs=2)
+        run = study.last_engine_run
+        executed = obs.registry.get("engine_stages_executed")
+        assert executed.value() == len(run.executed)
+        histogram = obs.registry.get("engine_stage_seconds")
+        total_observed = sum(
+            series["count"] for series in histogram.snapshot()["series"]
+        )
+        assert total_observed == len(run.executed)
+
+    def test_cache_counters_reach_obs(self, small_world, tmp_path):
+        from repro.engine import StageCache
+
+        obs = Obs()
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        cache = StageCache(tmp_path / "cache", obs=obs)
+        study.run(include_table4=False, obs=obs, cache=cache)
+        study.run(include_table4=False, obs=obs, cache=cache)
+        n = study.last_engine_run.n_stages
+        assert obs.registry.get("engine_cache_misses").value() == n
+        assert obs.registry.get("engine_cache_hits").value() == n
+        assert obs.registry.get("engine_stages_cached").value() == n
+
+    def test_serial_spans_preserved_per_stage(self, small_world):
+        # The legacy contract: one analyze:<stage> span per stage.
+        obs = Obs()
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        study.run(include_table4=False, obs=obs)
+        totals = obs.tracer.aggregate()
+        assert totals["analyze"]["count"] == 1
+        assert totals["analyze:summary"]["count"] == 1
+        assert totals["analyze:fig12_week_panel"]["count"] == 1
