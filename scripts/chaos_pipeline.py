@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Scripted kill-and-resume drill for the supervised pipeline.
+
+CI's chaos job runs this to prove the crash-safety contract end to end
+on a real subprocess, not a mock:
+
+1. launch ``repro pipeline`` as a child process,
+2. poll ``manifest.json`` until the crawl step reports ``done``,
+3. ``SIGKILL`` the child (no cleanup handlers run — the hard case),
+4. rerun the pipeline to completion in-process,
+5. assert the crawl came back ``cached`` (not re-crawled) and that the
+   final report is byte-identical to an uninterrupted reference run.
+
+Exit status 0 means the contract held.  The workdir (manifest included)
+is left at ``--workdir`` for artifact upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_pipeline.py \
+        --workdir chaos_workdir [--users 1200] [--seed 31]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def _spawn_pipeline(workdir: Path, users: int, seed: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    code = (
+        "import sys\n"
+        "from repro.cli import main\n"
+        f"sys.exit(main(['pipeline', '--users', '{users}', "
+        f"'--seed', '{seed}', '--workdir', {str(workdir)!r}, "
+        "'--skip-table4', '--no-http']))\n"
+    )
+    return subprocess.Popen([sys.executable, "-c", code], env=env)
+
+
+def _wait_for_step(workdir: Path, step: str, timeout: float) -> None:
+    manifest_path = workdir / "manifest.json"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if manifest_path.exists():
+            try:
+                data = json.loads(manifest_path.read_text())
+            except ValueError:
+                data = {}
+            status = data.get("steps", {}).get(step, {}).get("status")
+            if status == "done":
+                return
+        time.sleep(0.05)
+    raise SystemExit(f"FAIL: step {step!r} never completed in {timeout}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="chaos_workdir")
+    parser.add_argument("--users", type=int, default=1_200)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument(
+        "--kill-after",
+        default="crawl",
+        help="step whose completion triggers the SIGKILL",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.pipeline import PipelineSupervisor
+
+    workdir = Path(args.workdir)
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    reference_dir = workdir / "reference"
+
+    print(f"[chaos] reference run -> {reference_dir}")
+    PipelineSupervisor(
+        workdir=reference_dir, users=args.users, seed=args.seed,
+        include_table4=False, http=False,
+    ).run()
+    reference = (reference_dir / "report.txt").read_bytes()
+
+    victim_dir = workdir / "victim"
+    print(f"[chaos] launching pipeline subprocess -> {victim_dir}")
+    proc = _spawn_pipeline(victim_dir, args.users, args.seed)
+    try:
+        _wait_for_step(victim_dir, args.kill_after, timeout=300)
+        print(f"[chaos] {args.kill_after} done; sending SIGKILL")
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        proc.wait(timeout=60)
+
+    if (victim_dir / "report.txt").exists():
+        raise SystemExit(
+            "FAIL: the kill landed after the report was already written; "
+            "nothing was tested — rerun (or kill after an earlier step)"
+        )
+
+    print("[chaos] rerunning pipeline to resume")
+    supervisor = PipelineSupervisor(
+        workdir=victim_dir, users=args.users, seed=args.seed,
+        include_table4=False, http=False,
+    )
+    manifest = supervisor.run()
+
+    crawl_status = manifest.steps["crawl"].status
+    if crawl_status != "cached":
+        raise SystemExit(
+            f"FAIL: crawl step was {crawl_status!r} on resume, not 'cached' "
+            f"— the rerun re-crawled instead of resuming"
+        )
+    resumed = (victim_dir / "report.txt").read_bytes()
+    if resumed != reference:
+        raise SystemExit(
+            "FAIL: resumed report differs from the uninterrupted reference"
+        )
+    print(
+        "[chaos] PASS: crawl resumed as 'cached', report byte-identical "
+        f"(resumed steps: {', '.join(supervisor.resumed_this_run)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

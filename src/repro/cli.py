@@ -11,6 +11,10 @@ Commands
 - ``crawl``    — re-collect a generated world through the simulated API
   (optionally over real localhost HTTP) and save the crawled dataset.
 - ``serve``    — expose a generated world as a Steam-Web-API HTTP server.
+- ``pipeline`` — run generate→serve→crawl→analyze end-to-end under one
+  supervisor with a persistent run manifest: a killed run (even
+  ``kill -9``) resumes from the last completed step on rerun, reusing
+  the crawl checkpoint and the engine stage cache for in-step recovery.
 - ``obs``      — observability utilities (``obs summarize <snapshot>``).
 
 ``generate``, ``analyze``, and ``crawl`` accept ``--metrics-out PATH``
@@ -234,6 +238,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import shutil
+
+    from repro.pipeline import PipelineSupervisor
+
+    workdir = Path(args.workdir)
+    if args.fresh and workdir.exists():
+        shutil.rmtree(workdir)
+    obs = _make_obs(args)
+    supervisor = PipelineSupervisor(
+        workdir=workdir,
+        users=args.users,
+        seed=args.seed,
+        jobs=args.jobs,
+        include_table4=not args.skip_table4,
+        http=not args.no_http,
+        obs=obs,
+    )
+    t0 = time.time()
+    manifest = supervisor.run()
+    elapsed = time.time() - t0
+    print(f"pipeline complete in {elapsed:.1f}s (workdir: {workdir})")
+    for name in ("generate", "serve", "crawl", "analyze"):
+        record = manifest.steps.get(name)
+        if record is None:
+            continue
+        extra = f"  [{record.note}]" if record.note else ""
+        artifact = f"  -> {record.artifact}" if record.artifact else ""
+        print(f"  {name:<9} {record.status:<8}{artifact}{extra}")
+    if supervisor.resumed_this_run:
+        print(
+            "resumed from previous run: "
+            + ", ".join(supervisor.resumed_this_run)
+        )
+    print(f"manifest: {workdir / 'manifest.json'}")
+    print(f"report:   {workdir / 'report.txt'}")
+    _finish_obs(obs, args)
+    return 0
+
+
 def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     import json
 
@@ -342,6 +386,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-request access logging",
     )
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_pl = sub.add_parser(
+        "pipeline",
+        help="run generate->serve->crawl->analyze under one supervisor",
+    )
+    _add_world_args(p_pl)
+    p_pl.add_argument(
+        "--workdir",
+        default="steam_pipeline",
+        help="working directory holding the manifest and all artifacts",
+    )
+    p_pl.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analysis parallelism (forwarded to the stage engine)",
+    )
+    p_pl.add_argument(
+        "--skip-table4",
+        action="store_true",
+        help="skip the (slower) distribution classification",
+    )
+    p_pl.add_argument(
+        "--no-http",
+        action="store_true",
+        help="crawl through the in-process transport instead of localhost HTTP",
+    )
+    p_pl.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard the workdir (and all resume state) before running",
+    )
+    _add_metrics_arg(p_pl)
+    p_pl.set_defaults(func=_cmd_pipeline)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)

@@ -350,16 +350,23 @@ class SteamStudy:
         obs: Obs | None = None,
         jobs: int = 1,
         cache: StageCache | str | Path | None = None,
+        engine_faults=None,
+        stage_timeout: float | None = None,
     ) -> StudyReport:
         """Compute every table and figure.
 
         ``jobs`` > 1 runs independent stages across a process pool;
         ``cache`` (a :class:`repro.engine.StageCache` or a directory
         path) memoizes stage results across runs.  Both are pure
-        accelerations: the report is byte-identical regardless.  ``obs``
-        records one span per stage under an ``analyze`` root in serial
-        mode, and per-stage ``engine_stage_seconds`` histograms plus
-        cache hit/miss counters in every mode.
+        accelerations: the report is byte-identical regardless — and so
+        is crash recovery: ``engine_faults`` (a seeded
+        :class:`repro.engine.EngineFaultPlan`, chaos tests only) makes
+        workers crash/hang/stall, and the engine's retry machinery must
+        still deliver the identical report.  ``stage_timeout`` arms the
+        per-stage hung-worker watchdog.  ``obs`` records one span per
+        stage under an ``analyze`` root in serial mode, and per-stage
+        ``engine_stage_seconds`` histograms plus cache hit/miss and
+        recovery counters in every mode.
         """
         ds = self._dataset
         config = {
@@ -375,7 +382,12 @@ class SteamStudy:
             cache = StageCache(Path(cache), obs=obs)
         graph = build_study_graph(ds, config, aux)
         engine = Engine(
-            jobs=jobs, cache=cache, obs=obs, span_prefix="analyze:"
+            jobs=jobs,
+            cache=cache,
+            obs=obs,
+            span_prefix="analyze:",
+            faults=engine_faults,
+            stage_timeout=stage_timeout,
         )
         with maybe_span(obs, "analyze", n_users=ds.n_users):
             run = engine.run(

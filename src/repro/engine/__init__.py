@@ -16,7 +16,14 @@ turns that observation into infrastructure:
 - :class:`~repro.engine.executor.Engine` — runs a graph serially or
   across a process pool (``jobs=N``); parallel output is byte-identical
   to serial because stages are pure and the assembly order is fixed by
-  the graph, not by completion order.
+  the graph, not by completion order.  Parallel execution is fault
+  tolerant: crashed or hung workers trigger a bounded pool rebuild and
+  resubmit, repeated pool loss falls back to serial execution, and
+  deterministic stage failures surface as one typed
+  :class:`~repro.engine.executor.StageFailedError` (DESIGN.md §9);
+- :class:`~repro.engine.faults.EngineFaultPlan` — seeded
+  crash/hang/error/slow fault injection into worker tasks, so the
+  recovery paths above are deterministically testable.
 
 :mod:`repro.core.study` expresses the full study as a stage graph on
 this engine; ``condensing-steam analyze --jobs/--cache-dir/--no-cache``
@@ -27,7 +34,13 @@ and the determinism contract.
 from __future__ import annotations
 
 from repro.engine.cache import CacheStats, StageCache
-from repro.engine.executor import Engine, EngineRun
+from repro.engine.executor import Engine, EngineRun, StageFailedError
+from repro.engine.faults import (
+    ENGINE_FAULT_KINDS,
+    EngineFaultPlan,
+    EngineFaultSpec,
+    InjectedFaultError,
+)
 from repro.engine.fingerprint import content_hash, source_hash, stage_key
 from repro.engine.stage import Stage, StageContext, StageGraph
 
@@ -39,6 +52,11 @@ __all__ = [
     "CacheStats",
     "Engine",
     "EngineRun",
+    "StageFailedError",
+    "EngineFaultPlan",
+    "EngineFaultSpec",
+    "InjectedFaultError",
+    "ENGINE_FAULT_KINDS",
     "content_hash",
     "source_hash",
     "stage_key",

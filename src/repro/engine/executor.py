@@ -7,9 +7,24 @@ exactly once, in dependency order, consulting an optional
 Determinism contract: stage functions are pure functions of their
 declared inputs, results are keyed and assembled **by stage name**, and
 the graph fixes the merge order — so the output is byte-identical
-whether stages ran serially, across 4 processes, or straight out of
-the cache.  The scheduler only decides *when* a stage runs, never what
-it computes.
+whether stages ran serially, across 4 processes, straight out of the
+cache, or through any number of crash recoveries.  The scheduler only
+decides *when* a stage runs, never what it computes.
+
+Fault tolerance (DESIGN.md §9): the parallel scheduler survives worker
+loss.  A dead worker breaks the whole :class:`ProcessPoolExecutor`, so
+the engine tears the pool down, rebuilds it, and resubmits every
+in-flight stage — purity makes the retry free of side effects.  A
+per-stage timeout watchdog treats a wedged worker the same way.  Both
+paths are bounded: a stage retried ``max_stage_attempts`` times without
+completing is quarantined and the run fails with a single
+:class:`StageFailedError` naming stage and cause; after
+``max_pool_breaks`` pool rebuilds the engine stops trusting process
+isolation and finishes the remaining stages serially in the parent.
+Stage exceptions are deterministic by the purity contract, so they
+quarantine immediately rather than burning retries.  All recovery
+events flow through :mod:`repro.obs` (``engine_stage_retries``,
+``engine_pool_breaks``, ``engine_serial_fallbacks``).
 
 Worker processes get the (large) dataset for free on platforms with
 ``fork`` — the parent plants the context in a module global before the
@@ -25,36 +40,73 @@ import multiprocessing
 import pickle
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.engine.cache import StageCache
+from repro.engine.faults import EngineFaultPlan
 from repro.engine.fingerprint import stage_key
 from repro.engine.stage import Stage, StageContext, StageGraph
 from repro.obs import Obs, maybe_span
 
-__all__ = ["Engine", "EngineRun"]
+__all__ = ["Engine", "EngineRun", "StageFailedError"]
 
 #: Worker-side context; set by fork inheritance or the spawn initializer.
 _WORKER_CTX: StageContext | None = None
+
+
+class StageFailedError(RuntimeError):
+    """One or more stages failed for good (no retry can help).
+
+    Carries the full quarantine list as ``failures`` (stage name ->
+    causing exception); ``stage`` and ``cause`` expose the first entry
+    for the common single-failure case.
+    """
+
+    def __init__(self, failures: dict[str, BaseException]) -> None:
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"{name!r}: {type(exc).__name__}: {exc}"
+            for name, exc in self.failures.items()
+        )
+        noun = "stage" if len(self.failures) == 1 else "stages"
+        super().__init__(f"{len(self.failures)} {noun} failed: {detail}")
+
+    @property
+    def stage(self) -> str:
+        return next(iter(self.failures))
+
+    @property
+    def cause(self) -> BaseException:
+        return next(iter(self.failures.values()))
 
 
 def _init_worker_spawn(dataset_path: str, config: dict, aux_blob: bytes):
     global _WORKER_CTX
     from repro.store.io import load_dataset
 
+    # verify=False: the parent wrote this spill file moments ago and
+    # every worker re-reads it; checksumming N times buys nothing.
     _WORKER_CTX = StageContext(
-        dataset=load_dataset(dataset_path),
+        dataset=load_dataset(dataset_path, verify=False),
         config=config,
         aux=pickle.loads(aux_blob),
     )
 
 
-def _run_stage_task(fn, params, deps):
+def _run_stage_task(fn, params, deps, name="", attempt=0, faults=None):
     """Execute one stage in a worker; returns (result, seconds)."""
     assert _WORKER_CTX is not None, "worker context missing"
+    if faults is not None:
+        faults.inject(name, attempt)
     ctx = _WORKER_CTX.with_deps(deps)
     start = time.perf_counter()
     result = fn(ctx, **dict(params))
@@ -73,6 +125,12 @@ class EngineRun:
     stage_seconds: dict[str, float]
     jobs: int
     cache_stats: dict[str, int] | None = None
+    #: Stage submissions repeated after a worker crash or hang.
+    retries: int = 0
+    #: Process pools torn down and rebuilt mid-run.
+    pool_breaks: int = 0
+    #: True when the run finished its tail serially in the parent.
+    serial_fallback: bool = False
 
     @property
     def n_stages(self) -> int:
@@ -88,6 +146,15 @@ class Engine:
     obs: Obs | None = None
     #: Span/metric prefix for per-stage instrumentation.
     span_prefix: str = "engine:"
+    #: Watchdog: a stage in flight longer than this (seconds) is
+    #: treated as hung and its pool is rebuilt.  ``None`` disables.
+    stage_timeout: float | None = None
+    #: Submissions per stage before it is quarantined for good.
+    max_stage_attempts: int = 3
+    #: Pool rebuilds tolerated before falling back to serial execution.
+    max_pool_breaks: int = 2
+    #: Seeded chaos plan injected into worker tasks (tests only).
+    faults: EngineFaultPlan | None = None
 
     def run(self, graph: StageGraph, ctx: StageContext) -> EngineRun:
         fingerprint = (
@@ -121,8 +188,62 @@ class Engine:
                 labelnames=("stage",),
             ).observe(seconds, stage=name)
 
+    def _count(self, name: str, help_: str, n: int = 1) -> None:
+        if self.obs is not None and n:
+            self.obs.counter(name, help_).inc(n)
+
     def _finish(self) -> dict[str, int] | None:
         return self.cache.stats.as_dict() if self.cache is not None else None
+
+    def _compute_serial(
+        self,
+        graph: StageGraph,
+        ctx: StageContext,
+        fingerprint: str,
+        results: dict[str, Any],
+        executed: list[str],
+        cached: list[str],
+        timings: dict[str, float],
+        spans: bool,
+    ) -> None:
+        """Compute every stage not yet in ``results``, in topo order.
+
+        Shared by the serial path (empty ``results``) and the parallel
+        path's serial fallback (partially-filled ``results``).  Runs in
+        the parent, so the fault plan is deliberately not consulted.
+        """
+        for name in graph.topo_order:
+            if name in results:
+                continue
+            stage = graph.by_name[name]
+            key = self._key(stage, ctx, fingerprint)
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[name] = value
+                    cached.append(name)
+                    continue
+            local = ctx.with_deps({d: results[d] for d in stage.deps})
+            span = (
+                maybe_span(self.obs, f"{self.span_prefix}{name}")
+                if spans
+                else maybe_span(None, name)
+            )
+            with span:
+                start = time.perf_counter()
+                try:
+                    value = stage.fn(local, **dict(stage.params))
+                except Exception as exc:
+                    # Purity makes stage exceptions deterministic:
+                    # surface one typed error naming stage and cause
+                    # instead of a raw traceback.
+                    raise StageFailedError({name: exc}) from exc
+                timings[name] = time.perf_counter() - start
+            self._observe(name, timings[name])
+            results[name] = value
+            executed.append(name)
+            if key is not None:
+                self.cache.put(key, value)
 
     # -- serial ---------------------------------------------------------------
 
@@ -133,25 +254,10 @@ class Engine:
         executed: list[str] = []
         cached: list[str] = []
         timings: dict[str, float] = {}
-        for name in graph.topo_order:
-            stage = graph.by_name[name]
-            key = self._key(stage, ctx, fingerprint)
-            if key is not None:
-                hit, value = self.cache.get(key)
-                if hit:
-                    results[name] = value
-                    cached.append(name)
-                    continue
-            local = ctx.with_deps({d: results[d] for d in stage.deps})
-            with maybe_span(self.obs, f"{self.span_prefix}{name}"):
-                start = time.perf_counter()
-                value = stage.fn(local, **dict(stage.params))
-                timings[name] = time.perf_counter() - start
-            self._observe(name, timings[name])
-            results[name] = value
-            executed.append(name)
-            if key is not None:
-                self.cache.put(key, value)
+        self._compute_serial(
+            graph, ctx, fingerprint, results, executed, cached, timings,
+            spans=True,
+        )
         return EngineRun(
             results=results,
             executed=tuple(executed),
@@ -177,6 +283,15 @@ class Engine:
         position = {name: i for i, name in enumerate(graph.topo_order)}
         ready = [n for n in graph.topo_order if indegree[n] == 0]
 
+        #: Submissions so far, per stage (the worker fault injector and
+        #: the quarantine bound both key off this).
+        attempts: dict[str, int] = {}
+        #: Stages that failed for good, with their causes.
+        quarantined: dict[str, BaseException] = {}
+        retries = 0
+        pool_breaks = 0
+        serial_fallback = False
+
         methods = multiprocessing.get_all_start_methods()
         use_fork = "fork" in methods
         tmpdir: tempfile.TemporaryDirectory | None = None
@@ -197,6 +312,36 @@ class Engine:
             init = _init_worker_spawn
             initargs = (str(path), ctx.config, pickle.dumps(ctx.aux))
 
+        pool: ProcessPoolExecutor | None = None
+        inflight: dict[Future, str] = {}
+        #: Watchdog deadlines, parallel to ``inflight``.
+        deadlines: dict[Future, float] = {}
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=mp_ctx,
+                initializer=init,
+                initargs=initargs,
+            )
+
+        def submit(name: str) -> None:
+            stage = graph.by_name[name]
+            attempt = attempts.get(name, 0)
+            attempts[name] = attempt + 1
+            future = pool.submit(
+                _run_stage_task,
+                stage.fn,
+                stage.params,
+                {d: results[d] for d in stage.deps},
+                name,
+                attempt,
+                self.faults,
+            )
+            inflight[future] = name
+            if self.stage_timeout is not None:
+                deadlines[future] = time.monotonic() + self.stage_timeout
+
         def complete(name: str, value: Any, from_cache: bool) -> None:
             results[name] = value
             (cached if from_cache else executed).append(name)
@@ -206,46 +351,170 @@ class Engine:
                     ready.append(consumer)
             ready.sort(key=position.__getitem__)
 
+        def abandon_pool() -> list[str]:
+            """Tear the pool down without waiting on lost workers.
+
+            Returns the names of the stages that were in flight; their
+            futures are cancelled and surviving worker processes
+            terminated (a hung worker would otherwise pin the pool's
+            management thread until its stage returned).
+            """
+            nonlocal pool
+            lost = list(inflight.values())
+            for future in inflight:
+                future.cancel()
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except (OSError, AttributeError):
+                    pass
+            pool = None
+            inflight.clear()
+            deadlines.clear()
+            return lost
+
+        def break_pool(hung: list[str]) -> None:
+            """Handle one pool loss: requeue, quarantine, or go serial."""
+            nonlocal pool, pool_breaks, retries, serial_fallback
+            pool_breaks += 1
+            self._count(
+                "engine_pool_breaks",
+                "Worker pools torn down after a crash or hang",
+            )
+            lost = abandon_pool()
+            for name in hung:
+                # A stage that keeps timing out quarantines rather than
+                # reaching the serial fallback: the parent has no
+                # watchdog, so a genuine hang there would be forever.
+                if (
+                    attempts[name] >= self.max_stage_attempts
+                    or pool_breaks > self.max_pool_breaks
+                ):
+                    quarantined[name] = TimeoutError(
+                        f"stage did not complete within "
+                        f"{self.stage_timeout}s in {attempts[name]} attempts"
+                    )
+            requeue = [n for n in lost if n not in quarantined]
+            retries += len(requeue)
+            self._count(
+                "engine_stage_retries",
+                "Stage submissions repeated after worker loss",
+                len(requeue),
+            )
+            if quarantined:
+                return
+            ready.extend(requeue)
+            ready.sort(key=position.__getitem__)
+            if pool_breaks > self.max_pool_breaks:
+                serial_fallback = True
+                self._count(
+                    "engine_serial_fallbacks",
+                    "Parallel runs that finished serially after "
+                    "repeated pool loss",
+                )
+            else:
+                pool = make_pool()
+
         try:
-            with ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=mp_ctx,
-                initializer=init,
-                initargs=initargs,
-            ) as pool:
-                inflight: dict[Any, str] = {}
-                while ready or inflight:
-                    while ready:
-                        name = ready.pop(0)
-                        stage = graph.by_name[name]
-                        key = self._key(stage, ctx, fingerprint)
-                        if key is not None:
-                            hit, value = self.cache.get(key)
-                            if hit:
-                                complete(name, value, from_cache=True)
-                                continue
-                        deps = {d: results[d] for d in stage.deps}
-                        future = pool.submit(
-                            _run_stage_task, stage.fn, stage.params, deps
-                        )
-                        inflight[future] = name
-                    if not inflight:
+            pool = make_pool()
+            while (ready or inflight) and not quarantined:
+                if serial_fallback:
+                    break
+                while ready:
+                    name = ready.pop(0)
+                    stage = graph.by_name[name]
+                    key = self._key(stage, ctx, fingerprint)
+                    if key is not None:
+                        hit, value = self.cache.get(key)
+                        if hit:
+                            complete(name, value, from_cache=True)
+                            continue
+                    try:
+                        submit(name)
+                    except BrokenExecutor:
+                        # The pool died between batches; the submit
+                        # never reached a worker, so it costs no attempt.
+                        attempts[name] -= 1
+                        ready.insert(0, name)
+                        break_pool(hung=[])
+                        break
+                if serial_fallback or quarantined:
+                    continue
+                if not inflight:
+                    continue
+                timeout = None
+                if deadlines:
+                    timeout = (
+                        max(0.0, min(deadlines.values()) - time.monotonic())
+                        + 0.02
+                    )
+                done, _ = wait(
+                    inflight, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    now = time.monotonic()
+                    hung = [
+                        inflight[f]
+                        for f, deadline in deadlines.items()
+                        if deadline <= now
+                    ]
+                    if hung:
+                        break_pool(hung)
+                    continue
+                pool_lost = False
+                for future in done:
+                    name = inflight.pop(future)
+                    deadlines.pop(future, None)
+                    exc = (
+                        future.exception()
+                        if not future.cancelled()
+                        else None
+                    )
+                    if future.cancelled() or isinstance(exc, BrokenExecutor):
+                        # The pool died under this future; every other
+                        # in-flight stage is lost with it.
+                        pool_lost = True
+                        inflight[future] = name  # counted by abandon_pool
                         continue
-                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        name = inflight.pop(future)
-                        value, seconds = future.result()
-                        timings[name] = seconds
-                        self._observe(name, seconds)
-                        complete(name, value, from_cache=False)
-                        stage = graph.by_name[name]
-                        key = self._key(stage, ctx, fingerprint)
-                        if key is not None:
-                            self.cache.put(key, value)
+                    if exc is not None:
+                        # A stage function raised: deterministic by the
+                        # purity contract — quarantine, don't retry.
+                        quarantined[name] = exc
+                        continue
+                    value, seconds = future.result()
+                    timings[name] = seconds
+                    self._observe(name, seconds)
+                    complete(name, value, from_cache=False)
+                    stage = graph.by_name[name]
+                    key = self._key(stage, ctx, fingerprint)
+                    if key is not None:
+                        self.cache.put(key, value)
+                if quarantined:
+                    break
+                if pool_lost:
+                    break_pool(hung=[])
+            if quarantined:
+                raise StageFailedError(quarantined)
+            if serial_fallback:
+                self._compute_serial(
+                    graph, ctx, fingerprint,
+                    results, executed, cached, timings,
+                    spans=False,
+                )
         finally:
             _WORKER_CTX = None
             if tmpdir is not None:
                 tmpdir.cleanup()
+            if pool is not None:
+                if inflight:
+                    # Failure path with work still in flight: cancel it
+                    # and reap workers instead of waiting (a stuck or
+                    # long-running stage must not hang the caller).
+                    abandon_pool()
+                else:
+                    pool.shutdown(wait=True, cancel_futures=True)
         return EngineRun(
             results=results,
             executed=tuple(executed),
@@ -253,4 +522,7 @@ class Engine:
             stage_seconds=timings,
             jobs=self.jobs,
             cache_stats=self._finish(),
+            retries=retries,
+            pool_breaks=pool_breaks,
+            serial_fallback=serial_fallback,
         )

@@ -1,0 +1,27 @@
+"""Supervised, kill-safe end-to-end pipeline (generate→serve→crawl→analyze).
+
+See :mod:`repro.pipeline.supervisor` for the recovery model and
+:mod:`repro.pipeline.manifest` for the persisted run manifest.
+"""
+
+from repro.pipeline.manifest import (
+    STEP_STATUSES,
+    RunManifest,
+    StepRecord,
+    file_checksum,
+)
+from repro.pipeline.supervisor import (
+    PIPELINE_STEPS,
+    PipelineConfigError,
+    PipelineSupervisor,
+)
+
+__all__ = [
+    "PIPELINE_STEPS",
+    "STEP_STATUSES",
+    "PipelineConfigError",
+    "PipelineSupervisor",
+    "RunManifest",
+    "StepRecord",
+    "file_checksum",
+]

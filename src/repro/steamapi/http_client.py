@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.parse
@@ -60,3 +61,13 @@ class HttpTransport:
             raise error from None
         except urllib.error.URLError as exc:
             raise ApiError(f"transport failure: {exc.reason}") from None
+        except (http.client.HTTPException, TimeoutError, OSError) as exc:
+            # The connection died *during* resp.read() — an incomplete
+            # body, a socket timeout, or a reset mid-transfer.  Without
+            # this clause the raw TimeoutError/IncompleteRead escapes
+            # the typed-error contract and aborts the crawl instead of
+            # triggering a retry; the bytes never arrived whole, which
+            # is exactly what MalformedResponseError (retryable) means.
+            raise MalformedResponseError(
+                f"connection failed mid-response: {exc!r}"
+            ) from None

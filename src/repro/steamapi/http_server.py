@@ -32,6 +32,7 @@ from urllib.parse import parse_qs, urlparse
 from repro.obs import Obs
 from repro.steamapi.errors import (
     ApiError,
+    BadRequestError,
     MalformedResponseError,
     RateLimitedError,
 )
@@ -87,6 +88,13 @@ def _make_handler(dispatch, obs: Obs, access_log: bool):
                     status = self._reply_error(exc)
             except ApiError as exc:
                 status = self._reply_error(exc)
+            except (KeyError, ValueError, TypeError) as exc:
+                # Malformed query strings (non-numeric ids, missing
+                # required params) must come back as a 400 JSON error,
+                # not kill the handler thread with a raw traceback.
+                status = self._reply_error(
+                    BadRequestError(f"malformed request parameters: {exc}")
+                )
             self._account(parsed.path, status, start)
 
         def _account(self, path: str, status: int, start: float) -> None:

@@ -9,6 +9,7 @@ all analyses in :mod:`repro.core` consume it.
 """
 
 from repro.store.dataset import SteamDataset
+from repro.store.io import DatasetIntegrityError, load_dataset, save_dataset
 from repro.store.tables import (
     AccountTable,
     AchievementTable,
@@ -23,6 +24,9 @@ from repro.store.tables import (
 
 __all__ = [
     "SteamDataset",
+    "DatasetIntegrityError",
+    "save_dataset",
+    "load_dataset",
     "AccountTable",
     "AchievementTable",
     "CatalogTable",

@@ -3,11 +3,24 @@
 Arrays are stored flat under dotted keys; tuples of strings and scalar
 metadata ride along in a JSON sidecar entry.  The format round-trips
 everything in :class:`repro.store.dataset.SteamDataset`.
+
+Crash safety (DESIGN.md §9): :func:`save_dataset` writes to a unique
+same-directory temp file, fsyncs, and ``os.replace``\\ s into place, so
+readers never observe a half-written dataset — the same discipline as
+the crawl checkpoint and the stage cache.  Format v2 embeds a per-array
+SHA-256 checksum manifest in the JSON sidecar; :func:`load_dataset`
+verifies every array against it and raises a typed
+:class:`DatasetIntegrityError` naming the offending entry instead of
+leaking ``KeyError`` or ``zipfile`` internals on truncated or corrupt
+files.  v1 files (no manifest) still load, unverified.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -24,87 +37,222 @@ from repro.store.tables import (
     Snapshot2Table,
 )
 
-__all__ = ["save_dataset", "load_dataset"]
+__all__ = ["save_dataset", "load_dataset", "DatasetIntegrityError"]
 
-_FORMAT_VERSION = 1
+#: v1: no checksum manifest.  v2: adds ``checksums`` to the sidecar.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+class DatasetIntegrityError(ValueError):
+    """A dataset file is unreadable, incomplete, or corrupt.
+
+    ``key`` names the offending array entry when one can be pinned
+    down (missing entry, checksum mismatch, member-level corruption);
+    it is ``None`` for whole-file damage such as a truncated archive.
+    """
+
+    def __init__(self, message: str, key: str | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+def _array_checksum(arr: np.ndarray) -> str:
+    """SHA-256 over dtype, shape, and bytes (mirrors the fingerprint)."""
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_dataset(dataset: SteamDataset, path: str | Path) -> Path:
-    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    """Atomically write ``dataset`` to ``path`` (``.npz`` appended).
+
+    The write lands in a same-directory temp file first and is fsynced
+    before an atomic rename, so a crash mid-save leaves any previous
+    dataset at ``path`` untouched and never exposes a torn file.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     # The dataset owns the authoritative column walk (shared with its
     # content fingerprint); persistence just serializes it.
     arrays: dict[str, np.ndarray] = dict(dataset.iter_columns())
-    meta = {"format_version": _FORMAT_VERSION, **dataset.meta_dict()}
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "checksums": {key: _array_checksum(a) for key, a in arrays.items()},
+        **dataset.meta_dict(),
+    }
     arrays["meta.json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, **arrays)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
     return path
 
 
-def load_dataset(path: str | Path) -> SteamDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
-    with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["meta.json"]).decode("utf-8"))
-        if meta["format_version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported dataset format {meta['format_version']}"
+class _VerifyingReader:
+    """Pull arrays out of an open ``.npz``, typed errors throughout."""
+
+    def __init__(self, data, path: Path) -> None:
+        self.data = data
+        self.path = path
+        self.checksums: dict[str, str] = {}
+        self.verify = False
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+    def raw(self, key: str) -> np.ndarray:
+        """One entry, with zip-level corruption mapped to a typed error."""
+        try:
+            return self.data[key]
+        except KeyError:
+            raise DatasetIntegrityError(
+                f"dataset {self.path} is missing required entry {key!r}",
+                key=key,
+            ) from None
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+            raise DatasetIntegrityError(
+                f"dataset {self.path} entry {key!r} is corrupt: {exc}",
+                key=key,
+            ) from None
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        arr = self.raw(key)
+        if self.verify:
+            expected = self.checksums.get(key)
+            if expected is None:
+                raise DatasetIntegrityError(
+                    f"dataset {self.path} entry {key!r} has no checksum "
+                    f"in the manifest",
+                    key=key,
+                )
+            if _array_checksum(arr) != expected:
+                raise DatasetIntegrityError(
+                    f"dataset {self.path} entry {key!r} failed its "
+                    f"checksum (corrupt or tampered)",
+                    key=key,
+                )
+        return arr
+
+
+def _meta_field(meta: dict, key: str, path: Path):
+    try:
+        return meta[key]
+    except KeyError:
+        raise DatasetIntegrityError(
+            f"dataset {path} sidecar is missing required field {key!r}",
+            key=key,
+        ) from None
+
+
+def load_dataset(path: str | Path, verify: bool = True) -> SteamDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    ``verify=True`` (the default) checks every array against the v2
+    checksum manifest and raises :class:`DatasetIntegrityError` naming
+    the first corrupt entry; pass ``verify=False`` on hot paths that
+    already trust the bytes (e.g. a spill file written moments ago).
+    v1 files carry no manifest and load unverified either way.
+    """
+    path = Path(path)
+    try:
+        npz = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise DatasetIntegrityError(
+            f"dataset {path} is not a readable .npz archive "
+            f"(truncated or corrupt): {exc}"
+        ) from None
+    with npz as data:
+        reader = _VerifyingReader(data, path)
+        try:
+            meta = json.loads(bytes(reader.raw("meta.json")).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DatasetIntegrityError(
+                f"dataset {path} sidecar meta.json is corrupt: {exc}",
+                key="meta.json",
+            ) from None
+        version = meta.get("format_version")
+        if version not in _SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
+            raise DatasetIntegrityError(
+                f"dataset {path} has format_version {version!r}; this "
+                f"build supports versions {supported} — a newer build "
+                f"probably wrote it"
             )
-        n_users = len(data["acc.id_offset"])
+        reader.checksums = meta.get("checksums", {})
+        reader.verify = verify and version >= 2
+        n_users = len(reader["acc.id_offset"])
         accounts = AccountTable(
-            id_offset=data["acc.id_offset"],
-            created_day=data["acc.created_day"],
-            country=data["acc.country"],
-            city=data["acc.city"],
-            country_names=tuple(meta["country_names"]),
+            id_offset=reader["acc.id_offset"],
+            created_day=reader["acc.created_day"],
+            country=reader["acc.country"],
+            city=reader["acc.city"],
+            country_names=tuple(_meta_field(meta, "country_names", path)),
         )
         friends = FriendTable(
-            u=data["fr.u"], v=data["fr.v"], day=data["fr.day"], n_users=n_users
+            u=reader["fr.u"],
+            v=reader["fr.v"],
+            day=reader["fr.day"],
+            n_users=n_users,
         )
         groups = GroupTable(
-            group_type=data["gr.type"],
-            focus_game=data["gr.focus"],
+            group_type=reader["gr.type"],
+            focus_game=reader["gr.focus"],
             members=CSRMatrix(
-                indptr=data["gr.indptr"], indices=data["gr.indices"]
+                indptr=reader["gr.indptr"], indices=reader["gr.indices"]
             ),
             n_users=n_users,
         )
         catalog = CatalogTable(
-            appid=data["cat.appid"],
-            is_game=data["cat.is_game"],
-            primary_genre=data["cat.primary_genre"],
-            genre_mask=data["cat.genre_mask"],
-            price_cents=data["cat.price_cents"],
-            multiplayer=data["cat.multiplayer"],
-            release_day=data["cat.release_day"],
-            metacritic=data["cat.metacritic"],
-            genre_names=tuple(meta["genre_names"]),
+            appid=reader["cat.appid"],
+            is_game=reader["cat.is_game"],
+            primary_genre=reader["cat.primary_genre"],
+            genre_mask=reader["cat.genre_mask"],
+            price_cents=reader["cat.price_cents"],
+            multiplayer=reader["cat.multiplayer"],
+            release_day=reader["cat.release_day"],
+            metacritic=reader["cat.metacritic"],
+            genre_names=tuple(_meta_field(meta, "genre_names", path)),
         )
         library = LibraryTable(
             owned=CSRMatrix(
-                indptr=data["lib.indptr"], indices=data["lib.indices"]
+                indptr=reader["lib.indptr"], indices=reader["lib.indices"]
             ),
-            total_min=data["lib.total_min"],
-            twoweek_min=data["lib.twoweek_min"],
+            total_min=reader["lib.total_min"],
+            twoweek_min=reader["lib.twoweek_min"],
         )
         achievements = None
-        if "ach.count" in data:
+        if "ach.count" in reader:
             achievements = AchievementTable(
-                count=data["ach.count"],
-                indptr=data["ach.indptr"],
-                rates=data["ach.rates"],
+                count=reader["ach.count"],
+                indptr=reader["ach.indptr"],
+                rates=reader["ach.rates"],
             )
         snapshot2 = None
-        if "s2.owned" in data:
+        if "s2.owned" in reader:
             snapshot2 = Snapshot2Table(
-                owned=data["s2.owned"],
-                played=data["s2.played"],
-                value_cents=data["s2.value_cents"],
-                total_min=data["s2.total_min"],
-                twoweek_min=data["s2.twoweek_min"],
+                owned=reader["s2.owned"],
+                played=reader["s2.played"],
+                value_cents=reader["s2.value_cents"],
+                total_min=reader["s2.total_min"],
+                twoweek_min=reader["s2.twoweek_min"],
             )
         return SteamDataset(
             accounts=accounts,
@@ -115,11 +263,13 @@ def load_dataset(path: str | Path) -> SteamDataset:
             achievements=achievements,
             snapshot2=snapshot2,
             meta=DatasetMeta(
-                snapshot1_day=meta["snapshot1_day"],
-                snapshot2_day=meta["snapshot2_day"],
-                friend_ts_epoch_day=meta["friend_ts_epoch_day"],
-                seed=meta["seed"],
-                scale_note=meta["scale_note"],
-                extra=meta["extra"],
+                snapshot1_day=_meta_field(meta, "snapshot1_day", path),
+                snapshot2_day=_meta_field(meta, "snapshot2_day", path),
+                friend_ts_epoch_day=_meta_field(
+                    meta, "friend_ts_epoch_day", path
+                ),
+                seed=_meta_field(meta, "seed", path),
+                scale_note=_meta_field(meta, "scale_note", path),
+                extra=_meta_field(meta, "extra", path),
             ),
         )

@@ -1,0 +1,242 @@
+"""The supervised pipeline: manifest persistence and kill-resume.
+
+The acceptance scenario for the crash-safety work: ``repro pipeline``
+killed with SIGKILL after the crawl step must, on rerun, resume from
+the manifest (crawl shows ``cached``, not re-crawled) and produce a
+final report byte-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import (
+    PipelineConfigError,
+    PipelineSupervisor,
+    RunManifest,
+    StepRecord,
+    file_checksum,
+)
+
+#: Small but above the world generator's floor of 1000 users.
+USERS = 1_200
+SEED = 31
+
+
+class TestRunManifest:
+    def test_roundtrip(self, tmp_path):
+        manifest = RunManifest.load(tmp_path / "manifest.json")
+        manifest.config = {"users": 5, "seed": 1}
+        record = manifest.step("crawl")
+        record.status = "done"
+        record.artifact = "crawled.npz"
+        record.checksum = "abc"
+        record.seed = 1
+        manifest.steps_resumed = 2
+        manifest.save()
+
+        loaded = RunManifest.load(tmp_path / "manifest.json")
+        assert loaded.config == {"users": 5, "seed": 1}
+        assert loaded.steps_resumed == 2
+        reloaded = loaded.step("crawl")
+        assert reloaded.status == "done"
+        assert reloaded.artifact == "crawled.npz"
+        assert reloaded.checksum == "abc"
+
+    def test_corrupt_manifest_starts_fresh_with_warning(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text('{"steps": {"crawl":')  # torn write
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            manifest = RunManifest.load(path)
+        assert manifest.steps == {}
+
+    def test_unknown_fields_ignored_on_load(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "steps": {"crawl": {"status": "done", "future": 1}},
+                }
+            )
+        )
+        loaded = RunManifest.load(path)
+        assert loaded.step("crawl").status == "done"
+
+    def test_save_is_atomic_no_temp_left(self, tmp_path):
+        manifest = RunManifest.load(tmp_path / "manifest.json")
+        manifest.save()
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+    def test_file_checksum_changes_with_content(self, tmp_path):
+        a = tmp_path / "a"
+        a.write_bytes(b"hello")
+        before = file_checksum(a)
+        a.write_bytes(b"hellp")
+        assert file_checksum(a) != before
+
+    def test_step_record_defaults(self):
+        record = StepRecord(name="generate")
+        assert record.status == "pending"
+        assert record.attempts == 0
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    """One uninterrupted pipeline run — the byte-identity reference."""
+    workdir = tmp_path_factory.mktemp("pipeline_clean")
+    supervisor = PipelineSupervisor(
+        workdir=workdir, users=USERS, seed=SEED,
+        include_table4=False, http=False,
+    )
+    manifest = supervisor.run()
+    return workdir, manifest
+
+
+class TestSupervisor:
+    def test_clean_run_completes_all_steps(self, clean_run):
+        workdir, manifest = clean_run
+        statuses = {n: r.status for n, r in manifest.steps.items()}
+        assert statuses == {
+            "generate": "done",
+            "serve": "done",
+            "crawl": "done",
+            "analyze": "done",
+        }
+        for name in ("world.npz", "crawled.npz", "report.txt",
+                     "manifest.json"):
+            assert (workdir / name).exists()
+
+    def test_artifact_checksums_recorded_and_valid(self, clean_run):
+        workdir, manifest = clean_run
+        for name in ("generate", "crawl", "analyze"):
+            record = manifest.steps[name]
+            assert record.checksum
+            assert (
+                file_checksum(workdir / record.artifact) == record.checksum
+            )
+
+    def test_rerun_marks_steps_cached_and_counts_resumes(self, clean_run):
+        from repro.obs import Obs
+
+        workdir, _ = clean_run
+        report_before = (workdir / "report.txt").read_bytes()
+        obs = Obs()
+        supervisor = PipelineSupervisor(
+            workdir=workdir, users=USERS, seed=SEED,
+            include_table4=False, http=False, obs=obs,
+        )
+        manifest = supervisor.run()
+        assert manifest.steps["generate"].status == "cached"
+        assert manifest.steps["crawl"].status == "cached"
+        assert manifest.steps["analyze"].status == "cached"
+        assert manifest.steps["serve"].status == "skipped"
+        assert supervisor.resumed_this_run == [
+            "generate", "crawl", "analyze",
+        ]
+        assert obs.registry.get("pipeline_steps_resumed").value() == 3
+        assert (workdir / "report.txt").read_bytes() == report_before
+
+    def test_corrupt_artifact_forces_rerun_of_that_step(self, clean_run):
+        workdir, _ = clean_run
+        report_before = (workdir / "report.txt").read_bytes()
+        (workdir / "report.txt").write_bytes(b"tampered")
+        supervisor = PipelineSupervisor(
+            workdir=workdir, users=USERS, seed=SEED,
+            include_table4=False, http=False,
+        )
+        manifest = supervisor.run()
+        # Upstream steps resume; the damaged one recomputes — to the
+        # same bytes, because the inputs are checksummed and identical.
+        assert manifest.steps["crawl"].status == "cached"
+        assert manifest.steps["analyze"].status == "done"
+        assert (workdir / "report.txt").read_bytes() == report_before
+
+    def test_config_mismatch_refuses_to_mix_artifacts(self, clean_run):
+        workdir, _ = clean_run
+        supervisor = PipelineSupervisor(
+            workdir=workdir, users=USERS, seed=SEED + 1,
+            include_table4=False, http=False,
+        )
+        with pytest.raises(PipelineConfigError, match="fresh"):
+            supervisor.run()
+
+
+_PIPELINE_SCRIPT = """
+import sys
+from repro.cli import main
+sys.exit(main([
+    "pipeline", "--users", "{users}", "--seed", "{seed}",
+    "--workdir", {workdir!r}, "--skip-table4", "--no-http",
+]))
+"""
+
+
+def _spawn_pipeline(workdir: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _PIPELINE_SCRIPT.format(
+                users=USERS, seed=SEED, workdir=str(workdir)
+            ),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for_step(workdir: Path, step: str, timeout: float) -> None:
+    """Poll the manifest until ``step`` is done (or the wait times out)."""
+    manifest_path = workdir / "manifest.json"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if manifest_path.exists():
+            try:
+                data = json.loads(manifest_path.read_text())
+            except ValueError:
+                data = {}
+            status = data.get("steps", {}).get(step, {}).get("status")
+            if status == "done":
+                return
+        time.sleep(0.05)
+    raise AssertionError(f"step {step} never reached done within {timeout}s")
+
+
+class TestKillResume:
+    def test_sigkill_after_crawl_resumes_without_recrawling(
+        self, clean_run, tmp_path
+    ):
+        clean_workdir, _ = clean_run
+        reference = (clean_workdir / "report.txt").read_bytes()
+
+        workdir = tmp_path / "killed"
+        proc = _spawn_pipeline(workdir)
+        try:
+            _wait_for_step(workdir, "crawl", timeout=120)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        assert not (workdir / "report.txt").exists()
+
+        # Rerun in-process: crawl must come back cached, not re-run.
+        supervisor = PipelineSupervisor(
+            workdir=workdir, users=USERS, seed=SEED,
+            include_table4=False, http=False,
+        )
+        manifest = supervisor.run()
+        assert manifest.steps["crawl"].status == "cached"
+        assert manifest.steps["generate"].status == "cached"
+        assert manifest.steps["analyze"].status == "done"
+        assert "crawl" in supervisor.resumed_this_run
+        assert (workdir / "report.txt").read_bytes() == reference

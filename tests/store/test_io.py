@@ -60,15 +60,117 @@ class TestRoundTrip:
         )
 
     def test_rejects_future_format(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "v.npz")
+        _rewrite_npz(path, meta_update={"format_version": 999})
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+
+def _rewrite_npz(path, meta_update=None, mutate=None, drop=None):
+    """Re-pack a saved dataset with surgical damage, for integrity tests."""
+    import json
+
+    data = dict(np.load(path))
+    meta = json.loads(bytes(data["meta.json"]).decode())
+    if meta_update:
+        meta.update(meta_update)
+    if mutate:
+        for key, arr in mutate.items():
+            data[key] = arr
+    for key in drop or ():
+        del data[key]
+        meta.get("checksums", {}).pop(key, None)
+    data["meta.json"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **data)
+
+
+class TestIntegrity:
+    """Format v2: atomic writes and checksum-verified loads (DESIGN.md §9)."""
+
+    def test_save_leaves_no_temp_files(self, small_dataset, tmp_path):
+        save_dataset(small_dataset, tmp_path / "clean.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["clean.npz"]
+
+    def test_truncated_file_raises_integrity_error(
+        self, small_dataset, tmp_path
+    ):
+        from repro.store.io import DatasetIntegrityError
+
+        path = save_dataset(small_dataset, tmp_path / "t.npz")
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.raises(DatasetIntegrityError, match="truncated or corrupt"):
+            load_dataset(path)
+
+    def test_checksum_mismatch_names_the_entry(self, small_dataset, tmp_path):
+        from repro.store.io import DatasetIntegrityError
+
+        path = save_dataset(small_dataset, tmp_path / "c.npz")
+        flipped = small_dataset.accounts.country.copy()
+        flipped[0] += 1
+        # Keep the old manifest: the array no longer matches it.
+        _rewrite_npz(path, mutate={"acc.country": flipped})
+        with pytest.raises(DatasetIntegrityError) as excinfo:
+            load_dataset(path)
+        assert excinfo.value.key == "acc.country"
+        assert "acc.country" in str(excinfo.value)
+
+    def test_verify_false_skips_checksums(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, tmp_path / "s.npz")
+        flipped = small_dataset.accounts.country.copy()
+        flipped[0] += 1
+        _rewrite_npz(path, mutate={"acc.country": flipped})
+        loaded = load_dataset(path, verify=False)
+        assert loaded.accounts.country[0] == flipped[0]
+
+    def test_missing_required_entry_names_the_key(
+        self, small_dataset, tmp_path
+    ):
+        from repro.store.io import DatasetIntegrityError
+
+        path = save_dataset(small_dataset, tmp_path / "m.npz")
+        _rewrite_npz(path, drop=["fr.day"])
+        with pytest.raises(DatasetIntegrityError) as excinfo:
+            load_dataset(path)
+        assert excinfo.value.key == "fr.day"
+
+    def test_v1_files_without_manifest_still_load(
+        self, small_dataset, tmp_path
+    ):
         import json
 
-        path = save_dataset(small_dataset, tmp_path / "v.npz")
+        path = save_dataset(small_dataset, tmp_path / "v1.npz")
         data = dict(np.load(path))
         meta = json.loads(bytes(data["meta.json"]).decode())
-        meta["format_version"] = 999
+        meta["format_version"] = 1
+        del meta["checksums"]
         data["meta.json"] = np.frombuffer(
             json.dumps(meta).encode(), dtype=np.uint8
         )
         np.savez_compressed(path, **data)
-        with pytest.raises(ValueError):
+        loaded = load_dataset(path)
+        assert loaded.n_users == small_dataset.n_users
+        assert np.array_equal(
+            loaded.friends.day, small_dataset.friends.day
+        )
+
+    def test_future_version_message_states_found_and_supported(
+        self, small_dataset, tmp_path
+    ):
+        from repro.store.io import DatasetIntegrityError
+
+        path = save_dataset(small_dataset, tmp_path / "f.npz")
+        _rewrite_npz(path, meta_update={"format_version": 999})
+        with pytest.raises(DatasetIntegrityError) as excinfo:
             load_dataset(path)
+        message = str(excinfo.value)
+        assert "999" in message
+        assert "1, 2" in message
+
+    def test_roundtrip_checksums_verify_clean(self, small_dataset, tmp_path):
+        # The happy path with verification on: nothing should trip.
+        path = save_dataset(small_dataset, tmp_path / "ok.npz")
+        loaded = load_dataset(path, verify=True)
+        assert loaded.fingerprint() == small_dataset.fingerprint()
