@@ -37,8 +37,14 @@ sys.path.insert(0, str(ROOT / "src"))
 
 
 def _spawn_pipeline(workdir: Path, users: int, seed: int) -> subprocess.Popen:
+    from repro.obs import TraceContext
+
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src")
+    # Export this drill's trace so the child pipeline joins it instead
+    # of rooting a fresh one — the supervisor → step-subprocess leg of
+    # cross-process trace propagation, exercised for real in CI.
+    TraceContext.new(seed=seed).to_env(env)
     code = (
         "import sys\n"
         "from repro.cli import main\n"

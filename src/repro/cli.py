@@ -15,11 +15,17 @@ Commands
   supervisor with a persistent run manifest: a killed run (even
   ``kill -9``) resumes from the last completed step on rerun, reusing
   the crawl checkpoint and the engine stage cache for in-step recovery.
-- ``obs``      — observability utilities (``obs summarize <snapshot>``).
+- ``obs``      — observability utilities (``obs summarize <snapshot>``,
+  ``obs bench-diff <new> <baseline-dir>``).
 
-``generate``, ``analyze``, and ``crawl`` accept ``--metrics-out PATH``
-to save a JSON metrics/span snapshot of the run (see :mod:`repro.obs`);
-``serve`` exposes live Prometheus metrics at ``GET /metrics``.
+``generate``, ``analyze``, ``crawl``, and ``pipeline`` accept
+``--metrics-out PATH`` to save a JSON metrics/span snapshot of the run
+and ``--trace-out PATH`` to save a merged Chrome-trace/Perfetto file
+(open it in chrome://tracing or https://ui.perfetto.dev); ``serve``
+exposes live Prometheus metrics at ``GET /metrics``.  Either flag
+attaches a deterministic :class:`~repro.obs.TraceContext` — seeded
+from ``--seed``, or joined from an ambient ``REPRO_TRACE`` environment
+variable so a parent process's trace extends into this run.
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from pathlib import Path
 
 from repro import __version__
 from repro.core.study import SteamStudy
-from repro.obs import Obs
+from repro.obs import Obs, TraceContext
 from repro.simworld.config import WorldConfig
 from repro.simworld.world import SteamWorld
 from repro.store.io import load_dataset, save_dataset
@@ -52,16 +58,41 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a JSON metrics/span snapshot of this run to PATH",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "write a merged Chrome-trace JSON of this run to PATH "
+            "(view in chrome://tracing or Perfetto)"
+        ),
+    )
 
 
 def _make_obs(args: argparse.Namespace) -> Obs | None:
-    return Obs() if getattr(args, "metrics_out", None) else None
+    wants_obs = (
+        getattr(args, "metrics_out", None)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "profile", None)
+    )
+    if not wants_obs:
+        return None
+    # Join the ambient trace when a parent exported one; otherwise root
+    # a fresh deterministic trace on the world seed.
+    trace = TraceContext.from_env() or TraceContext.new(
+        seed=getattr(args, "seed", None)
+    )
+    return Obs(trace=trace)
 
 
 def _finish_obs(obs: Obs | None, args: argparse.Namespace) -> None:
-    if obs is not None:
+    if obs is None:
+        return
+    if getattr(args, "metrics_out", None):
         path = obs.write(args.metrics_out)
         print(f"metrics snapshot written to {path}")
+    if getattr(args, "trace_out", None):
+        path = obs.write_trace(args.trace_out)
+        print(f"chrome trace written to {path}")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -112,9 +143,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         obs=obs,
         jobs=args.jobs,
         cache=cache,
+        profile=bool(args.profile),
     )
     elapsed = time.time() - t0
     engine_run = study.last_engine_run
+    if args.profile and engine_run is not None and engine_run.profiles:
+        from repro.obs.profiling import write_profile_report
+
+        profile_path = write_profile_report(
+            args.profile,
+            engine_run.profiles,
+            run_id=obs.trace.trace_id if obs and obs.trace else None,
+        )
+        print(f"profile report written to {profile_path}")
     if engine_run is not None and (args.jobs > 1 or cache is not None):
         line = (
             f"analyzed {engine_run.n_stages} stages in {elapsed:.1f}s "
@@ -155,7 +196,11 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         service = SteamApiService.from_world(study.world, obs=obs)
         with serve(service, obs=obs) as server:
             result = run_full_crawl(
-                HttpTransport(server.base_url),
+                HttpTransport(
+                    server.base_url,
+                    trace=obs.trace if obs else None,
+                    tracer=obs.tracer if obs else None,
+                ),
                 snapshot2=study.dataset.snapshot2,
                 obs=obs,
             )
@@ -292,6 +337,25 @@ def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs.benchdiff import (
+        compare_dirs,
+        load_thresholds,
+        render_diffs,
+    )
+
+    try:
+        diffs = compare_dirs(
+            args.new, args.baseline, load_thresholds(args.thresholds)
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(render_diffs(diffs), end="")
+    regressed = sum(len(d.regressions) for d in diffs)
+    return 1 if regressed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="condensing-steam",
@@ -346,6 +410,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the stage cache even when REPRO_CACHE_DIR is set",
+    )
+    p_an.add_argument(
+        "--profile",
+        metavar="PATH",
+        help=(
+            "cProfile every stage and write a top-N cumulative-time "
+            "report (JSON) to PATH"
+        ),
     )
     _add_metrics_arg(p_an)
     p_an.set_defaults(func=_cmd_analyze)
@@ -429,6 +501,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sum.add_argument("snapshot", help="path to a --metrics-out JSON file")
     p_sum.set_defaults(func=_cmd_obs_summarize)
+    p_diff = obs_sub.add_parser(
+        "bench-diff",
+        help=(
+            "compare BENCH_*.json benchmark results against baselines; "
+            "exit 1 when a gated metric regresses beyond its threshold"
+        ),
+    )
+    p_diff.add_argument(
+        "new", help="a BENCH_*.json file, or a directory of them"
+    )
+    p_diff.add_argument(
+        "baseline", help="directory holding baseline BENCH_*.json files"
+    )
+    p_diff.add_argument(
+        "--thresholds",
+        metavar="PATH",
+        help=(
+            "JSON of per-metric overrides "
+            '({"<bench>.<metric>": {"max_ratio": 2.5}} or {"gate": false})'
+        ),
+    )
+    p_diff.set_defaults(func=_cmd_obs_bench_diff)
     return parser
 
 

@@ -352,6 +352,7 @@ class SteamStudy:
         cache: StageCache | str | Path | None = None,
         engine_faults=None,
         stage_timeout: float | None = None,
+        profile: bool = False,
     ) -> StudyReport:
         """Compute every table and figure.
 
@@ -364,9 +365,12 @@ class SteamStudy:
         workers crash/hang/stall, and the engine's retry machinery must
         still deliver the identical report.  ``stage_timeout`` arms the
         per-stage hung-worker watchdog.  ``obs`` records one span per
-        stage under an ``analyze`` root in serial mode, and per-stage
-        ``engine_stage_seconds`` histograms plus cache hit/miss and
-        recovery counters in every mode.
+        stage under an ``analyze`` root — serial, parallel, and
+        fault-recovery runs produce identical span trees — plus
+        per-stage ``engine_stage_seconds`` histograms and cache
+        hit/miss and recovery counters in every mode.  ``profile`` cProfiles every
+        stage (serial or in workers) and exposes the top-N rows on
+        ``last_engine_run.profiles``.
         """
         ds = self._dataset
         config = {
@@ -388,6 +392,7 @@ class SteamStudy:
             span_prefix="analyze:",
             faults=engine_faults,
             stage_timeout=stage_timeout,
+            profile=profile,
         )
         with maybe_span(obs, "analyze", n_users=ds.n_users):
             run = engine.run(

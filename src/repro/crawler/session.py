@@ -102,6 +102,13 @@ class CrawlSession:
             self._m_backoff.inc(delay)
             if isinstance(exc, RateLimitedError):
                 self._m_ratelimited.inc()
+            # One point-in-time span per retried failure, nested under
+            # whatever crawl phase is open: the merged trace shows not
+            # just that phase 2 was slow but *where* the backoff went.
+            with self.obs.span(
+                f"retry:{exc.__class__.__name__}", delay=round(delay, 6)
+            ):
+                pass
 
     @property
     def retries(self) -> int:

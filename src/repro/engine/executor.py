@@ -55,7 +55,8 @@ from repro.engine.cache import StageCache
 from repro.engine.faults import EngineFaultPlan
 from repro.engine.fingerprint import stage_key
 from repro.engine.stage import Stage, StageContext, StageGraph
-from repro.obs import Obs, maybe_span
+from repro.obs import MetricsRegistry, Obs, Span, maybe_span
+from repro.obs.profiling import profiled_call
 
 __all__ = ["Engine", "EngineRun", "StageFailedError"]
 
@@ -102,15 +103,39 @@ def _init_worker_spawn(dataset_path: str, config: dict, aux_blob: bytes):
     )
 
 
-def _run_stage_task(fn, params, deps, name="", attempt=0, faults=None):
-    """Execute one stage in a worker; returns (result, seconds)."""
+def _run_stage_task(
+    fn, params, deps, name="", attempt=0, faults=None,
+    span_name="", profile=False,
+):
+    """Execute one stage in a worker.
+
+    Returns ``(result, seconds, span, metrics, profile_rows)``.  The
+    worker records its own :class:`Span` (on its local perf counter —
+    the coordinator rebases it onto its clock) and observes the stage
+    duration into a private registry whose snapshot the coordinator
+    merges, so parallel runs report the same span tree and counters as
+    serial ones.  ``profile_rows`` is the cProfile top-N (plain dicts,
+    picklable) when ``profile`` is set, else ``None``.
+    """
     assert _WORKER_CTX is not None, "worker context missing"
     if faults is not None:
         faults.inject(name, attempt)
     ctx = _WORKER_CTX.with_deps(deps)
+    profile_rows = None
     start = time.perf_counter()
-    result = fn(ctx, **dict(params))
-    return result, time.perf_counter() - start
+    if profile:
+        result, profile_rows = profiled_call(fn, ctx, **dict(params))
+    else:
+        result = fn(ctx, **dict(params))
+    seconds = time.perf_counter() - start
+    registry = MetricsRegistry()
+    registry.histogram(
+        "engine_stage_seconds",
+        "Wall time per analysis stage",
+        labelnames=("stage",),
+    ).observe(seconds, stage=name)
+    span = Span(name=span_name or name, start=start, end=start + seconds)
+    return result, seconds, span, registry.snapshot(), profile_rows
 
 
 @dataclass
@@ -131,6 +156,8 @@ class EngineRun:
     pool_breaks: int = 0
     #: True when the run finished its tail serially in the parent.
     serial_fallback: bool = False
+    #: Per-stage cProfile top-N rows (``Engine.profile`` runs only).
+    profiles: dict[str, list] | None = None
 
     @property
     def n_stages(self) -> int:
@@ -155,6 +182,9 @@ class Engine:
     max_pool_breaks: int = 2
     #: Seeded chaos plan injected into worker tasks (tests only).
     faults: EngineFaultPlan | None = None
+    #: cProfile every stage and collect top-N rows per stage
+    #: (``repro analyze --profile``).
+    profile: bool = False
 
     def run(self, graph: StageGraph, ctx: StageContext) -> EngineRun:
         fingerprint = (
@@ -204,13 +234,20 @@ class Engine:
         executed: list[str],
         cached: list[str],
         timings: dict[str, float],
-        spans: bool,
+        span_sink: dict[str, Span] | None = None,
+        profiles: dict[str, list] | None = None,
     ) -> None:
         """Compute every stage not yet in ``results``, in topo order.
 
         Shared by the serial path (empty ``results``) and the parallel
         path's serial fallback (partially-filled ``results``).  Runs in
         the parent, so the fault plan is deliberately not consulted.
+
+        With ``span_sink=None`` stage spans open live on the tracer (the
+        plain serial path).  The serial *fallback* passes the parallel
+        path's pending-span dict instead: its spans must join the pool
+        workers' spans and be attached in one topo-ordered batch, or the
+        span ids would depend on when the fallback kicked in.
         """
         for name in graph.topo_order:
             if name in results:
@@ -224,21 +261,35 @@ class Engine:
                     cached.append(name)
                     continue
             local = ctx.with_deps({d: results[d] for d in stage.deps})
-            span = (
-                maybe_span(self.obs, f"{self.span_prefix}{name}")
-                if spans
-                else maybe_span(None, name)
+            span_name = f"{self.span_prefix}{name}"
+            sink_start = (
+                self.obs.clock()
+                if span_sink is not None and self.obs is not None
+                else None
             )
-            with span:
+            with maybe_span(
+                self.obs if span_sink is None else None, span_name
+            ):
                 start = time.perf_counter()
                 try:
-                    value = stage.fn(local, **dict(stage.params))
+                    if self.profile:
+                        value, rows = profiled_call(
+                            stage.fn, local, **dict(stage.params)
+                        )
+                        if profiles is not None:
+                            profiles[name] = rows
+                    else:
+                        value = stage.fn(local, **dict(stage.params))
                 except Exception as exc:
                     # Purity makes stage exceptions deterministic:
                     # surface one typed error naming stage and cause
                     # instead of a raw traceback.
                     raise StageFailedError({name: exc}) from exc
                 timings[name] = time.perf_counter() - start
+            if sink_start is not None:
+                span_sink[name] = Span(
+                    name=span_name, start=sink_start, end=self.obs.clock()
+                )
             self._observe(name, timings[name])
             results[name] = value
             executed.append(name)
@@ -254,9 +305,10 @@ class Engine:
         executed: list[str] = []
         cached: list[str] = []
         timings: dict[str, float] = {}
+        profiles: dict[str, list] = {}
         self._compute_serial(
             graph, ctx, fingerprint, results, executed, cached, timings,
-            spans=True,
+            profiles=profiles,
         )
         return EngineRun(
             results=results,
@@ -265,6 +317,7 @@ class Engine:
             stage_seconds=timings,
             jobs=1,
             cache_stats=self._finish(),
+            profiles=profiles if self.profile else None,
         )
 
     # -- parallel -------------------------------------------------------------
@@ -277,6 +330,11 @@ class Engine:
         executed: list[str] = []
         cached: list[str] = []
         timings: dict[str, float] = {}
+        profiles: dict[str, list] = {}
+        #: Worker/fallback spans pending attachment; attached to the
+        #: tracer in one topo-ordered batch in the ``finally`` below so
+        #: span ids never depend on completion order.
+        stage_spans: dict[str, Span] = {}
 
         indegree = {s.name: len(s.deps) for s in graph}
         dependents = graph.dependents()
@@ -337,6 +395,8 @@ class Engine:
                 name,
                 attempt,
                 self.faults,
+                f"{self.span_prefix}{name}",
+                self.profile,
             )
             inflight[future] = name
             if self.stage_timeout is not None:
@@ -483,9 +543,18 @@ class Engine:
                         # purity contract — quarantine, don't retry.
                         quarantined[name] = exc
                         continue
-                    value, seconds = future.result()
+                    value, seconds, span, metrics, prof = future.result()
                     timings[name] = seconds
-                    self._observe(name, seconds)
+                    if prof is not None:
+                        profiles[name] = prof
+                    if self.obs is not None:
+                        # Rebase the worker's span (its own perf counter)
+                        # so it *ends* now on our clock, then park it for
+                        # the topo-ordered attach; merging the worker's
+                        # registry replaces the coordinator-side observe.
+                        span.shift(self.obs.clock() - (span.end or span.start))
+                        stage_spans[name] = span
+                        self.obs.registry.merge(metrics)
                     complete(name, value, from_cache=False)
                     stage = graph.by_name[name]
                     key = self._key(stage, ctx, fingerprint)
@@ -501,7 +570,8 @@ class Engine:
                 self._compute_serial(
                     graph, ctx, fingerprint,
                     results, executed, cached, timings,
-                    spans=False,
+                    span_sink=stage_spans,
+                    profiles=profiles,
                 )
         finally:
             _WORKER_CTX = None
@@ -515,6 +585,14 @@ class Engine:
                     abandon_pool()
                 else:
                     pool.shutdown(wait=True, cancel_futures=True)
+            if self.obs is not None and stage_spans:
+                # Attach in topo order — the order the serial path opens
+                # spans in — so serial, parallel, and fault-recovery
+                # runs yield identical span trees and span ids.
+                for name in graph.topo_order:
+                    span = stage_spans.get(name)
+                    if span is not None:
+                        self.obs.tracer.attach(span)
         return EngineRun(
             results=results,
             executed=tuple(executed),
@@ -525,4 +603,5 @@ class Engine:
             retries=retries,
             pool_breaks=pool_breaks,
             serial_fallback=serial_fallback,
+            profiles=profiles if self.profile else None,
         )

@@ -32,9 +32,15 @@ import time
 from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
-from repro.obs.benchjson import bench_metric, write_bench_json
+from repro.obs.benchjson import bench_metric, git_rev, write_bench_json
+from repro.obs.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.obs.clock import FakeClock, system_clock
-from repro.obs.exporters import console_summary, to_json, to_prometheus
+from repro.obs.exporters import (
+    SNAPSHOT_SCHEMA_VERSION,
+    console_summary,
+    to_json,
+    to_prometheus,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -42,6 +48,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.trace_context import TRACE_ENV_VAR, TRACE_HEADER, TraceContext
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
@@ -55,22 +62,36 @@ __all__ = [
     "Histogram",
     "Tracer",
     "Span",
+    "TraceContext",
+    "TRACE_ENV_VAR",
+    "TRACE_HEADER",
     "to_prometheus",
     "to_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "console_summary",
     "bench_metric",
+    "git_rev",
     "write_bench_json",
     "DEFAULT_LATENCY_BUCKETS",
+    "SNAPSHOT_SCHEMA_VERSION",
 ]
 
 
 class Obs:
-    """One observability scope: a registry and a tracer on one clock."""
+    """One observability scope: a registry and a tracer on one clock.
 
-    def __init__(self, clock=None) -> None:
+    ``trace`` is an optional :class:`TraceContext`; when present, the
+    tracer assigns deterministic span ids from it, snapshots carry the
+    trace id as ``run_id``, and the scope can be exported as a Chrome
+    trace (:meth:`write_trace`).
+    """
+
+    def __init__(self, clock=None, trace: TraceContext | None = None) -> None:
         self.clock = clock or time.monotonic
+        self.trace = trace
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(clock=self.clock)
+        self.tracer = Tracer(clock=self.clock, context=trace)
 
     # -- recording -----------------------------------------------------------
 
@@ -89,8 +110,8 @@ class Obs:
     ) -> Histogram:
         return self.registry.histogram(name, help, buckets, labelnames)
 
-    def span(self, name: str, **attrs):
-        return self.tracer.span(name, **attrs)
+    def span(self, name: str, *, parent_span_id: int | None = None, **attrs):
+        return self.tracer.span(name, parent_span_id=parent_span_id, **attrs)
 
     @contextmanager
     def timed(self, histogram: Histogram, **labels):
@@ -106,7 +127,9 @@ class Obs:
     def snapshot(self) -> dict:
         """Deterministic dict of metrics, the span tree, and rollups."""
         return {
-            "schema_version": 1,
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "run_id": self.trace.trace_id if self.trace else None,
+            "git_rev": git_rev(),
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.snapshot(),
             "span_totals": self.tracer.aggregate(),
@@ -126,6 +149,10 @@ class Obs:
         path = Path(path)
         path.write_text(self.to_json(), encoding="utf-8")
         return path
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Save the span forest as a Chrome-trace JSON to ``path``."""
+        return write_chrome_trace(path, self.snapshot())
 
 
 def maybe_span(obs: Obs | None, name: str, **attrs):

@@ -1,0 +1,250 @@
+"""Benchmark regression gate: compare BENCH_*.json against baselines.
+
+``repro obs bench-diff <new> <baseline-dir>`` is the repo's first
+perf-regression gate: it pairs fresh ``BENCH_<name>.json`` documents
+with the checked-in baselines under ``benchmarks/results/`` and fails
+(non-zero exit) when a gated metric regresses beyond its tolerance.
+
+Gating is deliberately loose — CI hardware is noisy and shared — and
+unit-driven:
+
+- ``"s"`` (wall time): lower is better; regression when
+  ``new / baseline > max_ratio`` (default ``1.75``);
+- ``"*/s"`` (throughput): higher is better; regression when
+  ``new / baseline < 1 / max_ratio``;
+- everything else (counts, cores, speedup ratios) is informational —
+  counts are asserted by tests, not by a perf gate.
+
+Per-metric overrides live in a thresholds JSON (checked in as
+``benchmarks/thresholds.json``): keys are ``"<benchmark>.<metric>"``
+or bare ``"<metric>"`` (the qualified key wins), values are
+``{"max_ratio": 2.5}`` to loosen/tighten or ``{"gate": false}`` to
+exempt a metric.  A world mismatch (different seed or scale between
+new and baseline) downgrades that benchmark to informational — the
+numbers aren't comparable.  A missing baseline file warns but does not
+fail, so brand-new benchmarks don't break CI on first landing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "MetricDiff",
+    "BenchDiff",
+    "load_thresholds",
+    "compare_bench",
+    "compare_dirs",
+    "render_diffs",
+    "DEFAULT_MAX_RATIO",
+]
+
+#: Default slowdown tolerance for time/throughput metrics.
+DEFAULT_MAX_RATIO = 1.75
+
+
+@dataclass
+class MetricDiff:
+    """One metric compared across new vs baseline."""
+
+    name: str
+    unit: str
+    new: float
+    baseline: float | None
+    #: new/baseline for lower-better, baseline/new for higher-better —
+    #: ``> limit`` always means "regressed", whatever the direction.
+    ratio: float | None
+    limit: float | None
+    #: "ok" | "regression" | "info" | "missing-baseline"
+    status: str
+    note: str = ""
+
+
+@dataclass
+class BenchDiff:
+    """One benchmark document compared against its baseline."""
+
+    benchmark: str
+    metrics: list[MetricDiff] = field(default_factory=list)
+    note: str = ""
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [m for m in self.metrics if m.status == "regression"]
+
+
+def load_thresholds(path: str | Path | None) -> dict:
+    if path is None:
+        return {}
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _rule(benchmark: str, metric: dict, thresholds: dict) -> dict:
+    """Resolve the gating rule for one metric.
+
+    Returns ``{"direction": "lower"|"higher"|None, "max_ratio": float}``
+    where direction ``None`` means informational.
+    """
+    unit = metric["unit"]
+    if unit == "s":
+        rule = {"direction": "lower", "max_ratio": DEFAULT_MAX_RATIO}
+    elif unit.endswith("/s"):
+        rule = {"direction": "higher", "max_ratio": DEFAULT_MAX_RATIO}
+    else:
+        rule = {"direction": None, "max_ratio": DEFAULT_MAX_RATIO}
+    for key in (metric["name"], f"{benchmark}.{metric['name']}"):
+        override = thresholds.get(key)
+        if override is None:
+            continue
+        if override.get("gate") is False:
+            rule["direction"] = None
+        if "max_ratio" in override:
+            rule["max_ratio"] = float(override["max_ratio"])
+            if rule["direction"] is None and override.get("gate") is not False:
+                # An explicit ratio re-gates an info-only unit; pick the
+                # direction time-like metrics use unless told otherwise.
+                rule["direction"] = override.get("direction", "lower")
+        if "direction" in override:
+            rule["direction"] = override["direction"]
+    return rule
+
+
+def compare_bench(new: dict, baseline: dict | None, thresholds: dict) -> BenchDiff:
+    """Diff one new BENCH document against its baseline document."""
+    name = new.get("benchmark", "?")
+    diff = BenchDiff(benchmark=name)
+    if baseline is None:
+        diff.note = "no baseline — informational only"
+        for metric in new.get("metrics", []):
+            diff.metrics.append(
+                MetricDiff(
+                    name=metric["name"],
+                    unit=metric["unit"],
+                    new=metric["value"],
+                    baseline=None,
+                    ratio=None,
+                    limit=None,
+                    status="missing-baseline",
+                )
+            )
+        return diff
+    world_mismatch = new.get("world") != baseline.get("world")
+    if world_mismatch:
+        diff.note = (
+            f"world mismatch (new={new.get('world')} vs "
+            f"baseline={baseline.get('world')}) — gating skipped"
+        )
+    base_by_name = {
+        m["name"]: m for m in baseline.get("metrics", [])
+    }
+    for metric in new.get("metrics", []):
+        base = base_by_name.get(metric["name"])
+        if base is None:
+            diff.metrics.append(
+                MetricDiff(
+                    name=metric["name"],
+                    unit=metric["unit"],
+                    new=metric["value"],
+                    baseline=None,
+                    ratio=None,
+                    limit=None,
+                    status="missing-baseline",
+                    note="metric not in baseline",
+                )
+            )
+            continue
+        rule = _rule(name, metric, thresholds)
+        new_value = float(metric["value"])
+        base_value = float(base["value"])
+        direction = None if world_mismatch else rule["direction"]
+        if direction is None or base_value <= 0 or new_value <= 0:
+            # Ungated unit, world mismatch, or a non-positive side
+            # (no meaningful ratio): informational.
+            status, ratio, limit = "info", None, None
+        else:
+            limit = rule["max_ratio"]
+            if direction == "lower":
+                ratio = new_value / base_value
+            else:
+                ratio = base_value / new_value
+            status = "regression" if ratio > limit else "ok"
+        diff.metrics.append(
+            MetricDiff(
+                name=metric["name"],
+                unit=metric["unit"],
+                new=new_value,
+                baseline=base_value,
+                ratio=ratio,
+                limit=limit,
+                status=status,
+            )
+        )
+    return diff
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def compare_dirs(
+    new_path: str | Path,
+    baseline_dir: str | Path,
+    thresholds: dict | None = None,
+) -> list[BenchDiff]:
+    """Diff a BENCH file — or every BENCH file in a directory — against
+    the matching ``BENCH_<name>.json`` files in ``baseline_dir``."""
+    new_path = Path(new_path)
+    baseline_dir = Path(baseline_dir)
+    thresholds = thresholds or {}
+    if new_path.is_dir():
+        new_files = sorted(new_path.glob("BENCH_*.json"))
+    else:
+        new_files = [new_path]
+    if not new_files:
+        raise FileNotFoundError(f"no BENCH_*.json under {new_path}")
+    diffs = []
+    for path in new_files:
+        new = _load(path)
+        base_file = baseline_dir / path.name
+        baseline = _load(base_file) if base_file.exists() else None
+        diffs.append(compare_bench(new, baseline, thresholds))
+    return diffs
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def render_diffs(diffs: list[BenchDiff]) -> str:
+    """Human-readable report; one section per benchmark."""
+    lines: list[str] = []
+    total_regressions = 0
+    for diff in diffs:
+        lines.append(f"== {diff.benchmark} ==")
+        if diff.note:
+            lines.append(f"  ! {diff.note}")
+        for m in diff.metrics:
+            marker = {
+                "ok": "ok ",
+                "regression": "REG",
+                "info": "·  ",
+                "missing-baseline": "new",
+            }[m.status]
+            ratio = f" ratio={m.ratio:.3f}/{m.limit:.2f}" if m.ratio is not None else ""
+            lines.append(
+                f"  [{marker}] {m.name:<40} "
+                f"{_fmt(m.new):>12} vs {_fmt(m.baseline):>12} {m.unit}"
+                f"{ratio}"
+                + (f"  ({m.note})" if m.note else "")
+            )
+        total_regressions += len(diff.regressions)
+    lines.append(
+        f"-- {len(diffs)} benchmark(s), {total_regressions} regression(s)"
+    )
+    return "\n".join(lines) + "\n"

@@ -11,12 +11,17 @@ seed/scale and the git revision it was measured at.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
+from functools import lru_cache
 from pathlib import Path
+
+from repro.obs.trace_context import TRACE_ENV_VAR, parse_trace_value
 
 __all__ = ["git_rev", "bench_metric", "write_bench_json"]
 
 
+@lru_cache(maxsize=8)
 def git_rev(cwd: str | Path | None = None) -> str:
     """The current git commit (short), or ``"unknown"`` outside a repo."""
     try:
@@ -38,6 +43,12 @@ def bench_metric(name: str, value, unit: str) -> dict:
     return {"name": name, "value": value, "unit": unit}
 
 
+def _ambient_run_id() -> str | None:
+    """The trace id of the ambient ``REPRO_TRACE``, if any."""
+    parsed = parse_trace_value(os.environ.get(TRACE_ENV_VAR))
+    return parsed[0] if parsed else None
+
+
 def write_bench_json(
     results_dir: str | Path,
     name: str,
@@ -45,8 +56,14 @@ def write_bench_json(
     *,
     seed: int | None = None,
     n_users: int | None = None,
+    run_id: str | None = None,
 ) -> Path:
-    """Write ``BENCH_<name>.json`` into ``results_dir`` and return its path."""
+    """Write ``BENCH_<name>.json`` into ``results_dir`` and return its path.
+
+    ``run_id`` defaults to the trace id of the ambient ``REPRO_TRACE``
+    environment variable, making bench results joinable with the trace
+    and metrics artifacts of the run that produced them.
+    """
     results_dir = Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
     for metric in metrics:
@@ -57,6 +74,7 @@ def write_bench_json(
         "schema_version": 1,
         "benchmark": name,
         "git_rev": git_rev(results_dir),
+        "run_id": run_id if run_id is not None else _ambient_run_id(),
         "world": {"seed": seed, "n_users": n_users},
         "metrics": metrics,
     }

@@ -1,0 +1,121 @@
+"""Chrome-trace / Perfetto export of the merged span forest.
+
+``chrome://tracing`` and https://ui.perfetto.dev both read the Chrome
+trace-event JSON format: a flat ``traceEvents`` list where each
+complete event (``"ph": "X"``) carries a name, microsecond timestamp
+and duration, and a ``pid``/``tid`` pair that picks the row it renders
+on.  We map our span forest onto it:
+
+- every span becomes one ``X`` event; nesting is implied by time
+  containment, which the viewers reconstruct per track;
+- the ``track`` span attribute routes a span (and its children) onto a
+  named process row — ``main`` for the supervisor/CLI process,
+  ``steamapi-server`` for server-side handler spans, ``engine:worker``
+  style tracks for pool workers — each announced with a
+  ``process_name`` metadata event;
+- span ids and attrs ride along in ``args`` so a trace is joinable
+  with the metrics snapshot and BENCH JSON via ``trace_id`` in
+  ``otherData``.
+
+Output is deterministic: events are emitted in depth-first span order
+(roots sorted by start time), keys are sorted, and timestamps are
+exact multiples of the clock tick — under a FakeClock two same-seed
+runs serialize to identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Track name used when a span (and its ancestors) set none.
+DEFAULT_TRACK = "main"
+
+
+def _micros(seconds: float) -> float:
+    """Seconds → microseconds, collapsing to int when exact."""
+    value = round(seconds * 1_000_000, 3)
+    as_int = int(value)
+    return as_int if value == as_int else value
+
+
+def _collect_tracks(spans: list[dict], inherited: str, tracks: set[str]) -> None:
+    for span in spans:
+        track = span.get("attrs", {}).get("track", inherited)
+        tracks.add(track)
+        _collect_tracks(span.get("children", []), track, tracks)
+
+
+def _emit(
+    span: dict,
+    inherited: str,
+    pids: dict[str, int],
+    events: list[dict],
+) -> None:
+    attrs = span.get("attrs", {})
+    track = attrs.get("track", inherited)
+    args = {k: attrs[k] for k in sorted(attrs) if k != "track"}
+    if span.get("span_id") is not None:
+        args["span_id"] = span["span_id"]
+        args["parent_span_id"] = span["parent_span_id"]
+    end = span["end"] if span["end"] is not None else span["start"]
+    events.append(
+        {
+            "name": span["name"],
+            "cat": track,
+            "ph": "X",
+            "ts": _micros(span["start"]),
+            "dur": _micros(end - span["start"]),
+            "pid": pids[track],
+            "tid": 1,
+            "args": args,
+        }
+    )
+    for child in span.get("children", []):
+        _emit(child, track, pids, events)
+
+
+def to_chrome_trace(snapshot: dict) -> dict:
+    """An :meth:`Obs.snapshot` dict → Chrome trace-event document."""
+    spans = snapshot.get("spans", [])
+    tracks: set[str] = set()
+    _collect_tracks(spans, DEFAULT_TRACK, tracks)
+    tracks.add(DEFAULT_TRACK)
+    # The main process renders first; other tracks follow alphabetically.
+    ordered = [DEFAULT_TRACK] + sorted(tracks - {DEFAULT_TRACK})
+    pids = {track: i + 1 for i, track in enumerate(ordered)}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pids[track],
+            "tid": 1,
+            "args": {"name": track},
+        }
+        for track in ordered
+    ]
+    for span in spans:
+        _emit(span, DEFAULT_TRACK, pids, events)
+    other: dict = {}
+    if snapshot.get("run_id"):
+        other["trace_id"] = snapshot["run_id"]
+    if snapshot.get("git_rev"):
+        other["git_rev"] = snapshot["git_rev"]
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": other,
+        "traceEvents": events,
+    }
+
+
+def write_chrome_trace(path: str | Path, snapshot: dict) -> Path:
+    """Serialize :func:`to_chrome_trace` deterministically to ``path``."""
+    path = Path(path)
+    document = to_chrome_trace(snapshot)
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path

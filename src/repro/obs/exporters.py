@@ -17,9 +17,12 @@ import json
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["to_prometheus", "to_json", "console_summary"]
+__all__ = ["to_prometheus", "to_json", "console_summary", "SNAPSHOT_SCHEMA_VERSION"]
 
-_SNAPSHOT_VERSION = 1
+#: Version stamped into :meth:`Obs.snapshot` documents.  v2 added
+#: ``run_id`` (the trace id) and ``git_rev`` so metrics snapshots are
+#: joinable with Chrome traces and BENCH JSON from the same run.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 
 def _prom_sample(name, labelnames, labelvalues, value, extra=()):

@@ -249,6 +249,30 @@ class Histogram(_Metric):
         """Bind a label set once; the child's ``observe`` skips validation."""
         return _BoundHistogram(self, _label_key(self.labelnames, labels))
 
+    def _merge_series(
+        self,
+        key: tuple[str, ...],
+        buckets: list[int],
+        total: float,
+        count: int,
+    ) -> None:
+        """Add another registry's cells for one label set (see
+        :meth:`MetricsRegistry.merge`)."""
+        if len(buckets) != len(self.buckets) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge "
+                f"{len(buckets)} bucket counts into "
+                f"{len(self.buckets) + 1} buckets"
+            )
+        with self._lock:
+            cells = self._values.get(key)
+            if cells is None:
+                cells = self._values[key] = self._new_cells()
+            for i, bucket_count in enumerate(buckets):
+                cells[i] += bucket_count
+            cells[-2] += total
+            cells[-1] += count
+
     def count(self, **labels) -> int:
         key = _label_key(self.labelnames, labels)
         with self._lock:
@@ -325,6 +349,57 @@ class MetricsRegistry:
         return self._get_or_create(
             Histogram, name, help, buckets=buckets, labelnames=labelnames
         )
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The engine's pool workers record into private registries and
+        pickle the snapshots back with stage results; the coordinator
+        merges them here so serial and parallel runs report identical
+        counters.  Counters and histogram cells add; gauges take the
+        snapshot's value (last write wins, matching live behaviour).
+        """
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            kind = snap.get("kind")
+            labelnames = tuple(snap.get("labelnames", ()))
+            if kind == "counter":
+                metric = self.counter(
+                    name, snap.get("help", ""), labelnames=labelnames
+                )
+                for series in snap["series"]:
+                    labels = dict(zip(labelnames, series["labels"]))
+                    metric.inc(series["value"], **labels)
+            elif kind == "gauge":
+                metric = self.gauge(
+                    name, snap.get("help", ""), labelnames=labelnames
+                )
+                for series in snap["series"]:
+                    labels = dict(zip(labelnames, series["labels"]))
+                    metric.set(series["value"], **labels)
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name,
+                    snap.get("help", ""),
+                    buckets=snap["bounds"],
+                    labelnames=labelnames,
+                )
+                if list(metric.buckets) != [
+                    float(b) for b in snap["bounds"]
+                ]:
+                    raise ValueError(
+                        f"histogram {name!r}: snapshot bounds "
+                        f"{snap['bounds']} != registered {list(metric.buckets)}"
+                    )
+                for series in snap["series"]:
+                    metric._merge_series(
+                        tuple(str(v) for v in series["labels"]),
+                        series["buckets"],
+                        series["sum"],
+                        series["count"],
+                    )
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
 
     def get(self, name: str) -> _Metric | None:
         with self._lock:

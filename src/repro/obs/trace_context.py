@@ -1,0 +1,155 @@
+"""Deterministic trace context: one trace_id across every process.
+
+The paper's measurement was a months-long distributed job; debugging
+ours means following one logical run across the supervisor process,
+the localhost API server's handler threads, and the engine's pool
+workers.  :class:`TraceContext` is the thread of identity that makes
+that possible:
+
+- a **trace_id** derived deterministically from the world seed (so two
+  same-seed runs produce the same id, and artifacts from one run —
+  metrics snapshot, Chrome trace, BENCH JSON — are joinable by it);
+- a **span-id sequence**: small integers handed out in span-open
+  order, deterministic for a single-threaded run under a
+  :class:`~repro.obs.clock.FakeClock`;
+- two propagation encodings: the ``REPRO_TRACE`` environment variable
+  (supervisor → step subprocess, CLI → engine workers) and the
+  ``X-Repro-Trace`` request header (crawler → simulated Steam API),
+  both carrying ``<trace_id>:<parent_span_id>``.
+
+A context joined from a parent (env or header) offsets its span-id
+sequence by the parent span id so ids from different processes of one
+trace don't collide for any realistic span count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+
+__all__ = [
+    "TraceContext",
+    "TRACE_ENV_VAR",
+    "TRACE_HEADER",
+    "parse_trace_value",
+]
+
+#: Environment variable carrying the ambient trace across processes.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: HTTP request header carrying the trace across the network boundary.
+TRACE_HEADER = "X-Repro-Trace"
+
+#: Span-id block size reserved per joining process (see ``joined``).
+_JOIN_STRIDE = 1 << 20
+
+
+def _seed_trace_id(seed: int) -> str:
+    """16 hex chars, a pure function of the seed."""
+    digest = hashlib.sha256(f"repro-trace:{seed}".encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def parse_trace_value(value: str | None) -> tuple[str, int] | None:
+    """Parse ``<trace_id>:<parent_span_id>``; ``None`` when malformed.
+
+    Shared by the env-var and header decoders: propagation must never
+    crash a server or CLI on a garbled value, only ignore it.
+    """
+    if not value:
+        return None
+    head, sep, tail = value.partition(":")
+    if not sep or not head:
+        return None
+    try:
+        int(head, 16)
+        parent = int(tail)
+    except ValueError:
+        return None
+    if parent < 0:
+        return None
+    return head, parent
+
+
+class TraceContext:
+    """One run's identity plus a deterministic span-id allocator."""
+
+    def __init__(self, trace_id: str, parent_span_id: int = 0,
+                 first_span_id: int = 1) -> None:
+        self.trace_id = trace_id
+        #: Span id the *next* root span should re-parent under (0: none).
+        self.parent_span_id = int(parent_span_id)
+        self._next = int(first_span_id)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"parent_span_id={self.parent_span_id})"
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def new(cls, seed: int | None = None) -> "TraceContext":
+        """A fresh root context; deterministic when ``seed`` is given."""
+        if seed is None:
+            return cls(trace_id=os.urandom(8).hex())
+        return cls(trace_id=_seed_trace_id(seed))
+
+    @classmethod
+    def joined(cls, trace_id: str, parent_span_id: int) -> "TraceContext":
+        """Join an existing trace as a child process/participant.
+
+        The local span-id sequence starts in a block derived from the
+        parent span id, so ids allocated here don't collide with the
+        parent's (for fewer than ``2**20`` spans per participant).
+        """
+        first = (parent_span_id + 1) * _JOIN_STRIDE + 1
+        return cls(
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            first_span_id=first,
+        )
+
+    # -- span ids -------------------------------------------------------------
+
+    def next_span_id(self) -> int:
+        """Allocate the next span id (thread-safe, monotonic)."""
+        with self._lock:
+            span_id = self._next
+            self._next += 1
+            return span_id
+
+    # -- propagation ----------------------------------------------------------
+
+    def value(self, parent_span_id: int | None = None) -> str:
+        """The wire encoding ``<trace_id>:<parent_span_id>``."""
+        parent = (
+            self.parent_span_id if parent_span_id is None else parent_span_id
+        )
+        return f"{self.trace_id}:{parent}"
+
+    def to_env(self, environ=None) -> None:
+        """Export into ``environ`` (default ``os.environ``) for children."""
+        (os.environ if environ is None else environ)[
+            TRACE_ENV_VAR
+        ] = self.value()
+
+    @classmethod
+    def from_env(cls, environ=None) -> "TraceContext | None":
+        """Join the ambient trace, or ``None`` when unset/malformed."""
+        environ = os.environ if environ is None else environ
+        parsed = parse_trace_value(environ.get(TRACE_ENV_VAR))
+        if parsed is None:
+            return None
+        return cls.joined(*parsed)
+
+    @classmethod
+    def from_header(cls, value: str | None) -> "TraceContext | None":
+        """Join a trace from an ``X-Repro-Trace`` header value."""
+        parsed = parse_trace_value(value)
+        if parsed is None:
+            return None
+        return cls.joined(*parsed)

@@ -12,6 +12,13 @@ of spans opened — byte-identical across runs.  Multi-threaded use is
 safe (each thread grows its own root list, merged sorted by start
 time at snapshot), but interleaving-dependent ordering is only
 deterministic when the clock makes start times distinct per thread.
+
+Cross-process tracing: a tracer constructed with a
+:class:`~repro.obs.trace_context.TraceContext` stamps every span with
+a ``span_id``/``parent_span_id`` pair from the context's deterministic
+sequence, and :meth:`Tracer.attach` re-parents a finished span subtree
+recorded elsewhere (an engine pool worker, typically) under the
+current span, assigning ids as it goes.
 """
 
 from __future__ import annotations
@@ -33,14 +40,26 @@ class Span:
     end: float | None = None
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    #: Trace-wide span id; ``None`` when no trace context is active.
+    span_id: int | None = None
+    #: Id of the enclosing span (0: the trace root / ambient parent).
+    parent_span_id: int | None = None
 
     @property
     def duration(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
 
+    def shift(self, offset: float) -> None:
+        """Translate this subtree in time (rebasing a worker's clock)."""
+        self.start += offset
+        if self.end is not None:
+            self.end += offset
+        for child in self.children:
+            child.shift(offset)
+
     def snapshot(self) -> dict:
         """JSON-ready dict; attribute keys sorted for determinism."""
-        return {
+        snap = {
             "name": self.name,
             "start": self.start,
             "end": self.end,
@@ -48,13 +67,20 @@ class Span:
             "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
             "children": [c.snapshot() for c in self.children],
         }
+        if self.span_id is not None:
+            snap["span_id"] = self.span_id
+            snap["parent_span_id"] = self.parent_span_id
+        return snap
 
 
 class Tracer:
     """Collects span trees; cheap enough to leave on in hot paths."""
 
-    def __init__(self, clock=None) -> None:
+    def __init__(self, clock=None, context=None) -> None:
         self._clock = clock or time.monotonic
+        #: Optional :class:`~repro.obs.trace_context.TraceContext`;
+        #: when present, spans receive deterministic ids from it.
+        self.context = context
         self._local = threading.local()
         self._roots: list[Span] = []
         self._lock = threading.Lock()
@@ -65,11 +91,36 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def current(self) -> Span | None:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _assign_ids(self, span: Span, parent_id: int) -> None:
+        span.span_id = self.context.next_span_id()
+        span.parent_span_id = parent_id
+        for child in span.children:
+            self._assign_ids(child, span.span_id)
+
     @contextmanager
-    def span(self, name: str, **attrs):
-        """Open a span; nests under the thread's current span."""
+    def span(self, name: str, *, parent_span_id: int | None = None, **attrs):
+        """Open a span; nests under the thread's current span.
+
+        ``parent_span_id`` overrides the recorded parent id — the hook
+        for spans whose logical parent lives in another process (an
+        ``X-Repro-Trace`` header's parent, say); the span still roots
+        in *this* tracer's forest.
+        """
         span = Span(name=name, start=self._clock(), attrs=dict(attrs))
         stack = self._stack()
+        if self.context is not None:
+            span.span_id = self.context.next_span_id()
+            if parent_span_id is not None:
+                span.parent_span_id = parent_span_id
+            elif stack and stack[-1].span_id is not None:
+                span.parent_span_id = stack[-1].span_id
+            else:
+                span.parent_span_id = self.context.parent_span_id
         if stack:
             stack[-1].children.append(span)
         else:
@@ -81,6 +132,34 @@ class Tracer:
         finally:
             span.end = self._clock()
             stack.pop()
+
+    def attach(self, span: Span, *, rebase: bool = False) -> Span:
+        """Re-parent a finished span subtree under the current span.
+
+        The engine's pool workers record spans on their own clocks and
+        pickle them back with stage results; the coordinator attaches
+        them here.  ``rebase=True`` translates the subtree so its end
+        aligns with this tracer's current clock (use when the source
+        clock shares no epoch with ours); with ``rebase=False`` the
+        caller has already rebased.  When a trace context is active the
+        subtree receives fresh deterministic span ids.
+        """
+        if rebase:
+            span.shift(self._clock() - (span.end or span.start))
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if self.context is not None:
+            if parent is not None and parent.span_id is not None:
+                parent_id = parent.span_id
+            else:
+                parent_id = self.context.parent_span_id
+            self._assign_ids(span, parent_id)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        return span
 
     def roots(self) -> list[Span]:
         with self._lock:

@@ -26,11 +26,12 @@ engine's fault tests already enforce, now end to end.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.obs import Obs, maybe_span
+from repro.obs import TRACE_ENV_VAR, Obs, maybe_span
 from repro.pipeline.manifest import RunManifest, file_checksum
 from repro.simworld.config import WorldConfig
 from repro.simworld.world import SteamWorld
@@ -143,10 +144,24 @@ class PipelineSupervisor:
             )
         manifest.config = dict(self._config)
         self.resumed_this_run = []
-        with maybe_span(self.obs, "pipeline", users=self.users):
-            world = self._step_generate(manifest)
-            self._step_crawl(manifest, world)
-            self._step_analyze(manifest)
+        # Export the trace for the duration of the run: anything we
+        # spawn (engine pool workers, benchmark subprocesses, nested
+        # tooling) joins this run's trace via REPRO_TRACE.
+        trace = self.obs.trace if self.obs is not None else None
+        saved_env = os.environ.get(TRACE_ENV_VAR)
+        if trace is not None:
+            trace.to_env()
+        try:
+            with maybe_span(self.obs, "pipeline", users=self.users):
+                world = self._step_generate(manifest)
+                self._step_crawl(manifest, world)
+                self._step_analyze(manifest)
+        finally:
+            if trace is not None:
+                if saved_env is None:
+                    os.environ.pop(TRACE_ENV_VAR, None)
+                else:
+                    os.environ[TRACE_ENV_VAR] = saved_env
         manifest.runs_completed += 1
         manifest.save()
         return manifest
@@ -221,7 +236,11 @@ class PipelineSupervisor:
 
                     with serve_http(service, obs=self.obs) as server:
                         result = run_full_crawl(
-                            HttpTransport(server.base_url),
+                            HttpTransport(
+                                server.base_url,
+                                trace=self.obs.trace if self.obs else None,
+                                tracer=self.obs.tracer if self.obs else None,
+                            ),
                             checkpoint=checkpoint,
                             snapshot2=world.dataset.snapshot2,
                             obs=self.obs,

@@ -1,4 +1,12 @@
-"""HTTP client transport (urllib, stdlib only)."""
+"""HTTP client transport (urllib, stdlib only).
+
+Trace propagation: a transport constructed with a
+:class:`~repro.obs.trace_context.TraceContext` stamps every request
+with an ``X-Repro-Trace: <trace_id>:<parent_span_id>`` header.  The
+parent span id is the caller's innermost open span when a tracer is
+also supplied (so server-side spans nest under the crawler span that
+issued the request), else the context's ambient parent.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ import urllib.error
 import urllib.parse
 import urllib.request
 
+from repro.obs.trace_context import TRACE_HEADER, TraceContext
 from repro.steamapi.errors import (
     ApiError,
     MalformedResponseError,
@@ -21,17 +30,39 @@ __all__ = ["HttpTransport"]
 class HttpTransport:
     """JSON-over-HTTP access to an :class:`ApiHttpServer`."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        trace: TraceContext | None = None,
+        tracer=None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.trace = trace
+        self.tracer = tracer
+
+    def _trace_header(self) -> str | None:
+        if self.trace is None:
+            return None
+        parent = None
+        if self.tracer is not None:
+            current = self.tracer.current()
+            if current is not None and current.span_id is not None:
+                parent = current.span_id
+        return self.trace.value(parent_span_id=parent)
 
     def request(self, path: str, params: dict) -> dict:
         query = urllib.parse.urlencode(
             {k: v for k, v in params.items() if v is not None}
         )
         url = f"{self.base_url}{path}?{query}"
+        req = urllib.request.Request(url)
+        header = self._trace_header()
+        if header is not None:
+            req.add_header(TRACE_HEADER, header)
         try:
-            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 raw = resp.read()
             try:
                 return json.loads(raw.decode("utf-8"))

@@ -25,11 +25,13 @@ from __future__ import annotations
 import json
 import logging
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs import Obs
+from repro.obs.trace_context import TRACE_HEADER, parse_trace_value
 from repro.steamapi.errors import (
     ApiError,
     BadRequestError,
@@ -74,27 +76,47 @@ def _make_handler(dispatch, obs: Obs, access_log: bool):
                 for name, values in parse_qs(parsed.query).items()
             }
             status = 200
-            try:
-                payload = dispatch(parsed.path, params)
-                body = json.dumps(payload).encode("utf-8")
-                self._reply(200, body)
-            except MalformedResponseError as exc:
-                if exc.body is not None:
-                    # Injected truncation: ship the broken bytes as a
-                    # "successful" response, exactly like a connection
-                    # dropped mid-transfer behind a buffering proxy.
-                    self._reply(200, exc.body)
-                else:
-                    status = self._reply_error(exc)
-            except ApiError as exc:
-                status = self._reply_error(exc)
-            except (KeyError, ValueError, TypeError) as exc:
-                # Malformed query strings (non-numeric ids, missing
-                # required params) must come back as a 400 JSON error,
-                # not kill the handler thread with a raw traceback.
-                status = self._reply_error(
-                    BadRequestError(f"malformed request parameters: {exc}")
+            # A crawler that carries an X-Repro-Trace header gets its
+            # request echoed into a server-side span, parented under
+            # the client span that issued it — the merged trace shows
+            # both sides of every request on the server's track.
+            traced = parse_trace_value(self.headers.get(TRACE_HEADER))
+            span_cm = (
+                obs.span(
+                    f"http:{parsed.path}",
+                    parent_span_id=traced[1],
+                    track="steamapi-server",
+                    trace_id=traced[0],
                 )
+                if traced is not None
+                else nullcontext()
+            )
+            with span_cm as span:
+                try:
+                    payload = dispatch(parsed.path, params)
+                    body = json.dumps(payload).encode("utf-8")
+                    self._reply(200, body)
+                except MalformedResponseError as exc:
+                    if exc.body is not None:
+                        # Injected truncation: ship the broken bytes as a
+                        # "successful" response, exactly like a connection
+                        # dropped mid-transfer behind a buffering proxy.
+                        self._reply(200, exc.body)
+                    else:
+                        status = self._reply_error(exc)
+                except ApiError as exc:
+                    status = self._reply_error(exc)
+                except (KeyError, ValueError, TypeError) as exc:
+                    # Malformed query strings (non-numeric ids, missing
+                    # required params) must come back as a 400 JSON error,
+                    # not kill the handler thread with a raw traceback.
+                    status = self._reply_error(
+                        BadRequestError(
+                            f"malformed request parameters: {exc}"
+                        )
+                    )
+                if span is not None:
+                    span.attrs["status"] = status
             self._account(parsed.path, status, start)
 
         def _account(self, path: str, status: int, start: float) -> None:

@@ -139,3 +139,100 @@ class TestObservability:
         assert totals["analyze"]["count"] == 1
         assert totals["analyze:summary"]["count"] == 1
         assert totals["analyze:fig12_week_panel"]["count"] == 1
+
+
+def _shape(snap: dict) -> tuple:
+    """A span subtree as (name, span_id, parent_span_id, children)."""
+    return (
+        snap["name"],
+        snap.get("span_id"),
+        snap.get("parent_span_id"),
+        tuple(_shape(c) for c in snap["children"]),
+    )
+
+
+def _forest(obs: Obs) -> tuple:
+    return tuple(_shape(s) for s in obs.tracer.snapshot())
+
+
+class TestSpanTreeParity:
+    """Serial, parallel, and fault-recovery runs must produce the same
+    span tree — same names, same nesting, same deterministic span ids
+    (DESIGN.md §10).  Execution strategy is an implementation detail;
+    the trace is part of the deterministic output."""
+
+    def _traced_obs(self):
+        from repro.obs import TraceContext
+
+        return Obs(trace=TraceContext.new(seed=1603))
+
+    def test_study_serial_and_parallel_span_trees_identical(
+        self, small_world
+    ):
+        forests = {}
+        for jobs in (1, 2):
+            obs = self._traced_obs()
+            study = SteamStudy(
+                world=small_world, _dataset=small_world.dataset
+            )
+            study.run(include_table4=False, obs=obs, jobs=jobs)
+            forests[jobs] = _forest(obs)
+        assert forests[2] == forests[1]
+        names = [root[0] for root in forests[1]]
+        assert "analyze" in names
+
+    def test_parallel_worker_spans_have_ids(self, small_world):
+        obs = self._traced_obs()
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        study.run(include_table4=False, obs=obs, jobs=2)
+        totals = obs.tracer.aggregate()
+        assert totals["analyze:summary"]["count"] == 1
+        analyze = [
+            s for s in obs.tracer.snapshot() if s["name"] == "analyze"
+        ][0]
+        stage_spans = analyze["children"]
+        assert stage_spans, "worker spans were not attached"
+        ids = [s["span_id"] for s in stage_spans]
+        assert all(isinstance(i, int) for i in ids)
+        assert len(set(ids)) == len(ids)
+        assert all(
+            s["parent_span_id"] == analyze["span_id"] for s in stage_spans
+        )
+
+    def test_fault_fallback_span_tree_matches_clean_run(
+        self, small_dataset
+    ):
+        from repro.engine import EngineFaultPlan, EngineFaultSpec
+
+        ctx = StageContext(
+            dataset=small_dataset,
+            config={"base": 10},
+            aux={"extra": "panel"},
+        )
+        # An enclosing span pins the stage spans into one tree whose
+        # child order is attach order (= topo order), independent of
+        # wall-clock start times.
+        clean_obs = self._traced_obs()
+        with clean_obs.span("run"):
+            Engine(jobs=2, obs=clean_obs).run(_diamond_graph(), ctx)
+
+        plan = EngineFaultPlan(
+            stages={
+                "left": EngineFaultSpec(crash=1.0, max_faulted_attempts=99)
+            }
+        )
+        faulted_obs = self._traced_obs()
+        with faulted_obs.span("run"):
+            run = Engine(jobs=2, faults=plan, obs=faulted_obs).run(
+                _diamond_graph(), ctx
+            )
+        assert run.serial_fallback
+
+        serial_obs = self._traced_obs()
+        with serial_obs.span("run"):
+            Engine(jobs=1, obs=serial_obs).run(_diamond_graph(), ctx)
+
+        assert _forest(faulted_obs) == _forest(clean_obs)
+        assert _forest(serial_obs) == _forest(clean_obs)

@@ -1,0 +1,171 @@
+"""The bench-regression gate: unit rules, thresholds, edge cases."""
+
+import json
+
+import pytest
+
+from repro.obs.benchdiff import (
+    compare_bench,
+    compare_dirs,
+    render_diffs,
+)
+
+
+def _doc(name="crawl", seconds=1.0, world=None, extra=()):
+    return {
+        "schema_version": 1,
+        "benchmark": name,
+        "git_rev": "abc1234",
+        "world": world or {"seed": 31, "n_users": 8000},
+        "metrics": [
+            {"name": "crawl_seconds", "value": seconds, "unit": "s"},
+            *extra,
+        ],
+    }
+
+
+class TestUnitRules:
+    def test_small_slowdown_within_tolerance_is_ok(self):
+        diff = compare_bench(_doc(seconds=1.2), _doc(seconds=1.0), {})
+        (m,) = diff.metrics
+        assert m.status == "ok"
+        assert m.ratio == pytest.approx(1.2)
+
+    def test_two_x_latency_regression_fails(self):
+        diff = compare_bench(_doc(seconds=2.0), _doc(seconds=1.0), {})
+        (m,) = diff.metrics
+        assert m.status == "regression"
+        assert diff.regressions == [m]
+
+    def test_throughput_drop_fails(self):
+        new = _doc(extra=[{"name": "rps", "value": 100.0, "unit": "requests/s"}])
+        base = _doc(extra=[{"name": "rps", "value": 250.0, "unit": "requests/s"}])
+        diff = compare_bench(new, base, {})
+        rps = [m for m in diff.metrics if m.name == "rps"][0]
+        assert rps.status == "regression"
+
+    def test_throughput_gain_is_ok(self):
+        new = _doc(extra=[{"name": "rps", "value": 500.0, "unit": "requests/s"}])
+        base = _doc(extra=[{"name": "rps", "value": 250.0, "unit": "requests/s"}])
+        diff = compare_bench(new, base, {})
+        rps = [m for m in diff.metrics if m.name == "rps"][0]
+        assert rps.status == "ok"
+
+    def test_count_units_are_informational(self):
+        new = _doc(extra=[{"name": "requests", "value": 99999, "unit": "requests"}])
+        base = _doc(extra=[{"name": "requests", "value": 10, "unit": "requests"}])
+        diff = compare_bench(new, base, {})
+        count = [m for m in diff.metrics if m.name == "requests"][0]
+        assert count.status == "info"
+
+    def test_speedup_ratio_is_informational(self):
+        new = _doc(extra=[{"name": "speedup", "value": 0.1, "unit": "x"}])
+        base = _doc(extra=[{"name": "speedup", "value": 3.0, "unit": "x"}])
+        diff = compare_bench(new, base, {})
+        x = [m for m in diff.metrics if m.name == "speedup"][0]
+        assert x.status == "info"
+
+
+class TestThresholds:
+    def test_metric_override_loosens(self):
+        thresholds = {"crawl_seconds": {"max_ratio": 3.0}}
+        diff = compare_bench(
+            _doc(seconds=2.0), _doc(seconds=1.0), thresholds
+        )
+        assert diff.metrics[0].status == "ok"
+
+    def test_qualified_override_wins_over_bare(self):
+        thresholds = {
+            "crawl_seconds": {"max_ratio": 3.0},
+            "crawl.crawl_seconds": {"max_ratio": 1.1},
+        }
+        diff = compare_bench(
+            _doc(seconds=1.5), _doc(seconds=1.0), thresholds
+        )
+        assert diff.metrics[0].status == "regression"
+
+    def test_gate_false_exempts(self):
+        thresholds = {"crawl_seconds": {"gate": False}}
+        diff = compare_bench(
+            _doc(seconds=100.0), _doc(seconds=1.0), thresholds
+        )
+        assert diff.metrics[0].status == "info"
+
+
+class TestEdgeCases:
+    def test_world_mismatch_skips_gating(self):
+        diff = compare_bench(
+            _doc(seconds=100.0, world={"seed": 1, "n_users": 100}),
+            _doc(seconds=1.0),
+            {},
+        )
+        assert diff.metrics[0].status == "info"
+        assert "world mismatch" in diff.note
+        assert not diff.regressions
+
+    def test_missing_baseline_document_warns_not_fails(self):
+        diff = compare_bench(_doc(seconds=100.0), None, {})
+        assert diff.note.startswith("no baseline")
+        assert all(m.status == "missing-baseline" for m in diff.metrics)
+        assert not diff.regressions
+
+    def test_metric_absent_from_baseline(self):
+        new = _doc(extra=[{"name": "fresh", "value": 1.0, "unit": "s"}])
+        diff = compare_bench(new, _doc(), {})
+        fresh = [m for m in diff.metrics if m.name == "fresh"][0]
+        assert fresh.status == "missing-baseline"
+
+    def test_zero_baseline_has_no_ratio(self):
+        diff = compare_bench(_doc(seconds=1.0), _doc(seconds=0.0), {})
+        assert diff.metrics[0].status == "info"
+        assert diff.metrics[0].ratio is None
+
+
+class TestCompareDirs:
+    def _write(self, directory, doc):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{doc['benchmark']}.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_directory_pairing(self, tmp_path):
+        new_dir, base_dir = tmp_path / "new", tmp_path / "base"
+        self._write(new_dir, _doc("alpha", seconds=1.0))
+        self._write(new_dir, _doc("beta", seconds=5.0))
+        self._write(base_dir, _doc("alpha", seconds=1.0))
+        self._write(base_dir, _doc("beta", seconds=1.0))
+        diffs = compare_dirs(new_dir, base_dir)
+        by_name = {d.benchmark: d for d in diffs}
+        assert not by_name["alpha"].regressions
+        assert by_name["beta"].regressions
+
+    def test_single_file_new(self, tmp_path):
+        new_dir, base_dir = tmp_path / "new", tmp_path / "base"
+        path = self._write(new_dir, _doc("alpha", seconds=3.0))
+        self._write(base_dir, _doc("alpha", seconds=1.0))
+        diffs = compare_dirs(path, base_dir)
+        assert len(diffs) == 1 and diffs[0].regressions
+
+    def test_empty_new_dir_raises(self, tmp_path):
+        (tmp_path / "new").mkdir()
+        with pytest.raises(FileNotFoundError):
+            compare_dirs(tmp_path / "new", tmp_path)
+
+    def test_render_mentions_regressions(self, tmp_path):
+        diffs = [compare_bench(_doc(seconds=2.0), _doc(seconds=1.0), {})]
+        text = render_diffs(diffs)
+        assert "[REG]" in text
+        assert "1 regression(s)" in text
+
+
+class TestBaselinesStayGreen:
+    def test_checked_in_baselines_diff_clean_against_themselves(self):
+        """The CI gate must pass when nothing changed: every checked-in
+        BENCH_*.json compared against itself yields zero regressions."""
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parents[2] / "benchmarks/results"
+        if not any(results.glob("BENCH_*.json")):  # pragma: no cover
+            pytest.skip("no baselines checked in")
+        diffs = compare_dirs(results, results)
+        assert all(not d.regressions for d in diffs)

@@ -1,0 +1,86 @@
+"""Chrome-trace export: event mapping, track routing, determinism."""
+
+import json
+
+from repro.obs import (
+    FakeClock,
+    Obs,
+    TraceContext,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _sample_obs() -> Obs:
+    obs = Obs(clock=FakeClock(tick=0.5), trace=TraceContext.new(seed=9))
+    with obs.span("pipeline", users=100):
+        with obs.span("crawl"):
+            with obs.span(
+                "http:/x", track="steamapi-server", status=200
+            ):
+                pass
+    return obs
+
+
+class TestEventMapping:
+    def test_complete_events_with_micro_timestamps(self):
+        doc = to_chrome_trace(_sample_obs().snapshot())
+        events = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert set(events) == {"pipeline", "crawl", "http:/x"}
+        pipeline = events["pipeline"]
+        # FakeClock tick 0.5s → microsecond integers, exact.
+        assert pipeline["ts"] == 0
+        assert pipeline["dur"] == 2_500_000
+        assert pipeline["args"]["users"] == 100
+        assert pipeline["args"]["span_id"] == 1
+        assert pipeline["args"]["parent_span_id"] == 0
+
+    def test_track_routes_to_own_pid_with_metadata(self):
+        doc = to_chrome_trace(_sample_obs().snapshot())
+        meta = {
+            e["args"]["name"]: e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta["main"] == 1
+        assert meta["steamapi-server"] == 2
+        events = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert events["crawl"]["pid"] == 1
+        assert events["http:/x"]["pid"] == 2
+        # 'track' is routing, not payload; 'status' rides along.
+        assert "track" not in events["http:/x"]["args"]
+        assert events["http:/x"]["args"]["status"] == 200
+
+    def test_children_inherit_parent_track(self):
+        obs = Obs(clock=FakeClock(tick=1.0))
+        with obs.span("server-root", track="srv"):
+            with obs.span("handler"):
+                pass
+        doc = to_chrome_trace(obs.snapshot())
+        events = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert events["handler"]["pid"] == events["server-root"]["pid"]
+
+    def test_trace_id_in_other_data(self):
+        snap = _sample_obs().snapshot()
+        doc = to_chrome_trace(snap)
+        assert doc["otherData"]["trace_id"] == snap["run_id"]
+        assert doc["otherData"]["trace_id"] == TraceContext.new(
+            seed=9
+        ).trace_id
+
+
+class TestDeterminism:
+    def test_same_seed_runs_byte_identical(self, tmp_path):
+        a = write_chrome_trace(tmp_path / "a.json", _sample_obs().snapshot())
+        b = write_chrome_trace(tmp_path / "b.json", _sample_obs().snapshot())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_output_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "t.json", _sample_obs().snapshot()
+        )
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"

@@ -161,3 +161,62 @@ class TestCheckpointMetrics:
             obs.registry.get("crawler_checkpoint_load_seconds").count()
             == 1
         )
+
+
+class TestTracedCrawlDeterminism:
+    """End-to-end trace determinism: the same seeded chaos crawl under a
+    FakeClock and a seeded TraceContext writes byte-identical Chrome
+    traces — span names, ids, timings, and retry spans included."""
+
+    def _traced_chaos_crawl(self, world):
+        from repro.obs import TraceContext
+
+        obs = Obs(
+            clock=FakeClock(tick=0.001),
+            trace=TraceContext.new(seed=1337),
+        )
+        transport = FaultInjectingTransport(
+            InProcessTransport(SteamApiService.from_world(world)),
+            CHAOS_PLAN,
+            obs=obs,
+        )
+        result = run_full_crawl(
+            transport,
+            retry=RetryPolicy(
+                sleeper=lambda s: None, max_attempts=30, jitter=True
+            ),
+            obs=obs,
+        )
+        return result, obs
+
+    def test_chrome_trace_bytes_identical_across_runs(
+        self, small_world, tmp_path
+    ):
+        _, obs_a = self._traced_chaos_crawl(small_world)
+        _, obs_b = self._traced_chaos_crawl(small_world)
+        a = obs_a.write_trace(tmp_path / "a.trace.json")
+        b = obs_b.write_trace(tmp_path / "b.trace.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_trace_covers_phases_and_retries(self, small_world):
+        import json
+
+        from repro.obs import to_chrome_trace
+
+        result, obs = self._traced_chaos_crawl(small_world)
+        assert result.retries > 0  # the chaos plan actually bit
+        doc = to_chrome_trace(obs.snapshot())
+        names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert "crawl" in names
+        assert "phase:profiles" in names
+        assert any(n.startswith("retry:") for n in names)
+        # Every event carries an id from the single seeded trace.
+        ids = [
+            e["args"]["span_id"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert len(set(ids)) == len(ids)
+        json.dumps(doc)  # remains serializable end to end

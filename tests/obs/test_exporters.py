@@ -46,6 +46,23 @@ class TestPrometheus:
         assert "latency_sum 0.05" in text
         assert "latency_count 1" in text
 
+    def test_histogram_inf_bucket_and_cumulative_counts(self):
+        """Regression: ``le`` counts must be running totals and the
+        ``+Inf`` bucket must equal the series count, Prometheus-style,
+        even when samples land in every bucket including overflow."""
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency", "seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 2.0, 100.0):
+            hist.observe(value)
+        text = to_prometheus(reg)
+        assert 'latency_bucket{le="0.1"} 1' in text
+        assert 'latency_bucket{le="1.0"} 3' in text  # 1 + 2, cumulative
+        assert 'latency_bucket{le="+Inf"} 5' in text  # == _count
+        assert "latency_count 5" in text
+        lines = [l for l in text.splitlines() if l.startswith("latency_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+
     def test_empty_registry_renders_empty(self):
         assert to_prometheus(MetricsRegistry()) == ""
 
@@ -82,8 +99,19 @@ class TestObsWrite:
         obs.counter("requests").inc()
         path = obs.write(tmp_path / "metrics.json")
         snap = json.loads(path.read_text())
-        assert snap["schema_version"] == 1
+        assert snap["schema_version"] == 2
+        assert snap["run_id"] is None  # no TraceContext attached
+        assert isinstance(snap["git_rev"], str) and snap["git_rev"]
         assert snap["metrics"]["requests"]["series"][0]["value"] == 1
+
+    def test_run_id_is_trace_id(self, tmp_path):
+        from repro.obs import TraceContext
+
+        obs = Obs(
+            clock=FakeClock(tick=1.0), trace=TraceContext.new(seed=31)
+        )
+        snap = obs.snapshot()
+        assert snap["run_id"] == TraceContext.new(seed=31).trace_id
 
 
 class TestBenchJson:
@@ -104,6 +132,24 @@ class TestBenchJson:
             {"name": "requests", "value": 1000, "unit": "requests"}
         ]
         assert isinstance(doc["git_rev"], str) and doc["git_rev"]
+
+    def test_run_id_from_ambient_trace(self, tmp_path, monkeypatch):
+        from repro.obs import TRACE_ENV_VAR
+
+        monkeypatch.setenv(TRACE_ENV_VAR, "00aa11bb22cc33dd:7")
+        path = write_bench_json(
+            tmp_path, "traced", [bench_metric("n", 1, "requests")]
+        )
+        assert json.loads(path.read_text())["run_id"] == "00aa11bb22cc33dd"
+
+    def test_explicit_run_id_wins(self, tmp_path):
+        path = write_bench_json(
+            tmp_path,
+            "traced",
+            [bench_metric("n", 1, "requests")],
+            run_id="feedfacefeedface",
+        )
+        assert json.loads(path.read_text())["run_id"] == "feedfacefeedface"
 
     def test_rejects_malformed_metric(self, tmp_path):
         with pytest.raises(ValueError):

@@ -143,3 +143,68 @@ class TestRegistry:
         snap = reg.snapshot()
         assert snap["requests"]["kind"] == "counter"
         assert snap["requests"]["series"] == [{"labels": [], "value": 1}]
+
+
+class TestRegistryMerge:
+    """Worker registries fold into the coordinator's (executor path)."""
+
+    def _worker_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("stages_done", "done", ("kind",)).inc(2, kind="fig")
+        reg.gauge("live_rps", "rps").set(41.5)
+        reg.histogram(
+            "stage_seconds", "latency", buckets=(0.1, 1.0), labelnames=("stage",)
+        ).observe(0.5, stage="fig1")
+        return reg.snapshot()
+
+    def test_merge_into_empty_equals_source(self):
+        snap = self._worker_snapshot()
+        reg = MetricsRegistry()
+        reg.merge(snap)
+        assert reg.snapshot() == snap
+
+    def test_counters_add_and_gauges_overwrite(self):
+        reg = MetricsRegistry()
+        reg.counter("stages_done", "done", ("kind",)).inc(3, kind="fig")
+        reg.gauge("live_rps", "rps").set(7.0)
+        reg.merge(self._worker_snapshot())
+        assert reg.get("stages_done").value(kind="fig") == 5
+        assert reg.get("live_rps").value() == 41.5
+
+    def test_histogram_cells_add(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "stage_seconds", "latency", buckets=(0.1, 1.0), labelnames=("stage",)
+        ).observe(5.0, stage="fig1")
+        reg.merge(self._worker_snapshot())
+        hist = reg.get("stage_seconds")
+        assert hist.count(stage="fig1") == 2
+        assert hist.sum(stage="fig1") == pytest.approx(5.5)
+        series = hist.snapshot()["series"][0]
+        assert series["buckets"] == [0, 1, 1]  # 0.5 in le=1.0, 5.0 in +Inf
+
+    def test_merge_equals_direct_observation_bytes(self):
+        """merge(snapshot) must be indistinguishable from having made
+        the same observations locally — the serial/parallel parity
+        contract in one assertion."""
+        direct = MetricsRegistry()
+        direct.histogram(
+            "stage_seconds", "latency", buckets=(0.1, 1.0), labelnames=("stage",)
+        ).observe(0.5, stage="fig1")
+        direct.counter("stages_done", "done", ("kind",)).inc(2, kind="fig")
+        direct.gauge("live_rps", "rps").set(41.5)
+        merged = MetricsRegistry()
+        merged.merge(self._worker_snapshot())
+        assert merged.snapshot() == direct.snapshot()
+
+    def test_bound_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "stage_seconds", "latency", buckets=(0.25,), labelnames=("stage",)
+        )
+        with pytest.raises(ValueError):
+            reg.merge(self._worker_snapshot())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"weird": {"kind": "mystery"}})

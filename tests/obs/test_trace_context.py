@@ -1,0 +1,141 @@
+"""TraceContext: seeded ids, span-id sequences, env/header codecs."""
+
+import pytest
+
+from repro.obs import TRACE_ENV_VAR, TRACE_HEADER, FakeClock, Obs, TraceContext
+from repro.obs.trace_context import parse_trace_value
+
+
+class TestTraceIds:
+    def test_seeded_trace_id_is_deterministic(self):
+        a = TraceContext.new(seed=1603)
+        b = TraceContext.new(seed=1603)
+        assert a.trace_id == b.trace_id
+        assert len(a.trace_id) == 16
+        int(a.trace_id, 16)  # valid hex
+
+    def test_different_seeds_differ(self):
+        assert (
+            TraceContext.new(seed=1).trace_id
+            != TraceContext.new(seed=2).trace_id
+        )
+
+    def test_unseeded_trace_ids_are_random(self):
+        assert TraceContext.new().trace_id != TraceContext.new().trace_id
+
+
+class TestSpanIds:
+    def test_sequence_starts_at_one(self):
+        ctx = TraceContext.new(seed=1)
+        assert [ctx.next_span_id() for _ in range(3)] == [1, 2, 3]
+
+    def test_joined_context_offsets_sequence(self):
+        root = TraceContext.new(seed=1)
+        parent_id = root.next_span_id()
+        child = TraceContext.joined(root.trace_id, parent_id)
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == parent_id
+        # Child ids land in their own block: no collision with the
+        # root's sequence for any realistic span count.
+        child_ids = [child.next_span_id() for _ in range(1000)]
+        root_ids = [root.next_span_id() for _ in range(1000)]
+        assert not set(child_ids) & set(root_ids)
+
+    def test_sibling_joins_get_disjoint_blocks(self):
+        root = TraceContext.new(seed=1)
+        a = TraceContext.joined(root.trace_id, root.next_span_id())
+        b = TraceContext.joined(root.trace_id, root.next_span_id())
+        a_ids = {a.next_span_id() for _ in range(1000)}
+        b_ids = {b.next_span_id() for _ in range(1000)}
+        assert not a_ids & b_ids
+
+
+class TestWireFormat:
+    def test_value_roundtrip(self):
+        ctx = TraceContext.new(seed=7)
+        assert parse_trace_value(ctx.value(parent_span_id=12)) == (
+            ctx.trace_id,
+            12,
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [None, "", "nocolon", ":5", "zz!!:5", "abc123:", "abc123:-1",
+         "abc123:x"],
+    )
+    def test_malformed_values_parse_to_none(self, bad):
+        assert parse_trace_value(bad) is None
+
+    def test_env_roundtrip(self):
+        env: dict = {}
+        ctx = TraceContext.new(seed=7)
+        ctx.parent_span_id = 3
+        ctx.to_env(env)
+        assert env[TRACE_ENV_VAR] == f"{ctx.trace_id}:3"
+        joined = TraceContext.from_env(env)
+        assert joined is not None
+        assert joined.trace_id == ctx.trace_id
+        assert joined.parent_span_id == 3
+
+    def test_from_env_missing_or_garbled_is_none(self):
+        assert TraceContext.from_env({}) is None
+        assert TraceContext.from_env({TRACE_ENV_VAR: "garbage"}) is None
+
+    def test_from_header(self):
+        ctx = TraceContext.from_header("00aa11bb22cc33dd:9")
+        assert ctx is not None
+        assert (ctx.trace_id, ctx.parent_span_id) == ("00aa11bb22cc33dd", 9)
+        assert TraceContext.from_header("???") is None
+
+    def test_header_name_is_stable(self):
+        # The wire contract other components (client, server) key off.
+        assert TRACE_HEADER == "X-Repro-Trace"
+        assert TRACE_ENV_VAR == "REPRO_TRACE"
+
+
+class TestTracerIntegration:
+    def test_spans_receive_sequential_ids(self):
+        obs = Obs(clock=FakeClock(tick=1.0), trace=TraceContext.new(seed=5))
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.span_id == 1
+        assert outer.parent_span_id == 0
+        assert inner.span_id == 2
+        assert inner.parent_span_id == 1
+
+    def test_explicit_parent_override(self):
+        obs = Obs(clock=FakeClock(tick=1.0), trace=TraceContext.new(seed=5))
+        with obs.span("server", parent_span_id=41) as span:
+            pass
+        assert span.parent_span_id == 41
+
+    def test_joined_context_roots_under_remote_parent(self):
+        root = TraceContext.new(seed=5)
+        joined = TraceContext.joined(root.trace_id, 7)
+        obs = Obs(clock=FakeClock(tick=1.0), trace=joined)
+        with obs.span("child-root") as span:
+            pass
+        assert span.parent_span_id == 7
+
+    def test_no_context_leaves_ids_unset(self):
+        obs = Obs(clock=FakeClock(tick=1.0))
+        with obs.span("plain") as span:
+            pass
+        assert span.span_id is None
+        snap = span.snapshot()
+        assert "span_id" not in snap  # byte layout unchanged without trace
+
+    def test_attach_reparents_and_assigns_ids(self):
+        from repro.obs import Span
+
+        obs = Obs(clock=FakeClock(tick=1.0), trace=TraceContext.new(seed=5))
+        foreign = Span(name="worker", start=100.0, end=101.5)
+        with obs.span("coordinator") as parent:
+            obs.tracer.attach(foreign, rebase=True)
+        assert foreign.parent_span_id == parent.span_id
+        assert foreign.span_id == 2
+        assert parent.children == [foreign]
+        # rebase=True translated the subtree onto our clock.
+        assert foreign.end <= obs.clock()
+        assert foreign.duration == pytest.approx(1.5)

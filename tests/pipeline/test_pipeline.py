@@ -240,3 +240,65 @@ class TestKillResume:
         assert manifest.steps["analyze"].status == "done"
         assert "crawl" in supervisor.resumed_this_run
         assert (workdir / "report.txt").read_bytes() == reference
+
+
+class TestTracePropagation:
+    """The supervisor exports REPRO_TRACE for the duration of the run so
+    spawned subprocesses join the trace, and restores the environment
+    afterwards (DESIGN.md §10)."""
+
+    def _supervisor(self, tmp_path, obs):
+        return PipelineSupervisor(
+            workdir=tmp_path / "run",
+            users=USERS,
+            seed=SEED,
+            include_table4=False,
+            http=False,
+            obs=obs,
+        )
+
+    def test_trace_exported_during_run_and_restored(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import TRACE_ENV_VAR, Obs, TraceContext
+
+        monkeypatch.setenv(TRACE_ENV_VAR, "sentinel-from-outside")
+        seen = {}
+        orig = PipelineSupervisor._step_generate
+
+        def spy(self, manifest):
+            seen["during"] = os.environ.get(TRACE_ENV_VAR)
+            return orig(self, manifest)
+
+        monkeypatch.setattr(PipelineSupervisor, "_step_generate", spy)
+        obs = Obs(trace=TraceContext.new(seed=SEED))
+        self._supervisor(tmp_path, obs).run()
+        assert seen["during"] == obs.trace.value()
+        assert os.environ[TRACE_ENV_VAR] == "sentinel-from-outside"
+
+    def test_untraced_run_leaves_env_alone(self, tmp_path, monkeypatch):
+        from repro.obs import TRACE_ENV_VAR
+
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        self._supervisor(tmp_path, obs=None).run()
+        assert TRACE_ENV_VAR not in os.environ
+
+    def test_span_tree_covers_every_step_under_one_trace(self, tmp_path):
+        from repro.obs import Obs, TraceContext
+
+        obs = Obs(trace=TraceContext.new(seed=SEED))
+        self._supervisor(tmp_path, obs).run()
+        totals = obs.tracer.aggregate()
+        for name in ("pipeline", "generate", "crawl", "analyze"):
+            assert totals[name]["count"] == 1, name
+        (pipeline,) = obs.tracer.snapshot()
+        assert pipeline["name"] == "pipeline"
+        assert pipeline["span_id"] == 1
+
+        def ids(snap):
+            yield snap["span_id"]
+            for child in snap["children"]:
+                yield from ids(child)
+
+        all_ids = list(ids(pipeline))
+        assert len(set(all_ids)) == len(all_ids)

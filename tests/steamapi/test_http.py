@@ -150,3 +150,74 @@ class TestHttpChaos:
         assert np.array_equal(harvest.lib_appid, clean.lib_appid)
         assert np.array_equal(harvest.lib_total_min, clean.lib_total_min)
         assert np.array_equal(harvest.member_group, clean.member_group)
+
+
+class TestTracePropagation:
+    """The crawler → Steam-API leg of cross-process tracing: the client
+    stamps ``X-Repro-Trace`` on every request and the server echoes it
+    into its own span tree (DESIGN.md §10)."""
+
+    def _request_once(self, transport, world):
+        sid = int(world.dataset.accounts.steamids()[0])
+        return transport.request(
+            "/ISteamUser/GetPlayerSummaries/v2",
+            {"key": DEFAULT_API_KEY, "steamids": str(sid)},
+        )
+
+    def test_client_header_joins_server_span(self, small_world):
+        from repro.obs import Obs, TraceContext
+
+        obs = Obs(trace=TraceContext.new(seed=77))
+        service = SteamApiService.from_world(small_world)
+        with serve(service, obs=obs) as running:
+            transport = HttpTransport(
+                running.base_url, trace=obs.trace, tracer=obs.tracer
+            )
+            with obs.span("crawl") as crawl:
+                self._request_once(transport, small_world)
+        http_spans = [
+            s
+            for s in obs.tracer.snapshot()
+            if s["name"].startswith("http:")
+        ]
+        assert len(http_spans) == 1
+        span = http_spans[0]
+        assert span["attrs"]["trace_id"] == obs.trace.trace_id
+        assert span["attrs"]["track"] == "steamapi-server"
+        assert span["attrs"]["status"] == 200
+        # The server span's parent is the *client's* open span — the
+        # id crossed the wire in the header, not shared memory.
+        assert span["parent_span_id"] == crawl.span_id
+
+    def test_server_without_context_still_records_trace_id(
+        self, small_world
+    ):
+        from repro.obs import Obs, TraceContext
+
+        server_obs = Obs()  # separate process in spirit: no context
+        trace = TraceContext.new(seed=78)
+        service = SteamApiService.from_world(small_world)
+        with serve(service, obs=server_obs) as running:
+            transport = HttpTransport(running.base_url, trace=trace)
+            self._request_once(transport, small_world)
+        http_spans = [
+            s
+            for s in server_obs.tracer.snapshot()
+            if s["name"].startswith("http:")
+        ]
+        assert len(http_spans) == 1
+        assert http_spans[0]["attrs"]["trace_id"] == trace.trace_id
+
+    def test_untraced_request_sends_no_header_no_span(self, small_world):
+        from repro.obs import Obs
+
+        server_obs = Obs()
+        service = SteamApiService.from_world(small_world)
+        with serve(service, obs=server_obs) as running:
+            transport = HttpTransport(running.base_url)
+            self._request_once(transport, small_world)
+        assert not [
+            s
+            for s in server_obs.tracer.snapshot()
+            if s["name"].startswith("http:")
+        ]

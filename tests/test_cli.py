@@ -164,7 +164,11 @@ class TestObservability:
         assert code == 0
         assert "metrics snapshot written" in capsys.readouterr().out
         snap = json.loads(metrics.read_text())
-        assert snap["schema_version"] == 1
+        assert snap["schema_version"] == 2
+        # run_id is the seed-derived trace id; joinable with traces.
+        from repro.obs import TraceContext
+
+        assert snap["run_id"] == TraceContext.new(seed=3).trace_id
         assert "steamapi_requests" in snap["metrics"]
         assert "crawl" in snap["span_totals"]
         # generation was instrumented too (same obs scope)
@@ -220,3 +224,185 @@ class TestObservability:
         code = main(["obs", "summarize", str(bad)])
         assert code == 1
         assert "not a metrics snapshot" in capsys.readouterr().out
+
+
+class TestTracingCli:
+    def test_pipeline_trace_out_single_merged_trace(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs import TraceContext
+
+        trace_path = tmp_path / "run.trace.json"
+        code = main(
+            [
+                "pipeline",
+                "--users",
+                "1200",
+                "--seed",
+                "31",
+                "--skip-table4",
+                "--workdir",
+                str(tmp_path / "wd"),
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "chrome trace written to" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        # One merged trace: supervisor, crawler, HTTP server, engine.
+        assert doc["otherData"]["trace_id"] == TraceContext.new(
+            seed=31
+        ).trace_id
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in events}
+        assert "pipeline" in names
+        assert "crawl" in names
+        assert "phase:profiles" in names
+        assert any(n.startswith("http:") for n in names)
+        assert "analyze:summary" in names
+        ids = [e["args"]["span_id"] for e in events]
+        assert len(set(ids)) == len(ids)
+
+    def test_analyze_profile_report(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "profile.json"
+        code = main(
+            [
+                "analyze",
+                "--users",
+                "2000",
+                "--seed",
+                "3",
+                "--skip-table4",
+                "--profile",
+                str(report),
+            ]
+        )
+        assert code == 0
+        assert "profile report written to" in capsys.readouterr().out
+        doc = json.loads(report.read_text())
+        assert doc["profiles"]
+        some_stage = next(iter(doc["profiles"].values()))
+        assert {"func", "ncalls", "tottime", "cumtime"} <= set(
+            some_stage[0]
+        )
+
+    def test_metrics_run_id_joins_ambient_trace(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.obs import TRACE_ENV_VAR, TraceContext
+
+        ambient = TraceContext.new(seed=99)
+        monkeypatch.setenv(TRACE_ENV_VAR, ambient.value())
+        metrics = tmp_path / "m.json"
+        code = main(
+            [
+                "generate",
+                "--users",
+                "1200",
+                "--seed",
+                "3",
+                "--output",
+                str(tmp_path / "w.npz"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        snap = json.loads(metrics.read_text())
+        # Joined the exported trace instead of rooting a fresh one.
+        assert snap["run_id"] == ambient.trace_id
+
+
+class TestBenchDiffCli:
+    @staticmethod
+    def _bench_doc(seconds):
+        return {
+            "schema_version": 1,
+            "benchmark": "analysis",
+            "git_rev": "abc1234",
+            "world": {"seed": 31, "n_users": 8000},
+            "metrics": [
+                {
+                    "name": "analyze_seconds",
+                    "value": seconds,
+                    "unit": "s",
+                }
+            ],
+        }
+
+    def _write(self, directory, seconds):
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "BENCH_analysis.json"
+        path.write_text(json.dumps(self._bench_doc(seconds)))
+        return path
+
+    def test_green_on_identical_results(self, tmp_path, capsys):
+        self._write(tmp_path / "new", 1.0)
+        self._write(tmp_path / "base", 1.0)
+        code = main(
+            [
+                "obs",
+                "bench-diff",
+                str(tmp_path / "new"),
+                str(tmp_path / "base"),
+            ]
+        )
+        assert code == 0
+        assert "[ok ]" in capsys.readouterr().out
+
+    def test_exits_nonzero_on_2x_regression(self, tmp_path, capsys):
+        self._write(tmp_path / "new", 2.0)
+        self._write(tmp_path / "base", 1.0)
+        code = main(
+            [
+                "obs",
+                "bench-diff",
+                str(tmp_path / "new"),
+                str(tmp_path / "base"),
+            ]
+        )
+        assert code == 1
+        assert "[REG]" in capsys.readouterr().out
+
+    def test_thresholds_can_loosen_the_gate(self, tmp_path):
+        import json
+
+        self._write(tmp_path / "new", 2.0)
+        self._write(tmp_path / "base", 1.0)
+        thresholds = tmp_path / "thresholds.json"
+        thresholds.write_text(
+            json.dumps({"analyze_seconds": {"max_ratio": 3.0}})
+        )
+        code = main(
+            [
+                "obs",
+                "bench-diff",
+                str(tmp_path / "new"),
+                str(tmp_path / "base"),
+                "--thresholds",
+                str(thresholds),
+            ]
+        )
+        assert code == 0
+
+    def test_errors_exit_two(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        code = main(
+            [
+                "obs",
+                "bench-diff",
+                str(tmp_path / "empty"),
+                str(tmp_path / "empty"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
