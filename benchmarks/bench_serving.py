@@ -1,0 +1,162 @@
+"""Analytics serving tier benchmark (DESIGN.md §11).
+
+Builds the query-optimized store over a synthetic world, then storms it
+with concurrent simulated clients over real localhost HTTP — each
+client works through a deterministic mix of the serving routes (user
+summaries, percentile/rank lookups, tail fits, homophily, per-app
+stats, neighborhoods).  Measures:
+
+- store build wall clock, cold and warm (the warm rebuild must execute
+  zero engine stages — that's the fingerprint-keyed memo contract),
+- request latency quantiles (p50/p95/p99) across every client,
+- aggregate throughput and the ok-rate (any non-200 fails the bench
+  outright; the recorded ok_rate lets CI gate drift explicitly).
+
+Scales via ``REPRO_BENCH_USERS`` (world size, default 60,000) and
+``REPRO_BENCH_CLIENTS`` (simulated clients, default 2,000).  Clients
+are multiplexed onto a bounded thread pool; each issues several
+requests, so the default run pushes >10k requests through the server.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from urllib.request import urlopen
+
+import numpy as np
+import pytest
+
+from repro import SteamWorld, WorldConfig
+from repro.engine import StageCache
+from repro.obs import bench_metric
+from repro.serving import AnalyticsService, AnalyticsStore, serve_analytics
+
+SERVING_USERS = int(os.environ.get("REPRO_BENCH_USERS", "60000"))
+SERVING_CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "2000"))
+SERVING_SEED = 1603
+#: Handler threads are cheap (daemonic, mostly blocked on accept), but
+#: the client side is bounded so the bench machine isn't thread-bombed.
+CLIENT_POOL = min(64, SERVING_CLIENTS)
+REQUESTS_PER_CLIENT = 6
+
+
+@pytest.fixture(scope="module")
+def serving_world():
+    return SteamWorld.generate(
+        WorldConfig(n_users=SERVING_USERS, seed=SERVING_SEED)
+    )
+
+
+def _client_paths(index: int, steamids, appids) -> list[str]:
+    """A deterministic per-client route mix touching every endpoint."""
+    steamid = int(steamids[index % len(steamids)])
+    appid = int(appids[index % len(appids)])
+    q = (index * 7) % 101
+    return [
+        f"/users/{steamid}/summary",
+        f"/users/{steamid}/neighborhood?limit=10",
+        f"/apps/{appid}/stats",
+        f"/distributions/friends/percentile?q={q}",
+        f"/distributions/owned_games/rank?value={1 + index % 50}",
+        ("/tailfit/owned_games", "/homophily/market_value")[index % 2],
+    ]
+
+
+def test_serving_benchmark(serving_world, tmp_path, record, record_json):
+    dataset = serving_world.dataset
+    cache = StageCache(tmp_path / "stage-cache")
+
+    start = time.perf_counter()
+    store = AnalyticsStore.build(dataset, jobs=2, cache=cache)
+    build_seconds = time.perf_counter() - start
+    assert store.build_run.cached == ()
+
+    start = time.perf_counter()
+    warm = AnalyticsStore.build(dataset, jobs=1, cache=cache)
+    warm_seconds = time.perf_counter() - start
+    # The serving memo contract: a warm rebuild executes zero stages.
+    assert warm.build_run.executed == ()
+
+    service = AnalyticsService(store)
+    server = serve_analytics(service, access_log=False)
+    base = server.base_url
+    steamids = dataset.accounts.steamids()[:: max(1, dataset.n_users // 512)]
+    appids = dataset.catalog.appid
+
+    def run_client(index: int) -> list[float]:
+        latencies = []
+        for path in _client_paths(index, steamids, appids):
+            t0 = time.perf_counter()
+            with urlopen(base + path, timeout=60) as response:
+                assert response.status == 200
+                response.read()
+            latencies.append(time.perf_counter() - t0)
+        return latencies
+
+    try:
+        # Warmup wave: touch every route once serially, so the timed
+        # storm measures steady-state serving, not interpreter/socket
+        # first-touch costs.
+        for path in _client_paths(0, steamids, appids):
+            with urlopen(base + path, timeout=60) as response:
+                response.read()
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENT_POOL) as pool:
+            per_client = list(
+                pool.map(run_client, range(SERVING_CLIENTS))
+            )
+        wall = time.perf_counter() - start
+    finally:
+        server.close()
+
+    latencies = np.array([lat for client in per_client for lat in client])
+    n_requests = len(latencies)
+    assert n_requests == SERVING_CLIENTS * REQUESTS_PER_CLIENT
+    # Every request asserted 200 above, so a completed run is error-free
+    # by construction; ok_rate is recorded for the CI drift gate.
+    ok_rate = 1.0
+    p50, p95, p99 = (
+        float(np.percentile(latencies, q)) for q in (50, 95, 99)
+    )
+    throughput = n_requests / wall
+    cache_stats = service.cache.stats()
+
+    record(
+        "serving",
+        [
+            f"world: {SERVING_USERS} users (seed {SERVING_SEED})",
+            f"store build: {build_seconds:.2f}s cold, "
+            f"{warm_seconds:.2f}s warm "
+            f"({len(store.build_run.executed)} stages -> 0 stages)",
+            f"clients: {SERVING_CLIENTS} x {REQUESTS_PER_CLIENT} requests "
+            f"on a {CLIENT_POOL}-thread pool",
+            f"latency: p50 {p50 * 1e3:.1f}ms  p95 {p95 * 1e3:.1f}ms  "
+            f"p99 {p99 * 1e3:.1f}ms",
+            f"throughput: {throughput:,.0f} req/s, ok_rate {ok_rate:.3f}",
+            f"response cache: {cache_stats['hits']} hits / "
+            f"{cache_stats['misses']} misses",
+        ],
+    )
+    record_json(
+        "serving",
+        [
+            bench_metric("build_seconds", build_seconds, "s"),
+            bench_metric("warm_rebuild_seconds", warm_seconds, "s"),
+            bench_metric("clients", SERVING_CLIENTS, "count"),
+            bench_metric("requests", n_requests, "count"),
+            bench_metric("p50_seconds", p50, "s"),
+            bench_metric("p95_seconds", p95, "s"),
+            bench_metric("p99_seconds", p99, "s"),
+            bench_metric("requests_per_second", throughput, "req/s"),
+            bench_metric("ok_rate", ok_rate, "ratio"),
+            bench_metric(
+                "cache_hit_rate",
+                cache_stats["hits"] / max(1, n_requests),
+                "ratio",
+            ),
+        ],
+        seed=SERVING_SEED,
+        n_users=SERVING_USERS,
+    )

@@ -11,6 +11,11 @@ Commands
 - ``crawl``    — re-collect a generated world through the simulated API
   (optionally over real localhost HTTP) and save the crawled dataset.
 - ``serve``    — expose a generated world as a Steam-Web-API HTTP server.
+- ``serve-analytics`` — serve precomputed analytics (percentiles, tail
+  fits, homophily, per-app stats, friend neighborhoods) over HTTP from
+  a query-optimized store; the store builds through the stage engine,
+  so ``--cache-dir`` makes a warm restart execute zero stages, and
+  responses are memoized keyed on the dataset fingerprint.
 - ``pipeline`` — run generate→serve→crawl→analyze end-to-end under one
   supervisor with a persistent run manifest: a killed run (even
   ``kill -9``) resumes from the last completed step on rerun, reusing
@@ -283,6 +288,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_analytics(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.serving import AnalyticsService, AnalyticsStore, serve_analytics
+
+    if not args.quiet:
+        logging.basicConfig(
+            level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+        )
+    obs = _make_obs(args)
+    if obs is None:
+        # Serving always runs instrumented: /metrics is part of the API.
+        obs = Obs(
+            trace=TraceContext.from_env()
+            or TraceContext.new(seed=getattr(args, "seed", None))
+        )
+    if args.dataset:
+        dataset = load_dataset(args.dataset)
+        print(f"loaded dataset from {args.dataset} ({dataset.n_users:,} users)")
+    else:
+        world = SteamWorld.generate(
+            WorldConfig(n_users=args.users, seed=args.seed), obs=obs
+        )
+        dataset = world.dataset
+    cache = _resolve_cache(args)
+    t0 = time.time()
+    store = AnalyticsStore.build(
+        dataset,
+        jobs=args.jobs,
+        cache=cache,
+        obs=obs,
+        max_tail=args.max_tail,
+    )
+    run = store.build_run
+    print(
+        f"analytics store built in {time.time() - t0:.1f}s "
+        f"(stages: {len(run.executed)} executed, {len(run.cached)} cached, "
+        f"jobs={run.jobs})"
+    )
+    service = AnalyticsService(
+        store, obs=obs, cache_size=args.response_cache_size
+    )
+    server = serve_analytics(
+        service, port=args.port, obs=obs, access_log=not args.quiet
+    )
+    print(f"analytics API listening on {server.base_url}")
+    print(
+        "routes: /users/<id>/summary /users/<id>/neighborhood "
+        "/apps/<id>/stats"
+    )
+    print(
+        "        /distributions/<attr>/percentile?q=Q "
+        "/distributions/<attr>/rank?value=V"
+    )
+    print("        /tailfit/<attr> /homophily/<attr> /healthz /metrics")
+    print("press Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        stuck = server.close()
+        if stuck:
+            print(
+                f"warning: {len(stuck)} handler thread(s) still busy at "
+                "shutdown (daemonic; the process exits anyway)",
+                file=sys.stderr,
+            )
+    _finish_obs(obs, args)
+    return 0
+
+
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     import shutil
 
@@ -458,6 +534,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-request access logging",
     )
     p_sv.set_defaults(func=_cmd_serve)
+
+    p_sa = sub.add_parser(
+        "serve-analytics",
+        help="serve precomputed analytics over HTTP (read path)",
+    )
+    _add_world_args(p_sa)
+    p_sa.add_argument(
+        "--dataset", help="serve a saved dataset instead of generating one"
+    )
+    p_sa.add_argument("--port", type=int, default=8791)
+    p_sa.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="build the store's stages across N processes",
+    )
+    p_sa.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help=(
+            "memoize store-build stages in a content-addressed cache at "
+            "PATH (default: $REPRO_CACHE_DIR if set, else no caching); "
+            "a warm cache makes restart-on-unchanged-data execute zero "
+            "stages"
+        ),
+    )
+    p_sa.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the stage cache even when REPRO_CACHE_DIR is set",
+    )
+    p_sa.add_argument(
+        "--max-tail",
+        type=int,
+        default=60_000,
+        metavar="N",
+        help="tail-sample cap for the /tailfit distribution fits",
+    )
+    p_sa.add_argument(
+        "--response-cache-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="LRU capacity of the fingerprint-keyed response cache",
+    )
+    p_sa.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
+    )
+    _add_metrics_arg(p_sa)
+    p_sa.set_defaults(func=_cmd_serve_analytics)
 
     p_pl = sub.add_parser(
         "pipeline",

@@ -8,6 +8,7 @@ market-value case, rho = 0.77).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,7 @@ from repro.core.spearman import spearman, strength_label
 from repro.store.dataset import SteamDataset
 
 __all__ = [
+    "HOMOPHILY_ATTRIBUTES",
     "neighbor_mean",
     "CorrelationSet",
     "cross_correlations",
@@ -26,6 +28,15 @@ __all__ = [
 
 #: Cache-invalidation handle for the engine (see DESIGN.md §8).
 STAGE_VERSION = "1"
+
+#: Attributes with a friends'-average correlation (Section 7 order);
+#: also the valid ``<attr>`` values of the ``/homophily/<attr>`` route.
+HOMOPHILY_ATTRIBUTES = (
+    "market_value",
+    "friends",
+    "total_playtime",
+    "owned_games",
+)
 
 
 def neighbor_mean(dataset: SteamDataset, values: np.ndarray) -> np.ndarray:
@@ -48,6 +59,27 @@ class CorrelationSet:
     rhos: dict[str, float]
     paper: dict[str, float]
     populations: dict[str, int]
+
+    def attribute_entry(self, attribute: str) -> dict:
+        """One attribute's homophily row as a JSON-shaped dict.
+
+        ``attribute`` is a :data:`HOMOPHILY_ATTRIBUTES` name; raises
+        :class:`KeyError` for anything else.  NaN correlations (too few
+        engaged users to rank) surface as ``None`` so the payload stays
+        valid JSON.
+        """
+        key = f"{attribute} vs friends' avg"
+        if key not in self.rhos:
+            raise KeyError(attribute)
+        rho = self.rhos[key]
+        defined = math.isfinite(rho)
+        return {
+            "attribute": attribute,
+            "rho": rho if defined else None,
+            "strength": strength_label(rho) if defined else None,
+            "paper_rho": self.paper.get(key),
+            "population": self.populations[key],
+        }
 
     def render(self) -> str:
         lines = [f"{'pair':<28} {'rho':>7} {'paper':>7}  strength"]

@@ -9,6 +9,7 @@ percentiles are 0).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,12 +17,89 @@ import numpy as np
 from repro import constants
 from repro.store.dataset import SteamDataset
 
-__all__ = ["PercentileRow", "PercentileTable", "percentile_table"]
+__all__ = [
+    "ATTRIBUTES",
+    "PercentileRow",
+    "PercentileTable",
+    "attribute_values",
+    "percentile_table",
+    "percentile_value",
+    "percentile_rank",
+]
 
 #: Cache-invalidation handle for the engine (see DESIGN.md §8).
 STAGE_VERSION = "1"
 
 PERCENTILES = constants.TABLE3_PERCENTILES
+
+#: The queryable behavioral attributes, in Table 3's row order.  This
+#: is the one registry shared by the table reproduction and the
+#: analytics serving tier's distribution indexes.
+ATTRIBUTES = (
+    "friends",
+    "owned_games",
+    "group_memberships",
+    "market_value",
+    "total_playtime_hours",
+    "twoweek_playtime_hours",
+)
+
+
+def attribute_values(dataset: SteamDataset) -> dict[str, np.ndarray]:
+    """Per-user value vector for every attribute in :data:`ATTRIBUTES`."""
+    return {
+        "friends": dataset.friend_counts().astype(np.float64),
+        "owned_games": dataset.owned_counts().astype(np.float64),
+        "group_memberships": dataset.membership_counts().astype(
+            np.float64
+        ),
+        "market_value": dataset.market_value_dollars(),
+        "total_playtime_hours": dataset.total_playtime_hours(),
+        "twoweek_playtime_hours": dataset.twoweek_playtime_hours(),
+    }
+
+
+def percentile_value(values: np.ndarray, q: float) -> float:
+    """Value at percentile ``q`` of a nonempty sample, strictly checked.
+
+    This is the validation boundary behind every public percentile
+    lookup (``/distributions/<attr>/percentile``): ``q`` outside
+    ``[0, 100]`` or NaN, and an *empty* sample (an empty dataset, or a
+    single-user dataset with no nonzero values of the attribute) each
+    raise :class:`ValueError` with a message naming the problem —
+    never a bare ``ZeroDivisionError``/``IndexError`` from deep inside
+    numpy.
+    """
+    q = float(q)
+    if math.isnan(q):
+        raise ValueError("percentile q must be a number in [0, 100], not NaN")
+    if q < 0.0 or q > 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q:g}")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError(
+            "cannot take a percentile of an empty population"
+        )
+    return float(np.percentile(values, q))
+
+
+def percentile_rank(sorted_values: np.ndarray, value: float) -> float:
+    """Percentile rank of ``value`` within ascending ``sorted_values``.
+
+    The inverse of :func:`percentile_value`: the share (0–100) of the
+    population with a value ``<= value``.  Same validation contract:
+    empty populations and NaN probes raise :class:`ValueError`.
+    """
+    value = float(value)
+    if math.isnan(value):
+        raise ValueError("rank probe value must be a number, not NaN")
+    sorted_values = np.asarray(sorted_values, dtype=np.float64)
+    if sorted_values.size == 0:
+        raise ValueError(
+            "cannot rank a value in an empty population"
+        )
+    below = int(np.searchsorted(sorted_values, value, side="right"))
+    return 100.0 * below / sorted_values.size
 
 
 @dataclass(frozen=True)
@@ -86,17 +164,11 @@ def _nonzero_percentiles(values: np.ndarray) -> tuple[tuple[float, ...], int]:
 
 def percentile_table(dataset: SteamDataset) -> PercentileTable:
     """Reproduce Table 3 from a dataset."""
-    owned = dataset.owned_counts()
-    owners = owned > 0
+    owners = dataset.owned_counts() > 0
     rows = []
-    attribute_values = [
-        ("friends", dataset.friend_counts().astype(np.float64)),
-        ("owned_games", owned.astype(np.float64)),
-        ("group_memberships", dataset.membership_counts().astype(np.float64)),
-        ("market_value", dataset.market_value_dollars()),
-        ("total_playtime_hours", dataset.total_playtime_hours()),
-    ]
-    for name, values in attribute_values:
+    values_by_name = attribute_values(dataset)
+    for name in ATTRIBUTES[:-1]:  # twoweek row has its own population
+        values = values_by_name[name]
         pct, population = _nonzero_percentiles(values)
         rows.append(
             PercentileRow(
@@ -107,7 +179,7 @@ def percentile_table(dataset: SteamDataset) -> PercentileTable:
             )
         )
     # Two-week playtime: over owners, zeros included (the paper's row).
-    twoweek = dataset.twoweek_playtime_hours()[owners]
+    twoweek = values_by_name["twoweek_playtime_hours"][owners]
     if len(twoweek):
         values = tuple(float(np.percentile(twoweek, p)) for p in PERCENTILES)
     else:

@@ -26,7 +26,13 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["content_hash", "source_hash", "stage_key", "ENGINE_SCHEMA"]
+__all__ = [
+    "content_hash",
+    "source_hash",
+    "stage_key",
+    "query_key",
+    "ENGINE_SCHEMA",
+]
 
 #: Bumped when the cache entry layout or key derivation changes; part of
 #: every key so old caches simply miss instead of misreading.
@@ -112,6 +118,24 @@ def stage_key(
         "config": {k: config[k] for k in stage.config_keys},
         "params": list(stage.params),
         "aux": {k: content_hash(aux[k]) for k in stage.aux_keys},
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def query_key(dataset_fingerprint: str, path: str, params: dict) -> str:
+    """The content address of one read-path query.
+
+    The serving tier's response cache keys on this: the same request
+    path and parameters against the same dataset state always hash to
+    the same key, and *any* dataset change (a new fingerprint) shifts
+    every key — so stale responses can never be served, only missed.
+    """
+    payload = {
+        "schema": ENGINE_SCHEMA,
+        "dataset": dataset_fingerprint,
+        "path": path,
+        "params": {str(k): params[k] for k in sorted(params, key=str)},
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

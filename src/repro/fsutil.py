@@ -1,0 +1,57 @@
+"""Crash-safe filesystem primitives shared across subsystems.
+
+Every durable artifact in the repo — datasets, checkpoints, manifests,
+metrics snapshots, serving state — follows the same discipline
+(DESIGN.md §9): write to a unique same-directory temp file, flush and
+``fsync``, then ``os.replace`` into place.  A reader can then never
+observe a torn file: either the previous content is intact or the new
+content is complete.  This module is that discipline as a reusable
+primitive, so new write paths cannot get it subtly wrong.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_writer", "atomic_write_bytes", "atomic_write_text"]
+
+
+@contextmanager
+def atomic_writer(path: str | Path, mode: str = "wb"):
+    """Open a temp file beside ``path``; publish atomically on success.
+
+    The handle is flushed and fsynced before the rename, and the temp
+    file is removed on any failure, so a crash (even ``kill -9``) at
+    any instant leaves ``path`` either untouched or fully written.
+    """
+    path = Path(path)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, mode) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically replace ``path``'s content with ``data``."""
+    path = Path(path)
+    with atomic_writer(path, "wb") as handle:
+        handle.write(data)
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically replace ``path``'s content with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding))

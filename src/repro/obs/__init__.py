@@ -32,6 +32,7 @@ import time
 from contextlib import contextmanager, nullcontext
 from pathlib import Path
 
+from repro.fsutil import atomic_write_text
 from repro.obs.benchjson import bench_metric, git_rev, write_bench_json
 from repro.obs.chrometrace import to_chrome_trace, write_chrome_trace
 from repro.obs.clock import FakeClock, system_clock
@@ -145,10 +146,15 @@ class Obs:
         return console_summary(self.snapshot())
 
     def write(self, path: str | Path) -> Path:
-        """Save the JSON snapshot to ``path``."""
-        path = Path(path)
-        path.write_text(self.to_json(), encoding="utf-8")
-        return path
+        """Save the JSON snapshot to ``path`` (atomically).
+
+        Snapshots are written tmp-file + fsync + ``os.replace`` — the
+        same discipline as checkpoints and the dataset store — so a
+        process killed mid-write (``--metrics-out`` on a supervised
+        run, the serving snapshot writer) never leaves a truncated
+        JSON file behind.
+        """
+        return atomic_write_text(Path(path), self.to_json())
 
     def write_trace(self, path: str | Path) -> Path:
         """Save the span forest as a Chrome-trace JSON to ``path``."""

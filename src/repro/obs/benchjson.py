@@ -16,6 +16,7 @@ import subprocess
 from functools import lru_cache
 from pathlib import Path
 
+from repro.fsutil import atomic_write_text
 from repro.obs.trace_context import TRACE_ENV_VAR, parse_trace_value
 
 __all__ = ["git_rev", "bench_metric", "write_bench_json"]
@@ -79,8 +80,7 @@ def write_bench_json(
         "metrics": metrics,
     }
     path = results_dir / f"BENCH_{name}.json"
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
     return path

@@ -28,6 +28,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.fsutil import atomic_write_text
+
 __all__ = ["to_chrome_trace", "write_chrome_trace"]
 
 #: Track name used when a span (and its ancestors) set none.
@@ -114,8 +116,7 @@ def write_chrome_trace(path: str | Path, snapshot: dict) -> Path:
     """Serialize :func:`to_chrome_trace` deterministically to ``path``."""
     path = Path(path)
     document = to_chrome_trace(snapshot)
-    path.write_text(
-        json.dumps(document, sort_keys=True, indent=2) + "\n",
-        encoding="utf-8",
+    atomic_write_text(
+        path, json.dumps(document, sort_keys=True, indent=2) + "\n"
     )
     return path

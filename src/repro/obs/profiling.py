@@ -19,6 +19,8 @@ import json
 import pstats
 from pathlib import Path
 
+from repro.fsutil import atomic_write_text
+
 __all__ = [
     "profiled_call",
     "profile_rows",
@@ -95,8 +97,7 @@ def write_profile_report(
         "run_id": run_id,
         "profiles": {stage: profiles[stage] for stage in sorted(profiles)},
     }
-    path.write_text(
-        json.dumps(payload, sort_keys=True, indent=2) + "\n",
-        encoding="utf-8",
+    atomic_write_text(
+        path, json.dumps(payload, sort_keys=True, indent=2) + "\n"
     )
     return path

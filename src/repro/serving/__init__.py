@@ -1,0 +1,29 @@
+"""``repro.serving`` — the analytics serving tier.
+
+A read path over the study's products: :class:`AnalyticsStore` is a
+query-optimized projection of a dataset (sorted percentile indexes,
+per-app aggregates, friend adjacency, precomputed tail fits and
+homophily correlations), built through the stage engine so warm
+rebuilds are pure cache hits; :class:`AnalyticsService` routes HTTP
+queries to it with fingerprint-keyed response caching; and
+``repro serve-analytics`` puts it on a socket.  DESIGN.md §11.
+"""
+
+from repro.serving.api import AnalyticsService, serve_analytics
+from repro.serving.cache import ResponseCache
+from repro.serving.store import (
+    AnalyticsStore,
+    AppStats,
+    DistributionIndex,
+    build_serving_graph,
+)
+
+__all__ = [
+    "AnalyticsService",
+    "AnalyticsStore",
+    "AppStats",
+    "DistributionIndex",
+    "ResponseCache",
+    "build_serving_graph",
+    "serve_analytics",
+]

@@ -1,0 +1,236 @@
+"""HTTP routing for the analytics serving tier.
+
+:class:`AnalyticsService` turns an :class:`AnalyticsStore` into a
+``dispatch(path, params) -> payload`` callable — the same contract the
+mock Steam Web API speaks — so it plugs straight into
+:func:`repro.steamapi.http_server.serve_dispatch` and inherits the
+whole HTTP substrate: typed-error → status mapping, per-route request
+and latency metrics, trace-context propagation, ``GET /metrics``, and
+the draining shutdown path.
+
+Routes::
+
+    GET /healthz
+    GET /users/<steamid>/summary
+    GET /users/<steamid>/neighborhood?limit=N
+    GET /apps/<appid>/stats
+    GET /distributions/<attr>/percentile?q=Q
+    GET /distributions/<attr>/rank?value=V
+    GET /tailfit/<attr>
+    GET /homophily/<attr>
+
+Every cacheable response is memoized in a
+:class:`~repro.serving.cache.ResponseCache` keyed by
+:func:`~repro.engine.fingerprint.query_key` — the dataset fingerprint
+is folded into every key, so swapping in a store built from a mutated
+dataset invalidates the whole cache structurally.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+from repro.engine.fingerprint import query_key
+from repro.obs import Obs
+from repro.serving.cache import ResponseCache
+from repro.serving.store import AnalyticsStore
+from repro.steamapi.errors import BadRequestError, NotFoundError
+from repro.steamapi.http_server import ApiHttpServer, serve_dispatch
+
+__all__ = ["AnalyticsService", "serve_analytics"]
+
+
+def _int_param(params: dict, name: str, default: int | None = None) -> int:
+    raw = params.get(name, default)
+    if raw is None:
+        raise BadRequestError(f"missing required parameter {name!r}")
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _float_param(params: dict, name: str) -> float:
+    raw = params.get(name)
+    if raw is None:
+        raise BadRequestError(f"missing required parameter {name!r}")
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"parameter {name!r} must be a number, got {raw!r}"
+        ) from None
+    if math.isinf(value):
+        raise BadRequestError(f"parameter {name!r} must be finite")
+    return value
+
+
+#: (compiled pattern, metric-label template, handler method name,
+#:  cacheable).  ``/healthz`` bypasses the cache: its body carries
+#: live build telemetry, and health checks should never be stale.
+_ROUTES: tuple[tuple[re.Pattern, str, str, bool], ...] = (
+    (re.compile(r"^/healthz$"), "/healthz", "_healthz", False),
+    (
+        re.compile(r"^/users/(?P<steamid>\d+)/summary$"),
+        "/users/<id>/summary",
+        "_user_summary",
+        True,
+    ),
+    (
+        re.compile(r"^/users/(?P<steamid>\d+)/neighborhood$"),
+        "/users/<id>/neighborhood",
+        "_user_neighborhood",
+        True,
+    ),
+    (
+        re.compile(r"^/apps/(?P<appid>\d+)/stats$"),
+        "/apps/<id>/stats",
+        "_app_stats",
+        True,
+    ),
+    (
+        re.compile(r"^/distributions/(?P<attr>[A-Za-z0-9_]+)/percentile$"),
+        "/distributions/<attr>/percentile",
+        "_distribution_percentile",
+        True,
+    ),
+    (
+        re.compile(r"^/distributions/(?P<attr>[A-Za-z0-9_]+)/rank$"),
+        "/distributions/<attr>/rank",
+        "_distribution_rank",
+        True,
+    ),
+    (
+        re.compile(r"^/tailfit/(?P<attr>[A-Za-z0-9_]+)$"),
+        "/tailfit/<attr>",
+        "_tailfit",
+        True,
+    ),
+    (
+        re.compile(r"^/homophily/(?P<attr>[A-Za-z0-9_]+)$"),
+        "/homophily/<attr>",
+        "_homophily",
+        True,
+    ),
+)
+
+
+class AnalyticsService:
+    """Routes analytics queries to an :class:`AnalyticsStore`."""
+
+    def __init__(
+        self,
+        store: AnalyticsStore,
+        obs: Obs | None = None,
+        cache_size: int = 4096,
+    ) -> None:
+        self._store = store
+        self.obs = obs
+        self.cache = ResponseCache(maxsize=cache_size, obs=obs)
+        # Store swaps (dataset reloads) happen-before subsequent reads.
+        self._swap_lock = threading.Lock()
+
+    @property
+    def store(self) -> AnalyticsStore:
+        return self._store
+
+    def swap_store(self, store: AnalyticsStore) -> None:
+        """Atomically replace the read model (e.g. after a dataset
+        reload).  Old cache entries die structurally: every key embeds
+        the old fingerprint, so they can only miss."""
+        with self._swap_lock:
+            self._store = store
+
+    # -- http_server integration ---------------------------------------------
+
+    def route_of(self, path: str) -> str:
+        """Collapse an id-bearing path to its route template, keeping
+        metric label cardinality bounded by the route table."""
+        for pattern, template, _, _ in _ROUTES:
+            if pattern.match(path):
+                return template
+        return "<unmatched>"
+
+    def dispatch(self, path: str, params: dict) -> dict:
+        """The handler contract: a JSON-shaped payload, or a typed
+        :class:`~repro.steamapi.errors.ApiError`."""
+        for pattern, _, method, cacheable in _ROUTES:
+            match = pattern.match(path)
+            if match:
+                break
+        else:
+            raise NotFoundError(f"no analytics route matches {path!r}")
+        store = self._store  # one read; immune to concurrent swaps
+        if not cacheable:
+            return getattr(self, method)(store, match, params)
+        key = query_key(store.fingerprint, path, params)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        payload = getattr(self, method)(store, match, params)
+        self.cache.put(key, payload)
+        return payload
+
+    # -- route handlers ------------------------------------------------------
+
+    def _healthz(self, store, match, params) -> dict:
+        payload = store.describe()
+        payload["cache"] = self.cache.stats()
+        return payload
+
+    def _user_summary(self, store, match, params) -> dict:
+        return store.user_summary(int(match["steamid"]))
+
+    def _user_neighborhood(self, store, match, params) -> dict:
+        limit = _int_param(params, "limit", default=50)
+        return store.user_neighborhood(int(match["steamid"]), limit=limit)
+
+    def _app_stats(self, store, match, params) -> dict:
+        return store.app_stats_payload(int(match["appid"]))
+
+    def _distribution_percentile(self, store, match, params) -> dict:
+        return store.distribution_percentile(
+            match["attr"], _float_param(params, "q")
+        )
+
+    def _distribution_rank(self, store, match, params) -> dict:
+        return store.distribution_rank(
+            match["attr"], _float_param(params, "value")
+        )
+
+    def _tailfit(self, store, match, params) -> dict:
+        return store.tailfit_payload(match["attr"])
+
+    def _homophily(self, store, match, params) -> dict:
+        return store.homophily_payload(match["attr"])
+
+
+def serve_analytics(
+    store: AnalyticsStore | AnalyticsService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    obs: Obs | None = None,
+    access_log: bool = False,
+    cache_size: int = 4096,
+) -> ApiHttpServer:
+    """Serve an analytics store over HTTP; returns the running server.
+
+    Accepts a prebuilt :class:`AnalyticsService` for callers that need
+    to hold onto it (store swaps, cache introspection)."""
+    if isinstance(store, AnalyticsService):
+        service = store
+        obs = obs if obs is not None else service.obs
+    else:
+        service = AnalyticsService(store, obs=obs, cache_size=cache_size)
+    return serve_dispatch(
+        service.dispatch,
+        host=host,
+        port=port,
+        obs=obs,
+        access_log=access_log,
+        route_of=service.route_of,
+    )

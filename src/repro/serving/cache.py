@@ -1,0 +1,86 @@
+"""Fingerprint-keyed LRU response cache for the analytics serving tier.
+
+Keys are produced by :func:`repro.engine.fingerprint.query_key`, which
+folds the serving store's dataset fingerprint into every key.  That
+makes invalidation structural rather than procedural: swapping in a
+store built from a changed dataset shifts every key, so stale bodies
+age out of the LRU instead of ever being served.
+
+Thread safety matters here — every ``ThreadingHTTPServer`` handler
+thread consults the cache concurrently — so all access is under one
+lock; entries are fully materialized response payloads (plain dicts),
+so the critical section is a dict move, never a recompute.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs import Obs
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """A bounded, thread-safe LRU of response payloads."""
+
+    def __init__(self, maxsize: int = 4096, obs: Obs | None = None) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._m_hits = self._m_misses = self._m_evictions = None
+        if obs is not None:
+            self._m_hits = obs.counter(
+                "serving_cache_hits", "Serving responses served from cache"
+            )
+            self._m_misses = obs.counter(
+                "serving_cache_misses", "Serving responses computed fresh"
+            )
+            self._m_evictions = obs.counter(
+                "serving_cache_evictions", "Serving cache LRU evictions"
+            )
+
+    def get(self, key: str) -> Any | None:
+        """The cached payload, or ``None`` on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                if self._m_hits is not None:
+                    self._m_hits.inc()
+                return self._entries[key]
+            self._misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
+            return None
+
+    def put(self, key: str, payload: Any) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU tail when full."""
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -1,8 +1,12 @@
-"""JSON-over-HTTP server exposing a :class:`SteamApiService` on localhost.
+"""JSON-over-HTTP server exposing a dispatch function on localhost.
 
 Stdlib only (ThreadingHTTPServer).  Typed API errors map to HTTP status
 codes; rate-limit errors carry a ``Retry-After`` header, which the
-crawler's backoff honours.
+crawler's backoff honours.  :func:`serve` wraps a
+:class:`~repro.steamapi.service.SteamApiService`; the lower-level
+:func:`serve_dispatch` accepts any ``dispatch(path, params) -> dict``
+callable, which is how the analytics serving tier
+(:mod:`repro.serving`) reuses this machinery.
 
 Passing a :class:`~repro.steamapi.faults.FaultPlan` to :func:`serve`
 puts a :class:`~repro.steamapi.faults.FaultInjectingTransport` in front
@@ -14,10 +18,21 @@ detect and surface as a retryable error.
 Observability: every server carries an :class:`~repro.obs.Obs` (one is
 created when the caller doesn't supply one) that counts requests by
 path and status and histograms request latency; ``GET /metrics``
-exposes it in Prometheus text exposition format.  Access logging goes
-through the ``repro.steamapi.http`` logger and is *off* by default —
-chaos tests hammer the server with thousands of requests and must not
-spam stderr — and on for the ``serve`` CLI command unless ``--quiet``.
+exposes it in Prometheus text exposition format.  Callers with
+parameterized paths (``/users/<id>/summary``) pass ``route_of`` to
+collapse raw paths onto route templates, keeping metric label
+cardinality bounded.  Access logging goes through the
+``repro.steamapi.http`` logger and is *off* by default — chaos tests
+hammer the server with thousands of requests and must not spam stderr —
+and on for the ``serve`` CLI command unless ``--quiet``.
+
+Shutdown: request-handler threads are daemonic and
+:meth:`ApiHttpServer.close` drains them with a *bounded* join.  The
+stock ``ThreadingHTTPServer`` defaults (non-daemon handler threads,
+``block_on_close = True``) make ``server_close()`` join every in-flight
+handler with no timeout, so one slow or stuck client could hang
+shutdown forever; here a stuck handler is abandoned after
+``drain_timeout`` seconds and reported instead.
 """
 
 from __future__ import annotations
@@ -25,9 +40,11 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs import Obs
@@ -42,20 +59,75 @@ from repro.steamapi.faults import FaultInjectingTransport, FaultPlan
 from repro.steamapi.service import SteamApiService
 from repro.steamapi.transport import InProcessTransport
 
-__all__ = ["ApiHttpServer", "serve"]
+__all__ = [
+    "ApiHttpServer",
+    "DrainingThreadingHTTPServer",
+    "serve",
+    "serve_dispatch",
+]
 
 #: Access-log destination; handlers/levels are the embedder's business.
 access_logger = logging.getLogger("repro.steamapi.http")
 
 
-def _make_handler(dispatch, obs: Obs, access_log: bool):
+class DrainingThreadingHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` whose shutdown cannot hang on a client.
+
+    Handler threads are daemonic and tracked in a set; :meth:`drain`
+    joins them against one shared deadline and returns whichever are
+    still alive, so ``close()`` is bounded even when a handler is
+    wedged mid-request behind a stalled client socket.
+    """
+
+    daemon_threads = True
+    #: The ThreadingMixIn join-forever path must stay off: drain() is
+    #: the bounded replacement.
+    block_on_close = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._handler_threads: set[threading.Thread] = set()
+        self._handler_lock = threading.Lock()
+
+    def process_request_thread(self, request, client_address) -> None:
+        thread = threading.current_thread()
+        with self._handler_lock:
+            self._handler_threads.add(thread)
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._handler_lock:
+                self._handler_threads.discard(thread)
+
+    def drain(self, timeout: float) -> list[threading.Thread]:
+        """Join in-flight handlers for at most ``timeout`` seconds total.
+
+        Returns the threads that were still alive at the deadline
+        (daemonic, so they cannot keep the process hostage).
+        """
+        deadline = time.monotonic() + timeout
+        with self._handler_lock:
+            threads = list(self._handler_threads)
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return [thread for thread in threads if thread.is_alive()]
+
+
+def _make_handler(
+    dispatch,
+    obs: Obs,
+    access_log: bool,
+    route_of: Callable[[str], str] | None = None,
+):
     m_requests = obs.counter(
         "http_requests",
         "HTTP requests served, by path and status",
         ("path", "status"),
     )
     m_latency = obs.histogram(
-        "http_request_seconds", "HTTP request handling latency"
+        "http_request_seconds",
+        "HTTP request handling latency",
+        labelnames=("path",),
     )
 
     class Handler(BaseHTTPRequestHandler):
@@ -120,8 +192,12 @@ def _make_handler(dispatch, obs: Obs, access_log: bool):
             self._account(parsed.path, status, start)
 
         def _account(self, path: str, status: int, start: float) -> None:
-            m_requests.inc(path=path, status=status)
-            m_latency.observe(obs.clock() - start)
+            # Metric labels use the route template when the dispatcher
+            # provides one (id-bearing raw paths would explode label
+            # cardinality); the access log keeps the raw path.
+            label = route_of(path) if route_of is not None else path
+            m_requests.inc(path=label, status=status)
+            m_latency.observe(obs.clock() - start, path=label)
             if access_log:
                 access_logger.info(
                     "%s %s -> %d", self.command, self.path, status
@@ -162,29 +238,70 @@ def _make_handler(dispatch, obs: Obs, access_log: bool):
 class ApiHttpServer:
     """A running API server plus its lifecycle handles."""
 
-    server: ThreadingHTTPServer
+    server: DrainingThreadingHTTPServer
     thread: threading.Thread
     #: Present when the server was started with a fault plan; exposes
     #: the injected-fault counters.
     faults: FaultInjectingTransport | None = None
     #: Server-side observability; also served at ``GET /metrics``.
     obs: Obs | None = None
+    #: Maximum seconds ``close`` spends joining in-flight handlers.
+    drain_timeout: float = 2.0
 
     @property
     def base_url(self) -> str:
         host, port = self.server.server_address[:2]
         return f"http://{host}:{port}"
 
-    def close(self) -> None:
+    def close(self) -> list[threading.Thread]:
+        """Stop serving; bounded even with requests stuck in flight.
+
+        Stops accepting connections, drains in-flight handlers for at
+        most :attr:`drain_timeout` seconds, then closes the socket.
+        Returns the handler threads (daemonic) that were abandoned
+        because they did not finish within the deadline — empty on a
+        clean shutdown.
+        """
         self.server.shutdown()
+        stuck = self.server.drain(self.drain_timeout)
         self.server.server_close()
         self.thread.join(timeout=5)
+        return stuck
 
     def __enter__(self) -> "ApiHttpServer":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def serve_dispatch(
+    dispatch,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    obs: Obs | None = None,
+    access_log: bool = False,
+    route_of: Callable[[str], str] | None = None,
+    faults: FaultInjectingTransport | None = None,
+) -> ApiHttpServer:
+    """Serve any ``dispatch(path, params) -> dict`` callable over HTTP.
+
+    Starts on a background thread; port 0 picks a free port.  ``obs``
+    supplies the metrics scope behind ``GET /metrics`` (a private one
+    is created when omitted); ``route_of`` maps raw request paths to
+    route templates for metric labels; ``access_log`` emits one
+    ``repro.steamapi.http`` log line per request.
+    """
+    if obs is None:
+        obs = Obs()
+    server = DrainingThreadingHTTPServer(
+        (host, port), _make_handler(dispatch, obs, access_log, route_of)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return ApiHttpServer(
+        server=server, thread=thread, faults=faults, obs=obs
+    )
 
 
 def serve(
@@ -195,7 +312,7 @@ def serve(
     obs: Obs | None = None,
     access_log: bool = False,
 ) -> ApiHttpServer:
-    """Start serving on a background thread; port 0 picks a free port.
+    """Start serving a :class:`SteamApiService`; port 0 picks a free port.
 
     ``fault_plan`` injects deterministic failures server-side (see
     :mod:`repro.steamapi.faults`).  ``obs`` supplies the metrics scope
@@ -212,11 +329,11 @@ def serve(
             InProcessTransport(service), fault_plan, obs=obs
         )
         dispatch = faults.request
-    server = ThreadingHTTPServer(
-        (host, port), _make_handler(dispatch, obs, access_log)
-    )
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    return ApiHttpServer(
-        server=server, thread=thread, faults=faults, obs=obs
+    return serve_dispatch(
+        dispatch,
+        host=host,
+        port=port,
+        obs=obs,
+        access_log=access_log,
+        faults=faults,
     )

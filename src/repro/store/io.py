@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.fsutil import atomic_writer
 from repro.store.dataset import DatasetMeta, SteamDataset
 from repro.store.tables import (
     AccountTable,
@@ -88,19 +88,8 @@ def save_dataset(dataset: SteamDataset, path: str | Path) -> Path:
     arrays["meta.json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+    with atomic_writer(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
     return path
 
 

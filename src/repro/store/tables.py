@@ -336,6 +336,34 @@ class LibraryTable:
         out[nonempty] = sums[nonempty]
         return out
 
+    # -- per-app aggregations (the serving tier's /apps/<id>/stats) ----------
+
+    def app_owner_counts(self, n_products: int) -> np.ndarray:
+        """Owners per product (how many libraries contain it)."""
+        return np.bincount(self.owned.indices, minlength=n_products)
+
+    def app_player_counts(self, n_products: int) -> np.ndarray:
+        """Players per product (owners who ever launched it)."""
+        return np.bincount(
+            self.owned.indices[self.total_min > 0], minlength=n_products
+        )
+
+    def app_total_min(self, n_products: int) -> np.ndarray:
+        """Total playtime per product (minutes, across all owners)."""
+        return np.bincount(
+            self.owned.indices,
+            weights=self.total_min.astype(np.float64),
+            minlength=n_products,
+        ).astype(np.int64)
+
+    def app_twoweek_min(self, n_products: int) -> np.ndarray:
+        """Two-week playtime per product (minutes, across all owners)."""
+        return np.bincount(
+            self.owned.indices,
+            weights=self.twoweek_min.astype(np.float64),
+            minlength=n_products,
+        ).astype(np.int64)
+
 
 @dataclass
 class AchievementTable:

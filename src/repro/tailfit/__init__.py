@@ -14,7 +14,12 @@ A from-scratch reimplementation of the subset of the ``powerlaw`` package
 """
 
 from repro.tailfit.bootstrap import GoodnessOfFit, power_law_gof
-from repro.tailfit.classify import ClassificationResult, classify
+from repro.tailfit.classify import (
+    ClassificationResult,
+    classify,
+    classify_fit,
+    tail_summary,
+)
 from repro.tailfit.compare import CompareResult, loglikelihood_ratio
 from repro.tailfit.discrete import DiscretePowerLawFit
 from repro.tailfit.fits import (
@@ -37,6 +42,8 @@ __all__ = [
     "loglikelihood_ratio",
     "CompareResult",
     "classify",
+    "classify_fit",
+    "tail_summary",
     "ClassificationResult",
     "power_law_gof",
     "GoodnessOfFit",

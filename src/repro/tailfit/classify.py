@@ -22,7 +22,12 @@ from repro import constants
 from repro.tailfit.compare import CompareResult
 from repro.tailfit.fits import Fit
 
-__all__ = ["ClassificationResult", "classify"]
+__all__ = [
+    "ClassificationResult",
+    "classify",
+    "classify_fit",
+    "tail_summary",
+]
 
 _ALPHA = 0.05
 
@@ -63,6 +68,11 @@ def classify(
 ) -> ClassificationResult:
     """Classify the tail of ``data`` into the paper's four categories."""
     fit = Fit(data, xmin=xmin, max_tail=max_tail, rng=rng)
+    return classify_fit(fit, alpha=alpha)
+
+
+def classify_fit(fit: Fit, alpha: float = _ALPHA) -> ClassificationResult:
+    """Run the 4-way decision procedure on an already-constructed fit."""
     pl_exp = fit.distribution_compare("power_law", "exponential")
     pl_ln = fit.distribution_compare("power_law", "lognormal")
     tpl_pl = fit.distribution_compare("truncated_power_law", "power_law")
@@ -92,3 +102,50 @@ def classify(
         tpl_vs_pl=tpl_pl,
         tpl_vs_ln=tpl_ln,
     )
+
+
+def tail_summary(
+    data: np.ndarray,
+    xmin: float | None = None,
+    max_tail: int | None = 200_000,
+    alpha: float = _ALPHA,
+    rng: np.random.Generator | None = None,
+) -> dict:
+    """Classification plus fitted family parameters, JSON-shaped.
+
+    The read path behind ``/tailfit/<attr>``: one dict carrying the
+    selected cutoff, the 4-way label, the fitted parameters of every
+    candidate family, and the Vuong comparisons behind the label.
+    Everything is plain floats/strings so the payload serializes (and
+    caches) directly.
+    """
+    fit = Fit(data, xmin=xmin, max_tail=max_tail, rng=rng)
+    result = classify_fit(fit, alpha=alpha)
+    pl = fit.fit_family("power_law")
+    exp = fit.fit_family("exponential")
+    ln = fit.fit_family("lognormal")
+    tpl = fit.fit_family("truncated_power_law")
+    comparisons = {
+        name: {"R": float(cmp.R), "p": float(cmp.p)}
+        for name, cmp in (
+            ("pl_vs_exp", result.pl_vs_exp),
+            ("pl_vs_ln", result.pl_vs_ln),
+            ("tpl_vs_pl", result.tpl_vs_pl),
+            ("tpl_vs_ln", result.tpl_vs_ln),
+        )
+    }
+    return {
+        "label": result.label,
+        "xmin": float(result.xmin),
+        "n_tail": int(result.n_tail),
+        "families": {
+            "power_law": {"alpha": float(pl.alpha)},
+            "exponential": {"lam": float(exp.lam)},
+            "lognormal": {"mu": float(ln.mu), "sigma": float(ln.sigma)},
+            "truncated_power_law": {
+                "alpha": float(tpl.alpha),
+                "lam": float(tpl.lam),
+            },
+        },
+        "comparisons": comparisons,
+    }

@@ -102,3 +102,70 @@ class TestAgainstPaper:
                     got,
                     paper,
                 )
+
+
+class TestPercentileValueValidation:
+    """Regression: degenerate inputs must raise a named ValueError, not
+    an IndexError/ZeroDivisionError from inside numpy."""
+
+    def test_empty_population_raises_named_error(self):
+        from repro.core.percentiles import percentile_value
+
+        with pytest.raises(ValueError, match="empty population"):
+            percentile_value(np.empty(0), 50.0)
+
+    @pytest.mark.parametrize("q", [-0.001, -5, 100.001, 250])
+    def test_out_of_range_q(self, q):
+        from repro.core.percentiles import percentile_value
+
+        with pytest.raises(ValueError, match=r"in \[0, 100\]"):
+            percentile_value(np.array([1.0, 2.0]), q)
+
+    def test_nan_q(self):
+        from repro.core.percentiles import percentile_value
+
+        with pytest.raises(ValueError, match="not NaN"):
+            percentile_value(np.array([1.0, 2.0]), float("nan"))
+
+    def test_single_element_population(self):
+        from repro.core.percentiles import percentile_value
+
+        for q in (0.0, 50.0, 100.0):
+            assert percentile_value(np.array([7.0]), q) == 7.0
+
+    def test_boundary_q_accepted(self):
+        from repro.core.percentiles import percentile_value
+
+        values = np.array([1.0, 2.0, 3.0])
+        assert percentile_value(values, 0) == 1.0
+        assert percentile_value(values, 100) == 3.0
+
+
+class TestPercentileRankValidation:
+    def test_empty_population_raises_named_error(self):
+        from repro.core.percentiles import percentile_rank
+
+        with pytest.raises(ValueError, match="empty population"):
+            percentile_rank(np.empty(0), 1.0)
+
+    def test_nan_probe(self):
+        from repro.core.percentiles import percentile_rank
+
+        with pytest.raises(ValueError, match="not NaN"):
+            percentile_rank(np.array([1.0, 2.0]), float("nan"))
+
+    def test_rank_of_single_element(self):
+        from repro.core.percentiles import percentile_rank
+
+        assert percentile_rank(np.array([5.0]), 5.0) == 100.0
+        assert percentile_rank(np.array([5.0]), 4.0) == 0.0
+
+    def test_rank_is_inverse_of_value(self):
+        from repro.core.percentiles import percentile_rank
+
+        values = np.sort(np.random.default_rng(7).integers(1, 100, 500))
+        assert percentile_rank(values, float(values[-1])) == 100.0
+        assert percentile_rank(values, 0.0) == 0.0
+        mid = float(values[249])
+        rank = percentile_rank(values, mid)
+        assert 40.0 <= rank <= 60.0

@@ -1,0 +1,110 @@
+"""Serving-tier fixtures: a shared store over the small world, plus a
+hand-built tiny-dataset factory for edge-case populations.
+
+``WorldConfig`` refuses worlds under 1000 users (percentile calibration
+is meaningless there), so the empty/single-user regression datasets are
+assembled directly from the table dataclasses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import AnalyticsService, AnalyticsStore
+from repro.store.dataset import SteamDataset
+from repro.store.tables import (
+    AccountTable,
+    CatalogTable,
+    CSRMatrix,
+    FriendTable,
+    GroupTable,
+    LibraryTable,
+)
+
+
+def make_tiny_dataset(
+    n_users: int,
+    owned: tuple[tuple[int, int, int], ...] = (),
+    friends: tuple[tuple[int, int], ...] = (),
+) -> SteamDataset:
+    """A structurally valid dataset of any size, including zero users.
+
+    ``owned`` is per-user ``(product_index, total_min, twoweek_min)``
+    entries in user order; ``friends`` is canonicalized ``(u, v)``
+    pairs.
+    """
+    accounts = AccountTable(
+        id_offset=np.arange(n_users, dtype=np.int64),
+        created_day=np.zeros(n_users, dtype=np.int64),
+        country=np.full(n_users, -1, dtype=np.int64),
+        city=np.full(n_users, -1, dtype=np.int64),
+        country_names=(),
+    )
+    if friends:
+        u = np.array([p[0] for p in friends], dtype=np.int64)
+        v = np.array([p[1] for p in friends], dtype=np.int64)
+    else:
+        u = v = np.empty(0, dtype=np.int64)
+    friend_table = FriendTable(
+        u=u, v=v, day=np.zeros(len(u), dtype=np.int64), n_users=n_users
+    )
+    groups = GroupTable(
+        group_type=np.empty(0, dtype=np.int64),
+        focus_game=np.empty(0, dtype=np.int64),
+        members=CSRMatrix(
+            indptr=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+        ),
+        n_users=n_users,
+    )
+    n_products = 2
+    catalog = CatalogTable(
+        appid=np.array([10, 20], dtype=np.int64),
+        is_game=np.ones(n_products, dtype=bool),
+        primary_genre=np.zeros(n_products, dtype=np.int64),
+        genre_mask=np.ones(n_products, dtype=np.int64),
+        price_cents=np.array([0, 499], dtype=np.int64),
+        multiplayer=np.zeros(n_products, dtype=bool),
+        release_day=np.zeros(n_products, dtype=np.int64),
+        metacritic=np.full(n_products, -1, dtype=np.int64),
+        genre_names=("Action",),
+    )
+    entries_per_user = [[] for _ in range(n_users)]
+    for user, entry in enumerate(owned):
+        entries_per_user[user].append(entry)
+    indptr = [0]
+    indices, total, twoweek = [], [], []
+    for per_user in entries_per_user:
+        for product, total_min, twoweek_min in per_user:
+            indices.append(product)
+            total.append(total_min)
+            twoweek.append(twoweek_min)
+        indptr.append(len(indices))
+    library = LibraryTable(
+        owned=CSRMatrix(
+            indptr=np.array(indptr, dtype=np.int64),
+            indices=np.array(indices, dtype=np.int64),
+        ),
+        total_min=np.array(total, dtype=np.int64),
+        twoweek_min=np.array(twoweek, dtype=np.int64),
+    )
+    return SteamDataset(
+        accounts=accounts,
+        friends=friend_table,
+        groups=groups,
+        catalog=catalog,
+        library=library,
+    )
+
+
+@pytest.fixture(scope="session")
+def serving_store(small_dataset) -> AnalyticsStore:
+    """One store over the shared 5k world; fits capped for speed."""
+    return AnalyticsStore.build(small_dataset, max_tail=4_000)
+
+
+@pytest.fixture()
+def serving_service(serving_store) -> AnalyticsService:
+    """Fresh service (and response cache) per test."""
+    return AnalyticsService(serving_store)
