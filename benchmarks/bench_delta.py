@@ -1,0 +1,110 @@
+"""Incremental delta re-analysis benchmark (DESIGN.md §12).
+
+Runs the full study cold over a synthetic world with a stage cache,
+then evolves the world by one playtime-only step touching ~1% of users
+and re-analyzes against the same cache.  Column-scoped stage keys mean
+only the playtime-reading stages recompute, so the delta re-analysis
+must come in well under the cold run — the ``reanalysis_ratio`` metric
+is the O(delta) claim in one number, and the engine's executed/cached
+counters prove it structurally (strictly fewer stages executed, the
+rest served from cache).
+
+Scales via ``REPRO_BENCH_USERS`` (world size, default 60,000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import SteamStudy, SteamWorld, WorldConfig
+from repro.engine import StageCache
+from repro.obs import bench_metric
+from repro.simworld.evolution import EvolveConfig, evolve
+
+DELTA_USERS = int(os.environ.get("REPRO_BENCH_USERS", "60000"))
+DELTA_SEED = 1603
+#: Fraction of users whose playtime moves in the evolution step.
+DELTA_PLAY_RATE = 0.01
+
+
+def test_delta_reanalysis_benchmark(tmp_path, record, record_json):
+    world = SteamWorld.generate(
+        WorldConfig(n_users=DELTA_USERS, seed=DELTA_SEED)
+    )
+    cache_dir = tmp_path / "stage-cache"
+
+    cold_study = SteamStudy(world=world, _dataset=world.dataset)
+    start = time.perf_counter()
+    cold_report = cold_study.run(cache=cache_dir)
+    cold_seconds = time.perf_counter() - start
+    cold_run = cold_study.last_engine_run
+    assert cold_run.cached == ()
+
+    step = next(
+        evolve(
+            world,
+            steps=1,
+            seed=DELTA_SEED + 1,
+            config=EvolveConfig(
+                account_growth=0.0,
+                buy_rate=0.0,
+                friend_form_rate=0.0,
+                friend_drop_rate=0.0,
+                play_rate=DELTA_PLAY_RATE,
+            ),
+        )
+    )
+    warm_study = SteamStudy(world=world, _dataset=step.dataset)
+    start = time.perf_counter()
+    warm_report = warm_study.run(cache=cache_dir)
+    delta_seconds = time.perf_counter() - start
+    warm_run = warm_study.last_engine_run
+
+    # The structural O(delta) contract, independent of wall clock.
+    assert len(warm_run.executed) < cold_run.n_stages
+    assert warm_run.cached != ()
+    # The warm report reflects the evolved world, not the cached one.
+    assert warm_report.render() != cold_report.render()
+
+    ratio = delta_seconds / cold_seconds
+    cache = StageCache(cache_dir)
+
+    record(
+        "delta_reanalysis",
+        [
+            f"world: {DELTA_USERS} users (seed {DELTA_SEED})",
+            f"delta: playtime-only step, play_rate {DELTA_PLAY_RATE} "
+            f"({step.delta.n_changed} users changed)",
+            f"cold analysis: {cold_seconds:.2f}s "
+            f"({len(cold_run.executed)} stages executed)",
+            f"delta re-analysis: {delta_seconds:.2f}s "
+            f"({len(warm_run.executed)} executed, "
+            f"{len(warm_run.cached)} cached)",
+            f"reanalysis ratio: {ratio:.3f} (delta / cold)",
+            f"stage cache: {len(cache.entries())} entries, "
+            f"{cache.total_bytes():,} bytes",
+        ],
+    )
+    record_json(
+        "delta_reanalysis",
+        [
+            bench_metric("cold_seconds", cold_seconds, "s"),
+            bench_metric("delta_reanalysis_seconds", delta_seconds, "s"),
+            bench_metric("reanalysis_ratio", ratio, "ratio"),
+            bench_metric(
+                "stages_executed_cold", len(cold_run.executed), "count"
+            ),
+            bench_metric(
+                "stages_executed_delta", len(warm_run.executed), "count"
+            ),
+            bench_metric(
+                "stages_cached_delta", len(warm_run.cached), "count"
+            ),
+            bench_metric(
+                "changed_users", int(step.delta.n_changed), "count"
+            ),
+        ],
+        seed=DELTA_SEED,
+        n_users=DELTA_USERS,
+    )

@@ -119,6 +119,50 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.simworld.evolution import EvolveConfig, evolve
+
+    obs = _make_obs(args)
+    if args.dataset:
+        source = load_dataset(args.dataset)
+    else:
+        source = SteamWorld.generate(
+            WorldConfig(n_users=args.users, seed=args.seed), obs=obs
+        )
+    config = EvolveConfig(
+        account_growth=args.account_growth,
+        buy_rate=args.buy_rate,
+        play_rate=args.play_rate,
+        friend_form_rate=args.friend_form_rate,
+        friend_drop_rate=args.friend_drop_rate,
+    )
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    t0 = time.time()
+    last = None
+    for step in evolve(
+        source, steps=args.steps, config=config, seed=args.evolve_seed
+    ):
+        delta = step.delta
+        manifest = delta.save(out_dir / f"step_{step.step}.delta.json")
+        print(
+            f"step {step.step}: {delta.n_changed:,} changed, "
+            f"{delta.n_new:,} new accounts "
+            f"({len(delta.touched_columns)} columns); "
+            f"manifest {manifest}"
+        )
+        last = step
+    if last is not None:
+        path = save_dataset(last.dataset, out_dir / "evolved.npz")
+        print(
+            f"evolved {args.steps} step(s) to {last.dataset.n_users:,} "
+            f"accounts in {time.time() - t0:.1f}s"
+        )
+        print(f"saved evolved dataset to {path}")
+    _finish_obs(obs, args)
+    return 0
+
+
 def _resolve_cache(args: argparse.Namespace):
     """The analyze stage cache: --cache-dir / REPRO_CACHE_DIR, else off."""
     import os
@@ -452,6 +496,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--output", default="steam_world.npz")
     _add_metrics_arg(p_gen)
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_ev = sub.add_parser(
+        "evolve",
+        help="advance a world by delta steps, emitting change manifests",
+    )
+    _add_world_args(p_ev)
+    p_ev.add_argument(
+        "--dataset",
+        help="evolve a saved dataset instead of generating a world",
+    )
+    p_ev.add_argument(
+        "--out-dir",
+        default="evolved",
+        help="directory for the evolved dataset and per-step manifests",
+    )
+    p_ev.add_argument(
+        "--steps", type=int, default=1, help="evolution steps to run"
+    )
+    p_ev.add_argument(
+        "--evolve-seed",
+        type=int,
+        default=None,
+        help="evolution RNG seed (default: the dataset's world seed)",
+    )
+    p_ev.add_argument(
+        "--account-growth",
+        type=float,
+        default=0.01,
+        help="new accounts per step, as a fraction of the population",
+    )
+    p_ev.add_argument(
+        "--buy-rate",
+        type=float,
+        default=0.02,
+        help="fraction of users buying games each step",
+    )
+    p_ev.add_argument(
+        "--play-rate",
+        type=float,
+        default=0.05,
+        help="fraction of owners accruing playtime each step",
+    )
+    p_ev.add_argument(
+        "--friend-form-rate",
+        type=float,
+        default=0.01,
+        help="new friendships per step, as a fraction of current edges",
+    )
+    p_ev.add_argument(
+        "--friend-drop-rate",
+        type=float,
+        default=0.002,
+        help="dropped friendships per step, as a fraction of current edges",
+    )
+    _add_metrics_arg(p_ev)
+    p_ev.set_defaults(func=_cmd_evolve)
 
     p_an = sub.add_parser("analyze", help="run all tables and figures")
     _add_world_args(p_an)

@@ -19,6 +19,7 @@ from repro.store.dataset import SteamDataset
 
 __all__ = [
     "ATTRIBUTES",
+    "ATTRIBUTE_COLUMNS",
     "PercentileRow",
     "PercentileTable",
     "attribute_values",
@@ -43,6 +44,21 @@ ATTRIBUTES = (
     "total_playtime_hours",
     "twoweek_playtime_hours",
 )
+
+#: Dataset columns each attribute's value vector reads (dotted keys of
+#: ``SteamDataset.iter_columns``).  This backs both the engine's
+#: column-scoped cache keys for the per-attribute serving stages and
+#: the serving tier's delta-driven response-cache eviction: a delta
+#: whose changed columns miss an attribute's set leaves that
+#: attribute's indexes and cached responses valid.
+ATTRIBUTE_COLUMNS: dict[str, tuple[str, ...]] = {
+    "friends": ("fr.u", "fr.v"),
+    "owned_games": ("lib.indptr",),
+    "group_memberships": ("gr.indptr", "gr.indices"),
+    "market_value": ("lib.indptr", "lib.indices", "cat.price_cents"),
+    "total_playtime_hours": ("lib.indptr", "lib.total_min"),
+    "twoweek_playtime_hours": ("lib.indptr", "lib.twoweek_min"),
+}
 
 
 def attribute_values(dataset: SteamDataset) -> dict[str, np.ndarray]:

@@ -177,6 +177,31 @@ def _versioned(module) -> str:
     return getattr(module, "STAGE_VERSION", "1")
 
 
+# Table 4 rows read narrow slices, so each shard declares its own
+# columns; an unmapped row falls back to whole-dataset keying (always
+# sound, just never an incremental cache hit).
+_TABLE4_ROW_COLUMNS = {
+    "account market values": ("lib.indptr", "lib.indices", "cat.price_cents"),
+    "total playtime": ("lib.indptr", "lib.total_min"),
+    "two-week playtime": ("lib.indptr", "lib.twoweek_min"),
+    "game ownership": ("lib.indptr",),
+    "played game ownership": ("lib.indptr", "lib.total_min"),
+    "group size": ("gr.indptr",),
+    "group membership per user": ("gr.indptr", "gr.indices"),
+    "account market values (second snapshot)": ("s2.value_cents",),
+    "total playtime (second snapshot)": ("s2.total_min",),
+    "two-week playtime (second snapshot)": ("s2.twoweek_min",),
+    "game ownership (second snapshot)": ("s2.owned",),
+    "played game ownership (second snapshot)": ("s2.played",),
+}
+
+
+def _table4_row_columns(row: str) -> tuple[str, ...] | None:
+    if row.startswith("friendship"):  # all / through-year / year-only rows
+        return ("fr",)
+    return _TABLE4_ROW_COLUMNS.get(row)
+
+
 def build_study_graph(
     dataset: SteamDataset, config: dict, aux: dict
 ) -> StageGraph:
@@ -196,28 +221,141 @@ def build_study_graph(
             **kwargs,
         )
 
+    # Every stage declares the dataset columns it reads (the dotted
+    # keys of ``SteamDataset.iter_columns``; a bare table prefix like
+    # "lib" selects all its columns).  The cache key then folds only
+    # those columns' fingerprints — plus meta and shape, always — so a
+    # delta that leaves a stage's inputs untouched is a cache hit.
+    # Derived accessors map as: friend_counts -> fr.u/fr.v,
+    # owned_counts -> lib.indptr, played_counts/total_playtime ->
+    # lib.indptr+lib.total_min, twoweek -> lib.indptr+lib.twoweek_min,
+    # market_value -> lib.indptr+lib.indices+cat.price_cents,
+    # membership_counts -> gr.indptr+gr.indices, groups.sizes ->
+    # gr.indptr.  country_names/friend_ts_epoch_day live in meta.
     stages = [
-        stage("summary", _stage_summary, dataset_mod),
-        stage("table1_countries", _stage_table1, social_mod),
-        stage("table2_groups", _stage_table2, groups_mod),
-        stage("table3_percentiles", _stage_table3, pct_mod),
-        stage("fig1_evolution", _stage_fig1, social_mod),
-        stage("fig2_degrees", _stage_fig2, social_mod),
-        stage("fig3_group_games", _stage_fig3, groups_mod),
-        stage("fig4_ownership", _stage_fig4, own_mod),
-        stage("fig5_genre_ownership", _stage_fig5, own_mod),
-        stage("fig6_playtime_cdf", _stage_fig6, exp_mod),
-        stage("fig7_twoweek", _stage_fig7, exp_mod),
-        stage("fig8_market_value", _stage_fig8, exp_mod),
-        stage("fig9_genre_expenditure", _stage_fig9, exp_mod),
-        stage("fig10_multiplayer", _stage_fig10, mp_mod),
-        stage("fig11_homophily", _stage_fig11, homo_mod),
-        stage("sec7_cross_correlations", _stage_sec7, homo_mod),
+        stage(
+            "summary",
+            _stage_summary,
+            dataset_mod,
+            columns=(
+                "fr.u",
+                "gr",
+                "lib.indptr",
+                "lib.indices",
+                "lib.total_min",
+                "cat.price_cents",
+            ),
+        ),
+        stage(
+            "table1_countries",
+            _stage_table1,
+            social_mod,
+            columns=("acc.country",),
+        ),
+        stage(
+            "table2_groups",
+            _stage_table2,
+            groups_mod,
+            columns=("gr.type", "gr.indptr"),
+        ),
+        stage(
+            "table3_percentiles",
+            _stage_table3,
+            pct_mod,
+            columns=("fr.u", "fr.v", "gr.indptr", "gr.indices", "lib", "cat.price_cents"),
+        ),
+        stage(
+            "fig1_evolution",
+            _stage_fig1,
+            social_mod,
+            columns=("acc.created_day", "fr"),
+        ),
+        stage("fig2_degrees", _stage_fig2, social_mod, columns=("fr",)),
+        stage(
+            "fig3_group_games",
+            _stage_fig3,
+            groups_mod,
+            columns=("gr", "lib"),
+        ),
+        stage(
+            "fig4_ownership",
+            _stage_fig4,
+            own_mod,
+            columns=("lib.indptr", "lib.total_min"),
+        ),
+        stage(
+            "fig5_genre_ownership",
+            _stage_fig5,
+            own_mod,
+            columns=("lib", "cat"),
+        ),
+        stage(
+            "fig6_playtime_cdf",
+            _stage_fig6,
+            exp_mod,
+            columns=("lib.indptr", "lib.total_min", "lib.twoweek_min"),
+        ),
+        stage(
+            "fig7_twoweek",
+            _stage_fig7,
+            exp_mod,
+            columns=("lib.indptr", "lib.twoweek_min"),
+        ),
+        stage(
+            "fig8_market_value",
+            _stage_fig8,
+            exp_mod,
+            columns=("lib.indptr", "lib.indices", "cat.price_cents"),
+        ),
+        stage(
+            "fig9_genre_expenditure",
+            _stage_fig9,
+            exp_mod,
+            columns=("lib", "cat"),
+        ),
+        stage(
+            "fig10_multiplayer",
+            _stage_fig10,
+            mp_mod,
+            columns=("lib", "cat"),
+        ),
+        stage(
+            "fig11_homophily",
+            _stage_fig11,
+            homo_mod,
+            columns=("fr", "lib", "cat.price_cents"),
+        ),
+        stage(
+            "sec7_cross_correlations",
+            _stage_sec7,
+            homo_mod,
+            columns=("fr", "lib"),
+        ),
     ]
     if dataset.snapshot2 is not None:
-        stages.append(stage("sec8_evolution", _stage_sec8, evo_mod))
+        stages.append(
+            stage(
+                "sec8_evolution",
+                _stage_sec8,
+                evo_mod,
+                columns=(
+                    "s2",
+                    "lib.indptr",
+                    "lib.indices",
+                    "lib.total_min",
+                    "cat.price_cents",
+                ),
+            )
+        )
     if dataset.achievements is not None:
-        stages.append(stage("sec9_achievements", _stage_sec9, ach_mod))
+        stages.append(
+            stage(
+                "sec9_achievements",
+                _stage_sec9,
+                ach_mod,
+                columns=("ach", "cat", "lib"),
+            )
+        )
     if "week_panel" in aux:
         stages.append(
             Stage(
@@ -226,6 +364,7 @@ def build_study_graph(
                 aux_keys=("week_panel",),
                 modules=(panel_mod,),
                 version=_versioned(panel_mod),
+                columns=(),  # reads only aux, never the dataset
             )
         )
     if config.get("include_table4", True):
@@ -246,6 +385,7 @@ def build_study_graph(
                     config_keys=("table4_max_tail", "table4_seed"),
                     modules=table4_modules,
                     version=_versioned(dist_mod),
+                    columns=_table4_row_columns(row),
                 )
             )
         stages.append(
@@ -257,6 +397,7 @@ def build_study_graph(
                 config_keys=("table4_max_tail", "table4_seed"),
                 modules=table4_modules,
                 version=_versioned(dist_mod),
+                columns=(),  # reads only its deps; their keys are folded
             )
         )
     return StageGraph(stages)

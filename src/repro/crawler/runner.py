@@ -30,7 +30,7 @@ from repro.store.tables import (
     Snapshot2Table,
 )
 
-__all__ = ["CrawlResult", "run_full_crawl"]
+__all__ = ["CrawlResult", "run_full_crawl", "scrape_group_labels"]
 
 
 @dataclass
@@ -131,30 +131,24 @@ def _assemble_library(
     )
 
 
-def _assemble_groups(
+def scrape_group_labels(
     session: CrawlSession,
-    details: DetailCrawl,
-    n_users: int,
+    group_type: np.ndarray,
+    focus: np.ndarray,
+    sizes: np.ndarray,
     catalog_appids: np.ndarray,
     label_top_n: int,
     checkpoint: CrawlCheckpoint | None = None,
     skip_failed: bool = False,
-) -> GroupTable:
-    """Memberships -> group table; top groups labelled via page scrape."""
-    if len(details.member_group):
-        n_groups = int(details.member_group.max()) + 1
-    else:
-        n_groups = 0
-    members, _ = CSRMatrix.from_pairs(
-        details.member_group,
-        details.member_user.astype(np.int32),
-        n_groups,
-    )
-    group_type = np.full(
-        n_groups, int(GroupType.SPECIAL_INTEREST), dtype=np.int8
-    )
-    focus = np.full(n_groups, -1, dtype=np.int32)
-    sizes = members.counts()
+) -> None:
+    """Label the ``label_top_n`` largest groups via community-page scrape.
+
+    Mutates ``group_type``/``focus`` in place; all other groups keep
+    whatever default they already hold.  Shared by the full crawl and
+    the delta crawl so both label the same groups from the same member
+    counts.
+    """
+    n_groups = len(group_type)
     top = np.argsort(-sizes, kind="stable")[: min(label_top_n, n_groups)]
     for g in top:
         try:
@@ -183,6 +177,41 @@ def _assemble_groups(
                 and catalog_appids[pos] == focus_appid
             ):
                 focus[g] = pos
+
+
+def _assemble_groups(
+    session: CrawlSession,
+    details: DetailCrawl,
+    n_users: int,
+    catalog_appids: np.ndarray,
+    label_top_n: int,
+    checkpoint: CrawlCheckpoint | None = None,
+    skip_failed: bool = False,
+) -> GroupTable:
+    """Memberships -> group table; top groups labelled via page scrape."""
+    if len(details.member_group):
+        n_groups = int(details.member_group.max()) + 1
+    else:
+        n_groups = 0
+    members, _ = CSRMatrix.from_pairs(
+        details.member_group,
+        details.member_user.astype(np.int32),
+        n_groups,
+    )
+    group_type = np.full(
+        n_groups, int(GroupType.SPECIAL_INTEREST), dtype=np.int8
+    )
+    focus = np.full(n_groups, -1, dtype=np.int32)
+    scrape_group_labels(
+        session,
+        group_type,
+        focus,
+        members.counts(),
+        catalog_appids,
+        label_top_n,
+        checkpoint=checkpoint,
+        skip_failed=skip_failed,
+    )
     return GroupTable(
         group_type=group_type,
         focus_game=focus,

@@ -1,0 +1,34 @@
+"""``repro.delta`` — the incremental pipeline (DESIGN.md §12).
+
+The paper's §8 evolution analysis implies repeated snapshots of one
+living network; this package makes re-analysis after a small change
+O(delta) instead of O(world):
+
+- :class:`~repro.delta.model.WorldDelta` — what one evolution step
+  changed (new/changed users, touched columns), emitted by
+  :func:`repro.simworld.evolution.evolve`;
+- :func:`~repro.delta.crawl.run_delta_crawl` — refetch only the
+  changed users through the normal transport/retry/checkpoint stack
+  and merge them into a prior crawled dataset, byte-identical to a
+  from-scratch full crawl of the evolved world;
+- :class:`~repro.delta.model.DatasetDelta` — the resulting manifest
+  (changed users/apps/columns and both fingerprints), consumed by
+  ``AnalyticsService.swap_store`` for targeted response-cache eviction.
+
+Column-level stage invalidation itself lives in the engine
+(``Stage.columns`` + ``SteamDataset.column_fingerprints``); this
+package supplies the deltas that make it pay off.
+"""
+
+from __future__ import annotations
+
+from repro.delta.crawl import DeltaCrawlResult, run_delta_crawl
+from repro.delta.model import DatasetDelta, WorldDelta, dataset_delta
+
+__all__ = [
+    "WorldDelta",
+    "DatasetDelta",
+    "dataset_delta",
+    "DeltaCrawlResult",
+    "run_delta_crawl",
+]

@@ -1,0 +1,278 @@
+"""Delta manifests: what changed between two snapshots of one world.
+
+Two granularities, one per pipeline boundary:
+
+- :class:`WorldDelta` — emitted by the world evolution step, phrased in
+  ID *offsets* (the crawler's currency): which pre-existing accounts
+  changed API-visible state, which accounts are new, and which dataset
+  columns the step touched.  This is the delta-crawl's work order.
+- :class:`DatasetDelta` — computed after a delta-merge by diffing the
+  prior and merged datasets' column fingerprints, phrased in SteamIDs
+  and appids (the serving tier's currency).  ``stale_tags()`` projects
+  it onto the response cache's tag vocabulary so a store swap evicts
+  only the entries a delta could have changed.
+
+Both serialize to JSON manifests so the ``repro evolve`` CLI can hand
+deltas between processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.percentiles import ATTRIBUTE_COLUMNS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.dataset import SteamDataset
+
+__all__ = ["WorldDelta", "DatasetDelta", "dataset_delta"]
+
+
+def _as_sorted_int64(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64).ravel()
+    return np.unique(arr)
+
+
+@dataclass(frozen=True)
+class WorldDelta:
+    """One evolution step's changes, keyed by ID offset.
+
+    ``changed_offsets`` holds pre-existing accounts whose API-visible
+    state changed (library, playtime, or friend list — a changed edge
+    marks *both* endpoints, which is what makes refetching exactly this
+    set sound); ``new_offsets`` holds accounts created this step.  The
+    two are disjoint.
+    """
+
+    step: int
+    seed: int
+    changed_offsets: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    new_offsets: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Dotted column keys (``SteamDataset.iter_columns`` vocabulary,
+    #: plus ``"shape"``) the step touched.
+    touched_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "changed_offsets", _as_sorted_int64(self.changed_offsets)
+        )
+        object.__setattr__(
+            self, "new_offsets", _as_sorted_int64(self.new_offsets)
+        )
+        if np.intersect1d(self.changed_offsets, self.new_offsets).size:
+            raise ValueError("changed and new offsets must be disjoint")
+
+    @property
+    def n_changed(self) -> int:
+        return len(self.changed_offsets)
+
+    @property
+    def n_new(self) -> int:
+        return len(self.new_offsets)
+
+    def all_offsets(self) -> np.ndarray:
+        """Changed ∪ new, sorted — the delta-crawl's refetch set."""
+        return np.union1d(self.changed_offsets, self.new_offsets)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "world_delta",
+            "step": self.step,
+            "seed": self.seed,
+            "changed_offsets": [int(x) for x in self.changed_offsets],
+            "new_offsets": [int(x) for x in self.new_offsets],
+            "touched_columns": list(self.touched_columns),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorldDelta":
+        if payload.get("kind") != "world_delta":
+            raise ValueError("not a world-delta manifest")
+        return cls(
+            step=int(payload["step"]),
+            seed=int(payload["seed"]),
+            changed_offsets=np.array(
+                payload["changed_offsets"], dtype=np.int64
+            ),
+            new_offsets=np.array(payload["new_offsets"], dtype=np.int64),
+            touched_columns=tuple(payload["touched_columns"]),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorldDelta":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class DatasetDelta:
+    """What a delta-merge changed, in the serving tier's vocabulary."""
+
+    prior_fingerprint: str
+    fingerprint: str
+    changed_steamids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    new_steamids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Appids owned by any changed/new user before or after the merge.
+    changed_appids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Column-fingerprint entries that differ between prior and merged
+    #: (includes the ``meta``/``shape`` pseudo-columns when they moved).
+    changed_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("changed_steamids", "new_steamids", "changed_appids"):
+            object.__setattr__(
+                self, name, _as_sorted_int64(getattr(self, name))
+            )
+
+    def stale_tags(self) -> frozenset[str]:
+        """Response-cache tags a swap must evict (see serving/api.py).
+
+        The projection is conservative by construction: per-user routes
+        go stale with their user tag, per-app routes with their app tag
+        plus the global ``app_stats`` tag (ownership percentiles
+        compare every app against every other), and distribution-shaped
+        routes with an ``attr:*`` tag whenever any column behind that
+        attribute — or the population itself — moved.
+        """
+        tags: set[str] = set()
+        for sid in self.changed_steamids:
+            tags.add(f"user:{int(sid)}")
+        for sid in self.new_steamids:
+            tags.add(f"user:{int(sid)}")
+        changed = set(self.changed_columns)
+        population_changed = bool(
+            {"shape", "acc.id_offset"} & changed
+        )
+        for attr, columns in ATTRIBUTE_COLUMNS.items():
+            if population_changed or changed.intersection(columns):
+                tags.add(f"attr:{attr}")
+        if (
+            population_changed
+            or "cat.price_cents" in changed
+            or any(c.startswith("lib.") for c in changed)
+        ):
+            tags.add("app_stats")
+        for appid in self.changed_appids:
+            tags.add(f"app:{int(appid)}")
+        return frozenset(tags)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "dataset_delta",
+            "prior_fingerprint": self.prior_fingerprint,
+            "fingerprint": self.fingerprint,
+            "changed_steamids": [int(x) for x in self.changed_steamids],
+            "new_steamids": [int(x) for x in self.new_steamids],
+            "changed_appids": [int(x) for x in self.changed_appids],
+            "changed_columns": list(self.changed_columns),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DatasetDelta":
+        if payload.get("kind") != "dataset_delta":
+            raise ValueError("not a dataset-delta manifest")
+        return cls(
+            prior_fingerprint=payload["prior_fingerprint"],
+            fingerprint=payload["fingerprint"],
+            changed_steamids=np.array(
+                payload["changed_steamids"], dtype=np.int64
+            ),
+            new_steamids=np.array(payload["new_steamids"], dtype=np.int64),
+            changed_appids=np.array(
+                payload["changed_appids"], dtype=np.int64
+            ),
+            changed_columns=tuple(payload["changed_columns"]),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DatasetDelta":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _owned_appids(
+    dataset: "SteamDataset", dense_users: np.ndarray
+) -> np.ndarray:
+    """Appids owned by any of ``dense_users`` (dense indices)."""
+    if len(dense_users) == 0:
+        return np.empty(0, dtype=np.int64)
+    owned = dataset.library.owned
+    products: list[np.ndarray] = []
+    for user in dense_users:
+        products.append(owned.row(int(user)))
+    if not products:
+        return np.empty(0, dtype=np.int64)
+    unique = np.unique(np.concatenate(products))
+    return dataset.catalog.appid[unique].astype(np.int64)
+
+
+def dataset_delta(
+    prior: "SteamDataset",
+    merged: "SteamDataset",
+    changed_steamids: np.ndarray,
+    new_steamids: np.ndarray,
+) -> "DatasetDelta":
+    """Diff two datasets into a :class:`DatasetDelta` manifest.
+
+    Changed columns come from comparing column fingerprints (exact, not
+    declared); changed appids are every app a changed/new user owned in
+    either snapshot — the set whose per-app stats could have moved.
+    """
+    prior_fps = prior.column_fingerprints()
+    merged_fps = merged.column_fingerprints()
+    changed_columns = tuple(
+        sorted(
+            key
+            for key in set(prior_fps) | set(merged_fps)
+            if prior_fps.get(key) != merged_fps.get(key)
+        )
+    )
+    changed_steamids = _as_sorted_int64(changed_steamids)
+    new_steamids = _as_sorted_int64(new_steamids)
+
+    prior_sids = prior.accounts.steamids()
+    merged_sids = merged.accounts.steamids()
+
+    def dense_in(sids: np.ndarray, universe: np.ndarray) -> np.ndarray:
+        pos = np.searchsorted(universe, sids)
+        pos = np.clip(pos, 0, max(len(universe) - 1, 0))
+        if len(universe) == 0:
+            return np.empty(0, dtype=np.int64)
+        return pos[universe[pos] == sids].astype(np.int64)
+
+    touched = np.union1d(changed_steamids, new_steamids)
+    appids = np.union1d(
+        _owned_appids(prior, dense_in(touched, prior_sids)),
+        _owned_appids(merged, dense_in(touched, merged_sids)),
+    )
+    return DatasetDelta(
+        prior_fingerprint=prior.fingerprint(),
+        fingerprint=merged.fingerprint(),
+        changed_steamids=changed_steamids,
+        new_steamids=new_steamids,
+        changed_appids=appids,
+        changed_columns=changed_columns,
+    )

@@ -41,7 +41,12 @@ from repro.engine.faults import (
     EngineFaultSpec,
     InjectedFaultError,
 )
-from repro.engine.fingerprint import content_hash, source_hash, stage_key
+from repro.engine.fingerprint import (
+    content_hash,
+    select_column_fingerprints,
+    source_hash,
+    stage_key,
+)
 from repro.engine.stage import Stage, StageContext, StageGraph
 
 __all__ = [
@@ -58,6 +63,7 @@ __all__ = [
     "InjectedFaultError",
     "ENGINE_FAULT_KINDS",
     "content_hash",
+    "select_column_fingerprints",
     "source_hash",
     "stage_key",
 ]

@@ -60,6 +60,12 @@ class StageCache:
     max_bytes: int | None = None
     #: Observability hook; mirrors ``stats`` into engine_cache_* counters.
     obs: Any = field(default=None, repr=False)
+    #: Test-only interleave hook: ``hooks(event, path)`` is called at
+    #: the race-sensitive points (``get_before_read``,
+    #: ``put_before_replace``, ``prune_before_unlink``) so concurrency
+    #: tests can hold one thread at an exact boundary.  ``None`` (the
+    #: default) keeps the hot path branch-predictable.
+    hooks: Any = field(default=None, repr=False)
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -82,6 +88,8 @@ class StageCache:
         is counted as ``corrupt``, deleted, and reported as a miss.
         """
         path = self.path_for(key)
+        if self.hooks is not None:
+            self.hooks("get_before_read", path)
         try:
             blob = path.read_bytes()
         except OSError:
@@ -126,6 +134,8 @@ class StageCache:
                 handle.write(blob)
                 handle.flush()
                 os.fsync(handle.fileno())
+            if self.hooks is not None:
+                self.hooks("put_before_replace", path)
             os.replace(tmp, path)
         finally:
             if tmp.exists():
@@ -163,6 +173,8 @@ class StageCache:
         for _, size, path in sorted(sized):
             if total <= self.max_bytes:
                 break
+            if self.hooks is not None:
+                self.hooks("prune_before_unlink", path)
             try:
                 path.unlink()
             except OSError:

@@ -54,7 +54,7 @@ from typing import Any
 from repro.engine.cache import StageCache
 from repro.engine.faults import EngineFaultPlan
 from repro.engine.fingerprint import stage_key
-from repro.engine.stage import Stage, StageContext, StageGraph
+from repro.engine.stage import StageContext, StageGraph
 from repro.obs import MetricsRegistry, Obs, Span, maybe_span
 from repro.obs.profiling import profiled_call
 
@@ -187,13 +187,11 @@ class Engine:
     profile: bool = False
 
     def run(self, graph: StageGraph, ctx: StageContext) -> EngineRun:
-        fingerprint = (
-            ctx.dataset.fingerprint() if self.cache is not None else ""
-        )
+        keys = self._stage_keys(graph, ctx)
         if self.jobs <= 1:
-            run = self._run_serial(graph, ctx, fingerprint)
+            run = self._run_serial(graph, ctx, keys)
         else:
-            run = self._run_parallel(graph, ctx, fingerprint)
+            run = self._run_parallel(graph, ctx, keys)
         if self.obs is not None:
             self.obs.counter(
                 "engine_stages_executed", "Stages computed by the engine"
@@ -205,10 +203,40 @@ class Engine:
 
     # -- shared helpers -------------------------------------------------------
 
-    def _key(self, stage: Stage, ctx: StageContext, fingerprint: str):
+    def _stage_keys(
+        self, graph: StageGraph, ctx: StageContext
+    ) -> dict[str, str | None]:
+        """Every stage's cache key, computed once per run in topo order.
+
+        A stage that declares ``columns`` is keyed on just those
+        columns' fingerprints — narrower than the whole-dataset
+        fingerprint, so unrelated deltas leave it cache-valid — plus
+        its deps' keys (computed first; topo order guarantees they
+        exist), so an upstream recompute invalidates it transitively.
+        Datasets without ``column_fingerprints`` (engine-test doubles)
+        fall back to whole-fingerprint keying for every stage.
+        """
         if self.cache is None:
-            return None
-        return stage_key(fingerprint, stage, ctx.config, ctx.aux)
+            return {name: None for name in graph.topo_order}
+        fingerprint = ctx.dataset.fingerprint()
+        fps_fn = getattr(ctx.dataset, "column_fingerprints", None)
+        keys: dict[str, str | None] = {}
+        for name in graph.topo_order:
+            stage = graph.by_name[name]
+            scoped = stage.columns is not None and fps_fn is not None
+            keys[name] = stage_key(
+                fingerprint,
+                stage,
+                ctx.config,
+                ctx.aux,
+                column_fps=fps_fn() if scoped else None,
+                dep_keys=(
+                    {d: keys[d] for d in stage.deps}
+                    if scoped and stage.deps
+                    else None
+                ),
+            )
+        return keys
 
     def _observe(self, name: str, seconds: float) -> None:
         if self.obs is not None:
@@ -229,7 +257,7 @@ class Engine:
         self,
         graph: StageGraph,
         ctx: StageContext,
-        fingerprint: str,
+        keys: dict[str, str | None],
         results: dict[str, Any],
         executed: list[str],
         cached: list[str],
@@ -253,7 +281,7 @@ class Engine:
             if name in results:
                 continue
             stage = graph.by_name[name]
-            key = self._key(stage, ctx, fingerprint)
+            key = keys[name]
             if key is not None:
                 hit, value = self.cache.get(key)
                 if hit:
@@ -299,7 +327,8 @@ class Engine:
     # -- serial ---------------------------------------------------------------
 
     def _run_serial(
-        self, graph: StageGraph, ctx: StageContext, fingerprint: str
+        self, graph: StageGraph, ctx: StageContext,
+        keys: dict[str, str | None],
     ) -> EngineRun:
         results: dict[str, Any] = {}
         executed: list[str] = []
@@ -307,7 +336,7 @@ class Engine:
         timings: dict[str, float] = {}
         profiles: dict[str, list] = {}
         self._compute_serial(
-            graph, ctx, fingerprint, results, executed, cached, timings,
+            graph, ctx, keys, results, executed, cached, timings,
             profiles=profiles,
         )
         return EngineRun(
@@ -323,7 +352,8 @@ class Engine:
     # -- parallel -------------------------------------------------------------
 
     def _run_parallel(
-        self, graph: StageGraph, ctx: StageContext, fingerprint: str
+        self, graph: StageGraph, ctx: StageContext,
+        keys: dict[str, str | None],
     ) -> EngineRun:
         global _WORKER_CTX
         results: dict[str, Any] = {}
@@ -484,8 +514,7 @@ class Engine:
                     break
                 while ready:
                     name = ready.pop(0)
-                    stage = graph.by_name[name]
-                    key = self._key(stage, ctx, fingerprint)
+                    key = keys[name]
                     if key is not None:
                         hit, value = self.cache.get(key)
                         if hit:
@@ -556,8 +585,7 @@ class Engine:
                         stage_spans[name] = span
                         self.obs.registry.merge(metrics)
                     complete(name, value, from_cache=False)
-                    stage = graph.by_name[name]
-                    key = self._key(stage, ctx, fingerprint)
+                    key = keys[name]
                     if key is not None:
                         self.cache.put(key, value)
                 if quarantined:
@@ -568,7 +596,7 @@ class Engine:
                 raise StageFailedError(quarantined)
             if serial_fallback:
                 self._compute_serial(
-                    graph, ctx, fingerprint,
+                    graph, ctx, keys,
                     results, executed, cached, timings,
                     span_sink=stage_spans,
                     profiles=profiles,

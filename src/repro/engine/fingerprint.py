@@ -29,6 +29,7 @@ import numpy as np
 __all__ = [
     "content_hash",
     "source_hash",
+    "select_column_fingerprints",
     "stage_key",
     "query_key",
     "ENGINE_SCHEMA",
@@ -95,11 +96,46 @@ def source_hash(module: ModuleType) -> str:
         return ""
 
 
+def select_column_fingerprints(
+    column_fps: dict[str, str], columns: tuple[str, ...]
+) -> dict[str, str]:
+    """The slice of a dataset's column fingerprints a stage depends on.
+
+    ``columns`` holds dotted column keys (``"lib.total_min"``) and/or
+    table prefixes (``"fr"`` selects every ``fr.*`` column).  The
+    ``meta`` and ``shape`` pseudo-columns are always included: country
+    and genre *names* live in the metadata sidecar, and per-user/per-app
+    output lengths can change (population growth) without any declared
+    column changing bytes.  A spec that matches nothing is a typo in a
+    stage declaration and raises rather than silently weakening the key.
+    """
+    selected = {
+        "meta": column_fps["meta"],
+        "shape": column_fps["shape"],
+    }
+    for spec in columns:
+        matched = False
+        prefix = spec + "."
+        for key, fp in column_fps.items():
+            if key == spec or key.startswith(prefix):
+                selected[key] = fp
+                matched = True
+        if not matched:
+            raise KeyError(
+                f"stage declares column {spec!r} but the dataset has no "
+                f"matching column"
+            )
+    return selected
+
+
 def stage_key(
     dataset_fingerprint: str,
     stage,
     config: dict,
     aux: dict | None = None,
+    *,
+    column_fps: dict[str, str] | None = None,
+    dep_keys: dict[str, str] | None = None,
 ) -> str:
     """The content address of one stage execution.
 
@@ -107,11 +143,25 @@ def stage_key(
     full config dict (only the stage's declared ``config_keys`` enter
     the key); ``aux`` maps auxiliary input names to values, content-
     hashed for the stage's declared ``aux_keys``.
+
+    When the stage declares ``columns`` and the caller supplies the
+    dataset's ``column_fps``, the dataset component of the key narrows
+    from the whole-dataset fingerprint to just the declared columns'
+    fingerprints — the column-level invalidation of DESIGN.md §12.  A
+    column-scoped stage no longer sees its upstream stages' inputs
+    through the whole fingerprint, so the caller must fold its deps'
+    keys in via ``dep_keys``; a dep recomputing then re-keys (and
+    recomputes) every column-scoped consumer transitively.
     """
     aux = aux or {}
+    columns = getattr(stage, "columns", None)
+    if columns is not None and column_fps is not None:
+        dataset_id: Any = select_column_fingerprints(column_fps, columns)
+    else:
+        dataset_id = dataset_fingerprint
     payload = {
         "schema": ENGINE_SCHEMA,
-        "dataset": dataset_fingerprint,
+        "dataset": dataset_id,
         "stage": stage.name,
         "version": stage.version,
         "code": [source_hash(mod) for mod in stage.modules],
@@ -119,6 +169,8 @@ def stage_key(
         "params": list(stage.params),
         "aux": {k: content_hash(aux[k]) for k in stage.aux_keys},
     }
+    if dep_keys:
+        payload["deps"] = {k: dep_keys[k] for k in sorted(dep_keys)}
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

@@ -41,6 +41,14 @@ class Stage:
     modules: tuple[ModuleType, ...] = ()
     #: Manual code version; bump to force invalidation.
     version: str = "1"
+    #: Dataset columns this stage reads (dotted keys from
+    #: ``SteamDataset.iter_columns``, or a table prefix like ``"lib"``
+    #: for every column of that table).  ``None`` (the default) keys the
+    #: stage on the whole-dataset fingerprint; a tuple — even an empty
+    #: one — keys it on just those columns' fingerprints (plus the
+    #: ``meta``/``shape`` pseudo-columns and its deps' keys), so deltas
+    #: that leave the declared columns untouched hit the stage cache.
+    columns: tuple[str, ...] | None = None
 
 
 @dataclass

@@ -24,6 +24,13 @@ Every cacheable response is memoized in a
 :func:`~repro.engine.fingerprint.query_key` — the dataset fingerprint
 is folded into every key, so swapping in a store built from a mutated
 dataset invalidates the whole cache structurally.
+
+Entries additionally carry dependency tags (which user, which app,
+which attributes the body read), so ``swap_store`` with a
+:class:`~repro.delta.model.DatasetDelta` performs *targeted*
+invalidation: only entries touching the delta's changed users, apps,
+or attribute columns are evicted, and every other entry is re-keyed
+under the new fingerprint and keeps serving hits (DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -31,13 +38,18 @@ from __future__ import annotations
 import math
 import re
 import threading
+from typing import TYPE_CHECKING
 
+from repro.core.percentiles import ATTRIBUTES
 from repro.engine.fingerprint import query_key
 from repro.obs import Obs
 from repro.serving.cache import ResponseCache
 from repro.serving.store import AnalyticsStore
 from repro.steamapi.errors import BadRequestError, NotFoundError
 from repro.steamapi.http_server import ApiHttpServer, serve_dispatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delta.model import DatasetDelta
 
 __all__ = ["AnalyticsService", "serve_analytics"]
 
@@ -119,6 +131,59 @@ _ROUTES: tuple[tuple[re.Pattern, str, str, bool], ...] = (
 )
 
 
+# -- response dependency tags -------------------------------------------------
+#
+# One derivation per cacheable route, mirroring what the handler read.
+# These must stay conservative: a missing tag means a stale body
+# survives a delta swap, an extra tag only costs a recompute.
+
+
+def _tags_user_summary(match, payload) -> frozenset[str]:
+    # Percentile standings consult every attribute's sorted index, so
+    # any attribute-column change invalidates all summaries.
+    return frozenset(
+        {f"user:{int(match['steamid'])}"}
+        | {f"attr:{a}" for a in ATTRIBUTES}
+    )
+
+
+def _tags_user_neighborhood(match, payload) -> frozenset[str]:
+    # Depends on the user's own friend list plus the returned friends'
+    # headline attributes; a changed edge marks both endpoints changed,
+    # so the union of user tags covers every way the body can move.
+    return frozenset(
+        {f"user:{int(match['steamid'])}"}
+        | {f"user:{int(f['steamid'])}" for f in payload["friends"]}
+    )
+
+
+def _tags_app_stats(match, payload) -> frozenset[str]:
+    # The ownership percentile ranks this app against every other, so
+    # the global app_stats tag joins the per-app one.
+    return frozenset({f"app:{int(match['appid'])}", "app_stats"})
+
+
+def _tags_attribute(match, payload) -> frozenset[str]:
+    return frozenset({f"attr:{match['attr']}"})
+
+
+def _tags_homophily(match, payload) -> frozenset[str]:
+    # Correlates the attribute against friends' averages: stale when
+    # either the attribute's columns or the friend graph move.
+    return frozenset({f"attr:{match['attr']}", "attr:friends"})
+
+
+_ROUTE_TAGS = {
+    "_user_summary": _tags_user_summary,
+    "_user_neighborhood": _tags_user_neighborhood,
+    "_app_stats": _tags_app_stats,
+    "_distribution_percentile": _tags_attribute,
+    "_distribution_rank": _tags_attribute,
+    "_tailfit": _tags_attribute,
+    "_homophily": _tags_homophily,
+}
+
+
 class AnalyticsService:
     """Routes analytics queries to an :class:`AnalyticsStore`."""
 
@@ -138,12 +203,39 @@ class AnalyticsService:
     def store(self) -> AnalyticsStore:
         return self._store
 
-    def swap_store(self, store: AnalyticsStore) -> None:
+    def swap_store(
+        self, store: AnalyticsStore, delta: "DatasetDelta | None" = None
+    ) -> dict[str, int] | None:
         """Atomically replace the read model (e.g. after a dataset
-        reload).  Old cache entries die structurally: every key embeds
-        the old fingerprint, so they can only miss."""
+        reload).
+
+        Without a ``delta``, old cache entries die structurally: every
+        key embeds the old fingerprint, so they can only miss.  With a
+        :class:`~repro.delta.model.DatasetDelta` connecting the old
+        store to the new one, the cache is *retargeted* instead —
+        entries tagged with the delta's changed users/apps/attributes
+        are evicted, everything else is re-keyed under the new
+        fingerprint and keeps serving hits.  Returns the retarget
+        stats, or ``None`` when the delta does not link the two
+        fingerprints (falls back to structural invalidation).
+        """
         with self._swap_lock:
+            prior = self._store
             self._store = store
+            if delta is None:
+                return None
+            if (
+                delta.prior_fingerprint != prior.fingerprint
+                or delta.fingerprint != store.fingerprint
+            ):
+                # Not the swap this delta describes: trust nothing.
+                return None
+            return self.cache.retarget(
+                delta.stale_tags(),
+                lambda path, params: query_key(
+                    store.fingerprint, path, params
+                ),
+            )
 
     # -- http_server integration ---------------------------------------------
 
@@ -172,7 +264,14 @@ class AnalyticsService:
         if hit is not None:
             return hit
         payload = getattr(self, method)(store, match, params)
-        self.cache.put(key, payload)
+        tag_fn = _ROUTE_TAGS.get(method)
+        self.cache.put(
+            key,
+            payload,
+            tags=tag_fn(match, payload) if tag_fn else None,
+            path=path,
+            params=params,
+        )
         return payload
 
     # -- route handlers ------------------------------------------------------

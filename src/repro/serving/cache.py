@@ -6,6 +6,17 @@ makes invalidation structural rather than procedural: swapping in a
 store built from a changed dataset shifts every key, so stale bodies
 age out of the LRU instead of ever being served.
 
+Structural invalidation alone throws the whole cache away on every
+swap, which defeats the point of an *incremental* pipeline: after a 1%
+delta, 99% of cached bodies are still exactly right.  So entries carry
+the **tags** of what they read (``user:<steamid>``, ``app:<appid>``,
+``attr:<name>``, ``app_stats``), and :meth:`ResponseCache.retarget`
+moves a swap's survivors under the new fingerprint's keys: entries
+whose tags intersect the delta's
+:meth:`~repro.delta.model.DatasetDelta.stale_tags` are evicted, the
+rest are re-keyed and keep serving hits.  Untagged entries (no tag
+derivation, or inserted by older callers) are conservatively evicted.
+
 Thread safety matters here — every ``ThreadingHTTPServer`` handler
 thread consults the cache concurrently — so all access is under one
 lock; entries are fully materialized response payloads (plain dicts),
@@ -16,11 +27,25 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.obs import Obs
 
-__all__ = ["ResponseCache"]
+__all__ = ["CacheEntry", "ResponseCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached response plus what it read (for delta retargeting)."""
+
+    payload: Any
+    #: Tags naming the users/apps/attributes the response depends on;
+    #: ``None`` means unknown — such entries never survive a retarget.
+    tags: frozenset[str] | None = None
+    #: Request identity, for re-keying under a new store fingerprint.
+    path: str | None = None
+    params: dict = field(default_factory=dict)
 
 
 class ResponseCache:
@@ -30,11 +55,12 @@ class ResponseCache:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
-        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._retargeted = 0
         self._m_hits = self._m_misses = self._m_evictions = None
         if obs is not None:
             self._m_hits = obs.counter(
@@ -50,27 +76,74 @@ class ResponseCache:
     def get(self, key: str) -> Any | None:
         """The cached payload, or ``None`` on a miss."""
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
                 if self._m_hits is not None:
                     self._m_hits.inc()
-                return self._entries[key]
+                return entry.payload
             self._misses += 1
             if self._m_misses is not None:
                 self._m_misses.inc()
             return None
 
-    def put(self, key: str, payload: Any) -> None:
+    def put(
+        self,
+        key: str,
+        payload: Any,
+        tags: frozenset[str] | None = None,
+        path: str | None = None,
+        params: dict | None = None,
+    ) -> None:
         """Insert (or refresh) ``key``; evicts the LRU tail when full."""
+        entry = CacheEntry(
+            payload=payload,
+            tags=tags,
+            path=path,
+            params=dict(params) if params else {},
+        )
         with self._lock:
-            self._entries[key] = payload
+            self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
                 if self._m_evictions is not None:
                     self._m_evictions.inc()
+
+    def retarget(
+        self,
+        stale_tags: frozenset[str],
+        rekey: Callable[[str, dict], str],
+    ) -> dict[str, int]:
+        """Carry unaffected entries across a store swap.
+
+        Evicts every entry whose tags intersect ``stale_tags`` (or
+        whose tags are unknown), and re-keys the rest via
+        ``rekey(path, params)`` — the caller closes over the *new*
+        store fingerprint, so survivors keep hitting after the swap.
+        LRU recency order is preserved.
+        """
+        with self._lock:
+            survivors: OrderedDict[str, CacheEntry] = OrderedDict()
+            evicted = kept = 0
+            for entry in self._entries.values():
+                if (
+                    entry.tags is None
+                    or entry.path is None
+                    or entry.tags & stale_tags
+                ):
+                    evicted += 1
+                    continue
+                survivors[rekey(entry.path, entry.params)] = entry
+                kept += 1
+            self._entries = survivors
+            self._evictions += evicted
+            self._retargeted += kept
+            if self._m_evictions is not None and evicted:
+                self._m_evictions.inc(evicted)
+            return {"evicted": evicted, "retargeted": kept}
 
     def __len__(self) -> int:
         with self._lock:
@@ -83,4 +156,5 @@ class ResponseCache:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "retargeted": self._retargeted,
             }

@@ -39,6 +39,7 @@ from repro.core import homophily as homophily_mod
 from repro.core import percentiles as percentiles_mod
 from repro.core.homophily import HOMOPHILY_ATTRIBUTES, CorrelationSet
 from repro.core.percentiles import (
+    ATTRIBUTE_COLUMNS,
     ATTRIBUTES,
     attribute_values,
     percentile_rank,
@@ -161,6 +162,9 @@ def build_serving_graph() -> StageGraph:
     workers."""
     this = sys.modules[__name__]
     stages: list[Stage] = []
+    # Per-attribute stages key on just that attribute's backing columns
+    # (ATTRIBUTE_COLUMNS): after a delta that only touches playtime,
+    # the friends/groups indexes and tail fits stay cache hits.
     for attribute in ATTRIBUTES:
         stages.append(
             Stage(
@@ -169,6 +173,7 @@ def build_serving_graph() -> StageGraph:
                 params=(("attribute", attribute),),
                 modules=(this, percentiles_mod),
                 version=SERVING_STAGE_VERSION,
+                columns=ATTRIBUTE_COLUMNS[attribute],
             )
         )
         stages.append(
@@ -179,6 +184,7 @@ def build_serving_graph() -> StageGraph:
                 config_keys=("serving_max_tail", "serving_seed"),
                 modules=(this, percentiles_mod, classify_mod, fits_mod),
                 version=SERVING_STAGE_VERSION,
+                columns=ATTRIBUTE_COLUMNS[attribute],
             )
         )
     stages.append(
@@ -187,6 +193,7 @@ def build_serving_graph() -> StageGraph:
             fn=_stage_homophily,
             modules=(this, homophily_mod),
             version=SERVING_STAGE_VERSION,
+            columns=("fr", "lib", "cat.price_cents"),
         )
     )
     stages.append(
@@ -195,6 +202,7 @@ def build_serving_graph() -> StageGraph:
             fn=_stage_app_stats,
             modules=(this, tables_mod),
             version=SERVING_STAGE_VERSION,
+            columns=("lib",),
         )
     )
     return StageGraph(stages)

@@ -1,27 +1,55 @@
-"""Second snapshot, one year later (Section 8).
+"""World evolution: the second snapshot and the step generator.
 
-The paper re-crawled the *same* users ~12 months after the first snapshot
-and found: tail magnitudes grew drastically (max library 2148 -> 3919, max
-account value $24.3k -> $46.6k) while the 80th percentiles moved far less
-(10 -> 15 games, $150.88 -> $224.93), and every distribution kept its
-Table 4 classification.  We model this as comonotonic growth: each user's
-rank is approximately preserved (small jitter) while the marginal curve is
-re-anchored at the snapshot-2 values with a heavier tail.
+Two granularities of "the world moved on":
+
+- :func:`build_snapshot2` — the paper's §8 repeat crawl, modelled as
+  comonotonic growth: each user's rank is approximately preserved
+  (small jitter) while the marginal curve is re-anchored at the
+  snapshot-2 values with a heavier tail.
+- :func:`evolve` — a seeded step generator for the incremental
+  pipeline (DESIGN.md §12): per step, accounts are created per the
+  ID-space density model, games bought, playtime accrued, and
+  friendships formed/dropped; each step yields the new dataset plus a
+  :class:`~repro.delta.model.WorldDelta` naming exactly the users and
+  columns it touched, which is what makes a delta-crawl sound and a
+  column-scoped cache re-analysis cheap.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator
+
 import numpy as np
 from scipy.special import ndtri
 
+from repro import constants
+from repro.delta.model import WorldDelta
 from repro.simworld.config import EvolutionConfig, PlaytimeConfig
 from repro.simworld.copula import LatentFactors
 from repro.simworld.marginals import AnchoredCurve, TailSpec
 from repro.simworld.ownership import Ownership
 from repro.simworld.playtime import Playtimes, rank_uniform, twoweek_curve
-from repro.store.tables import Snapshot2Table
+from repro.simworld.rng import substream
+from repro.steamid import IdSpace
+from repro.store.dataset import SteamDataset
+from repro.store.tables import (
+    AccountTable,
+    CSRMatrix,
+    FriendTable,
+    GroupTable,
+    LibraryTable,
+    Snapshot2Table,
+)
 
-__all__ = ["build_snapshot2", "owned_curve_snapshot2"]
+__all__ = [
+    "build_snapshot2",
+    "owned_curve_snapshot2",
+    "EvolveConfig",
+    "EvolveStep",
+    "evolve",
+]
 
 
 def owned_curve_snapshot2(
@@ -131,3 +159,385 @@ def build_snapshot2(
         total_min=np.maximum(total2, twoweek2),
         twoweek_min=twoweek2.astype(np.int32),
     )
+
+
+# ---------------------------------------------------------------------------
+# Incremental evolution (DESIGN.md §12)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvolveConfig:
+    """Per-step rates for :func:`evolve`.
+
+    Every rate can be zeroed independently, which is how the benchmark
+    carves out pure-playtime deltas (the maximally cache-friendly case:
+    only ``lib.total_min``/``lib.twoweek_min`` move).
+    """
+
+    #: New accounts per existing account per step.
+    account_growth: float = 0.01
+    #: Share of accounts that buy games this step.
+    buy_rate: float = 0.02
+    #: Most games bought by one account in one step.
+    max_new_games: int = 3
+    #: Share of accounts (among game owners) that play this step.
+    play_rate: float = 0.05
+    #: Share of existing accounts that form a new friendship.
+    friend_form_rate: float = 0.01
+    #: Share of existing friendships dropped per step.
+    friend_drop_rate: float = 0.002
+
+
+@dataclass(frozen=True)
+class EvolveStep:
+    """One yielded evolution step: the new snapshot plus its delta."""
+
+    dataset: SteamDataset
+    delta: WorldDelta
+    step: int
+
+
+def _append_accounts(
+    dataset: SteamDataset, rng: np.random.Generator, n_new: int, day: int
+) -> tuple[SteamDataset, np.ndarray]:
+    """Append ``n_new`` accounts with offsets above the current maximum.
+
+    New offsets land at the paper's late-range density (the tail of the
+    ID space keeps filling at >90% occupancy), so appending preserves
+    the ascending-offset dense ordering: every pre-existing account
+    keeps its dense index, which is what keeps prior caches and a prior
+    crawl's dense-keyed arrays aligned across steps.
+    """
+    acc = dataset.accounts
+    n = dataset.n_users
+    base = int(acc.id_offset.max()) + 1
+    span = max(
+        n_new, int(np.ceil(n_new / constants.ID_DENSITY_LATE))
+    )
+    new_offsets = base + np.sort(
+        IdSpace._sample_distinct(rng, span, n_new)
+    )
+    template = rng.integers(0, n, size=n_new)
+    accounts = AccountTable(
+        id_offset=np.concatenate([acc.id_offset, new_offsets]),
+        created_day=np.concatenate(
+            [
+                acc.created_day,
+                np.full(n_new, day, dtype=acc.created_day.dtype),
+            ]
+        ),
+        country=np.concatenate([acc.country, acc.country[template]]),
+        city=np.concatenate([acc.city, acc.city[template]]),
+        country_names=acc.country_names,
+    )
+    n_users = n + n_new
+    lib = dataset.library
+    indptr = np.concatenate(
+        [
+            lib.owned.indptr,
+            np.full(n_new, lib.owned.indptr[-1], dtype=np.int64),
+        ]
+    )
+    library = LibraryTable(
+        owned=CSRMatrix(indptr=indptr, indices=lib.owned.indices),
+        total_min=lib.total_min,
+        twoweek_min=lib.twoweek_min,
+    )
+    friends = FriendTable(
+        u=dataset.friends.u,
+        v=dataset.friends.v,
+        day=dataset.friends.day,
+        n_users=n_users,
+    )
+    groups = GroupTable(
+        group_type=dataset.groups.group_type,
+        focus_game=dataset.groups.focus_game,
+        members=dataset.groups.members,
+        n_users=n_users,
+    )
+    snapshot2 = dataset.snapshot2
+    if snapshot2 is not None:
+        snapshot2 = Snapshot2Table(
+            **{
+                f.name: np.concatenate(
+                    [
+                        getattr(snapshot2, f.name),
+                        np.zeros(
+                            n_new, dtype=getattr(snapshot2, f.name).dtype
+                        ),
+                    ]
+                )
+                for f in dataclasses.fields(Snapshot2Table)
+            }
+        )
+    out = dataclasses.replace(
+        dataset,
+        accounts=accounts,
+        friends=friends,
+        groups=groups,
+        library=library,
+        snapshot2=snapshot2,
+    )
+    return out, new_offsets
+
+
+def _buy_games(
+    dataset: SteamDataset, rng: np.random.Generator, config: EvolveConfig
+) -> tuple[SteamDataset, np.ndarray]:
+    """Sampled users add 1..max_new_games unowned products (playtime 0)."""
+    n = dataset.n_users
+    n_buy = int(round(config.buy_rate * n))
+    if n_buy == 0:
+        return dataset, np.empty(0, dtype=np.int64)
+    buyers = np.sort(rng.choice(n, size=n_buy, replace=False))
+    lib = dataset.library
+    n_products = dataset.n_products
+    new_users: list[int] = []
+    new_products: list[int] = []
+    for user in buyers:
+        want = int(rng.integers(1, config.max_new_games + 1))
+        owned_row = set(int(p) for p in lib.owned.row(int(user)))
+        picks = rng.integers(0, n_products, size=3 * want + 8)
+        added = 0
+        for product in picks:
+            product = int(product)
+            if product in owned_row:
+                continue
+            owned_row.add(product)
+            new_users.append(int(user))
+            new_products.append(product)
+            added += 1
+            if added == want:
+                break
+    if not new_users:
+        return dataset, np.empty(0, dtype=np.int64)
+    rows = np.concatenate(
+        [lib.owned.row_ids(), np.array(new_users, dtype=np.int64)]
+    )
+    cols = np.concatenate(
+        [
+            lib.owned.indices,
+            np.array(new_products, dtype=lib.owned.indices.dtype),
+        ]
+    )
+    total = np.concatenate(
+        [lib.total_min, np.zeros(len(new_users), dtype=lib.total_min.dtype)]
+    )
+    twoweek = np.concatenate(
+        [
+            lib.twoweek_min,
+            np.zeros(len(new_users), dtype=lib.twoweek_min.dtype),
+        ]
+    )
+    owned, perm = CSRMatrix.from_pairs(rows, cols, n)
+    library = LibraryTable(
+        owned=owned, total_min=total[perm], twoweek_min=twoweek[perm]
+    )
+    out = dataclasses.replace(dataset, library=library)
+    return out, np.unique(np.array(new_users, dtype=np.int64))
+
+
+def _accrue_playtime(
+    dataset: SteamDataset, rng: np.random.Generator, config: EvolveConfig
+) -> tuple[SteamDataset, np.ndarray]:
+    """Sampled owners log minutes on one owned entry.
+
+    Touches only ``lib.total_min``/``lib.twoweek_min`` — ownership
+    structure, friendships, and accounts keep their bytes, so this is
+    the delta under which the most stages stay cache-valid.
+    """
+    n = dataset.n_users
+    lib = dataset.library
+    owners = np.flatnonzero(lib.owned.counts() > 0)
+    n_play = min(len(owners), int(round(config.play_rate * n)))
+    if n_play == 0:
+        return dataset, np.empty(0, dtype=np.int64)
+    players = np.sort(rng.choice(owners, size=n_play, replace=False))
+    total = lib.total_min.copy()
+    twoweek = lib.twoweek_min.copy()
+    indptr = lib.owned.indptr
+    for user in players:
+        user = int(user)
+        slot = int(rng.integers(indptr[user], indptr[user + 1]))
+        minutes = int(rng.integers(5, 300))
+        total[slot] += minutes
+        twoweek[slot] += minutes
+    library = LibraryTable(
+        owned=lib.owned, total_min=total, twoweek_min=twoweek
+    )
+    out = dataclasses.replace(dataset, library=library)
+    return out, players.astype(np.int64)
+
+
+def _churn_friendships(
+    dataset: SteamDataset,
+    rng: np.random.Generator,
+    config: EvolveConfig,
+    day: int,
+) -> tuple[SteamDataset, np.ndarray]:
+    """Form new edges and drop old ones; both endpoints count as changed.
+
+    Marking *both* endpoints is what keeps the delta-crawl sound: the
+    crawler harvests an edge from its lower endpoint, so every changed
+    edge is guaranteed to be (re)fetched.
+    """
+    fr = dataset.friends
+    n = dataset.n_users
+    n_form = int(round(config.friend_form_rate * n))
+    n_drop = int(round(config.friend_drop_rate * fr.n_edges))
+    if n_form == 0 and n_drop == 0:
+        return dataset, np.empty(0, dtype=np.int64)
+    existing = set(
+        (fr.u.astype(np.int64) * n + fr.v.astype(np.int64)).tolist()
+    )
+    changed: list[int] = []
+
+    keep = np.ones(fr.n_edges, dtype=bool)
+    if n_drop:
+        dropped = rng.choice(fr.n_edges, size=n_drop, replace=False)
+        keep[dropped] = False
+        for e in dropped:
+            changed.append(int(fr.u[e]))
+            changed.append(int(fr.v[e]))
+            existing.discard(int(fr.u[e]) * n + int(fr.v[e]))
+
+    new_lo: list[int] = []
+    new_hi: list[int] = []
+    attempts = 0
+    while len(new_lo) < n_form and attempts < 20:
+        attempts += 1
+        a = rng.integers(0, n, size=2 * (n_form - len(new_lo)))
+        b = rng.integers(0, n, size=len(a))
+        for x, y in zip(a, b):
+            x, y = int(x), int(y)
+            if x == y:
+                continue
+            lo, hi = (x, y) if x < y else (y, x)
+            key = lo * n + hi
+            if key in existing:
+                continue
+            existing.add(key)
+            new_lo.append(lo)
+            new_hi.append(hi)
+            changed.append(lo)
+            changed.append(hi)
+            if len(new_lo) == n_form:
+                break
+
+    u = np.concatenate(
+        [fr.u[keep].astype(np.int64), np.array(new_lo, dtype=np.int64)]
+    )
+    v = np.concatenate(
+        [fr.v[keep].astype(np.int64), np.array(new_hi, dtype=np.int64)]
+    )
+    edge_day = np.concatenate(
+        [
+            fr.day[keep],
+            np.full(len(new_lo), day, dtype=fr.day.dtype),
+        ]
+    )
+    order = np.argsort(u * np.int64(n) + v, kind="stable")
+    friends = FriendTable(
+        u=u[order].astype(fr.u.dtype),
+        v=v[order].astype(fr.v.dtype),
+        day=edge_day[order],
+        n_users=n,
+    )
+    out = dataclasses.replace(dataset, friends=friends)
+    return out, np.unique(np.array(changed, dtype=np.int64))
+
+
+def evolve(
+    source,
+    steps: int,
+    config: EvolveConfig | None = None,
+    seed: int | None = None,
+) -> Iterator[EvolveStep]:
+    """Yield ``steps`` seeded evolution steps of a world or dataset.
+
+    ``source`` is a :class:`~repro.simworld.world.SteamWorld` or a bare
+    :class:`~repro.store.dataset.SteamDataset`.  Each step draws from
+    its own named substream of ``seed`` (default: the dataset's meta
+    seed), so step *k* is reproducible without replaying steps 1..k-1's
+    variate consumption.  The yielded :class:`EvolveStep` carries the
+    new snapshot and the :class:`~repro.delta.model.WorldDelta` a
+    delta-crawl or a targeted cache eviction needs.
+    """
+    dataset: SteamDataset = getattr(source, "dataset", source)
+    if config is None:
+        config = EvolveConfig()
+    if seed is None:
+        # Crawled datasets carry no world seed; evolution still needs a
+        # deterministic default.
+        seed = dataset.meta.seed if dataset.meta.seed is not None else 0
+    for step in range(1, steps + 1):
+        rng = substream(seed, f"evolve:{step}")
+        day = dataset.meta.snapshot1_day + step
+        n_prior = dataset.n_users
+        prior_offsets = dataset.accounts.id_offset
+        touched: set[str] = set()
+        changed = np.empty(0, dtype=np.int64)
+        new_offsets = np.empty(0, dtype=np.int64)
+
+        n_new = int(round(config.account_growth * n_prior))
+        if n_new:
+            dataset, new_offsets = _append_accounts(
+                dataset, rng, n_new, day
+            )
+            touched.update(
+                (
+                    "acc.id_offset",
+                    "acc.created_day",
+                    "acc.country",
+                    "acc.city",
+                    "lib.indptr",
+                    "shape",
+                )
+            )
+            if dataset.snapshot2 is not None:
+                touched.update(
+                    (
+                        "s2.owned",
+                        "s2.played",
+                        "s2.value_cents",
+                        "s2.total_min",
+                        "s2.twoweek_min",
+                    )
+                )
+
+        dataset, buyers = _buy_games(dataset, rng, config)
+        if len(buyers):
+            touched.update(
+                (
+                    "lib.indptr",
+                    "lib.indices",
+                    "lib.total_min",
+                    "lib.twoweek_min",
+                )
+            )
+            changed = np.union1d(changed, buyers)
+
+        dataset, players = _accrue_playtime(dataset, rng, config)
+        if len(players):
+            touched.update(("lib.total_min", "lib.twoweek_min"))
+            changed = np.union1d(changed, players)
+
+        dataset, befriended = _churn_friendships(dataset, rng, config, day)
+        if len(befriended):
+            touched.update(("fr.u", "fr.v", "fr.day"))
+            changed = np.union1d(changed, befriended)
+
+        # Changed users are reported by offset, pre-existing only: a
+        # brand-new account that also bought/played this step is already
+        # covered by new_offsets.
+        changed = changed[changed < n_prior]
+        dataset.invalidate_fingerprint()
+        delta = WorldDelta(
+            step=step,
+            seed=seed,
+            changed_offsets=prior_offsets[changed],
+            new_offsets=new_offsets,
+            touched_columns=tuple(sorted(touched)),
+        )
+        yield EvolveStep(dataset=dataset, delta=delta, step=step)

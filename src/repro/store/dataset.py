@@ -72,6 +72,10 @@ class SteamDataset:
     _fingerprint: str | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Memoized per-column hashes backing :meth:`column_fingerprints`.
+    _column_fps: dict[str, str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = self.accounts.n_users
@@ -186,28 +190,74 @@ class SteamDataset:
             "extra": self.meta.extra,
         }
 
+    def column_fingerprints(self) -> dict[str, str]:
+        """Per-column SHA-256 hashes under the dotted keys of
+        :meth:`iter_columns`, plus two pseudo-columns:
+
+        - ``"meta"`` — hash of :meth:`meta_dict` (country/genre names
+          and snapshot days live there, not in any array), and
+        - ``"shape"`` — ``(n_users, n_products)``, so per-user or
+          per-app outputs of a stage whose declared input columns
+          happen to be unchanged still re-key when the population grows.
+
+        The engine keys column-scoped stages (``Stage.columns``) on a
+        selection of these instead of the whole-dataset fingerprint, so
+        a delta that touches only ``lib.total_min`` leaves every stage
+        that never reads playtime cache-valid.  Memoized; mutation
+        paths must call :meth:`invalidate_fingerprint`.
+        """
+        if self._column_fps is None:
+            fps: dict[str, str] = {}
+            for key, column in self.iter_columns():
+                arr = np.ascontiguousarray(column)
+                h = hashlib.sha256(b"steamcolumn-v1")
+                h.update(key.encode())
+                h.update(str(arr.dtype).encode())
+                h.update(str(arr.shape).encode())
+                h.update(arr.tobytes())
+                fps[key] = h.hexdigest()
+            meta_h = hashlib.sha256(b"steammeta-v1")
+            meta_h.update(
+                json.dumps(self.meta_dict(), sort_keys=True).encode()
+            )
+            fps["meta"] = meta_h.hexdigest()
+            shape_h = hashlib.sha256(b"steamshape-v1")
+            shape_h.update(f"{self.n_users},{self.n_products}".encode())
+            fps["shape"] = shape_h.hexdigest()
+            self._column_fps = fps
+        return self._column_fps
+
     def fingerprint(self) -> str:
         """Stable SHA-256 over every column and the metadata.
 
         Two datasets with identical content — whether generated,
         reloaded from ``.npz``, or reassembled by the crawler — share a
-        fingerprint; any change to any cell changes it.  Memoized on
-        first call, so callers (the analysis engine keys its stage
-        cache on this) must not mutate the tables afterwards.
+        fingerprint; any change to any cell changes it.  Derived from
+        :meth:`column_fingerprints` so one pass over the arrays serves
+        both identities.  Memoized on first call, so callers (the
+        analysis engine keys its stage cache on this) must not mutate
+        the tables afterwards without calling
+        :meth:`invalidate_fingerprint`.
         """
         if self._fingerprint is None:
-            h = hashlib.sha256(b"steamdataset-v1")
-            for key, column in self.iter_columns():
-                arr = np.ascontiguousarray(column)
+            h = hashlib.sha256(b"steamdataset-v2")
+            for key, fp in sorted(self.column_fingerprints().items()):
                 h.update(key.encode())
-                h.update(str(arr.dtype).encode())
-                h.update(str(arr.shape).encode())
-                h.update(arr.tobytes())
-            h.update(
-                json.dumps(self.meta_dict(), sort_keys=True).encode()
-            )
+                h.update(fp.encode())
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized fingerprints after an in-place mutation.
+
+        ``fingerprint()``/``column_fingerprints()`` memoize on first
+        call; replacing or mutating a table afterwards would silently
+        serve the stale identity (and with it stale cache hits).  Every
+        merge/evolution path that hands back a dataset it touched calls
+        this; the next identity query rehashes from the live arrays.
+        """
+        self._fingerprint = None
+        self._column_fps = None
 
     def day_to_date(self, day: int) -> dt.date:
         """Convert a days-since-launch value to a calendar date."""

@@ -1,0 +1,107 @@
+"""End-to-end delta pipeline: evolve → delta-crawl → re-analyze.
+
+The acceptance contract (DESIGN.md §12):
+
+- refetching only a step's changed/new users through the simulated API
+  assembles a dataset **byte-identical** (same fingerprint) to a full
+  re-crawl of the evolved world, at O(delta) request cost;
+- re-analyzing with a warm stage cache executes strictly fewer stages
+  than the cold run and renders an identical report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SteamStudy, SteamWorld, WorldConfig, constants
+from repro.crawler.runner import run_full_crawl
+from repro.delta.crawl import run_delta_crawl
+from repro.simworld.evolution import EvolveConfig, evolve
+from repro.steamapi.service import SteamApiService
+from repro.steamapi.transport import InProcessTransport
+
+
+def _transport(dataset) -> InProcessTransport:
+    return InProcessTransport(SteamApiService(dataset))
+
+
+@pytest.fixture(scope="module")
+def crawl_chain():
+    """World → full crawl → one evolve step, shared by the class."""
+    world = SteamWorld.generate(WorldConfig(n_users=1_200, seed=7))
+    prior = run_full_crawl(_transport(world.dataset)).dataset
+    step = next(evolve(world, steps=1, seed=13))
+    return world, prior, step
+
+
+class TestDeltaCrawl:
+    def test_byte_identical_to_full_crawl_at_delta_cost(self, crawl_chain):
+        _, prior, step = crawl_chain
+        full = run_full_crawl(_transport(step.dataset))
+        dres = run_delta_crawl(_transport(step.dataset), prior, step.delta)
+
+        # Same bytes...
+        assert dres.dataset.fingerprint() == full.dataset.fingerprint()
+        # ...for a fraction of the requests.  A full crawl pages every
+        # profile; the delta crawl touches only changed/new users (plus
+        # the bounded group-label scrape).
+        assert dres.requests_made < full.requests_made / 4
+        assert dres.n_refetched == len(step.delta.all_offsets())
+
+    def test_delta_manifest_links_the_two_fingerprints(self, crawl_chain):
+        _, prior, step = crawl_chain
+        dres = run_delta_crawl(_transport(step.dataset), prior, step.delta)
+        assert dres.delta.prior_fingerprint == prior.fingerprint()
+        assert dres.delta.fingerprint == dres.dataset.fingerprint()
+        assert set(dres.delta.changed_steamids.tolist()) == set(
+            (step.delta.changed_offsets + constants.STEAMID_BASE).tolist()
+        )
+
+
+class TestIncrementalReanalysis:
+    def test_delta_rerun_executes_strict_subset(self, tmp_path):
+        """A playtime-only 1% delta re-analyzes by executing strictly
+        fewer stages than the cold run — the engine's counters prove
+        the O(delta) claim — and renders the same report a from-scratch
+        run over the evolved dataset would."""
+        world = SteamWorld.generate(WorldConfig(n_users=2_500, seed=11))
+        cache = tmp_path / "stages"
+
+        cold_study = SteamStudy(world=world, _dataset=world.dataset)
+        cold_report = cold_study.run(cache=cache, table4_max_tail=2_000)
+        cold_run = cold_study.last_engine_run
+        assert cold_run.cached == ()
+
+        cfg = EvolveConfig(
+            account_growth=0.0,
+            buy_rate=0.0,
+            friend_form_rate=0.0,
+            friend_drop_rate=0.0,
+            play_rate=0.01,
+        )
+        step = next(evolve(world, steps=1, seed=3, config=cfg))
+        warm_study = SteamStudy(world=world, _dataset=step.dataset)
+        warm_report = warm_study.run(cache=cache, table4_max_tail=2_000)
+        warm_run = warm_study.last_engine_run
+
+        assert len(warm_run.executed) < cold_run.n_stages
+        assert warm_run.cached != ()
+        # Friend/country/group analyses never read playtime: cached.
+        for name in (
+            "fig1_evolution",
+            "fig2_degrees",
+            "table1_countries",
+            "table2_groups",
+        ):
+            assert name in warm_run.cached, name
+        # Playtime readers recompute.
+        assert "fig6_playtime_cdf" in warm_run.executed
+
+        # The warm run's answers are the from-scratch answers.
+        fresh_study = SteamStudy(world=world, _dataset=step.dataset)
+        fresh_report = fresh_study.run(table4_max_tail=2_000)
+        assert warm_report.render() == fresh_report.render()
+        assert warm_report.render_figures() == fresh_report.render_figures()
+        # And a cold-vs-warm sanity check: playtime moved something.
+        assert warm_report.render() != cold_report.render()

@@ -1,0 +1,113 @@
+"""World evolution: delta soundness, determinism, and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.simworld.config import WorldConfig
+from repro.simworld.evolution import EvolveConfig, evolve
+from repro.simworld.world import SteamWorld
+
+
+@pytest.fixture(scope="module")
+def tiny_world() -> SteamWorld:
+    return SteamWorld.generate(WorldConfig(n_users=2_000, seed=71))
+
+
+class TestEvolve:
+    def test_yields_requested_steps(self, tiny_world):
+        steps = list(evolve(tiny_world, steps=3))
+        assert [s.step for s in steps] == [1, 2, 3]
+
+    def test_deterministic_for_seed(self, tiny_world):
+        a = list(evolve(tiny_world, steps=2, seed=5))
+        fresh = SteamWorld.generate(WorldConfig(n_users=2_000, seed=71))
+        b = list(evolve(fresh, steps=2, seed=5))
+        for sa, sb in zip(a, b):
+            assert np.array_equal(
+                sa.delta.changed_offsets, sb.delta.changed_offsets
+            )
+            assert np.array_equal(sa.delta.new_offsets, sb.delta.new_offsets)
+            assert sa.dataset.fingerprint() == sb.dataset.fingerprint()
+
+    def test_source_dataset_not_mutated(self, tiny_world):
+        before = tiny_world.dataset.fingerprint()
+        list(evolve(tiny_world, steps=1))
+        assert tiny_world.dataset.fingerprint() == before
+
+    def test_population_grows_by_account_growth(self, tiny_world):
+        step = next(
+            evolve(tiny_world, steps=1, config=EvolveConfig(account_growth=0.01))
+        )
+        assert step.delta.n_new == 20
+        assert step.dataset.n_users == tiny_world.dataset.n_users + 20
+        # New offsets sit above every prior offset, so prior users keep
+        # their dense indices — the invariant the delta merge relies on.
+        assert step.delta.new_offsets.min() > int(
+            tiny_world.dataset.accounts.id_offset.max()
+        )
+
+    def test_changed_and_new_disjoint(self, tiny_world):
+        for step in evolve(tiny_world, steps=2):
+            assert not np.intersect1d(
+                step.delta.changed_offsets, step.delta.new_offsets
+            ).size
+
+    def test_playtime_only_config_touches_only_playtime(self, tiny_world):
+        cfg = EvolveConfig(
+            account_growth=0.0,
+            buy_rate=0.0,
+            friend_form_rate=0.0,
+            friend_drop_rate=0.0,
+            play_rate=0.01,
+        )
+        step = next(evolve(tiny_world, steps=1, config=cfg))
+        assert set(step.delta.touched_columns) == {
+            "lib.total_min",
+            "lib.twoweek_min",
+        }
+        assert step.delta.n_new == 0
+        assert step.delta.n_changed > 0
+        # Exactly the declared columns' fingerprints moved.
+        prior_fps = tiny_world.dataset.column_fingerprints()
+        new_fps = step.dataset.column_fingerprints()
+        changed = {k for k in prior_fps if prior_fps[k] != new_fps[k]}
+        assert changed == {"lib.total_min", "lib.twoweek_min"}
+
+    def test_edge_churn_marks_both_endpoints(self, tiny_world):
+        cfg = EvolveConfig(
+            account_growth=0.0,
+            buy_rate=0.0,
+            play_rate=0.0,
+            friend_form_rate=0.02,
+            friend_drop_rate=0.01,
+        )
+        step = next(evolve(tiny_world, steps=1, seed=3, config=cfg))
+        prior, new = tiny_world.dataset, step.dataset
+        prior_edges = set(zip(prior.friends.u.tolist(), prior.friends.v.tolist()))
+        new_edges = set(zip(new.friends.u.tolist(), new.friends.v.tolist()))
+        changed_dense = set(
+            np.searchsorted(
+                prior.accounts.id_offset, step.delta.changed_offsets
+            ).tolist()
+        )
+        moved = (prior_edges - new_edges) | (new_edges - prior_edges)
+        assert moved, "config should churn at least one edge"
+        for u, v in moved:
+            assert u in changed_dense and v in changed_dense
+
+    def test_friend_table_stays_canonical(self, tiny_world):
+        step = next(evolve(tiny_world, steps=1, seed=9))
+        fr = step.dataset.friends
+        assert np.all(fr.u < fr.v)
+        key = fr.u.astype(np.int64) * step.dataset.n_users + fr.v
+        assert np.all(np.diff(key) > 0)
+
+    def test_dtypes_preserved(self, tiny_world):
+        prior = tiny_world.dataset
+        step = next(evolve(tiny_world, steps=1))
+        evolved = step.dataset
+        for (key, before), (key2, after) in zip(
+            prior.iter_columns(), evolved.iter_columns()
+        ):
+            assert key == key2
+            assert before.dtype == after.dtype, key

@@ -1,0 +1,180 @@
+"""apply_user_delta: hand-built batches against a generated prior.
+
+The regression of record (satellite of DESIGN.md §12): a delta batch
+whose users introduce **no new apps** must preserve every column's
+dtype and the per-user entry ordering — an early cut of the merge
+promoted int32 playtimes to int64 and reordered library rows, which
+silently broke byte-identity with full-crawl assembly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.store.merge import UserDeltaBatch, apply_user_delta
+
+
+def _batch_for_users(dataset, dense_users, playtime_bump=0):
+    """Refetch ``dense_users`` exactly as they are (optionally bumping
+    playtime), introducing no new apps, edges, or memberships beyond
+    what the users already have."""
+    offsets = dataset.accounts.id_offset[dense_users]
+    acc = dataset.accounts
+    countries = [
+        acc.country_names[c] if c >= 0 else None
+        for c in acc.country[dense_users]
+    ]
+    in_batch = np.zeros(dataset.n_users, dtype=bool)
+    in_batch[dense_users] = True
+
+    lib_user, lib_product, lib_total, lib_two = [], [], [], []
+    for pos, dense in enumerate(dense_users):
+        lo, hi = (
+            dataset.library.owned.indptr[dense],
+            dataset.library.owned.indptr[dense + 1],
+        )
+        for j in range(lo, hi):
+            lib_user.append(pos)
+            lib_product.append(int(dataset.library.owned.indices[j]))
+            lib_total.append(
+                int(dataset.library.total_min[j]) + playtime_bump
+            )
+            lib_two.append(int(dataset.library.twoweek_min[j]))
+
+    fr = dataset.friends
+    both = in_batch[fr.u] & in_batch[fr.v]
+    edge_a = dataset.accounts.id_offset[fr.u[both]]
+    edge_b = dataset.accounts.id_offset[fr.v[both]]
+
+    members = dataset.groups.members
+    mem_user, mem_group = [], []
+    row_ids = members.row_ids()
+    for pos, dense in enumerate(dense_users):
+        mask = members.indices == dense
+        for g in row_ids[mask]:
+            mem_user.append(pos)
+            mem_group.append(int(g))
+
+    return UserDeltaBatch(
+        offsets=offsets,
+        created_day=acc.created_day[dense_users],
+        countries=countries,
+        city=acc.city[dense_users],
+        edge_a_off=edge_a,
+        edge_b_off=edge_b,
+        edge_day=fr.day[both],
+        lib_user=np.array(lib_user, dtype=np.int64),
+        lib_product=np.array(lib_product, dtype=np.int64),
+        lib_total_min=np.array(lib_total, dtype=np.int64),
+        lib_twoweek_min=np.array(lib_two, dtype=np.int32),
+        member_user=np.array(mem_user, dtype=np.int64),
+        member_group=np.array(mem_group, dtype=np.int64),
+    )
+
+
+class TestApplyUserDelta:
+    def test_identity_batch_is_a_noop(self, crawled_dataset):
+        """Refetching two unchanged users reproduces the prior dataset
+        byte for byte.  The prior must itself be crawler-assembled:
+        the merge recounts country names in crawl frequency order, so
+        only that canonical form round-trips exactly."""
+        batch = _batch_for_users(crawled_dataset, np.array([10, 500]))
+        merged = apply_user_delta(
+            crawled_dataset, batch, snapshot2=crawled_dataset.snapshot2,
+            meta=crawled_dataset.meta,
+        )
+        assert merged.fingerprint() == crawled_dataset.fingerprint()
+
+    def test_no_new_apps_preserves_dtype_and_ordering(self, small_dataset):
+        """The satellite regression: a 2-user playtime-only batch must
+        keep every dtype and the library column ordering intact."""
+        users = np.array([10, 500])
+        batch = _batch_for_users(small_dataset, users, playtime_bump=30)
+        merged = apply_user_delta(
+            small_dataset, batch, snapshot2=small_dataset.snapshot2,
+            meta=small_dataset.meta,
+        )
+        prior_cols = dict(small_dataset.iter_columns())
+        merged_cols = dict(merged.iter_columns())
+        assert list(prior_cols) == list(merged_cols)
+        for key in prior_cols:
+            assert merged_cols[key].dtype == prior_cols[key].dtype, key
+        # Structure untouched: ownership identical, playtime moved only
+        # in the two users' rows, per-row entry order preserved.
+        assert np.array_equal(
+            merged_cols["lib.indptr"], prior_cols["lib.indptr"]
+        )
+        assert np.array_equal(
+            merged_cols["lib.indices"], prior_cols["lib.indices"]
+        )
+        lo, hi = (
+            small_dataset.library.owned.indptr[10],
+            small_dataset.library.owned.indptr[11],
+        )
+        assert np.array_equal(
+            merged.library.total_min[lo:hi],
+            small_dataset.library.total_min[lo:hi] + 30,
+        )
+        touched = np.zeros(len(prior_cols["lib.total_min"]), dtype=bool)
+        for u in users:
+            touched[
+                small_dataset.library.owned.indptr[u] : small_dataset.library.owned.indptr[u + 1]
+            ] = True
+        assert np.array_equal(
+            merged.library.total_min[~touched],
+            small_dataset.library.total_min[~touched],
+        )
+
+    def test_changed_columns_are_exactly_playtime(self, crawled_dataset):
+        batch = _batch_for_users(
+            crawled_dataset, np.array([10, 500]), playtime_bump=30
+        )
+        merged = apply_user_delta(
+            crawled_dataset, batch, snapshot2=crawled_dataset.snapshot2,
+            meta=crawled_dataset.meta,
+        )
+        prior_fps = crawled_dataset.column_fingerprints()
+        merged_fps = merged.column_fingerprints()
+        changed = {k for k in prior_fps if prior_fps[k] != merged_fps[k]}
+        assert changed == {"lib.total_min"}
+
+    def test_new_user_appended_above_prior_offsets(self, small_dataset):
+        new_offset = int(small_dataset.accounts.id_offset.max()) + 100
+        batch = UserDeltaBatch(
+            offsets=np.array([new_offset], dtype=np.int64),
+            created_day=np.array([1000], dtype=np.int32),
+            countries=["Germany"],
+            city=np.array([7], dtype=np.int64),
+            lib_user=np.array([0, 0], dtype=np.int64),
+            lib_product=np.array([3, 1], dtype=np.int64),
+            lib_total_min=np.array([120, 0], dtype=np.int64),
+            lib_twoweek_min=np.array([60, 0], dtype=np.int32),
+        )
+        # Population grows, so the second-snapshot table (if any) no
+        # longer aligns; a real delta crawl re-harvests it.
+        merged = apply_user_delta(
+            small_dataset, batch, meta=small_dataset.meta
+        )
+        assert merged.n_users == small_dataset.n_users + 1
+        # Prior users keep their dense indices and all their rows.
+        assert np.array_equal(
+            merged.accounts.id_offset[:-1], small_dataset.accounts.id_offset
+        )
+        assert np.array_equal(merged.friends.u, small_dataset.friends.u)
+        assert np.array_equal(merged.friends.v, small_dataset.friends.v)
+        # The new user's library is in response order.
+        lo, hi = merged.library.owned.indptr[-2], merged.library.owned.indptr[-1]
+        assert merged.library.owned.indices[lo:hi].tolist() == [3, 1]
+        assert merged.library.total_min[lo:hi].tolist() == [120, 0]
+        # Dtypes still match the prior tables (no new apps were added).
+        prior_cols = dict(small_dataset.iter_columns())
+        for key, after in merged.iter_columns():
+            assert after.dtype == prior_cols[key].dtype, key
+
+    def test_rejects_unsorted_offsets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            UserDeltaBatch(
+                offsets=np.array([5, 2], dtype=np.int64),
+                created_day=np.array([1, 1], dtype=np.int32),
+                countries=[None, None],
+                city=np.array([-1, -1], dtype=np.int64),
+            )

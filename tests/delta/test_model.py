@@ -1,0 +1,129 @@
+"""Delta manifests: invariants, round-trips, and tag projection."""
+
+import numpy as np
+import pytest
+
+from repro.delta.model import DatasetDelta, WorldDelta
+
+
+class TestWorldDelta:
+    def test_offsets_sorted_and_deduped(self):
+        delta = WorldDelta(
+            step=1,
+            seed=7,
+            changed_offsets=[5, 3, 5, 1],
+            new_offsets=[9, 8],
+        )
+        assert delta.changed_offsets.tolist() == [1, 3, 5]
+        assert delta.new_offsets.tolist() == [8, 9]
+        assert delta.n_changed == 3
+        assert delta.n_new == 2
+        assert delta.all_offsets().tolist() == [1, 3, 5, 8, 9]
+
+    def test_changed_and_new_must_be_disjoint(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            WorldDelta(
+                step=1, seed=7, changed_offsets=[1, 2], new_offsets=[2, 3]
+            )
+
+    def test_json_roundtrip(self, tmp_path):
+        delta = WorldDelta(
+            step=3,
+            seed=11,
+            changed_offsets=[4, 2],
+            new_offsets=[10],
+            touched_columns=("lib.total_min", "shape"),
+        )
+        path = delta.save(tmp_path / "delta.json")
+        loaded = WorldDelta.load(path)
+        assert loaded.step == 3
+        assert loaded.seed == 11
+        assert np.array_equal(loaded.changed_offsets, delta.changed_offsets)
+        assert np.array_equal(loaded.new_offsets, delta.new_offsets)
+        assert loaded.touched_columns == delta.touched_columns
+
+    def test_load_rejects_wrong_kind(self, tmp_path):
+        delta = DatasetDelta(prior_fingerprint="a", fingerprint="b")
+        path = delta.save(tmp_path / "wrong.json")
+        with pytest.raises(ValueError, match="world-delta"):
+            WorldDelta.load(path)
+
+
+class TestDatasetDelta:
+    def test_json_roundtrip(self, tmp_path):
+        delta = DatasetDelta(
+            prior_fingerprint="aaa",
+            fingerprint="bbb",
+            changed_steamids=[100, 50],
+            new_steamids=[200],
+            changed_appids=[10, 20],
+            changed_columns=("lib.total_min",),
+        )
+        loaded = DatasetDelta.load(delta.save(tmp_path / "d.json"))
+        assert loaded.prior_fingerprint == "aaa"
+        assert loaded.fingerprint == "bbb"
+        assert loaded.changed_steamids.tolist() == [50, 100]
+        assert loaded.new_steamids.tolist() == [200]
+        assert loaded.changed_appids.tolist() == [10, 20]
+        assert loaded.changed_columns == ("lib.total_min",)
+
+    def test_stale_tags_playtime_only(self):
+        delta = DatasetDelta(
+            prior_fingerprint="a",
+            fingerprint="b",
+            changed_steamids=[100],
+            changed_columns=("lib.total_min", "lib.twoweek_min"),
+        )
+        tags = delta.stale_tags()
+        assert "user:100" in tags
+        assert "attr:total_playtime_hours" in tags
+        assert "attr:twoweek_playtime_hours" in tags
+        # Playtime doesn't move the ownership/social attributes...
+        assert "attr:friends" not in tags
+        assert "attr:owned_games" not in tags
+        assert "attr:group_memberships" not in tags
+        assert "attr:market_value" not in tags
+        # ...but per-app playtime aggregates are lib-backed.
+        assert "app_stats" in tags
+
+    def test_stale_tags_friend_only(self):
+        delta = DatasetDelta(
+            prior_fingerprint="a",
+            fingerprint="b",
+            changed_steamids=[100, 101],
+            changed_columns=("fr.u", "fr.v", "fr.day"),
+        )
+        tags = delta.stale_tags()
+        assert "attr:friends" in tags
+        assert "app_stats" not in tags
+        assert "attr:total_playtime_hours" not in tags
+
+    def test_stale_tags_population_change_invalidates_attributes(self):
+        delta = DatasetDelta(
+            prior_fingerprint="a",
+            fingerprint="b",
+            new_steamids=[500],
+            changed_columns=("shape", "acc.id_offset"),
+        )
+        tags = delta.stale_tags()
+        # Every per-attribute distribution ranks against the population.
+        for attr in (
+            "friends",
+            "owned_games",
+            "group_memberships",
+            "market_value",
+            "total_playtime_hours",
+            "twoweek_playtime_hours",
+        ):
+            assert f"attr:{attr}" in tags
+        assert "app_stats" in tags
+        assert "user:500" in tags
+
+    def test_stale_tags_app_ids(self):
+        delta = DatasetDelta(
+            prior_fingerprint="a",
+            fingerprint="b",
+            changed_appids=[42, 77],
+        )
+        tags = delta.stale_tags()
+        assert "app:42" in tags and "app:77" in tags

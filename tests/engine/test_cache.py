@@ -151,6 +151,118 @@ class TestCacheStore:
         assert cache.entries() == []
 
 
+class TestCacheConcurrency:
+    """Eviction racing a concurrent reader, with the interleaving
+    pinned down via the cache's test-only ``hooks`` callback rather
+    than sleeps."""
+
+    def test_prune_under_reader_degrades_to_miss(self, tmp_path):
+        """Reader resolves the path, then the pruner unlinks it before
+        the read happens: the get must degrade to a clean miss — no
+        exception, no corrupt count, no phantom hit."""
+        import threading
+
+        reader_at_boundary = threading.Event()
+        file_unlinked = threading.Event()
+        key = "aa" * 32
+
+        def hooks(event, path):
+            if event == "get_before_read":
+                reader_at_boundary.set()
+                assert file_unlinked.wait(timeout=10)
+
+        cache = StageCache(tmp_path, hooks=hooks)
+        cache.put(key, {"answer": 42})
+
+        outcome = {}
+
+        def read():
+            outcome["result"] = cache.get(key)
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        assert reader_at_boundary.wait(timeout=10)
+        # The reader is frozen at the read boundary; evict its entry.
+        cache.hooks = None
+        cache.max_bytes = 0
+        assert cache.prune() == 1
+        file_unlinked.set()
+        reader.join(timeout=10)
+        assert not reader.is_alive()
+
+        assert outcome["result"] == (False, None)
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_put_under_reader_serves_a_complete_value(self, tmp_path):
+        """A put racing a get on the same key: the atomic ``os.replace``
+        means the reader sees either the old or the new entry in full —
+        a verified hit either way, never a torn read."""
+        import threading
+
+        reader_at_boundary = threading.Event()
+        replaced = threading.Event()
+        key = "cc" * 32
+
+        def hooks(event, path):
+            if event == "get_before_read":
+                reader_at_boundary.set()
+                assert replaced.wait(timeout=10)
+
+        cache = StageCache(tmp_path, hooks=hooks)
+        cache.put(key, "old")
+
+        outcome = {}
+
+        def read():
+            outcome["result"] = cache.get(key)
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        assert reader_at_boundary.wait(timeout=10)
+        # Reader frozen pre-read; replace the entry under it.
+        cache.hooks = None
+        cache.put(key, "new")
+        replaced.set()
+        reader.join(timeout=10)
+        assert not reader.is_alive()
+
+        hit, value = outcome["result"]
+        assert hit and value == "new"
+        assert cache.stats.corrupt == 0
+
+    def test_reader_ahead_of_pruner_keeps_its_value(self, tmp_path):
+        """The other interleaving: the reader finishes its read before
+        the pruner unlinks.  The hit stands — eviction afterwards only
+        affects future gets."""
+        import threading
+
+        pruner_at_boundary = threading.Event()
+        read_done = threading.Event()
+        key = "bb" * 32
+
+        def hooks(event, path):
+            if event == "prune_before_unlink":
+                pruner_at_boundary.set()
+                assert read_done.wait(timeout=10)
+
+        cache = StageCache(tmp_path, hooks=hooks)
+        cache.put(key, [1, 2, 3])
+        cache.max_bytes = 0
+
+        pruner = threading.Thread(target=cache.prune)
+        pruner.start()
+        assert pruner_at_boundary.wait(timeout=10)
+        # Pruner is frozen just before the unlink; read through it.
+        hit, value = cache.get(key)
+        assert hit and value == [1, 2, 3]
+        read_done.set()
+        pruner.join(timeout=10)
+        assert not pruner.is_alive()
+        # Entry is gone now; the next get misses cleanly.
+        assert cache.get(key) == (False, None)
+
+
 class TestStudyLevelCaching:
     """The ISSUE's cache acceptance behaviors, end-to-end."""
 

@@ -1,0 +1,89 @@
+"""Column-scoped stage keys (DESIGN.md §12).
+
+A stage that declares ``columns`` is keyed on just those columns'
+fingerprints plus its deps' keys, so a delta that leaves its inputs
+byte-identical leaves it cache-valid even though the whole-dataset
+fingerprint moved.
+"""
+
+import pytest
+
+from repro.engine import Stage, stage_key
+from repro.engine.fingerprint import select_column_fingerprints
+
+FPS = {
+    "meta": "m0",
+    "shape": "s0",
+    "fr.u": "f1",
+    "fr.v": "f2",
+    "lib.indptr": "l1",
+    "lib.total_min": "l2",
+}
+
+
+def _noop(ctx):
+    return None
+
+
+def _stage(**kwargs):
+    defaults = dict(name="s", fn=_noop)
+    defaults.update(kwargs)
+    return Stage(**defaults)
+
+
+class TestSelectColumnFingerprints:
+    def test_exact_key_match(self):
+        sel = select_column_fingerprints(FPS, ("lib.total_min",))
+        assert sel == {"meta": "m0", "shape": "s0", "lib.total_min": "l2"}
+
+    def test_prefix_selects_whole_table(self):
+        sel = select_column_fingerprints(FPS, ("fr",))
+        assert sel == {"meta": "m0", "shape": "s0", "fr.u": "f1", "fr.v": "f2"}
+
+    def test_meta_and_shape_always_included(self):
+        # Even an empty spec folds meta+shape: names live in the
+        # sidecar and output lengths follow the population.
+        sel = select_column_fingerprints(FPS, ())
+        assert sel == {"meta": "m0", "shape": "s0"}
+
+    def test_unknown_spec_is_an_error(self):
+        with pytest.raises(KeyError, match="no.*matching column"):
+            select_column_fingerprints(FPS, ("ach",))
+
+
+class TestColumnScopedStageKey:
+    def test_unrelated_column_change_keeps_key(self):
+        stage = _stage(columns=("fr",))
+        base = stage_key("fp1", stage, {}, column_fps=FPS)
+        moved = dict(FPS, **{"lib.total_min": "CHANGED"})
+        # Whole-dataset fingerprint moved, but no fr.* column did.
+        assert stage_key("fp2", stage, {}, column_fps=moved) == base
+
+    def test_declared_column_change_moves_key(self):
+        stage = _stage(columns=("fr",))
+        base = stage_key("fp1", stage, {}, column_fps=FPS)
+        moved = dict(FPS, **{"fr.u": "CHANGED"})
+        assert stage_key("fp2", stage, {}, column_fps=moved) != base
+
+    def test_meta_change_moves_every_scoped_key(self):
+        stage = _stage(columns=("lib.indptr",))
+        base = stage_key("fp1", stage, {}, column_fps=FPS)
+        moved = dict(FPS, meta="CHANGED")
+        assert stage_key("fp2", stage, {}, column_fps=moved) != base
+
+    def test_legacy_stage_keys_on_whole_fingerprint(self):
+        stage = _stage()  # columns=None
+        a = stage_key("fp1", stage, {}, column_fps=FPS)
+        b = stage_key("fp2", stage, {}, column_fps=FPS)
+        assert a != b
+        assert a == stage_key("fp1", stage, {})
+
+    def test_dep_key_change_propagates(self):
+        stage = _stage(columns=(), deps=("upstream",))
+        a = stage_key(
+            "fp", stage, {}, column_fps=FPS, dep_keys={"upstream": "k1"}
+        )
+        b = stage_key(
+            "fp", stage, {}, column_fps=FPS, dep_keys={"upstream": "k2"}
+        )
+        assert a != b

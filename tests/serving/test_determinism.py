@@ -70,8 +70,9 @@ def test_dataset_mutation_invalidates_stage_cache(tmp_path):
     first = AnalyticsStore.build(dataset, cache=cache)
     assert len(first.build_run.executed) == first.build_run.n_stages
 
-    # Reprice a product: one column changes, so the fingerprint — and
-    # with it every stage key — must change.
+    # Reprice a product: stages are keyed by the columns they read, so
+    # exactly the price-reading stages re-execute and the rest stay
+    # cached.
     mutated = dataclasses.replace(
         dataset,
         catalog=dataclasses.replace(
@@ -81,8 +82,17 @@ def test_dataset_mutation_invalidates_stage_cache(tmp_path):
     )
     assert mutated.fingerprint() != dataset.fingerprint()
     rebuilt = AnalyticsStore.build(mutated, cache=cache)
-    assert rebuilt.build_run.cached == ()
-    assert len(rebuilt.build_run.executed) == rebuilt.build_run.n_stages
+    executed = set(rebuilt.build_run.executed)
+    assert executed == {
+        "serving_index:market_value",
+        "serving_tailfit:market_value",
+        "serving_homophily",
+    }
+    assert set(rebuilt.build_run.cached) == {
+        name
+        for name in first.build_run.executed
+        if name not in executed
+    }
     # And the mutation is visible in the served payloads.
     assert (
         rebuilt.user_summary(dataset.accounts.steamids()[0])["attributes"][

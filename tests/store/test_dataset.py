@@ -88,3 +88,58 @@ class TestAggregates:
             "market_value_usd",
             "products",
         }
+
+
+class TestFingerprintMemo:
+    """fingerprint()/column_fingerprints() memoize; mutation paths must
+    invalidate (the stale-memo regression of DESIGN.md §12)."""
+
+    def _copy(self, dataset):
+        import dataclasses
+
+        lib = dataclasses.replace(
+            dataset.library, total_min=dataset.library.total_min.copy()
+        )
+        return dataclasses.replace(dataset, library=lib)
+
+    def test_memo_serves_stale_identity_without_invalidate(
+        self, small_dataset
+    ):
+        ds = self._copy(small_dataset)
+        before = ds.fingerprint()
+        ds.library.total_min[0] += 1
+        # The memo is the documented hazard: identity is stale until
+        # the mutator announces itself.
+        assert ds.fingerprint() == before
+
+    def test_invalidate_refreshes_both_memos(self, small_dataset):
+        ds = self._copy(small_dataset)
+        before_fp = ds.fingerprint()
+        before_cols = dict(ds.column_fingerprints())
+        ds.library.total_min[0] += 1
+        ds.invalidate_fingerprint()
+        after_cols = ds.column_fingerprints()
+        assert ds.fingerprint() != before_fp
+        changed = {
+            k for k in before_cols if before_cols[k] != after_cols[k]
+        }
+        assert changed == {"lib.total_min"}
+
+    def test_merge_path_returns_fresh_identity(self, small_dataset):
+        """apply_user_delta hands back an invalidated dataset even
+        though it touched arrays after construction."""
+        from repro.store.merge import UserDeltaBatch, apply_user_delta
+
+        new_offset = int(small_dataset.accounts.id_offset.max()) + 7
+        batch = UserDeltaBatch(
+            offsets=np.array([new_offset], dtype=np.int64),
+            created_day=np.array([500], dtype=np.int32),
+            countries=[None],
+            city=np.array([-1], dtype=np.int64),
+        )
+        merged = apply_user_delta(
+            small_dataset, batch, meta=small_dataset.meta
+        )
+        assert merged._fingerprint is None
+        assert merged._column_fps is None
+        assert merged.fingerprint() != small_dataset.fingerprint()

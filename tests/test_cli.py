@@ -64,6 +64,46 @@ class TestCommands:
         dataset = load_dataset(out)
         assert dataset.n_users == 1500
 
+    def test_evolve_writes_deltas_and_dataset(self, tmp_path, capsys):
+        out = tmp_path / "ev"
+        code = main(
+            [
+                "evolve",
+                "--users",
+                "1500",
+                "--seed",
+                "5",
+                "--steps",
+                "2",
+                "--out-dir",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "step_1.delta.json").exists()
+        assert (out / "step_2.delta.json").exists()
+        assert (out / "evolved.npz").exists()
+        stdout = capsys.readouterr().out
+        assert "step 1" in stdout and "step 2" in stdout
+
+        from repro.delta.model import WorldDelta
+        from repro.store.io import load_dataset
+
+        delta = WorldDelta.load(out / "step_1.delta.json")
+        assert delta.step == 1
+        evolved = load_dataset(out / "evolved.npz")
+        assert evolved.n_users >= 1500
+        # The evolved dataset is analyzable as-is.
+        code = main(
+            [
+                "analyze",
+                "--dataset",
+                str(out / "evolved.npz"),
+                "--skip-table4",
+            ]
+        )
+        assert code == 0
+
     def test_export_command(self, tmp_path, capsys):
         outdir = tmp_path / "dump"
         code = main(
