@@ -12,7 +12,7 @@ import pathlib
 import pytest
 
 from repro import SteamStudy, SteamWorld, WorldConfig
-from repro.obs.benchjson import write_bench_json
+from repro.obs.benchjson import bench_metric, write_bench_json
 
 BENCH_USERS = 150_000
 BENCH_SEED = 1603
@@ -37,14 +37,43 @@ def bench_study(bench_world) -> SteamStudy:
     return SteamStudy(world=bench_world, _dataset=bench_world.dataset)
 
 
-@pytest.fixture(scope="session")
-def record():
-    """Write a named measured-vs-paper comparison to the results dir."""
+@pytest.fixture
+def record(request):
+    """Write a named measured-vs-paper comparison to the results dir.
+
+    Every call also lands a ``BENCH_<name>.json`` companion through the
+    shared benchjson path, carrying the test's pytest-benchmark timing,
+    so the machine-readable perf trajectory covers *all* benchmarks —
+    not only the handful with bespoke metrics.  Tests that request
+    ``record_json`` are exempt: they write richer telemetry themselves,
+    and the auto-companion must not clobber it.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _record(name: str, lines: list[str]) -> None:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        if "record_json" in request.fixturenames:
+            return
+        bench = request.node.funcargs.get("benchmark")
+        meta = getattr(bench, "stats", None)
+        if meta is None:
+            return
+        shared_world = bool(
+            {"bench_world", "bench_dataset", "bench_study"}
+            & set(request.fixturenames)
+        )
+        write_bench_json(
+            RESULTS_DIR,
+            name,
+            [
+                bench_metric("runtime_min", meta.stats.min, "seconds"),
+                bench_metric("runtime_mean", meta.stats.mean, "seconds"),
+                bench_metric("rounds", meta.stats.rounds, "rounds"),
+            ],
+            seed=BENCH_SEED if shared_world else None,
+            n_users=BENCH_USERS if shared_world else None,
+        )
 
     return _record
 

@@ -45,7 +45,7 @@ from repro.core.study import SteamStudy
 from repro.obs import Obs, TraceContext
 from repro.simworld.config import WorldConfig
 from repro.simworld.world import SteamWorld
-from repro.store.io import load_dataset, save_dataset
+from repro.store.io import load_any, save_dataset, save_dataset_dir
 
 __all__ = ["main"]
 
@@ -106,7 +106,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     world = SteamWorld.generate(
         WorldConfig(n_users=args.users, seed=args.seed), obs=obs
     )
-    path = save_dataset(world.dataset, args.output)
+    if args.columnar:
+        out = Path(args.output)
+        if out.suffix == ".npz":  # the default filename is .npz-flavored
+            out = out.with_suffix(".cols")
+        path = save_dataset_dir(world.dataset, out)
+    else:
+        path = save_dataset(world.dataset, args.output)
     summary = world.dataset.summary()
     print(f"generated {args.users:,} accounts in {time.time() - t0:.1f}s")
     print(
@@ -124,7 +130,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
 
     obs = _make_obs(args)
     if args.dataset:
-        source = load_dataset(args.dataset)
+        source = load_any(args.dataset)
     else:
         source = SteamWorld.generate(
             WorldConfig(n_users=args.users, seed=args.seed), obs=obs
@@ -180,7 +186,7 @@ def _resolve_cache(args: argparse.Namespace):
 def _cmd_analyze(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     if args.dataset:
-        study = SteamStudy.from_dataset(load_dataset(args.dataset))
+        study = SteamStudy.from_dataset(load_any(args.dataset))
     else:
         study = SteamStudy.generate(
             n_users=args.users, seed=args.seed, obs=obs
@@ -275,7 +281,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.core.figures_io import export_figure_data
 
     if args.dataset:
-        study = SteamStudy.from_dataset(load_dataset(args.dataset))
+        study = SteamStudy.from_dataset(load_any(args.dataset))
     else:
         study = SteamStudy.generate(n_users=args.users, seed=args.seed)
     report = study.run(include_table4=False)
@@ -290,7 +296,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.store.export import export_dataset
 
     if args.dataset:
-        dataset = load_dataset(args.dataset)
+        dataset = load_any(args.dataset)
     else:
         world = SteamWorld.generate(
             WorldConfig(n_users=args.users, seed=args.seed)
@@ -349,7 +355,7 @@ def _cmd_serve_analytics(args: argparse.Namespace) -> int:
             or TraceContext.new(seed=getattr(args, "seed", None))
         )
     if args.dataset:
-        dataset = load_dataset(args.dataset)
+        dataset = load_any(args.dataset)
         print(f"loaded dataset from {args.dataset} ({dataset.n_users:,} users)")
     else:
         world = SteamWorld.generate(
@@ -494,6 +500,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen = sub.add_parser("generate", help="generate a synthetic world")
     _add_world_args(p_gen)
     p_gen.add_argument("--output", default="steam_world.npz")
+    p_gen.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "write a directory of mmap-able per-column .npy files "
+            "instead of a compressed .npz; every other command accepts "
+            "either via --dataset"
+        ),
+    )
     _add_metrics_arg(p_gen)
     p_gen.set_defaults(func=_cmd_generate)
 

@@ -19,15 +19,21 @@ from repro.store.dataset import SteamDataset
 
 __all__ = [
     "HOMOPHILY_ATTRIBUTES",
+    "CROSS_PAIRS",
     "neighbor_mean",
+    "CorrelationPart",
     "CorrelationSet",
+    "cross_correlation_pair",
     "cross_correlations",
+    "merge_cross_correlations",
     "HomophilyResult",
+    "homophily_attribute",
     "homophily",
+    "merge_homophily",
 ]
 
 #: Cache-invalidation handle for the engine (see DESIGN.md §8).
-STAGE_VERSION = "1"
+STAGE_VERSION = "2"
 
 #: Attributes with a friends'-average correlation (Section 7 order);
 #: also the valid ``<attr>`` values of the ``/homophily/<attr>`` route.
@@ -37,6 +43,32 @@ HOMOPHILY_ATTRIBUTES = (
     "total_playtime",
     "owned_games",
 )
+
+#: Section 7's cross-attribute pairs, in the paper's render order.  The
+#: flag marks pairs where a zero second attribute still counts (a zero
+#: two-week playtime is itself informative behavior).
+CROSS_PAIRS = (
+    ("owned_games", "friends", False),
+    ("owned_games", "twoweek_playtime", True),
+    ("owned_games", "total_playtime", False),
+    ("friends", "twoweek_playtime", True),
+    ("friends", "total_playtime", False),
+)
+
+
+def _attribute_values(dataset: SteamDataset, name: str) -> np.ndarray:
+    """One per-user attribute column as float64 (shared by both tables)."""
+    if name == "market_value":
+        return dataset.market_value_dollars()
+    if name == "friends":
+        return dataset.friend_counts().astype(np.float64)
+    if name == "total_playtime":
+        return dataset.total_playtime_hours()
+    if name == "twoweek_playtime":
+        return dataset.twoweek_playtime_hours()
+    if name == "owned_games":
+        return dataset.owned_counts().astype(np.float64)
+    raise KeyError(name)
 
 
 def neighbor_mean(dataset: SteamDataset, values: np.ndarray) -> np.ndarray:
@@ -91,6 +123,54 @@ class CorrelationSet:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class CorrelationPart:
+    """One correlation row, computed independently of the others.
+
+    The unit of work for the engine's ``fig11:<attr>`` / ``sec7:<pair>``
+    shard stages: each shard reads only the columns its own pair needs,
+    and the merge stage reassembles the full :class:`CorrelationSet`
+    in render order.
+    """
+
+    key: str
+    rho: float
+    population: int
+    paper_rho: float
+    #: Figure 11 scatter sample; only the market-value homophily part
+    #: carries one.
+    scatter_x: np.ndarray | None = None
+    scatter_y: np.ndarray | None = None
+
+
+def cross_correlation_pair(
+    dataset: SteamDataset, name_a: str, name_b: str
+) -> CorrelationPart:
+    """One Section 7 cross-attribute correlation (a :data:`CROSS_PAIRS`
+    entry), over users engaged on both axes."""
+    zero_ok = {(a, b): flag for a, b, flag in CROSS_PAIRS}[(name_a, name_b)]
+    a = _attribute_values(dataset, name_a)
+    b = _attribute_values(dataset, name_b)
+    mask = (a > 0) & ((b > 0) | zero_ok)
+    return CorrelationPart(
+        key=f"{name_a} vs {name_b}",
+        rho=(
+            spearman(a[mask], b[mask]) if mask.sum() > 2 else float("nan")
+        ),
+        population=int(mask.sum()),
+        paper_rho=constants.CROSS_CORRELATIONS[(name_a, name_b)],
+    )
+
+
+def merge_cross_correlations(parts) -> CorrelationSet:
+    """Per-pair parts (in :data:`CROSS_PAIRS` order) -> the full set."""
+    return CorrelationSet(
+        rhos={p.key: p.rho for p in parts},
+        paper={p.key: p.paper_rho for p in parts},
+        populations={p.key: p.population for p in parts},
+    )
+
+
 def cross_correlations(dataset: SteamDataset) -> CorrelationSet:
     """Section 7's five cross-attribute correlations.
 
@@ -98,30 +178,12 @@ def cross_correlations(dataset: SteamDataset) -> CorrelationSet:
     the two-week rows only require the *other* attribute to be nonzero,
     since a zero two-week playtime is itself informative behavior).
     """
-    owned = dataset.owned_counts().astype(np.float64)
-    friends = dataset.friend_counts().astype(np.float64)
-    total = dataset.total_playtime_hours()
-    twoweek = dataset.twoweek_playtime_hours()
-
-    pairs = {
-        ("owned_games", "friends"): (owned, friends, False),
-        ("owned_games", "twoweek_playtime"): (owned, twoweek, True),
-        ("owned_games", "total_playtime"): (owned, total, False),
-        ("friends", "twoweek_playtime"): (friends, twoweek, True),
-        ("friends", "total_playtime"): (friends, total, False),
-    }
-    rhos: dict[str, float] = {}
-    populations: dict[str, int] = {}
-    paper: dict[str, float] = {}
-    for (name_a, name_b), (a, b, zero_ok) in pairs.items():
-        mask = (a > 0) & ((b > 0) | zero_ok)
-        key = f"{name_a} vs {name_b}"
-        rhos[key] = (
-            spearman(a[mask], b[mask]) if mask.sum() > 2 else float("nan")
-        )
-        populations[key] = int(mask.sum())
-        paper[key] = constants.CROSS_CORRELATIONS[(name_a, name_b)]
-    return CorrelationSet(rhos=rhos, paper=paper, populations=populations)
+    return merge_cross_correlations(
+        [
+            cross_correlation_pair(dataset, name_a, name_b)
+            for name_a, name_b, _ in CROSS_PAIRS
+        ]
+    )
 
 
 @dataclass(frozen=True)
@@ -137,45 +199,72 @@ class HomophilyResult:
         return self.correlations.render()
 
 
+def homophily_attribute(
+    dataset: SteamDataset,
+    name: str,
+    scatter_sample: int = 5_000,
+    seed: int = 0,
+) -> CorrelationPart:
+    """One attribute's self-vs-friends'-average correlation.
+
+    The market-value part also draws the Figure 11 scatter sample.  A
+    fresh ``default_rng(seed)`` here reproduces the historical serial
+    loop exactly: that loop created one generator up front, and
+    market value — the only consumer — was the first attribute, so the
+    draws came from a pristine generator state either way.
+    """
+    values = _attribute_values(dataset, name)
+    friend_avg = neighbor_mean(dataset, values)
+    mask = (dataset.friend_counts() > 0) & np.isfinite(friend_avg)
+    scatter_x = scatter_y = None
+    if name == "market_value" and mask.sum() > 0:
+        rng = np.random.default_rng(seed)
+        idx = np.flatnonzero(mask)
+        take = rng.choice(
+            idx, size=min(scatter_sample, len(idx)), replace=False
+        )
+        scatter_x = values[take]
+        scatter_y = friend_avg[take]
+    return CorrelationPart(
+        key=f"{name} vs friends' avg",
+        rho=(
+            spearman(values[mask], friend_avg[mask])
+            if mask.sum() > 2
+            else float("nan")
+        ),
+        population=int(mask.sum()),
+        paper_rho=constants.HOMOPHILY_CORRELATIONS[name],
+        scatter_x=scatter_x,
+        scatter_y=scatter_y,
+    )
+
+
+def merge_homophily(parts) -> HomophilyResult:
+    """Per-attribute parts (in :data:`HOMOPHILY_ATTRIBUTES` order) ->
+    the full Figure 11 result."""
+    scatter_x = np.empty(0)
+    scatter_y = np.empty(0)
+    for part in parts:
+        if part.scatter_x is not None:
+            scatter_x, scatter_y = part.scatter_x, part.scatter_y
+    return HomophilyResult(
+        correlations=CorrelationSet(
+            rhos={p.key: p.rho for p in parts},
+            paper={p.key: p.paper_rho for p in parts},
+            populations={p.key: p.population for p in parts},
+        ),
+        scatter_x=scatter_x,
+        scatter_y=scatter_y,
+    )
+
+
 def homophily(
     dataset: SteamDataset, scatter_sample: int = 5_000, seed: int = 0
 ) -> HomophilyResult:
     """Section 7's four homophily correlations (Figure 11 for value)."""
-    has_friend = dataset.friend_counts() > 0
-    attributes = {
-        "market_value": dataset.market_value_dollars(),
-        "friends": dataset.friend_counts().astype(np.float64),
-        "total_playtime": dataset.total_playtime_hours(),
-        "owned_games": dataset.owned_counts().astype(np.float64),
-    }
-    rhos: dict[str, float] = {}
-    populations: dict[str, int] = {}
-    paper: dict[str, float] = {}
-    scatter_x = np.empty(0)
-    scatter_y = np.empty(0)
-    rng = np.random.default_rng(seed)
-    for name, values in attributes.items():
-        friend_avg = neighbor_mean(dataset, values)
-        mask = has_friend & np.isfinite(friend_avg)
-        key = f"{name} vs friends' avg"
-        rhos[key] = (
-            spearman(values[mask], friend_avg[mask])
-            if mask.sum() > 2
-            else float("nan")
-        )
-        populations[key] = int(mask.sum())
-        paper[key] = constants.HOMOPHILY_CORRELATIONS[name]
-        if name == "market_value" and mask.sum() > 0:
-            idx = np.flatnonzero(mask)
-            take = rng.choice(
-                idx, size=min(scatter_sample, len(idx)), replace=False
-            )
-            scatter_x = values[take]
-            scatter_y = friend_avg[take]
-    return HomophilyResult(
-        correlations=CorrelationSet(
-            rhos=rhos, paper=paper, populations=populations
-        ),
-        scatter_x=scatter_x,
-        scatter_y=scatter_y,
+    return merge_homophily(
+        [
+            homophily_attribute(dataset, name, scatter_sample, seed)
+            for name in HOMOPHILY_ATTRIBUTES
+        ]
     )

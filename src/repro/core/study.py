@@ -11,7 +11,8 @@
 
 ``run`` no longer calls the ~20 analyses inline: it builds a
 :class:`repro.engine.StageGraph` — one declared stage per table/figure,
-with Table 4 sharded into one stage per classified row — and hands it
+with Table 4 sharded into one stage per classified row and Figure 11 /
+Section 7 sharded into one stage per correlation — and hands it
 to :class:`repro.engine.Engine`.  That is what makes ``--jobs N``
 process-parallelism and the content-addressed stage cache possible
 while keeping the report byte-identical to a serial run (DESIGN.md §8).
@@ -135,12 +136,24 @@ def _stage_fig10(ctx):
     return mp_mod.multiplayer_share(ctx.dataset)
 
 
-def _stage_fig11(ctx):
-    return homo_mod.homophily(ctx.dataset)
+def _stage_fig11_attr(ctx, attr):
+    return homo_mod.homophily_attribute(ctx.dataset, attr)
 
 
-def _stage_sec7(ctx):
-    return homo_mod.cross_correlations(ctx.dataset)
+def _stage_fig11_merge(ctx, attrs):
+    return homo_mod.merge_homophily(
+        [ctx.dep(f"fig11:{attr}") for attr in attrs]
+    )
+
+
+def _stage_sec7_pair(ctx, name_a, name_b):
+    return homo_mod.cross_correlation_pair(ctx.dataset, name_a, name_b)
+
+
+def _stage_sec7_merge(ctx, pairs):
+    return homo_mod.merge_cross_correlations(
+        [ctx.dep(f"sec7:{a} vs {b}") for a, b in pairs]
+    )
 
 
 def _stage_sec8(ctx):
@@ -200,6 +213,38 @@ def _table4_row_columns(row: str) -> tuple[str, ...] | None:
     if row.startswith("friendship"):  # all / through-year / year-only rows
         return ("fr",)
     return _TABLE4_ROW_COLUMNS.get(row)
+
+
+# Columns per sharded correlation attribute (fig11:<attr> shards read
+# the attribute's own column(s) plus the friend edges for the
+# neighbor average; sec7:<pair> shards read both attributes' columns).
+_CORR_ATTR_COLUMNS = {
+    "market_value": ("lib.indptr", "lib.indices", "cat.price_cents"),
+    "friends": (),  # friend_counts comes from fr.u/fr.v, added below
+    "total_playtime": ("lib.indptr", "lib.total_min"),
+    "twoweek_playtime": ("lib.indptr", "lib.twoweek_min"),
+    "owned_games": ("lib.indptr",),
+}
+
+#: friend_counts() reads the edge endpoints (never fr.day).
+_FRIEND_COLUMNS = ("fr.u", "fr.v")
+
+
+def _fig11_attr_columns(attr: str) -> tuple[str, ...]:
+    # Every homophily shard touches the graph via neighbor_mean.
+    return _FRIEND_COLUMNS + _CORR_ATTR_COLUMNS[attr]
+
+
+def _sec7_pair_columns(name_a: str, name_b: str) -> tuple[str, ...]:
+    columns: list[str] = []
+    for name in (name_a, name_b):
+        attr_columns = _CORR_ATTR_COLUMNS[name]
+        if name == "friends":
+            attr_columns = _FRIEND_COLUMNS
+        for column in attr_columns:
+            if column not in columns:
+                columns.append(column)
+    return tuple(columns)
 
 
 def build_study_graph(
@@ -319,19 +364,59 @@ def build_study_graph(
             mp_mod,
             columns=("lib", "cat"),
         ),
-        stage(
-            "fig11_homophily",
-            _stage_fig11,
-            homo_mod,
-            columns=("fr", "lib", "cat.price_cents"),
-        ),
-        stage(
-            "sec7_cross_correlations",
-            _stage_sec7,
-            homo_mod,
-            columns=("fr", "lib"),
-        ),
     ]
+    # Figure 11 / Section 7 are sharded one stage per correlation —
+    # same pattern as Table 4's per-row shards: narrow column
+    # declarations make the shards independently cacheable, and the
+    # merge stage (which reads only its deps) restores render order.
+    for attr in homo_mod.HOMOPHILY_ATTRIBUTES:
+        stages.append(
+            Stage(
+                name=f"fig11:{attr}",
+                fn=_stage_fig11_attr,
+                params=(("attr", attr),),
+                modules=(homo_mod,),
+                version=_versioned(homo_mod),
+                columns=_fig11_attr_columns(attr),
+            )
+        )
+    stages.append(
+        Stage(
+            name="fig11_homophily",
+            fn=_stage_fig11_merge,
+            params=(("attrs", homo_mod.HOMOPHILY_ATTRIBUTES),),
+            deps=tuple(
+                f"fig11:{attr}"
+                for attr in homo_mod.HOMOPHILY_ATTRIBUTES
+            ),
+            modules=(homo_mod,),
+            version=_versioned(homo_mod),
+            columns=(),  # reads only its deps; their keys are folded
+        )
+    )
+    sec7_pairs = tuple((a, b) for a, b, _ in homo_mod.CROSS_PAIRS)
+    for name_a, name_b in sec7_pairs:
+        stages.append(
+            Stage(
+                name=f"sec7:{name_a} vs {name_b}",
+                fn=_stage_sec7_pair,
+                params=(("name_a", name_a), ("name_b", name_b)),
+                modules=(homo_mod,),
+                version=_versioned(homo_mod),
+                columns=_sec7_pair_columns(name_a, name_b),
+            )
+        )
+    stages.append(
+        Stage(
+            name="sec7_cross_correlations",
+            fn=_stage_sec7_merge,
+            params=(("pairs", sec7_pairs),),
+            deps=tuple(f"sec7:{a} vs {b}" for a, b in sec7_pairs),
+            modules=(homo_mod,),
+            version=_versioned(homo_mod),
+            columns=(),  # reads only its deps; their keys are folded
+        )
+    )
     if dataset.snapshot2 is not None:
         stages.append(
             stage(

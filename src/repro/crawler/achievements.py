@@ -64,36 +64,53 @@ def crawl_achievements(
             checkpoint.mark_done(PHASE)
         checkpoint.save()
 
+    path = "/ISteamUserStats/GetGlobalAchievementPercentagesForApp/v2"
     if checkpoint is None or not checkpoint.is_done(PHASE):
-        for position in range(start, len(appids)):
-            appid = int(appids[position])
-            try:
-                payload = session.get(
-                    "/ISteamUserStats/"
-                    "GetGlobalAchievementPercentagesForApp/v2",
-                    gameid=appid,
-                )
-            except NotFoundError:
-                continue
-            except RetriesExhausted:
-                if not skip_failed:
-                    snapshot(position)  # resume retries this app
-                    raise
-                if checkpoint is not None:
-                    checkpoint.record_failure(PHASE, appid)
-                if session.obs is not None:
-                    session.obs.counter(
-                        "crawler_skipped",
-                        "Identifiers skipped after persistent failures",
-                        ("phase",),
-                    ).inc(phase=PHASE)
-                continue
-            entries = payload["achievementpercentages"]["achievements"]
-            harvest.append(
-                [appid, [float(e["percent"]) / 100.0 for e in entries]]
+        # Pipelined window over the app list (see storefront.py for the
+        # sequential-equivalence contract).  A NotFoundError is a
+        # per-app non-event (the app simply has no achievements), so it
+        # advances past the app and the window picks up right after.
+        window = max(1, checkpoint_every // 2)
+        position = start
+        while position < len(appids):
+            boundary = (position // checkpoint_every + 1) * checkpoint_every
+            batch = appids[position : min(position + window, boundary)]
+            payloads, error = session.get_many(
+                [(path, {"gameid": int(a)}) for a in batch]
             )
-            if checkpoint and (position + 1) % checkpoint_every == 0:
-                snapshot(position + 1)
+            for appid, payload in zip(batch, payloads):
+                entries = payload["achievementpercentages"]["achievements"]
+                harvest.append(
+                    [
+                        int(appid),
+                        [float(e["percent"]) / 100.0 for e in entries],
+                    ]
+                )
+            position += len(payloads)
+            if error is not None:
+                if isinstance(error, NotFoundError):
+                    position += 1
+                elif isinstance(error, RetriesExhausted):
+                    if not skip_failed:
+                        snapshot(position)  # resume retries this app
+                        raise error
+                    if checkpoint is not None:
+                        checkpoint.record_failure(
+                            PHASE, int(appids[position])
+                        )
+                    if session.obs is not None:
+                        session.obs.counter(
+                            "crawler_skipped",
+                            "Identifiers skipped after persistent failures",
+                            ("phase",),
+                        ).inc(phase=PHASE)
+                    position += 1
+                else:
+                    raise error
+            if checkpoint and position < len(appids) and (
+                position % checkpoint_every == 0
+            ):
+                snapshot(position)
         snapshot(len(appids), done=True)
 
     return AchievementCrawl(

@@ -108,19 +108,39 @@ def crawl_details(
         checkpoint.save()
 
     if checkpoint is None or not checkpoint.is_done(PHASE):
+        # Local aliases: these run once per harvested record, millions
+        # of times in a large crawl.
+        edge_a, edge_b, edge_day = (
+            columns["edge_a"],
+            columns["edge_b"],
+            columns["edge_day"],
+        )
+        lib_user, lib_appid = columns["lib_user"], columns["lib_appid"]
+        lib_total, lib_twoweek = (
+            columns["lib_total"],
+            columns["lib_twoweek"],
+        )
+        member_user, member_group = (
+            columns["member_user"],
+            columns["member_group"],
+        )
         for position in range(start, len(steamids)):
             steamid = int(steamids[position])
-            # Stage this account's harvest; commit only when all three
-            # calls succeeded so a retried account never half-lands.
-            staged: dict[str, list[int]] = {
-                name: [] for name in _STASH_COLUMNS
-            }
-            try:
-                try:
-                    friends = session.get(
-                        "/ISteamUser/GetFriendList/v1", steamid=steamid
-                    )["friendslist"]["friends"]
-                except PrivateProfileError:
+            # Pipelined window: the account's three detail calls go out
+            # back-to-back through one session call.  get_many stops at
+            # the first escaped error, so a private profile (raised by
+            # the *first* call) suppresses the other two — the same
+            # transport-call sequence as the lockstep loop — and the
+            # all-three-or-nothing commit below keeps resume atomic.
+            payloads, error = session.get_many(
+                [
+                    ("/ISteamUser/GetFriendList/v1", {"steamid": steamid}),
+                    ("/IPlayerService/GetOwnedGames/v1", {"steamid": steamid}),
+                    ("/ISteamUser/GetUserGroupList/v1", {"steamid": steamid}),
+                ]
+            )
+            if error is not None:
+                if isinstance(error, PrivateProfileError):
                     n_private += 1
                     if session.obs is not None:
                         session.obs.counter(
@@ -128,42 +148,11 @@ def crawl_details(
                             "Accounts whose detail endpoints were private",
                         ).inc()
                     continue
-                for record in friends:
-                    other = int(record["steamid"])
-                    if other <= steamid:
-                        continue  # keep each undirected edge once (u < v)
-                    since = int(record.get("friend_since", 0))
-                    staged["edge_a"].append(steamid)
-                    staged["edge_b"].append(other)
-                    staged["edge_day"].append(
-                        unix_to_day(since) if since > 0 else -1
-                    )
-
-                games = session.get(
-                    "/IPlayerService/GetOwnedGames/v1", steamid=steamid
-                )["response"].get("games", [])
-                for game in games:
-                    staged["lib_user"].append(position)
-                    staged["lib_appid"].append(int(game["appid"]))
-                    staged["lib_total"].append(
-                        int(game.get("playtime_forever", 0))
-                    )
-                    staged["lib_twoweek"].append(
-                        int(game.get("playtime_2weeks", 0))
-                    )
-
-                groups = session.get(
-                    "/ISteamUser/GetUserGroupList/v1", steamid=steamid
-                )["response"].get("groups", [])
-                for group in groups:
-                    staged["member_user"].append(position)
-                    staged["member_group"].append(
-                        int(group["gid"]) - GROUP_ID_BASE
-                    )
-            except RetriesExhausted:
+                if not isinstance(error, RetriesExhausted):
+                    raise error
                 if not skip_failed:
                     snapshot(position)  # resume retries this account
-                    raise
+                    raise error
                 n_skipped += 1
                 if checkpoint is not None:
                     checkpoint.record_failure(PHASE, steamid)
@@ -175,8 +164,27 @@ def crawl_details(
                     ).inc(phase=PHASE)
                 continue
 
-            for name, values in staged.items():
-                columns[name].extend(values)
+            friends = payloads[0]["friendslist"]["friends"]
+            for record in friends:
+                other = int(record["steamid"])
+                if other <= steamid:
+                    continue  # keep each undirected edge once (u < v)
+                since = record.get("friend_since", 0)
+                edge_a.append(steamid)
+                edge_b.append(other)
+                edge_day.append(unix_to_day(since) if since > 0 else -1)
+
+            games = payloads[1]["response"].get("games", [])
+            for game in games:
+                lib_user.append(position)
+                lib_appid.append(game["appid"])
+                lib_total.append(game.get("playtime_forever", 0))
+                lib_twoweek.append(game.get("playtime_2weeks", 0))
+
+            groups = payloads[2]["response"].get("groups", [])
+            for group in groups:
+                member_user.append(position)
+                member_group.append(group["gid"] - GROUP_ID_BASE)
 
             if checkpoint and (position + 1) % checkpoint_every == 0:
                 snapshot(position + 1)

@@ -137,6 +137,9 @@ def sweep_profiles(
         checkpoint.save()
 
     if checkpoint is None or not checkpoint.is_done(PHASE):
+        base = constants.STEAMID_BASE
+        path = "/ISteamUser/GetPlayerSummaries/v2"
+        window_cap = max(1, checkpoint_every // 2)
         windows_done = 0
         completed = False
         while True:
@@ -144,19 +147,63 @@ def sweep_profiles(
                 # Stopped by an explicit bound, not exhaustion: resume
                 # must keep sweeping, so the phase is not "done".
                 break
-            ids = [
-                str(constants.STEAMID_BASE + cursor + i)
-                for i in range(batch_size)
-            ]
-            try:
-                response = session.get(
-                    "/ISteamUser/GetPlayerSummaries/v2",
-                    steamids=",".join(ids),
+            # Pipelined windows, sequential-equivalent to the lockstep
+            # sweep: termination needs ``empty_run`` to reach
+            # ``stop_after_empty``, which takes at least that many more
+            # consecutive empty windows — so a batch of at most
+            # ``stop_after_empty - empty_run`` windows issues exactly
+            # the requests the one-at-a-time loop would have (the stop
+            # can only trigger on the batch's final window).  The batch
+            # also never straddles the checkpoint cadence or
+            # ``max_offset``.
+            n_windows = min(
+                window_cap,
+                stop_after_empty - empty_run,
+                checkpoint_every - windows_done % checkpoint_every,
+            )
+            if max_offset is not None:
+                n_windows = min(
+                    n_windows, -(-(max_offset - cursor) // batch_size)
                 )
-            except RetriesExhausted:
+            items = []
+            for w in range(n_windows):
+                start = base + cursor + w * batch_size
+                items.append(
+                    (
+                        path,
+                        {
+                            "steamids": ",".join(
+                                str(start + i) for i in range(batch_size)
+                            )
+                        },
+                    )
+                )
+            payloads, error = session.get_many(items)
+            for response in payloads:
+                players = response["response"]["players"]
+                window_hits.append((cursor, len(players)))
+                if players:
+                    empty_run = 0
+                    for player in players:
+                        offsets.append(int(player["steamid"]) - base)
+                        created.append(unix_to_day(player["timecreated"]))
+                        countries.append(player.get("loccountrycode"))
+                        cities.append(int(player.get("loccityid", -1)))
+                else:
+                    empty_run += 1
+                    if empty_run >= stop_after_empty:
+                        completed = True
+                        break
+                cursor += batch_size
+                windows_done += 1
+            if completed:
+                break
+            if error is not None:
+                if not isinstance(error, RetriesExhausted):
+                    raise error
                 if not skip_failed:
                     snapshot()  # cursor points at the failed window
-                    raise
+                    raise error
                 # Graceful degradation: log the window and move on; the
                 # occupancy of a skipped window is unknown, so it joins
                 # neither the hit list nor the empty run.
@@ -170,25 +217,7 @@ def sweep_profiles(
                     ).inc(phase=PHASE)
                 cursor += batch_size
                 windows_done += 1
-                continue
-            players = response["response"]["players"]
-            window_hits.append((cursor, len(players)))
-            if players:
-                empty_run = 0
-                for player in players:
-                    offsets.append(
-                        int(player["steamid"]) - constants.STEAMID_BASE
-                    )
-                    created.append(unix_to_day(player["timecreated"]))
-                    countries.append(player.get("loccountrycode"))
-                    cities.append(int(player.get("loccityid", -1)))
-            else:
-                empty_run += 1
-                if empty_run >= stop_after_empty:
-                    completed = True
-                    break
-            cursor += batch_size
-            windows_done += 1
+                continue  # the lockstep loop skipped this cadence check
             if checkpoint and windows_done % checkpoint_every == 0:
                 snapshot()
         snapshot(done=completed)

@@ -79,20 +79,39 @@ class RetryPolicy:
 
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn``, retrying transient API errors."""
+        try:
+            return fn()
+        except _FATAL:
+            raise
+        except ApiError as exc:
+            return self.resume(fn, exc)
+
+    def resume(self, fn: Callable[[], T], first_exc: ApiError) -> T:
+        """Continue the policy after an attempt-0 failure of ``fn``.
+
+        Lets a caller attempt the first transport call inline (the
+        no-failure fast path of a pipelined request window) and fall
+        into the normal retry machinery only when that attempt fails —
+        with backoff schedule, jitter draws, and counters exactly as if
+        :meth:`call` had run the attempt itself.
+        """
         last: ApiError | None = None
         for attempt in range(self.max_attempts):
             final = attempt == self.max_attempts - 1
-            try:
-                return fn()
-            except _FATAL:
-                raise
-            except RateLimitedError as exc:
-                last = exc
-                if not final:  # the post-failure sleep is pointless then
+            if attempt == 0:
+                exc: ApiError = first_exc
+            else:
+                try:
+                    return fn()
+                except _FATAL:
+                    raise
+                except ApiError as retry_exc:
+                    exc = retry_exc
+            last = exc
+            if not final:  # the post-failure sleep is pointless then
+                if isinstance(exc, RateLimitedError):
                     self._note(exc, min(exc.retry_after, self.backoff_cap))
-            except ApiError as exc:
-                last = exc
-                if not final:
+                else:
                     self._note(exc, self._backoff(attempt))
         self.exhausted += 1
         raise RetriesExhausted(

@@ -150,33 +150,46 @@ def scrape_group_labels(
     """
     n_groups = len(group_type)
     top = np.argsort(-sizes, kind="stable")[: min(label_top_n, n_groups)]
-    for g in top:
-        try:
-            payload = session.get(
-                "/community/group", gid=GROUP_ID_BASE + int(g)
-            )["group"]
-        except RetriesExhausted:
-            if not skip_failed:
-                raise
+    # Pipelined windows (no checkpoint cadence here, so the window is a
+    # free parameter); a group whose retries run dry keeps its default
+    # label and the window resumes right after it.
+    window = 128
+    position = 0
+    while position < len(top):
+        batch = top[position : position + window]
+        payloads, error = session.get_many(
+            [
+                ("/community/group", {"gid": GROUP_ID_BASE + int(g)})
+                for g in batch
+            ]
+        )
+        for g, payload in zip(batch, payloads):
+            group = payload["group"]
+            group_type[g] = group["type"]
+            focus_appid = group.get("focus_appid")
+            if focus_appid is not None:
+                pos = int(np.searchsorted(catalog_appids, int(focus_appid)))
+                if (
+                    pos < len(catalog_appids)
+                    and catalog_appids[pos] == focus_appid
+                ):
+                    focus[g] = pos
+        position += len(payloads)
+        if error is not None:
+            if not isinstance(error, RetriesExhausted) or not skip_failed:
+                raise error
             # Graceful degradation: the group keeps its default label.
             if checkpoint is not None:
-                checkpoint.record_failure("groups", GROUP_ID_BASE + int(g))
+                checkpoint.record_failure(
+                    "groups", GROUP_ID_BASE + int(top[position])
+                )
             if session.obs is not None:
                 session.obs.counter(
                     "crawler_skipped",
                     "Identifiers skipped after persistent failures",
                     ("phase",),
                 ).inc(phase="groups")
-            continue
-        group_type[g] = payload["type"]
-        focus_appid = payload.get("focus_appid")
-        if focus_appid is not None:
-            pos = int(np.searchsorted(catalog_appids, int(focus_appid)))
-            if (
-                pos < len(catalog_appids)
-                and catalog_appids[pos] == focus_appid
-            ):
-                focus[g] = pos
+            position += 1
 
 
 def _assemble_groups(

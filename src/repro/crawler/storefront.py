@@ -84,28 +84,45 @@ def crawl_storefront(
     if checkpoint is None or not checkpoint.is_done(PHASE):
         applist = session.get("/ISteamApps/GetAppList/v2")["applist"]["apps"]
         appids = sorted(int(app["appid"]) for app in applist)
-        for position in range(start, len(appids)):
-            appid = appids[position]
-            try:
-                payload = session.get("/appdetails", appids=appid)
-            except RetriesExhausted:
+        # Pipelined transport: issue a bounded window of requests per
+        # session call (sequential-equivalent — same transport order,
+        # pacing, and retries as the one-at-a-time loop), harvesting
+        # the window in bulk.  The window divides checkpoint_every so
+        # checkpoints land on the same positions as the lockstep loop.
+        window = max(1, checkpoint_every // 2)
+        position = start
+        while position < len(appids):
+            # Never let a window straddle a checkpoint boundary, so the
+            # cursor lands on the same positions as the lockstep loop.
+            boundary = (position // checkpoint_every + 1) * checkpoint_every
+            batch = appids[position : min(position + window, boundary)]
+            payloads, error = session.get_many(
+                [("/appdetails", {"appids": appid}) for appid in batch]
+            )
+            for appid, payload in zip(batch, payloads):
+                entry = payload[str(appid)]
+                if entry.get("success"):
+                    harvest.append([appid, entry])
+            position += len(payloads)
+            if error is not None:
+                if not isinstance(error, RetriesExhausted):
+                    raise error
                 if not skip_failed:
                     snapshot(position)  # resume retries this app
-                    raise
+                    raise error
                 if checkpoint is not None:
-                    checkpoint.record_failure(PHASE, appid)
+                    checkpoint.record_failure(PHASE, appids[position])
                 if session.obs is not None:
                     session.obs.counter(
                         "crawler_skipped",
                         "Identifiers skipped after persistent failures",
                         ("phase",),
                     ).inc(phase=PHASE)
-                continue
-            entry = payload[str(appid)]
-            if entry.get("success"):
-                harvest.append([appid, entry])
-            if checkpoint and (position + 1) % checkpoint_every == 0:
-                snapshot(position + 1)
+                position += 1  # skip the poisoned app
+            if checkpoint and position < len(appids) and (
+                position % checkpoint_every == 0
+            ):
+                snapshot(position)
         snapshot(len(appids), done=True)
 
     return CatalogCrawl(

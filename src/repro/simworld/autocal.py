@@ -26,7 +26,11 @@ TUNABLES = (
     "match_weight_owned",
     "stub_noise",
 )
-_MULTIPLIERS = (0.55, 1.5)
+#: Multi-scale probe ladder.  The strong 0.1x contraction matters: a
+#: badly detuned coordinate (e.g. stub_noise at ~6x its optimum) can sit
+#: in a basin where one 0.55x step *raises* the noisy small-world loss,
+#: and single-scale descent stalls at the detuned value.
+_MULTIPLIERS = (0.1, 0.55, 1.5)
 
 #: Attribute key of each paper target in the homophily result dict.
 _TARGET_KEYS = {

@@ -31,6 +31,7 @@ from repro.simworld.config import SocialConfig
 from repro.simworld.copula import LatentFactors, conditional_uniform
 from repro.simworld.geography import Geography
 from repro.simworld.marginals import AnchoredCurve, TailSpec
+from repro.simworld.vecops import in_sorted
 
 __all__ = ["FriendGraph", "build_friends", "degree_curve", "solve_friended_fraction"]
 
@@ -245,9 +246,9 @@ def build_friends(
         hi_round = np.concatenate(edge_parts_hi)
         keys = lo_round * np.int64(n_users) + hi_round
         keys, first = np.unique(keys, return_index=True)
-        fresh = ~np.isin(keys, seen_keys, assume_unique=True)
+        fresh = ~in_sorted(keys, seen_keys)
         lo_round, hi_round = lo_round[first][fresh], hi_round[first][fresh]
-        seen_keys = np.concatenate([seen_keys, keys[fresh]])
+        seen_keys = np.sort(np.concatenate([seen_keys, keys[fresh]]))
         all_lo.append(lo_round)
         all_hi.append(hi_round)
         realized += np.bincount(lo_round, minlength=n_users)
@@ -309,11 +310,18 @@ def _triadic_closure(
     u -> v -> w and befriending (u, w).  This is what gives the graph its
     small-world clustering; rank-local matching alone produces almost no
     triangles.
+
+    Wedge attempts are drawn in vectorized batches (rejection sampling
+    over the whole batch at once) rather than one scalar walk per
+    attempt; acceptance semantics match the scalar loop — dead-end
+    starts, self-closures, and already-seen pairs are rejected, and the
+    attempt budget caps total work at ``8 * budget`` draws.
     """
     n_edges = len(lo)
     if n_edges < 3 or fraction <= 0:
         return lo, hi
     budget = int(n_edges * fraction)
+    max_attempts = budget * 8
 
     # Adjacency as padded neighbor lists for vectorized friend-hops.
     ends = np.concatenate([lo, hi])
@@ -327,37 +335,52 @@ def _triadic_closure(
     # Bias closure starts toward users who still have friend-slot demand.
     weights = np.maximum(target, 1).astype(np.float64)
     cdf = np.cumsum(weights)
-    seen = set(zip(lo.tolist(), hi.tolist()))
-    new_lo: list[int] = []
-    new_hi: list[int] = []
+    seen_keys = np.sort(lo * np.int64(n_users) + hi)
+    new_lo_parts: list[np.ndarray] = []
+    new_hi_parts: list[np.ndarray] = []
+    n_new = 0
     attempts = 0
-    while len(new_lo) < budget and attempts < budget * 8:
-        attempts += 1
-        pick = int(
-            np.searchsorted(cdf, rng.random() * cdf[-1], side="right")
+    while n_new < budget and attempts < max_attempts:
+        # Oversample the remaining budget; most draws are accepted, so
+        # one or two rounds usually suffice.
+        m = min(
+            (budget - n_new) + (budget - n_new) // 2 + 64,
+            max_attempts - attempts,
         )
-        pick = min(pick, n_users - 1)
-        if stops[pick] <= starts[pick]:
+        attempts += m
+        pick = np.searchsorted(cdf, rng.random(m) * cdf[-1], side="right")
+        pick = np.minimum(pick, n_users - 1)
+        pick = pick[stops[pick] > starts[pick]]
+        if len(pick) == 0:
             continue
-        v = int(
-            sorted_others[int(rng.integers(starts[pick], stops[pick]))]
-        )
-        if stops[v] <= starts[v]:
+        v = sorted_others[rng.integers(starts[pick], stops[pick])]
+        alive = stops[v] > starts[v]
+        pick, v = pick[alive], v[alive]
+        if len(pick) == 0:
             continue
-        w = int(sorted_others[int(rng.integers(starts[v], stops[v]))])
-        if w == pick:
+        w = sorted_others[rng.integers(starts[v], stops[v])]
+        good = w != pick
+        a = np.minimum(pick[good], w[good])
+        b = np.maximum(pick[good], w[good])
+        keys = a * np.int64(n_users) + b
+        fresh = ~in_sorted(keys, seen_keys)
+        a, b, keys = a[fresh], b[fresh], keys[fresh]
+        if len(keys) == 0:
             continue
-        a, b = (pick, w) if pick < w else (w, pick)
-        if (a, b) in seen:
-            continue
-        seen.add((a, b))
-        new_lo.append(a)
-        new_hi.append(b)
-    if not new_lo:
+        # Dedup within the batch, keeping first occurrences in draw order.
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        take = min(len(first), budget - n_new)
+        first = first[:take]
+        new_lo_parts.append(a[first])
+        new_hi_parts.append(b[first])
+        seen_keys = np.sort(np.concatenate([seen_keys, keys[first]]))
+        n_new += take
+    if n_new == 0:
         return lo, hi
     return (
-        np.concatenate([lo, np.array(new_lo, dtype=np.int64)]),
-        np.concatenate([hi, np.array(new_hi, dtype=np.int64)]),
+        np.concatenate([lo] + new_lo_parts),
+        np.concatenate([hi] + new_hi_parts),
     )
 
 

@@ -19,6 +19,7 @@ from repro.simworld.config import GroupConfig
 from repro.simworld.copula import LatentFactors, conditional_uniform
 from repro.simworld.marginals import AnchoredCurve, TailSpec
 from repro.simworld.ownership import Ownership
+from repro.simworld.vecops import sorted_unique
 from repro.store.tables import CSRMatrix, GROUP_TYPE_BY_LABEL, GroupTable, GroupType
 
 __all__ = ["build_groups", "membership_curve", "group_sizes"]
@@ -139,16 +140,25 @@ def build_groups(
         )
     global_pool = _Recruits(weights_cdf=global_cdf, users=global_users)
 
-    # Focus games: popularity-biased picks among actual games.
+    # Focus games: popularity-biased picks among actual games.  A catalog
+    # without games (or with all-zero popularity) leaves groups unfocused
+    # instead of clamping an index into an empty array.
     game_ids = catalog.table.game_ids()
-    game_pop = catalog.popularity[game_ids]
-    game_cdf = np.cumsum(game_pop / game_pop.sum())
     focus_game = np.full(n_groups, -1, dtype=np.int32)
     game_focused = np.isin(
         types, [GroupType.SINGLE_GAME, GroupType.GAME_SERVER]
     )
-    picks = np.searchsorted(game_cdf, rng.random(int(game_focused.sum())))
-    focus_game[game_focused] = game_ids[np.minimum(picks, len(game_ids) - 1)]
+    if len(game_ids):
+        game_pop = catalog.popularity[game_ids]
+        pop_sum = game_pop.sum()
+        if pop_sum <= 0:
+            game_pop = np.ones(len(game_ids))
+            pop_sum = float(len(game_ids))
+        game_cdf = np.cumsum(game_pop / pop_sum)
+        picks = np.searchsorted(game_cdf, rng.random(int(game_focused.sum())))
+        focus_game[game_focused] = game_ids[
+            np.minimum(picks, len(game_ids) - 1)
+        ]
 
     # A share of Single Game groups are clans (dedicated-playtime crews).
     is_clan = np.zeros(n_groups, dtype=bool)
@@ -167,154 +177,187 @@ def build_groups(
     else:
         minutes_by_game = entry_total_min.astype(np.float64)[transpose_order]
 
-    member_lists: list[np.ndarray] = []
-    for g in range(n_groups):
-        size = int(sizes[g])
-        members = _recruit(
-            rng,
-            size,
-            focus_game[g],
-            config,
-            owners_of,
-            minutes_by_game,
-            propensity,
-            global_pool,
-            clan=bool(is_clan[g]),
-            user_total_min=user_total_min,
-        )
-        member_lists.append(members)
-
-    counts = np.array([len(m) for m in member_lists], dtype=np.int64)
-    indptr = np.zeros(n_groups + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
-    indices = (
-        np.concatenate(member_lists).astype(np.int32)
-        if member_lists
-        else np.empty(0, dtype=np.int32)
+    members = _recruit_all(
+        rng,
+        sizes,
+        focus_game,
+        is_clan,
+        config,
+        owners_of,
+        minutes_by_game,
+        propensity,
+        global_pool,
+        user_total_min,
+        n_users,
     )
     return GroupTable(
         group_type=types,
         focus_game=focus_game,
-        members=CSRMatrix(indptr=indptr, indices=indices),
+        members=members,
         n_users=n_users,
     )
 
 
-def _focus_weights(
+def _entry_weights(
     config: GroupConfig,
-    focus_users: np.ndarray,
-    focus_minutes: np.ndarray | None,
+    owner: np.ndarray,
+    minutes: np.ndarray,
     propensity: np.ndarray,
     clan: bool,
     user_total_min: np.ndarray | None,
 ) -> np.ndarray:
-    """Recruitment weights over the owners of a group's focus game."""
-    hours = (
-        focus_minutes / 60.0
-        if focus_minutes is not None
-        else np.zeros(len(focus_users))
-    )
-    weights = (
-        propensity[focus_users]
+    """Recruitment weight of every (game, owner) entry, game-major order."""
+    hours = minutes / 60.0
+    if clan and user_total_min is not None:
+        totals = np.maximum(user_total_min[owner], 1.0)
+        share = np.clip(minutes / totals, 0.0, 1.0)
+        return (hours + 0.01) * share**config.clan_concentration_power
+    return (
+        propensity[owner]
         + 0.05
         + config.focus_playtime_weight * np.sqrt(hours)
     )
-    if clan and user_total_min is not None and focus_minutes is not None:
-        totals = np.maximum(user_total_min[focus_users], 1.0)
-        share = np.clip(focus_minutes / totals, 0.0, 1.0)
-        weights = (hours + 0.01) * share**config.clan_concentration_power
-    return weights
 
 
-def _recruit(
+def _segment_draw(
+    cum: np.ndarray,
+    seg_start: np.ndarray,
+    seg_end: np.ndarray,
+    r: np.ndarray,
+) -> np.ndarray:
+    """Weighted draws inside cumsum segments ``[seg_start, seg_end)``.
+
+    ``cum`` is one global cumulative sum over all entries; per-draw
+    segment totals come from cumsum differences.  An all-zero-weight
+    segment degenerates to its last entry, matching the old per-group
+    clamped ``searchsorted``.
+    """
+    base = np.where(seg_start > 0, cum[seg_start - 1], 0.0)
+    total = cum[seg_end - 1] - base
+    pos = np.searchsorted(cum, base + r * total, side="right")
+    return np.clip(pos, seg_start, seg_end - 1)
+
+
+def _recruit_all(
     rng: np.random.Generator,
-    size: int,
-    focus: int,
+    sizes: np.ndarray,
+    focus_game: np.ndarray,
+    is_clan: np.ndarray,
     config: GroupConfig,
     owners_of: CSRMatrix,
     minutes_by_game: np.ndarray,
     propensity: np.ndarray,
     global_pool: _Recruits,
-    clan: bool = False,
-    user_total_min: np.ndarray | None = None,
-) -> np.ndarray:
-    """Pick ``size`` distinct members for one group."""
-    affinity = config.clan_affinity if clan else config.focus_affinity
-    n_focus = 0
-    focus_users: np.ndarray | None = None
-    focus_minutes: np.ndarray | None = None
-    if focus >= 0:
-        focus_users = owners_of.row(int(focus))
-        focus_minutes = minutes_by_game[owners_of.row_slice(int(focus))]
-        if len(focus_users):
-            n_focus = int(round(size * affinity))
+    user_total_min: np.ndarray | None,
+    n_users: int,
+) -> CSRMatrix:
+    """Pick distinct members for every group in batched draws.
 
-    picks: list[np.ndarray] = []
-    if n_focus > 0 and focus_users is not None and len(focus_users) > 0:
-        w = _focus_weights(
-            config, focus_users, focus_minutes, propensity, clan,
-            user_total_min,
-        )
-        cdf = np.cumsum(w)
-        draw = np.searchsorted(
-            cdf, rng.random(n_focus) * cdf[-1], side="right"
-        )
-        picks.append(focus_users[np.minimum(draw, len(focus_users) - 1)])
-
-    n_global = size - n_focus
-    if n_global > 0:
-        cdf = global_pool.weights_cdf
-        draw = np.searchsorted(
-            cdf, rng.random(n_global) * cdf[-1], side="right"
-        )
-        picks.append(
-            global_pool.users[np.minimum(draw, len(global_pool.users) - 1)]
-        )
-    if not picks:
-        return np.empty(0, dtype=np.int64)
-    members = np.unique(np.concatenate(picks))
-    # Top up duplicate-sampling shortfall so realized sizes track the
-    # planned heavy-tailed size sequence (Table 2 ranks by size), keeping
-    # the focus/global recruitment split intact.
-    global_cdf = global_pool.weights_cdf
-    pool_size = len(global_pool.users)
-    has_focus = focus_users is not None and len(focus_users) > 0
-    if has_focus:
-        focus_cdf = np.cumsum(
-            _focus_weights(
-                config, focus_users, focus_minutes, propensity, clan,
+    One round of focus+global draws for all groups at once, then up to
+    four batched top-up rounds to cover duplicate-sampling shortfall,
+    then a batched uniform downsample of oversized groups.  Membership
+    sets are deduplicated via ``group * n_users + member`` keys, whose
+    sorted order is exactly the group-major, member-ascending layout the
+    result CSR needs.
+    """
+    n_groups = len(sizes)
+    gidx = np.arange(n_groups, dtype=np.int64)
+    owner = owners_of.indices.astype(np.int64)
+    starts = owners_of.indptr[:-1]
+    ends = owners_of.indptr[1:]
+    cum_non = np.cumsum(
+        _entry_weights(config, owner, minutes_by_game, propensity, False, None)
+    )
+    cum_clan = (
+        np.cumsum(
+            _entry_weights(
+                config, owner, minutes_by_game, propensity, True,
                 user_total_min,
             )
         )
-    else:
-        focus_cdf = None
+        if user_total_min is not None
+        else cum_non
+    )
+
+    f = focus_game.astype(np.int64)
+    f_safe = np.maximum(f, 0)
+    # A focus game with no owners recruits globally only (an empty owner
+    # segment must never be drawn from — it used to index position -1).
+    has_focus = (f >= 0) & (ends[f_safe] > starts[f_safe])
+    affinity = np.where(is_clan, config.clan_affinity, config.focus_affinity)
+    use_clan = is_clan & (user_total_min is not None)
+
+    pool_users = global_pool.users.astype(np.int64)
+    pool_size = len(pool_users)
+    global_cdf = global_pool.weights_cdf
+
+    def draw_focus(groups: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        grp = np.repeat(groups, counts)
+        r = rng.random(len(grp))
+        members = np.empty(len(grp), dtype=np.int64)
+        for clan_flag, cum in ((False, cum_non), (True, cum_clan)):
+            m = use_clan[grp] == clan_flag
+            if m.any():
+                fg = f[grp[m]]
+                pos = _segment_draw(cum, starts[fg], ends[fg], r[m])
+                members[m] = owner[pos]
+        return grp * n_users + members
+
+    def draw_global(groups: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        grp = np.repeat(groups, counts)
+        pos = np.searchsorted(
+            global_cdf, rng.random(len(grp)) * global_cdf[-1], side="right"
+        )
+        return grp * n_users + pool_users[np.minimum(pos, pool_size - 1)]
+
+    n_focus = np.where(
+        has_focus, np.rint(sizes * affinity).astype(np.int64), 0
+    )
+    n_focus = np.minimum(n_focus, sizes)
+    n_global = sizes - n_focus
+    parts = []
+    if (n_focus > 0).any():
+        parts.append(draw_focus(gidx[n_focus > 0], n_focus[n_focus > 0]))
+    if (n_global > 0).any():
+        parts.append(draw_global(gidx[n_global > 0], n_global[n_global > 0]))
+    keys = (
+        sorted_unique(np.concatenate(parts))
+        if parts
+        else np.empty(0, np.int64)
+    )
+
+    # Top up duplicate-sampling shortfall so realized sizes track the
+    # planned heavy-tailed size sequence (Table 2 ranks by size), keeping
+    # the focus/global recruitment split intact.
     for _ in range(4):
-        missing = size - len(members)
-        if missing <= 0 or len(members) >= pool_size:
+        have = np.bincount(keys // n_users, minlength=n_groups)
+        missing = sizes - have
+        active = (missing > 0) & (have < pool_size)
+        if not active.any():
             break
-        n_draw = int(missing * 1.3) + 2
-        extras = []
-        if has_focus and focus_cdf is not None:
-            n_f = int(round(n_draw * affinity))
-            if n_f:
-                draw = np.searchsorted(
-                    focus_cdf,
-                    rng.random(n_f) * focus_cdf[-1],
-                    side="right",
-                )
-                extras.append(
-                    focus_users[np.minimum(draw, len(focus_users) - 1)]
-                )
-            n_draw -= n_f
-        if n_draw > 0:
-            draw = np.searchsorted(
-                global_cdf, rng.random(n_draw) * global_cdf[-1], side="right"
-            )
-            extras.append(
-                global_pool.users[np.minimum(draw, pool_size - 1)]
-            )
-        members = np.union1d(members, np.concatenate(extras))
-    if len(members) > size:
-        members = rng.choice(members, size=size, replace=False)
-        members.sort()
-    return members
+        n_draw = np.where(active, (missing * 1.3).astype(np.int64) + 2, 0)
+        n_f = np.where(
+            active & has_focus, np.rint(n_draw * affinity).astype(np.int64), 0
+        )
+        n_g = n_draw - n_f
+        parts = [keys]
+        if (n_f > 0).any():
+            parts.append(draw_focus(gidx[n_f > 0], n_f[n_f > 0]))
+        if (n_g > 0).any():
+            parts.append(draw_global(gidx[n_g > 0], n_g[n_g > 0]))
+        keys = sorted_unique(np.concatenate(parts))
+
+    # Downsample oversized groups: uniform random rank within each group,
+    # keep the first `size` ranks, then restore sorted-member order.
+    grp = keys // n_users
+    order = np.lexsort((rng.random(len(keys)), grp))
+    grp_o = grp[order]
+    seg_start = np.searchsorted(grp_o, gidx)
+    rank = np.arange(len(keys), dtype=np.int64) - seg_start[grp_o]
+    keys = np.sort(keys[order[rank < sizes[grp_o]]])
+
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(np.bincount(keys // n_users, minlength=n_groups), out=indptr[1:])
+    return CSRMatrix(
+        indptr=indptr, indices=(keys % n_users).astype(np.int32)
+    )

@@ -20,6 +20,7 @@ from repro.simworld.catalog import CatalogTruth
 from repro.simworld.config import OwnershipConfig
 from repro.simworld.copula import LatentFactors, conditional_uniform
 from repro.simworld.marginals import AnchoredCurve, TailSpec
+from repro.simworld.vecops import sorted_unique
 from repro.store.tables import CSRMatrix
 
 __all__ = ["Ownership", "build_ownership", "owned_curve"]
@@ -101,8 +102,9 @@ def _sample_libraries(
         + config.price_tilt_shift
     )
 
-    owned_sets: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(counts)
     price_feature = (price + 4.0) / 14.0
+    pair_user: list[np.ndarray] = []
+    pair_prod: list[np.ndarray] = []
 
     for t in range(config.n_price_tiers):
         in_tier = np.flatnonzero(tier == t)
@@ -116,27 +118,75 @@ def _sample_libraries(
         cdf[-1] = 1.0
 
         exact = in_tier[counts[in_tier] > _EXACT_SAMPLING_THRESHOLD]
-        log_w = np.full(n_products, -np.inf)
-        positive = weights > 0
-        log_w[positive] = np.log(weights[positive])
-        for user_pos in exact:
-            k = int(counts[user_pos])
-            scores = log_w + rng.gumbel(size=n_products)
-            top = np.argpartition(-scores, k - 1)[:k]
-            owned_sets[user_pos] = np.sort(top.astype(np.int64))
+        if len(exact):
+            u, p = _sample_exact(rng, exact, counts, weights, n_products)
+            pair_user.append(u)
+            pair_prod.append(p)
 
         cheap = in_tier[counts[in_tier] <= _EXACT_SAMPLING_THRESHOLD]
-        _fill_with_replacement(rng, cheap, counts, cdf, owned_sets)
+        if len(cheap):
+            u, p = _fill_with_replacement(rng, cheap, counts, cdf, n_products)
+            pair_user.append(u)
+            pair_prod.append(p)
 
+    if pair_user:
+        users = np.concatenate(pair_user)
+        prods = np.concatenate(pair_prod)
+    else:
+        users = np.empty(0, dtype=np.int64)
+        prods = np.empty(0, dtype=np.int64)
+    # One global sort puts every user's games in ascending product order;
+    # products are distinct within a user, users disjoint across tiers.
+    keys = np.sort(users * np.int64(n_products) + prods)
     indptr = np.zeros(len(counts) + 1, dtype=np.int64)
-    sizes = np.array([len(s) for s in owned_sets], dtype=np.int64)
-    np.cumsum(sizes, out=indptr[1:])
-    indices = (
-        np.concatenate(owned_sets)
-        if len(owned_sets)
-        else np.empty(0, dtype=np.int64)
+    np.cumsum(
+        np.bincount(users, minlength=len(counts)), out=indptr[1:]
+    ) if len(users) else None
+    return CSRMatrix(
+        indptr=indptr, indices=(keys % np.int64(n_products)).astype(np.int32)
     )
-    return CSRMatrix(indptr=indptr, indices=indices.astype(np.int32))
+
+
+def _sample_exact(
+    rng: np.random.Generator,
+    users: np.ndarray,
+    counts: np.ndarray,
+    weights: np.ndarray,
+    n_products: int,
+    chunk: int = 64,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact weighted without-replacement libraries, batch-drawn.
+
+    Uses the exponential race (the k smallest ``Exp(1) / weight`` keys
+    are a weighted sample without replacement — equivalent to Gumbel
+    top-k, but log-free and float32-friendly).  Users are processed in
+    chunks sorted by library size so one ``argpartition`` per chunk (at
+    the chunk's max k) does nearly all the selection work; the per-row
+    refinement only re-partitions the already-small candidate set.
+    """
+    inv_w = np.full(n_products, np.inf, dtype=np.float32)
+    positive = weights > 0
+    inv_w[positive] = 1.0 / weights[positive].astype(np.float32)
+    users = users[np.argsort(counts[users], kind="stable")]
+    out_user: list[np.ndarray] = []
+    out_prod: list[np.ndarray] = []
+    for start in range(0, len(users), chunk):
+        block = users[start : start + chunk]
+        ks = counts[block].astype(np.int64)
+        kmax = int(ks.max())
+        keys = rng.standard_exponential(
+            size=(len(block), n_products), dtype=np.float32
+        )
+        keys *= inv_w[None, :]
+        cand = np.argpartition(keys, kmax - 1, axis=1)[:, :kmax]
+        for row, (user, k) in enumerate(zip(block, ks)):
+            top = cand[row]
+            if k < kmax:
+                row_keys = keys[row, top]
+                top = top[np.argpartition(row_keys, k - 1)[:k]]
+            out_user.append(np.full(int(k), user, dtype=np.int64))
+            out_prod.append(top.astype(np.int64))
+    return np.concatenate(out_user), np.concatenate(out_prod)
 
 
 def _fill_with_replacement(
@@ -144,33 +194,44 @@ def _fill_with_replacement(
     users: np.ndarray,
     counts: np.ndarray,
     cdf: np.ndarray,
-    owned_sets: list[np.ndarray],
+    n_products: int,
     rounds: int = 5,
-) -> None:
-    """Populate small libraries by repeated draw-and-dedup rounds."""
-    need = {int(u): int(counts[u]) for u in users}
-    have: dict[int, np.ndarray] = {int(u): owned_sets[u] for u in users}
+) -> tuple[np.ndarray, np.ndarray]:
+    """Populate small libraries by repeated draw-and-dedup rounds.
+
+    Returns ``(user, product)`` pair arrays with distinct products per
+    user.  All users' pending draws happen in one batch per round; a
+    user whose dedup overshoots keeps their lowest product indices,
+    matching the old per-user ``union1d`` truncation.
+    """
+    users = users.astype(np.int64)
+    need = counts[users].astype(np.int64)
+    local = np.arange(len(users), dtype=np.int64)
+    keys = np.empty(0, dtype=np.int64)
     for _ in range(rounds):
-        pending = [(u, k - len(have[u])) for u, k in need.items() if len(have[u]) < k]
-        if not pending:
-            break
-        user_ids = np.repeat(
-            np.array([u for u, _ in pending]),
-            np.array([m for _, m in pending]),
+        have = (
+            np.bincount(keys // n_products, minlength=len(users))
+            if len(keys)
+            else np.zeros(len(users), dtype=np.int64)
         )
-        draws = np.searchsorted(cdf, rng.random(len(user_ids)), side="right")
-        order = np.argsort(user_ids, kind="stable")
-        user_ids = user_ids[order]
-        draws = draws[order]
-        bounds = np.flatnonzero(np.diff(user_ids)) + 1
-        for chunk_users, chunk in zip(
-            np.split(user_ids, bounds), np.split(draws, bounds)
-        ):
-            u = int(chunk_users[0])
-            merged = np.union1d(have[u], chunk)
-            have[u] = merged[: need[u]]
-    for u in need:
-        owned_sets[u] = have[u].astype(np.int64)
+        missing = need - have
+        pending = missing > 0
+        if not pending.any():
+            break
+        draw_user = np.repeat(local[pending], missing[pending])
+        draws = np.searchsorted(
+            cdf, rng.random(len(draw_user)), side="right"
+        )
+        keys = sorted_unique(
+            np.concatenate([keys, draw_user * np.int64(n_products) + draws])
+        )
+        # Truncate overshoot: unique keys are (user, product)-sorted, so
+        # rank-within-user < need keeps each user's smallest products.
+        key_user = keys // n_products
+        seg_start = np.searchsorted(key_user, local)
+        rank = np.arange(len(keys)) - seg_start[key_user]
+        keys = keys[rank < need[key_user]]
+    return users[keys // n_products], keys % np.int64(n_products)
 
 
 def build_ownership(

@@ -76,9 +76,30 @@ def rank_uniform(values: np.ndarray) -> np.ndarray:
 
 
 def _row_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    # reduceat pitfall: an empty segment (indptr[i] == indptr[i+1]) does
+    # not sum to 0 — it returns values[indptr[i]], i.e. a *neighboring*
+    # user's element.  Mask empty segments back to 0 explicitly.
     sums = np.add.reduceat(np.append(values, 0.0), indptr[:-1])
     sums[np.diff(indptr) == 0] = 0.0
     return sums
+
+
+def _segment_entries(
+    indptr: np.ndarray, users: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the library rows of ``users`` into entry indices.
+
+    Returns ``(entries, seg)`` where ``entries`` are positions into the
+    entry arrays (each user's slice, concatenated in ``users`` order) and
+    ``seg[i]`` is the position in ``users`` that entry ``i`` belongs to.
+    """
+    cnts = (indptr[users + 1] - indptr[users]).astype(np.int64)
+    total = int(cnts.sum())
+    seg = np.repeat(np.arange(len(users), dtype=np.int64), cnts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(cnts) - cnts, cnts
+    )
+    return indptr[users][seg] + offsets, seg
 
 
 def build_playtimes(
@@ -136,15 +157,19 @@ def build_playtimes(
 
     # The paper counts genre membership by *any* label, so calibrate the
     # per-entry unplayed probability against every label a game carries.
+    # float32 keeps the fixed-point loop's matmuls off the bool->float64
+    # conversion path.
     labels = np.stack(
         [catalog.table.has_genre(name)[entry_game] for name in genre_names],
         axis=1,
-    )
+    ).astype(np.float32)
     n_labels = np.maximum(labels.sum(axis=1), 1)
     p_unplayed = (labels @ genre_rate) / n_labels
 
     # Library-size tilt: bigger libraries have relatively more shelfware.
-    size_tilt = (np.maximum(counts[entry_user], 1) / 8.0) ** own_config.unplayed_size_slope
+    # (Computed per user, then gathered — pow is the expensive part.)
+    user_tilt = (np.maximum(counts, 1) / 8.0) ** own_config.unplayed_size_slope
+    size_tilt = user_tilt[entry_user]
     p_unplayed = p_unplayed * size_tilt
     # Popularity tilt: the copies people actually launch are the popular
     # titles; shelfware skews obscure.  (Also what keeps the union of
@@ -187,21 +212,17 @@ def build_playtimes(
     # Collectors: per-user played fraction in [0, collector_played_max].
     if len(collectors):
         frac = rng.uniform(0.0, own_config.collector_played_max, len(collectors))
-        for user, f in zip(collectors, frac):
-            if never[user]:
-                continue
-            sl = owned.row_slice(int(user))
-            k = sl.stop - sl.start
-            flags = rng.random(k) >= f
-            unplayed[sl.start : sl.stop] = flags
+        playing = ~never[collectors]
+        if playing.any():
+            ent, seg = _segment_entries(owned.indptr, collectors[playing])
+            unplayed[ent] = rng.random(len(ent)) >= frac[playing][seg]
 
     # Every playing owner launches at least one game.
     played_per_user = _row_sums((~unplayed).astype(np.float64), owned.indptr)
     stuck = players[played_per_user[players] < 0.5]
-    for user in stuck:
-        sl = owned.row_slice(int(user))
-        pick = sl.start + int(rng.integers(0, sl.stop - sl.start))
-        unplayed[pick] = False
+    if len(stuck):
+        width = owned.indptr[stuck + 1] - owned.indptr[stuck]
+        unplayed[owned.indptr[stuck] + rng.integers(0, width)] = False
 
     # ----- allocate totals across played entries ---------------------------
     genre_boost = np.ones(n_entries)
@@ -225,15 +246,18 @@ def build_playtimes(
     # mega-titles (the clan pattern behind Figure 3's dedicated groups).
     devotees = players[rng.random(len(players)) < config.devotee_share]
     raw_pop = catalog.popularity[entry_game]
-    for user in devotees:
-        sl = owned.row_slice(int(user))
-        row = weight[sl.start : sl.stop]
-        playable = row > 0
-        if not playable.any():
-            continue
-        pop_row = raw_pop[sl.start : sl.stop] * playable
-        row[int(np.argmax(pop_row))] *= config.devotee_boost
-        weight[sl.start : sl.stop] = row
+    if len(devotees):
+        ent, seg = _segment_entries(owned.indptr, devotees)
+        playable = weight[ent] > 0
+        vals = raw_pop[ent] * playable
+        # First-max argmax per segment: sort by (segment, -value, position)
+        # and take each segment's leading element.
+        order = np.lexsort((ent, -vals, seg))
+        firsts = order[np.searchsorted(seg[order], np.arange(len(devotees)))]
+        has_playable = (
+            np.bincount(seg, weights=playable, minlength=len(devotees)) > 0
+        )
+        weight[ent[firsts[has_playable]]] *= config.devotee_boost
     row_total = _row_sums(weight, owned.indptr)
     total_hours_per_user = np.zeros(n_users)
     total_hours_per_user[players] = total_hours
@@ -283,21 +307,31 @@ def build_playtimes(
     tw_weight = (total_min.astype(np.float64) + 1.0) * tw_boost
     tw_weight[unplayed] = 0.0
 
-    for user, hours in zip(active_players, tw_hours):
-        sl = owned.row_slice(int(user))
-        w = tw_weight[sl.start : sl.stop]
-        playable = np.flatnonzero(w > 0)
-        if len(playable) == 0:
-            continue
-        m = 1 + rng.poisson(max(config.twoweek_games_mean - 1.0, 0.0))
-        m = min(m, len(playable))
-        scores = np.log(w[playable]) + rng.gumbel(size=len(playable))
-        top = playable[np.argpartition(-scores, m - 1)[:m]]
-        shares = rng.dirichlet(np.ones(m) * 1.2)
+    if len(active_players):
+        n_act = len(active_players)
+        ent, seg = _segment_entries(owned.indptr, active_players)
+        keep = tw_weight[ent] > 0
+        ent, seg = ent[keep], seg[keep]
+        n_playable = np.bincount(seg, minlength=n_act)
+        lam = max(config.twoweek_games_mean - 1.0, 0.0)
+        m = np.minimum(1 + rng.poisson(lam, size=n_act), n_playable)
+        # Gumbel top-m per segment replaces per-user argpartition.
+        scores = np.log(tw_weight[ent]) + rng.gumbel(size=len(ent))
+        order = np.lexsort((-scores, seg))
+        seg_sorted = seg[order]
+        bounds = np.searchsorted(seg_sorted, np.arange(n_act))
+        rank = np.arange(len(ent)) - bounds[seg_sorted]
+        sel = rank < m[seg_sorted]
+        sel_ent = ent[order][sel]
+        sel_seg = seg_sorted[sel]
+        # Dirichlet(1.2·1) shares via normalized Gamma(1.2) draws.
+        g = rng.gamma(1.2, size=len(sel_ent))
+        sums = np.bincount(sel_seg, weights=g, minlength=n_act)
+        shares = g / np.maximum(sums[sel_seg], 1e-300)
         minutes = np.maximum(
-            np.round(shares * hours * 60.0).astype(np.int64), 1
+            np.round(shares * tw_hours[sel_seg] * 60.0).astype(np.int64), 1
         )
-        twoweek_min[sl.start + top] = np.minimum(minutes, 336 * 60)
+        twoweek_min[sel_ent] = np.minimum(minutes, 336 * 60).astype(np.int32)
 
     # Totals include the current window: total >= two-week per entry.
     np.maximum(total_min, twoweek_min.astype(np.int64), out=total_min)

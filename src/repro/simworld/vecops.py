@@ -1,0 +1,35 @@
+"""Small vector primitives shared by the batched generation paths.
+
+numpy's ``np.unique``/``np.isin`` route integer inputs through a hash
+table (numpy >= 2.0), which is the single largest cost in the batched
+recruiters at 10^5+ users.  The generation hot loops only ever dedup
+*sortable integer keys* and test membership against *already-sorted*
+arrays, where an explicit sort + adjacent-difference scan and a
+``searchsorted`` probe are several times faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sorted_unique", "in_sorted"]
+
+
+def sorted_unique(a: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of ``a`` (``np.unique`` sans hash path)."""
+    if len(a) == 0:
+        return a
+    s = np.sort(a)
+    keep = np.empty(len(s), dtype=bool)
+    keep[0] = True
+    np.not_equal(s[1:], s[:-1], out=keep[1:])
+    return s[keep]
+
+
+def in_sorted(values: np.ndarray, haystack: np.ndarray) -> np.ndarray:
+    """Membership mask of ``values`` in ascending-sorted ``haystack``."""
+    if len(haystack) == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(haystack, values)
+    pos = np.minimum(pos, len(haystack) - 1)
+    return haystack[pos] == values

@@ -103,6 +103,69 @@ class SteamApiService:
         appids = dataset.catalog.appid
         self._app_order = np.argsort(appids)
         self._appids_sorted = appids[self._app_order]
+        self._group_sizes = dataset.groups.sizes()
+        #: Lazily-built per-product genre/category payload fragments for
+        #: ``appdetails`` (see :meth:`_appdetails_fragments`).  Built on
+        #: first use so non-crawl consumers never pay for it.
+        self._app_genres: list[list[dict]] | None = None
+        self._app_categories: list[list[dict]] | None = None
+        #: Lazily-built per-product achievement payload lists (see
+        #: :meth:`_achievement_fragments`) — same sharing contract.
+        self._ach_payloads: list[list[dict]] | None = None
+
+    def _appdetails_fragments(self) -> None:
+        """Precompute the genre and category lists for every product.
+
+        The naive per-request path re-derived each product's genres by
+        scanning a whole-catalog ``has_genre`` mask per genre name —
+        O(products x genres) array work *per request*.  One vectorized
+        pass builds the lists up front; the little dicts are shared
+        between products (responses are serialized or read, never
+        mutated), so per-request work drops to a list lookup.
+        """
+        cat = self.dataset.catalog
+        names = cat.genre_names
+        genre_dicts = [
+            {"id": str(i), "description": name}
+            for i, name in enumerate(names)
+        ]
+        shifts = np.arange(len(names), dtype=np.uint64)
+        bits = (
+            np.asarray(cat.genre_mask, dtype=np.uint64)[:, None]
+            >> shifts[None, :]
+        ) & np.uint64(1)
+        self._app_genres = [
+            [genre_dicts[g] for g in row.nonzero()[0]] for row in bits
+        ]
+        multi = [{"id": 1, "description": "Multi-player"}]
+        single = [{"id": 2, "description": "Single-player"}]
+        self._app_categories = [
+            multi if flag else single for flag in cat.multiplayer.tolist()
+        ]
+
+    def _achievement_fragments(self) -> None:
+        """Precompute every product's achievement-percentage payload.
+
+        The rates are immutable dataset columns, but the naive path
+        rebuilt the dict list (with a ``round`` per rate) on every
+        request.  ``ACH_<i>`` name strings are shared across products —
+        achievement *i* has the same name everywhere.
+        """
+        ach = self.dataset.achievements
+        counts = ach.count.tolist()
+        names = [f"ACH_{i}" for i in range(max(counts, default=0))]
+        rates = ach.rates.tolist()
+        payloads = []
+        pos = 0
+        for n in counts:
+            payloads.append(
+                [
+                    {"name": names[i], "percent": round(r * 100.0, 4)}
+                    for i, r in enumerate(rates[pos : pos + n])
+                ]
+            )
+            pos += n
+        self._ach_payloads = payloads
 
     # -- setup ---------------------------------------------------------------
 
@@ -139,7 +202,9 @@ class SteamApiService:
         offset = int(steamid) - constants.STEAMID_BASE
         if offset < 0:
             raise BadRequestError(f"not a SteamID64: {steamid}")
-        pos = int(np.searchsorted(self._offsets, offset))
+        # Bound-method searchsorted skips the np.searchsorted dispatch
+        # wrapper — this runs once per detail-phase request.
+        pos = int(self._offsets.searchsorted(offset))
         if pos >= len(self._offsets) or self._offsets[pos] != offset:
             raise NotFoundError(f"no account for SteamID {steamid}")
         return pos
@@ -151,7 +216,7 @@ class SteamApiService:
             )
 
     def _product_index(self, appid: int) -> int:
-        pos = int(np.searchsorted(self._appids_sorted, appid))
+        pos = int(self._appids_sorted.searchsorted(appid))
         if (
             pos >= len(self._appids_sorted)
             or self._appids_sorted[pos] != appid
@@ -176,20 +241,35 @@ class SteamApiService:
                 f"at most {MAX_SUMMARY_BATCH} steamids per call"
             )
         acc = self.dataset.accounts
+        # One searchsorted over the whole batch instead of a binary
+        # search per id — this endpoint serves the phase-1 ID sweep,
+        # which probes the entire (mostly-invalid) ID space.
+        ids = np.asarray([int(s) for s in steamids], dtype=np.int64)
+        offs = ids - constants.STEAMID_BASE
+        if np.any(offs < 0):
+            bad = ids[int(np.argmax(offs < 0))]
+            raise BadRequestError(f"not a SteamID64: {bad}")
+        if len(self._offsets) == 0:
+            return {"response": {"players": []}}
+        pos = np.minimum(
+            self._offsets.searchsorted(offs), len(self._offsets) - 1
+        )
+        valid = self._offsets[pos] == offs
+        users = pos[valid]
         players = []
-        for steamid in steamids:
-            try:
-                user = self._user_index(int(steamid))
-            except NotFoundError:
-                continue
+        for steamid, user, created, country, city in zip(
+            ids[valid].tolist(),
+            users.tolist(),
+            acc.created_day[users].tolist(),
+            acc.country[users].tolist(),
+            acc.city[users].tolist(),
+        ):
             entry: dict = {
-                "steamid": str(int(steamid)),
-                "timecreated": _day_to_unix(acc.created_day[user]),
+                "steamid": str(steamid),
+                "timecreated": _UNIX_LAUNCH + created * 86400,
             }
-            country = int(acc.country[user])
             if country >= 0:
                 entry["loccountrycode"] = acc.country_names[country]
-            city = int(acc.city[user])
             if city >= 0:
                 entry["loccityid"] = city
             players.append(entry)
@@ -202,23 +282,29 @@ class SteamApiService:
         self._require_public(user)
         sl = self._adj.row_slice(user)
         others = self._adj.indices[sl]
-        edges = self._adj_edge[sl]
-        days = self.dataset.friends.day[edges]
+        days = self.dataset.friends.day[self._adj_edge[sl]]
         epoch = self.dataset.meta.friend_ts_epoch_day
-        friends = []
-        for other, day in zip(others, days):
-            # Pre-epoch friendships report friend_since = 0, as on Steam.
-            since = _day_to_unix(day) if day >= epoch else 0
-            friends.append(
-                {
-                    "steamid": str(
-                        constants.STEAMID_BASE
-                        + int(self._offsets[int(other)])
-                    ),
-                    "relationship": "friend",
-                    "friend_since": since,
-                }
-            )
+        # Vectorize the per-edge arithmetic, then drop to plain Python
+        # ints via tolist() — far cheaper than np-scalar indexing in the
+        # loop.  Pre-epoch friendships report friend_since = 0, as on
+        # Steam.
+        sids = (
+            np.asarray(self._offsets[others], dtype=np.int64)
+            + constants.STEAMID_BASE
+        ).tolist()
+        since = np.where(
+            days >= epoch,
+            days.astype(np.int64) * 86400 + _UNIX_LAUNCH,
+            0,
+        ).tolist()
+        friends = [
+            {
+                "steamid": str(sid),
+                "relationship": "friend",
+                "friend_since": ts,
+            }
+            for sid, ts in zip(sids, since)
+        ]
         return {"friendslist": {"friends": friends}}
 
     def get_owned_games(self, key: str | None, steamid: int) -> dict:
@@ -228,19 +314,14 @@ class SteamApiService:
         self._require_public(user)
         lib = self.dataset.library
         sl = lib.owned.row_slice(user)
-        appid = self.dataset.catalog.appid
+        appids = self.dataset.catalog.appid[lib.owned.indices[sl]].tolist()
+        totals = lib.total_min[sl].tolist()
+        twoweeks = lib.twoweek_min[sl].tolist()
         games = []
-        for product, total, twoweek in zip(
-            lib.owned.indices[sl],
-            lib.total_min[sl],
-            lib.twoweek_min[sl],
-        ):
-            entry = {
-                "appid": int(appid[int(product)]),
-                "playtime_forever": int(total),
-            }
+        for appid, total, twoweek in zip(appids, totals, twoweeks):
+            entry = {"appid": appid, "playtime_forever": total}
             if twoweek > 0:
-                entry["playtime_2weeks"] = int(twoweek)
+                entry["playtime_2weeks"] = twoweek
             games.append(entry)
         return {"response": {"game_count": len(games), "games": games}}
 
@@ -250,8 +331,8 @@ class SteamApiService:
         user = self._user_index(int(steamid))
         self._require_public(user)
         groups = [
-            {"gid": GROUP_ID_BASE + int(g)}
-            for g in self._user_groups.row(user)
+            {"gid": GROUP_ID_BASE + g}
+            for g in self._user_groups.row(user).tolist()
         ]
         return {"response": {"success": True, "groups": groups}}
 
@@ -272,16 +353,14 @@ class SteamApiService:
         """ISteamUserStats/GetGlobalAchievementPercentagesForApp."""
         self._charge(key, "GetGlobalAchievementPercentages")
         product = self._product_index(int(gameid))
-        ach = self.dataset.achievements
-        if ach is None:
+        if self.dataset.achievements is None:
             raise NotFoundError("achievement data unavailable")
-        rates = ach.game_rates(product)
-        achievements = [
-            {"name": f"ACH_{i}", "percent": round(float(r) * 100.0, 4)}
-            for i, r in enumerate(rates)
-        ]
+        if self._ach_payloads is None:
+            self._achievement_fragments()
         return {
-            "achievementpercentages": {"achievements": achievements}
+            "achievementpercentages": {
+                "achievements": self._ach_payloads[product]
+            }
         }
 
     def appdetails(self, key: str | None, appid: int) -> dict:
@@ -290,16 +369,10 @@ class SteamApiService:
         self._charge(key, "appdetails")
         product = self._product_index(int(appid))
         cat = self.dataset.catalog
-        genres = [
-            {"id": str(i), "description": name}
-            for i, name in enumerate(cat.genre_names)
-            if bool(cat.has_genre(name)[product])
-        ]
-        categories = []
-        if bool(cat.multiplayer[product]):
-            categories.append({"id": 1, "description": "Multi-player"})
-        else:
-            categories.append({"id": 2, "description": "Single-player"})
+        if self._app_genres is None:
+            self._appdetails_fragments()
+        genres = self._app_genres[product]
+        categories = self._app_categories[product]
         from repro.simworld.names import game_name
 
         body = {
@@ -333,7 +406,7 @@ class SteamApiService:
         payload = {
             "gid": int(gid),
             "type": int(groups.group_type[index]),
-            "member_count": int(groups.sizes()[index]),
+            "member_count": int(self._group_sizes[index]),
         }
         if focus >= 0:
             payload["focus_appid"] = int(self.dataset.catalog.appid[focus])

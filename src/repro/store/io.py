@@ -1,7 +1,7 @@
-"""Dataset persistence: a single compressed ``.npz`` per dataset.
+"""Dataset persistence: compressed ``.npz`` or mmap-able column directory.
 
 Arrays are stored flat under dotted keys; tuples of strings and scalar
-metadata ride along in a JSON sidecar entry.  The format round-trips
+metadata ride along in a JSON sidecar entry.  Both formats round-trip
 everything in :class:`repro.store.dataset.SteamDataset`.
 
 Crash safety (DESIGN.md §9): :func:`save_dataset` writes to a unique
@@ -13,12 +13,25 @@ verifies every array against it and raises a typed
 :class:`DatasetIntegrityError` naming the offending entry instead of
 leaking ``KeyError`` or ``zipfile`` internals on truncated or corrupt
 files.  v1 files (no manifest) still load, unverified.
+
+The columnar directory format (DESIGN.md §13) stores one uncompressed
+``.npy`` per column plus a ``manifest.json``.  Columns load with
+``np.load(..., mmap_mode="r")``, so a 10^6-user world opens in
+milliseconds and parallel workers (fork *or* spawn) share the read-only
+pages through the OS page cache instead of each holding a private copy.
+Directory writes stage into a temp sibling directory and rename into
+place; unlike the single-file rename this is atomic only when no
+previous directory exists at the target (an existing one is removed
+first), which is acceptable for spill files and explicit exports.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import shutil
+import tempfile
 import zipfile
 from pathlib import Path
 
@@ -37,11 +50,23 @@ from repro.store.tables import (
     Snapshot2Table,
 )
 
-__all__ = ["save_dataset", "load_dataset", "DatasetIntegrityError"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_dataset_dir",
+    "load_dataset_dir",
+    "load_any",
+    "DatasetIntegrityError",
+]
 
 #: v1: no checksum manifest.  v2: adds ``checksums`` to the sidecar.
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
+
+#: Columnar directory format (independent of the .npz versioning).
+_DIR_FORMAT_VERSION = 1
+_DIR_SUPPORTED_VERSIONS = (1,)
+_MANIFEST_NAME = "manifest.json"
 
 
 class DatasetIntegrityError(ValueError):
@@ -91,6 +116,145 @@ def save_dataset(dataset: SteamDataset, path: str | Path) -> Path:
     with atomic_writer(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)
     return path
+
+
+def _column_filename(key: str) -> str:
+    """Map a dotted column key to its on-disk ``.npy`` file name."""
+    return key.replace("/", "_") + ".npy"
+
+
+def save_dataset_dir(dataset: SteamDataset, path: str | Path) -> Path:
+    """Write ``dataset`` as a directory of mmap-able ``.npy`` columns.
+
+    Columns land as plain uncompressed ``.npy`` files (one per dotted
+    key) next to a ``manifest.json`` carrying the metadata and the
+    per-column checksums.  The write stages into a temp sibling
+    directory and renames into place; any existing directory at
+    ``path`` is removed first, so concurrent readers of an *old*
+    directory at the same path are not protected the way ``.npz``
+    readers are (documented in the module docstring).
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = dict(dataset.iter_columns())
+    manifest = {
+        "format_version": _DIR_FORMAT_VERSION,
+        "checksums": {key: _array_checksum(a) for key, a in arrays.items()},
+        **dataset.meta_dict(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = Path(
+        tempfile.mkdtemp(prefix=path.name + ".tmp.", dir=path.parent)
+    )
+    try:
+        for key, arr in arrays.items():
+            np.save(staging / _column_filename(key), arr)
+        with open(staging / _MANIFEST_NAME, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(staging, path)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return path
+
+
+class _DirReader:
+    """Pull ``.npy`` columns out of a dataset directory, optionally mmap'd."""
+
+    def __init__(self, path: Path, mmap: bool) -> None:
+        self.path = path
+        self.mmap_mode = "r" if mmap else None
+        self.checksums: dict[str, str] = {}
+        self.verify = False
+
+    def __contains__(self, key: str) -> bool:
+        return (self.path / _column_filename(key)).exists()
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        file = self.path / _column_filename(key)
+        try:
+            arr = np.load(file, mmap_mode=self.mmap_mode)
+        except FileNotFoundError:
+            raise DatasetIntegrityError(
+                f"dataset {self.path} is missing required column {key!r}",
+                key=key,
+            ) from None
+        except (OSError, ValueError, EOFError) as exc:
+            raise DatasetIntegrityError(
+                f"dataset {self.path} column {key!r} is corrupt: {exc}",
+                key=key,
+            ) from None
+        if self.verify:
+            expected = self.checksums.get(key)
+            if expected is None:
+                raise DatasetIntegrityError(
+                    f"dataset {self.path} column {key!r} has no checksum "
+                    f"in the manifest",
+                    key=key,
+                )
+            if _array_checksum(np.asarray(arr)) != expected:
+                raise DatasetIntegrityError(
+                    f"dataset {self.path} column {key!r} failed its "
+                    f"checksum (corrupt or tampered)",
+                    key=key,
+                )
+        return arr
+
+
+def load_dataset_dir(
+    path: str | Path, mmap: bool = True, verify: bool = False
+) -> SteamDataset:
+    """Read a dataset directory written by :func:`save_dataset_dir`.
+
+    With ``mmap=True`` (the default) columns are memory-mapped
+    read-only: opening is near-instant regardless of world size, and
+    every process mapping the same directory shares the physical pages
+    through the OS page cache.  ``verify`` defaults to *off* because
+    checksumming forces a full read, defeating the point of the mmap;
+    turn it on for untrusted files.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST_NAME
+    try:
+        with open(manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise
+    except (ValueError, UnicodeDecodeError, OSError) as exc:
+        raise DatasetIntegrityError(
+            f"dataset {path} manifest.json is corrupt: {exc}",
+            key=_MANIFEST_NAME,
+        ) from None
+    version = manifest.get("format_version")
+    if version not in _DIR_SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in _DIR_SUPPORTED_VERSIONS)
+        raise DatasetIntegrityError(
+            f"dataset {path} has directory format_version {version!r}; "
+            f"this build supports versions {supported}"
+        )
+    reader = _DirReader(path, mmap=mmap)
+    reader.checksums = manifest.get("checksums", {})
+    reader.verify = verify
+    return _assemble_dataset(reader, manifest, path)
+
+
+def load_any(path: str | Path, verify: bool | None = None) -> SteamDataset:
+    """Load a dataset from either format, picked by what's on disk.
+
+    A directory loads through :func:`load_dataset_dir` (mmap'd,
+    unverified by default); anything else loads through
+    :func:`load_dataset` (verified by default).  Pass ``verify``
+    explicitly to override either default.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return load_dataset_dir(
+            path, verify=False if verify is None else verify
+        )
+    return load_dataset(path, verify=True if verify is None else verify)
 
 
 class _VerifyingReader:
@@ -187,78 +351,83 @@ def load_dataset(path: str | Path, verify: bool = True) -> SteamDataset:
             )
         reader.checksums = meta.get("checksums", {})
         reader.verify = verify and version >= 2
-        n_users = len(reader["acc.id_offset"])
-        accounts = AccountTable(
-            id_offset=reader["acc.id_offset"],
-            created_day=reader["acc.created_day"],
-            country=reader["acc.country"],
-            city=reader["acc.city"],
-            country_names=tuple(_meta_field(meta, "country_names", path)),
+        return _assemble_dataset(reader, meta, path)
+
+
+def _assemble_dataset(reader, meta: dict, path: Path) -> SteamDataset:
+    """Build a :class:`SteamDataset` from any keyed array reader."""
+    n_users = len(reader["acc.id_offset"])
+    accounts = AccountTable(
+        id_offset=reader["acc.id_offset"],
+        created_day=reader["acc.created_day"],
+        country=reader["acc.country"],
+        city=reader["acc.city"],
+        country_names=tuple(_meta_field(meta, "country_names", path)),
+    )
+    friends = FriendTable(
+        u=reader["fr.u"],
+        v=reader["fr.v"],
+        day=reader["fr.day"],
+        n_users=n_users,
+    )
+    groups = GroupTable(
+        group_type=reader["gr.type"],
+        focus_game=reader["gr.focus"],
+        members=CSRMatrix(
+            indptr=reader["gr.indptr"], indices=reader["gr.indices"]
+        ),
+        n_users=n_users,
+    )
+    catalog = CatalogTable(
+        appid=reader["cat.appid"],
+        is_game=reader["cat.is_game"],
+        primary_genre=reader["cat.primary_genre"],
+        genre_mask=reader["cat.genre_mask"],
+        price_cents=reader["cat.price_cents"],
+        multiplayer=reader["cat.multiplayer"],
+        release_day=reader["cat.release_day"],
+        metacritic=reader["cat.metacritic"],
+        genre_names=tuple(_meta_field(meta, "genre_names", path)),
+    )
+    library = LibraryTable(
+        owned=CSRMatrix(
+            indptr=reader["lib.indptr"], indices=reader["lib.indices"]
+        ),
+        total_min=reader["lib.total_min"],
+        twoweek_min=reader["lib.twoweek_min"],
+    )
+    achievements = None
+    if "ach.count" in reader:
+        achievements = AchievementTable(
+            count=reader["ach.count"],
+            indptr=reader["ach.indptr"],
+            rates=reader["ach.rates"],
         )
-        friends = FriendTable(
-            u=reader["fr.u"],
-            v=reader["fr.v"],
-            day=reader["fr.day"],
-            n_users=n_users,
+    snapshot2 = None
+    if "s2.owned" in reader:
+        snapshot2 = Snapshot2Table(
+            owned=reader["s2.owned"],
+            played=reader["s2.played"],
+            value_cents=reader["s2.value_cents"],
+            total_min=reader["s2.total_min"],
+            twoweek_min=reader["s2.twoweek_min"],
         )
-        groups = GroupTable(
-            group_type=reader["gr.type"],
-            focus_game=reader["gr.focus"],
-            members=CSRMatrix(
-                indptr=reader["gr.indptr"], indices=reader["gr.indices"]
+    return SteamDataset(
+        accounts=accounts,
+        friends=friends,
+        groups=groups,
+        catalog=catalog,
+        library=library,
+        achievements=achievements,
+        snapshot2=snapshot2,
+        meta=DatasetMeta(
+            snapshot1_day=_meta_field(meta, "snapshot1_day", path),
+            snapshot2_day=_meta_field(meta, "snapshot2_day", path),
+            friend_ts_epoch_day=_meta_field(
+                meta, "friend_ts_epoch_day", path
             ),
-            n_users=n_users,
-        )
-        catalog = CatalogTable(
-            appid=reader["cat.appid"],
-            is_game=reader["cat.is_game"],
-            primary_genre=reader["cat.primary_genre"],
-            genre_mask=reader["cat.genre_mask"],
-            price_cents=reader["cat.price_cents"],
-            multiplayer=reader["cat.multiplayer"],
-            release_day=reader["cat.release_day"],
-            metacritic=reader["cat.metacritic"],
-            genre_names=tuple(_meta_field(meta, "genre_names", path)),
-        )
-        library = LibraryTable(
-            owned=CSRMatrix(
-                indptr=reader["lib.indptr"], indices=reader["lib.indices"]
-            ),
-            total_min=reader["lib.total_min"],
-            twoweek_min=reader["lib.twoweek_min"],
-        )
-        achievements = None
-        if "ach.count" in reader:
-            achievements = AchievementTable(
-                count=reader["ach.count"],
-                indptr=reader["ach.indptr"],
-                rates=reader["ach.rates"],
-            )
-        snapshot2 = None
-        if "s2.owned" in reader:
-            snapshot2 = Snapshot2Table(
-                owned=reader["s2.owned"],
-                played=reader["s2.played"],
-                value_cents=reader["s2.value_cents"],
-                total_min=reader["s2.total_min"],
-                twoweek_min=reader["s2.twoweek_min"],
-            )
-        return SteamDataset(
-            accounts=accounts,
-            friends=friends,
-            groups=groups,
-            catalog=catalog,
-            library=library,
-            achievements=achievements,
-            snapshot2=snapshot2,
-            meta=DatasetMeta(
-                snapshot1_day=_meta_field(meta, "snapshot1_day", path),
-                snapshot2_day=_meta_field(meta, "snapshot2_day", path),
-                friend_ts_epoch_day=_meta_field(
-                    meta, "friend_ts_epoch_day", path
-                ),
-                seed=_meta_field(meta, "seed", path),
-                scale_note=_meta_field(meta, "scale_note", path),
-                extra=_meta_field(meta, "extra", path),
-            ),
-        )
+            seed=_meta_field(meta, "seed", path),
+            scale_note=_meta_field(meta, "scale_note", path),
+            extra=_meta_field(meta, "extra", path),
+        ),
+    )

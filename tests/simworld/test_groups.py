@@ -1,11 +1,27 @@
 """Group generation (Section 4.2, Table 2, Figure 3)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
-from repro.simworld.config import GroupConfig
-from repro.simworld.groups import group_sizes, membership_curve
-from repro.store.tables import GroupType
+from repro.simworld.catalog import build_catalog
+from repro.simworld.config import (
+    CatalogConfig,
+    FactorConfig,
+    GroupConfig,
+    OwnershipConfig,
+)
+from repro.simworld.copula import draw_latents
+from repro.simworld.groups import (
+    _Recruits,
+    _recruit_all,
+    build_groups,
+    group_sizes,
+    membership_curve,
+)
+from repro.simworld.ownership import build_ownership
+from repro.store.tables import CSRMatrix, GroupType
 
 
 class TestSizes:
@@ -27,6 +43,80 @@ class TestMembershipCurve:
         curve = membership_curve(GroupConfig())
         assert curve.percentile(50) == 2
         assert curve.percentile(95) == 22
+
+
+class TestFocusGuards:
+    """Degenerate focus-game inputs must not crash recruitment.
+
+    Two regressions: a focus game with an *empty* owner segment used to
+    make ``_recruit_all`` draw from position ``-1`` of the owner array,
+    and an all-non-game catalog used to clamp a popularity pick into an
+    empty ``game_ids``.
+    """
+
+    def test_focus_game_without_owners_recruits_globally(self):
+        n_users = 12
+        # game 0 -> owners {0,1,2}, game 1 -> nobody, game 2 -> {3,4}.
+        owners_of, _ = CSRMatrix.from_pairs(
+            np.array([0, 0, 0, 2, 2]),
+            np.array([0, 1, 2, 3, 4], dtype=np.int32),
+            3,
+        )
+        sizes = np.array([4, 3], dtype=np.int64)
+        # Group 0 is focused on the ownerless game 1 — the guard must
+        # route its whole quota through the global pool.  Group 1 keeps
+        # a normal focus so both paths run in one batched call.
+        focus_game = np.array([1, 2], dtype=np.int64)
+        members = _recruit_all(
+            np.random.default_rng(0),
+            sizes,
+            focus_game,
+            np.array([False, False]),
+            GroupConfig(),
+            owners_of,
+            np.zeros(owners_of.nnz),
+            np.ones(n_users),
+            _Recruits(
+                weights_cdf=np.cumsum(np.ones(n_users)),
+                users=np.arange(n_users, dtype=np.int32),
+            ),
+            None,
+            n_users,
+        )
+        assert members.counts().tolist() == sizes.tolist()
+        for g in range(2):
+            row = members.row(g)
+            assert len(np.unique(row)) == len(row)
+            assert row.min() >= 0 and row.max() < n_users
+
+    def test_catalog_without_games_leaves_groups_unfocused(self):
+        rng = np.random.default_rng(11)
+        catalog = build_catalog(rng, CatalogConfig())
+        latents = draw_latents(rng, 3_000, FactorConfig())
+        ownership = build_ownership(
+            rng, latents, catalog, OwnershipConfig()
+        )
+        # Demote every product to a non-game: game_ids comes out empty.
+        no_games = dataclasses.replace(
+            catalog,
+            table=dataclasses.replace(
+                catalog.table,
+                is_game=np.zeros(catalog.n_products, dtype=bool),
+            ),
+        )
+        groups = build_groups(
+            np.random.default_rng(12),
+            latents,
+            ownership,
+            no_games,
+            GroupConfig(),
+        )
+        assert np.all(groups.focus_game == -1)
+        # Recruitment still fills groups from the global pool.
+        assert groups.members.nnz > 0
+        members = groups.members.indices
+        assert members.min() >= 0
+        assert members.max() < len(latents)
 
 
 class TestGeneratedGroups:

@@ -13,11 +13,47 @@ from repro.simworld.config import (
 from repro.simworld.copula import draw_latents
 from repro.simworld.ownership import build_ownership
 from repro.simworld.playtime import (
+    _row_sums,
     build_playtimes,
     rank_uniform,
     total_playtime_curve,
     twoweek_curve,
 )
+
+
+class TestRowSums:
+    """``np.add.reduceat`` empty-segment regression.
+
+    ``reduceat`` does NOT sum an empty segment to zero: for
+    ``indptr[i] == indptr[i+1]`` it returns ``values[indptr[i]]`` — a
+    *neighboring* segment's element.  These hand-built ``indptr``
+    arrays (with repeated offsets) would surface the naive bug as a
+    stolen neighbor value.
+    """
+
+    def test_empty_middle_segment_sums_to_zero(self):
+        values = np.array([5.0, 7.0, 11.0, 13.0])
+        # Segments: [0:2]=[5,7], [2:2]=empty, [2:4]=[11,13].  The naive
+        # reduceat reports 11.0 (the neighbor's element) for segment 1.
+        indptr = np.array([0, 2, 2, 4])
+        assert _row_sums(values, indptr).tolist() == [12.0, 0.0, 24.0]
+
+    def test_consecutive_and_trailing_empty_segments(self):
+        values = np.array([3.0])
+        indptr = np.array([0, 0, 0, 1, 1])
+        assert _row_sums(values, indptr).tolist() == [
+            0.0,
+            0.0,
+            3.0,
+            0.0,
+        ]
+
+    def test_all_segments_empty(self):
+        # The appended sentinel keeps reduceat in-bounds even when no
+        # user owns anything at all.
+        values = np.empty(0)
+        indptr = np.zeros(4, dtype=np.int64)
+        assert _row_sums(values, indptr).tolist() == [0.0, 0.0, 0.0]
 
 
 @pytest.fixture(scope="module")

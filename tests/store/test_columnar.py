@@ -1,0 +1,146 @@
+"""Columnar mmap directory format: round-trips and worker identity."""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.store.io import (
+    DatasetIntegrityError,
+    load_any,
+    load_dataset_dir,
+    save_dataset,
+    save_dataset_dir,
+)
+
+
+class TestDirRoundTrip:
+    def test_fingerprint_identical(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        loaded = load_dataset_dir(path)
+        assert loaded.fingerprint() == small_dataset.fingerprint()
+
+    def test_mmap_and_inmemory_identical(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        mapped = load_dataset_dir(path, mmap=True)
+        copied = load_dataset_dir(path, mmap=False)
+        assert mapped.fingerprint() == copied.fingerprint()
+        # mmap'd columns are backed by the files, not private copies.
+        assert isinstance(mapped.accounts.id_offset, np.memmap)
+        assert not isinstance(copied.accounts.id_offset, np.memmap)
+
+    def test_verify_passes_on_clean_dir(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        loaded = load_dataset_dir(path, mmap=False, verify=True)
+        assert loaded.n_users == small_dataset.n_users
+
+    def test_overwrite_existing_directory(self, small_dataset, tmp_path):
+        path = tmp_path / "world.cols"
+        save_dataset_dir(small_dataset, path)
+        save_dataset_dir(small_dataset, path)
+        assert (
+            load_dataset_dir(path).fingerprint()
+            == small_dataset.fingerprint()
+        )
+
+    def test_load_any_picks_format(self, small_dataset, tmp_path):
+        as_dir = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        as_npz = save_dataset(small_dataset, tmp_path / "world.npz")
+        want = small_dataset.fingerprint()
+        assert load_any(as_dir).fingerprint() == want
+        assert load_any(as_npz).fingerprint() == want
+
+
+class TestDirIntegrity:
+    def test_missing_column_named(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        (path / "fr.u.npy").unlink()
+        with pytest.raises(DatasetIntegrityError, match="fr.u"):
+            load_dataset_dir(path)
+
+    def test_corrupt_column_fails_verify(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        loaded = load_dataset_dir(path, mmap=False, verify=True)
+        arr = np.load(path / "lib.total_min.npy")
+        arr[0] += 1
+        np.save(path / "lib.total_min.npy", arr)
+        with pytest.raises(DatasetIntegrityError, match="lib.total_min"):
+            corrupted = load_dataset_dir(path, mmap=False, verify=True)
+            corrupted.library.total_min  # noqa: B018 — force the read
+        assert loaded.n_users == small_dataset.n_users
+
+    def test_future_version_rejected(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(DatasetIntegrityError, match="format_version"):
+            load_dataset_dir(path)
+
+    def test_corrupt_manifest_rejected(self, small_dataset, tmp_path):
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        (path / "manifest.json").write_text("{not json")
+        with pytest.raises(DatasetIntegrityError, match="manifest"):
+            load_dataset_dir(path)
+
+
+class TestWorkerByteIdentity:
+    """jobs stays a pure acceleration knob with the mmap'd spill
+    (DESIGN.md §8/§13): fork or spawn, any jobs count, byte-identical
+    report."""
+
+    @pytest.fixture(scope="class")
+    def serial_render(self, small_world):
+        from repro import SteamStudy
+
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        report = study.run(table4_max_tail=4_000, jobs=1)
+        return report.render(), report.render_figures()
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_spawn_workers_match_serial(
+        self, small_world, serial_render, jobs, monkeypatch
+    ):
+        from repro import SteamStudy
+
+        # Force the spawn branch (and with it the columnar mmap spill)
+        # even on platforms where fork is available.
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        report = study.run(table4_max_tail=4_000, jobs=jobs)
+        assert not study.last_engine_run.serial_fallback
+        assert report.render() == serial_render[0]
+        assert report.render_figures() == serial_render[1]
+
+    def test_fork_workers_match_serial(
+        self, small_world, serial_render
+    ):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork")
+        from repro import SteamStudy
+
+        study = SteamStudy(
+            world=small_world, _dataset=small_world.dataset
+        )
+        report = study.run(table4_max_tail=4_000, jobs=2)
+        assert report.render() == serial_render[0]
+
+    def test_analysis_on_mmap_dataset_matches(
+        self, small_dataset, tmp_path
+    ):
+        from repro import SteamStudy
+
+        path = save_dataset_dir(small_dataset, tmp_path / "world.cols")
+        mapped = load_dataset_dir(path, mmap=True)
+        a = SteamStudy.from_dataset(mapped).run(table4_max_tail=4_000)
+        b = SteamStudy.from_dataset(small_dataset).run(
+            table4_max_tail=4_000
+        )
+        assert a.render() == b.render()

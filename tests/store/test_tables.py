@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.store.tables import (
+    AchievementTable,
     CSRMatrix,
     FriendTable,
     GroupType,
@@ -158,6 +159,61 @@ class TestLibraryTable:
                 total_min=np.array([1, 2]),
                 twoweek_min=np.array([0]),
             )
+
+
+class TestReduceatEmptySegments:
+    """``np.add.reduceat`` empty-segment regression for every
+    aggregation built on it.
+
+    An empty CSR row (``indptr[i] == indptr[i+1]``) must aggregate to
+    zero (or nan for means) — the naive reduceat instead returns
+    ``values[indptr[i]]``, a neighboring row's element.  Each case
+    hand-builds ``indptr`` with repeated offsets so the stolen-neighbor
+    value would be nonzero and the bug visible.
+    """
+
+    def _sandwich_lib(self):
+        # User 1 owns nothing, wedged between owners; the naive bug
+        # would report user 2's first entry (playtime 999) for user 1.
+        owned, _ = CSRMatrix.from_pairs(
+            np.array([0, 2, 2]), np.array([4, 5, 6]), 4
+        )
+        return LibraryTable(
+            owned=owned,
+            total_min=np.array([100, 999, 0]),
+            twoweek_min=np.array([50, 42, 0]),
+        )
+
+    def test_row_sums_skip_empty_users(self):
+        lib = self._sandwich_lib()
+        assert lib.user_total_min().tolist() == [100, 0, 999, 0]
+        assert lib.user_twoweek_min().tolist() == [50, 0, 42, 0]
+
+    def test_played_counts_skip_empty_users(self):
+        lib = self._sandwich_lib()
+        assert lib.played_counts().tolist() == [1, 0, 1, 0]
+
+    def test_user_value_skips_empty_users(self):
+        lib = self._sandwich_lib()
+        price = np.zeros(10, dtype=np.int64)
+        price[4] = 100
+        price[5] = 2000
+        price[6] = 300
+        assert lib.user_value_cents(price).tolist() == [100, 0, 2300, 0]
+
+    def test_mean_completion_nan_for_empty_products(self):
+        # Product 1 has no achievements; the naive reduceat would
+        # average product 2's first rate (0.8) into it.
+        table = AchievementTable(
+            count=np.array([2, 0, 1, 0]),
+            indptr=np.array([0, 2, 2, 3, 3]),
+            rates=np.array([0.2, 0.4, 0.8], dtype=np.float32),
+        )
+        means = table.mean_completion()
+        assert means[0] == pytest.approx(0.3)
+        assert np.isnan(means[1])
+        assert means[2] == pytest.approx(0.8)
+        assert np.isnan(means[3])
 
 
 class TestGroupType:

@@ -123,11 +123,13 @@ class TestCommands:
 
     def test_figures_command(self, tmp_path, capsys):
         outdir = tmp_path / "figs"
+        # 2500 users keeps the 0.5% week panel comfortably non-empty
+        # (a ~7-user panel at 1500 can sample only inactive players).
         code = main(
             [
                 "figures",
                 "--users",
-                "1500",
+                "2500",
                 "--seed",
                 "3",
                 "--outdir",
