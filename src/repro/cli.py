@@ -341,7 +341,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve_analytics(args: argparse.Namespace) -> int:
     import logging
 
-    from repro.serving import AnalyticsService, AnalyticsStore, serve_analytics
+    from repro.serving import (
+        AdmissionConfig,
+        AnalyticsService,
+        AnalyticsStore,
+        serve_analytics,
+    )
+    from repro.steamapi.http_server import HttpLimits
 
     if not args.quiet:
         logging.basicConfig(
@@ -377,13 +383,36 @@ def _cmd_serve_analytics(args: argparse.Namespace) -> int:
         f"(stages: {len(run.executed)} executed, {len(run.cached)} cached, "
         f"jobs={run.jobs})"
     )
+    admission = AdmissionConfig(
+        max_inflight=args.max_inflight,
+        seed=args.seed,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    limits = HttpLimits(
+        socket_timeout=args.socket_timeout,
+        request_budget=args.request_budget,
+    )
     service = AnalyticsService(
-        store, obs=obs, cache_size=args.response_cache_size
+        store,
+        obs=obs,
+        cache_size=args.response_cache_size,
+        admission=admission,
     )
     server = serve_analytics(
-        service, port=args.port, obs=obs, access_log=not args.quiet
+        service,
+        port=args.port,
+        obs=obs,
+        access_log=not args.quiet,
+        limits=limits,
     )
     print(f"analytics API listening on {server.base_url}")
+    print(
+        f"overload guard: {admission.max_inflight} in-flight, "
+        f"breaker threshold {admission.breaker_threshold}, "
+        f"socket timeout {limits.socket_timeout or 'off'}, "
+        f"request budget {limits.request_budget or 'off'}"
+    )
     print(
         "routes: /users/<id>/summary /users/<id>/neighborhood "
         "/apps/<id>/stats"
@@ -392,7 +421,10 @@ def _cmd_serve_analytics(args: argparse.Namespace) -> int:
         "        /distributions/<attr>/percentile?q=Q "
         "/distributions/<attr>/rank?value=V"
     )
-    print("        /tailfit/<attr> /homophily/<attr> /healthz /metrics")
+    print(
+        "        /tailfit/<attr> /homophily/<attr> "
+        "/healthz /readyz /metrics"
+    )
     print("press Ctrl-C to stop")
     try:
         while True:
@@ -694,6 +726,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         metavar="N",
         help="LRU capacity of the fingerprint-keyed response cache",
+    )
+    p_sa.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "admission budget: concurrent requests served before excess "
+            "is shed with 429 + Retry-After"
+        ),
+    )
+    p_sa.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "consecutive deadline blowouts that trip a route's circuit "
+            "breaker (0 disables breakers)"
+        ),
+    )
+    p_sa.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe is allowed",
+    )
+    p_sa.add_argument(
+        "--socket-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-socket read/write timeout; slow-loris clients are "
+            "disconnected after this long stalled (default: no timeout)"
+        ),
+    )
+    p_sa.add_argument(
+        "--request-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "default per-request deadline budget; requests exceeding it "
+            "get a typed 504 (X-Repro-Deadline can only tighten it)"
+        ),
     )
     p_sa.add_argument(
         "--quiet",

@@ -7,10 +7,28 @@ homophily correlations), built through the stage engine so warm
 rebuilds are pure cache hits; :class:`AnalyticsService` routes HTTP
 queries to it with fingerprint-keyed response caching; and
 ``repro serve-analytics`` puts it on a socket.  DESIGN.md §11.
+
+The read path is overload-protected (DESIGN.md §14): an
+:class:`AdmissionController` bounds in-flight concurrency and sheds
+excess with seeded ``Retry-After`` 429s, per-route circuit breakers
+trip on consecutive deadline blowouts, and
+:class:`~repro.serving.chaos.ChaosDispatch` injects seeded read-path
+faults for deterministic storm tests.
 """
 
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+)
 from repro.serving.api import AnalyticsService, serve_analytics
 from repro.serving.cache import ResponseCache
+from repro.serving.chaos import (
+    ChaosAnalyticsService,
+    ChaosDispatch,
+    ServingFaultPlan,
+    ServingFaultSpec,
+)
 from repro.serving.store import (
     AnalyticsStore,
     AppStats,
@@ -19,11 +37,18 @@ from repro.serving.store import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
     "AnalyticsService",
     "AnalyticsStore",
     "AppStats",
+    "ChaosAnalyticsService",
+    "ChaosDispatch",
+    "CircuitBreaker",
     "DistributionIndex",
     "ResponseCache",
+    "ServingFaultPlan",
+    "ServingFaultSpec",
     "build_serving_graph",
     "serve_analytics",
 ]

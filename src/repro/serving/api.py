@@ -11,6 +11,7 @@ the draining shutdown path.
 Routes::
 
     GET /healthz
+    GET /readyz
     GET /users/<steamid>/summary
     GET /users/<steamid>/neighborhood?limit=N
     GET /apps/<appid>/stats
@@ -31,6 +32,16 @@ which attributes the body read), so ``swap_store`` with a
 invalidation: only entries touching the delta's changed users, apps,
 or attribute columns are evicted, and every other entry is re-keyed
 under the new fingerprint and keeps serving hits (DESIGN.md §12).
+
+Overload protection (DESIGN.md §14): every data route passes through
+an :class:`~repro.serving.admission.AdmissionController` — a bounded
+in-flight budget, per-route concurrency caps, and a per-route circuit
+breaker that trips on consecutive deadline blowouts — and checks the
+ambient request deadline at each layer boundary.  ``/healthz``
+(liveness) and ``/readyz`` (readiness) bypass admission entirely so
+probes keep answering under a storm; during a store swap reads stay on
+the old store (*stale-while-swap*) and payloads carry a
+``"degraded": true`` marker until the swap completes.
 """
 
 from __future__ import annotations
@@ -38,15 +49,27 @@ from __future__ import annotations
 import math
 import re
 import threading
+from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
 from repro.core.percentiles import ATTRIBUTES
 from repro.engine.fingerprint import query_key
 from repro.obs import Obs
+from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.cache import ResponseCache
 from repro.serving.store import AnalyticsStore
-from repro.steamapi.errors import BadRequestError, NotFoundError
-from repro.steamapi.http_server import ApiHttpServer, serve_dispatch
+from repro.steamapi.deadline import check_deadline
+from repro.steamapi.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    NotFoundError,
+    ServiceUnavailableError,
+)
+from repro.steamapi.http_server import (
+    ApiHttpServer,
+    HttpLimits,
+    serve_dispatch,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.delta.model import DatasetDelta
@@ -82,10 +105,11 @@ def _float_param(params: dict, name: str) -> float:
 
 
 #: (compiled pattern, metric-label template, handler method name,
-#:  cacheable).  ``/healthz`` bypasses the cache: its body carries
-#: live build telemetry, and health checks should never be stale.
+#:  cacheable).  ``/healthz`` and ``/readyz`` bypass the cache: their
+#: bodies carry live telemetry, and probes should never be stale.
 _ROUTES: tuple[tuple[re.Pattern, str, str, bool], ...] = (
     (re.compile(r"^/healthz$"), "/healthz", "_healthz", False),
+    (re.compile(r"^/readyz$"), "/readyz", "_readyz", False),
     (
         re.compile(r"^/users/(?P<steamid>\d+)/summary$"),
         "/users/<id>/summary",
@@ -184,6 +208,17 @@ _ROUTE_TAGS = {
 }
 
 
+#: Probe routes answer before admission control — an overloaded server
+#: that fails its probes gets restarted into a worse storm.
+_PROBE_METHODS = frozenset({"_healthz", "_readyz"})
+
+#: Default admission budget for embedded services (tests, notebooks):
+#: generous enough that nothing sheds unless a caller opts into real
+#: limits, but still bounded so a runaway client can't thread-bomb the
+#: store.
+_DEFAULT_EMBEDDED_INFLIGHT = 256
+
+
 class AnalyticsService:
     """Routes analytics queries to an :class:`AnalyticsStore`."""
 
@@ -192,16 +227,57 @@ class AnalyticsService:
         store: AnalyticsStore,
         obs: Obs | None = None,
         cache_size: int = 4096,
+        admission: AdmissionController | AdmissionConfig | None = None,
     ) -> None:
         self._store = store
         self.obs = obs
         self.cache = ResponseCache(maxsize=cache_size, obs=obs)
+        if admission is None:
+            admission = AdmissionConfig(
+                max_inflight=_DEFAULT_EMBEDDED_INFLIGHT
+            )
+        if isinstance(admission, AdmissionConfig):
+            admission = AdmissionController(admission, obs=obs)
+        self.admission = admission
         # Store swaps (dataset reloads) happen-before subsequent reads.
         self._swap_lock = threading.Lock()
+        #: >0 while a swap (or caller-declared rebuild window) is in
+        #: progress; reads keep serving the old store, flagged degraded.
+        self._degraded_depth = 0
+        self._degraded_lock = threading.Lock()
+        self._m_degraded = (
+            obs.counter(
+                "serving_degraded_responses",
+                "Responses served stale-while-swap, flagged degraded",
+            )
+            if obs is not None
+            else None
+        )
 
     @property
     def store(self) -> AnalyticsStore:
         return self._store
+
+    @property
+    def degraded(self) -> bool:
+        """True while a swap/rebuild window is open (stale reads)."""
+        return self._degraded_depth > 0
+
+    @contextmanager
+    def degraded_mode(self):
+        """Declare a degraded window: reads keep flowing against the
+        current (stale) store, payloads carry ``"degraded": true``, and
+        ``/readyz`` answers 503.  ``swap_store`` opens one implicitly;
+        callers rebuilding a store out-of-band can hold one across the
+        whole rebuild so probes and clients see the truth.
+        """
+        with self._degraded_lock:
+            self._degraded_depth += 1
+        try:
+            yield
+        finally:
+            with self._degraded_lock:
+                self._degraded_depth -= 1
 
     def swap_store(
         self, store: AnalyticsStore, delta: "DatasetDelta | None" = None
@@ -218,8 +294,13 @@ class AnalyticsService:
         fingerprint and keeps serving hits.  Returns the retarget
         stats, or ``None`` when the delta does not link the two
         fingerprints (falls back to structural invalidation).
+
+        Readers never block on a swap: dispatch snapshots the store
+        reference once, so in-flight requests finish against the old
+        store (stale-while-swap) and responses served inside the swap
+        window carry ``"degraded": true``.
         """
-        with self._swap_lock:
+        with self.degraded_mode(), self._swap_lock:
             prior = self._store
             self._store = store
             if delta is None:
@@ -249,13 +330,40 @@ class AnalyticsService:
 
     def dispatch(self, path: str, params: dict) -> dict:
         """The handler contract: a JSON-shaped payload, or a typed
-        :class:`~repro.steamapi.errors.ApiError`."""
-        for pattern, _, method, cacheable in _ROUTES:
+        :class:`~repro.steamapi.errors.ApiError`.
+
+        Data routes run behind admission control and under the ambient
+        request deadline; probe routes (``/healthz``, ``/readyz``)
+        bypass both so they keep answering during a storm.  A deadline
+        blowout is reported to the route's circuit breaker before the
+        504 propagates; a clean completion resets it.
+        """
+        for pattern, template, method, cacheable in _ROUTES:
             match = pattern.match(path)
             if match:
                 break
         else:
             raise NotFoundError(f"no analytics route matches {path!r}")
+        if method in _PROBE_METHODS:
+            return getattr(self, method)(self._store, match, params)
+        with self.admission.admit(template):
+            try:
+                check_deadline("dispatch")
+                payload = self._serve(path, params, match, method, cacheable)
+            except DeadlineExceededError:
+                self.admission.record_timeout(template)
+                raise
+            self.admission.record_success(template)
+        if self._degraded_depth > 0:
+            # Never mutate the cached body; decorate an outgoing copy.
+            payload = {**payload, "degraded": True}
+            if self._m_degraded is not None:
+                self._m_degraded.inc()
+        return payload
+
+    def _serve(
+        self, path: str, params: dict, match, method: str, cacheable: bool
+    ) -> dict:
         store = self._store  # one read; immune to concurrent swaps
         if not cacheable:
             return getattr(self, method)(store, match, params)
@@ -279,7 +387,29 @@ class AnalyticsService:
     def _healthz(self, store, match, params) -> dict:
         payload = store.describe()
         payload["cache"] = self.cache.stats()
+        payload["admission"] = self.admission.stats()
+        payload["degraded"] = self.degraded
         return payload
+
+    def _readyz(self, store, match, params) -> dict:
+        """Readiness: 200 only when fresh reads are possible.  Liveness
+        (``/healthz``) stays green through a swap window; readiness
+        drops to 503 so load balancers stop routing new traffic while
+        stale-while-swap covers the in-flight tail."""
+        if self.degraded:
+            raise ServiceUnavailableError(
+                "store swap in progress; serving stale reads"
+            )
+        return {
+            "status": "ready",
+            "fingerprint": store.fingerprint,
+            "degraded": False,
+            "breakers": {
+                route: state
+                for route, state in self.admission.breaker_states().items()
+                if state != "closed"
+            },
+        }
 
     def _user_summary(self, store, match, params) -> dict:
         return store.user_summary(int(match["steamid"]))
@@ -315,16 +445,23 @@ def serve_analytics(
     obs: Obs | None = None,
     access_log: bool = False,
     cache_size: int = 4096,
+    admission: AdmissionController | AdmissionConfig | None = None,
+    limits: HttpLimits | None = None,
 ) -> ApiHttpServer:
     """Serve an analytics store over HTTP; returns the running server.
 
     Accepts a prebuilt :class:`AnalyticsService` for callers that need
-    to hold onto it (store swaps, cache introspection)."""
+    to hold onto it (store swaps, cache introspection).  ``admission``
+    tunes the overload guard on a service built here; ``limits``
+    configures socket-level protections and the default request budget
+    (see :class:`~repro.steamapi.http_server.HttpLimits`)."""
     if isinstance(store, AnalyticsService):
         service = store
         obs = obs if obs is not None else service.obs
     else:
-        service = AnalyticsService(store, obs=obs, cache_size=cache_size)
+        service = AnalyticsService(
+            store, obs=obs, cache_size=cache_size, admission=admission
+        )
     return serve_dispatch(
         service.dispatch,
         host=host,
@@ -332,4 +469,5 @@ def serve_analytics(
         obs=obs,
         access_log=access_log,
         route_of=service.route_of,
+        limits=limits,
     )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs import Obs
+from repro.steamapi.deadline import check_deadline
 
 __all__ = ["CacheEntry", "ResponseCache"]
 
@@ -74,7 +75,13 @@ class ResponseCache:
             )
 
     def get(self, key: str) -> Any | None:
-        """The cached payload, or ``None`` on a miss."""
+        """The cached payload, or ``None`` on a miss.
+
+        Checks the ambient request deadline first: a request that has
+        already blown its budget gets its 504 here instead of holding
+        the cache lock (and then the store) for a doomed response.
+        """
+        check_deadline("cache")
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:

@@ -48,6 +48,7 @@ from repro.core.percentiles import (
 from repro.engine import Engine, EngineRun, Stage, StageContext, StageGraph
 from repro.engine.cache import StageCache
 from repro.obs import Obs, maybe_span
+from repro.steamapi.deadline import check_deadline
 from repro.steamapi.errors import BadRequestError, NotFoundError
 from repro.store import tables as tables_mod
 from repro.store.dataset import SteamDataset
@@ -330,9 +331,16 @@ class AnalyticsStore:
             ) from None
 
     # -- queries -------------------------------------------------------------
+    #
+    # Every public query checks the ambient request deadline on entry
+    # (repro.steamapi.deadline): the check is cooperative — a query
+    # already running is never interrupted, so accepted responses stay
+    # byte-identical — but a request that arrives here with no budget
+    # left fails fast with a 504 instead of burning store time.
 
     def user_summary(self, steamid: int) -> dict:
         """One user's attribute values with their percentile standings."""
+        check_deadline("store")
         idx = self._user_index(steamid)
         accounts = self.dataset.accounts
         attributes = {}
@@ -363,6 +371,7 @@ class AnalyticsStore:
 
     def user_neighborhood(self, steamid: int, limit: int = 50) -> dict:
         """A user's friends with their headline attributes."""
+        check_deadline("store")
         if not 1 <= limit <= 1000:
             raise BadRequestError(
                 f"limit must be in [1, 1000], got {limit}"
@@ -392,6 +401,7 @@ class AnalyticsStore:
 
     def app_stats_payload(self, appid: int) -> dict:
         """Ownership/playtime aggregates for one catalog product."""
+        check_deadline("store")
         idx = self._app_index(appid)
         stats = self.app_stats
         catalog = self.dataset.catalog
@@ -426,6 +436,7 @@ class AnalyticsStore:
     def distribution_percentile(self, attribute: str, q: float) -> dict:
         """The value at percentile ``q`` of an attribute's engaged
         population.  Malformed ``q`` → 400; empty population → 404."""
+        check_deadline("store")
         index = self._index_for(attribute)
         if index.population == 0:
             raise NotFoundError(
@@ -446,6 +457,7 @@ class AnalyticsStore:
 
     def distribution_rank(self, attribute: str, value: float) -> dict:
         """Where ``value`` sits in an attribute's engaged population."""
+        check_deadline("store")
         index = self._index_for(attribute)
         if index.population == 0:
             raise NotFoundError(
@@ -465,6 +477,7 @@ class AnalyticsStore:
 
     def tailfit_payload(self, attribute: str) -> dict:
         """The precomputed 4-way tail classification for an attribute."""
+        check_deadline("store")
         self._index_for(attribute)  # 404 on unknown attribute
         summary = self.tailfits.get(attribute)
         if summary is None:
@@ -476,6 +489,7 @@ class AnalyticsStore:
 
     def homophily_payload(self, attribute: str) -> dict:
         """One homophily correlation (attribute vs friends' average)."""
+        check_deadline("store")
         try:
             return self.correlations.attribute_entry(attribute)
         except KeyError:

@@ -1,0 +1,157 @@
+"""Request deadlines, propagated end-to-end through the serving stack.
+
+A request enters the HTTP layer with a time budget — either the
+client's ``X-Repro-Deadline: <seconds>`` header, the server's default
+budget, or (when both are present) the tighter of the two.  The budget
+becomes a :class:`Deadline` installed in a :mod:`contextvars` scope for
+exactly the duration of the dispatch call, so every layer underneath
+(route dispatch, the response cache, the analytics store's query
+methods) can cheaply ask "is there still time?" without threading a
+parameter through every signature.
+
+A blown deadline surfaces as :class:`DeadlineExceededError` — a typed
+:class:`~repro.steamapi.errors.ApiError` mapped to HTTP 504 — naming
+the layer that noticed, so traces of overload incidents say *where*
+budgets die (a stalled handler dies at ``dispatch``, a slow store scan
+dies at ``store``).
+
+Checks are deliberately cooperative, not preemptive: a deadline never
+interrupts a running computation, it stops the request at the next
+layer boundary.  That keeps the accepted-response byte-identity
+guarantee trivial — a request either runs to completion untouched or
+dies with a 504, never half-computed.
+
+The clock is injectable (:class:`Deadline` carries its own), so breaker
+and timeout tests drive expiry with a
+:class:`~repro.obs.clock.FakeClock` instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.steamapi.errors import BadRequestError, DeadlineExceededError
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "effective_budget",
+    "parse_deadline_value",
+]
+
+#: Client-supplied request budget, in (fractional) seconds.
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+#: Guard against absurd client budgets: anything above this is clamped
+#: (a client asking for an hour gets the server's idea of "long").
+MAX_BUDGET_SECONDS = 300.0
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry on a monotonic clock, plus its original budget."""
+
+    expires_at: float
+    budget: float
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    @classmethod
+    def after(
+        cls, budget: float, clock: Callable[[], float] | None = None
+    ) -> "Deadline":
+        clock = clock or time.monotonic
+        return cls(expires_at=clock() + budget, budget=budget, clock=clock)
+
+    def remaining(self) -> float:
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, layer: str) -> None:
+        """Raise the typed 504 when the budget is spent.
+
+        ``layer`` names the boundary that noticed (``dispatch`` /
+        ``cache`` / ``store``), which ends up in the error message and
+        the timeout counters.
+        """
+        if self.expired():
+            raise DeadlineExceededError(
+                f"request deadline exceeded at {layer} "
+                f"(budget {self.budget:.3f}s)",
+                layer=layer,
+            )
+
+
+_current: ContextVar[Deadline | None] = ContextVar(
+    "repro_request_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing this request, or ``None`` outside one."""
+    return _current.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Install ``deadline`` for the duration of the block.
+
+    ``None`` is accepted (and installs nothing) so call sites don't
+    need to branch on whether a budget applies.
+    """
+    if deadline is None:
+        yield None
+        return
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+def check_deadline(layer: str) -> None:
+    """Check the ambient deadline, if any — the one-liner layers call."""
+    deadline = _current.get()
+    if deadline is not None:
+        deadline.check(layer)
+
+
+def parse_deadline_value(raw: str | None) -> float | None:
+    """Parse an ``X-Repro-Deadline`` header value into a budget.
+
+    Malformed or non-positive values are a client error (400), not
+    something to guess about; absurdly large ones are clamped.
+    """
+    if raw is None:
+        return None
+    try:
+        budget = float(raw)
+    except (TypeError, ValueError):
+        raise BadRequestError(
+            f"malformed {DEADLINE_HEADER} header: {raw!r}"
+        ) from None
+    if not budget > 0:
+        raise BadRequestError(
+            f"{DEADLINE_HEADER} must be a positive number of seconds, "
+            f"got {raw!r}"
+        )
+    return min(budget, MAX_BUDGET_SECONDS)
+
+
+def effective_budget(
+    header_budget: float | None, default_budget: float | None
+) -> float | None:
+    """The binding budget: the tighter of client ask and server default."""
+    if header_budget is None:
+        return default_budget
+    if default_budget is None:
+        return header_budget
+    return min(header_budget, default_budget)

@@ -9,8 +9,11 @@ __all__ = [
     "NotFoundError",
     "PrivateProfileError",
     "RateLimitedError",
+    "OverloadedError",
     "RequestTimeoutError",
     "MalformedResponseError",
+    "ServiceUnavailableError",
+    "DeadlineExceededError",
     "error_for_status",
 ]
 
@@ -59,6 +62,45 @@ class RateLimitedError(ApiError):
         self.retry_after = retry_after
 
 
+class OverloadedError(RateLimitedError):
+    """The server shed this request to protect itself (admission
+    control over budget, or a tripped circuit breaker).
+
+    Subclasses :class:`RateLimitedError` so it shares the 429 status
+    and the ``Retry-After`` plumbing — to a client the contract is the
+    same: back off for ``retry_after`` seconds and try again.
+    ``reason`` says which guard shed it (``capacity`` / ``route`` /
+    ``breaker``) for metrics and tests.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        retry_after: float = 1.0,
+        reason: str = "capacity",
+    ) -> None:
+        super().__init__(message, retry_after=retry_after)
+        self.reason = reason
+
+
+class ServiceUnavailableError(ApiError):
+    """The service exists but is not ready to serve (mid-swap, no
+    store yet); readiness probes map this to HTTP 503."""
+
+    status = 503
+
+
+class DeadlineExceededError(ApiError):
+    """The request's time budget ran out before a layer finished;
+    maps to HTTP 504.  ``layer`` names the boundary that noticed."""
+
+    status = 504
+
+    def __init__(self, message: str = "", layer: str = "dispatch") -> None:
+        super().__init__(message)
+        self.layer = layer
+
+
 class RequestTimeoutError(ApiError):
     """The request ran out of time in flight; transient, retryable."""
 
@@ -81,6 +123,9 @@ class MalformedResponseError(ApiError):
         self.body = body
 
 
+#: ``OverloadedError`` deliberately stays out of this table: it shares
+#: 429 with ``RateLimitedError``, and a client reconstructing a typed
+#: error from a bare status must get the canonical class.
 _BY_STATUS = {
     cls.status: cls
     for cls in (
@@ -91,6 +136,8 @@ _BY_STATUS = {
         RateLimitedError,
         RequestTimeoutError,
         MalformedResponseError,
+        ServiceUnavailableError,
+        DeadlineExceededError,
     )
 }
 

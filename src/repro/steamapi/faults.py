@@ -39,10 +39,73 @@ from repro.steamapi.errors import (
 )
 from repro.steamapi.transport import Transport
 
-__all__ = ["FaultSpec", "FaultPlan", "FaultInjectingTransport", "FAULT_KINDS"]
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultChooser",
+    "FaultInjectingTransport",
+    "AbortedResponse",
+    "FAULT_KINDS",
+]
 
 #: Injectable failure modes, in the order the injector's RNG considers them.
 FAULT_KINDS = ("rate_limit", "server_error", "timeout", "malformed")
+
+
+class AbortedResponse(Exception):
+    """An injected mid-body abort: the server sent response headers
+    promising ``len(body)`` bytes, wrote only ``cut`` of them, then
+    closed the connection — the classic "upstream died mid-transfer".
+
+    Deliberately *not* an :class:`~repro.steamapi.errors.ApiError`:
+    there is no status code to map, the fault lives below the JSON
+    protocol.  The HTTP handler catches it and replays the abort on the
+    real socket (see :mod:`repro.steamapi.http_server`); the serving
+    chaos harness (:mod:`repro.serving.chaos`) raises it.
+    """
+
+    def __init__(self, body: bytes, cut: int) -> None:
+        super().__init__(f"aborted response body ({cut}/{len(body)} bytes)")
+        self.body = body
+        self.cut = cut
+
+
+class FaultChooser:
+    """The seeded draw-and-burst core shared by every fault injector.
+
+    One uniform draw per request is sliced into per-kind probability
+    bands; a hit with ``burst > 1`` makes the next ``burst - 1``
+    requests fail the same way (an outage, not independent coin
+    flips).  Callers serialize access (one chooser, one lock) so the
+    fault sequence is a pure function of the seed.
+    """
+
+    def __init__(self, seed: int, kinds: tuple[str, ...]) -> None:
+        self.rng = random.Random(seed)
+        self.kinds = kinds
+        self._burst_kind: str | None = None
+        self._burst_left = 0
+
+    def choose(self, spec) -> str | None:
+        """One seeded draw; returns the fault kind to inject, if any.
+
+        ``spec`` carries one probability attribute per kind plus
+        ``burst`` — both :class:`FaultSpec` and the serving tier's
+        read-path specs satisfy that shape.
+        """
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            return self._burst_kind
+        draw = self.rng.random()
+        edge = 0.0
+        for kind in self.kinds:
+            edge += getattr(spec, kind)
+            if draw < edge:
+                if spec.burst > 1:
+                    self._burst_kind = kind
+                    self._burst_left = spec.burst - 1
+                return kind
+        return None
 
 
 @dataclass(frozen=True)
@@ -144,41 +207,22 @@ class FaultInjectingTransport:
         self.fault_counts: dict[str, int] = {k: 0 for k in FAULT_KINDS}
         self.faults_by_endpoint: dict[str, int] = {}
         self.requests_seen = 0
-        self._rng = random.Random(plan.seed)
+        self._chooser = FaultChooser(plan.seed, FAULT_KINDS)
         self._lock = threading.Lock()
-        #: Remaining repeats of the fault kind that opened a burst.
-        self._burst_kind: str | None = None
-        self._burst_left = 0
 
     @property
     def total_injected(self) -> int:
         return sum(self.fault_counts.values())
 
-    def _choose_fault(self, spec: FaultSpec) -> str | None:
-        """One seeded draw; returns the fault kind to inject, if any."""
-        if self._burst_left > 0:
-            self._burst_left -= 1
-            return self._burst_kind
-        draw = self._rng.random()
-        edge = 0.0
-        for kind in FAULT_KINDS:
-            edge += getattr(spec, kind)
-            if draw < edge:
-                if spec.burst > 1:
-                    self._burst_kind = kind
-                    self._burst_left = spec.burst - 1
-                return kind
-        return None
-
     def request(self, path: str, params: dict) -> dict:
         spec = self.plan.spec_for(path)
         with self._lock:
             self.requests_seen += 1
-            kind = self._choose_fault(spec)
+            kind = self._chooser.choose(spec)
             if kind == "rate_limit":
-                retry_after = self._rng.uniform(*spec.retry_after)
+                retry_after = self._chooser.rng.uniform(*spec.retry_after)
             elif kind == "malformed":
-                cut_draw = self._rng.random()
+                cut_draw = self._chooser.rng.random()
         if kind is None:
             return self.inner.request(path, params)
         with self._lock:

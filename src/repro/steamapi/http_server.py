@@ -49,25 +49,64 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.obs import Obs
 from repro.obs.trace_context import TRACE_HEADER, parse_trace_value
+from repro.steamapi.deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    deadline_scope,
+    effective_budget,
+    parse_deadline_value,
+)
 from repro.steamapi.errors import (
     ApiError,
     BadRequestError,
     MalformedResponseError,
     RateLimitedError,
 )
-from repro.steamapi.faults import FaultInjectingTransport, FaultPlan
+from repro.steamapi.faults import (
+    AbortedResponse,
+    FaultInjectingTransport,
+    FaultPlan,
+)
 from repro.steamapi.service import SteamApiService
 from repro.steamapi.transport import InProcessTransport
 
 __all__ = [
     "ApiHttpServer",
     "DrainingThreadingHTTPServer",
+    "HttpLimits",
     "serve",
     "serve_dispatch",
 ]
 
 #: Access-log destination; handlers/levels are the embedder's business.
 access_logger = logging.getLogger("repro.steamapi.http")
+
+
+@dataclass(frozen=True)
+class HttpLimits:
+    """Socket-level guardrails and the server-side request budget.
+
+    ``socket_timeout`` is the slow-client protection: it bounds every
+    blocking read *and* write on a handler's connection, so a
+    slow-loris client dribbling header bytes (or a reader that stops
+    draining the response) costs one daemon thread for at most the
+    timeout, not forever.  ``None`` keeps the stdlib's block-forever
+    behavior (embedded test servers that want wedge-able handlers).
+
+    ``request_budget`` is the server's default deadline per request; a
+    client's ``X-Repro-Deadline`` header can only tighten it.  ``None``
+    disables server-side deadlines (again the embedded default — the
+    ``repro serve-analytics`` CLI turns both protections on).
+
+    ``max_request_line`` / ``max_headers`` bound what an unauthenticated
+    peer can make the parser buffer, tighter than the stdlib's 64 KiB /
+    100-header ceilings.
+    """
+
+    socket_timeout: float | None = None
+    request_budget: float | None = None
+    max_request_line: int = 8192
+    max_headers: int = 64
 
 
 class DrainingThreadingHTTPServer(ThreadingHTTPServer):
@@ -118,7 +157,9 @@ def _make_handler(
     obs: Obs,
     access_log: bool,
     route_of: Callable[[str], str] | None = None,
+    limits: HttpLimits | None = None,
 ):
+    limits = limits or HttpLimits()
     m_requests = obs.counter(
         "http_requests",
         "HTTP requests served, by path and status",
@@ -129,9 +170,21 @@ def _make_handler(
         "HTTP request handling latency",
         labelnames=("path",),
     )
+    m_internal = obs.counter(
+        "http_internal_errors",
+        "Non-ApiError exceptions escaping dispatch, mapped to opaque 500s",
+        ("path",),
+    )
+    m_aborted = obs.counter(
+        "http_aborted_bodies",
+        "Responses deliberately cut mid-body (injected aborts)",
+    )
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
+        #: StreamRequestHandler applies this to the connection socket,
+        #: bounding every read *and* write — the slow-client guard.
+        timeout = limits.socket_timeout
 
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             start = obs.clock()
@@ -142,6 +195,31 @@ def _make_handler(
                     200, body, content_type="text/plain; version=0.0.4"
                 )
                 self._account(parsed.path, 200, start)
+                return
+            if len(self.requestline) > limits.max_request_line:
+                self._account(
+                    parsed.path,
+                    self._reply_error(
+                        BadRequestError(
+                            f"request line exceeds "
+                            f"{limits.max_request_line} bytes"
+                        ),
+                        status=414,
+                    ),
+                    start,
+                )
+                return
+            if len(self.headers.items()) > limits.max_headers:
+                self._account(
+                    parsed.path,
+                    self._reply_error(
+                        BadRequestError(
+                            f"more than {limits.max_headers} headers"
+                        ),
+                        status=431,
+                    ),
+                    start,
+                )
                 return
             params = {
                 name: values[0]
@@ -165,7 +243,19 @@ def _make_handler(
             )
             with span_cm as span:
                 try:
-                    payload = dispatch(parsed.path, params)
+                    budget = effective_budget(
+                        parse_deadline_value(
+                            self.headers.get(DEADLINE_HEADER)
+                        ),
+                        limits.request_budget,
+                    )
+                    deadline = (
+                        Deadline.after(budget, clock=obs.clock)
+                        if budget is not None
+                        else None
+                    )
+                    with deadline_scope(deadline):
+                        payload = dispatch(parsed.path, params)
                     body = json.dumps(payload).encode("utf-8")
                     self._reply(200, body)
                 except MalformedResponseError as exc:
@@ -176,6 +266,12 @@ def _make_handler(
                         self._reply(200, exc.body)
                     else:
                         status = self._reply_error(exc)
+                except AbortedResponse as exc:
+                    # Injected mid-body abort: promise the full length,
+                    # deliver a prefix, slam the connection — the client
+                    # must see an incomplete read, not valid JSON.
+                    m_aborted.inc()
+                    self._reply_aborted(exc)
                 except ApiError as exc:
                     status = self._reply_error(exc)
                 except (KeyError, ValueError, TypeError) as exc:
@@ -187,6 +283,34 @@ def _make_handler(
                             f"malformed request parameters: {exc}"
                         )
                     )
+                except OSError:
+                    # Socket-level failure (client gone mid-write, send
+                    # timeout): there is no one to reply to — let the
+                    # stdlib request loop tear the connection down.
+                    raise
+                except Exception:
+                    # Anything else escaping dispatch is a server bug:
+                    # answer with an *opaque* 500 (no message — internals
+                    # don't leak to clients), count it, and keep the
+                    # handler thread alive for the next request.
+                    status = 500
+                    label = (
+                        route_of(parsed.path)
+                        if route_of is not None
+                        else parsed.path
+                    )
+                    m_internal.inc(path=label)
+                    access_logger.exception(
+                        "internal error dispatching %s", parsed.path
+                    )
+                    try:
+                        self._reply(
+                            500,
+                            b'{"error": "InternalError"}',
+                        )
+                    except OSError:
+                        # Client is gone; nothing to reply to.
+                        self.close_connection = True
                 if span is not None:
                     span.attrs["status"] = status
             self._account(parsed.path, status, start)
@@ -203,15 +327,29 @@ def _make_handler(
                     "%s %s -> %d", self.command, self.path, status
                 )
 
-        def _reply_error(self, exc: ApiError) -> int:
+        def _reply_error(
+            self, exc: ApiError, status: int | None = None
+        ) -> int:
             body = json.dumps(
                 {"error": exc.__class__.__name__, "message": exc.message}
             ).encode("utf-8")
             extra = {}
             if isinstance(exc, RateLimitedError):
                 extra["Retry-After"] = f"{exc.retry_after:.3f}"
-            self._reply(exc.status, body, extra)
-            return exc.status
+            status = exc.status if status is None else status
+            self._reply(status, body, extra)
+            return status
+
+        def _reply_aborted(self, exc: AbortedResponse) -> None:
+            """Replay an injected mid-body abort on the real socket:
+            full Content-Length, partial body, hard close."""
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(exc.body)))
+            self.end_headers()
+            self.wfile.write(exc.body[: exc.cut])
+            self.wfile.flush()
+            self.close_connection = True
 
         def _reply(
             self,
@@ -260,10 +398,25 @@ class ApiHttpServer:
         most :attr:`drain_timeout` seconds, then closes the socket.
         Returns the handler threads (daemonic) that were abandoned
         because they did not finish within the deadline — empty on a
-        clean shutdown.
+        clean shutdown.  Leftovers are never silent: callers routinely
+        drop the return value, so a non-empty drain also logs a
+        warning and bumps the ``http_drain_leftover_threads`` counter.
         """
         self.server.shutdown()
         stuck = self.server.drain(self.drain_timeout)
+        if stuck:
+            access_logger.warning(
+                "%d handler thread(s) still alive after the %.1fs "
+                "drain deadline (daemonic; abandoned)",
+                len(stuck),
+                self.drain_timeout,
+            )
+            if self.obs is not None:
+                self.obs.counter(
+                    "http_drain_leftover_threads",
+                    "Handler threads abandoned at the shutdown drain "
+                    "deadline (wedged mid-request)",
+                ).inc(len(stuck))
         self.server.server_close()
         self.thread.join(timeout=5)
         return stuck
@@ -283,6 +436,7 @@ def serve_dispatch(
     access_log: bool = False,
     route_of: Callable[[str], str] | None = None,
     faults: FaultInjectingTransport | None = None,
+    limits: HttpLimits | None = None,
 ) -> ApiHttpServer:
     """Serve any ``dispatch(path, params) -> dict`` callable over HTTP.
 
@@ -290,12 +444,16 @@ def serve_dispatch(
     supplies the metrics scope behind ``GET /metrics`` (a private one
     is created when omitted); ``route_of`` maps raw request paths to
     route templates for metric labels; ``access_log`` emits one
-    ``repro.steamapi.http`` log line per request.
+    ``repro.steamapi.http`` log line per request; ``limits`` adds
+    slow-client socket timeouts and a default request deadline (see
+    :class:`HttpLimits` — the default keeps the historical
+    no-timeout behavior for embedded test servers).
     """
     if obs is None:
         obs = Obs()
     server = DrainingThreadingHTTPServer(
-        (host, port), _make_handler(dispatch, obs, access_log, route_of)
+        (host, port),
+        _make_handler(dispatch, obs, access_log, route_of, limits),
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -311,6 +469,7 @@ def serve(
     fault_plan: FaultPlan | None = None,
     obs: Obs | None = None,
     access_log: bool = False,
+    limits: HttpLimits | None = None,
 ) -> ApiHttpServer:
     """Start serving a :class:`SteamApiService`; port 0 picks a free port.
 
@@ -336,4 +495,5 @@ def serve(
         obs=obs,
         access_log=access_log,
         faults=faults,
+        limits=limits,
     )

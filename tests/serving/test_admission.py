@@ -1,0 +1,286 @@
+"""Admission control and circuit breaking, driven by a fake clock."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import Obs
+from repro.obs.clock import FakeClock
+from repro.serving.admission import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+)
+from repro.steamapi.errors import OverloadedError, RateLimitedError
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_inflight(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_inflight=0)
+
+    def test_rejects_bad_route_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(per_route={"/x": 0})
+
+    def test_rejects_bad_retry_range(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(retry_after=(0.5, 0.1))
+
+    def test_rejects_negative_breaker_threshold(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(breaker_threshold=-1)
+
+
+class TestCapacityShedding:
+    def test_admits_up_to_the_global_budget(self):
+        controller = AdmissionController(AdmissionConfig(max_inflight=2))
+        with controller.admit("/a"):
+            with controller.admit("/b"):
+                assert controller.inflight == 2
+                with pytest.raises(OverloadedError) as excinfo:
+                    with controller.admit("/c"):
+                        pass
+                assert excinfo.value.reason == "capacity"
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after > 0
+        assert controller.inflight == 0
+
+    def test_slots_are_released_on_handler_error(self):
+        controller = AdmissionController(AdmissionConfig(max_inflight=1))
+        with pytest.raises(RuntimeError):
+            with controller.admit("/a"):
+                raise RuntimeError("handler blew up")
+        # The slot came back: the next request is admitted.
+        with controller.admit("/a"):
+            assert controller.inflight == 1
+
+    def test_per_route_cap_sheds_with_route_reason(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_inflight=10, per_route={"/hot": 1})
+        )
+        with controller.admit("/hot"):
+            with pytest.raises(OverloadedError) as excinfo:
+                with controller.admit("/hot"):
+                    pass
+            assert excinfo.value.reason == "route"
+            # Other routes still get the global budget.
+            with controller.admit("/cold"):
+                pass
+        assert controller.shed_counts["route"] == 1
+
+    def test_shed_is_a_rate_limited_429_to_clients(self):
+        controller = AdmissionController(AdmissionConfig(max_inflight=1))
+        with controller.admit("/a"):
+            with pytest.raises(RateLimitedError):
+                with controller.admit("/a"):
+                    pass
+
+    def test_retry_after_jitter_is_seeded(self):
+        def hints(seed: int) -> list[float]:
+            controller = AdmissionController(
+                AdmissionConfig(max_inflight=1, seed=seed)
+            )
+            collected = []
+            with controller.admit("/a"):
+                for _ in range(5):
+                    try:
+                        with controller.admit("/a"):
+                            pass
+                    except OverloadedError as exc:
+                        collected.append(exc.retry_after)
+            return collected
+
+        assert hints(7) == hints(7)
+        assert hints(7) != hints(8)
+        lo, hi = AdmissionConfig().retry_after
+        assert all(lo <= hint <= hi for hint in hints(7))
+
+    def test_concurrent_admission_never_exceeds_budget(self):
+        config = AdmissionConfig(max_inflight=4)
+        controller = AdmissionController(config)
+        peak = [0]
+        peak_lock = threading.Lock()
+        shed = [0]
+
+        def worker():
+            for _ in range(50):
+                try:
+                    with controller.admit("/a"):
+                        with peak_lock:
+                            peak[0] = max(peak[0], controller.inflight)
+                except OverloadedError:
+                    with peak_lock:
+                        shed[0] += 1
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert peak[0] <= 4
+        assert controller.inflight == 0
+        assert controller.admitted + shed[0] == 8 * 50
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_timeouts(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        for _ in range(2):
+            breaker.record_timeout()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.record_timeout() == BREAKER_OPEN
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert retry_after == pytest.approx(5.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        breaker.record_timeout()
+        breaker.record_timeout()
+        breaker.record_success()
+        breaker.record_timeout()
+        breaker.record_timeout()
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_admits_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_timeout()
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(5.1)
+        allowed, _ = breaker.allow()
+        assert allowed  # the probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        allowed, _ = breaker.allow()
+        assert not allowed  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_timeout()
+        clock.advance(5.1)
+        assert breaker.allow()[0]
+        assert breaker.record_success() == BREAKER_CLOSED
+        assert breaker.allow() == (True, 0.0)
+
+    def test_probe_timeout_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_timeout()
+        clock.advance(5.1)
+        assert breaker.allow()[0]
+        # One bad probe re-opens immediately, no need for 3 more.
+        assert breaker.record_timeout() == BREAKER_OPEN
+        assert not breaker.allow()[0]
+
+    def test_zero_threshold_disables(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=0, cooldown=5.0, clock=clock)
+        for _ in range(100):
+            breaker.record_timeout()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow() == (True, 0.0)
+
+
+class TestControllerBreakerIntegration:
+    def _controller(self, **overrides):
+        clock = FakeClock()
+        config = AdmissionConfig(
+            max_inflight=16,
+            breaker_threshold=2,
+            breaker_cooldown=10.0,
+            **overrides,
+        )
+        return AdmissionController(config, clock=clock), clock
+
+    def test_timeouts_trip_and_shed_with_breaker_reason(self):
+        controller, clock = self._controller()
+        controller.record_timeout("/slow")
+        controller.record_timeout("/slow")
+        assert controller.breaker_states() == {"/slow": BREAKER_OPEN}
+        with pytest.raises(OverloadedError) as excinfo:
+            with controller.admit("/slow"):
+                pass
+        assert excinfo.value.reason == "breaker"
+        # Retry-After covers at least the remaining cooldown.
+        assert excinfo.value.retry_after >= 9.0
+        # Other routes are unaffected.
+        with controller.admit("/fine"):
+            pass
+
+    def test_breaker_recovers_through_a_probe(self):
+        controller, clock = self._controller()
+        controller.record_timeout("/slow")
+        controller.record_timeout("/slow")
+        clock.advance(10.1)
+        with controller.admit("/slow"):  # the half-open probe
+            pass
+        controller.record_success("/slow")
+        assert controller.breaker_states() == {"/slow": BREAKER_CLOSED}
+        with controller.admit("/slow"):
+            pass
+
+    def test_stats_shape(self):
+        controller, _ = self._controller()
+        with controller.admit("/a"):
+            stats = controller.stats()
+        assert stats["inflight"] == 1
+        assert stats["admitted"] == 1
+        assert stats["shed"] == {"capacity": 0, "route": 0, "breaker": 0}
+        assert stats["breakers_open"] == 0
+
+
+class TestMetrics:
+    def test_shed_and_timeout_counters(self):
+        obs = Obs()
+        controller = AdmissionController(
+            AdmissionConfig(max_inflight=1, breaker_threshold=0), obs=obs
+        )
+        with controller.admit("/a"):
+            for _ in range(3):
+                with pytest.raises(OverloadedError):
+                    with controller.admit("/a"):
+                        pass
+        controller.record_timeout("/a")
+        shed = obs.counter("serving_shed", labelnames=("route", "reason"))
+        assert shed.value(route="/a", reason="capacity") == 3
+        timeouts = obs.counter(
+            "serving_deadline_timeouts", labelnames=("route",)
+        )
+        assert timeouts.value(route="/a") == 1
+
+    def test_inflight_gauge_tracks(self):
+        obs = Obs()
+        controller = AdmissionController(AdmissionConfig(), obs=obs)
+        gauge = obs.gauge("serving_inflight")
+        with controller.admit("/a"):
+            assert gauge.value() == 1
+        assert gauge.value() == 0
+
+    def test_breaker_transitions_are_counted(self):
+        obs = Obs()
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(breaker_threshold=1, breaker_cooldown=1.0),
+            obs=obs,
+            clock=clock,
+        )
+        controller.record_timeout("/a")
+        clock.advance(1.1)
+        with controller.admit("/a"):
+            pass
+        controller.record_success("/a")
+        transitions = obs.counter(
+            "serving_breaker_transitions", labelnames=("route", "state")
+        )
+        assert transitions.value(route="/a", state=BREAKER_OPEN) == 1
+        assert transitions.value(route="/a", state=BREAKER_CLOSED) == 1

@@ -1,0 +1,172 @@
+"""Store swaps under concurrent read load: stale-while-swap semantics.
+
+A swap must never block readers, never serve a torn store/cache pair
+(a payload from one store under the other's cache key), and never drop
+a keep-alive connection.  During the swap window responses carry
+``"degraded": true`` and ``/readyz`` answers 503 while ``/healthz``
+stays green.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.constants import STEAMID_BASE
+from repro.serving import AnalyticsService, AnalyticsStore, serve_analytics
+from repro.steamapi.errors import ServiceUnavailableError
+
+from .conftest import make_tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def store_pair():
+    """Two tiny stores with observably different playtime columns."""
+    ds_a = make_tiny_dataset(
+        3, owned=((0, 600, 60), (1, 1200, 0), (0, 60, 60))
+    )
+    ds_b = make_tiny_dataset(
+        3, owned=((0, 6000, 600), (1, 12000, 0), (0, 600, 600))
+    )
+    return (
+        AnalyticsStore.build(ds_a, max_tail=2_000),
+        AnalyticsStore.build(ds_b, max_tail=2_000),
+    )
+
+
+class TestDegradedWindow:
+    def test_degraded_flag_decorates_responses_inside_the_window(
+        self, store_pair
+    ):
+        store_a, _ = store_pair
+        service = AnalyticsService(store_a)
+        path = f"/users/{STEAMID_BASE}/summary"
+        clean = service.dispatch(path, {})
+        assert "degraded" not in clean
+        with service.degraded_mode():
+            assert service.degraded
+            degraded = service.dispatch(path, {})
+            assert degraded["degraded"] is True
+            assert {k: v for k, v in degraded.items() if k != "degraded"} == (
+                clean
+            )
+        # The cached body was never mutated: out of the window the
+        # same (cache-hit) payload comes back flag-free.
+        after = service.dispatch(path, {})
+        assert after == clean
+
+    def test_readyz_is_503_inside_the_window_healthz_stays_green(
+        self, store_pair
+    ):
+        store_a, _ = store_pair
+        service = AnalyticsService(store_a)
+        assert service.dispatch("/readyz", {})["status"] == "ready"
+        with service.degraded_mode():
+            assert service.dispatch("/healthz", {})["status"] == "ok"
+            assert service.dispatch("/healthz", {})["degraded"] is True
+            with pytest.raises(ServiceUnavailableError):
+                service.dispatch("/readyz", {})
+        payload = service.dispatch("/readyz", {})
+        assert payload["status"] == "ready"
+        assert payload["degraded"] is False
+
+    def test_windows_nest(self, store_pair):
+        store_a, _ = store_pair
+        service = AnalyticsService(store_a)
+        with service.degraded_mode():
+            with service.degraded_mode():
+                assert service.degraded
+            assert service.degraded  # outer window still open
+        assert not service.degraded
+
+
+class TestSwapUnderLoad:
+    def test_no_torn_store_cache_pair(self, store_pair):
+        """Concurrent readers during repeated swaps must only ever see
+        one of the two stores' exact payloads — never a mixture — and
+        cache hits must respect the fingerprint keying."""
+        store_a, store_b = store_pair
+        service = AnalyticsService(store_a)
+        path = f"/users/{STEAMID_BASE + 1}/summary"
+        expected_a = AnalyticsService(store_a).dispatch(path, {})
+        expected_b = AnalyticsService(store_b).dispatch(path, {})
+        assert expected_a != expected_b  # the stores are distinguishable
+
+        stop = threading.Event()
+        bad: list[dict] = []
+
+        def reader():
+            while not stop.is_set():
+                payload = service.dispatch(path, {})
+                payload = {
+                    k: v for k, v in payload.items() if k != "degraded"
+                }
+                if payload not in (expected_a, expected_b):
+                    bad.append(payload)
+                    return
+
+        readers = [
+            threading.Thread(target=reader, daemon=True) for _ in range(4)
+        ]
+        for thread in readers:
+            thread.start()
+        for _ in range(25):
+            service.swap_store(store_b)
+            service.swap_store(store_a)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+        assert bad == []
+        # Settled on store A: fresh reads serve its exact payload.
+        assert service.dispatch(path, {}) == expected_a
+
+    def test_keepalive_connection_survives_a_swap(self, store_pair):
+        store_a, store_b = store_pair
+        service = AnalyticsService(store_a)
+        with serve_analytics(service) as server:
+            host, port = server.server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request("GET", f"/users/{STEAMID_BASE + 1}/summary")
+                response = conn.getresponse()
+                assert response.status == 200
+                before = json.loads(response.read())
+                assert response.getheader("Connection") != "close"
+
+                service.swap_store(store_b)
+
+                # Same HTTP/1.1 connection, no reconnect: the swap
+                # must not tear down keep-alive sockets.
+                conn.request("GET", f"/users/{STEAMID_BASE + 1}/summary")
+                response = conn.getresponse()
+                assert response.status == 200
+                after = json.loads(response.read())
+            finally:
+                conn.close()
+        assert before != after  # the new store is live
+        fingerprint = service.store.fingerprint
+        assert fingerprint == store_b.fingerprint
+
+    def test_probes_over_http_during_swap_window(self, store_pair):
+        store_a, _ = store_pair
+        service = AnalyticsService(store_a)
+        with serve_analytics(service) as server:
+            with service.degraded_mode():
+                with urllib.request.urlopen(
+                    server.base_url + "/healthz", timeout=10
+                ) as response:
+                    assert response.status == 200
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        server.base_url + "/readyz", timeout=10
+                    )
+                assert excinfo.value.code == 503
+            with urllib.request.urlopen(
+                server.base_url + "/readyz", timeout=10
+            ) as response:
+                assert json.loads(response.read())["status"] == "ready"

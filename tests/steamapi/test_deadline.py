@@ -1,0 +1,183 @@
+"""Deadline propagation: parsing, scoping, layer checks, HTTP mapping."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.steamapi.deadline import (
+    DEADLINE_HEADER,
+    MAX_BUDGET_SECONDS,
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+    effective_budget,
+    parse_deadline_value,
+)
+from repro.steamapi.errors import BadRequestError, DeadlineExceededError
+from repro.steamapi.http_server import HttpLimits, serve_dispatch
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(3.0)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock.advance(2.5)
+        assert deadline.expired()
+
+    def test_check_raises_typed_504_naming_the_layer(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("store")  # within budget: no-op
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("store")
+        assert excinfo.value.status == 504
+        assert excinfo.value.layer == "store"
+        assert "store" in str(excinfo.value)
+
+
+class TestScope:
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        deadline = Deadline.after(1.0, clock=FakeClock())
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_a_noop(self):
+        with deadline_scope(None):
+            assert current_deadline() is None
+        check_deadline("anywhere")  # no ambient deadline: never raises
+
+    def test_check_deadline_uses_ambient(self):
+        clock = FakeClock()
+        with deadline_scope(Deadline.after(1.0, clock=clock)):
+            check_deadline("cache")
+            clock.advance(2.0)
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                check_deadline("cache")
+            assert excinfo.value.layer == "cache"
+
+    def test_scopes_nest(self):
+        clock = FakeClock()
+        outer = Deadline.after(10.0, clock=clock)
+        inner = Deadline.after(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+
+class TestParsing:
+    def test_parse_accepts_fractional_seconds(self):
+        assert parse_deadline_value("2.5") == 2.5
+        assert parse_deadline_value(None) is None
+
+    def test_parse_clamps_absurd_budgets(self):
+        assert parse_deadline_value("9999999") == MAX_BUDGET_SECONDS
+
+    @pytest.mark.parametrize("raw", ["soon", "", "nan-ish", "0", "-3"])
+    def test_parse_rejects_malformed_or_nonpositive(self, raw):
+        with pytest.raises(BadRequestError):
+            parse_deadline_value(raw)
+
+    def test_effective_budget_takes_the_tighter(self):
+        assert effective_budget(None, None) is None
+        assert effective_budget(2.0, None) == 2.0
+        assert effective_budget(None, 5.0) == 5.0
+        assert effective_budget(2.0, 5.0) == 2.0
+        assert effective_budget(7.0, 5.0) == 5.0
+
+
+class TestHttpIntegration:
+    def test_header_budget_expires_into_504(self):
+        """A dispatch that outlives the client's budget gets a 504."""
+
+        def dispatch(path, params):
+            # Cooperative: the handler checks at its own boundary.
+            check_deadline("dispatch")
+            return {"ok": True}
+
+        with serve_dispatch(dispatch, access_log=False) as server:
+            # Stall happens *before* dispatch runs here: emulate by a
+            # budget so small the header-parse → dispatch gap eats it.
+            request = urllib.request.Request(
+                server.base_url + "/thing",
+                headers={DEADLINE_HEADER: "0.000001"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 504
+            body = json.loads(excinfo.value.read())
+            assert body["error"] == "DeadlineExceededError"
+
+    def test_malformed_header_is_a_400(self):
+        with serve_dispatch(
+            lambda path, params: {"ok": True}, access_log=False
+        ) as server:
+            request = urllib.request.Request(
+                server.base_url + "/thing",
+                headers={DEADLINE_HEADER: "whenever"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_server_default_budget_applies_without_header(self):
+        seen: dict[str, object] = {}
+
+        def dispatch(path, params):
+            seen["deadline"] = current_deadline()
+            return {"ok": True}
+
+        limits = HttpLimits(request_budget=2.0)
+        with serve_dispatch(
+            dispatch, access_log=False, limits=limits
+        ) as server:
+            urllib.request.urlopen(
+                server.base_url + "/thing", timeout=10
+            ).read()
+        deadline = seen["deadline"]
+        assert deadline is not None
+        assert deadline.budget == 2.0
+
+    def test_header_can_only_tighten_the_server_default(self):
+        seen: dict[str, object] = {}
+
+        def dispatch(path, params):
+            seen["deadline"] = current_deadline()
+            return {"ok": True}
+
+        limits = HttpLimits(request_budget=2.0)
+        with serve_dispatch(
+            dispatch, access_log=False, limits=limits
+        ) as server:
+            request = urllib.request.Request(
+                server.base_url + "/thing",
+                headers={DEADLINE_HEADER: "60"},
+            )
+            urllib.request.urlopen(request, timeout=10).read()
+        assert seen["deadline"].budget == 2.0
+
+    def test_no_budget_means_no_ambient_deadline(self):
+        seen: dict[str, object] = {"deadline": "unset"}
+
+        def dispatch(path, params):
+            seen["deadline"] = current_deadline()
+            return {"ok": True}
+
+        with serve_dispatch(dispatch, access_log=False) as server:
+            urllib.request.urlopen(
+                server.base_url + "/thing", timeout=10
+            ).read()
+        assert seen["deadline"] is None

@@ -5,8 +5,11 @@ import pytest
 from repro.steamapi.errors import (
     ApiError,
     BadRequestError,
+    DeadlineExceededError,
     NotFoundError,
+    OverloadedError,
     RateLimitedError,
+    ServiceUnavailableError,
     UnauthorizedError,
     error_for_status,
 )
@@ -32,7 +35,22 @@ class TestErrorTaxonomy:
             assert error.message == "boom"
 
     def test_unknown_status_is_generic(self):
-        assert type(error_for_status(503)) is ApiError
+        assert type(error_for_status(418)) is ApiError
+
+    def test_serving_statuses_are_typed(self):
+        assert type(error_for_status(503)) is ServiceUnavailableError
+        assert type(error_for_status(504)) is DeadlineExceededError
+
+    def test_overloaded_shares_rate_limit_contract(self):
+        # A shed request looks like a rate limit to clients: same 429,
+        # same Retry-After plumbing — but a bare 429 reconstructs to
+        # the canonical RateLimitedError, never the subclass.
+        error = OverloadedError(retry_after=0.25, reason="breaker")
+        assert isinstance(error, RateLimitedError)
+        assert error.status == 429
+        assert error.retry_after == 0.25
+        assert error.reason == "breaker"
+        assert type(error_for_status(429)) is RateLimitedError
 
     def test_rate_limited_retry_after_default(self):
         assert RateLimitedError().retry_after == 1.0

@@ -157,7 +157,7 @@ class TestBursts:
         plan = FaultPlan(seed=9, default=FaultSpec(server_error=0.5, burst=1))
         faulty = FaultInjectingTransport(Echo(), plan)
         _drive(faulty, 200)
-        assert faulty._burst_left == 0
+        assert faulty._chooser._burst_left == 0
 
 
 class TestPerEndpointSpecs:

@@ -1,0 +1,146 @@
+"""Socket-level protections and internal-error containment.
+
+The server must survive hostile or broken clients: slow-loris peers
+dribbling header bytes, absurd request lines, header floods — and its
+own bugs, which must come back as opaque 500s instead of killing the
+handler thread or leaking internals.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Obs
+from repro.steamapi.http_server import HttpLimits, serve_dispatch
+
+
+def _ok_dispatch(path, params):
+    return {"ok": True, "path": path}
+
+
+class TestSlowClientProtection:
+    def test_slow_loris_connection_is_closed(self):
+        """A client that sends half a request line and stalls must be
+        disconnected after the socket timeout, not hold a handler
+        thread forever."""
+        limits = HttpLimits(socket_timeout=0.3)
+        with serve_dispatch(
+            _ok_dispatch, access_log=False, limits=limits
+        ) as server:
+            host, port = server.server.server_address[:2]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"GET /slow")  # never finishes the line
+                start = time.monotonic()
+                # The server times out the read and tears down: we see
+                # EOF (empty read) rather than hanging.
+                sock.settimeout(10)
+                data = sock.recv(1024)
+                elapsed = time.monotonic() - start
+            assert data == b""
+            assert elapsed < 8
+            # The server is still healthy for well-behaved clients.
+            with urllib.request.urlopen(
+                server.base_url + "/fine", timeout=10
+            ) as response:
+                assert response.status == 200
+
+    def test_no_timeout_by_default(self):
+        """Embedded servers keep the historical block-forever reads; a
+        half-sent request simply waits (bounded here by the test)."""
+        with serve_dispatch(_ok_dispatch, access_log=False) as server:
+            host, port = server.server.server_address[:2]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"GET /slow")
+                sock.settimeout(0.5)
+                with pytest.raises(socket.timeout):
+                    sock.recv(1024)  # the *client* times out, not the server
+
+
+class TestRequestLimits:
+    def test_oversized_request_line_is_414(self):
+        limits = HttpLimits(max_request_line=200)
+        with serve_dispatch(
+            _ok_dispatch, access_log=False, limits=limits
+        ) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    server.base_url + "/" + "x" * 500, timeout=10
+                )
+            assert excinfo.value.code == 414
+
+    def test_header_flood_is_431(self):
+        limits = HttpLimits(max_headers=8)
+        with serve_dispatch(
+            _ok_dispatch, access_log=False, limits=limits
+        ) as server:
+            request = urllib.request.Request(server.base_url + "/thing")
+            for i in range(20):
+                request.add_header(f"X-Flood-{i}", "y")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 431
+
+    def test_normal_requests_pass_under_limits(self):
+        limits = HttpLimits(max_request_line=512, max_headers=32)
+        with serve_dispatch(
+            _ok_dispatch, access_log=False, limits=limits
+        ) as server:
+            with urllib.request.urlopen(
+                server.base_url + "/fine?q=1", timeout=10
+            ) as response:
+                assert response.status == 200
+
+
+class TestInternalErrorContainment:
+    def test_non_api_error_becomes_opaque_500(self):
+        """A server bug (non-ApiError escaping dispatch) must yield an
+        opaque 500 — no message, no traceback — and be counted."""
+
+        class Boom(RuntimeError):
+            pass
+
+        def dispatch(path, params):
+            if path == "/boom":
+                raise Boom("secret internals: db password is hunter2")
+            return {"ok": True}
+
+        obs = Obs()
+        with serve_dispatch(dispatch, access_log=False, obs=obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.base_url + "/boom", timeout=10)
+            assert excinfo.value.code == 500
+            body = json.loads(excinfo.value.read())
+            # Opaque: the error name and nothing else; internals must
+            # not leak to the client.
+            assert body == {"error": "InternalError"}
+            counter = obs.counter("http_internal_errors", labelnames=("path",))
+            assert counter.value(path="/boom") == 1
+            # The handler thread survived: the next request works.
+            with urllib.request.urlopen(
+                server.base_url + "/fine", timeout=10
+            ) as response:
+                assert response.status == 200
+
+    def test_internal_errors_use_route_template_label(self):
+        def dispatch(path, params):
+            raise RuntimeError("bug")
+
+        obs = Obs()
+        with serve_dispatch(
+            dispatch,
+            access_log=False,
+            obs=obs,
+            route_of=lambda path: "/users/<id>",
+        ) as server:
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    server.base_url + "/users/12345", timeout=10
+                )
+            counter = obs.counter("http_internal_errors", labelnames=("path",))
+            assert counter.value(path="/users/<id>") == 1

@@ -18,24 +18,31 @@ import urllib.request
 
 import pytest
 
+from repro.obs import Obs
 from repro.steamapi.http_server import serve_dispatch
+
+
+def _wedgeable_server(obs=None):
+    """A server whose ``/wedge`` route blocks until released."""
+    release = threading.Event()
+    entered = threading.Event()
+
+    def dispatch(path, params):
+        if path == "/wedge":
+            entered.set()
+            # A handler stuck behind a slow upstream / stalled
+            # client: blocks until the test releases it.
+            release.wait(timeout=30)
+        return {"ok": True}
+
+    server = serve_dispatch(dispatch, access_log=False, obs=obs)
+    server.drain_timeout = 0.5
+    return server, entered, release
 
 
 class TestBoundedClose:
     def test_close_returns_despite_wedged_handler(self):
-        release = threading.Event()
-        entered = threading.Event()
-
-        def dispatch(path, params):
-            if path == "/wedge":
-                entered.set()
-                # A handler stuck behind a slow upstream / stalled
-                # client: blocks until the test releases it.
-                release.wait(timeout=30)
-            return {"ok": True}
-
-        server = serve_dispatch(dispatch, access_log=False)
-        server.drain_timeout = 0.5
+        server, entered, release = _wedgeable_server()
         try:
             client = threading.Thread(
                 target=lambda: urllib.request.urlopen(
@@ -64,6 +71,41 @@ class TestBoundedClose:
             assert all(t.daemon for t in stuck)
         finally:
             release.set()
+
+    def test_drain_leftovers_are_counted_and_logged(self, caplog):
+        """Callers routinely drop ``close()``'s return value, so an
+        abandoned handler must also surface through the log and the
+        ``http_drain_leftover_threads`` counter."""
+        obs = Obs()
+        server, entered, release = _wedgeable_server(obs=obs)
+        try:
+            client = threading.Thread(
+                target=lambda: urllib.request.urlopen(
+                    server.base_url + "/wedge", timeout=30
+                ).read(),
+                daemon=True,
+            )
+            client.start()
+            assert entered.wait(timeout=10)
+            with caplog.at_level("WARNING", logger="repro.steamapi.http"):
+                stuck = server.close()
+            assert len(stuck) == 1
+            counter = obs.counter("http_drain_leftover_threads")
+            assert counter.value() == 1
+            assert any(
+                "drain deadline" in record.message for record in caplog.records
+            )
+        finally:
+            release.set()
+
+    def test_clean_close_leaves_counter_untouched(self):
+        obs = Obs()
+        server = serve_dispatch(
+            lambda path, params: {"ok": True}, access_log=False, obs=obs
+        )
+        urllib.request.urlopen(server.base_url + "/ping", timeout=10).read()
+        assert server.close() == []
+        assert obs.counter("http_drain_leftover_threads").value() == 0
 
     def test_clean_close_reports_no_stragglers(self):
         server = serve_dispatch(
