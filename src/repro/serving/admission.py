@@ -26,9 +26,11 @@ consecutive deadline blowouts open the breaker: requests to that route
 are shed (429, ``Retry-After`` = remaining cooldown) without touching
 the store.  After ``cooldown`` seconds the breaker goes *half-open* and
 admits exactly one probe; a probe that completes closes the breaker, a
-probe that times out re-opens it for another cooldown.  The state
-machine is driven by the injectable clock, so tests walk it with a
-:class:`~repro.obs.clock.FakeClock` instead of sleeping.
+probe that times out re-opens it for another cooldown, and a probe that
+fails for any *other* reason (a 404, a handler bug) releases the probe
+slot without moving the state, so the next request can probe again.
+The state machine is driven by the injectable clock, so tests walk it
+with a :class:`~repro.obs.clock.FakeClock` instead of sleeping.
 
 Everything is instrumented: an in-flight gauge, shed counters by route
 and reason (``capacity`` / ``route`` / ``breaker``), deadline-timeout
@@ -162,6 +164,17 @@ class CircuitBreaker:
             return BREAKER_OPEN
         return None
 
+    def record_abandoned(self) -> None:
+        """The admitted request failed for a non-deadline reason.
+
+        A 404 or a handler bug says nothing about the route's latency,
+        so neither the state nor the timeout streak moves — but a
+        half-open probe slot the request held is released, otherwise
+        one failing probe would wedge the route open forever (nothing
+        else could ever be admitted to close or re-open it).
+        """
+        self._probe_inflight = False
+
 
 class AdmissionController:
     """Bounded-concurrency door in front of the serving dispatch."""
@@ -259,16 +272,20 @@ class AdmissionController:
         with self._lock:
             if self._m_depth is not None:
                 self._m_depth.observe(self._inflight)
-            breaker = self._breaker(route)
-            allowed, cooldown_left = breaker.allow()
-            if not allowed:
-                self._shed(route, "breaker", cooldown_left + self._jitter())
+            # Budget checks run before the breaker: allow() may consume
+            # the single half-open probe slot, so nothing that can shed
+            # is allowed after it — a later shed would leak the slot and
+            # wedge the route open with no probe ever admitted.
             if self._inflight >= config.max_inflight:
                 self._shed(route, "capacity", self._jitter())
             route_limit = config.per_route.get(route)
             route_inflight = self._route_inflight.get(route, 0)
             if route_limit is not None and route_inflight >= route_limit:
                 self._shed(route, "route", self._jitter())
+            breaker = self._breaker(route)
+            allowed, cooldown_left = breaker.allow()
+            if not allowed:
+                self._shed(route, "breaker", cooldown_left + self._jitter())
             self._inflight += 1
             self._route_inflight[route] = route_inflight + 1
             self.admitted += 1
@@ -300,6 +317,13 @@ class AdmissionController:
             self._m_timeouts.inc(route=route)
         if changed is not None and self._m_transitions is not None:
             self._m_transitions.inc(route=route, state=changed)
+
+    def record_abandoned(self, route: str) -> None:
+        """The route failed for a non-deadline reason; frees any
+        half-open probe slot the request held without moving the
+        breaker state (see :meth:`CircuitBreaker.record_abandoned`)."""
+        with self._lock:
+            self._breaker(route).record_abandoned()
 
     # -- introspection -------------------------------------------------------
 

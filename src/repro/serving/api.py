@@ -336,7 +336,8 @@ class AnalyticsService:
         request deadline; probe routes (``/healthz``, ``/readyz``)
         bypass both so they keep answering during a storm.  A deadline
         blowout is reported to the route's circuit breaker before the
-        504 propagates; a clean completion resets it.
+        504 propagates; a clean completion resets it; any other failure
+        releases a held half-open probe slot without moving the breaker.
         """
         for pattern, template, method, cacheable in _ROUTES:
             match = pattern.match(path)
@@ -352,6 +353,14 @@ class AnalyticsService:
                 payload = self._serve(path, params, match, method, cacheable)
             except DeadlineExceededError:
                 self.admission.record_timeout(template)
+                raise
+            except BaseException:
+                # A 404, bad parameter, or handler bug says nothing
+                # about the route's latency: the breaker state stays
+                # put, but a half-open probe slot this request held is
+                # freed — otherwise one failing probe wedges the route
+                # into endless breaker 429s.
+                self.admission.record_abandoned(template)
                 raise
             self.admission.record_success(template)
         if self._degraded_depth > 0:

@@ -98,9 +98,12 @@ class HttpLimits:
     disables server-side deadlines (again the embedded default — the
     ``repro serve-analytics`` CLI turns both protections on).
 
-    ``max_request_line`` / ``max_headers`` bound what an unauthenticated
-    peer can make the parser buffer, tighter than the stdlib's 64 KiB /
-    100-header ceilings.
+    ``max_request_line`` / ``max_headers`` reject oversized request
+    lines (**414**) and header blocks (**431**) before they reach
+    dispatch.  They are checked *after* the stdlib parser has read the
+    request — its own hard ceilings (64 KiB line, 100 headers) bound
+    the worst-case buffering — so these are policy limits on what the
+    server will serve, not a reduction of parser memory.
     """
 
     socket_timeout: float | None = None
@@ -269,8 +272,13 @@ def _make_handler(
                 except AbortedResponse as exc:
                     # Injected mid-body abort: promise the full length,
                     # deliver a prefix, slam the connection — the client
-                    # must see an incomplete read, not valid JSON.
+                    # must see an incomplete read, not valid JSON.  The
+                    # wire says 200 (that's the point of the fault), but
+                    # telemetry records the nginx-style 499 sentinel so
+                    # metrics, spans, and the access log separate
+                    # deliberate aborts from clean successes.
                     m_aborted.inc()
+                    status = 499
                     self._reply_aborted(exc)
                 except ApiError as exc:
                     status = self._reply_error(exc)

@@ -182,6 +182,19 @@ class TestCircuitBreaker:
         assert breaker.record_timeout() == BREAKER_OPEN
         assert not breaker.allow()[0]
 
+    def test_abandoned_probe_frees_the_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_timeout()
+        clock.advance(5.1)
+        assert breaker.allow()[0]  # the probe
+        # The probe died on a 404: the state stays half-open but the
+        # slot comes back, so the next request can probe again.
+        breaker.record_abandoned()
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()[0]
+        assert breaker.record_success() == BREAKER_CLOSED
+
     def test_zero_threshold_disables(self):
         clock = FakeClock()
         breaker = CircuitBreaker(threshold=0, cooldown=5.0, clock=clock)
@@ -228,6 +241,50 @@ class TestControllerBreakerIntegration:
         assert controller.breaker_states() == {"/slow": BREAKER_CLOSED}
         with controller.admit("/slow"):
             pass
+
+    def test_capacity_shed_never_consumes_the_probe_slot(self):
+        """Regression: a would-be probe arriving while the global
+        budget is full must shed on capacity *without* claiming the
+        half-open slot — a leaked slot wedges the route into breaker
+        429s forever (nothing is ever admitted to close or re-open)."""
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_inflight=1, breaker_threshold=2, breaker_cooldown=10.0
+            ),
+            clock=clock,
+        )
+        controller.record_timeout("/slow")
+        controller.record_timeout("/slow")
+        clock.advance(10.1)
+        with controller.admit("/other"):  # budget is now full
+            with pytest.raises(OverloadedError) as excinfo:
+                with controller.admit("/slow"):
+                    pass
+            assert excinfo.value.reason == "capacity"
+        # Budget freed: the probe is still available and recovery works.
+        with controller.admit("/slow"):
+            pass
+        controller.record_success("/slow")
+        assert controller.breaker_states()["/slow"] == BREAKER_CLOSED
+
+    def test_abandoned_probe_keeps_recovery_possible(self):
+        """Regression: a probe that fails for a non-deadline reason
+        (404, handler bug) must release the slot so a later probe can
+        still close the breaker."""
+        controller, clock = self._controller()
+        controller.record_timeout("/slow")
+        controller.record_timeout("/slow")
+        clock.advance(10.1)
+        with pytest.raises(RuntimeError):
+            with controller.admit("/slow"):  # the probe
+                raise RuntimeError("probe died on a non-timeout error")
+        controller.record_abandoned("/slow")
+        assert controller.breaker_states()["/slow"] == BREAKER_HALF_OPEN
+        with controller.admit("/slow"):  # probes again
+            pass
+        controller.record_success("/slow")
+        assert controller.breaker_states()["/slow"] == BREAKER_CLOSED
 
     def test_stats_shape(self):
         controller, _ = self._controller()

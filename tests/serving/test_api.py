@@ -11,7 +11,9 @@ import urllib.request
 import pytest
 
 from repro.obs import Obs
+from repro.obs.clock import FakeClock
 from repro.serving import AnalyticsService, serve_analytics
+from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.steamapi.errors import BadRequestError, NotFoundError
 
 
@@ -100,6 +102,37 @@ class TestResponseCache:
         )
         payload = serving_service.dispatch("/healthz", {})
         assert payload["cache"]["misses"] == 1
+
+
+class TestBreakerRecovery:
+    def test_failed_probe_does_not_wedge_the_route(
+        self, serving_store, small_dataset
+    ):
+        """Regression: after a breaker trip, a half-open probe that
+        404s must release the probe slot — one bad probe must not turn
+        the route into endless breaker 429s."""
+        clock = FakeClock()
+        admission = AdmissionController(
+            AdmissionConfig(breaker_threshold=2, breaker_cooldown=10.0),
+            clock=clock,
+        )
+        service = AnalyticsService(serving_store, admission=admission)
+        route = "/users/<id>/summary"
+        admission.record_timeout(route)
+        admission.record_timeout(route)
+        assert admission.breaker_states()[route] == "open"
+        clock.advance(10.1)
+        # The half-open probe dies on a 404 (unknown steamid).
+        steamids = small_dataset.accounts.steamids()
+        unknown = int(steamids[-1]) + 1000
+        with pytest.raises(NotFoundError):
+            service.dispatch(f"/users/{unknown}/summary", {})
+        # The route recovers: the next request is admitted as a fresh
+        # probe, succeeds, and closes the breaker.
+        steamid = int(steamids[0])
+        payload = service.dispatch(f"/users/{steamid}/summary", {})
+        assert payload["steamid"] == steamid
+        assert admission.breaker_states()[route] == "closed"
 
 
 class TestHttp:

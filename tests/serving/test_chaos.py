@@ -14,6 +14,7 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -178,6 +179,19 @@ class TestChaosOverHttp:
             finally:
                 conn.close()
             assert obs.counter("http_aborted_bodies").value() == 1
+            # Telemetry must not book the abort as a clean 200: it is
+            # accounted under the 499 sentinel.  The handler accounts
+            # after writing the partial body, so poll briefly.
+            requests = obs.counter(
+                "http_requests", labelnames=("path", "status")
+            )
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if requests.value(path="/tailfit/<attr>", status=499) == 1:
+                    break
+                time.sleep(0.02)
+            assert requests.value(path="/tailfit/<attr>", status=499) == 1
+            assert requests.value(path="/tailfit/<attr>", status=200) == 0
 
     def test_crash_is_contained_as_opaque_500(self, serving_store):
         plan = ServingFaultPlan(seed=2, default=ServingFaultSpec(crash=1.0))
