@@ -9,8 +9,19 @@ stats, neighborhoods).  Measures:
 - store build wall clock, cold and warm (the warm rebuild must execute
   zero engine stages — that's the fingerprint-keyed memo contract),
 - request latency quantiles (p50/p95/p99) across every client,
+- *service-time* quantiles from the canonical request records
+  (DESIGN.md §15): dispatch-to-write-end per request, excluding
+  accept-queue and thread-scheduling wait — the stable tail signal
+  that lets CI gate p95 again (client-observed p95 sits on the
+  queueing cluster and is info-only),
+- mean queue wait (client-observed latency minus recorded service
+  time), recorded separately so queue pressure is visible, not mixed
+  into the handler tail,
 - aggregate throughput and the ok-rate (any non-200 fails the bench
-  outright; the recorded ok_rate lets CI gate drift explicitly).
+  outright; the recorded ok_rate lets CI gate drift explicitly),
+- request-log overhead: a serial dispatch loop with and without the
+  log attached must stay within 5% (asserted outright, recorded as a
+  ratio).
 
 Scales via ``REPRO_BENCH_USERS`` (world size, default 60,000) and
 ``REPRO_BENCH_CLIENTS`` (simulated clients, default 2,000).  Clients
@@ -20,6 +31,7 @@ requests, so the default run pushes >10k requests through the server.
 
 from __future__ import annotations
 
+import http.client
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -30,7 +42,8 @@ import pytest
 
 from repro import SteamWorld, WorldConfig
 from repro.engine import StageCache
-from repro.obs import bench_metric
+from repro.obs import RequestLog, SLOTracker, bench_metric
+from repro.obs.slo import SLOSpec
 from repro.serving import AnalyticsService, AnalyticsStore, serve_analytics
 
 SERVING_USERS = int(os.environ.get("REPRO_BENCH_USERS", "60000"))
@@ -79,7 +92,10 @@ def test_serving_benchmark(serving_world, tmp_path, record, record_json):
     # The serving memo contract: a warm rebuild executes zero stages.
     assert warm.build_run.executed == ()
 
-    service = AnalyticsService(store)
+    n_expected = SERVING_CLIENTS * REQUESTS_PER_CLIENT
+    request_log = RequestLog(capacity=n_expected + REQUESTS_PER_CLIENT)
+    slo = SLOTracker([SLOSpec(route="*", latency_threshold_s=5.0)])
+    service = AnalyticsService(store, request_log=request_log, slo=slo)
     server = serve_analytics(service, access_log=False)
     base = server.base_url
     steamids = dataset.accounts.steamids()[:: max(1, dataset.n_users // 512)]
@@ -113,7 +129,7 @@ def test_serving_benchmark(serving_world, tmp_path, record, record_json):
 
     latencies = np.array([lat for client in per_client for lat in client])
     n_requests = len(latencies)
-    assert n_requests == SERVING_CLIENTS * REQUESTS_PER_CLIENT
+    assert n_requests == n_expected
     # Every request asserted 200 above, so a completed run is error-free
     # by construction; ok_rate is recorded for the CI drift gate.
     ok_rate = 1.0
@@ -122,6 +138,71 @@ def test_serving_benchmark(serving_world, tmp_path, record, record_json):
     )
     throughput = n_requests / wall
     cache_stats = service.cache.stats()
+
+    # -- service time from the canonical request records ------------------
+    # Exactly one record per dispatched request (warmup wave included);
+    # drop the warmup head so quantiles cover the timed storm only.
+    records = request_log.records()[-n_requests:]
+    assert request_log.stats()["total"] == n_requests + REQUESTS_PER_CLIENT
+    assert all(r["status"] == 200 for r in records)
+    service_times = np.array([r["total_s"] for r in records])
+    service_p50, service_p95, service_p99 = (
+        float(np.percentile(service_times, q)) for q in (50, 95, 99)
+    )
+    # Queue wait: what the client saw minus what the server spent.
+    # Client latencies and records cover the same request population,
+    # so the means subtract even though individual requests can't be
+    # paired up across threads.
+    queue_wait_mean = float(latencies.mean() - service_times.mean())
+    # The clean run keeps its whole error budget: no burn alert fires.
+    assert not any(alert.firing for alert in slo.evaluate())
+
+    # -- request-log overhead guard ---------------------------------------
+    # Serial keep-alive requests against an instrumented server must
+    # stay within 5% of a bare one: the wide-event record (plus the
+    # exemplar it pins into the latency histogram, plus the SLO window
+    # increments) is a handful of clock reads and a dict per request,
+    # not a tax on serving throughput.  Best-of-N serial rounds cancel
+    # scheduler noise; the mix is cache-warm so the substrate — not the
+    # store — is the denominator, which is the harshest framing for a
+    # fixed per-request cost.
+    overhead_paths = [
+        f"/users/{int(steamids[i % len(steamids)])}/summary"
+        for i in range(16)
+    ] + ["/tailfit/friends", "/homophily/owned_games"]
+
+    def serial_seconds(with_log: bool) -> float:
+        target = AnalyticsService(
+            store,
+            request_log=RequestLog(capacity=64) if with_log else None,
+            slo=SLOTracker([SLOSpec(route="*")]) if with_log else None,
+        )
+        with serve_analytics(target, access_log=False) as running:
+            host, port = running.server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                best = float("inf")
+                for round_index in range(6):
+                    t0 = time.perf_counter()
+                    for path in overhead_paths:
+                        conn.request("GET", path)
+                        response = conn.getresponse()
+                        assert response.status == 200
+                        response.read()
+                    elapsed = time.perf_counter() - t0
+                    if round_index > 0:  # round 0 warms cache + socket
+                        best = min(best, elapsed)
+            finally:
+                conn.close()
+        return best
+
+    bare_seconds = serial_seconds(with_log=False)
+    logged_seconds = serial_seconds(with_log=True)
+    overhead_ratio = logged_seconds / bare_seconds
+    assert overhead_ratio < 1.05, (
+        f"request logging costs {(overhead_ratio - 1) * 100:.1f}% "
+        "of serving throughput; the budget is 5%"
+    )
 
     record(
         "serving",
@@ -134,9 +215,17 @@ def test_serving_benchmark(serving_world, tmp_path, record, record_json):
             f"on a {CLIENT_POOL}-thread pool",
             f"latency: p50 {p50 * 1e3:.1f}ms  p95 {p95 * 1e3:.1f}ms  "
             f"p99 {p99 * 1e3:.1f}ms",
+            f"service time (per request record): "
+            f"p50 {service_p50 * 1e3:.1f}ms  "
+            f"p95 {service_p95 * 1e3:.1f}ms  "
+            f"p99 {service_p99 * 1e3:.1f}ms  "
+            f"(mean queue wait {queue_wait_mean * 1e3:.1f}ms)",
             f"throughput: {throughput:,.0f} req/s, ok_rate {ok_rate:.3f}",
             f"response cache: {cache_stats['hits']} hits / "
             f"{cache_stats['misses']} misses",
+            f"request-log overhead: {(overhead_ratio - 1) * 100:+.1f}% "
+            f"on serial serving ({bare_seconds * 1e3:.1f}ms bare vs "
+            f"{logged_seconds * 1e3:.1f}ms logged per round)",
         ],
     )
     record_json(
@@ -149,6 +238,15 @@ def test_serving_benchmark(serving_world, tmp_path, record, record_json):
             bench_metric("p50_seconds", p50, "s"),
             bench_metric("p95_seconds", p95, "s"),
             bench_metric("p99_seconds", p99, "s"),
+            bench_metric("p50_service_seconds", service_p50, "s"),
+            bench_metric("p95_service_seconds", service_p95, "s"),
+            bench_metric("p99_service_seconds", service_p99, "s"),
+            bench_metric(
+                "queue_wait_mean_seconds", queue_wait_mean, "s"
+            ),
+            bench_metric(
+                "reqlog_overhead_ratio", overhead_ratio, "ratio"
+            ),
             bench_metric("requests_per_second", throughput, "req/s"),
             bench_metric("ok_rate", ok_rate, "ratio"),
             bench_metric(

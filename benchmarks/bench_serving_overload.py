@@ -11,7 +11,13 @@ clients and measures the *degradation contract*:
 - shed rate and shed-response latency (rejection must be cheap),
 - byte-identity: every accepted body must equal the unloaded
   reference run's body for that path, asserted outright and recorded
-  as a ratio for the gate.
+  as a ratio for the gate,
+- request-record fidelity (DESIGN.md §15): every storm request leaves
+  exactly one canonical record whose status matches the wire, the
+  storm's JSONL and an exemplar-bearing metrics snapshot land under
+  ``benchmarks/results/`` for CI artifact upload, and the SLO error
+  budget burned plus burn-alert fire counts are recorded for the gate
+  (a storm past capacity *must* page).
 
 Scales via ``REPRO_BENCH_USERS`` (world size, default 60,000) and
 ``REPRO_BENCH_STORM_CLIENTS`` (storm width, default 16, served through
@@ -22,13 +28,15 @@ from __future__ import annotations
 
 import http.client
 import os
+import pathlib
 import time
 
 import numpy as np
 import pytest
 
 from repro import SteamWorld, WorldConfig
-from repro.obs import Obs, bench_metric
+from repro.obs import Obs, RequestLog, SLOTracker, bench_metric
+from repro.obs.slo import SLOSpec
 from repro.serving import (
     AdmissionConfig,
     AnalyticsService,
@@ -98,6 +106,18 @@ def test_serving_overload_benchmark(overload_world, record, record_json):
     reference = _reference_bodies(store, paths)
 
     obs = Obs()
+    total = STORM_CLIENTS * REQUESTS_PER_CLIENT
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    storm_jsonl = results_dir / "serving_overload_requests.jsonl"
+    storm_jsonl.unlink(missing_ok=True)  # the sink appends
+    request_log = RequestLog(
+        capacity=total, clock=obs.clock, jsonl_path=storm_jsonl
+    )
+    slo = SLOTracker(
+        [SLOSpec(route="*", target=0.999, latency_threshold_s=5.0)],
+        clock=obs.clock,
+    )
     plan = ServingFaultPlan(
         seed=7,
         default=ServingFaultSpec(stall=1.0, stall_range=STALL_RANGE),
@@ -106,6 +126,8 @@ def test_serving_overload_benchmark(overload_world, record, record_json):
         store,
         plan,
         obs=obs,
+        request_log=request_log,
+        slo=slo,
         admission=AdmissionConfig(
             max_inflight=MAX_INFLIGHT, seed=42, breaker_threshold=0
         ),
@@ -123,7 +145,6 @@ def test_serving_overload_benchmark(overload_world, record, record_json):
         )
         wall = time.perf_counter() - start
 
-    total = STORM_CLIENTS * REQUESTS_PER_CLIENT
     accepted = result.count(200)
     shed = result.count(429)
 
@@ -149,6 +170,52 @@ def test_serving_overload_benchmark(overload_world, record, record_json):
     throughput = total / wall
     stats = service.admission.stats()
 
+    # -- request-record fidelity ------------------------------------------
+    # The server has drained, so every dispatch committed its record:
+    # counts must match the wire status for status, one record each.
+    request_log.close()
+    records = request_log.records()
+    assert len(records) == total
+    record_statuses: dict[int, int] = {}
+    for rec in records:
+        record_statuses[rec["status"]] = (
+            record_statuses.get(rec["status"], 0) + 1
+        )
+    assert record_statuses == dict(result.status_counts)
+    # Sheds name the guard that refused them; accepts carry bytes.
+    assert all(
+        rec["admission"].startswith("shed:")
+        for rec in records
+        if rec["status"] == 429
+    )
+    assert all(
+        rec["bytes_out"] > 0 for rec in records if rec["status"] == 200
+    )
+
+    # -- SLO error budget -------------------------------------------------
+    # Sheds spend budget by default: a storm past capacity must burn
+    # hot enough to page on the 5m/1h pair (the whole run fits inside
+    # the short window, so both windows see the same bad fraction).
+    alerts = slo.evaluate()
+    assert any(
+        a.firing and a.window == "page" for a in alerts
+    ), "a 4x-capacity storm must page"
+    slo_snapshot = slo.snapshot()
+    route_slo = slo_snapshot["routes"]
+    budget_burned = 1.0 - min(
+        entry["budget_remaining"] for entry in route_slo.values()
+    )
+    page_fires = sum(
+        count
+        for (_, window), count in slo.alert_fires.items()
+        if window == "page"
+    )
+
+    # Artifacts for CI upload: the storm's full JSONL record stream
+    # plus the exemplar-bearing metrics snapshot (trace-pinned latency
+    # buckets) land next to the human-readable results.
+    obs.write(results_dir / "serving_overload_metrics.json")
+
     record(
         "serving_overload",
         [
@@ -165,6 +232,10 @@ def test_serving_overload_benchmark(overload_world, record, record_json):
             f"admission: {stats['admitted']} admitted, shed by reason "
             f"{stats['shed']}",
             "byte-identity: all accepted bodies match the unloaded run",
+            f"request records: {len(records)} (one per storm request, "
+            "statuses match the wire)",
+            f"slo: {budget_burned * 100:.1f}% of the error budget "
+            f"burned, {page_fires} page alert(s) fired",
         ],
     )
     record_json(
@@ -191,6 +262,11 @@ def test_serving_overload_benchmark(overload_world, record, record_json):
                 / max(1, len(result.accepted)),
                 "ratio",
             ),
+            bench_metric("request_records", len(records), "count"),
+            bench_metric(
+                "slo_budget_burned", budget_burned, "ratio"
+            ),
+            bench_metric("slo_page_alert_fires", page_fires, "count"),
         ],
         seed=OVERLOAD_SEED,
         n_users=OVERLOAD_USERS,

@@ -393,11 +393,36 @@ def _cmd_serve_analytics(args: argparse.Namespace) -> int:
         socket_timeout=args.socket_timeout,
         request_budget=args.request_budget,
     )
+    request_log = None
+    if args.request_log is not None:
+        from repro.obs import RequestLog
+
+        request_log = RequestLog(
+            capacity=args.request_log_capacity,
+            clock=obs.clock,
+            jsonl_path=args.request_log or None,
+        )
+    slo = None
+    if args.slo_target is not None:
+        from repro.obs import SLOSpec, SLOTracker
+
+        slo = SLOTracker(
+            [
+                SLOSpec(
+                    route="*",
+                    target=args.slo_target,
+                    latency_threshold_s=args.slo_latency_threshold,
+                )
+            ],
+            clock=obs.clock,
+        )
     service = AnalyticsService(
         store,
         obs=obs,
         cache_size=args.response_cache_size,
         admission=admission,
+        request_log=request_log,
+        slo=slo,
     )
     server = serve_analytics(
         service,
@@ -425,6 +450,15 @@ def _cmd_serve_analytics(args: argparse.Namespace) -> int:
         "        /tailfit/<attr> /homophily/<attr> "
         "/healthz /readyz /metrics"
     )
+    if request_log is not None or slo is not None:
+        extras = []
+        if request_log is not None:
+            extras.append("/debug/requests?n=N")
+        if slo is not None:
+            extras.append("/debug/slo")
+        print("        " + " ".join(extras))
+    if request_log is not None and request_log.jsonl_path is not None:
+        print(f"request log (JSONL): {request_log.jsonl_path}")
     print("press Ctrl-C to stop")
     try:
         while True:
@@ -437,6 +471,8 @@ def _cmd_serve_analytics(args: argparse.Namespace) -> int:
                 "shutdown (daemonic; the process exits anyway)",
                 file=sys.stderr,
             )
+    if request_log is not None:
+        request_log.close()
     _finish_obs(obs, args)
     return 0
 
@@ -493,6 +529,132 @@ def _cmd_obs_summarize(args: argparse.Namespace) -> int:
         return 1
     print(console_summary(snapshot), end="")
     return 0
+
+
+#: Compact layer tags for the ``obs tail`` breakdown column, in
+#: pipeline order (matching ``repro.obs.reqlog.LAYERS``).
+_TAIL_LAYER_TAGS = (
+    ("admission", "adm"),
+    ("handler", "hand"),
+    ("cache", "cache"),
+    ("store", "store"),
+    ("serialize", "ser"),
+    ("write", "wr"),
+)
+
+
+def _format_request_record(record: dict) -> str:
+    layers = record.get("layers", {})
+    breakdown = " ".join(
+        f"{tag}={layers.get(name, 0.0) * 1000:.2f}ms"
+        for name, tag in _TAIL_LAYER_TAGS
+        if layers.get(name, 0.0) > 0.0
+    )
+    extras = []
+    if record.get("cache") not in (None, "bypass"):
+        extras.append(f"cache={record['cache']}")
+    if record.get("admission") not in (None, "bypass", "admitted"):
+        extras.append(record["admission"])
+    if record.get("fault"):
+        extras.append(f"fault={record['fault']}")
+    if record.get("degraded"):
+        extras.append("degraded")
+    suffix = (" " + " ".join(extras)) if extras else ""
+    return (
+        f"{record.get('seq', 0):>6} "
+        f"{record.get('status', 0):>3} "
+        f"{record.get('total_s', 0.0) * 1000:>9.2f}ms "
+        f"{record.get('path', '?'):<40} "
+        f"trace={record.get('trace_id', '-')} "
+        f"[{breakdown}]{suffix}"
+    )
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    from repro.obs.reqlog import read_jsonl
+
+    try:
+        records = list(read_jsonl(args.log))
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+    matched = [
+        record
+        for record in records
+        if (args.route is None or record.get("route") == args.route)
+        and (args.status is None or record.get("status") == args.status)
+        and (
+            args.min_latency is None
+            or record.get("total_s", 0.0) >= args.min_latency
+        )
+    ]
+    for record in matched[-args.n :]:
+        print(_format_request_record(record))
+    print(
+        f"-- {len(matched)} of {len(records)} records matched "
+        f"(showing last {min(args.n, len(matched))})"
+    )
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.reqlog import read_jsonl
+    from repro.obs.slo import SLOSpec, SLOTracker
+
+    try:
+        records = list(read_jsonl(args.log))
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not records:
+        print("no records in log")
+        return 0
+    # Offline replay: drive the tracker's clock from the recorded
+    # timestamps so windows and burn rates match what a live tracker
+    # would have seen at the end of the run.
+    now = [0.0]
+    tracker = SLOTracker(
+        [
+            SLOSpec(
+                route="*",
+                target=args.target,
+                latency_threshold_s=args.latency_threshold,
+            )
+        ],
+        clock=lambda: now[0],
+    )
+    for record in records:
+        now[0] = record.get("start_s", 0.0) + record.get("total_s", 0.0)
+        tracker.record(
+            record.get("route", "<unmatched>"),
+            record.get("status", 0),
+            record.get("total_s", 0.0),
+        )
+    snapshot = tracker.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+        return 0
+    print(f"== SLO (target={args.target}, "
+          f"latency<={args.latency_threshold}s) ==")
+    for route, entry in snapshot["routes"].items():
+        print(
+            f"  {route:<36} good={entry['good']:,} bad={entry['bad']:,} "
+            f"budget_remaining={entry['budget_remaining']:+.3f}"
+        )
+    firing = [a for a in snapshot["alerts"] if a["firing"]]
+    print("== burn-rate alerts ==")
+    if not firing:
+        print("  (none firing)")
+    for alert in firing:
+        print(
+            f"  [{alert['severity']}] {alert['route']} "
+            f"window={alert['window']} "
+            f"long={alert['long_burn']:.1f}x short={alert['short_burn']:.1f}x "
+            f"(threshold {alert['threshold']}x)"
+        )
+    return 1 if firing else 0
 
 
 def _cmd_obs_bench_diff(args: argparse.Namespace) -> int:
@@ -775,6 +937,42 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_sa.add_argument(
+        "--request-log",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "keep one canonical record per dispatched request in a "
+            "bounded in-memory ring (inspect at /debug/requests); with "
+            "PATH, also append every record as JSONL for repro obs tail"
+        ),
+    )
+    p_sa.add_argument(
+        "--request-log-capacity",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="ring capacity of the in-memory request log",
+    )
+    p_sa.add_argument(
+        "--slo-target",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help=(
+            "track a per-route SLO with this availability target "
+            "(e.g. 0.999); enables /debug/slo and burn-rate alerts"
+        ),
+    )
+    p_sa.add_argument(
+        "--slo-latency-threshold",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="latency above which a successful request still counts bad",
+    )
+    p_sa.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-request access logging",
@@ -824,6 +1022,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sum.add_argument("snapshot", help="path to a --metrics-out JSON file")
     p_sum.set_defaults(func=_cmd_obs_summarize)
+    p_tail = obs_sub.add_parser(
+        "tail",
+        help="show the last request records from a JSONL request log",
+    )
+    p_tail.add_argument(
+        "log", help="path to a --request-log JSONL file"
+    )
+    p_tail.add_argument(
+        "-n", type=int, default=50, help="records to show (default 50)"
+    )
+    p_tail.add_argument(
+        "--route", help="only records for this route template"
+    )
+    p_tail.add_argument(
+        "--status", type=int, help="only records with this status"
+    )
+    p_tail.add_argument(
+        "--min-latency",
+        type=float,
+        metavar="SECONDS",
+        help="only records at least this slow end to end",
+    )
+    p_tail.set_defaults(func=_cmd_obs_tail)
+    p_slo = obs_sub.add_parser(
+        "slo",
+        help=(
+            "replay a JSONL request log through the SLO tracker: "
+            "error budgets per route and burn-rate alerts "
+            "(exit 1 when an alert fires)"
+        ),
+    )
+    p_slo.add_argument("log", help="path to a --request-log JSONL file")
+    p_slo.add_argument(
+        "--target",
+        type=float,
+        default=0.999,
+        help="availability target (default 0.999)",
+    )
+    p_slo.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="latency above which a success still counts bad",
+    )
+    p_slo.add_argument(
+        "--json", action="store_true", help="emit the raw JSON snapshot"
+    )
+    p_slo.set_defaults(func=_cmd_obs_slo)
     p_diff = obs_sub.add_parser(
         "bench-diff",
         help=(

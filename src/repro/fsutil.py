@@ -12,10 +12,16 @@ primitive, so new write paths cannot get it subtly wrong.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["atomic_writer", "atomic_write_bytes", "atomic_write_text"]
+__all__ = [
+    "LineSink",
+    "atomic_writer",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
 
 
 @contextmanager
@@ -55,3 +61,50 @@ def atomic_write_text(
 ) -> Path:
     """Atomically replace ``path``'s content with ``text``."""
     return atomic_write_bytes(path, text.encode(encoding))
+
+
+class LineSink:
+    """An append-only line stream (JSONL logs) with crash-safe framing.
+
+    Atomic replace is the wrong tool for an ever-growing log — it would
+    rewrite the whole file per record.  The append discipline instead:
+    open once in append-binary mode, write each record as exactly one
+    ``\\n``-terminated line, flush per line.  A crash can tear at most
+    the final line (readers must skip a torn tail); every earlier line
+    is a complete record.  Thread-safe; lazily reopens after close.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def write_line(self, line: bytes | str) -> None:
+        """Append one record; a trailing newline is added if missing."""
+        if isinstance(line, str):
+            line = line.encode("utf-8")
+        if not line.endswith(b"\n"):
+            line += b"\n"
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "ab")
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Fsync and close; a later ``write_line`` reopens."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "LineSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

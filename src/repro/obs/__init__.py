@@ -49,11 +49,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.reqlog import RequestLog
+from repro.obs.slo import DEFAULT_WINDOWS, BurnWindow, SLOSpec, SLOTracker
 from repro.obs.trace_context import TRACE_ENV_VAR, TRACE_HEADER, TraceContext
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
     "Obs",
+    "RequestLog",
+    "SLOSpec",
+    "SLOTracker",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
     "maybe_span",
     "FakeClock",
     "system_clock",
@@ -108,8 +115,11 @@ class Obs:
         help: str = "",
         buckets=DEFAULT_LATENCY_BUCKETS,
         labelnames=(),
+        exemplars: bool = False,
     ) -> Histogram:
-        return self.registry.histogram(name, help, buckets, labelnames)
+        return self.registry.histogram(
+            name, help, buckets, labelnames, exemplars=exemplars
+        )
 
     def span(self, name: str, *, parent_span_id: int | None = None, **attrs):
         return self.tracer.span(name, parent_span_id=parent_span_id, **attrs)

@@ -64,17 +64,31 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             bounds = [*snap["bounds"], "+Inf"]
             for series in snap["series"]:
                 running = 0
-                for bound, count in zip(bounds, series["buckets"]):
-                    running += count
-                    lines.append(
-                        _prom_sample(
-                            metric.name + "_bucket",
-                            names,
-                            series["labels"],
-                            running,
-                            extra=[("le", bound)],
-                        )
+                exemplars = series.get("exemplars")
+                for index, (bound, count) in enumerate(
+                    zip(bounds, series["buckets"])
+                ):
+                    sample = _prom_sample(
+                        metric.name + "_bucket",
+                        names,
+                        series["labels"],
+                        running + count,
+                        extra=[("le", bound)],
                     )
+                    running += count
+                    exemplar = exemplars[index] if exemplars else None
+                    if exemplar is not None:
+                        # OpenMetrics exemplar syntax: the retained
+                        # observation and its join labels ride on the
+                        # bucket line after a ``#``.
+                        body = ",".join(
+                            f'{k}="{v}"'
+                            for k, v in sorted(exemplar["labels"].items())
+                        )
+                        sample += (
+                            f" # {{{body}}} {_prom_num(exemplar['value'])}"
+                        )
+                    lines.append(sample)
                 lines.append(
                     _prom_sample(
                         metric.name + "_sum",
@@ -105,6 +119,46 @@ def _fmt_value(value: float) -> str:
     return f"{value:,.3f}"
 
 
+#: Display labels for HTTP status classes.  499 is split out of 4xx:
+#: it is the mid-body-abort sentinel (the wire already said 200 when
+#: the client vanished), so folding it into generic client errors
+#: would hide every aborted response from operators.
+_STATUS_CLASSES = ("2xx", "3xx", "4xx", "499 (aborted mid-body)", "5xx")
+
+
+def _status_class(status: str) -> str | None:
+    try:
+        code = int(status)
+    except (TypeError, ValueError):
+        return None
+    if code == 499:
+        return "499 (aborted mid-body)"
+    if 200 <= code < 600:
+        return f"{code // 100}xx"
+    return None
+
+
+def _status_breakdown(metrics: dict) -> list[str]:
+    """Status-class rollup of every counter carrying a ``status`` label."""
+    totals: dict[str, float] = {}
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap["kind"] != "counter" or "status" not in snap["labelnames"]:
+            continue
+        index = snap["labelnames"].index("status")
+        for series in snap["series"]:
+            klass = _status_class(series["labels"][index])
+            if klass is not None:
+                totals[klass] = totals.get(klass, 0) + series["value"]
+    if not totals:
+        return []
+    lines = ["== status classes =="]
+    for klass in _STATUS_CLASSES:
+        if klass in totals:
+            lines.append(f"  {klass:<58} {_fmt_value(totals[klass]):>14}")
+    return lines
+
+
 def console_summary(snapshot: dict) -> str:
     """Human-readable digest of a saved metrics snapshot."""
     lines: list[str] = ["== metrics =="]
@@ -131,6 +185,7 @@ def console_summary(snapshot: dict) -> str:
                     f"  {key:<58} count={count:,} "
                     f"mean={mean:.6f}s total={series['sum']:.3f}s"
                 )
+    lines.extend(_status_breakdown(metrics))
     spans = snapshot.get("span_totals", {})
     lines.append("== spans ==")
     if not spans:

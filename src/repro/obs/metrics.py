@@ -99,7 +99,7 @@ class _BoundCounter:
 class _BoundHistogram:
     """A histogram pre-resolved to one label set (see ``Histogram.labels``)."""
 
-    __slots__ = ("_buckets", "_lock", "_cells")
+    __slots__ = ("_buckets", "_lock", "_cells", "_ex")
 
     def __init__(self, metric: "Histogram", key: tuple[str, ...]) -> None:
         self._buckets = metric.buckets
@@ -109,8 +109,9 @@ class _BoundHistogram:
             if cells is None:
                 cells = metric._values[key] = metric._new_cells()
             self._cells = cells
+            self._ex = metric._exemplar_cells(key) if metric.exemplars else None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         index = bisect_left(self._buckets, value)
         cells = self._cells
         lock = self._lock
@@ -118,6 +119,8 @@ class _BoundHistogram:
         cells[index] += 1
         cells[-2] += value
         cells[-1] += 1
+        if exemplar is not None and self._ex is not None:
+            self._ex[index] = (value, exemplar)
         lock.release()
 
 
@@ -214,12 +217,25 @@ class Histogram(_Metric):
     catches the rest.  Per label set we keep ``len(buckets) + 1``
     bucket counts plus a running sum and count — `observe` is a
     bisect plus three updates.
+
+    With ``exemplars=True`` the histogram additionally retains, per
+    bucket, the **last** observation that landed there along with its
+    caller-supplied exemplar labels (conventionally a ``trace_id``) —
+    a tail bucket then links directly to one concrete trace/request
+    instead of being an anonymous count.  Cost is one tuple store per
+    exemplar-bearing observation; observations without an exemplar pay
+    nothing extra.
     """
 
     kind = "histogram"
 
     def __init__(
-        self, name, help="", buckets=DEFAULT_LATENCY_BUCKETS, labelnames=()
+        self,
+        name,
+        help="",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+        labelnames=(),
+        exemplars=False,
     ):
         super().__init__(name, help, labelnames)
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -228,13 +244,25 @@ class Histogram(_Metric):
         if len(set(bounds)) != len(bounds):
             raise ValueError("bucket bounds must be distinct")
         self.buckets = bounds
+        self.exemplars = bool(exemplars)
         #: key -> [bucket_counts..., +Inf count, sum, count]
         self._values: dict[tuple[str, ...], list[float]] = {}
+        #: key -> per-bucket ``None | (value, labels_dict)`` (exemplars only)
+        self._exemplars: dict[tuple[str, ...], list] = {}
 
     def _new_cells(self) -> list[float]:
         return [0.0] * (len(self.buckets) + 3)
 
-    def observe(self, value: float, **labels) -> None:
+    def _exemplar_cells(self, key: tuple[str, ...]) -> list:
+        """The live exemplar slots for one label set (caller holds lock)."""
+        cells = self._exemplars.get(key)
+        if cells is None:
+            cells = self._exemplars[key] = [None] * (len(self.buckets) + 1)
+        return cells
+
+    def observe(
+        self, value: float, exemplar: dict | None = None, **labels
+    ) -> None:
         key = _label_key(self.labelnames, labels)
         index = bisect_left(self.buckets, value)
         with self._lock:
@@ -244,6 +272,8 @@ class Histogram(_Metric):
             cells[index] += 1
             cells[-2] += value
             cells[-1] += 1
+            if exemplar is not None and self.exemplars:
+                self._exemplar_cells(key)[index] = (value, dict(exemplar))
 
     def labels(self, **labels) -> _BoundHistogram:
         """Bind a label set once; the child's ``observe`` skips validation."""
@@ -285,18 +315,34 @@ class Histogram(_Metric):
             cells = self._values.get(key)
             return cells[-2] if cells else 0.0
 
+    def exemplar(self, bucket_index: int, **labels):
+        """The retained ``(value, labels)`` for one bucket, or ``None``."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            cells = self._exemplars.get(key)
+            return cells[bucket_index] if cells else None
+
     def snapshot(self) -> dict:
         with self._lock:
             series = []
             for key, cells in self._sorted_items(self._values):
-                series.append(
-                    {
-                        "labels": list(key),
-                        "buckets": [int(c) for c in cells[: len(self.buckets) + 1]],
-                        "sum": cells[-2],
-                        "count": int(cells[-1]),
-                    }
-                )
+                entry = {
+                    "labels": list(key),
+                    "buckets": [int(c) for c in cells[: len(self.buckets) + 1]],
+                    "sum": cells[-2],
+                    "count": int(cells[-1]),
+                }
+                if self.exemplars:
+                    # The key is present only on exemplar-enabled
+                    # histograms so pre-existing snapshot bytes are
+                    # unchanged for everything else.
+                    entry["exemplars"] = [
+                        None
+                        if ex is None
+                        else {"value": ex[0], "labels": dict(ex[1])}
+                        for ex in self._exemplar_cells(key)
+                    ]
+                series.append(entry)
         return {
             "kind": self.kind,
             "help": self.help,
@@ -345,10 +391,22 @@ class MetricsRegistry:
         help: str = "",
         buckets=DEFAULT_LATENCY_BUCKETS,
         labelnames=(),
+        exemplars: bool = False,
     ) -> Histogram:
-        return self._get_or_create(
-            Histogram, name, help, buckets=buckets, labelnames=labelnames
+        metric = self._get_or_create(
+            Histogram,
+            name,
+            help,
+            buckets=buckets,
+            labelnames=labelnames,
+            exemplars=exemplars,
         )
+        if exemplars and not metric.exemplars:
+            # Get-or-create may race a site that registered the metric
+            # without exemplars first; upgrading is safe (exemplar
+            # storage is created lazily per label set).
+            metric.exemplars = True
+        return metric
 
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.

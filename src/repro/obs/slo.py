@@ -1,0 +1,300 @@
+"""Per-route SLOs: error budgets and multi-window burn-rate alerts.
+
+A service-level objective here is the usual compound statement: *over
+the trailing window, at least ``target`` of requests are good*, where
+a request is good when it succeeded on the wire (status < 500, and not
+an abort) **and** finished under the route's latency threshold.  429s
+are counted as bad by default — deliberate shedding still spends the
+availability budget the client experiences — but a spec can opt out
+for routes where shedding is contractual.
+
+The accounting is the standard error-budget formulation (Beyer et al.,
+*Site Reliability Workbook*, ch. 2):
+
+- budget fraction = ``1 - target`` (e.g. 0.1 % for a 99.9 % target)
+- burn rate over a window = ``(bad / total) / (1 - target)`` — 1.0
+  means spending exactly the sustainable rate, 14.4 means a 30-day
+  budget gone in 50 hours.
+- an alert fires only when a **long** window and a **short** window
+  *both* exceed the threshold: the long window gives significance,
+  the short window confirms the problem is still happening (fast
+  reset).  The shipped pairs are the workbook's: page at 14.4× over
+  (5 m, 1 h), ticket at 6× over (30 m, 6 h).
+
+Windows are rings of coarse time buckets on the obs clock — O(1)
+per-request cost, bounded memory, and exact arithmetic under a
+:class:`~repro.obs.clock.FakeClock` so alert tests are deterministic.
+All math is integer counts until the final division.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "BurnAlert",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "SLOSpec",
+    "SLOTracker",
+]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """The objective for one route (or the catch-all ``route="*"``)."""
+
+    route: str
+    target: float = 0.999
+    latency_threshold_s: float = 0.25
+    shed_is_bad: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.latency_threshold_s <= 0.0:
+            raise ValueError("latency_threshold_s must be > 0")
+
+    @property
+    def budget_fraction(self) -> float:
+        return 1.0 - self.target
+
+    def is_good(self, status: int, latency_s: float) -> bool:
+        if status == 429 and not self.shed_is_bad:
+            return True
+        if status >= 500 or status in (429, 499):
+            return False
+        return latency_s <= self.latency_threshold_s
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window burn-rate alert rule."""
+
+    name: str
+    long_s: float
+    short_s: float
+    threshold: float
+    severity: str
+
+
+#: Google SRE workbook recommendations for a 30-day budget: a page
+#: when burning 2 % of budget per hour, a ticket when burning 5 % per
+#: six hours, each confirmed by its short window.
+DEFAULT_WINDOWS = (
+    BurnWindow("page", long_s=3600.0, short_s=300.0, threshold=14.4, severity="page"),
+    BurnWindow("ticket", long_s=21600.0, short_s=1800.0, threshold=6.0, severity="ticket"),
+)
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """One firing (or just-evaluated) alert for one route."""
+
+    route: str
+    window: str
+    severity: str
+    firing: bool
+    long_burn: float
+    short_burn: float
+    threshold: float
+
+
+class _WindowCounts:
+    """Good/bad counts over a trailing window, as a ring of buckets.
+
+    ``span_s`` seconds of history in ``buckets`` fixed-width slots;
+    recording drops into the bucket for "now", reading sums every
+    bucket whose interval still overlaps the window.  Expired buckets
+    are zeroed lazily on access, so idle routes cost nothing.
+    """
+
+    __slots__ = ("span_s", "width_s", "_good", "_bad", "_stamps")
+
+    def __init__(self, span_s: float, buckets: int) -> None:
+        self.span_s = float(span_s)
+        self.width_s = self.span_s / buckets
+        self._good = [0] * buckets
+        self._bad = [0] * buckets
+        self._stamps = [-1] * buckets  # bucket epoch index, -1 = empty
+
+    def _slot(self, now: float) -> int:
+        epoch = int(now // self.width_s)
+        slot = epoch % len(self._stamps)
+        if self._stamps[slot] != epoch:
+            self._stamps[slot] = epoch
+            self._good[slot] = 0
+            self._bad[slot] = 0
+        return slot
+
+    def record(self, now: float, good: bool) -> None:
+        slot = self._slot(now)
+        if good:
+            self._good[slot] += 1
+        else:
+            self._bad[slot] += 1
+
+    def totals(self, now: float) -> tuple[int, int]:
+        """``(good, bad)`` over the trailing window ending at ``now``."""
+        live_epoch = int(now // self.width_s)
+        oldest = live_epoch - len(self._stamps) + 1
+        good = bad = 0
+        for slot, epoch in enumerate(self._stamps):
+            if oldest <= epoch <= live_epoch:
+                good += self._good[slot]
+                bad += self._bad[slot]
+        return good, bad
+
+
+def _burn(good: int, bad: int, budget_fraction: float) -> float:
+    total = good + bad
+    if total == 0:
+        return 0.0
+    return (bad / total) / budget_fraction
+
+
+class _RouteState:
+    __slots__ = ("spec", "windows", "good_total", "bad_total")
+
+    def __init__(self, spec: SLOSpec, spans: tuple[float, ...], buckets: int) -> None:
+        self.spec = spec
+        self.windows = {span: _WindowCounts(span, buckets) for span in spans}
+        self.good_total = 0
+        self.bad_total = 0
+
+
+class SLOTracker:
+    """Tracks good/bad events per route and evaluates burn alerts.
+
+    ``specs`` maps route templates to :class:`SLOSpec`; a spec keyed
+    ``"*"`` is the fallback for routes without their own.  Routes with
+    no applicable spec are not tracked.  ``alert_fires`` counts rising
+    edges (quiet→firing transitions) per ``(route, window)`` — the
+    number a bench can assert on without sampling evaluate() output.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, SLOSpec] | list[SLOSpec],
+        windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] | None = None,
+        buckets_per_window: int = 30,
+    ) -> None:
+        if not isinstance(specs, Mapping):
+            specs = {spec.route: spec for spec in specs}
+        self.specs = dict(specs)
+        self.windows = tuple(windows)
+        self.clock = clock or time.monotonic
+        spans = tuple(
+            sorted({s for w in self.windows for s in (w.long_s, w.short_s)})
+        )
+        self._spans = spans
+        self._buckets = buckets_per_window
+        self._lock = threading.Lock()
+        self._routes: dict[str, _RouteState] = {}
+        self._firing: dict[tuple[str, str], bool] = {}
+        self.alert_fires: dict[tuple[str, str], int] = {}
+
+    def spec_for(self, route: str) -> SLOSpec | None:
+        return self.specs.get(route) or self.specs.get("*")
+
+    def record(self, route: str, status: int, latency_s: float) -> None:
+        """Account one finished request; no-op for untracked routes."""
+        spec = self.spec_for(route)
+        if spec is None:
+            return
+        good = spec.is_good(status, latency_s)
+        now = self.clock()
+        with self._lock:
+            state = self._routes.get(route)
+            if state is None:
+                state = _RouteState(spec, self._spans, self._buckets)
+                self._routes[route] = state
+            if good:
+                state.good_total += 1
+            else:
+                state.bad_total += 1
+            for counts in state.windows.values():
+                counts.record(now, good)
+
+    def evaluate(self) -> list[BurnAlert]:
+        """Evaluate every rule for every tracked route, updating the
+        rising-edge fire counters; returns all evaluations (firing and
+        quiet) sorted by route then window."""
+        now = self.clock()
+        alerts: list[BurnAlert] = []
+        with self._lock:
+            for route in sorted(self._routes):
+                state = self._routes[route]
+                budget = state.spec.budget_fraction
+                for window in self.windows:
+                    lg, lb = state.windows[window.long_s].totals(now)
+                    sg, sb = state.windows[window.short_s].totals(now)
+                    long_burn = _burn(lg, lb, budget)
+                    short_burn = _burn(sg, sb, budget)
+                    firing = (
+                        long_burn >= window.threshold
+                        and short_burn >= window.threshold
+                    )
+                    key = (route, window.name)
+                    if firing and not self._firing.get(key, False):
+                        self.alert_fires[key] = self.alert_fires.get(key, 0) + 1
+                    self._firing[key] = firing
+                    alerts.append(
+                        BurnAlert(
+                            route=route,
+                            window=window.name,
+                            severity=window.severity,
+                            firing=firing,
+                            long_burn=round(long_burn, 6),
+                            short_burn=round(short_burn, 6),
+                            threshold=window.threshold,
+                        )
+                    )
+        return alerts
+
+    def snapshot(self) -> dict:
+        """JSON-shaped state: per-route budget accounting plus the
+        current alert evaluations (the ``/debug/slo`` payload)."""
+        alerts = self.evaluate()
+        with self._lock:
+            routes = {}
+            for route in sorted(self._routes):
+                state = self._routes[route]
+                total = state.good_total + state.bad_total
+                bad_fraction = (state.bad_total / total) if total else 0.0
+                budget = state.spec.budget_fraction
+                routes[route] = {
+                    "target": state.spec.target,
+                    "latency_threshold_s": state.spec.latency_threshold_s,
+                    "good": state.good_total,
+                    "bad": state.bad_total,
+                    "bad_fraction": round(bad_fraction, 9),
+                    "budget_fraction": round(budget, 9),
+                    "budget_remaining": round(1.0 - bad_fraction / budget, 9)
+                    if budget
+                    else 0.0,
+                }
+            fires = {
+                f"{route}|{window}": count
+                for (route, window), count in sorted(self.alert_fires.items())
+            }
+        return {
+            "routes": routes,
+            "alerts": [
+                {
+                    "route": a.route,
+                    "window": a.window,
+                    "severity": a.severity,
+                    "firing": a.firing,
+                    "long_burn": a.long_burn,
+                    "short_burn": a.short_burn,
+                    "threshold": a.threshold,
+                }
+                for a in alerts
+            ],
+            "alert_fires": fires,
+        }

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.obs import Obs
+from repro.obs import reqlog
 from repro.steamapi.errors import OverloadedError
 
 __all__ = [
@@ -269,7 +270,10 @@ class AdmissionController:
         block.
         """
         config = self.config
-        with self._lock:
+        # The whole admission decision — lock wait included — lands in
+        # the ambient request record's "admission" layer, so queue
+        # pressure at the door is attributable per request.
+        with reqlog.layer("admission"), self._lock:
             if self._m_depth is not None:
                 self._m_depth.observe(self._inflight)
             # Budget checks run before the breaker: allow() may consume
@@ -283,12 +287,14 @@ class AdmissionController:
             if route_limit is not None and route_inflight >= route_limit:
                 self._shed(route, "route", self._jitter())
             breaker = self._breaker(route)
+            reqlog.annotate(breaker=breaker.state)
             allowed, cooldown_left = breaker.allow()
             if not allowed:
                 self._shed(route, "breaker", cooldown_left + self._jitter())
             self._inflight += 1
             self._route_inflight[route] = route_inflight + 1
             self.admitted += 1
+            reqlog.annotate(admission="admitted")
             if self._m_inflight is not None:
                 self._m_inflight.set(self._inflight)
         try:
@@ -331,6 +337,12 @@ class AdmissionController:
     def inflight(self) -> int:
         with self._lock:
             return self._inflight
+
+    def breaker_state(self, route: str) -> str:
+        """One route's breaker state (``closed`` when never tripped)."""
+        with self._lock:
+            breaker = self._breakers.get(route)
+            return breaker.state if breaker is not None else BREAKER_CLOSED
 
     def breaker_states(self) -> dict[str, str]:
         """Route → breaker state, for ``/readyz`` payloads and tests."""

@@ -54,17 +54,21 @@ from typing import TYPE_CHECKING
 
 from repro.core.percentiles import ATTRIBUTES
 from repro.engine.fingerprint import query_key
-from repro.obs import Obs
+from repro.obs import Obs, RequestLog, SLOTracker
+from repro.obs import reqlog
 from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.cache import ResponseCache
 from repro.serving.store import AnalyticsStore
-from repro.steamapi.deadline import check_deadline
+from repro.steamapi.deadline import check_deadline, current_deadline
 from repro.steamapi.errors import (
+    ApiError,
     BadRequestError,
     DeadlineExceededError,
     NotFoundError,
+    OverloadedError,
     ServiceUnavailableError,
 )
+from repro.steamapi.faults import AbortedResponse
 from repro.steamapi.http_server import (
     ApiHttpServer,
     HttpLimits,
@@ -110,6 +114,13 @@ def _float_param(params: dict, name: str) -> float:
 _ROUTES: tuple[tuple[re.Pattern, str, str, bool], ...] = (
     (re.compile(r"^/healthz$"), "/healthz", "_healthz", False),
     (re.compile(r"^/readyz$"), "/readyz", "_readyz", False),
+    (
+        re.compile(r"^/debug/requests$"),
+        "/debug/requests",
+        "_debug_requests",
+        False,
+    ),
+    (re.compile(r"^/debug/slo$"), "/debug/slo", "_debug_slo", False),
     (
         re.compile(r"^/users/(?P<steamid>\d+)/summary$"),
         "/users/<id>/summary",
@@ -209,8 +220,12 @@ _ROUTE_TAGS = {
 
 
 #: Probe routes answer before admission control — an overloaded server
-#: that fails its probes gets restarted into a worse storm.
-_PROBE_METHODS = frozenset({"_healthz", "_readyz"})
+#: that fails its probes gets restarted into a worse storm.  The debug
+#: endpoints share the bypass for the same reason: they exist to
+#: explain an overload incident, so they must answer *during* one.
+_PROBE_METHODS = frozenset(
+    {"_healthz", "_readyz", "_debug_requests", "_debug_slo"}
+)
 
 #: Default admission budget for embedded services (tests, notebooks):
 #: generous enough that nothing sheds unless a caller opts into real
@@ -228,9 +243,18 @@ class AnalyticsService:
         obs: Obs | None = None,
         cache_size: int = 4096,
         admission: AdmissionController | AdmissionConfig | None = None,
+        request_log: RequestLog | None = None,
+        slo: SLOTracker | None = None,
     ) -> None:
         self._store = store
         self.obs = obs
+        #: One canonical record per dispatched data request (DESIGN.md
+        #: §15); probes and debug endpoints are exempt so introspecting
+        #: the ring doesn't fill it with introspection traffic.
+        self.request_log = request_log
+        #: Error-budget accounting per route template, fed on every
+        #: data-dispatch exit path.
+        self.slo = slo
         self.cache = ResponseCache(maxsize=cache_size, obs=obs)
         if admission is None:
             admission = AdmissionConfig(
@@ -333,24 +357,106 @@ class AnalyticsService:
         :class:`~repro.steamapi.errors.ApiError`.
 
         Data routes run behind admission control and under the ambient
-        request deadline; probe routes (``/healthz``, ``/readyz``)
-        bypass both so they keep answering during a storm.  A deadline
-        blowout is reported to the route's circuit breaker before the
-        504 propagates; a clean completion resets it; any other failure
-        releases a held half-open probe slot without moving the breaker.
+        request deadline; probe routes (``/healthz``, ``/readyz``, the
+        ``/debug/*`` introspection endpoints) bypass both so they keep
+        answering during a storm.  A deadline blowout is reported to
+        the route's circuit breaker before the 504 propagates; a clean
+        completion resets it; any other failure releases a held
+        half-open probe slot without moving the breaker.
+
+        When a :class:`~repro.obs.reqlog.RequestLog` is attached, every
+        data dispatch — success, shed, crash, abort, blown deadline —
+        produces exactly one canonical record; when an
+        :class:`~repro.obs.slo.SLOTracker` is attached, the same exit
+        status and latency feed the route's error budget.
         """
         for pattern, template, method, cacheable in _ROUTES:
             match = pattern.match(path)
             if match:
                 break
         else:
-            raise NotFoundError(f"no analytics route matches {path!r}")
+            template, method, match, cacheable = "<unmatched>", None, None, False
         if method in _PROBE_METHODS:
             return getattr(self, method)(self._store, match, params)
+        log, slo = self.request_log, self.slo
+        if log is None and slo is None:
+            return self._dispatch_data(
+                path, params, match, template, method, cacheable
+            )
+        builder = log.start(path) if log is not None else None
+        if builder is not None:
+            builder.route = template
+        start_s = (
+            builder.start_s
+            if builder is not None
+            else slo.clock()  # type: ignore[union-attr]
+        )
+        status = 200
+        try:
+            with reqlog.building(builder):
+                return self._dispatch_data(
+                    path, params, match, template, method, cacheable
+                )
+        except AbortedResponse:
+            # The wire will say 200 and cut the body; telemetry (and
+            # the record) carry the 499 sentinel, like the HTTP layer.
+            status = 499
+            raise
+        except OverloadedError as exc:
+            status = exc.status
+            if builder is not None:
+                builder.annotate(admission=f"shed:{exc.reason}")
+            raise
+        except ApiError as exc:
+            status = exc.status
+            raise
+        except (KeyError, ValueError, TypeError):
+            # The HTTP layer maps these to a 400; mirror it so the
+            # record's status matches the wire.
+            status = 400
+            raise
+        except BaseException:
+            status = 500
+            raise
+        finally:
+            latency = None
+            if builder is not None:
+                deadline = current_deadline()
+                if deadline is not None:
+                    builder.deadline_remaining_s = deadline.remaining()
+                record = builder.finish(status)
+                # Deferred commits (a wire scope will fold in
+                # serialize/write) still need a latency for the SLO:
+                # the dispatch-side service time.
+                latency = (
+                    record["total_s"]
+                    if record is not None
+                    else builder.clock() - builder.start_s
+                )
+            if slo is not None:
+                if latency is None:
+                    latency = slo.clock() - start_s
+                slo.record(template, status, latency)
+
+    def _dispatch_data(
+        self,
+        path: str,
+        params: dict,
+        match,
+        template: str,
+        method: str | None,
+        cacheable: bool,
+    ) -> dict:
+        """Admission, deadline, serve, degrade — one data request."""
+        if method is None:
+            raise NotFoundError(f"no analytics route matches {path!r}")
         with self.admission.admit(template):
             try:
                 check_deadline("dispatch")
-                payload = self._serve(path, params, match, method, cacheable)
+                with reqlog.layer("handler"):
+                    payload = self._serve(
+                        path, params, match, method, cacheable
+                    )
             except DeadlineExceededError:
                 self.admission.record_timeout(template)
                 raise
@@ -368,6 +474,7 @@ class AnalyticsService:
             payload = {**payload, "degraded": True}
             if self._m_degraded is not None:
                 self._m_degraded.inc()
+            reqlog.annotate(degraded=True)
         return payload
 
     def _serve(
@@ -375,12 +482,17 @@ class AnalyticsService:
     ) -> dict:
         store = self._store  # one read; immune to concurrent swaps
         if not cacheable:
-            return getattr(self, method)(store, match, params)
+            with reqlog.layer("store"):
+                return getattr(self, method)(store, match, params)
         key = query_key(store.fingerprint, path, params)
-        hit = self.cache.get(key)
+        with reqlog.layer("cache"):
+            hit = self.cache.get(key)
         if hit is not None:
+            reqlog.annotate(cache="hit")
             return hit
-        payload = getattr(self, method)(store, match, params)
+        reqlog.annotate(cache="miss")
+        with reqlog.layer("store"):
+            payload = getattr(self, method)(store, match, params)
         tag_fn = _ROUTE_TAGS.get(method)
         self.cache.put(
             key,
@@ -420,6 +532,33 @@ class AnalyticsService:
             },
         }
 
+    def _debug_requests(self, store, match, params) -> dict:
+        """The request-record ring, filtered — an operator's first stop
+        during an incident, which is exactly why it bypasses admission.
+        """
+        if self.request_log is None:
+            raise NotFoundError("request logging is not enabled")
+        n = _int_param(params, "n", default=50)
+        status = (
+            _int_param(params, "status") if "status" in params else None
+        )
+        min_s = _float_param(params, "min_s") if "min_s" in params else None
+        return {
+            "stats": self.request_log.stats(),
+            "requests": self.request_log.tail(
+                n,
+                route=params.get("route"),
+                status=status,
+                min_seconds=min_s,
+            ),
+        }
+
+    def _debug_slo(self, store, match, params) -> dict:
+        """Error budgets and burn-rate alert state, live."""
+        if self.slo is None:
+            raise NotFoundError("slo tracking is not enabled")
+        return self.slo.snapshot()
+
     def _user_summary(self, store, match, params) -> dict:
         return store.user_summary(int(match["steamid"]))
 
@@ -456,6 +595,8 @@ def serve_analytics(
     cache_size: int = 4096,
     admission: AdmissionController | AdmissionConfig | None = None,
     limits: HttpLimits | None = None,
+    request_log: RequestLog | None = None,
+    slo: SLOTracker | None = None,
 ) -> ApiHttpServer:
     """Serve an analytics store over HTTP; returns the running server.
 
@@ -463,13 +604,20 @@ def serve_analytics(
     to hold onto it (store swaps, cache introspection).  ``admission``
     tunes the overload guard on a service built here; ``limits``
     configures socket-level protections and the default request budget
-    (see :class:`~repro.steamapi.http_server.HttpLimits`)."""
+    (see :class:`~repro.steamapi.http_server.HttpLimits`);
+    ``request_log`` / ``slo`` attach request-level observability
+    (DESIGN.md §15) to a service built here."""
     if isinstance(store, AnalyticsService):
         service = store
         obs = obs if obs is not None else service.obs
     else:
         service = AnalyticsService(
-            store, obs=obs, cache_size=cache_size, admission=admission
+            store,
+            obs=obs,
+            cache_size=cache_size,
+            admission=admission,
+            request_log=request_log,
+            slo=slo,
         )
     return serve_dispatch(
         service.dispatch,

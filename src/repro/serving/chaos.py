@@ -41,6 +41,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import reqlog
 from repro.serving.api import AnalyticsService
 from repro.steamapi.faults import AbortedResponse, FaultChooser
 
@@ -169,7 +170,13 @@ class ChaosDispatch:
         from the outside.
         """
         spec = self.plan.spec_for(path)
-        if path in ("/healthz", "/readyz", "/metrics"):
+        if path in (
+            "/healthz",
+            "/readyz",
+            "/metrics",
+            "/debug/requests",
+            "/debug/slo",
+        ):
             return inner()
         with self._lock:
             self.requests_seen += 1
@@ -180,8 +187,12 @@ class ChaosDispatch:
                 cut_draw = self._chooser.rng.random()
             if kind is not None:
                 self.fault_counts[kind] += 1
-        if self._m_injected is not None and kind is not None:
-            self._m_injected.inc(kind=kind)
+        if kind is not None:
+            # Tag the ambient request record so a chaos storm's records
+            # say which fault produced each 499/500/504.
+            reqlog.annotate(fault=kind)
+            if self._m_injected is not None:
+                self._m_injected.inc(kind=kind)
         if kind == "crash":
             raise InjectedCrash(f"injected handler crash on {path}")
         if kind == "stall":

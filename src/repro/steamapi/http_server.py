@@ -48,6 +48,7 @@ from typing import Callable
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs import Obs
+from repro.obs import reqlog
 from repro.obs.trace_context import TRACE_HEADER, parse_trace_value
 from repro.steamapi.deadline import (
     DEADLINE_HEADER,
@@ -165,13 +166,16 @@ def _make_handler(
     limits = limits or HttpLimits()
     m_requests = obs.counter(
         "http_requests",
-        "HTTP requests served, by path and status",
+        "HTTP requests served, by path and status "
+        "(status 499 = aborted mid-body: the wire said 200 but the "
+        "connection was cut before the body completed)",
         ("path", "status"),
     )
     m_latency = obs.histogram(
         "http_request_seconds",
         "HTTP request handling latency",
         labelnames=("path",),
+        exemplars=True,
     )
     m_internal = obs.counter(
         "http_internal_errors",
@@ -180,7 +184,8 @@ def _make_handler(
     )
     m_aborted = obs.counter(
         "http_aborted_bodies",
-        "Responses deliberately cut mid-body (injected aborts)",
+        "Responses deliberately cut mid-body (injected aborts), "
+        "recorded under the nginx-style 499 status sentinel",
     )
 
     class Handler(BaseHTTPRequestHandler):
@@ -244,95 +249,142 @@ def _make_handler(
                 if traced is not None
                 else nullcontext()
             )
+            trace_id = traced[0] if traced is not None else None
+            record = None
+            bytes_out = 0
+            serialize_s = write_s = 0.0
             with span_cm as span:
-                try:
-                    budget = effective_budget(
-                        parse_deadline_value(
-                            self.headers.get(DEADLINE_HEADER)
-                        ),
-                        limits.request_budget,
-                    )
-                    deadline = (
-                        Deadline.after(budget, clock=obs.clock)
-                        if budget is not None
-                        else None
-                    )
-                    with deadline_scope(deadline):
-                        payload = dispatch(parsed.path, params)
-                    body = json.dumps(payload).encode("utf-8")
-                    self._reply(200, body)
-                except MalformedResponseError as exc:
-                    if exc.body is not None:
-                        # Injected truncation: ship the broken bytes as a
-                        # "successful" response, exactly like a connection
-                        # dropped mid-transfer behind a buffering proxy.
-                        self._reply(200, exc.body)
-                    else:
-                        status = self._reply_error(exc)
-                except AbortedResponse as exc:
-                    # Injected mid-body abort: promise the full length,
-                    # deliver a prefix, slam the connection — the client
-                    # must see an incomplete read, not valid JSON.  The
-                    # wire says 200 (that's the point of the fault), but
-                    # telemetry records the nginx-style 499 sentinel so
-                    # metrics, spans, and the access log separate
-                    # deliberate aborts from clean successes.
-                    m_aborted.inc()
-                    status = 499
-                    self._reply_aborted(exc)
-                except ApiError as exc:
-                    status = self._reply_error(exc)
-                except (KeyError, ValueError, TypeError) as exc:
-                    # Malformed query strings (non-numeric ids, missing
-                    # required params) must come back as a 400 JSON error,
-                    # not kill the handler thread with a raw traceback.
-                    status = self._reply_error(
-                        BadRequestError(
-                            f"malformed request parameters: {exc}"
-                        )
-                    )
-                except OSError:
-                    # Socket-level failure (client gone mid-write, send
-                    # timeout): there is no one to reply to — let the
-                    # stdlib request loop tear the connection down.
-                    raise
-                except Exception:
-                    # Anything else escaping dispatch is a server bug:
-                    # answer with an *opaque* 500 (no message — internals
-                    # don't leak to clients), count it, and keep the
-                    # handler thread alive for the next request.
-                    status = 500
-                    label = (
-                        route_of(parsed.path)
-                        if route_of is not None
-                        else parsed.path
-                    )
-                    m_internal.inc(path=label)
-                    access_logger.exception(
-                        "internal error dispatching %s", parsed.path
-                    )
+                wire_span = span.span_id if span is not None else None
+                with reqlog.wire_scope(trace_id, wire_span) as wire:
                     try:
-                        self._reply(
-                            500,
-                            b'{"error": "InternalError"}',
+                        budget = effective_budget(
+                            parse_deadline_value(
+                                self.headers.get(DEADLINE_HEADER)
+                            ),
+                            limits.request_budget,
+                        )
+                        deadline = (
+                            Deadline.after(budget, clock=obs.clock)
+                            if budget is not None
+                            else None
+                        )
+                        with deadline_scope(deadline):
+                            payload = dispatch(parsed.path, params)
+                        t_serialize = obs.clock()
+                        body = json.dumps(payload).encode("utf-8")
+                        t_write = obs.clock()
+                        self._reply(200, body)
+                        serialize_s = t_write - t_serialize
+                        write_s = obs.clock() - t_write
+                        bytes_out = len(body)
+                    except MalformedResponseError as exc:
+                        if exc.body is not None:
+                            # Injected truncation: ship the broken bytes as a
+                            # "successful" response, exactly like a connection
+                            # dropped mid-transfer behind a buffering proxy.
+                            self._reply(200, exc.body)
+                            bytes_out = len(exc.body)
+                        else:
+                            status = self._reply_error(exc)
+                    except AbortedResponse as exc:
+                        # Injected mid-body abort: promise the full length,
+                        # deliver a prefix, slam the connection — the client
+                        # must see an incomplete read, not valid JSON.  The
+                        # wire says 200 (that's the point of the fault), but
+                        # telemetry records the nginx-style 499 sentinel so
+                        # metrics, spans, and the access log separate
+                        # deliberate aborts from clean successes.
+                        m_aborted.inc()
+                        status = 499
+                        t_write = obs.clock()
+                        self._reply_aborted(exc)
+                        write_s = obs.clock() - t_write
+                        bytes_out = exc.cut
+                    except ApiError as exc:
+                        status = self._reply_error(exc)
+                    except (KeyError, ValueError, TypeError) as exc:
+                        # Malformed query strings (non-numeric ids, missing
+                        # required params) must come back as a 400 JSON error,
+                        # not kill the handler thread with a raw traceback.
+                        status = self._reply_error(
+                            BadRequestError(
+                                f"malformed request parameters: {exc}"
+                            )
                         )
                     except OSError:
-                        # Client is gone; nothing to reply to.
-                        self.close_connection = True
+                        # Socket-level failure (client gone mid-write, send
+                        # timeout): there is no one to reply to — let the
+                        # stdlib request loop tear the connection down.
+                        # (The wire scope's exit still commits any record
+                        # the dispatch underneath built.)
+                        raise
+                    except Exception:
+                        # Anything else escaping dispatch is a server bug:
+                        # answer with an *opaque* 500 (no message — internals
+                        # don't leak to clients), count it, and keep the
+                        # handler thread alive for the next request.
+                        status = 500
+                        label = (
+                            route_of(parsed.path)
+                            if route_of is not None
+                            else parsed.path
+                        )
+                        m_internal.inc(path=label)
+                        access_logger.exception(
+                            "internal error dispatching %s (trace=%s)",
+                            parsed.path,
+                            trace_id or "-",
+                        )
+                        try:
+                            self._reply(
+                                500,
+                                b'{"error": "InternalError"}',
+                            )
+                        except OSError:
+                            # Client is gone; nothing to reply to.
+                            self.close_connection = True
+                    # Fold the wire-side truth into the request record
+                    # the dispatch built (if any) and publish it.
+                    record = wire.commit(
+                        status, bytes_out, serialize_s, write_s
+                    )
                 if span is not None:
                     span.attrs["status"] = status
-            self._account(parsed.path, status, start)
+            self._account(
+                parsed.path, status, start, record=record, trace_id=trace_id
+            )
 
-        def _account(self, path: str, status: int, start: float) -> None:
+        def _account(
+            self,
+            path: str,
+            status: int,
+            start: float,
+            record: dict | None = None,
+            trace_id: str | None = None,
+        ) -> None:
             # Metric labels use the route template when the dispatcher
             # provides one (id-bearing raw paths would explode label
             # cardinality); the access log keeps the raw path.
             label = route_of(path) if route_of is not None else path
             m_requests.inc(path=label, status=status)
-            m_latency.observe(obs.clock() - start, path=label)
+            exemplar = (
+                {
+                    "trace_id": record["trace_id"],
+                    "seq": str(record["seq"]),
+                }
+                if record is not None
+                else None
+            )
+            m_latency.observe(
+                obs.clock() - start, exemplar=exemplar, path=label
+            )
             if access_log:
                 access_logger.info(
-                    "%s %s -> %d", self.command, self.path, status
+                    "%s %s -> %d trace=%s",
+                    self.command,
+                    self.path,
+                    status,
+                    trace_id or "-",
                 )
 
         def _reply_error(

@@ -1,0 +1,74 @@
+"""Histogram exemplars: retention, snapshots, OpenMetrics rendering."""
+
+from __future__ import annotations
+
+from repro.obs import Obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.exporters import to_prometheus
+
+
+def test_histogram_retains_last_exemplar_per_bucket():
+    h = Histogram("lat", buckets=(0.1, 1.0), exemplars=True)
+    h.observe(0.05, exemplar={"trace_id": "aaa"})
+    h.observe(0.07, exemplar={"trace_id": "bbb"})  # same bucket: replaces
+    h.observe(0.5, exemplar={"trace_id": "ccc"})
+    h.observe(5.0)  # no exemplar attached: +Inf slot stays empty
+    assert h.exemplar(0) == (0.07, {"trace_id": "bbb"})
+    assert h.exemplar(1) == (0.5, {"trace_id": "ccc"})
+    assert h.exemplar(2) is None
+
+
+def test_exemplars_ignored_when_disabled():
+    h = Histogram("lat", buckets=(0.1,))
+    h.observe(0.05, exemplar={"trace_id": "aaa"})
+    assert h.exemplar(0) is None
+    # And the snapshot keeps its pre-exemplar shape byte for byte.
+    assert "exemplars" not in h.snapshot()["series"][0]
+
+
+def test_snapshot_carries_exemplars_when_enabled():
+    h = Histogram("lat", buckets=(0.1,), exemplars=True)
+    h.observe(0.05, exemplar={"trace_id": "aaa", "seq": "3"})
+    series = h.snapshot()["series"][0]
+    assert series["exemplars"] == [
+        {"value": 0.05, "labels": {"trace_id": "aaa", "seq": "3"}},
+        None,
+    ]
+
+
+def test_bound_histogram_records_exemplars():
+    h = Histogram("lat", buckets=(0.1,), labelnames=("path",), exemplars=True)
+    bound = h.labels(path="/a")
+    bound.observe(0.05, exemplar={"trace_id": "xyz"})
+    assert h.exemplar(0, path="/a") == (0.05, {"trace_id": "xyz"})
+
+
+def test_prometheus_renders_openmetrics_exemplar_syntax():
+    obs = Obs()
+    h = obs.histogram("lat", "latency", buckets=(0.1, 1.0), exemplars=True)
+    h.observe(0.05, exemplar={"trace_id": "abc", "seq": "0"})
+    h.observe(0.5)
+    text = obs.to_prometheus()
+    assert 'lat_bucket{le="0.1"} 1 # {seq="0",trace_id="abc"} 0.05' in text
+    # Buckets without a retained exemplar render plain (and cumulative).
+    assert 'lat_bucket{le="1.0"} 2\n' in text
+    assert 'lat_bucket{le="+Inf"} 2\n' in text
+
+
+def test_merge_ignores_exemplars():
+    source = MetricsRegistry()
+    h = source.histogram("lat", buckets=(0.1,), exemplars=True)
+    h.observe(0.05, exemplar={"trace_id": "abc"})
+    target = MetricsRegistry()
+    target.merge(source.snapshot())
+    merged = target.get("lat")
+    assert merged.count() == 1
+    assert merged.exemplar(0) is None
+
+
+def test_registry_upgrade_to_exemplars_on_reregistration():
+    registry = MetricsRegistry()
+    plain = registry.histogram("lat", buckets=(0.1,))
+    again = registry.histogram("lat", buckets=(0.1,), exemplars=True)
+    assert again is plain
+    assert plain.exemplars

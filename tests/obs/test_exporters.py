@@ -156,3 +156,31 @@ class TestBenchJson:
             write_bench_json(
                 tmp_path, "bad", [{"name": "x", "value": 1}]
             )
+
+
+class TestStatusClassBreakdown:
+    def test_summary_rolls_up_status_labelled_counters(self):
+        obs = Obs(clock=FakeClock(tick=1.0))
+        requests = obs.counter(
+            "http_requests", labelnames=("path", "status")
+        )
+        requests.inc(5, path="/a", status=200)
+        requests.inc(2, path="/b", status=200)
+        requests.inc(1, path="/a", status=404)
+        requests.inc(3, path="/a", status=499)
+        requests.inc(1, path="/a", status=503)
+        text = obs.summary()
+        assert "== status classes ==" in text
+        section = text.split("== status classes ==")[1]
+        section = section.split("== spans ==")[0]
+        assert "2xx" in section and "7" in section
+        assert "4xx" in section
+        # The abort sentinel gets its own line, spelled out — it is
+        # not folded into 4xx.
+        assert "499 (aborted mid-body)" in section
+        assert "5xx" in section
+
+    def test_no_section_without_status_counters(self):
+        obs = Obs(clock=FakeClock(tick=1.0))
+        obs.counter("requests").inc()
+        assert "== status classes ==" not in obs.summary()

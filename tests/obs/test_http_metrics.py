@@ -96,3 +96,35 @@ class TestAccessLog:
                     time.sleep(0.01)
         messages = [r.getMessage() for r in caplog.records]
         assert any("GET /metrics -> 200" in m for m in messages)
+
+    def test_access_log_carries_the_trace_id(self, caplog):
+        import logging
+        import time
+
+        from repro.obs.trace_context import TRACE_HEADER
+        from repro.steamapi.http_server import serve_dispatch
+
+        with serve_dispatch(
+            lambda path, params: {"ok": True}, access_log=True
+        ) as running:
+            with caplog.at_level(
+                logging.INFO, logger="repro.steamapi.http"
+            ):
+                request = urllib.request.Request(
+                    running.base_url + "/ping",
+                    headers={TRACE_HEADER: "deadbeefcafe0123:5"},
+                )
+                urllib.request.urlopen(request).read()
+                urllib.request.urlopen(running.base_url + "/ping").read()
+                deadline = time.monotonic() + 2.0
+                while len(caplog.records) < 2 and (
+                    time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(
+            "GET /ping -> 200 trace=deadbeefcafe0123" in m
+            for m in messages
+        )
+        # An untraced request still logs, with the "-" placeholder.
+        assert any("GET /ping -> 200 trace=-" in m for m in messages)

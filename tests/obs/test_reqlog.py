@@ -1,0 +1,192 @@
+"""Unit tests for the canonical request log (:mod:`repro.obs.reqlog`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fsutil import LineSink
+from repro.obs.clock import FakeClock
+from repro.obs.reqlog import (
+    LAYERS,
+    RequestLog,
+    annotate,
+    building,
+    current_builder,
+    encode_record,
+    layer,
+    read_jsonl,
+    wire_scope,
+)
+
+
+def test_record_has_all_layers_and_canonical_fields():
+    log = RequestLog(clock=FakeClock(tick=0.001))
+    builder = log.start("/users/1/summary")
+    builder.route = "/users/<id>/summary"
+    record = builder.finish(200)
+    assert set(record["layers"]) == set(LAYERS)
+    assert record["status"] == 200
+    assert record["seq"] == 0
+    assert record["trace_id"] == "-"
+    assert record["path"] == "/users/1/summary"
+    # finish() is the commit: re-committing returns the same dict.
+    assert log.commit(builder) is record
+
+
+def test_ring_is_bounded_and_counts_drops():
+    log = RequestLog(capacity=3, clock=FakeClock(tick=0.001))
+    for i in range(10):
+        log.start(f"/p/{i}").finish(200)
+    records = log.records()
+    assert len(records) == 3
+    assert [r["path"] for r in records] == ["/p/7", "/p/8", "/p/9"]
+    assert [r["seq"] for r in records] == [7, 8, 9]
+    stats = log.stats()
+    assert stats == {"capacity": 3, "size": 3, "total": 10, "dropped": 7}
+
+
+def test_tail_filters_by_route_status_and_latency():
+    clock = FakeClock()
+    log = RequestLog(clock=clock)
+    for status, route, seconds in (
+        (200, "/a", 0.01),
+        (429, "/a", 0.0),
+        (200, "/b", 0.5),
+        (200, "/a", 0.5),
+    ):
+        builder = log.start(route)
+        builder.route = route
+        clock.advance(seconds)
+        builder.finish(status)
+    assert len(log.tail(10)) == 4
+    assert [r["status"] for r in log.tail(10, route="/a")] == [200, 429, 200]
+    assert [r["route"] for r in log.tail(10, status=429)] == ["/a"]
+    slow = log.tail(10, min_seconds=0.4)
+    assert [(r["route"], r["total_s"]) for r in slow] == [
+        ("/b", 0.5),
+        ("/a", 0.5),
+    ]
+    assert len(log.tail(1, route="/a")) == 1
+
+
+def test_layer_and_annotate_are_noops_outside_a_request():
+    # Must not raise and must not record anything.
+    with layer("handler"):
+        pass
+    annotate(cache="hit")
+    assert current_builder() is None
+
+
+def test_layer_times_into_the_ambient_builder():
+    clock = FakeClock()
+    log = RequestLog(clock=clock)
+    builder = log.start("/x")
+    with building(builder):
+        with layer("handler"):
+            clock.advance(0.25)
+            with layer("store"):
+                clock.advance(0.1)
+    record = builder.finish(200)
+    assert record["layers"]["handler"] == pytest.approx(0.35)
+    assert record["layers"]["store"] == pytest.approx(0.1)
+    assert record["layers"]["cache"] == 0.0
+
+
+def test_annotate_rejects_unknown_fields():
+    log = RequestLog(clock=FakeClock())
+    with building(log.start("/x")):
+        with pytest.raises(AttributeError):
+            annotate(nonsense=True)
+        with pytest.raises(AttributeError):
+            annotate(layers={})  # structural slots are not annotatable
+
+
+def test_wire_scope_defers_commit_and_folds_wire_facts():
+    clock = FakeClock()
+    log = RequestLog(clock=clock)
+    with wire_scope(trace_id="cafe01", span_id=7) as wire:
+        builder = log.start("/x")
+        # Dispatch-side finish defers: nothing committed yet.
+        assert builder.finish(200) is None
+        assert not builder.committed
+        record = wire.commit(
+            499, bytes_out=42, serialize_seconds=0.01, write_seconds=0.02
+        )
+    assert record["status"] == 499
+    assert record["bytes_out"] == 42
+    assert record["trace_id"] == "cafe01"
+    assert record["span_id"] == 7
+    assert record["layers"]["serialize"] == pytest.approx(0.01)
+    assert record["layers"]["write"] == pytest.approx(0.02)
+    assert log.records() == [record]
+
+
+def test_wire_scope_exit_commits_abandoned_builders():
+    # A socket error can escape between dispatch and the explicit
+    # commit; the scope's exit must still publish exactly one record.
+    log = RequestLog(clock=FakeClock())
+    with pytest.raises(OSError):
+        with wire_scope():
+            builder = log.start("/x")
+            builder.finish(200)
+            raise OSError("client went away")
+    assert len(log.records()) == 1
+    assert log.records()[0]["status"] == 200
+
+
+def test_wire_commit_without_builder_returns_none():
+    with wire_scope() as wire:
+        assert wire.commit(200) is None
+
+
+def test_same_sequence_encodes_byte_identically():
+    def run() -> bytes:
+        clock = FakeClock(tick=0.0005)
+        log = RequestLog(clock=clock)
+        lines = []
+        for i in range(5):
+            builder = log.start(f"/p/{i % 2}")
+            builder.route = "/p/<id>"
+            with building(builder):
+                with layer("handler"):
+                    clock.advance(0.01 * i)
+                annotate(cache="hit" if i % 2 else "miss")
+            lines.append(encode_record(builder.finish(200 if i else 429)))
+        return b"\n".join(lines)
+
+    assert run() == run()
+
+
+def test_jsonl_sink_appends_every_record(tmp_path):
+    path = tmp_path / "req.jsonl"
+    log = RequestLog(
+        capacity=2, clock=FakeClock(tick=0.001), jsonl_path=path
+    )
+    for i in range(5):
+        log.start(f"/p/{i}").finish(200)
+    log.close()
+    # The ring dropped 3; the sink saw all 5.
+    records = list(read_jsonl(path))
+    assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+
+
+def test_read_jsonl_skips_torn_tail(tmp_path):
+    path = tmp_path / "req.jsonl"
+    with LineSink(path) as sink:
+        sink.write_line(json.dumps({"seq": 0}))
+        sink.write_line(json.dumps({"seq": 1}))
+    with open(path, "ab") as handle:
+        handle.write(b'{"seq": 2, "tru')  # crash mid-append
+    assert [r["seq"] for r in read_jsonl(path)] == [0, 1]
+
+
+def test_line_sink_reopens_after_close(tmp_path):
+    path = tmp_path / "lines.jsonl"
+    sink = LineSink(path)
+    sink.write_line(b"a")
+    sink.close()
+    sink.write_line(b"b")
+    sink.close()
+    assert path.read_bytes() == b"a\nb\n"

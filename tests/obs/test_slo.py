@@ -1,0 +1,168 @@
+"""Unit tests for SLO error budgets and burn-rate alerts
+(:mod:`repro.obs.slo`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOSpec,
+    SLOTracker,
+)
+
+
+def test_spec_goodness_rules():
+    spec = SLOSpec(route="/a", target=0.999, latency_threshold_s=0.1)
+    assert spec.is_good(200, 0.05)
+    assert not spec.is_good(200, 0.2)  # slow success is still bad
+    assert not spec.is_good(500, 0.01)
+    assert not spec.is_good(504, 0.01)
+    assert not spec.is_good(429, 0.0)  # shedding spends budget...
+    assert not spec.is_good(499, 0.01)  # ...and so do aborts
+    assert spec.is_good(404, 0.01)  # client errors are not our badness
+    lenient = SLOSpec(route="/a", shed_is_bad=False)
+    assert lenient.is_good(429, 0.0)  # ...unless shedding is contractual
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SLOSpec(route="/a", target=1.0)
+    with pytest.raises(ValueError):
+        SLOSpec(route="/a", target=0.0)
+    with pytest.raises(ValueError):
+        SLOSpec(route="/a", latency_threshold_s=0.0)
+
+
+def test_default_windows_are_the_workbook_pairs():
+    assert [(w.name, w.long_s, w.short_s, w.threshold) for w in DEFAULT_WINDOWS] == [
+        ("page", 3600.0, 300.0, 14.4),
+        ("ticket", 21600.0, 1800.0, 6.0),
+    ]
+
+
+def _tracker(clock, **spec_kwargs):
+    defaults = dict(route="*", target=0.999, latency_threshold_s=0.25)
+    defaults.update(spec_kwargs)
+    return SLOTracker([SLOSpec(**defaults)], clock=clock)
+
+
+def test_burn_rate_math_is_exact():
+    clock = FakeClock()
+    tracker = _tracker(clock, target=0.9)  # budget fraction 0.1
+    for _ in range(8):
+        tracker.record("/a", 200, 0.01)
+    for _ in range(2):
+        tracker.record("/a", 500, 0.01)
+    alerts = tracker.evaluate()
+    # bad fraction 0.2 over a 0.1 budget = burn rate 2.0 on every window.
+    assert all(a.long_burn == pytest.approx(2.0) for a in alerts)
+    assert all(a.short_burn == pytest.approx(2.0) for a in alerts)
+    assert not any(a.firing for a in alerts)  # 2.0 < 6.0 < 14.4
+
+
+def test_alert_needs_both_windows_over_threshold():
+    clock = FakeClock()
+    windows = (BurnWindow("w", long_s=1000.0, short_s=100.0, threshold=4.0, severity="page"),)
+    tracker = SLOTracker(
+        [SLOSpec(route="*", target=0.9, latency_threshold_s=0.25)],
+        windows=windows,
+        clock=clock,
+    )
+    # Old badness: lands in the long window but ages out of the short.
+    for _ in range(50):
+        tracker.record("/a", 500, 0.01)
+    clock.advance(400.0)  # past the short window, inside the long one
+    for _ in range(50):
+        tracker.record("/a", 200, 0.01)
+    (alert,) = tracker.evaluate()
+    assert alert.long_burn >= windows[0].threshold
+    assert alert.short_burn < windows[0].threshold
+    assert not alert.firing  # short window vetoes: problem has stopped
+    # Fresh badness: both windows agree, the alert fires.
+    for _ in range(50):
+        tracker.record("/a", 500, 0.01)
+    (alert,) = tracker.evaluate()
+    assert alert.firing
+
+
+def test_windows_expire_on_the_clock():
+    clock = FakeClock()
+    windows = (BurnWindow("w", long_s=1000.0, short_s=100.0, threshold=1.0, severity="page"),)
+    tracker = SLOTracker(
+        [SLOSpec(route="*", target=0.9)], windows=windows, clock=clock
+    )
+    for _ in range(10):
+        tracker.record("/a", 500, 0.01)
+    (alert,) = tracker.evaluate()
+    assert alert.firing
+    clock.advance(2000.0)  # everything ages out of both windows
+    (alert,) = tracker.evaluate()
+    assert alert.long_burn == 0.0
+    assert not alert.firing
+
+
+def test_alert_fires_count_rising_edges_only():
+    clock = FakeClock()
+    windows = (BurnWindow("w", long_s=1000.0, short_s=100.0, threshold=1.0, severity="page"),)
+    tracker = SLOTracker(
+        [SLOSpec(route="*", target=0.9)], windows=windows, clock=clock
+    )
+    for _ in range(10):
+        tracker.record("/a", 500, 0.01)
+    tracker.evaluate()
+    tracker.evaluate()  # still firing: not a new edge
+    assert tracker.alert_fires == {("/a", "w"): 1}
+    clock.advance(2000.0)
+    tracker.evaluate()  # quiet again
+    for _ in range(10):
+        tracker.record("/a", 500, 0.01)
+    tracker.evaluate()  # second rising edge
+    assert tracker.alert_fires == {("/a", "w"): 2}
+
+
+def test_route_specific_spec_beats_catchall():
+    clock = FakeClock()
+    tracker = SLOTracker(
+        [
+            SLOSpec(route="*", target=0.999),
+            SLOSpec(route="/slow", target=0.9, latency_threshold_s=5.0),
+        ],
+        clock=clock,
+    )
+    assert tracker.spec_for("/slow").target == 0.9
+    assert tracker.spec_for("/other").target == 0.999
+    untracked = SLOTracker(
+        [SLOSpec(route="/only")], clock=clock
+    )
+    untracked.record("/other", 500, 0.01)  # no spec, no tracking
+    assert untracked.snapshot()["routes"] == {}
+
+
+def test_snapshot_shape_and_budget_remaining():
+    clock = FakeClock()
+    tracker = _tracker(clock, target=0.9)
+    for _ in range(9):
+        tracker.record("/a", 200, 0.01)
+    tracker.record("/a", 500, 0.01)
+    snap = tracker.snapshot()
+    entry = snap["routes"]["/a"]
+    assert entry["good"] == 9
+    assert entry["bad"] == 1
+    # bad fraction exactly the budget: remaining budget is zero.
+    assert entry["budget_remaining"] == pytest.approx(0.0)
+    assert {a["window"] for a in snap["alerts"]} == {"page", "ticket"}
+    assert snap["alert_fires"] == {}
+
+
+def test_deterministic_under_fake_clock():
+    def run() -> dict:
+        clock = FakeClock(tick=0.001)
+        tracker = _tracker(clock)
+        for i in range(50):
+            tracker.record("/a", 500 if i % 5 == 0 else 200, 0.01)
+        return tracker.snapshot()
+
+    assert run() == run()

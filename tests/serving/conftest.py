@@ -99,6 +99,20 @@ def make_tiny_dataset(
 
 
 @pytest.fixture(scope="session")
+def storm_paths(small_dataset):
+    """A request mix covering every cacheable route family."""
+    steamids = small_dataset.accounts.steamids()
+    return [
+        f"/users/{int(steamids[0])}/summary",
+        f"/users/{int(steamids[1])}/neighborhood?limit=10",
+        "/distributions/friends/percentile?q=50",
+        "/distributions/owned_games/rank?value=10",
+        "/tailfit/friends",
+        "/homophily/owned_games",
+    ]
+
+
+@pytest.fixture(scope="session")
 def serving_store(small_dataset) -> AnalyticsStore:
     """One store over the shared 5k world; fits capped for speed."""
     return AnalyticsStore.build(small_dataset, max_tail=4_000)

@@ -37,20 +37,6 @@ from repro.steamapi.deadline import DEADLINE_HEADER
 from repro.steamapi.faults import AbortedResponse
 
 
-@pytest.fixture(scope="module")
-def storm_paths(small_dataset):
-    """A request mix covering every cacheable route family."""
-    steamids = small_dataset.accounts.steamids()
-    return [
-        f"/users/{int(steamids[0])}/summary",
-        f"/users/{int(steamids[1])}/neighborhood?limit=10",
-        "/distributions/friends/percentile?q=50",
-        "/distributions/owned_games/rank?value=10",
-        "/tailfit/friends",
-        "/homophily/owned_games",
-    ]
-
-
 def _echo(path, params):
     return {"path": path, "params": params}
 
